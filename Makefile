@@ -1,0 +1,39 @@
+# disjunct — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test vet race bench report report-full fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B target per table cell + ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation (quick sweeps).
+report:
+	$(GO) run ./cmd/ddbbench
+
+# Report-scale sweeps + structural audit (exits nonzero on violation).
+report-full:
+	$(GO) run ./cmd/ddbbench -full
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .
+	$(GO) test -fuzz=FuzzParseFormula -fuzztime=30s .
+	$(GO) test -fuzz=FuzzParseProgram -fuzztime=30s .
+
+clean:
+	$(GO) clean ./...

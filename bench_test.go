@@ -1,0 +1,507 @@
+// Benchmarks regenerating the paper's evaluation as testing.B targets:
+// one benchmark family per cell of Tables 1 and 2 (semantics × task ×
+// regime), plus the ablation benches called out in DESIGN.md §8.
+// The ddbbench command produces the full annotated report; these
+// targets give the standard `go test -bench` view of the same cells.
+package disjunct
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/qbf"
+	"disjunct/internal/reduction"
+	"disjunct/internal/sat"
+)
+
+func newEngine(d *db.DB) *models.Engine { return models.NewEngine(d, nil) }
+
+// mkSem builds a registered semantics or fails the benchmark.
+func mkSem(b *testing.B, name string) Semantics {
+	b.Helper()
+	s, ok := NewSemantics(name, Options{})
+	if !ok {
+		b.Fatalf("unknown semantics %s", name)
+	}
+	return s
+}
+
+// qbfLitInstances pre-builds Theorem 3.1 reduction instances.
+func qbfLitInstances(b *testing.B, size, count int) []struct {
+	d *db.DB
+	l Lit
+} {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(size)))
+	out := make([]struct {
+		d *db.DB
+		l Lit
+	}, count)
+	for i := range out {
+		q := qbf.Random3DNF(rng, size, size, 2*size)
+		d, w, err := reduction.MMNegLiteralFromQBF(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i].d = d
+		out[i].l = NegLit(w)
+	}
+	return out
+}
+
+// benchLiteralQBF drives a Π₂ᵖ literal-inference cell on the QBF
+// reduction family.
+func benchLiteralQBF(b *testing.B, sem string, sizes []int) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("qbfsize=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			insts := qbfLitInstances(b, size, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := insts[i%len(insts)]
+				if _, err := s.InferLiteral(inst.d, inst.l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchLiteralRandom drives a literal-inference cell on random DBs.
+func benchLiteralRandom(b *testing.B, sem string, sizes []int, mk func(*rand.Rand, int) *db.DB) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(int64(size)))
+			dbs := make([]*db.DB, 8)
+			for i := range dbs {
+				dbs[i] = mk(rng, size)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := dbs[i%len(dbs)]
+				l := NegLit(Atom(i % d.N()))
+				if _, err := s.InferLiteral(d, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchFormulaRandom(b *testing.B, sem string, sizes []int, mk func(*rand.Rand, int) *db.DB) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(int64(size)))
+			type inst struct {
+				d *db.DB
+				f *Formula
+			}
+			insts := make([]inst, 8)
+			for i := range insts {
+				d := mk(rng, size)
+				insts[i] = inst{d, randomBenchFormula(rng, d.N())}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				in := insts[i%len(insts)]
+				if _, err := s.InferFormula(in.d, in.f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchExists(b *testing.B, sem string, sizes []int, mk func(*rand.Rand, int) *db.DB) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(int64(size)))
+			dbs := make([]*db.DB, 8)
+			for i := range dbs {
+				dbs[i] = mk(rng, size)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.HasModel(dbs[i%len(dbs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func randomBenchFormula(rng *rand.Rand, n int) *Formula {
+	var rec func(depth int) *Formula
+	rec = func(depth int) *Formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			a := Atom(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				return logic.Not(logic.AtomF(a))
+			}
+			return logic.AtomF(a)
+		}
+		l, r := rec(depth-1), rec(depth-1)
+		if rng.Intn(2) == 0 {
+			return logic.And(l, r)
+		}
+		return logic.Or(l, r)
+	}
+	return rec(3)
+}
+
+func positiveDB(rng *rand.Rand, n int) *db.DB   { return gen.Random(rng, gen.Positive(n, 2*n)) }
+func icDB(rng *rand.Rand, n int) *db.DB         { return gen.Random(rng, gen.WithIntegrity(n, 2*n)) }
+func noICNegDB(rng *rand.Rand, n int) *db.DB    { return gen.Random(rng, gen.NormalNoIC(n, 2*n)) }
+func stratifiedDB(rng *rand.Rand, n int) *db.DB { return gen.RandomStratified(rng, n, 2*n, 3) }
+
+// ---------------------------------------------------------------------------
+// Table 1, column "Inference of literal"
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1LiteralGCWA(b *testing.B)  { benchLiteralQBF(b, "GCWA", []int{2, 3}) }
+func BenchmarkTable1LiteralEGCWA(b *testing.B) { benchLiteralQBF(b, "EGCWA", []int{2, 3}) }
+func BenchmarkTable1LiteralECWA(b *testing.B)  { benchLiteralQBF(b, "ECWA", []int{2, 3}) }
+func BenchmarkTable1LiteralCCWA(b *testing.B)  { benchLiteralQBF(b, "CCWA", []int{2, 3}) }
+func BenchmarkTable1LiteralICWA(b *testing.B)  { benchLiteralQBF(b, "ICWA", []int{2, 3}) }
+func BenchmarkTable1LiteralPERF(b *testing.B)  { benchLiteralQBF(b, "PERF", []int{2, 3}) }
+func BenchmarkTable1LiteralDSM(b *testing.B)   { benchLiteralQBF(b, "DSM", []int{2, 3}) }
+func BenchmarkTable1LiteralPDSM(b *testing.B)  { benchLiteralQBF(b, "PDSM", []int{1, 2}) }
+
+// The two tractable cells: polynomial, zero oracle calls.
+func BenchmarkTable1LiteralDDR(b *testing.B) {
+	benchLiteralRandom(b, "DDR", []int{100, 400, 1600}, positiveDB)
+}
+func BenchmarkTable1LiteralPWS(b *testing.B) {
+	benchLiteralRandom(b, "PWS", []int{100, 400, 1600}, positiveDB)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1, column "Inference of formula"
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1FormulaGCWADeltaLog(b *testing.B) {
+	benchDeltaLog(b, "GCWA", []int{6, 10}, positiveDB)
+}
+func BenchmarkTable1FormulaCCWADeltaLog(b *testing.B) {
+	benchDeltaLog(b, "CCWA", []int{6, 10}, positiveDB)
+}
+
+func benchDeltaLog(b *testing.B, sem string, sizes []int, mk func(*rand.Rand, int) *db.DB) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			dl, ok := s.(interface {
+				InferFormulaDeltaLog(*db.DB, *Formula) (bool, error)
+			})
+			if !ok {
+				b.Fatalf("%s lacks the Δ-log algorithm", sem)
+			}
+			rng := rand.New(rand.NewSource(int64(size)))
+			d := mk(rng, size)
+			f := randomBenchFormula(rng, d.N())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dl.InferFormulaDeltaLog(d, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1FormulaEGCWA(b *testing.B) {
+	benchFormulaRandom(b, "EGCWA", []int{8, 16}, positiveDB)
+}
+func BenchmarkTable1FormulaECWA(b *testing.B) {
+	benchFormulaRandom(b, "ECWA", []int{8, 16}, positiveDB)
+}
+func BenchmarkTable1FormulaICWA(b *testing.B) {
+	benchFormulaRandom(b, "ICWA", []int{8, 16}, positiveDB)
+}
+func BenchmarkTable1FormulaPERF(b *testing.B) {
+	benchFormulaRandom(b, "PERF", []int{8, 12}, positiveDB)
+}
+func BenchmarkTable1FormulaDSM(b *testing.B)  { benchFormulaRandom(b, "DSM", []int{8, 12}, positiveDB) }
+func BenchmarkTable1FormulaPDSM(b *testing.B) { benchFormulaRandom(b, "PDSM", []int{4, 6}, positiveDB) }
+
+// DDR/PWS formula inference: the coNP cells on the UNSAT family.
+func BenchmarkTable1FormulaDDR(b *testing.B) { benchFormulaUNSAT(b, "DDR", []int{8, 16}) }
+func BenchmarkTable1FormulaPWS(b *testing.B) { benchFormulaUNSAT(b, "PWS", []int{4, 6}) }
+
+func benchFormulaUNSAT(b *testing.B, sem string, sizes []int) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("vars=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(int64(size)))
+			cnf := reduction.RandomCNF(rng, size, 4*size, 3)
+			d, f := reduction.FormulaInferenceFromUNSAT(cnf, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InferFormula(d, f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 1, column "∃ model": O(1) for every semantics.
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable1Exists(b *testing.B) {
+	for _, sem := range []string{"GCWA", "DDR", "PWS", "EGCWA", "CCWA", "ECWA", "ICWA", "PERF", "DSM", "PDSM"} {
+		b.Run(sem, func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(1))
+			d := positiveDB(rng, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := s.HasModel(d)
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2, column "Inference of literal"
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable2LiteralGCWA(b *testing.B)  { benchLiteralRandom(b, "GCWA", []int{8, 16}, icDB) }
+func BenchmarkTable2LiteralEGCWA(b *testing.B) { benchLiteralRandom(b, "EGCWA", []int{8, 16}, icDB) }
+func BenchmarkTable2LiteralECWA(b *testing.B)  { benchLiteralRandom(b, "ECWA", []int{8, 16}, icDB) }
+func BenchmarkTable2LiteralCCWA(b *testing.B)  { benchLiteralRandom(b, "CCWA", []int{8, 16}, icDB) }
+func BenchmarkTable2LiteralICWA(b *testing.B) {
+	benchLiteralRandom(b, "ICWA", []int{8, 12}, stratifiedDB)
+}
+func BenchmarkTable2LiteralPERF(b *testing.B) { benchLiteralRandom(b, "PERF", []int{6, 9}, noICNegDB) }
+func BenchmarkTable2LiteralDSM(b *testing.B)  { benchLiteralRandom(b, "DSM", []int{6, 9}, noICNegDB) }
+func BenchmarkTable2LiteralPDSM(b *testing.B) { benchLiteralRandom(b, "PDSM", []int{4, 6}, noICNegDB) }
+
+// Chan's coNP cells.
+func BenchmarkTable2LiteralDDR(b *testing.B) { benchLiteralICReduction(b, "DDR", []int{8, 16}) }
+func BenchmarkTable2LiteralPWS(b *testing.B) { benchLiteralICReduction(b, "PWS", []int{3, 5}) }
+
+func benchLiteralICReduction(b *testing.B, sem string, sizes []int) {
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("vars=%d", size), func(b *testing.B) {
+			s := mkSem(b, sem)
+			rng := rand.New(rand.NewSource(int64(size)))
+			cnf := reduction.RandomCNF(rng, size, 4*size, 3)
+			d, w := reduction.LiteralInferenceFromUNSATWithICs(cnf, size)
+			l := NegLit(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.InferLiteral(d, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table 2, column "Inference of formula"
+// ---------------------------------------------------------------------------
+
+func BenchmarkTable2FormulaGCWADeltaLog(b *testing.B) { benchDeltaLog(b, "GCWA", []int{6, 10}, icDB) }
+func BenchmarkTable2FormulaCCWADeltaLog(b *testing.B) { benchDeltaLog(b, "CCWA", []int{6, 10}, icDB) }
+func BenchmarkTable2FormulaEGCWA(b *testing.B)        { benchFormulaRandom(b, "EGCWA", []int{8, 16}, icDB) }
+func BenchmarkTable2FormulaECWA(b *testing.B)         { benchFormulaRandom(b, "ECWA", []int{8, 16}, icDB) }
+func BenchmarkTable2FormulaICWA(b *testing.B) {
+	benchFormulaRandom(b, "ICWA", []int{8, 12}, stratifiedDB)
+}
+func BenchmarkTable2FormulaPERF(b *testing.B) { benchFormulaRandom(b, "PERF", []int{6, 9}, noICNegDB) }
+func BenchmarkTable2FormulaDSM(b *testing.B)  { benchFormulaRandom(b, "DSM", []int{6, 9}, noICNegDB) }
+func BenchmarkTable2FormulaPDSM(b *testing.B) { benchFormulaRandom(b, "PDSM", []int{4, 6}, noICNegDB) }
+func BenchmarkTable2FormulaDDR(b *testing.B)  { benchFormulaRandom(b, "DDR", []int{10, 20}, icDB) }
+func BenchmarkTable2FormulaPWS(b *testing.B)  { benchFormulaRandom(b, "PWS", []int{4, 6}, icDB) }
+
+// ---------------------------------------------------------------------------
+// Table 2, column "∃ model"
+// ---------------------------------------------------------------------------
+
+// NP-complete cells on the SAT-reduction family.
+func BenchmarkTable2ExistsNPCells(b *testing.B) {
+	for _, sem := range []string{"GCWA", "EGCWA", "CCWA", "ECWA", "DDR"} {
+		for _, size := range []int{10, 20} {
+			b.Run(fmt.Sprintf("%s/vars=%d", sem, size), func(b *testing.B) {
+				s := mkSem(b, sem)
+				rng := rand.New(rand.NewSource(int64(size)))
+				cnf := reduction.RandomCNF(rng, size, int(4.2*float64(size)), 3)
+				d := reduction.ExistsModelFromSAT(cnf, size)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.HasModel(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable2ExistsPWS(b *testing.B) {
+	benchExists(b, "PWS", []int{3, 5}, func(rng *rand.Rand, n int) *db.DB {
+		cnf := reduction.RandomCNF(rng, n, int(4.2*float64(n)), 3)
+		return reduction.ExistsModelFromSAT(cnf, n)
+	})
+}
+
+// ICWA: the O(1) cell.
+func BenchmarkTable2ExistsICWA(b *testing.B) {
+	benchExists(b, "ICWA", []int{50, 200}, stratifiedDB)
+}
+
+// DSM: the Σ₂ᵖ cell on the saturation reduction.
+func BenchmarkTable2ExistsDSM(b *testing.B) {
+	for _, size := range []int{2, 3} {
+		b.Run(fmt.Sprintf("qbfsize=%d", size), func(b *testing.B) {
+			s := mkSem(b, "DSM")
+			rng := rand.New(rand.NewSource(int64(size)))
+			q := qbf.Random3DNF(rng, size, size, 2*size)
+			d, err := reduction.DSMExistsFromQBF(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.HasModel(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable2ExistsPERF(b *testing.B) { benchExists(b, "PERF", []int{6, 9}, noICNegDB) }
+func BenchmarkTable2ExistsPDSM(b *testing.B) { benchExists(b, "PDSM", []int{4, 6}, noICNegDB) }
+
+// ---------------------------------------------------------------------------
+// Proposition 5.4: UMINSAT
+// ---------------------------------------------------------------------------
+
+func BenchmarkUMINSAT(b *testing.B) {
+	for _, size := range []int{8, 16} {
+		b.Run(fmt.Sprintf("vars=%d", size), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(size)))
+			cnf := reduction.RandomCNF(rng, size, int(4.2*float64(size)), 3)
+			gamma, voc := reduction.UMINSATFromUNSAT(cnf, size)
+			d := reduction.CNFDB(gamma, voc)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := newEngine(d)
+				eng.UniqueMinimalModel()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+// CEGAR vs full universal expansion for the Σ₂ᵖ oracle.
+func BenchmarkAblationQBF(b *testing.B) {
+	for _, size := range []int{4, 6, 8} {
+		rng := rand.New(rand.NewSource(int64(size)))
+		q := qbf.Random3DNF(rng, size, size, 2*size)
+		b.Run(fmt.Sprintf("cegar/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qbf.SolveCEGAR(q, nil)
+			}
+		})
+		b.Run(fmt.Sprintf("expand/size=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qbf.SolveExpand(q)
+			}
+		})
+	}
+}
+
+// CDCL vs plain DPLL on the pigeonhole family (the clause-learning
+// ablation: DPLL degrades much faster).
+func BenchmarkAblationSAT(b *testing.B) {
+	for _, holes := range []int{4, 5, 6} {
+		clauses, vars := pigeonCNF(holes)
+		b.Run(fmt.Sprintf("cdcl/php%d", holes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sat.New(vars)
+				for _, c := range clauses {
+					s.AddClause(c...)
+				}
+				if s.Solve() != sat.Unsat {
+					b.Fatal("PHP must be unsat")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("dpll/php%d", holes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if st, _ := sat.DPLL(vars, clauses, -1); st != sat.Unsat {
+					b.Fatal("PHP must be unsat")
+				}
+			}
+		})
+	}
+}
+
+func pigeonCNF(n int) ([][]sat.Lit, int) {
+	v := func(p, h int) int { return p*n + h }
+	var out [][]sat.Lit
+	for p := 0; p <= n; p++ {
+		c := make([]sat.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = sat.MkLit(v(p, h), true)
+		}
+		out = append(out, c)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				out = append(out, []sat.Lit{sat.MkLit(v(p1, h), false), sat.MkLit(v(p2, h), false)})
+			}
+		}
+	}
+	return out, (n + 1) * n
+}
+
+// Restart-policy ablation: Luby restarts on vs off, on random 3-CNF at
+// the phase-transition ratio (where restarts matter most).
+func BenchmarkAblationRestarts(b *testing.B) {
+	for _, n := range []int{40, 60} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		clauses := make([][]sat.Lit, int(4.26*float64(n)))
+		for i := range clauses {
+			c := make([]sat.Lit, 3)
+			for j := range c {
+				c[j] = sat.MkLit(rng.Intn(n), rng.Intn(2) == 0)
+			}
+			clauses[i] = c
+		}
+		run := func(restarts bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := sat.New(n)
+					s.SetRestartsEnabled(restarts)
+					for _, c := range clauses {
+						s.AddClause(c...)
+					}
+					s.Solve()
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("luby/n=%d", n), run(true))
+		b.Run(fmt.Sprintf("none/n=%d", n), run(false))
+	}
+}

@@ -1,0 +1,180 @@
+// Command ddb is an interactive query tool for propositional
+// disjunctive databases: it loads a database file and answers the
+// paper's three decision problems under any of the ten semantics.
+//
+// Usage:
+//
+//	ddb -db file.ddb [-datalog] [-sem GCWA] [-models] [-exists]
+//	    [-classify] [-closure] [-wfs]
+//	    [-infer "formula"] [-lit atom | -lit -atom]
+//
+// Examples:
+//
+//	ddb -db kb.ddb -classify
+//	ddb -db kb.ddb -sem GCWA -lit -c
+//	ddb -db kb.ddb -sem DSM -models
+//	ddb -db kb.ddb -sem EGCWA -infer "-(a & b)"
+//	ddb -db kb.ddb -sem GCWA -closure          # all inferred literals
+//	ddb -db game.dl -datalog -infer "win(a)"   # ground, then query
+//	ddb -db prog.ddb -wfs                      # well-founded model
+//
+// The database syntax (one clause per line, '%' comments):
+//
+//	a | b.              disjunctive fact
+//	c :- a, b.          rule
+//	d :- c, not e.      rule with default negation
+//	:- a, d.            integrity clause
+//
+// With -datalog the input is a non-ground program (variables start
+// upper-case, e.g. "path(X,Y) :- edge(X,Y).") grounded before
+// querying; ground atoms are addressed as "path(a,b)" in queries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"disjunct"
+)
+
+func main() {
+	dbPath := flag.String("db", "", "database file (required)")
+	datalog := flag.Bool("datalog", false, "treat the input as a non-ground datalog program and ground it")
+	semName := flag.String("sem", "GCWA", "semantics: "+strings.Join(disjunct.SemanticsNames(), ", "))
+	models := flag.Bool("models", false, "enumerate the semantics' model set")
+	limit := flag.Int("limit", 32, "maximum models to print with -models")
+	exists := flag.Bool("exists", false, "decide model existence")
+	classify := flag.Bool("classify", false, "print the database class and statistics")
+	infer := flag.String("infer", "", "formula to decide under the semantics")
+	lit := flag.String("lit", "", "literal to decide (atom name, '-' prefix negates)")
+	closure := flag.Bool("closure", false, "print every literal the semantics infers")
+	wfsFlag := flag.Bool("wfs", false, "print the well-founded model (normal programs only)")
+	flag.Parse()
+
+	if *dbPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	var d *disjunct.DB
+	if *datalog {
+		d, err = disjunct.ParseProgram(string(src))
+	} else {
+		d, err = disjunct.Parse(string(src))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *classify {
+		st := d.Stats()
+		fmt.Printf("atoms: %d  clauses: %d  facts: %d  integrity: %d  neg-literals: %d  max-head: %d\n",
+			st.Atoms, st.Clauses, st.Facts, st.IntegrityClauses, st.NegativeLiterals, st.MaxHead)
+		fmt.Println("class:", disjunct.Classify(d))
+	}
+
+	if *wfsFlag {
+		if p, ok := disjunct.WellFounded(d); ok {
+			fmt.Println("well-founded model:", p.String(d.Voc))
+		} else {
+			fmt.Println("well-founded model: n/a (not a normal logic program)")
+		}
+	}
+
+	oracle := disjunct.NewOracle()
+	sem, ok := disjunct.NewSemantics(*semName, disjunct.Options{Oracle: oracle})
+	if !ok {
+		fatal(fmt.Errorf("unknown semantics %q (known: %s)", *semName,
+			strings.Join(disjunct.SemanticsNames(), ", ")))
+	}
+
+	if *exists {
+		ok, err := sem.HasModel(d)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(DB) nonempty: %v   [oracle: %s]\n", sem.Name(), ok, oracle.Counters())
+	}
+
+	if *models {
+		fmt.Printf("%s(DB) models:\n", sem.Name())
+		n, err := sem.Models(d, *limit, func(m disjunct.Interp) bool {
+			fmt.Println(" ", m.String(d.Voc))
+			return true
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(%d models%s)\n", n, moreMarker(n, *limit))
+	}
+
+	if *lit != "" {
+		name := *lit
+		negated := strings.HasPrefix(name, "-")
+		name = strings.TrimPrefix(name, "-")
+		atom, ok := d.Voc.Lookup(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown atom %q", name))
+		}
+		l := disjunct.PosLit(atom)
+		if negated {
+			l = disjunct.NegLit(atom)
+		}
+		res, err := sem.InferLiteral(d, l)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(DB) ⊨ %s%s : %v   [oracle: %s]\n",
+			sem.Name(), map[bool]string{true: "-", false: ""}[negated], name, res, oracle.Counters())
+	}
+
+	if *closure {
+		fmt.Printf("%s literal closure:\n", sem.Name())
+		var pos, neg []string
+		for v := 0; v < d.N(); v++ {
+			name := d.Voc.Name(disjunct.Atom(v))
+			if ok, err := sem.InferLiteral(d, disjunct.PosLit(disjunct.Atom(v))); err != nil {
+				fatal(err)
+			} else if ok {
+				pos = append(pos, name)
+			}
+			if ok, err := sem.InferLiteral(d, disjunct.NegLit(disjunct.Atom(v))); err != nil {
+				fatal(err)
+			} else if ok {
+				neg = append(neg, name)
+			}
+		}
+		fmt.Printf("  true : %s\n", strings.Join(pos, ", "))
+		fmt.Printf("  false: %s\n", strings.Join(neg, ", "))
+		fmt.Printf("  [oracle: %s]\n", oracle.Counters())
+	}
+
+	if *infer != "" {
+		f, err := disjunct.ParseFormula(*infer, d.Voc)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sem.InferFormula(d, f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(DB) ⊨ %s : %v   [oracle: %s]\n", sem.Name(), *infer, res, oracle.Counters())
+	}
+}
+
+func moreMarker(n, limit int) string {
+	if limit > 0 && n >= limit {
+		return ", limit reached"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command ddbbench regenerates the paper's evaluation: Tables 1 and 2
+// of Eiter & Gottlob (PODS'93) as executable complexity evidence, plus
+// the auxiliary experiments (UMINSAT, Example 3.1) and the structural
+// audit.
+//
+// Usage:
+//
+//	ddbbench [-table 1|2|all] [-aux] [-audit] [-full]
+//
+// Without -full the sweeps use the quick sizes (seconds); with -full
+// the report sizes (minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"disjunct/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	aux := flag.Bool("aux", true, "run the auxiliary experiments (UMINSAT, CWA, WFS, Example 3.1)")
+	crossover := flag.Bool("crossover", true, "run the head-to-head comparison series")
+	audit := flag.Bool("audit", true, "run the structural audit (oracle-call budgets, reductions)")
+	full := flag.Bool("full", false, "use the full sweep sizes (slower)")
+	claims := flag.Bool("claims", true, "print the reconstructed result tables first")
+	flag.Parse()
+
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	if *claims {
+		bench.WriteClaims(os.Stdout)
+	}
+
+	var results []bench.CellResult
+	if *table == "1" || *table == "all" {
+		r, err := bench.RunTable1(scale)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r...)
+	}
+	if *table == "2" || *table == "all" {
+		r, err := bench.RunTable2(scale)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r...)
+	}
+	bench.WriteReport(os.Stdout, results)
+
+	if *aux {
+		if err := bench.RunAux(scale, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *crossover {
+		if err := bench.RunCrossover(scale, os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	if *audit {
+		fmt.Println("Structural audit")
+		fmt.Println("================")
+		if errs := bench.Audit(); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Printf("  FAIL: %v\n", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("  all oracle-call budgets and reduction equivalences hold")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddbbench:", err)
+	os.Exit(1)
+}

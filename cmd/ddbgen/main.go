@@ -1,0 +1,91 @@
+// Command ddbgen emits workload instances in the library's textual
+// formats, for scripted experiments and for feeding other systems:
+//
+//	ddbgen -family positive -atoms 20 -clauses 40        random positive DDB
+//	ddbgen -family ic -atoms 20 -clauses 40              DDDB with denials
+//	ddbgen -family normal -atoms 20 -clauses 40          DNDB (negation + denials)
+//	ddbgen -family stratified -atoms 20 -clauses 40      DSDB
+//	ddbgen -family coloring -vertices 10 -colors 3 -p 0.4   k-colouring DB
+//	ddbgen -family pigeonhole -pigeons 5 -holes 4        PHP as a DDDB
+//	ddbgen -family qbf-literal -qbfsize 4                Theorem 3.1 instance
+//	                                                     (prints the DB; the
+//	                                                     query literal is -w)
+//	ddbgen -family uminsat -vars 10 > f.cnf              Prop 5.4 DIMACS
+//
+// A -seed flag makes runs reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/qbf"
+	"disjunct/internal/reduction"
+)
+
+func main() {
+	family := flag.String("family", "positive", "positive | ic | normal | stratified | coloring | pigeonhole | qbf-literal | qbf-stable | uminsat")
+	atoms := flag.Int("atoms", 20, "vocabulary size (random families)")
+	clauses := flag.Int("clauses", 40, "clause count (random families)")
+	layers := flag.Int("layers", 3, "strata (stratified family)")
+	vertices := flag.Int("vertices", 10, "vertices (coloring family)")
+	colors := flag.Int("colors", 3, "colours (coloring family)")
+	p := flag.Float64("p", 0.4, "edge probability (coloring family)")
+	pigeons := flag.Int("pigeons", 5, "pigeons (pigeonhole family)")
+	holes := flag.Int("holes", 4, "holes (pigeonhole family)")
+	qbfsize := flag.Int("qbfsize", 3, "#∃ = #∀ variables (qbf families)")
+	vars := flag.Int("vars", 10, "CNF variables (uminsat family)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "rng seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	switch *family {
+	case "positive":
+		fmt.Print(gen.Random(rng, gen.Positive(*atoms, *clauses)).String())
+	case "ic":
+		fmt.Print(gen.Random(rng, gen.WithIntegrity(*atoms, *clauses)).String())
+	case "normal":
+		fmt.Print(gen.Random(rng, gen.Normal(*atoms, *clauses)).String())
+	case "stratified":
+		fmt.Print(gen.RandomStratified(rng, *atoms, *clauses, *layers).String())
+	case "coloring":
+		g := gen.RandomGraph(rng, *vertices, *p)
+		fmt.Print(gen.ColoringDB(g, *colors).String())
+	case "pigeonhole":
+		fmt.Print(gen.PigeonholeDB(*pigeons, *holes).String())
+	case "qbf-literal":
+		q := qbf.Random3DNF(rng, *qbfsize, *qbfsize, 2**qbfsize)
+		d, w, err := reduction.MMNegLiteralFromQBF(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%% query literal: -%s  (MM ⊨ ¬w ⟺ the hidden 2-QBF is false)\n", d.Voc.Name(w))
+		fmt.Print(d.String())
+	case "qbf-stable":
+		q := qbf.Random3DNF(rng, *qbfsize, *qbfsize, 2**qbfsize)
+		d, err := reduction.DSMExistsFromQBF(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("% DSM has a stable model ⟺ the hidden 2-QBF is true")
+		fmt.Print(d.String())
+	case "uminsat":
+		cnf := reduction.RandomCNF(rng, *vars, int(4.2*float64(*vars)), 3)
+		gamma, voc := reduction.UMINSATFromUNSAT(cnf, *vars)
+		if err := logic.WriteDIMACS(os.Stdout, gamma, voc.Size()); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command ddbsoak is a standalone differential tester: it generates
+// random databases forever and cross-checks every production semantics
+// against the brute-force reference implementations, printing any
+// divergence and exiting nonzero. It is the long-running complement of
+// the unit suites' bounded cross-validation (run it for minutes or
+// hours; `-iters` bounds the run for CI).
+//
+// Usage:
+//
+//	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+
+	_ "disjunct/internal/semantics/ccwa"
+	_ "disjunct/internal/semantics/cwa"
+	_ "disjunct/internal/semantics/ddr"
+	_ "disjunct/internal/semantics/dsm"
+	_ "disjunct/internal/semantics/ecwa"
+	_ "disjunct/internal/semantics/egcwa"
+	_ "disjunct/internal/semantics/gcwa"
+	_ "disjunct/internal/semantics/icwa"
+	_ "disjunct/internal/semantics/pdsm"
+	_ "disjunct/internal/semantics/perf"
+	_ "disjunct/internal/semantics/pws"
+)
+
+func main() {
+	iters := flag.Int("iters", 0, "iterations to run (0 = until interrupted)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "rng seed")
+	maxAtoms := flag.Int("maxatoms", 5, "maximum vocabulary size (brute force is 2^n)")
+	verbose := flag.Bool("v", false, "log progress every 500 iterations")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("ddbsoak: seed=%d maxatoms=%d\n", *seed, *maxAtoms)
+
+	divergences := 0
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if *verbose && i%500 == 0 && i > 0 {
+			fmt.Printf("  %d iterations, %d divergences\n", i, divergences)
+		}
+		n := 2 + rng.Intn(*maxAtoms-1)
+		var d *db.DB
+		switch i % 3 {
+		case 0:
+			d = gen.Random(rng, gen.Positive(n, 1+rng.Intn(6)))
+		case 1:
+			d = gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		default:
+			d = gen.Random(rng, gen.NormalNoIC(n, 1+rng.Intn(6)))
+		}
+		if !check(d, rng) {
+			divergences++
+			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
+		}
+	}
+	if divergences > 0 {
+		fmt.Printf("ddbsoak: %d divergences\n", divergences)
+		os.Exit(1)
+	}
+	fmt.Println("ddbsoak: clean")
+}
+
+// check cross-validates one database across all applicable semantics.
+func check(d *db.DB, rng *rand.Rand) bool {
+	n := d.N()
+	x := logic.Atom(rng.Intn(n))
+	lit := logic.NegLit(x)
+	ok := true
+
+	type refFn func(*db.DB) []logic.Interp
+	cases := []struct {
+		sem      string
+		ref      refFn
+		positive bool // requires no negation
+		noIC     bool // requires no integrity clauses
+	}{
+		{"GCWA", refsem.GCWA, false, false},
+		{"EGCWA", refsem.EGCWA, false, false},
+		{"DDR", refsem.DDR, true, false},
+		{"PWS", refsem.PWS, true, false},
+		{"DSM", refsem.DSM, false, false},
+		{"PERF", refsem.PERF, false, true},
+	}
+	for _, c := range cases {
+		if c.positive && d.HasNegation() {
+			continue
+		}
+		if c.noIC && d.HasIntegrityClauses() {
+			continue
+		}
+		s, _ := core.New(c.sem, core.Options{})
+		want := refsem.Entails(c.ref(d), logic.LitF(lit))
+		got, err := s.InferLiteral(d, lit)
+		if err != nil {
+			fmt.Printf("  %s: error %v\n", c.sem, err)
+			ok = false
+			continue
+		}
+		if got != want {
+			fmt.Printf("  %s ⊨ %s: production=%v reference=%v\n",
+				c.sem, d.Voc.LitString(lit), got, want)
+			ok = false
+		}
+	}
+	return ok
+}

@@ -1,0 +1,178 @@
+package disjunct_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"disjunct"
+)
+
+func TestSemanticsNamesComplete(t *testing.T) {
+	want := []string{"CCWA", "CIRC", "CWA", "DDR", "DSM", "ECWA", "EGCWA", "GCWA", "ICWA", "PDSM", "PERF", "PMS", "PWS", "WGCWA"}
+	got := disjunct.SemanticsNames()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFacadeRoundTrip(t *testing.T) {
+	d, err := disjunct.Parse("a | b. c :- a.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := disjunct.NewSemantics("EGCWA", disjunct.Options{})
+	if !ok {
+		t.Fatal("EGCWA missing")
+	}
+	f, err := disjunct.ParseFormula("a | b", d.Voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := s.InferFormula(d, f)
+	if err != nil || !holds {
+		t.Fatalf("a|b must be inferred: %v %v", holds, err)
+	}
+	count := disjunct.MinimalModels(d, 0, func(disjunct.Interp) bool { return true })
+	if count != 2 {
+		t.Fatalf("minimal models = %d, want 2", count)
+	}
+}
+
+func TestSharedOracleAccumulates(t *testing.T) {
+	o := disjunct.NewOracle()
+	d := disjunct.MustParse("a | b. :- a, b.")
+	s1, _ := disjunct.NewSemantics("GCWA", disjunct.Options{Oracle: o})
+	s2, _ := disjunct.NewSemantics("EGCWA", disjunct.Options{Oracle: o})
+	s1.HasModel(d)
+	after1 := o.Counters().NPCalls
+	s2.HasModel(d)
+	after2 := o.Counters().NPCalls
+	if after1 == 0 || after2 <= after1 {
+		t.Fatalf("shared oracle not accumulating: %d %d", after1, after2)
+	}
+}
+
+func TestPartitionAPI(t *testing.T) {
+	d := disjunct.MustParse("a | b.")
+	c := d.Voc.Intern("c")
+	a, _ := d.Voc.Lookup("a")
+	part := disjunct.NewPartition(d.N(), []disjunct.Atom{a}, []disjunct.Atom{c})
+	s, _ := disjunct.NewSemantics("CIRC", disjunct.Options{Partition: &part})
+	// Minimising only a (c varying, b fixed): a is false in some
+	// (P;Z)-minimal models ({b},{b,c}) and true in others ({a},{a,c}),
+	// so no literal conclusion about a is warranted.
+	litA, err := s.InferLiteral(d, disjunct.NegLit(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if litA {
+		t.Fatalf("CIRC with P={a} must not infer ¬a from a|b (the model {a} is (P;Z)-minimal)")
+	}
+}
+
+func TestUnknownSemantics(t *testing.T) {
+	if _, ok := disjunct.NewSemantics("NOPE", disjunct.Options{}); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+func TestErrSentinels(t *testing.T) {
+	d := disjunct.MustParse("a :- not b. b :- not a.")
+	s, _ := disjunct.NewSemantics("ICWA", disjunct.Options{})
+	if _, err := s.HasModel(d); err != disjunct.ErrNotStratifiable {
+		t.Fatalf("want ErrNotStratifiable, got %v", err)
+	}
+	d2 := disjunct.MustParse("a :- not b.")
+	ddr, _ := disjunct.NewSemantics("DDR", disjunct.Options{})
+	if _, err := ddr.HasModel(d2); err != disjunct.ErrUnsupported {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func Example() {
+	d := disjunct.MustParse(`
+		bird.
+		flies | injured :- bird.
+	`)
+	s, _ := disjunct.NewSemantics("GCWA", disjunct.Options{})
+	f := disjunct.MustParseFormula("flies | injured", d.Voc)
+	holds, _ := s.InferFormula(d, f)
+	fmt.Println("flies | injured:", holds)
+
+	flies, _ := d.Voc.Lookup("flies")
+	neg, _ := s.InferLiteral(d, disjunct.NegLit(flies))
+	fmt.Println("-flies:", neg)
+	// Output:
+	// flies | injured: true
+	// -flies: false
+}
+
+func ExampleNewSemantics_stableModels() {
+	d := disjunct.MustParse("a :- not b. b :- not a.")
+	dsm, _ := disjunct.NewSemantics("DSM", disjunct.Options{})
+	var out []string
+	n, _ := dsm.Models(d, 0, func(m disjunct.Interp) bool {
+		out = append(out, m.String(d.Voc))
+		return true
+	})
+	sort.Strings(out) // enumeration order is solver-dependent
+	fmt.Println(out, "stable models:", n)
+	// Output:
+	// [{a} {b}] stable models: 2
+}
+
+func ExampleMinimalModels() {
+	d := disjunct.MustParse("a | b.")
+	var out []string
+	disjunct.MinimalModels(d, 0, func(m disjunct.Interp) bool {
+		out = append(out, m.String(d.Voc))
+		return true
+	})
+	sort.Strings(out) // enumeration order is solver-dependent
+	fmt.Println(out)
+	// Output:
+	// [{a} {b}]
+}
+
+func ExampleWellFounded() {
+	d := disjunct.MustParse("a :- not b. p :- not p.")
+	wf, ok := disjunct.WellFounded(d)
+	fmt.Println(ok, wf.String(d.Voc))
+	// Output:
+	// true {a=true, p=undef}
+}
+
+func ExampleCheckModel() {
+	d := disjunct.MustParse("a | b.")
+	dsm, _ := disjunct.NewSemantics("DSM", disjunct.Options{})
+	var first disjunct.Interp
+	dsm.Models(d, 1, func(m disjunct.Interp) bool {
+		first = m.Clone()
+		return false
+	})
+	ok, _ := disjunct.CheckModel(dsm, d, first)
+	fmt.Println("enumerated model passes CheckModel:", ok)
+	// Output:
+	// enumerated model passes CheckModel: true
+}
+
+func ExampleParseProgram() {
+	d, _ := disjunct.ParseProgram(`
+		edge(a,b). edge(b,c).
+		path(X,Y) :- edge(X,Y).
+		path(X,Z) :- path(X,Y), edge(Y,Z).
+	`)
+	gcwa, _ := disjunct.NewSemantics("GCWA", disjunct.Options{})
+	f := disjunct.MustParseFormula("path(a,c)", d.Voc)
+	holds, _ := gcwa.InferFormula(d, f)
+	fmt.Println("path(a,c):", holds)
+	// Output:
+	// path(a,c): true
+}

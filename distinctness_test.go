@@ -1,0 +1,131 @@
+package disjunct_test
+
+// Distinctness: the ten semantics are genuinely different theories.
+// For each pair known to differ, search random small databases for a
+// witness (database, query) on which the two disagree — if none is
+// found the two implementations might have collapsed into one.
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+)
+
+func TestSemanticsPairwiseDistinct(t *testing.T) {
+	type pair struct {
+		a, b     string
+		positive bool // restrict to positive DDBs (DDR/PWS classes)
+		noIC     bool
+	}
+	pairs := []pair{
+		{"GCWA", "EGCWA", true, true},
+		{"GCWA", "DDR", true, true},
+		{"DDR", "PWS", true, true},
+		{"EGCWA", "PWS", true, true},
+		{"GCWA", "CWA", true, true},
+		{"DSM", "PDSM", false, true},
+		{"DSM", "PERF", false, true},
+	}
+	rng := rand.New(rand.NewSource(311))
+	for _, p := range pairs {
+		sa, _ := disjunct.NewSemantics(p.a, disjunct.Options{})
+		sb, _ := disjunct.NewSemantics(p.b, disjunct.Options{})
+		found := false
+		for iter := 0; iter < 4000 && !found; iter++ {
+			n := 2 + rng.Intn(3)
+			var d *disjunct.DB
+			if p.positive {
+				d = gen.Random(rng, gen.Positive(n, 1+rng.Intn(5)))
+			} else {
+				d = gen.Random(rng, gen.NormalNoIC(n, 1+rng.Intn(5)))
+			}
+			f := randomDistinctFormula(rng, n)
+			ra, erra := sa.InferFormula(d, f)
+			rb, errb := sb.InferFormula(d, f)
+			if erra != nil || errb != nil {
+				continue
+			}
+			if ra != rb {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s and %s never disagreed — implementations may have collapsed", p.a, p.b)
+		}
+	}
+}
+
+func randomDistinctFormula(rng *rand.Rand, n int) *disjunct.Formula {
+	var rec func(depth int) *disjunct.Formula
+	rec = func(depth int) *disjunct.Formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			a := disjunct.Atom(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				return logic.Not(logic.AtomF(a))
+			}
+			return logic.AtomF(a)
+		}
+		l, r := rec(depth-1), rec(depth-1)
+		if rng.Intn(2) == 0 {
+			return logic.And(l, r)
+		}
+		return logic.Or(l, r)
+	}
+	return rec(2)
+}
+
+// The equivalences the paper asserts, conversely, must NEVER disagree.
+func TestSemanticsEquivalencesHold(t *testing.T) {
+	pairs := [][2]string{{"DDR", "WGCWA"}, {"PWS", "PMS"}, {"ECWA", "CIRC"}}
+	rng := rand.New(rand.NewSource(312))
+	for _, p := range pairs {
+		sa, _ := disjunct.NewSemantics(p[0], disjunct.Options{})
+		sb, _ := disjunct.NewSemantics(p[1], disjunct.Options{})
+		for iter := 0; iter < 300; iter++ {
+			n := 2 + rng.Intn(3)
+			d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(5)))
+			f := randomDistinctFormula(rng, n)
+			ra, erra := sa.InferFormula(d, f)
+			rb, errb := sb.InferFormula(d, f)
+			if (erra == nil) != (errb == nil) || ra != rb {
+				t.Fatalf("%s vs %s disagreed (%v/%v, %v/%v)\n%s",
+					p[0], p[1], ra, erra, rb, errb, d.String())
+			}
+		}
+	}
+}
+
+// Inference-strength laws induced by the model-set inclusions (on
+// positive DDBs without integrity clauses):
+//
+//	MM ⊆ PWS-models ⊆ M(DB)  and  GCWA-models ⊆ DDR-models
+//
+// so PWS inference implies EGCWA inference, and DDR inference implies
+// GCWA inference.
+func TestInferenceStrengthLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	pws, _ := disjunct.NewSemantics("PWS", disjunct.Options{})
+	egcwa, _ := disjunct.NewSemantics("EGCWA", disjunct.Options{})
+	ddr, _ := disjunct.NewSemantics("DDR", disjunct.Options{})
+	gcwa, _ := disjunct.NewSemantics("GCWA", disjunct.Options{})
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(3)
+		d := gen.Random(rng, gen.Positive(n, 1+rng.Intn(5)))
+		f := randomDistinctFormula(rng, n)
+		if pwsHolds, _ := pws.InferFormula(d, f); pwsHolds {
+			if eg, _ := egcwa.InferFormula(d, f); !eg {
+				t.Fatalf("iter %d: PWS infers but EGCWA does not\n%sF: %s",
+					iter, d.String(), f.String(d.Voc))
+			}
+		}
+		if ddrHolds, _ := ddr.InferFormula(d, f); ddrHolds {
+			if g, _ := gcwa.InferFormula(d, f); !g {
+				t.Fatalf("iter %d: DDR infers but GCWA does not\n%sF: %s",
+					iter, d.String(), f.String(d.Voc))
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package disjunct_test
+
+// Edge-case hardening: every registered semantics must behave sanely
+// (no panics, consistent verdicts) on degenerate inputs — the empty
+// database, databases with unused vocabulary atoms, tautological and
+// contradictory queries, and single-clause extremes.
+
+import (
+	"testing"
+
+	"disjunct"
+)
+
+func allSemantics(t *testing.T) map[string]disjunct.Semantics {
+	t.Helper()
+	out := map[string]disjunct.Semantics{}
+	for _, name := range disjunct.SemanticsNames() {
+		s, ok := disjunct.NewSemantics(name, disjunct.Options{})
+		if !ok {
+			t.Fatalf("cannot instantiate %s", name)
+		}
+		out[name] = s
+	}
+	return out
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	d := disjunct.NewDB()
+	for name, s := range allSemantics(t) {
+		ok, err := s.HasModel(d)
+		if err != nil {
+			t.Errorf("%s: HasModel on empty DB: %v", name, err)
+			continue
+		}
+		if !ok {
+			t.Errorf("%s: the empty DB must have a model (the empty one)", name)
+		}
+		n, err := s.Models(d, 4, func(m disjunct.Interp) bool { return true })
+		if err != nil {
+			t.Errorf("%s: Models: %v", name, err)
+		}
+		if n != 1 {
+			t.Errorf("%s: empty DB over empty vocabulary has %d models, want 1", name, n)
+		}
+	}
+}
+
+func TestUnusedVocabularyAtoms(t *testing.T) {
+	// The paper fixes V independently of DB: atoms outside the clauses
+	// must be closed off by every closed-world semantics.
+	d := disjunct.MustParse("a.")
+	ghost := d.Voc.Intern("ghost")
+	for name, s := range allSemantics(t) {
+		got, err := s.InferLiteral(d, disjunct.NegLit(ghost))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !got {
+			t.Errorf("%s: ¬ghost must be inferred for an unused atom", name)
+		}
+	}
+}
+
+func TestTautologyAndContradictionQueries(t *testing.T) {
+	d := disjunct.MustParse("a | b.")
+	taut := disjunct.MustParseFormula("a | -a", d.Voc)
+	contra := disjunct.MustParseFormula("a & -a", d.Voc)
+	for name, s := range allSemantics(t) {
+		if name == "PDSM" {
+			continue // 3-valued: a ∨ ¬a is not a tautology (value ½)
+		}
+		if got, err := s.InferFormula(d, taut); err != nil || !got {
+			t.Errorf("%s: tautology not inferred (%v, %v)", name, got, err)
+		}
+		if name == "CWA" {
+			continue // CWA(a∨b) is inconsistent: entails everything
+		}
+		if got, err := s.InferFormula(d, contra); err != nil || got {
+			t.Errorf("%s: contradiction inferred (%v, %v)", name, got, err)
+		}
+	}
+}
+
+func TestSingleFactDatabase(t *testing.T) {
+	d := disjunct.MustParse("a.")
+	a, _ := d.Voc.Lookup("a")
+	for name, s := range allSemantics(t) {
+		if got, err := s.InferLiteral(d, disjunct.PosLit(a)); err != nil || !got {
+			t.Errorf("%s: fact not inferred (%v, %v)", name, got, err)
+		}
+		count, err := s.Models(d, 0, func(disjunct.Interp) bool { return true })
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if count != 1 {
+			t.Errorf("%s: single-fact DB has %d models, want 1", name, count)
+		}
+	}
+}
+
+func TestInconsistentDatabaseEntailsEverything(t *testing.T) {
+	d := disjunct.MustParse("a. :- a.")
+	q := disjunct.MustParseFormula("a & -a", d.Voc)
+	for name, s := range allSemantics(t) {
+		got, err := s.InferFormula(d, q)
+		if err == disjunct.ErrUnsupported || err == disjunct.ErrNotStratifiable {
+			continue // PERF/ICWA reject denials by class
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !got {
+			t.Errorf("%s: inconsistent DB must entail everything (empty model set)", name)
+		}
+	}
+}
+
+func TestModelsLimitRespected(t *testing.T) {
+	d := disjunct.MustParse("a | b. c | e.")
+	for name, s := range allSemantics(t) {
+		n, err := s.Models(d, 2, func(disjunct.Interp) bool { return true })
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if n > 2 {
+			t.Errorf("%s: limit 2 ignored, yielded %d", name, n)
+		}
+	}
+}
+
+func TestYieldFalseStopsEnumeration(t *testing.T) {
+	d := disjunct.MustParse("a | b. c | e.")
+	for name, s := range allSemantics(t) {
+		calls := 0
+		if _, err := s.Models(d, 0, func(disjunct.Interp) bool {
+			calls++
+			return false
+		}); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if calls > 1 {
+			t.Errorf("%s: yield=false ignored (%d calls)", name, calls)
+		}
+	}
+}

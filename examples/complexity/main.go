@@ -1,0 +1,81 @@
+// Complexity: watch the paper's Tables 1 and 2 happen live. This
+// example runs the same query under several semantics while metering
+// the instrumented oracle, showing the separation the paper proves:
+//
+//   - DDR/PWS negative-literal inference on a positive DDB: ZERO
+//     oracle calls (the only tractable cells);
+//   - GCWA literal inference: NP-oracle (SAT) calls — the Π₂ᵖ regime;
+//   - GCWA formula inference via the Δ-log algorithm: O(log n) calls
+//     to the Σ₂ᵖ oracle;
+//   - model existence on a positive DDB: O(1), no oracle at all.
+//
+// Run with: go run ./examples/complexity
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disjunct"
+	"disjunct/internal/core"
+	"disjunct/internal/gen"
+	"disjunct/internal/semantics/gcwa"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	d := gen.Random(rng, gen.Positive(24, 48))
+	fmt.Printf("random positive DDB: %d atoms, %d clauses\n\n", d.N(), len(d.Clauses))
+	x, _ := d.Voc.Lookup("p3")
+
+	fmt.Println("literal inference of ¬p3:")
+	for _, name := range []string{"DDR", "PWS", "GCWA", "EGCWA"} {
+		o := disjunct.NewOracle()
+		s, _ := disjunct.NewSemantics(name, disjunct.Options{Oracle: o})
+		holds, err := s.InferLiteral(d, disjunct.NegLit(x))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-6s ⊨ ¬p3 : %-5v  oracle: %s\n", name, holds, o.Counters())
+	}
+
+	fmt.Println("\nmodel existence (Table 1 column 3 — all O(1)):")
+	for _, name := range []string{"GCWA", "DDR", "DSM", "PERF"} {
+		o := disjunct.NewOracle()
+		s, _ := disjunct.NewSemantics(name, disjunct.Options{Oracle: o})
+		ok, _ := s.HasModel(d)
+		fmt.Printf("  %-6s ∃model : %-5v  oracle: %s\n", name, ok, o.Counters())
+	}
+
+	fmt.Println("\nGCWA formula inference, direct vs Δ-log (P^Σ₂ᵖ[O(log n)]):")
+	f := disjunct.MustParseFormula("p0 | -p1 | (p2 & -p3)", d.Voc)
+	{
+		o := disjunct.NewOracle()
+		g := gcwa.New(core.Options{Oracle: o})
+		holds, _ := g.InferFormula(d, f)
+		fmt.Printf("  direct : %-5v  oracle: %s\n", holds, o.Counters())
+	}
+	{
+		o := disjunct.NewOracle()
+		g := gcwa.New(core.Options{Oracle: o})
+		holds, _ := g.InferFormulaDeltaLog(d, f)
+		c := o.Counters()
+		fmt.Printf("  Δ-log  : %-5v  oracle: %s  (budget: ⌈log₂(%d+1)⌉+1 = %d Σ₂ᵖ calls)\n",
+			holds, c, d.N(), ceilLog2(d.N()+1)+1)
+	}
+
+	fmt.Println(`
+The Δ-log run pays more SAT calls inside its Σ₂ᵖ CEGAR queries, but
+the *Σ₂ᵖ-oracle count* — the resource the complexity class P^Σ₂ᵖ[O(log n)]
+measures — stays logarithmic in the number of atoms. That trade is
+exactly what the GCWA/CCWA formula rows of Tables 1 and 2 assert.`)
+}
+
+func ceilLog2(x int) int {
+	c, v := 0, 1
+	for v < x {
+		v *= 2
+		c++
+	}
+	return c
+}

@@ -1,0 +1,78 @@
+// Datalog: the non-ground front end. The paper analyses propositional
+// ("grounded") databases; real disjunctive deductive databases are
+// written with variables and grounded first. This example writes the
+// classic two-player game ("a position is winning if some move leads
+// to a losing position") and a disjunctive scheduling toy, grounds
+// them, and queries the result under the stable and closed-world
+// semantics.
+//
+// Run with: go run ./examples/datalog
+package main
+
+import (
+	"fmt"
+
+	"disjunct"
+)
+
+func main() {
+	// The win/lose game on a small DAG of positions. "win(X)" holds if
+	// some move from X reaches a position that is not winning — the
+	// textbook use of default negation (locally stratified here since
+	// the move graph is acyclic).
+	game := disjunct.MustParseProgram(`
+		move(a, b).  move(b, c).  move(c, d).
+		move(a, e).  move(e, d).
+		win(X) :- move(X, Y), not win(Y).
+	`)
+	fmt.Printf("game grounding: %d atoms, %d clauses\n", game.N(), len(game.Clauses))
+
+	dsm, _ := disjunct.NewSemantics("DSM", disjunct.Options{})
+	fmt.Println("positions (d is terminal → losing):")
+	for _, pos := range []string{"a", "b", "c", "d", "e"} {
+		atomName := "win(" + pos + ")"
+		a, ok := game.Voc.Lookup(atomName)
+		if !ok {
+			fmt.Printf("  %s: losing (no winning derivation exists at all)\n", pos)
+			continue
+		}
+		won, err := dsm.InferLiteral(game, disjunct.PosLit(a))
+		if err != nil {
+			panic(err)
+		}
+		lost, _ := dsm.InferLiteral(game, disjunct.NegLit(a))
+		state := "undetermined"
+		if won {
+			state = "WINNING"
+		} else if lost {
+			state = "losing"
+		}
+		fmt.Printf("  %s: %s\n", pos, state)
+	}
+
+	// Disjunctive scheduling: each task runs on one of two machines;
+	// conflicting tasks may not share a machine.
+	sched := disjunct.MustParseProgram(`
+		task(t1). task(t2). task(t3).
+		conflict(t1, t2).
+		conflict(t2, t3).
+		on_m1(X) | on_m2(X) :- task(X).
+		:- conflict(X, Y), on_m1(X), on_m1(Y).
+		:- conflict(X, Y), on_m2(X), on_m2(Y).
+	`)
+	fmt.Printf("\nscheduling grounding: %d atoms, %d clauses\n", sched.N(), len(sched.Clauses))
+	count, err := dsm.Models(sched, 0, func(m disjunct.Interp) bool {
+		fmt.Println("  schedule:", m.String(sched.Voc))
+		return true
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("(%d feasible schedules)\n", count)
+
+	// And a closed-world query: must t1 and t3 share a machine?
+	f := disjunct.MustParseFormula(
+		"(on_m1(t1) & on_m1(t3)) | (on_m2(t1) & on_m2(t3))", sched.Voc)
+	holds, _ := dsm.InferFormula(sched, f)
+	fmt.Printf("t1 and t3 always share a machine: %v\n", holds)
+}

@@ -1,0 +1,99 @@
+// Diagnosis: model-based diagnosis of a small boolean circuit via
+// circumscription (ECWA ≡ CIRC with a ⟨P;Q;Z⟩ partition) — the classic
+// application the paper's CCWA/ECWA machinery was designed for.
+//
+// The circuit: two inverters in series, in → g1 → mid → g2 → out.
+// With both gates healthy, two inversions give out = in; the observed
+// in = 1, out = 0 is therefore inconsistent with a fully working
+// circuit. Minimising the abnormality atoms (P = {ab1, ab2}) while
+// letting the internal lines vary (Z) yields the minimal diagnoses.
+//
+// Run with: go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+
+	"disjunct"
+)
+
+func main() {
+	// Gate behaviour as clauses. A working inverter flips its input;
+	// an abnormal gate is unconstrained. "not" here is default
+	// negation compiled away by hand into the positive encoding with
+	// complementary line atoms: lineX / lineX_low.
+	//
+	// Atoms:
+	//   in_hi, mid_hi, mid_lo, out_hi, out_lo — line values
+	//   ab1, ab2 — abnormality of the gates
+	d := disjunct.MustParse(`
+		% observations: input high, output LOW is the faulty case we probe
+		in_hi.
+		out_lo.
+
+		% each line has some value
+		mid_hi | mid_lo.
+		out_hi | out_lo.
+
+		% g1 (inverter): if normal, mid is the complement of in.
+		% "normal" is encoded disjunctively: either the gate is abnormal
+		% or its behaviour holds.
+		ab1 | mid_lo :- in_hi.
+
+		% g2 (inverter): if normal, out complements mid.
+		ab2 | out_lo :- mid_hi.
+		ab2 | out_hi :- mid_lo.
+
+		% value exclusivity
+		:- mid_hi, mid_lo.
+		:- out_hi, out_lo.
+	`)
+
+	voc := d.Voc
+	atom := func(name string) disjunct.Atom {
+		a, ok := voc.Lookup(name)
+		if !ok {
+			panic("unknown atom " + name)
+		}
+		return a
+	}
+
+	// Circumscribe the abnormality atoms, vary the internal lines,
+	// fix the observations.
+	p := []disjunct.Atom{atom("ab1"), atom("ab2")}
+	z := []disjunct.Atom{atom("mid_hi"), atom("mid_lo"), atom("out_hi")}
+	part := disjunct.NewPartition(d.N(), p, z)
+
+	circ, _ := disjunct.NewSemantics("CIRC", disjunct.Options{Partition: &part})
+
+	fmt.Println("Circuit database:")
+	fmt.Print(d)
+	fmt.Println("\nMinimal diagnoses (models of CIRC, projected to ab1/ab2):")
+	seen := map[string]bool{}
+	if _, err := circ.Models(d, 0, func(m disjunct.Interp) bool {
+		key := fmt.Sprintf("ab1=%v ab2=%v", m.Holds(atom("ab1")), m.Holds(atom("ab2")))
+		if !seen[key] {
+			seen[key] = true
+			fmt.Println(" ", key, "   full model:", m.String(voc))
+		}
+		return true
+	}); err != nil {
+		panic(err)
+	}
+
+	// Diagnostic queries under circumscription.
+	for _, q := range []string{"ab1 | ab2", "ab1 & ab2", "-(ab1 & ab2)", "ab1", "ab2"} {
+		f := disjunct.MustParseFormula(q, voc)
+		holds, err := circ.InferFormula(d, f)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("CIRC ⊨ %-14s : %v\n", q, holds)
+	}
+
+	fmt.Println(`
+Interpretation: the observation (in=1, out=0) with two inverters in
+series is explained by exactly one faulty gate — circumscription infers
+"ab1 ∨ ab2" (some gate broke) and "¬(ab1 ∧ ab2)" (minimality: assuming
+both broken is never necessary), but refuses to pin down which one.`)
+}

@@ -1,0 +1,98 @@
+package disjunct_test
+
+import (
+	"testing"
+
+	"disjunct"
+	"disjunct/internal/logic"
+)
+
+func TestUniqueMinimalModelFacade(t *testing.T) {
+	d := disjunct.MustParse("a. b :- a.")
+	ok, m := disjunct.UniqueMinimalModel(d)
+	if !ok {
+		t.Fatalf("Horn DB must have a unique minimal model")
+	}
+	if m.String(d.Voc) != "{a, b}" {
+		t.Fatalf("unique minimal model = %s", m.String(d.Voc))
+	}
+	if ok, _ := disjunct.UniqueMinimalModel(disjunct.MustParse("a | b.")); ok {
+		t.Fatalf("a|b has two minimal models")
+	}
+}
+
+func TestWellFoundedFacade(t *testing.T) {
+	d := disjunct.MustParse("a :- not b.")
+	p, ok := disjunct.WellFounded(d)
+	if !ok {
+		t.Fatalf("NLP rejected")
+	}
+	a, _ := d.Voc.Lookup("a")
+	if !p.IsTotal() || !p.Total().Holds(a) {
+		t.Fatalf("well-founded model wrong: %s", p.String(d.Voc))
+	}
+	if _, ok := disjunct.WellFounded(disjunct.MustParse("a | b.")); ok {
+		t.Fatalf("disjunctive DB must be rejected by WellFounded")
+	}
+}
+
+func TestCredulousFacade(t *testing.T) {
+	d := disjunct.MustParse("a | b.")
+	s, _ := disjunct.NewSemantics("EGCWA", disjunct.Options{})
+	a, _ := d.Voc.Lookup("a")
+	cred, err := disjunct.CredulousLiteral(s, d, disjunct.PosLit(a))
+	if err != nil || !cred {
+		t.Fatalf("a credulously holds in some minimal model: %v %v", cred, err)
+	}
+	f := disjunct.MustParseFormula("a & b", d.Voc)
+	cred, _ = disjunct.CredulousFormula(s, d, f)
+	if cred {
+		t.Fatalf("a∧b holds in no minimal model")
+	}
+}
+
+func TestCheckModelFacade(t *testing.T) {
+	d := disjunct.MustParse("a | b.")
+	s, _ := disjunct.NewSemantics("EGCWA", disjunct.Options{})
+	a, _ := d.Voc.Lookup("a")
+	b, _ := d.Voc.Lookup("b")
+
+	if ok, _ := disjunct.CheckModel(s, d, logic.InterpOf(d.N(), a)); !ok {
+		t.Fatalf("{a} is a minimal model")
+	}
+	if ok, _ := disjunct.CheckModel(s, d, logic.InterpOf(d.N(), a, b)); ok {
+		t.Fatalf("{a,b} is not minimal")
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p(X).",          // unsafe
+		"p(a",            // syntax
+		"p(a). p(a, b).", // arity clash
+	} {
+		if _, err := disjunct.ParseProgram(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParseProgram must panic on bad input")
+		}
+	}()
+	disjunct.MustParseProgram("p(X).")
+}
+
+func TestDDRAndPWSNamesResolve(t *testing.T) {
+	for _, pair := range [][2]string{{"DDR", "WGCWA"}, {"PWS", "PMS"}, {"ECWA", "CIRC"}} {
+		a, _ := disjunct.NewSemantics(pair[0], disjunct.Options{})
+		b, _ := disjunct.NewSemantics(pair[1], disjunct.Options{})
+		d := disjunct.MustParse("a | b. c :- a, b.")
+		f := disjunct.MustParseFormula("-c", d.Voc)
+		ra, _ := a.InferFormula(d, f)
+		rb, _ := b.InferFormula(d, f)
+		if ra != rb {
+			t.Fatalf("%s and %s disagree — they must be the same semantics", pair[0], pair[1])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module disjunct
+
+go 1.22

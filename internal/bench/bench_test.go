@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAuditClean(t *testing.T) {
+	if errs := Audit(); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	res, err := RunTable1(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every semantics must contribute a literal, a formula and an
+	// exists cell.
+	counts := map[Task]int{}
+	for _, r := range res {
+		counts[r.Task]++
+		if len(r.Sweep) == 0 {
+			t.Errorf("cell %s/%s has no measurements", r.Semantics, r.Task)
+		}
+	}
+	if counts[TaskLiteral] != 10 || counts[TaskFormula] != 10 || counts[TaskExists] != 10 {
+		t.Fatalf("cell counts wrong: %v", counts)
+	}
+	// Tractable cells: zero oracle usage.
+	for _, r := range res {
+		if r.Claimed == cInP || r.Claimed == cO1 {
+			for _, m := range r.Sweep {
+				if m.NPCalls != 0 || m.Sigma2 != 0 {
+					t.Errorf("cell %s/%s claims %s but used oracle calls (%v NP, %v Σ₂)",
+						r.Semantics, r.Task, r.Claimed, m.NPCalls, m.Sigma2)
+				}
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, res)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Fatalf("report missing header")
+	}
+}
+
+func TestRunTable2Quick(t *testing.T) {
+	res, err := RunTable2(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Task]int{}
+	for _, r := range res {
+		counts[r.Task]++
+	}
+	if counts[TaskLiteral] != 10 || counts[TaskFormula] != 10 || counts[TaskExists] != 10 {
+		t.Fatalf("cell counts wrong: %v", counts)
+	}
+	// The Δ-log cells must respect the Σ₂ᵖ-call budget.
+	for _, r := range res {
+		if r.Claimed != cPi2DL {
+			continue
+		}
+		for _, m := range r.Sweep {
+			budget := float64(ceilLog2(m.Size+1) + 1)
+			if m.Sigma2 > budget {
+				t.Errorf("Δ-log cell %s size %d: %.1f Σ₂ᵖ calls (budget %.0f)",
+					r.Semantics, m.Size, m.Sigma2, budget)
+			}
+		}
+	}
+}
+
+func TestRunAux(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAux(Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"UMINSAT", "Example 3.1", "DDR", "PWS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("aux report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCrossover(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunCrossover(Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[1]", "[2]", "[3]", "GCWA", "Δ-log"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("crossover report missing %q", want)
+		}
+	}
+}
+
+func TestWriteClaims(t *testing.T) {
+	var buf bytes.Buffer
+	WriteClaims(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Table 2", "GCWA", "PDSM", "∃ model", "Σᵖ₂-complete"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("claims table missing %q", want)
+		}
+	}
+}

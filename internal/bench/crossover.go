@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/qbf"
+	"disjunct/internal/reduction"
+	"disjunct/internal/semantics/gcwa"
+)
+
+// RunCrossover prints head-to-head series: the same task on the same
+// instances under several semantics, showing WHO WINS and by what
+// factor — the qualitative shape a complexity table predicts. Three
+// series:
+//
+//  1. Negative-literal inference on growing positive DDBs: the
+//     tractable DDR/PWS stay polynomial and flat; the Π₂ᵖ semantics
+//     (GCWA, EGCWA) pay oracle calls that grow with instance size.
+//  2. The same on the Theorem 3.1 QBF family, where the Π₂ᵖ engines
+//     face their worst case while DDR/PWS remain indifferent.
+//  3. Formula inference under GCWA, direct closure computation vs the
+//     Δ-log algorithm: wall-clock crossover vs oracle-call trade.
+func RunCrossover(scale Scale, w io.Writer) error {
+	fmt.Fprintln(w, "Head-to-head series (who wins, and by how much)")
+	fmt.Fprintln(w, "===============================================")
+
+	reps := scale.reps(3, 6)
+
+	// --- Series 1: random positive DDBs --------------------------------
+	fmt.Fprintln(w, "\n[1] ¬x inference on random positive DDBs (mean per query)")
+	sems := []string{"DDR", "PWS", "GCWA", "EGCWA"}
+	fmt.Fprintf(w, "  %6s", "n")
+	for _, s := range sems {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+	for _, n := range scale.pick([]int{20, 40}, []int{20, 40, 60}) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		dbs := make([]*dbWithLit, reps)
+		for i := range dbs {
+			d := gen.Random(rng, gen.Positive(n, 2*n))
+			dbs[i] = &dbWithLit{d: d, l: logic.NegLit(logic.Atom(rng.Intn(n)))}
+		}
+		fmt.Fprintf(w, "  %6d", n)
+		for _, name := range sems {
+			s, _ := newSem(name, core.Options{})
+			start := time.Now()
+			for _, in := range dbs {
+				if _, err := s.InferLiteral(in.d, in.l); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, " %12s", fmtDuration(time.Since(start)/time.Duration(reps)))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "  shape: DDR/PWS polynomial and oracle-free; GCWA/EGCWA pay the")
+	fmt.Fprintln(w, "  minimal-model co-search — the Table 1 literal column.")
+
+	// --- Series 2: the QBF reduction family ----------------------------
+	fmt.Fprintln(w, "\n[2] ¬w inference on the Theorem 3.1 family (size = #∃ = #∀ vars)")
+	fmt.Fprintf(w, "  %6s %12s %12s %12s\n", "size", "DDR", "GCWA", "DSM")
+	for _, k := range scale.pick([]int{2, 3}, []int{2, 3, 4, 5}) {
+		rng := rand.New(rand.NewSource(int64(k)))
+		insts := make([]*dbWithLit, reps)
+		for i := range insts {
+			q := qbf.Random3DNF(rng, k, k, 2*k)
+			d, wAtom, err := reduction.MMNegLiteralFromQBF(q)
+			if err != nil {
+				return err
+			}
+			insts[i] = &dbWithLit{d: d, l: logic.NegLit(wAtom)}
+		}
+		fmt.Fprintf(w, "  %6d", k)
+		for _, name := range []string{"DDR", "GCWA", "DSM"} {
+			s, _ := newSem(name, core.Options{})
+			start := time.Now()
+			for _, in := range insts {
+				if _, err := s.InferLiteral(in.d, in.l); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(w, " %12s", fmtDuration(time.Since(start)/time.Duration(reps)))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "  shape: DDR's verdict is cheap AND different — it never infers ¬w")
+	fmt.Fprintln(w, "  on this family (w always occurs), which is exactly why its cell")
+	fmt.Fprintln(w, "  is tractable: it answers a weaker question.")
+
+	// --- Series 3: GCWA formula inference, direct vs Δ-log -------------
+	fmt.Fprintln(w, "\n[3] GCWA formula inference: direct closure vs Δ-log")
+	fmt.Fprintf(w, "  %6s %12s %14s %12s %14s\n", "n", "direct", "direct-NP", "Δ-log", "Δ-log-Σ₂ᵖ")
+	for _, n := range scale.pick([]int{6, 10}, []int{6, 10, 14}) {
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := gen.Random(rng, gen.Positive(n, 2*n))
+		f := randomQuery(rng, d, 2)
+
+		sd, od := newSem("GCWA", core.Options{})
+		start := time.Now()
+		if _, err := sd.InferFormula(d, f); err != nil {
+			return err
+		}
+		directT := time.Since(start)
+		directNP := od.Counters().NPCalls
+
+		ol := coreOracle()
+		gl := gcwa.New(core.Options{Oracle: ol})
+		start = time.Now()
+		if _, err := gl.InferFormulaDeltaLog(d, f); err != nil {
+			return err
+		}
+		dlT := time.Since(start)
+		dlS2 := ol.Counters().Sigma2Calls
+
+		fmt.Fprintf(w, "  %6d %12s %14d %12s %14d\n",
+			n, fmtDuration(directT), directNP, fmtDuration(dlT), dlS2)
+	}
+	fmt.Fprintln(w, "  shape: the Δ-log algorithm trades wall-clock for a logarithmic")
+	fmt.Fprintln(w, "  Σ₂ᵖ-oracle budget — the complexity-theoretic resource of the cell.")
+	return nil
+}
+
+type dbWithLit struct {
+	d *db.DB
+	l logic.Lit
+}

@@ -1,0 +1,520 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/qbf"
+	"disjunct/internal/reduction"
+	"disjunct/internal/semantics/ccwa"
+	"disjunct/internal/semantics/gcwa"
+
+	// Register the remaining semantics with the core registry.
+	_ "disjunct/internal/semantics/ddr"
+	_ "disjunct/internal/semantics/dsm"
+	_ "disjunct/internal/semantics/ecwa"
+	_ "disjunct/internal/semantics/egcwa"
+	_ "disjunct/internal/semantics/icwa"
+	_ "disjunct/internal/semantics/pdsm"
+	_ "disjunct/internal/semantics/perf"
+	_ "disjunct/internal/semantics/pws"
+)
+
+// Scale tunes how large the sweeps run.
+type Scale int
+
+// Sweep scales.
+const (
+	// Quick keeps every sweep small enough for CI (≈ seconds).
+	Quick Scale = iota
+	// Full runs the paper-report sweeps (≈ minutes).
+	Full
+)
+
+func (s Scale) pick(quick, full []int) []int {
+	if s == Quick {
+		return quick
+	}
+	return full
+}
+
+func (s Scale) reps(quick, full int) int {
+	if s == Quick {
+		return quick
+	}
+	return full
+}
+
+// claimed complexity classes (reconstructed Tables 1 and 2; DESIGN.md §4).
+const (
+	cPi2   = "Πᵖ₂-complete"
+	cPi2DL = "Πᵖ₂-hard, in P^Σᵖ₂[O(log n)]"
+	cInP   = "in P (Chan)"
+	cCoNP  = "coNP-complete"
+	cNP    = "NP-complete"
+	cSig2  = "Σᵖ₂-complete"
+	cO1    = "O(1)"
+)
+
+// RunTable1 collects every Table 1 cell.
+func RunTable1(scale Scale) ([]CellResult, error) {
+	var out []CellResult
+	add := func(r CellResult, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+
+	reps := scale.reps(2, 5)
+
+	// --- literal inference -------------------------------------------------
+	// Π₂ᵖ rows: QBF-reduction family (Theorem 3.1) for GCWA, EGCWA,
+	// ECWA, CCWA, ICWA, PERF, DSM; smaller sizes for PDSM.
+	pi2Lit := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(1, sem, TaskLiteral, cPi2,
+			"InferLiteral(¬w) on the Theorem 3.1 QBF family (size = #∃ = #∀ vars)", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					q := qbf.Random3DNF(rng, size, size, 2*size)
+					d, w, err := reduction.MMNegLiteralFromQBF(q)
+					if err != nil {
+						panic(err)
+					}
+					return Instance{DB: d, Lit: logic.NegLit(w)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferLiteral(inst.DB, inst.Lit)
+					return err
+				},
+			}))
+	}
+	mid := scale.pick([]int{2, 3}, []int{2, 3, 4, 5, 6})
+	tiny := scale.pick([]int{1, 2}, []int{1, 2})
+	for _, sem := range []string{"GCWA", "EGCWA", "ECWA", "CCWA", "ICWA", "PERF", "DSM"} {
+		if err := pi2Lit(sem, mid); err != nil {
+			return nil, err
+		}
+	}
+	if err := pi2Lit("PDSM", tiny); err != nil {
+		return nil, err
+	}
+	// mark hardness validation on the reduction rows
+	for i := range out {
+		out[i].Hardness = "QBF→¬w reduction validated against reference solver (see reduction tests)"
+	}
+
+	// P rows: DDR and PWS negative-literal inference, zero oracle calls.
+	polyLit := func(sem string) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(1, sem, TaskLiteral, cInP,
+			"InferLiteral(¬x) on random positive DDBs — polynomial fixpoint, zero oracle calls", o, Runner{
+				Sizes: scale.pick([]int{50, 100}, []int{100, 200, 400, 800, 1600}), Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					d := gen.Random(rng, gen.Positive(size, 2*size))
+					return Instance{DB: d, Lit: logic.NegLit(logic.Atom(rng.Intn(size)))}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferLiteral(inst.DB, inst.Lit)
+					return err
+				},
+			}))
+	}
+	if err := polyLit("DDR"); err != nil {
+		return nil, err
+	}
+	if err := polyLit("PWS"); err != nil {
+		return nil, err
+	}
+
+	// --- formula inference -------------------------------------------------
+	// Δ-log rows: GCWA and CCWA via the O(log n)-Σ₂ᵖ-call algorithm.
+	if err := add(runDeltaLog(1, "GCWA", scale, reps, func(rng *rand.Rand, size int) *db.DB {
+		return gen.Random(rng, gen.Positive(size, 2*size))
+	})); err != nil {
+		return nil, err
+	}
+	if err := add(runDeltaLog(1, "CCWA", scale, reps, func(rng *rand.Rand, size int) *db.DB {
+		return gen.Random(rng, gen.Positive(size, 2*size))
+	})); err != nil {
+		return nil, err
+	}
+
+	// Π₂ᵖ-complete formula rows.
+	pi2Form := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(1, sem, TaskFormula, cPi2,
+			"InferFormula (minimal/stable/perfect-model co-search) on random positive DDBs", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					d := gen.Random(rng, gen.Positive(size, 2*size))
+					return Instance{DB: d, Formula: randomQuery(rng, d, 3)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferFormula(inst.DB, inst.Formula)
+					return err
+				},
+			}))
+	}
+	for _, sem := range []string{"EGCWA", "ECWA", "ICWA", "PERF", "DSM"} {
+		if err := pi2Form(sem, scale.pick([]int{8, 12}, []int{8, 12, 16, 20})); err != nil {
+			return nil, err
+		}
+	}
+	if err := pi2Form("PDSM", scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+
+	// coNP formula rows: DDR/PWS on the UNSAT-reduction family.
+	coNPForm := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(1, sem, TaskFormula, cCoNP,
+			"InferFormula on the UNSAT-reduction family (size = #CNF vars)", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					cnf := reduction.RandomCNF(rng, size, 4*size, 3)
+					d, f := reduction.FormulaInferenceFromUNSAT(cnf, size)
+					return Instance{DB: d, Formula: f}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferFormula(inst.DB, inst.Formula)
+					return err
+				},
+			}))
+	}
+	if err := coNPForm("DDR", scale.pick([]int{8, 12}, []int{8, 16, 32, 64})); err != nil {
+		return nil, err
+	}
+	if err := coNPForm("PWS", scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+
+	// --- model existence ---------------------------------------------------
+	// Every Table 1 cell is O(1): positive DDBs are always consistent
+	// under each semantics; the evidence is zero oracle calls at any
+	// size.
+	for _, sem := range []string{"GCWA", "DDR", "PWS", "EGCWA", "CCWA", "ECWA", "ICWA", "PERF", "DSM", "PDSM"} {
+		s, o := newSem(sem, core.Options{})
+		if err := add(RunCell(1, sem, TaskExists, cO1,
+			"HasModel on random positive DDBs — constantly true, zero oracle calls", o, Runner{
+				Sizes: scale.pick([]int{50, 200}, []int{100, 400, 1600}), Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					return Instance{DB: gen.Random(rng, gen.Positive(size, 2*size))}
+				},
+				Decide: func(inst Instance) error {
+					ok, err := s.HasModel(inst.DB)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("positive DDB reported inconsistent under %s", sem)
+					}
+					return nil
+				},
+			})); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runDeltaLog measures the P^Σ₂ᵖ[O(log n)] formula-inference algorithm
+// for GCWA/CCWA; the Σ₂ᵖ-call column must stay ≤ ⌈log₂(n+1)⌉ + 1.
+func runDeltaLog(table int, sem string, scale Scale, reps int, mk func(*rand.Rand, int) *db.DB) (CellResult, error) {
+	var gsem interface {
+		InferFormulaDeltaLog(*db.DB, *logic.Formula) (bool, error)
+	}
+	o := coreOracle()
+	switch sem {
+	case "GCWA":
+		gsem = gcwa.New(core.Options{Oracle: o})
+	case "CCWA":
+		gsem = ccwa.New(core.Options{Oracle: o})
+	default:
+		panic("deltalog: " + sem)
+	}
+	return RunCell(table, sem, TaskFormula, cPi2DL,
+		"InferFormulaDeltaLog: binary search with O(log n) Σ₂ᵖ-oracle calls", o, Runner{
+			Sizes: scale.pick([]int{4, 6}, []int{4, 6, 8, 10, 12, 14}), Instances: reps,
+			MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+				d := mk(rng, size)
+				return Instance{DB: d, Formula: randomQuery(rng, d, 2)}
+			},
+			Decide: func(inst Instance) error {
+				_, err := gsem.InferFormulaDeltaLog(inst.DB, inst.Formula)
+				return err
+			},
+		})
+}
+
+// RunTable2 collects every Table 2 cell.
+func RunTable2(scale Scale) ([]CellResult, error) {
+	var out []CellResult
+	add := func(r CellResult, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+	reps := scale.reps(2, 5)
+
+	// --- literal inference -------------------------------------------------
+	pi2Lit := func(sem string, mk func(*rand.Rand, int) *db.DB, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskLiteral, cPi2,
+			"InferLiteral on random DBs of the semantics' class", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					d := mk(rng, size)
+					return Instance{DB: d, Lit: logic.NegLit(logic.Atom(rng.Intn(d.N())))}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferLiteral(inst.DB, inst.Lit)
+					return err
+				},
+			}))
+	}
+	withIC := func(rng *rand.Rand, size int) *db.DB {
+		return gen.Random(rng, gen.WithIntegrity(size, 2*size))
+	}
+	noICNeg := func(rng *rand.Rand, size int) *db.DB {
+		return gen.Random(rng, gen.NormalNoIC(size, 2*size))
+	}
+	stratified := func(rng *rand.Rand, size int) *db.DB {
+		return gen.RandomStratified(rng, size, 2*size, 3)
+	}
+	midSizes := scale.pick([]int{8, 12}, []int{8, 12, 16, 20})
+	for _, sem := range []string{"GCWA", "EGCWA", "ECWA", "CCWA"} {
+		if err := pi2Lit(sem, withIC, midSizes); err != nil {
+			return nil, err
+		}
+	}
+	if err := pi2Lit("ICWA", stratified, scale.pick([]int{8, 12}, []int{8, 12, 16})); err != nil {
+		return nil, err
+	}
+	if err := pi2Lit("PERF", noICNeg, scale.pick([]int{6, 9}, []int{6, 9, 12})); err != nil {
+		return nil, err
+	}
+	if err := pi2Lit("DSM", noICNeg, scale.pick([]int{6, 9}, []int{6, 9, 12})); err != nil {
+		return nil, err
+	}
+	if err := pi2Lit("PDSM", noICNeg, scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+
+	// coNP literal rows: DDR/PWS on Chan's IC reduction.
+	coNPLit := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskLiteral, cCoNP,
+			"InferLiteral(¬w) on the UNSAT-with-ICs family (size = #CNF vars)", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					cnf := reduction.RandomCNF(rng, size, 4*size, 3)
+					d, w := reduction.LiteralInferenceFromUNSATWithICs(cnf, size)
+					return Instance{DB: d, Lit: logic.NegLit(w)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferLiteral(inst.DB, inst.Lit)
+					return err
+				},
+			}))
+	}
+	if err := coNPLit("DDR", scale.pick([]int{8, 12}, []int{8, 16, 24, 32})); err != nil {
+		return nil, err
+	}
+	if err := coNPLit("PWS", scale.pick([]int{3, 5}, []int{3, 5, 7})); err != nil {
+		return nil, err
+	}
+
+	// --- formula inference -------------------------------------------------
+	if err := add(runDeltaLog(2, "GCWA", scale, reps, withIC)); err != nil {
+		return nil, err
+	}
+	if err := add(runDeltaLog(2, "CCWA", scale, reps, withIC)); err != nil {
+		return nil, err
+	}
+	pi2Form := func(sem string, mk func(*rand.Rand, int) *db.DB, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskFormula, cPi2,
+			"InferFormula on random DBs of the semantics' class", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					d := mk(rng, size)
+					return Instance{DB: d, Formula: randomQuery(rng, d, 3)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferFormula(inst.DB, inst.Formula)
+					return err
+				},
+			}))
+	}
+	for _, sem := range []string{"EGCWA", "ECWA"} {
+		if err := pi2Form(sem, withIC, midSizes); err != nil {
+			return nil, err
+		}
+	}
+	if err := pi2Form("ICWA", stratified, scale.pick([]int{8, 12}, []int{8, 12, 16})); err != nil {
+		return nil, err
+	}
+	if err := pi2Form("PERF", noICNeg, scale.pick([]int{6, 9}, []int{6, 9, 12})); err != nil {
+		return nil, err
+	}
+	if err := pi2Form("DSM", noICNeg, scale.pick([]int{6, 9}, []int{6, 9, 12})); err != nil {
+		return nil, err
+	}
+	if err := pi2Form("PDSM", noICNeg, scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+	coNPForm := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskFormula, cCoNP,
+			"InferFormula on random DDDBs with integrity clauses", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					d := gen.Random(rng, gen.WithIntegrity(size, 2*size))
+					return Instance{DB: d, Formula: randomQuery(rng, d, 3)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.InferFormula(inst.DB, inst.Formula)
+					return err
+				},
+			}))
+	}
+	if err := coNPForm("DDR", scale.pick([]int{10, 20}, []int{10, 20, 40})); err != nil {
+		return nil, err
+	}
+	if err := coNPForm("PWS", scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+
+	// --- model existence ---------------------------------------------------
+	npExists := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskExists, cNP,
+			"HasModel on the SAT-reduction family (size = #CNF vars, clause ratio 4.2)", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					cnf := reduction.RandomCNF(rng, size, int(4.2*float64(size)), 3)
+					return Instance{DB: reduction.ExistsModelFromSAT(cnf, size)}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.HasModel(inst.DB)
+					return err
+				},
+			}))
+	}
+	for _, sem := range []string{"GCWA", "EGCWA", "CCWA", "ECWA", "DDR"} {
+		if err := npExists(sem, scale.pick([]int{10, 20}, []int{10, 20, 40})); err != nil {
+			return nil, err
+		}
+	}
+	if err := npExists("PWS", scale.pick([]int{3, 5}, []int{3, 5, 7})); err != nil {
+		return nil, err
+	}
+
+	// ICWA: O(1).
+	{
+		s, o := newSem("ICWA", core.Options{})
+		if err := add(RunCell(2, "ICWA", TaskExists, cO1,
+			"HasModel on random stratified DSDBs — stratifiability asserts consistency", o, Runner{
+				Sizes: scale.pick([]int{20, 50}, []int{20, 50, 100, 200}), Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					return Instance{DB: gen.RandomStratified(rng, size, 2*size, 4)}
+				},
+				Decide: func(inst Instance) error {
+					ok, err := s.HasModel(inst.DB)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("stratified DB reported inconsistent")
+					}
+					return nil
+				},
+			})); err != nil {
+			return nil, err
+		}
+	}
+
+	// DSM: Σ₂ᵖ on the saturation reduction.
+	{
+		s, o := newSem("DSM", core.Options{})
+		if err := add(func() (CellResult, error) {
+			r, err := RunCell(2, "DSM", TaskExists, cSig2,
+				"HasModel on the QBF saturation family (size = #∃ = #∀ vars)", o, Runner{
+					Sizes: scale.pick([]int{2, 3}, []int{2, 3, 4, 5}), Instances: reps,
+					MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+						q := qbf.Random3DNF(rng, size, size, 2*size)
+						d, err := reduction.DSMExistsFromQBF(q)
+						if err != nil {
+							panic(err)
+						}
+						return Instance{DB: d}
+					},
+					Decide: func(inst Instance) error {
+						_, err := s.HasModel(inst.DB)
+						return err
+					},
+				})
+			r.Hardness = "QBF→stable-model reduction validated against reference solver"
+			return r, err
+		}()); err != nil {
+			return nil, err
+		}
+	}
+
+	// PERF, PDSM: Σ₂ᵖ existence on random DNDBs without ICs.
+	sigExists := func(sem string, sizes []int) error {
+		s, o := newSem(sem, core.Options{})
+		return add(RunCell(2, sem, TaskExists, cSig2,
+			"HasModel on random DNDBs (negation, no integrity clauses)", o, Runner{
+				Sizes: sizes, Instances: reps,
+				MakeInstance: func(rng *rand.Rand, size, rep int) Instance {
+					return Instance{DB: gen.Random(rng, gen.NormalNoIC(size, 2*size))}
+				},
+				Decide: func(inst Instance) error {
+					_, err := s.HasModel(inst.DB)
+					return err
+				},
+			}))
+	}
+	if err := sigExists("PERF", scale.pick([]int{6, 9}, []int{6, 9, 12})); err != nil {
+		return nil, err
+	}
+	if err := sigExists("PDSM", scale.pick([]int{4, 6}, []int{4, 6, 8})); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// randomQuery builds a random query formula over d's vocabulary.
+func randomQuery(rng *rand.Rand, d *db.DB, depth int) *logic.Formula {
+	n := d.N()
+	var rec func(depth int) *logic.Formula
+	rec = func(depth int) *logic.Formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			a := logic.Atom(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				return logic.Not(logic.AtomF(a))
+			}
+			return logic.AtomF(a)
+		}
+		l, r := rec(depth-1), rec(depth-1)
+		switch rng.Intn(3) {
+		case 0:
+			return logic.And(l, r)
+		case 1:
+			return logic.Or(l, r)
+		default:
+			return logic.Implies(l, r)
+		}
+	}
+	return rec(depth)
+}

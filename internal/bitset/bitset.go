@@ -1,0 +1,274 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout
+// the library to represent propositional interpretations (sets of true
+// atoms) and atom subsets (e.g. the P/Q/Z parts of a CCWA partition).
+//
+// The zero value is an empty set with capacity 0; use New to allocate a
+// set able to hold n elements. All operations treat out-of-range bits as
+// absent. Sets are mutable; Clone produces an independent copy.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over the universe {0, …, n-1}.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity (universe size) of the set, not the number of
+// elements; use Count for cardinality.
+func (s *Set) Len() int { return s.n }
+
+// Test reports whether element i is in the set.
+func (s *Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Set adds element i. Out-of-range indices are ignored.
+func (s *Set) Set(i int) *Set {
+	if i >= 0 && i < s.n {
+		s.words[i/wordBits] |= 1 << uint(i%wordBits)
+	}
+	return s
+}
+
+// Clear removes element i. Out-of-range indices are ignored.
+func (s *Set) Clear(i int) *Set {
+	if i >= 0 && i < s.n {
+		s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+	return s
+}
+
+// SetTo adds or removes element i according to v.
+func (s *Set) SetTo(i int, v bool) *Set {
+	if v {
+		return s.Set(i)
+	}
+	return s.Clear(i)
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of t. The sets must have the
+// same capacity; CopyFrom panics otherwise.
+func (s *Set) CopyFrom(t *Set) *Set {
+	if s.n != t.n {
+		panic("bitset: CopyFrom with mismatched capacity")
+	}
+	copy(s.words, t.words)
+	return s
+}
+
+// Reset removes all elements.
+func (s *Set) Reset() *Set {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	return s
+}
+
+// Fill adds every element of the universe.
+func (s *Set) Fill() *Set {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears bits beyond the universe size.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// UnionWith adds every element of t to s. Capacities must match.
+func (s *Set) UnionWith(t *Set) *Set {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+	return s
+}
+
+// IntersectWith removes from s every element not in t. Capacities must match.
+func (s *Set) IntersectWith(t *Set) *Set {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+	return s
+}
+
+// DifferenceWith removes from s every element of t. Capacities must match.
+func (s *Set) DifferenceWith(t *Set) *Set {
+	s.check(t)
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+	return s
+}
+
+func (s *Set) check(t *Set) {
+	if s.n != t.n {
+		panic("bitset: operation on sets with mismatched capacity")
+	}
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+// Sets of different capacity are never equal.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t. Capacities must match.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.check(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperSubsetOf reports whether s ⊊ t.
+func (s *Set) ProperSubsetOf(t *Set) bool {
+	return s.SubsetOf(t) && !s.Equal(t)
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	s.check(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextSet returns the smallest element ≥ i in the set, or -1 if none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls f for each element of the set in increasing order.
+func (s *Set) ForEach(f func(i int)) {
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		f(i)
+	}
+}
+
+// Elements returns the elements of the set in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// FromElements returns a set of capacity n containing exactly the given
+// elements (out-of-range elements are ignored).
+func FromElements(n int, elems ...int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Set(e)
+	}
+	return s
+}
+
+// String renders the set as "{0,3,7}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Key returns a compact string usable as a map key identifying the set's
+// contents (capacity-sensitive).
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 8)
+	for _, w := range s.words {
+		for sh := 0; sh < 64; sh += 8 {
+			b.WriteByte(byte(w >> uint(sh)))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,204 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if !s.IsEmpty() || s.Len() != 130 {
+		t.Fatalf("fresh set wrong")
+	}
+	s.Set(0).Set(64).Set(129)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	for _, i := range []int{0, 64, 129} {
+		if !s.Test(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	if s.Test(1) || s.Test(63) || s.Test(128) {
+		t.Fatalf("unexpected bits set")
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 2 {
+		t.Fatalf("clear failed")
+	}
+	s.SetTo(5, true)
+	if !s.Test(5) {
+		t.Fatalf("SetTo failed")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Set(-1).Set(10).Set(100)
+	if !s.IsEmpty() {
+		t.Fatalf("out-of-range sets must be ignored")
+	}
+	if s.Test(-1) || s.Test(10) {
+		t.Fatalf("out-of-range tests must be false")
+	}
+}
+
+func TestFillAndReset(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	if s.Count() != 70 {
+		t.Fatalf("fill count = %d", s.Count())
+	}
+	s.Reset()
+	if !s.IsEmpty() {
+		t.Fatalf("reset failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromElements(10, 1, 2, 3)
+	b := FromElements(10, 3, 4)
+	u := a.Clone().UnionWith(b)
+	if u.Count() != 4 || !u.Test(4) {
+		t.Fatalf("union wrong: %v", u)
+	}
+	i := a.Clone().IntersectWith(b)
+	if i.Count() != 1 || !i.Test(3) {
+		t.Fatalf("intersect wrong: %v", i)
+	}
+	d := a.Clone().DifferenceWith(b)
+	if d.Count() != 2 || d.Test(3) {
+		t.Fatalf("difference wrong: %v", d)
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := FromElements(8, 1, 2)
+	b := FromElements(8, 1, 2, 3)
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Fatalf("subset relations wrong")
+	}
+	if b.SubsetOf(a) {
+		t.Fatalf("reverse subset wrong")
+	}
+	if !a.SubsetOf(a) || a.ProperSubsetOf(a) {
+		t.Fatalf("reflexivity wrong")
+	}
+	if !a.Intersects(b) {
+		t.Fatalf("intersects wrong")
+	}
+	if a.Intersects(FromElements(8, 5)) {
+		t.Fatalf("disjoint intersects wrong")
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic")
+		}
+	}()
+	New(5).UnionWith(New(6))
+}
+
+func TestNextSetAndForEach(t *testing.T) {
+	s := FromElements(200, 3, 64, 65, 199)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{3, 64, 65, 199}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: %v", got)
+		}
+	}
+	if s.NextSet(66) != 199 {
+		t.Fatalf("NextSet(66) = %d", s.NextSet(66))
+	}
+	if s.NextSet(200) != -1 || s.NextSet(-5) != 3 {
+		t.Fatalf("NextSet boundary wrong")
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := FromElements(100, 1, 99)
+	b := FromElements(100, 1, 99)
+	c := FromElements(100, 1)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatalf("Equal wrong")
+	}
+	if a.Key() != b.Key() || a.Key() == c.Key() {
+		t.Fatalf("Key wrong")
+	}
+	if a.Equal(FromElements(101, 1, 99)) {
+		t.Fatalf("different capacity must not be equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromElements(10, 0, 3, 7).String(); got != "{0,3,7}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(4).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromElements(20, 5)
+	b := New(20)
+	b.CopyFrom(a)
+	if !b.Test(5) {
+		t.Fatalf("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CopyFrom with mismatched capacity must panic")
+		}
+	}()
+	New(10).CopyFrom(a)
+}
+
+// Property: Elements round-trips through FromElements.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(n8)
+		s := New(n)
+		for i := 0; i < n/2; i++ {
+			s.Set(rng.Intn(n))
+		}
+		return FromElements(n, s.Elements()...).Equal(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and count-consistent with
+// inclusion–exclusion.
+func TestQuickUnionInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		u1 := a.Clone().UnionWith(b)
+		u2 := b.Clone().UnionWith(a)
+		i := a.Clone().IntersectWith(b)
+		return u1.Equal(u2) && u1.Count() == a.Count()+b.Count()-i.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// ModelChecker is the optional interface for the model-checking
+// problem "given M, is M ∈ SEM(DB)?" — the natural companion of the
+// paper's three decision problems (the paper's Π₂ᵖ membership proofs
+// all hinge on this check being cheap: one NP-oracle call for the
+// minimality/stability/perfection-based semantics, polynomial for the
+// fixpoint-based ones).
+type ModelChecker interface {
+	// CheckModel reports whether m ∈ SEM(DB).
+	CheckModel(d *db.DB, m logic.Interp) (bool, error)
+}
+
+// CheckModel decides m ∈ SEM(DB) for any semantics: via the
+// ModelChecker fast path when implemented, falling back to model
+// enumeration otherwise.
+func CheckModel(s Semantics, d *db.DB, m logic.Interp) (bool, error) {
+	if mc, ok := s.(ModelChecker); ok {
+		return mc.CheckModel(d, m)
+	}
+	found := false
+	_, err := s.Models(d, 0, func(o logic.Interp) bool {
+		if o.Equal(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}

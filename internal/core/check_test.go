@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+
+	_ "disjunct/internal/semantics/ccwa"
+	_ "disjunct/internal/semantics/cwa"
+	_ "disjunct/internal/semantics/ddr"
+	_ "disjunct/internal/semantics/ecwa"
+	_ "disjunct/internal/semantics/icwa"
+	_ "disjunct/internal/semantics/pdsm"
+	_ "disjunct/internal/semantics/perf"
+	_ "disjunct/internal/semantics/pws"
+)
+
+// refModelSet computes SEM(DB) with the brute-force reference for the
+// given semantics name.
+func refModelSet(name string, d *db.DB) ([]logic.Interp, bool) {
+	switch name {
+	case "GCWA":
+		return refsem.GCWA(d), true
+	case "EGCWA":
+		return refsem.EGCWA(d), true
+	case "DDR":
+		if d.HasNegation() {
+			return nil, false
+		}
+		return refsem.DDR(d), true
+	case "PWS":
+		if d.HasNegation() {
+			return nil, false
+		}
+		return refsem.PWS(d), true
+	case "DSM":
+		return refsem.DSM(d), true
+	case "PERF":
+		if d.HasIntegrityClauses() {
+			return nil, false
+		}
+		return refsem.PERF(d), true
+	case "ICWA":
+		if d.HasIntegrityClauses() {
+			return nil, false
+		}
+		set, ok := refsem.ICWA(d)
+		return set, ok
+	case "PDSM":
+		// Total partial stable models only (what CheckModel covers).
+		var out []logic.Interp
+		for _, p := range refsem.PDSM(d) {
+			if p.IsTotal() {
+				out = append(out, p.Total())
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// TestCheckModelMatchesMembership cross-validates CheckModel against
+// explicit membership in the reference model set, for EVERY
+// interpretation of small random databases.
+func TestCheckModelMatchesMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	semantics := []string{"GCWA", "EGCWA", "DDR", "PWS", "DSM", "PERF", "ICWA", "PDSM"}
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		var d *db.DB
+		switch iter % 3 {
+		case 0:
+			d = gen.Random(rng, gen.Positive(n, 1+rng.Intn(5)))
+		case 1:
+			d = gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(5)))
+		default:
+			d = gen.Random(rng, gen.NormalNoIC(n, 1+rng.Intn(5)))
+		}
+		for _, name := range semantics {
+			want, ok := refModelSet(name, d)
+			if !ok {
+				continue
+			}
+			keys := map[string]bool{}
+			for _, m := range want {
+				keys[m.Key()] = true
+			}
+			s, _ := core.New(name, core.Options{})
+			for _, m := range refsem.AllInterps(d.N()) {
+				got, err := core.CheckModel(s, d, m)
+				if err != nil {
+					t.Fatalf("%s iter %d: %v", name, iter, err)
+				}
+				if got != keys[m.Key()] {
+					t.Fatalf("%s iter %d: CheckModel(%s)=%v, membership=%v\nDB:\n%s",
+						name, iter, m.String(d.Voc), got, keys[m.Key()], d.String())
+				}
+			}
+		}
+	}
+}
+
+// TestCheckModelFastPathsUsed verifies the ModelChecker interface is
+// actually implemented (not falling back to enumeration) for all the
+// bundled semantics.
+func TestCheckModelFastPathsUsed(t *testing.T) {
+	for _, name := range []string{"GCWA", "CCWA", "EGCWA", "ECWA", "DDR", "PWS", "ICWA", "PERF", "DSM", "PDSM", "CWA"} {
+		s, ok := core.New(name, core.Options{})
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if _, isChecker := s.(core.ModelChecker); !isChecker {
+			t.Errorf("%s does not implement ModelChecker", name)
+		}
+	}
+}

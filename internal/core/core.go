@@ -1,0 +1,139 @@
+// Package core defines the common frame of the paper's reproduction:
+// the Semantics interface (the three decision problems of Tables 1
+// and 2 — literal inference, formula inference, model existence — plus
+// model enumeration for inspection), the option set shared by the
+// partition-based semantics, and a registry the ten semantics packages
+// plug into.
+//
+// Each implementation reports its oracle usage through the
+// oracle.NP it is constructed with; the benchmark harness reads the
+// counters to exhibit each cell's complexity shape (cf. DESIGN.md §1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/oracle"
+)
+
+// Errors shared by the semantics implementations.
+var (
+	// ErrUnsupported marks a database outside the class a semantics is
+	// defined for (e.g. PERF with integrity clauses, DDR with negation).
+	ErrUnsupported = errors.New("semantics: database outside the class this semantics is defined for")
+	// ErrNotStratifiable marks a non-stratifiable database given to a
+	// stratification-based semantics (ICWA).
+	ErrNotStratifiable = errors.New("semantics: database is not stratifiable")
+	// ErrInconsistent marks inference from an inconsistent database
+	// where the semantics leaves inference undefined rather than
+	// trivially true. The implementations here follow the convention
+	// that an empty model set entails everything, so this error is
+	// reserved for callers who ask for a model explicitly.
+	ErrInconsistent = errors.New("semantics: database has no model under this semantics")
+)
+
+// Options configures a semantics instance.
+type Options struct {
+	// Partition is the ⟨P;Q;Z⟩ partition for CCWA/ECWA/ICWA. When nil,
+	// those semantics default to minimising every atom (P = V), which
+	// makes CCWA coincide with GCWA and ECWA with EGCWA — exactly the
+	// degenerate case the paper notes ("GCWA coincides with CCWA for
+	// Q = Z = ∅").
+	Partition *models.Partition
+	// Oracle is the instrumented NP oracle; a fresh one is created when
+	// nil.
+	Oracle *oracle.NP
+}
+
+// Oracle returns the configured oracle, creating one if needed.
+func (o *Options) oracle() *oracle.NP {
+	if o.Oracle == nil {
+		o.Oracle = oracle.NewNP()
+	}
+	return o.Oracle
+}
+
+// PartitionFor resolves the configured partition against a database
+// (defaulting to P = V).
+func (o *Options) PartitionFor(d *db.DB) models.Partition {
+	if o.Partition != nil {
+		return *o.Partition
+	}
+	return models.FullMin(d.N())
+}
+
+// OracleFor returns the oracle to use (never nil).
+func (o *Options) OracleFor() *oracle.NP { return o.oracle() }
+
+// Semantics is one of the paper's disjunctive database semantics.
+// Implementations are stateless with respect to databases: the same
+// instance may be used for many databases; oracle counters accumulate.
+type Semantics interface {
+	// Name is the paper's abbreviation: "GCWA", "DDR", …
+	Name() string
+	// InferLiteral decides whether every model in SEM(DB) satisfies
+	// the literal (the "Inference of literal" column).
+	InferLiteral(d *db.DB, l logic.Lit) (bool, error)
+	// InferFormula decides whether every model in SEM(DB) satisfies
+	// the formula (the "Inference of formula" column). The formula
+	// must be over d's vocabulary.
+	InferFormula(d *db.DB, f *logic.Formula) (bool, error)
+	// HasModel decides SEM(DB) ≠ ∅ (the "∃ model" column).
+	HasModel(d *db.DB) (bool, error)
+	// Models enumerates SEM(DB) (total models; PDSM additionally
+	// exposes partial models through its concrete type). limit ≤ 0
+	// means unlimited. Intended for small databases — model sets are
+	// exponential in general.
+	Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error)
+}
+
+// Factory builds a semantics instance from options.
+type Factory func(opts Options) Semantics
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a factory under the given name (the paper's
+// abbreviation, upper-case). It panics on duplicates — registration
+// happens from init functions, where a duplicate is a programming
+// error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate semantics %q", name))
+	}
+	registry[name] = f
+}
+
+// New instantiates the named semantics. The boolean reports whether
+// the name is registered.
+func New(name string, opts Options) (Semantics, bool) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return f(opts), true
+}
+
+// Names returns the registered semantics names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

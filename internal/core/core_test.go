@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+
+	_ "disjunct/internal/semantics/dsm"
+	_ "disjunct/internal/semantics/egcwa"
+	_ "disjunct/internal/semantics/gcwa"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	names := core.Names()
+	if len(names) == 0 {
+		t.Fatalf("no semantics registered")
+	}
+	for _, n := range names {
+		s, ok := core.New(n, core.Options{})
+		if !ok || s == nil {
+			t.Fatalf("cannot instantiate %s", n)
+		}
+	}
+	if _, ok := core.New("NOPE", core.Options{}); ok {
+		t.Fatalf("unknown semantics resolved")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate registration must panic")
+		}
+	}()
+	core.Register("GCWA", func(core.Options) core.Semantics { return nil })
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var opts core.Options
+	o := opts.OracleFor()
+	if o == nil {
+		t.Fatalf("OracleFor must allocate")
+	}
+	if opts.OracleFor() != o {
+		t.Fatalf("OracleFor must be stable")
+	}
+	d := db.MustParse("a | b.")
+	part := opts.PartitionFor(d)
+	if part.P.Count() != d.N() {
+		t.Fatalf("default partition must minimise everything")
+	}
+	custom := models.NewPartition(2, []logic.Atom{0}, nil)
+	opts.Partition = &custom
+	if got := opts.PartitionFor(d); got.P.Count() != 1 {
+		t.Fatalf("explicit partition ignored")
+	}
+}
+
+func TestCredulousVsCautious(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, name := range []string{"GCWA", "EGCWA", "DSM"} {
+		s, _ := core.New(name, core.Options{})
+		for iter := 0; iter < 80; iter++ {
+			n := 2 + rng.Intn(3)
+			d := gen.Random(rng, gen.Normal(n, 1+rng.Intn(5)))
+			if name != "DSM" && d.HasNegation() {
+				continue
+			}
+			f := logic.AtomF(logic.Atom(rng.Intn(n)))
+			cautious, err := s.InferFormula(d, f)
+			if err != nil {
+				continue
+			}
+			viaCred, err := core.CautiousViaCredulous(s, d, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cautious != viaCred {
+				t.Fatalf("%s iter %d: cautious=%v via-credulous=%v\nDB:\n%s",
+					name, iter, cautious, viaCred, d.String())
+			}
+			// Cautious implies credulous whenever a model exists.
+			if cautious {
+				cred, _ := core.CredulousFormula(s, d, f)
+				hasModel, _ := s.HasModel(d)
+				if hasModel && !cred {
+					t.Fatalf("%s iter %d: cautious but not credulous on consistent DB", name, iter)
+				}
+			}
+		}
+	}
+}
+
+func TestCredulousLiteral(t *testing.T) {
+	d := db.MustParse("a | b.")
+	s, _ := core.New("EGCWA", core.Options{})
+	a, _ := d.Voc.Lookup("a")
+	cred, err := core.CredulousLiteral(s, d, logic.PosLit(a))
+	if err != nil || !cred {
+		t.Fatalf("a must be credulously inferred from a|b: %v %v", cred, err)
+	}
+	caut, _ := s.InferLiteral(d, logic.PosLit(a))
+	if caut {
+		t.Fatalf("a must not be cautiously inferred from a|b")
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// The paper's tables concern CAUTIOUS inference — truth in every model
+// of the semantics. The companion notion, CREDULOUS (brave) inference
+// — truth in at least one model — is what Schaerf's PODS'93 paper
+// (cited as [26]) analyses for weakly-stable/-supported models; these
+// helpers provide it generically for any registered semantics.
+//
+// Complexity note: for the Π₂ᵖ-complete cautious cells the credulous
+// counterpart is Σ₂ᵖ-complete (the co-search flips into a search); the
+// implementation below realises exactly that shape, enumerating the
+// semantics' models with early exit.
+
+// CredulousFormula reports whether some model in SEM(DB) satisfies f.
+// An inconsistent semantics (empty model set) credulously entails
+// nothing.
+func CredulousFormula(s Semantics, d *db.DB, f *logic.Formula) (bool, error) {
+	found := false
+	_, err := s.Models(d, 0, func(m logic.Interp) bool {
+		if f.Eval(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, err
+}
+
+// CredulousLiteral reports whether some model in SEM(DB) satisfies l.
+func CredulousLiteral(s Semantics, d *db.DB, l logic.Lit) (bool, error) {
+	return CredulousFormula(s, d, logic.LitF(l))
+}
+
+// CautiousViaCredulous cross-checks: SEM(DB) ⊨ f iff SEM(DB) has no
+// model of ¬f. Used by the test suite as an internal consistency
+// check between the two inference modes.
+func CautiousViaCredulous(s Semantics, d *db.DB, f *logic.Formula) (bool, error) {
+	counter, err := CredulousFormula(s, d, logic.Not(f))
+	if err != nil {
+		return false, err
+	}
+	return !counter, nil
+}

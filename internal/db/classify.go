@@ -1,0 +1,22 @@
+package db
+
+// Classify is implemented in package strat (it needs stratifiability);
+// this file holds the pure syntactic part so that db stays free of the
+// dependency: SyntacticClass returns the class ignoring
+// stratifiability — callers that need the DSDB/DNDB split use
+// strat.Classify.
+
+// SyntacticClass returns the class of d based on syntax alone:
+// ClassPositiveDDB (no negation, no integrity clauses), ClassDDDB (no
+// negation), or ClassDNDB (negation present; whether it is a DSDB
+// additionally requires a stratifiability check — see strat.Classify).
+func (d *DB) SyntacticClass() Class {
+	switch {
+	case !d.HasNegation() && !d.HasIntegrityClauses():
+		return ClassPositiveDDB
+	case !d.HasNegation():
+		return ClassDDDB
+	default:
+		return ClassDNDB
+	}
+}

@@ -1,0 +1,91 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"disjunct/internal/logic"
+)
+
+// Property: the parser never panics on arbitrary byte soup — it either
+// parses or returns an error.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		Parse(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rendering a random database and re-parsing it yields a
+// semantically identical database (same models).
+func TestRenderParseSemanticRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for iter := 0; iter < 300; iter++ {
+		d := randomDB(rng)
+		d2, err := Parse(d.String())
+		if err != nil {
+			t.Fatalf("iter %d: rendered DB does not parse: %v\n%s", iter, err, d.String())
+		}
+		if d2.N() > d.N() {
+			t.Fatalf("iter %d: round trip grew the vocabulary", iter)
+		}
+		n := d.N()
+		for bits := 0; bits < 1<<uint(n); bits++ {
+			m := logic.NewInterp(n)
+			m2 := logic.NewInterp(d2.N())
+			for v := 0; v < n; v++ {
+				if bits&(1<<uint(v)) == 0 {
+					continue
+				}
+				m.True.Set(v)
+				// Map by name: the re-parse may order atoms differently.
+				if a2, ok := d2.Voc.Lookup(d.Voc.Name(logic.Atom(v))); ok {
+					m2.True.Set(int(a2))
+				}
+			}
+			if d.Sat(m) != d2.Sat(m2) {
+				t.Fatalf("iter %d: round trip changed semantics\n%s\nvs\n%s", iter, d.String(), d2.String())
+			}
+		}
+	}
+}
+
+// Property: whitespace and comments are irrelevant. (Periods inside
+// identifiers are legal, so a space must follow each clause
+// terminator — "b.c" is one atom.)
+func TestParserWhitespaceInsensitive(t *testing.T) {
+	compact := "a|b. c:-a,not d. :-c,b."
+	spaced := `
+		a | b .   % heads
+		c :- a , not d .
+		:- c , b .
+	`
+	d1 := MustParse(compact)
+	d2 := MustParse(spaced)
+	if d1.String() != d2.String() {
+		t.Fatalf("whitespace changed parse:\n%s\nvs\n%s", d1.String(), d2.String())
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(242))
+	for iter := 0; iter < 500; iter++ {
+		d := randomDB(rng)
+		for _, c := range d.Clauses {
+			again := c.Clone().Normalize()
+			if len(again.Head) != len(c.Head) || len(again.PosBody) != len(c.PosBody) {
+				t.Fatalf("Normalize not idempotent: %+v vs %+v", c, again)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package gen generates the synthetic workloads of the benchmark
+// harness and the randomised test suites: random disjunctive databases
+// of each syntactic class (positive / with integrity clauses /
+// stratified / normal), plus structured families (graph colouring,
+// pigeonhole) used by the examples and the hardness scaling benches.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// Config shapes a random database.
+type Config struct {
+	Atoms       int
+	Clauses     int
+	MaxHead     int     // maximum disjuncts per head (≥ 1)
+	MaxBody     int     // maximum positive body atoms
+	NegProb     float64 // probability that a body atom is negated
+	FactProb    float64 // probability that a clause is a (disjunctive) fact
+	IntegrityPr float64 // probability that a clause is an integrity clause
+}
+
+// Positive returns a config for positive DDBs without integrity
+// clauses — the Table 1 regime.
+func Positive(atoms, clauses int) Config {
+	return Config{Atoms: atoms, Clauses: clauses, MaxHead: 3, MaxBody: 2, FactProb: 0.4}
+}
+
+// WithIntegrity returns a config for DDDBs with integrity clauses —
+// the Table 2 regime without negation.
+func WithIntegrity(atoms, clauses int) Config {
+	c := Positive(atoms, clauses)
+	c.IntegrityPr = 0.2
+	return c
+}
+
+// Normal returns a config for DNDBs (negation and integrity clauses).
+func Normal(atoms, clauses int) Config {
+	c := WithIntegrity(atoms, clauses)
+	c.NegProb = 0.3
+	return c
+}
+
+// NormalNoIC returns a config for DNDBs with negation but no
+// integrity clauses (the PERF/Table 2 regime for DSM/PDSM hardness
+// without denials).
+func NormalNoIC(atoms, clauses int) Config {
+	c := Positive(atoms, clauses)
+	c.NegProb = 0.3
+	return c
+}
+
+// Random generates a database according to cfg.
+func Random(rng *rand.Rand, cfg Config) *db.DB {
+	d := db.New()
+	atoms := make([]logic.Atom, cfg.Atoms)
+	for i := range atoms {
+		atoms[i] = d.Voc.Intern(fmt.Sprintf("p%d", i))
+	}
+	pick := func() logic.Atom { return atoms[rng.Intn(len(atoms))] }
+	for i := 0; i < cfg.Clauses; i++ {
+		var c db.Clause
+		integrity := rng.Float64() < cfg.IntegrityPr
+		if !integrity {
+			nh := 1 + rng.Intn(maxInt(cfg.MaxHead, 1))
+			for j := 0; j < nh; j++ {
+				c.Head = append(c.Head, pick())
+			}
+		}
+		if integrity || rng.Float64() >= cfg.FactProb {
+			nb := 1 + rng.Intn(maxInt(cfg.MaxBody, 1))
+			for j := 0; j < nb; j++ {
+				a := pick()
+				if rng.Float64() < cfg.NegProb {
+					c.NegBody = append(c.NegBody, a)
+				} else {
+					c.PosBody = append(c.PosBody, a)
+				}
+			}
+		}
+		if len(c.Head) == 0 && len(c.PosBody) == 0 && len(c.NegBody) == 0 {
+			continue
+		}
+		d.Add(c)
+	}
+	return d
+}
+
+// RandomStratified generates a stratified database (DSDB): atoms are
+// assigned to layers and negation only reaches strictly lower layers,
+// heads stay within one layer, positive bodies do not look up.
+func RandomStratified(rng *rand.Rand, atoms, clauses, layers int) *db.DB {
+	if layers < 1 {
+		layers = 1
+	}
+	d := db.New()
+	names := make([]logic.Atom, atoms)
+	layer := make([]int, atoms)
+	for i := range names {
+		names[i] = d.Voc.Intern(fmt.Sprintf("p%d", i))
+		layer[i] = rng.Intn(layers)
+	}
+	pickAt := func(l int) (logic.Atom, bool) {
+		var cand []logic.Atom
+		for i, a := range names {
+			if layer[i] == l {
+				cand = append(cand, a)
+			}
+		}
+		if len(cand) == 0 {
+			return 0, false
+		}
+		return cand[rng.Intn(len(cand))], true
+	}
+	pickBelow := func(l int) (logic.Atom, bool) {
+		var cand []logic.Atom
+		for i, a := range names {
+			if layer[i] < l {
+				cand = append(cand, a)
+			}
+		}
+		if len(cand) == 0 {
+			return 0, false
+		}
+		return cand[rng.Intn(len(cand))], true
+	}
+	pickAtMost := func(l int) (logic.Atom, bool) {
+		var cand []logic.Atom
+		for i, a := range names {
+			if layer[i] <= l {
+				cand = append(cand, a)
+			}
+		}
+		if len(cand) == 0 {
+			return 0, false
+		}
+		return cand[rng.Intn(len(cand))], true
+	}
+	for i := 0; i < clauses; i++ {
+		l := rng.Intn(layers)
+		var c db.Clause
+		nh := 1 + rng.Intn(2)
+		for j := 0; j < nh; j++ {
+			if a, ok := pickAt(l); ok {
+				c.Head = append(c.Head, a)
+			}
+		}
+		if len(c.Head) == 0 {
+			continue
+		}
+		if rng.Float64() >= 0.4 { // not a fact
+			nb := 1 + rng.Intn(2)
+			for j := 0; j < nb; j++ {
+				if rng.Float64() < 0.4 {
+					if a, ok := pickBelow(l); ok {
+						c.NegBody = append(c.NegBody, a)
+						continue
+					}
+				}
+				if a, ok := pickAtMost(l); ok {
+					c.PosBody = append(c.PosBody, a)
+				}
+			}
+		}
+		d.Add(c)
+	}
+	return d
+}
+
+// Graph is a simple undirected graph for the colouring workloads.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// RandomGraph generates a G(n, p) graph.
+func RandomGraph(rng *rand.Rand, n int, p float64) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	return g
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int{i, (i + 1) % n})
+	}
+	return g
+}
+
+// ColoringDB encodes k-colourability of g as a disjunctive database:
+// per vertex a disjunctive fact over its k colour atoms, integrity
+// clauses forbidding two colours on one vertex and equal colours on an
+// edge. The database has a model under EGCWA (equivalently, is
+// k-colourable) iff the classical clause set is satisfiable — the
+// NP-complete ∃MODEL regime of Table 2; under DSM the stable models
+// are exactly the proper colourings.
+func ColoringDB(g Graph, k int) *db.DB {
+	d := db.New()
+	color := make([][]logic.Atom, g.N)
+	for v := 0; v < g.N; v++ {
+		color[v] = make([]logic.Atom, k)
+		for c := 0; c < k; c++ {
+			color[v][c] = d.Voc.Intern(fmt.Sprintf("col_%d_%d", v, c))
+		}
+		d.AddFact(color[v]...)
+		for c1 := 0; c1 < k; c1++ {
+			for c2 := c1 + 1; c2 < k; c2++ {
+				d.AddRule(nil, []logic.Atom{color[v][c1], color[v][c2]}, nil)
+			}
+		}
+	}
+	for _, e := range g.Edges {
+		for c := 0; c < k; c++ {
+			d.AddRule(nil, []logic.Atom{color[e[0]][c], color[e[1]][c]}, nil)
+		}
+	}
+	return d
+}
+
+// PigeonholeDB encodes the (unsatisfiable for pigeons > holes)
+// pigeonhole principle as a DDDB with integrity clauses.
+func PigeonholeDB(pigeons, holes int) *db.DB {
+	d := db.New()
+	at := make([][]logic.Atom, pigeons)
+	for p := 0; p < pigeons; p++ {
+		at[p] = make([]logic.Atom, holes)
+		for h := 0; h < holes; h++ {
+			at[p][h] = d.Voc.Intern(fmt.Sprintf("in_%d_%d", p, h))
+		}
+		d.AddFact(at[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				d.AddRule(nil, []logic.Atom{at[p1][h], at[p2][h]}, nil)
+			}
+		}
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/strat"
+)
+
+func TestPositiveConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for i := 0; i < 100; i++ {
+		d := Random(rng, Positive(5+rng.Intn(10), 10+rng.Intn(20)))
+		if d.HasNegation() || d.HasIntegrityClauses() {
+			t.Fatalf("Positive config produced negation or ICs:\n%s", d.String())
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWithIntegrityProducesICs(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	sawIC := false
+	for i := 0; i < 50; i++ {
+		d := Random(rng, WithIntegrity(8, 20))
+		if d.HasNegation() {
+			t.Fatalf("WithIntegrity must stay positive")
+		}
+		if d.HasIntegrityClauses() {
+			sawIC = true
+		}
+	}
+	if !sawIC {
+		t.Fatalf("WithIntegrity never produced an integrity clause")
+	}
+}
+
+func TestNormalProducesNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	sawNeg := false
+	for i := 0; i < 50; i++ {
+		if Random(rng, Normal(8, 20)).HasNegation() {
+			sawNeg = true
+			break
+		}
+	}
+	if !sawNeg {
+		t.Fatalf("Normal config never produced negation")
+	}
+}
+
+func TestNormalNoIC(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	for i := 0; i < 50; i++ {
+		if Random(rng, NormalNoIC(8, 20)).HasIntegrityClauses() {
+			t.Fatalf("NormalNoIC produced an integrity clause")
+		}
+	}
+}
+
+func TestRandomStratifiedIsStratifiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(225))
+	for i := 0; i < 200; i++ {
+		d := RandomStratified(rng, 3+rng.Intn(8), 5+rng.Intn(15), 1+rng.Intn(4))
+		if _, ok := strat.Compute(d); !ok {
+			t.Fatalf("RandomStratified output not stratifiable:\n%s", d.String())
+		}
+		if d.HasIntegrityClauses() {
+			t.Fatalf("stratified generator must not emit integrity clauses")
+		}
+	}
+}
+
+func TestGraphGenerators(t *testing.T) {
+	c := Cycle(5)
+	if c.N != 5 || len(c.Edges) != 5 {
+		t.Fatalf("cycle shape wrong: %+v", c)
+	}
+	rng := rand.New(rand.NewSource(226))
+	g := RandomGraph(rng, 10, 1.0)
+	if len(g.Edges) != 45 {
+		t.Fatalf("complete graph edges = %d, want 45", len(g.Edges))
+	}
+	g0 := RandomGraph(rng, 10, 0.0)
+	if len(g0.Edges) != 0 {
+		t.Fatalf("empty graph has edges")
+	}
+}
+
+func TestColoringDBShape(t *testing.T) {
+	d := ColoringDB(Cycle(3), 3)
+	st := d.Stats()
+	// 3 vertices × (1 fact + 3 at-most-one ICs) + 3 edges × 3 colours ICs.
+	if st.Facts != 3 || st.IntegrityClauses != 3*3+3*3 {
+		t.Fatalf("coloring shape wrong: %+v", st)
+	}
+	if st.Atoms != 9 {
+		t.Fatalf("coloring atoms = %d", st.Atoms)
+	}
+}
+
+func TestPigeonholeDBShape(t *testing.T) {
+	d := PigeonholeDB(3, 2)
+	st := d.Stats()
+	if st.Facts != 3 || st.Atoms != 6 {
+		t.Fatalf("pigeonhole shape wrong: %+v", st)
+	}
+	// Unsatisfiable when pigeons > holes: 2 holes × C(3,2) pairs.
+	if st.IntegrityClauses != 2*3 {
+		t.Fatalf("pigeonhole ICs = %d", st.IntegrityClauses)
+	}
+}

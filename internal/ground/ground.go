@@ -1,0 +1,444 @@
+// Package ground provides a first-order (datalog-with-disjunction)
+// front end for the propositional engine: non-ground disjunctive rules
+// over a finite constant universe are grounded into a propositional
+// db.DB, to which every semantics of the library applies.
+//
+// The paper restricts its analysis to "propositional (i.e. grounded)
+// databases"; this package is the grounder that justifies the phrase —
+// a disjunctive deductive database in practice is a set of non-ground
+// rules
+//
+//	path(X,Y) | blocked(X,Y) :- edge(X,Y).
+//	path(X,Z) :- path(X,Y), path(Y,Z).
+//
+// whose semantics is that of its (finite, function-free) grounding.
+//
+// The language is function-free (datalog): terms are constants or
+// variables; safety requires every variable of a rule to occur in a
+// positive body atom (head-only or negation-only variables would make
+// the grounding ill-defined). Grounding instantiates each rule with
+// all substitutions over the active domain, with a relevance
+// optimisation: only atoms derivable from the program's facts and rule
+// heads are instantiated (a standard semi-naive restriction that keeps
+// groundings small without changing any semantics' models over the
+// relevant vocabulary).
+package ground
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// Term is a constant or variable. Variables start with an upper-case
+// letter (prolog convention); everything else is a constant.
+type Term string
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool {
+	return len(t) > 0 && t[0] >= 'A' && t[0] <= 'Z'
+}
+
+// Atom is a predicate applied to terms, e.g. edge(a, X).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = string(t)
+	}
+	return a.Pred + "(" + strings.Join(parts, ",") + ")"
+}
+
+// ground reports whether the atom contains no variables.
+func (a Atom) ground() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule is a non-ground disjunctive rule.
+type Rule struct {
+	Head    []Atom
+	PosBody []Atom
+	NegBody []Atom
+}
+
+// Program is a set of non-ground rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Substitution maps variables to constants.
+type Substitution map[Term]Term
+
+// apply instantiates the atom under the substitution.
+func (a Atom) apply(s Substitution) Atom {
+	out := Atom{Pred: a.Pred, Args: make([]Term, len(a.Args))}
+	for i, t := range a.Args {
+		if t.IsVar() {
+			if c, ok := s[t]; ok {
+				out.Args[i] = c
+				continue
+			}
+		}
+		out.Args[i] = t
+	}
+	return out
+}
+
+// Validate checks arity consistency and safety.
+func (p *Program) Validate() error {
+	arity := map[string]int{}
+	checkArity := func(a Atom) error {
+		if n, seen := arity[a.Pred]; seen && n != len(a.Args) {
+			return fmt.Errorf("ground: predicate %s used with arities %d and %d", a.Pred, n, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for ri, r := range p.Rules {
+		safe := map[Term]bool{}
+		for _, a := range r.PosBody {
+			if err := checkArity(a); err != nil {
+				return err
+			}
+			for _, t := range a.Args {
+				if t.IsVar() {
+					safe[t] = true
+				}
+			}
+		}
+		for _, part := range [][]Atom{r.Head, r.NegBody} {
+			for _, a := range part {
+				if err := checkArity(a); err != nil {
+					return err
+				}
+				for _, t := range a.Args {
+					if t.IsVar() && !safe[t] {
+						return fmt.Errorf("ground: rule %d: unsafe variable %s (must occur in a positive body atom)", ri, t)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Ground instantiates the program over its active domain and returns
+// the propositional database plus the mapping from ground atoms to
+// propositional atoms (via the vocabulary's names, e.g. "edge(a,b)").
+//
+// Relevance: the instantiation is computed by a fixpoint over
+// "possibly derivable" ground atoms — starting from the ground facts,
+// a rule instance is emitted as soon as all its positive body atoms
+// are possibly derivable; its head atoms (and, conservatively, its
+// negative body atoms) then become possibly derivable too. Rule
+// instances whose positive body can never be derived are irrelevant
+// under every semantics in the library (their bodies are false in
+// every model that matters) — except that their heads would never even
+// enter the vocabulary, which is the desired behaviour.
+func (p *Program) Ground() (*db.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := db.New()
+
+	// Possibly-derivable ground atoms, keyed by string form.
+	derivable := map[string]Atom{}
+	intern := func(a Atom) logic.Atom {
+		return d.Voc.Intern(a.String())
+	}
+
+	// Constants of the program (active domain).
+	constSet := map[Term]bool{}
+	for _, r := range p.Rules {
+		for _, part := range [][]Atom{r.Head, r.PosBody, r.NegBody} {
+			for _, a := range part {
+				for _, t := range a.Args {
+					if !t.IsVar() {
+						constSet[t] = true
+					}
+				}
+			}
+		}
+	}
+	var consts []Term
+	for c := range constSet {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
+
+	// Index possibly-derivable atoms by predicate for join-style
+	// matching, with a per-round delta for semi-naive evaluation.
+	byPred := map[string][]Atom{}
+	deltaByPred := map[string][]Atom{}
+	addDerivable := func(a Atom) bool {
+		k := a.String()
+		if _, ok := derivable[k]; ok {
+			return false
+		}
+		derivable[k] = a
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+		deltaByPred[a.Pred] = append(deltaByPred[a.Pred], a)
+		return true
+	}
+
+	seenInstance := map[string]bool{}
+
+	// matchBody enumerates substitutions grounding the positive body
+	// against the derivable set. deltaAt ≥ 0 restricts that body
+	// position to the LAST round's new atoms (semi-naive evaluation:
+	// an instance is new only if some body atom is new; enumerating
+	// one forced-delta position per rule per round covers all new
+	// instances, with the instance-level dedup absorbing overlaps).
+	deltaSnapshot := map[string][]Atom{}
+	var matchBody func(body []Atom, idx, deltaAt int, s Substitution, yield func(Substitution))
+	matchBody = func(body []Atom, idx, deltaAt int, s Substitution, yield func(Substitution)) {
+		if len(body) == 0 {
+			yield(s)
+			return
+		}
+		a := body[0].apply(s)
+		pool := byPred[a.Pred]
+		if idx == deltaAt {
+			pool = deltaSnapshot[a.Pred]
+		}
+		if a.ground() {
+			if idx == deltaAt {
+				// The forced-delta position must match a NEW atom.
+				found := false
+				for _, cand := range pool {
+					if cand.String() == a.String() {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return
+				}
+			} else if _, ok := derivable[a.String()]; !ok {
+				return
+			}
+			matchBody(body[1:], idx+1, deltaAt, s, yield)
+			return
+		}
+		for _, cand := range pool {
+			if len(cand.Args) != len(a.Args) {
+				continue
+			}
+			ext := Substitution{}
+			for k, v := range s {
+				ext[k] = v
+			}
+			ok := true
+			for i, t := range a.Args {
+				switch {
+				case !t.IsVar():
+					if cand.Args[i] != t {
+						ok = false
+					}
+				default:
+					if bound, seen := ext[t]; seen {
+						if bound != cand.Args[i] {
+							ok = false
+						}
+					} else {
+						ext[t] = cand.Args[i]
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				matchBody(body[1:], idx+1, deltaAt, ext, yield)
+			}
+		}
+	}
+
+	emit := func(r Rule, s Substitution) bool {
+		var c db.Clause
+		var key strings.Builder
+		for _, a := range r.Head {
+			g := a.apply(s)
+			key.WriteString(g.String())
+			key.WriteByte('|')
+		}
+		key.WriteByte(':')
+		for _, a := range r.PosBody {
+			g := a.apply(s)
+			key.WriteString(g.String())
+			key.WriteByte(',')
+		}
+		key.WriteByte('~')
+		for _, a := range r.NegBody {
+			g := a.apply(s)
+			key.WriteString(g.String())
+			key.WriteByte(',')
+		}
+		if seenInstance[key.String()] {
+			return false
+		}
+		seenInstance[key.String()] = true
+
+		changed := false
+		for _, a := range r.Head {
+			g := a.apply(s)
+			c.Head = append(c.Head, intern(g))
+			if addDerivable(g) {
+				changed = true
+			}
+		}
+		for _, a := range r.PosBody {
+			c.PosBody = append(c.PosBody, intern(a.apply(s)))
+		}
+		for _, a := range r.NegBody {
+			g := a.apply(s)
+			c.NegBody = append(c.NegBody, intern(g))
+			// Negated atoms join the vocabulary (they are part of the
+			// propositional DB) but not the derivable set: a purely
+			// negative occurrence cannot support further derivations.
+		}
+		d.Add(c)
+		return changed
+	}
+
+	// Round 0: body-less rules (ground by safety) seed the derivable
+	// set; subsequent semi-naive rounds join each rule's body with one
+	// position forced through the previous round's delta.
+	for _, r := range p.Rules {
+		if len(r.PosBody) != 0 {
+			continue
+		}
+		// Safety guarantees body-less rules are variable-free.
+		emit(r, Substitution{})
+	}
+	firstRound := true
+	for {
+		// Snapshot and reset the delta for this round.
+		deltaSnapshot = deltaByPred
+		deltaByPred = map[string][]Atom{}
+		changed := false
+		for _, r := range p.Rules {
+			if len(r.PosBody) == 0 {
+				continue
+			}
+			if firstRound {
+				// All body atoms draw from the full (seed) set once.
+				matchBody(r.PosBody, 0, -1, Substitution{}, func(s Substitution) {
+					if emit(r, s) {
+						changed = true
+					}
+				})
+				continue
+			}
+			for deltaAt := range r.PosBody {
+				matchBody(r.PosBody, 0, deltaAt, Substitution{}, func(s Substitution) {
+					if emit(r, s) {
+						changed = true
+					}
+				})
+			}
+		}
+		firstRound = false
+		if !changed {
+			return d, nil
+		}
+	}
+}
+
+// LookupAtom resolves a ground atom (written as in the vocabulary,
+// e.g. "edge(a,b)") in the grounded database.
+func LookupAtom(d *db.DB, a Atom) (logic.Atom, bool) {
+	return d.Voc.Lookup(a.String())
+}
+
+// GroundFull instantiates every rule with every substitution over the
+// active domain, with no relevance filtering: the textbook grounding.
+// Exponential in the maximum number of variables per rule; used by the
+// tests as the reference against which the relevance-optimised Ground
+// is validated (the two groundings must agree on every semantics'
+// verdicts for queries over Ground's vocabulary).
+func (p *Program) GroundFull() (*db.DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := db.New()
+	constSet := map[Term]bool{}
+	for _, r := range p.Rules {
+		for _, part := range [][]Atom{r.Head, r.PosBody, r.NegBody} {
+			for _, a := range part {
+				for _, t := range a.Args {
+					if !t.IsVar() {
+						constSet[t] = true
+					}
+				}
+			}
+		}
+	}
+	var consts []Term
+	for c := range constSet {
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
+	if len(consts) == 0 {
+		consts = []Term{"u"} // degenerate domain for variable-free use
+	}
+
+	for _, r := range p.Rules {
+		varSet := map[Term]bool{}
+		for _, part := range [][]Atom{r.Head, r.PosBody, r.NegBody} {
+			for _, a := range part {
+				for _, t := range a.Args {
+					if t.IsVar() {
+						varSet[t] = true
+					}
+				}
+			}
+		}
+		var vars []Term
+		for v := range varSet {
+			vars = append(vars, v)
+		}
+		sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+
+		s := Substitution{}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == len(vars) {
+				var c db.Clause
+				for _, a := range r.Head {
+					c.Head = append(c.Head, d.Voc.Intern(a.apply(s).String()))
+				}
+				for _, a := range r.PosBody {
+					c.PosBody = append(c.PosBody, d.Voc.Intern(a.apply(s).String()))
+				}
+				for _, a := range r.NegBody {
+					c.NegBody = append(c.NegBody, d.Voc.Intern(a.apply(s).String()))
+				}
+				d.Add(c)
+				return
+			}
+			for _, con := range consts {
+				s[vars[i]] = con
+				rec(i + 1)
+			}
+			delete(s, vars[i])
+		}
+		rec(0)
+	}
+	return d, nil
+}

@@ -1,0 +1,218 @@
+package ground
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+
+	_ "disjunct/internal/semantics/dsm"
+	_ "disjunct/internal/semantics/gcwa"
+)
+
+func TestParseProgram(t *testing.T) {
+	prog := MustParseProgram(`
+		edge(a, b).   % a fact
+		edge(b, c).
+		path(X,Y) | blocked(X,Y) :- edge(X,Y).
+		path(X,Z) :- path(X,Y), path(Y,Z).
+		ok :- not blocked(a, b).
+	`)
+	if len(prog.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(prog.Rules))
+	}
+	r := prog.Rules[2]
+	if len(r.Head) != 2 || r.Head[0].Pred != "path" || len(r.Head[0].Args) != 2 {
+		t.Fatalf("disjunctive rule parsed wrong: %+v", r)
+	}
+	if !Term("X").IsVar() || Term("a").IsVar() || Term("x").IsVar() {
+		t.Fatalf("variable convention broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p(X).",             // unsafe: X not in a positive body
+		"p(X) :- not q(X).", // unsafe through negation
+		"p(a",               // unclosed
+		"p(a) :- q(a)",      // missing period
+		"p(a). p(a,b).",     // arity clash
+	} {
+		if _, err := ParseProgram(bad); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestGroundTransitiveClosure(t *testing.T) {
+	prog := MustParseProgram(`
+		edge(a, b).
+		edge(b, c).
+		path(X,Y) :- edge(X,Y).
+		path(X,Z) :- path(X,Y), edge(Y,Z).
+	`)
+	d, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Definite program: its least model is the transitive closure.
+	sem, _ := core.New("GCWA", core.Options{})
+	for _, q := range []struct {
+		atom string
+		want bool
+	}{
+		{"path(a,b)", true},
+		{"path(b,c)", true},
+		{"path(a,c)", true},
+	} {
+		at, ok := d.Voc.Lookup(q.atom)
+		if !ok {
+			t.Fatalf("atom %s missing from grounding", q.atom)
+		}
+		got, err := sem.InferLiteral(d, logic.PosLit(at))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != q.want {
+			t.Fatalf("GCWA ⊨ %s = %v, want %v", q.atom, got, q.want)
+		}
+	}
+	// Irrelevant instantiations are absent: path(c,a) is not derivable
+	// and should not even be in the vocabulary.
+	if _, ok := d.Voc.Lookup("path(c,a)"); ok {
+		t.Fatalf("irrelevant atom instantiated")
+	}
+}
+
+func TestGroundDisjunctive(t *testing.T) {
+	prog := MustParseProgram(`
+		node(a). node(b).
+		red(X) | green(X) :- node(X).
+	`)
+	d, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimal models: one colour choice per node → 4 minimal models.
+	mm := refsem.MinimalModels(d)
+	if len(mm) != 4 {
+		t.Fatalf("minimal models = %d, want 4", len(mm))
+	}
+}
+
+func TestGroundNegationStable(t *testing.T) {
+	prog := MustParseProgram(`
+		node(a).
+		in(X) :- node(X), not out(X).
+		out(X) :- node(X), not in(X).
+	`)
+	d, err := prog.Ground()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem, _ := core.New("DSM", core.Options{})
+	count, err := sem.Models(d, 0, func(logic.Interp) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("stable models = %d, want 2 (in/out choice)", count)
+	}
+}
+
+func TestGroundAgainstGroundFull(t *testing.T) {
+	// The relevance-optimised grounding and the full grounding must
+	// agree on every GCWA verdict over the optimised vocabulary.
+	programs := []string{
+		`edge(a,b). edge(b,c). path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).`,
+		`node(a). node(b). red(X) | green(X) :- node(X). clash :- red(a), red(b).`,
+		`p(a). q(X) | r(X) :- p(X). s(X) :- q(X), r(X).`,
+	}
+	for pi, src := range programs {
+		prog := MustParseProgram(src)
+		opt, err := prog.Ground()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := prog.GroundFull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		semOpt, _ := core.New("GCWA", core.Options{})
+		semFull, _ := core.New("GCWA", core.Options{})
+		for v := 0; v < opt.N(); v++ {
+			name := opt.Voc.Name(logic.Atom(v))
+			if strings.HasPrefix(name, "_") {
+				continue
+			}
+			fa, ok := full.Voc.Lookup(name)
+			if !ok {
+				t.Fatalf("program %d: atom %s missing from full grounding", pi, name)
+			}
+			for _, mkLit := range []func() (logic.Lit, logic.Lit){
+				func() (logic.Lit, logic.Lit) { return logic.PosLit(logic.Atom(v)), logic.PosLit(fa) },
+				func() (logic.Lit, logic.Lit) { return logic.NegLit(logic.Atom(v)), logic.NegLit(fa) },
+			} {
+				lo, lf := mkLit()
+				got, err := semOpt.InferLiteral(opt, lo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := semFull.InferLiteral(full, lf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("program %d: verdict differs on %s: opt=%v full=%v", pi, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGroundFullDomainSize(t *testing.T) {
+	prog := MustParseProgram(`p(a). q(X) :- p(X).`)
+	full, err := prog.GroundFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One constant: one instance of the rule plus the fact.
+	if len(full.Clauses) != 2 {
+		t.Fatalf("full grounding has %d clauses, want 2", len(full.Clauses))
+	}
+}
+
+func TestAtomString(t *testing.T) {
+	a := Atom{Pred: "edge", Args: []Term{"a", "X"}}
+	if a.String() != "edge(a,X)" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if (Atom{Pred: "ok"}).String() != "ok" {
+		t.Fatalf("0-ary atom broken")
+	}
+	if a.ground() {
+		t.Fatalf("edge(a,X) is not ground")
+	}
+}
+
+func BenchmarkGrounding(b *testing.B) {
+	// Grounding scale: transitive closure over growing chains.
+	for _, n := range []int{10, 20, 40} {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "edge(c%d, c%d).\n", i, i+1)
+		}
+		sb.WriteString("path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n")
+		prog := MustParseProgram(sb.String())
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Ground(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

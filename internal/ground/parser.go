@@ -1,0 +1,185 @@
+package ground
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseProgram reads a non-ground disjunctive program. Syntax mirrors
+// the propositional parser with predicate arguments added:
+//
+//	edge(a, b).                         % ground fact
+//	path(X,Y) | blocked(X,Y) :- edge(X,Y).
+//	path(X,Z) :- path(X,Y), path(Y,Z).
+//	ok :- not blocked(a, b).            % default negation
+//	:- blocked(X,Y), blocked(Y,X).      % integrity rule
+//
+// Identifiers starting with an upper-case letter are variables;
+// everything else is a constant or predicate symbol. '%' comments run
+// to end of line.
+func ParseProgram(input string) (*Program, error) {
+	p := &programParser{src: input}
+	prog := &Program{}
+	for {
+		p.skip()
+		if p.pos >= len(p.src) {
+			break
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParseProgram is ParseProgram panicking on error.
+func MustParseProgram(input string) *Program {
+	p, err := ParseProgram(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type programParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *programParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ground: line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *programParser) skip() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case unicode.IsSpace(rune(c)):
+			p.pos++
+		case c == '%':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *programParser) eat(tok string) bool {
+	p.skip()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *programParser) eatWord(w string) bool {
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	end := p.pos + len(w)
+	if end < len(p.src) && isIdentChar(rune(p.src[end])) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentChar(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *programParser) ident() (string, error) {
+	p.skip()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(rune(p.src[p.pos])) {
+		return "", p.errorf("expected identifier")
+	}
+	for p.pos < len(p.src) && isIdentChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *programParser) atom() (Atom, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name}
+	if !p.eat("(") {
+		return a, nil
+	}
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, Term(t))
+		if p.eat(",") {
+			continue
+		}
+		break
+	}
+	if !p.eat(")") {
+		return Atom{}, p.errorf("missing ')' in atom %s", a.Pred)
+	}
+	return a, nil
+}
+
+func (p *programParser) rule() (Rule, error) {
+	var r Rule
+	p.skip()
+	if !strings.HasPrefix(p.src[p.pos:], ":-") {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return r, err
+			}
+			r.Head = append(r.Head, a)
+			if p.eat("|") || p.eat(";") {
+				continue
+			}
+			break
+		}
+	}
+	if p.eat(":-") {
+		for {
+			neg := p.eatWord("not") || p.eat("~") || p.eat("-")
+			a, err := p.atom()
+			if err != nil {
+				return r, err
+			}
+			if neg {
+				r.NegBody = append(r.NegBody, a)
+			} else {
+				r.PosBody = append(r.PosBody, a)
+			}
+			if p.eat(",") || p.eat("&") {
+				continue
+			}
+			break
+		}
+	}
+	if !p.eat(".") {
+		return r, p.errorf("expected '.' at end of rule")
+	}
+	if len(r.Head)+len(r.PosBody)+len(r.NegBody) == 0 {
+		return r, p.errorf("empty rule")
+	}
+	return r, nil
+}

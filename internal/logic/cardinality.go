@@ -1,0 +1,73 @@
+package logic
+
+// Cardinality encodings (sequential counter, Sinz 2005). Used by the
+// P^Σ₂ᵖ[O(log n)] inference algorithm, whose Σ₂ᵖ queries assert
+// "at least k of these atoms are selected".
+
+// AtLeastK returns clauses enforcing that at least k of the given
+// literals are true, interning auxiliary counter atoms into voc.
+// k ≤ 0 yields no clauses; k > len(lits) yields the empty clause
+// (unsatisfiable).
+func AtLeastK(lits []Lit, k int, voc *Vocabulary) CNF {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(lits) {
+		return CNF{{}}
+	}
+	// At-least-k over lits ⟺ at-most-(n-k) over negations.
+	neg := make([]Lit, len(lits))
+	for i, l := range lits {
+		neg[i] = l.Neg()
+	}
+	return AtMostK(neg, len(lits)-k, voc)
+}
+
+// AtMostK returns clauses enforcing that at most k of the given
+// literals are true (sequential counter encoding), interning auxiliary
+// atoms into voc. k ≥ len(lits) yields no clauses; k < 0 yields the
+// empty clause.
+func AtMostK(lits []Lit, k int, voc *Vocabulary) CNF {
+	n := len(lits)
+	if k >= n {
+		return nil
+	}
+	if k < 0 {
+		return CNF{{}}
+	}
+	if k == 0 {
+		out := make(CNF, n)
+		for i, l := range lits {
+			out[i] = Clause{l.Neg()}
+		}
+		return out
+	}
+	// r[i][j] ⇔ at least j+1 of lits[0..i] are true (j < k).
+	r := make([][]Lit, n)
+	for i := range r {
+		r[i] = make([]Lit, k)
+		for j := range r[i] {
+			r[i][j] = PosLit(voc.FreshNamed("_card"))
+		}
+	}
+	var out CNF
+	// Base: lits[0] → r[0][0]; ¬r[0][j] for j ≥ 1.
+	out = append(out, Clause{lits[0].Neg(), r[0][0]})
+	for j := 1; j < k; j++ {
+		out = append(out, Clause{r[0][j].Neg()})
+	}
+	for i := 1; i < n; i++ {
+		// lits[i] → r[i][0]; r[i-1][j] → r[i][j]
+		out = append(out, Clause{lits[i].Neg(), r[i][0]})
+		for j := 0; j < k; j++ {
+			out = append(out, Clause{r[i-1][j].Neg(), r[i][j]})
+		}
+		// lits[i] ∧ r[i-1][j-1] → r[i][j]
+		for j := 1; j < k; j++ {
+			out = append(out, Clause{lits[i].Neg(), r[i-1][j-1].Neg(), r[i][j]})
+		}
+		// Overflow: lits[i] ∧ r[i-1][k-1] → ⊥
+		out = append(out, Clause{lits[i].Neg(), r[i-1][k-1].Neg()})
+	}
+	return out
+}

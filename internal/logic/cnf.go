@@ -1,0 +1,221 @@
+package logic
+
+// CNF conversion. Two strategies are provided:
+//
+//   - ToCNFTseitin: equisatisfiable conversion introducing one fresh
+//     definition atom per connective node. Linear size; this is what all
+//     SAT-oracle membership algorithms use.
+//   - ToCNFDirect: equivalent (no fresh atoms) conversion by NNF +
+//     distribution. Exponential in the worst case; used by code that
+//     needs formulas over the original vocabulary only (e.g. model
+//     enumeration restricted to V) and by tests as an independent
+//     reference for the Tseitin encoding.
+
+// Clause is a disjunction of literals (SAT-solver clause, not a database
+// clause — see package db for the latter).
+type Clause []Lit
+
+// CNF is a conjunction of clauses.
+type CNF []Clause
+
+// CloneCNF returns a deep copy of c.
+func CloneCNF(c CNF) CNF {
+	out := make(CNF, len(c))
+	for i, cl := range c {
+		out[i] = append(Clause(nil), cl...)
+	}
+	return out
+}
+
+// EvalClause reports whether m satisfies the clause (some literal true).
+func EvalClause(c Clause, m Interp) bool {
+	for _, l := range c {
+		if m.Sat(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalCNF reports whether m satisfies every clause of c.
+func EvalCNF(c CNF, m Interp) bool {
+	for _, cl := range c {
+		if !EvalClause(cl, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// nnf converts f to negation normal form. neg indicates whether f is
+// under an odd number of negations. Implications and equivalences are
+// expanded.
+func nnf(f *Formula, neg bool) *Formula {
+	switch f.Op {
+	case OpAtom:
+		if neg {
+			return Not(f)
+		}
+		return f
+	case OpTrue:
+		if neg {
+			return FalseF()
+		}
+		return TrueF()
+	case OpFalse:
+		if neg {
+			return TrueF()
+		}
+		return FalseF()
+	case OpNot:
+		return nnf(f.Args[0], !neg)
+	case OpAnd, OpOr:
+		op := f.Op
+		if neg {
+			if op == OpAnd {
+				op = OpOr
+			} else {
+				op = OpAnd
+			}
+		}
+		args := make([]*Formula, len(f.Args))
+		for i, g := range f.Args {
+			args[i] = nnf(g, neg)
+		}
+		return nary(op, args)
+	case OpImpl:
+		// f → g  ≡  ¬f ∨ g
+		return nnf(Or(Not(f.Args[0]), f.Args[1]), neg)
+	case OpEquiv:
+		// f ↔ g  ≡  (f∧g) ∨ (¬f∧¬g)
+		a, b := f.Args[0], f.Args[1]
+		return nnf(Or(And(a, b), And(Not(a), Not(b))), neg)
+	}
+	panic("logic: nnf: unknown op")
+}
+
+// NNF returns the negation normal form of f (negations only on atoms,
+// connectives only ∧/∨ and constants).
+func NNF(f *Formula) *Formula { return nnf(f, false) }
+
+// ToCNFDirect converts f to an equivalent CNF over the same vocabulary
+// by NNF and distribution. Worst-case exponential; intended for
+// formulas of modest size.
+func ToCNFDirect(f *Formula) CNF {
+	return distribute(NNF(f))
+}
+
+func distribute(f *Formula) CNF {
+	switch f.Op {
+	case OpTrue:
+		return CNF{}
+	case OpFalse:
+		return CNF{{}} // the empty clause: unsatisfiable
+	case OpAtom:
+		return CNF{{PosLit(f.A)}}
+	case OpNot: // in NNF the operand is an atom
+		return CNF{{NegLit(f.Args[0].A)}}
+	case OpAnd:
+		var out CNF
+		for _, g := range f.Args {
+			out = append(out, distribute(g)...)
+		}
+		return out
+	case OpOr:
+		// Cross product of the operand CNFs.
+		out := CNF{{}}
+		for _, g := range f.Args {
+			gc := distribute(g)
+			next := make(CNF, 0, len(out)*len(gc))
+			for _, a := range out {
+				for _, b := range gc {
+					cl := make(Clause, 0, len(a)+len(b))
+					cl = append(cl, a...)
+					cl = append(cl, b...)
+					if c, taut := normalizeClause(cl); !taut {
+						next = append(next, c)
+					}
+				}
+			}
+			out = next
+		}
+		return out
+	}
+	panic("logic: distribute: formula not in NNF")
+}
+
+// normalizeClause sorts and deduplicates the clause and reports whether
+// it is a tautology (contains a literal and its negation).
+func normalizeClause(c Clause) (Clause, bool) {
+	seen := make(map[Lit]bool, len(c))
+	out := c[:0]
+	for _, l := range c {
+		if seen[l.Neg()] {
+			return nil, true
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out, false
+}
+
+// Tseitin converts f to an equisatisfiable CNF. Fresh atoms are
+// interned into v with the prefix "_t"; the returned root literal is
+// asserted as a unit clause, so the CNF is satisfiable iff f is, and
+// every model of the CNF restricted to the original vocabulary is a
+// model of f (and every model of f extends to a model of the CNF).
+func Tseitin(f *Formula, v *Vocabulary) CNF {
+	t := &tseitin{voc: v}
+	root := t.lit(NNF(f))
+	t.out = append(t.out, Clause{root})
+	return t.out
+}
+
+// TseitinNeg returns a CNF equisatisfiable with ¬f (convenience for
+// validity checking: f is valid iff TseitinNeg(f) is unsatisfiable).
+func TseitinNeg(f *Formula, v *Vocabulary) CNF {
+	return Tseitin(Not(f), v)
+}
+
+type tseitin struct {
+	voc *Vocabulary
+	out CNF
+}
+
+// lit returns a literal equivalent (in the defining theory) to the NNF
+// formula g, emitting definition clauses as needed. Because g is in NNF
+// only the ⇐ direction ("def → g") of each definition is required for
+// equisatisfiability, which halves the clause count (Plaisted–Greenbaum).
+func (t *tseitin) lit(g *Formula) Lit {
+	switch g.Op {
+	case OpAtom:
+		return PosLit(g.A)
+	case OpNot:
+		return NegLit(g.Args[0].A)
+	case OpTrue:
+		a := t.voc.FreshNamed("_t")
+		t.out = append(t.out, Clause{PosLit(a)})
+		return PosLit(a)
+	case OpFalse:
+		a := t.voc.FreshNamed("_t")
+		t.out = append(t.out, Clause{NegLit(a)})
+		return PosLit(a)
+	case OpAnd:
+		d := PosLit(t.voc.FreshNamed("_t"))
+		for _, h := range g.Args {
+			t.out = append(t.out, Clause{d.Neg(), t.lit(h)})
+		}
+		return d
+	case OpOr:
+		d := PosLit(t.voc.FreshNamed("_t"))
+		cl := Clause{d.Neg()}
+		for _, h := range g.Args {
+			cl = append(cl, t.lit(h))
+		}
+		t.out = append(t.out, cl)
+		return d
+	}
+	panic("logic: tseitin: formula not in NNF")
+}

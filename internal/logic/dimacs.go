@@ -1,0 +1,93 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DIMACS CNF interchange, for feeding external instances to the
+// UMINSAT/∃MODEL experiments and exporting the oracle's queries.
+// Variables 1..n map to atoms 0..n-1.
+
+// ParseDIMACS reads a DIMACS CNF file. Atom names "v1".."vn" are
+// interned into a fresh vocabulary, which is returned with the clause
+// set.
+func ParseDIMACS(r io.Reader) (CNF, *Vocabulary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	voc := NewVocabulary()
+	var out CNF
+	declared := -1
+	var cur Clause
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, nil, fmt.Errorf("dimacs: malformed problem line %q", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("dimacs: bad variable count in %q", line)
+			}
+			declared = n
+			for i := 1; i <= n; i++ {
+				voc.Intern("v" + strconv.Itoa(i))
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dimacs: bad literal %q", tok)
+			}
+			if v == 0 {
+				out = append(out, cur)
+				cur = nil
+				continue
+			}
+			idx := v
+			if idx < 0 {
+				idx = -idx
+			}
+			if declared >= 0 && idx > declared {
+				return nil, nil, fmt.Errorf("dimacs: literal %d exceeds declared %d variables", v, declared)
+			}
+			for voc.Size() < idx {
+				voc.Intern("v" + strconv.Itoa(voc.Size()+1))
+			}
+			cur = append(cur, MkLit(Atom(idx-1), v > 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(cur) > 0 {
+		out = append(out, cur) // tolerate a missing trailing 0
+	}
+	return out, voc, nil
+}
+
+// WriteDIMACS writes the CNF in DIMACS format. nVars must cover every
+// atom in the CNF.
+func WriteDIMACS(w io.Writer, cnf CNF, nVars int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", nVars, len(cnf))
+	for _, cl := range cnf {
+		for _, l := range cl {
+			v := int(l.Atom()) + 1
+			if !l.IsPos() {
+				v = -v
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,85 @@
+package logic
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+`
+	cnf, voc, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voc.Size() != 3 || len(cnf) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", voc.Size(), len(cnf))
+	}
+	if cnf[0][0] != PosLit(0) || cnf[0][1] != NegLit(1) {
+		t.Fatalf("first clause wrong: %v", cnf[0])
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p cnf x 2\n1 0\n",
+		"p dnf 2 2\n1 0\n",
+		"p cnf 1 1\n2 0\n", // literal out of range
+		"p cnf 2 1\nfoo 0\n",
+	} {
+		if _, _, err := ParseDIMACS(strings.NewReader(bad)); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseDIMACSWithoutHeader(t *testing.T) {
+	cnf, voc, err := ParseDIMACS(strings.NewReader("1 2 0\n-1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voc.Size() != 2 || len(cnf) != 2 {
+		t.Fatalf("headerless parse wrong: %d vars %d clauses", voc.Size(), len(cnf))
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(8)
+		var cnf CNF
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			var cl Clause
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				cl = append(cl, MkLit(Atom(rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			cnf = append(cnf, cl)
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, cnf, n); err != nil {
+			t.Fatal(err)
+		}
+		got, voc, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if voc.Size() != n || len(got) != len(cnf) {
+			t.Fatalf("iter %d: round trip shape wrong", iter)
+		}
+		for i := range cnf {
+			if len(got[i]) != len(cnf[i]) {
+				t.Fatalf("iter %d: clause %d length changed", iter, i)
+			}
+			for j := range cnf[i] {
+				if got[i][j] != cnf[i][j] {
+					t.Fatalf("iter %d: clause %d literal %d changed", iter, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies a formula node kind.
+type Op uint8
+
+// Formula node kinds.
+const (
+	OpAtom  Op = iota // leaf: propositional variable
+	OpTrue            // constant ⊤
+	OpFalse           // constant ⊥
+	OpNot             // ¬φ
+	OpAnd             // φ₁ ∧ … ∧ φₖ
+	OpOr              // φ₁ ∨ … ∨ φₖ
+	OpImpl            // φ → ψ
+	OpEquiv           // φ ↔ ψ
+)
+
+// Formula is a node of a propositional formula AST. Formulas are
+// immutable once built; the constructor functions below perform light
+// simplification (flattening of nested ∧/∨, constant folding of ⊤/⊥).
+type Formula struct {
+	Op   Op
+	A    Atom       // valid when Op == OpAtom
+	Args []*Formula // operands for Not/And/Or/Impl/Equiv
+}
+
+var (
+	trueFormula  = &Formula{Op: OpTrue}
+	falseFormula = &Formula{Op: OpFalse}
+)
+
+// TrueF returns the constant-true formula.
+func TrueF() *Formula { return trueFormula }
+
+// FalseF returns the constant-false formula.
+func FalseF() *Formula { return falseFormula }
+
+// AtomF returns the formula consisting of the single atom a.
+func AtomF(a Atom) *Formula { return &Formula{Op: OpAtom, A: a} }
+
+// LitF returns the formula for literal l (an atom or its negation).
+func LitF(l Lit) *Formula {
+	if l.IsPos() {
+		return AtomF(l.Atom())
+	}
+	return Not(AtomF(l.Atom()))
+}
+
+// Not returns ¬f, folding double negation and constants.
+func Not(f *Formula) *Formula {
+	switch f.Op {
+	case OpTrue:
+		return falseFormula
+	case OpFalse:
+		return trueFormula
+	case OpNot:
+		return f.Args[0]
+	}
+	return &Formula{Op: OpNot, Args: []*Formula{f}}
+}
+
+// And returns the conjunction of fs, flattening nested conjunctions and
+// folding constants. And() is ⊤.
+func And(fs ...*Formula) *Formula { return nary(OpAnd, fs) }
+
+// Or returns the disjunction of fs, flattening nested disjunctions and
+// folding constants. Or() is ⊥.
+func Or(fs ...*Formula) *Formula { return nary(OpOr, fs) }
+
+func nary(op Op, fs []*Formula) *Formula {
+	var unit, zero *Formula
+	if op == OpAnd {
+		unit, zero = trueFormula, falseFormula
+	} else {
+		unit, zero = falseFormula, trueFormula
+	}
+	args := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		switch {
+		case f == nil || f.Op == unit.Op:
+			continue
+		case f.Op == zero.Op:
+			return zero
+		case f.Op == op:
+			args = append(args, f.Args...)
+		default:
+			args = append(args, f)
+		}
+	}
+	switch len(args) {
+	case 0:
+		return unit
+	case 1:
+		return args[0]
+	}
+	return &Formula{Op: op, Args: args}
+}
+
+// Implies returns f → g.
+func Implies(f, g *Formula) *Formula {
+	return &Formula{Op: OpImpl, Args: []*Formula{f, g}}
+}
+
+// Equiv returns f ↔ g.
+func Equiv(f, g *Formula) *Formula {
+	return &Formula{Op: OpEquiv, Args: []*Formula{f, g}}
+}
+
+// Eval returns the truth value of f under the total interpretation m.
+func (f *Formula) Eval(m Interp) bool {
+	switch f.Op {
+	case OpAtom:
+		return m.Holds(f.A)
+	case OpTrue:
+		return true
+	case OpFalse:
+		return false
+	case OpNot:
+		return !f.Args[0].Eval(m)
+	case OpAnd:
+		for _, g := range f.Args {
+			if !g.Eval(m) {
+				return false
+			}
+		}
+		return true
+	case OpOr:
+		for _, g := range f.Args {
+			if g.Eval(m) {
+				return true
+			}
+		}
+		return false
+	case OpImpl:
+		return !f.Args[0].Eval(m) || f.Args[1].Eval(m)
+	case OpEquiv:
+		return f.Args[0].Eval(m) == f.Args[1].Eval(m)
+	}
+	panic(fmt.Sprintf("logic: unknown formula op %d", f.Op))
+}
+
+// Eval3 returns the 3-valued (Kleene) truth value of f under the partial
+// interpretation p. Used by PDSM formula inference.
+func (f *Formula) Eval3(p Partial) TruthValue {
+	switch f.Op {
+	case OpAtom:
+		return p.Value(f.A)
+	case OpTrue:
+		return True
+	case OpFalse:
+		return False
+	case OpNot:
+		return True - f.Args[0].Eval3(p)
+	case OpAnd:
+		v := True
+		for _, g := range f.Args {
+			if w := g.Eval3(p); w < v {
+				v = w
+			}
+		}
+		return v
+	case OpOr:
+		v := False
+		for _, g := range f.Args {
+			if w := g.Eval3(p); w > v {
+				v = w
+			}
+		}
+		return v
+	case OpImpl:
+		a, b := f.Args[0].Eval3(p), f.Args[1].Eval3(p)
+		if na := True - a; na > b {
+			b = na
+		}
+		return b
+	case OpEquiv:
+		a, b := f.Args[0].Eval3(p), f.Args[1].Eval3(p)
+		if a == Undefined || b == Undefined {
+			return Undefined
+		}
+		if a == b {
+			return True
+		}
+		return False
+	}
+	panic(fmt.Sprintf("logic: unknown formula op %d", f.Op))
+}
+
+// Atoms adds every atom occurring in f to dst and returns dst
+// (allocating it if nil).
+func (f *Formula) Atoms(dst map[Atom]bool) map[Atom]bool {
+	if dst == nil {
+		dst = make(map[Atom]bool)
+	}
+	var walk func(g *Formula)
+	walk = func(g *Formula) {
+		if g.Op == OpAtom {
+			dst[g.A] = true
+			return
+		}
+		for _, h := range g.Args {
+			walk(h)
+		}
+	}
+	walk(f)
+	return dst
+}
+
+// Size returns the number of AST nodes in f.
+func (f *Formula) Size() int {
+	n := 1
+	for _, g := range f.Args {
+		n += g.Size()
+	}
+	return n
+}
+
+// String renders the formula in the parser's concrete syntax using
+// vocabulary v.
+func (f *Formula) String(v *Vocabulary) string {
+	var b strings.Builder
+	f.render(&b, v, 0)
+	return b.String()
+}
+
+// precedence levels: Equiv 1, Impl 2, Or 3, And 4, Not 5.
+func (f *Formula) render(b *strings.Builder, v *Vocabulary, parent int) {
+	paren := func(level int, inner func()) {
+		if level < parent {
+			b.WriteByte('(')
+			inner()
+			b.WriteByte(')')
+		} else {
+			inner()
+		}
+	}
+	switch f.Op {
+	case OpAtom:
+		b.WriteString(v.Name(f.A))
+	case OpTrue:
+		b.WriteString("true")
+	case OpFalse:
+		b.WriteString("false")
+	case OpNot:
+		b.WriteString("-")
+		f.Args[0].render(b, v, 5)
+	case OpAnd:
+		paren(4, func() { f.renderList(b, v, " & ", 4) })
+	case OpOr:
+		paren(3, func() { f.renderList(b, v, " | ", 3) })
+	case OpImpl:
+		paren(2, func() {
+			f.Args[0].render(b, v, 3)
+			b.WriteString(" -> ")
+			f.Args[1].render(b, v, 2)
+		})
+	case OpEquiv:
+		paren(1, func() {
+			f.Args[0].render(b, v, 2)
+			b.WriteString(" <-> ")
+			f.Args[1].render(b, v, 2)
+		})
+	}
+}
+
+func (f *Formula) renderList(b *strings.Builder, v *Vocabulary, sep string, level int) {
+	for i, g := range f.Args {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		g.render(b, v, level+1)
+	}
+}

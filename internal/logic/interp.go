@@ -1,0 +1,178 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+
+	"disjunct/internal/bitset"
+)
+
+// Interp is a total two-valued interpretation over a vocabulary of n
+// atoms, represented (Herbrand-style) as the set of true atoms.
+type Interp struct {
+	True *bitset.Set
+}
+
+// NewInterp returns the all-false interpretation over n atoms.
+func NewInterp(n int) Interp { return Interp{True: bitset.New(n)} }
+
+// InterpOf returns the interpretation over n atoms in which exactly the
+// given atoms are true.
+func InterpOf(n int, atoms ...Atom) Interp {
+	m := NewInterp(n)
+	for _, a := range atoms {
+		m.True.Set(int(a))
+	}
+	return m
+}
+
+// N returns the number of atoms the interpretation ranges over.
+func (m Interp) N() int { return m.True.Len() }
+
+// Holds reports whether atom a is true in m.
+func (m Interp) Holds(a Atom) bool { return m.True.Test(int(a)) }
+
+// Sat reports whether literal l is satisfied by m.
+func (m Interp) Sat(l Lit) bool { return m.Holds(l.Atom()) == l.IsPos() }
+
+// Clone returns an independent copy.
+func (m Interp) Clone() Interp { return Interp{True: m.True.Clone()} }
+
+// Equal reports whether m and o make the same atoms true.
+func (m Interp) Equal(o Interp) bool { return m.True.Equal(o.True) }
+
+// SubsetOf reports whether the true atoms of m are a subset of those of o.
+func (m Interp) SubsetOf(o Interp) bool { return m.True.SubsetOf(o.True) }
+
+// ProperSubsetOf reports m ⊊ o on true atoms.
+func (m Interp) ProperSubsetOf(o Interp) bool { return m.True.ProperSubsetOf(o.True) }
+
+// Key returns a map key identifying the true-atom set.
+func (m Interp) Key() string { return m.True.Key() }
+
+// String renders the set of true atoms using vocabulary v, e.g. "{a, c}".
+func (m Interp) String(v *Vocabulary) string {
+	names := make([]string, 0, m.True.Count())
+	m.True.ForEach(func(i int) { names = append(names, v.Name(Atom(i))) })
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// TruthValue is a value of Przymusinski's 3-valued logic, used by the
+// partial disjunctive stable model semantics (PDSM). The paper's values
+// 0, 0.5, 1 are represented as False, Undefined, True.
+type TruthValue uint8
+
+// Truth values ordered by degree of truth: False < Undefined < True.
+const (
+	False TruthValue = iota
+	Undefined
+	True
+)
+
+// String returns "false", "undef" or "true".
+func (t TruthValue) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Undefined:
+		return "undef"
+	default:
+		return "true"
+	}
+}
+
+// Partial is a total 3-valued interpretation: every atom is assigned
+// one of False, Undefined, True. It is represented by two bit sets,
+// the true atoms and the undefined atoms (disjoint).
+type Partial struct {
+	T *bitset.Set // atoms assigned True
+	U *bitset.Set // atoms assigned Undefined
+}
+
+// NewPartial returns the all-false partial interpretation over n atoms.
+func NewPartial(n int) Partial {
+	return Partial{T: bitset.New(n), U: bitset.New(n)}
+}
+
+// N returns the number of atoms.
+func (p Partial) N() int { return p.T.Len() }
+
+// Value returns the truth value of atom a.
+func (p Partial) Value(a Atom) TruthValue {
+	switch {
+	case p.T.Test(int(a)):
+		return True
+	case p.U.Test(int(a)):
+		return Undefined
+	default:
+		return False
+	}
+}
+
+// SetValue assigns truth value t to atom a.
+func (p Partial) SetValue(a Atom, t TruthValue) {
+	p.T.SetTo(int(a), t == True)
+	p.U.SetTo(int(a), t == Undefined)
+}
+
+// LitValue returns the truth value of literal l (3-valued negation
+// swaps True and False and fixes Undefined).
+func (p Partial) LitValue(l Lit) TruthValue {
+	v := p.Value(l.Atom())
+	if l.IsPos() {
+		return v
+	}
+	return True - v
+}
+
+// Clone returns an independent copy.
+func (p Partial) Clone() Partial { return Partial{T: p.T.Clone(), U: p.U.Clone()} }
+
+// Equal reports whether p and q assign the same value to every atom.
+func (p Partial) Equal(q Partial) bool { return p.T.Equal(q.T) && p.U.Equal(q.U) }
+
+// IsTotal reports whether no atom is Undefined.
+func (p Partial) IsTotal() bool { return p.U.IsEmpty() }
+
+// Total returns the two-valued interpretation of a total p.
+// It panics if p has undefined atoms.
+func (p Partial) Total() Interp {
+	if !p.IsTotal() {
+		panic("logic: Total on partial interpretation with undefined atoms")
+	}
+	return Interp{True: p.T.Clone()}
+}
+
+// TruthLeq reports whether p ≤ q in the truth ordering extended
+// pointwise: p(a) ≤ q(a) for every atom a. This is the ordering under
+// which partial stable models are required to be minimal.
+func (p Partial) TruthLeq(q Partial) bool {
+	n := p.N()
+	for i := 0; i < n; i++ {
+		if p.Value(Atom(i)) > q.Value(Atom(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key identifying the assignment.
+func (p Partial) Key() string { return p.T.Key() + "|" + p.U.Key() }
+
+// String renders the assignment using vocabulary v, e.g. "{a=true, b=undef}".
+// False atoms are omitted.
+func (p Partial) String(v *Vocabulary) string {
+	var parts []string
+	n := p.N()
+	for i := 0; i < n; i++ {
+		switch p.Value(Atom(i)) {
+		case True:
+			parts = append(parts, v.Name(Atom(i))+"=true")
+		case Undefined:
+			parts = append(parts, v.Name(Atom(i))+"=undef")
+		}
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

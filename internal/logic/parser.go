@@ -1,0 +1,243 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseFormula parses a propositional formula in the library's concrete
+// syntax and interns its atoms into v.
+//
+// Grammar (loosest-binding first):
+//
+//	formula := equiv
+//	equiv   := impl ( "<->" impl )*
+//	impl    := or ( "->" impl )?            (right associative)
+//	or      := and ( "|" and )*
+//	and     := unary ( ("&" | ",") unary )*
+//	unary   := ("-" | "~" | "!" | "not") unary | primary
+//	primary := "true" | "false" | atom | "(" formula ")"
+//	atom    := ident [ "(" ident ("," ident)* ")" ]
+//
+// Identifiers start with a letter or underscore and continue with
+// letters, digits, underscores, apostrophes and dots. An identifier
+// immediately followed by "(" denotes a ground first-order atom such
+// as "edge(a,b)" — the application is a single propositional atom
+// under the grounder's naming convention.
+func ParseFormula(input string, v *Vocabulary) (*Formula, error) {
+	p := &formulaParser{src: input, voc: v}
+	f, err := p.parseEquiv()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errorf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return f, nil
+}
+
+// MustParseFormula is ParseFormula but panics on error; for tests and
+// examples with literal formulas.
+func MustParseFormula(input string, v *Vocabulary) *Formula {
+	f, err := ParseFormula(input, v)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type formulaParser struct {
+	src string
+	pos int
+	voc *Vocabulary
+}
+
+func (p *formulaParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("formula: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *formulaParser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// peekOp reports whether the next token is the given operator and
+// consumes it if so. Operators are matched longest-first by the caller.
+func (p *formulaParser) eat(op string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], op) {
+		// "-" must not consume the start of "->".
+		if op == "-" && strings.HasPrefix(p.src[p.pos:], "->") {
+			return false
+		}
+		p.pos += len(op)
+		return true
+	}
+	return false
+}
+
+// eatWord consumes the given keyword if it appears as a whole word.
+func (p *formulaParser) eatWord(w string) bool {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	end := p.pos + len(w)
+	if end < len(p.src) && isIdentChar(rune(p.src[end])) {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func (p *formulaParser) parseEquiv() (*Formula, error) {
+	f, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for p.eat("<->") {
+		g, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		f = Equiv(f, g)
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseImpl() (*Formula, error) {
+	f, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.eat("->") {
+		g, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return Implies(f, g), nil
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseOr() (*Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Formula{f}
+	for p.eat("|") {
+		g, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, g)
+	}
+	if len(args) == 1 {
+		return f, nil
+	}
+	return Or(args...), nil
+}
+
+func (p *formulaParser) parseAnd() (*Formula, error) {
+	f, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	args := []*Formula{f}
+	for p.eat("&") || p.eat(",") {
+		g, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, g)
+	}
+	if len(args) == 1 {
+		return f, nil
+	}
+	return And(args...), nil
+}
+
+func (p *formulaParser) parseUnary() (*Formula, error) {
+	if p.eat("-") || p.eat("~") || p.eat("!") || p.eatWord("not") {
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(f), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *formulaParser) parsePrimary() (*Formula, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, p.errorf("unexpected end of input")
+	}
+	if p.eat("(") {
+		f, err := p.parseEquiv()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("missing ')'")
+		}
+		return f, nil
+	}
+	if p.eatWord("true") {
+		return TrueF(), nil
+	}
+	if p.eatWord("false") {
+		return FalseF(), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	// Ground datalog atoms carry an argument list: "edge(a,b)". The
+	// whole application is one propositional atom whose canonical name
+	// strips interior whitespace, matching the grounder's convention.
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		args := []string{}
+		for {
+			arg, err := p.ident()
+			if err != nil {
+				return nil, p.errorf("expected argument in atom %s(...)", name)
+			}
+			args = append(args, arg)
+			if p.eat(",") {
+				continue
+			}
+			break
+		}
+		if !p.eat(")") {
+			return nil, p.errorf("missing ')' in atom %s(...)", name)
+		}
+		name = name + "(" + strings.Join(args, ",") + ")"
+	}
+	return AtomF(p.voc.Intern(name)), nil
+}
+
+func (p *formulaParser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos >= len(p.src) || !isIdentStart(rune(p.src[p.pos])) {
+		return "", p.errorf("expected identifier")
+	}
+	for p.pos < len(p.src) && isIdentChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool {
+	return r == '_' || r == '\'' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,94 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the formula parser never panics on arbitrary input.
+func TestFormulaParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ParseFormula(input, NewVocabulary())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DIMACS parser never panics on arbitrary input.
+func TestDIMACSParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		ParseDIMACS(strings.NewReader(input))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing is insensitive to surrounding whitespace.
+func TestFormulaParserWhitespace(t *testing.T) {
+	v1 := NewVocabulary()
+	v2 := NewVocabulary()
+	f1 := MustParseFormula("a&(b|-c)->d", v1)
+	f2 := MustParseFormula("  a & ( b | - c )  ->  d  ", v2)
+	if f1.String(v1) != f2.String(v2) {
+		t.Fatalf("whitespace sensitivity: %q vs %q", f1.String(v1), f2.String(v2))
+	}
+}
+
+// Property: "-" never consumes the arrow "->".
+func TestMinusVsArrow(t *testing.T) {
+	v := NewVocabulary()
+	f := MustParseFormula("a->b", v)
+	if f.Op != OpImpl {
+		t.Fatalf("a->b parsed as %v", f.Op)
+	}
+	// Identifiers cannot contain '-', so "a- ->b" must be a parse error
+	// rather than an atom named "a-".
+	if _, err := ParseFormula("a- ->b", v); err == nil {
+		t.Fatalf("'a- ->b' should fail to parse")
+	}
+	if _, err := ParseFormula("-a", v); err != nil {
+		t.Fatalf("unary minus broken: %v", err)
+	}
+}
+
+// Ground first-order atoms parse as single propositional atoms.
+func TestGroundAtomSyntax(t *testing.T) {
+	v := NewVocabulary()
+	f := MustParseFormula("edge(a,b) & -path( a , c )", v)
+	if _, ok := v.Lookup("edge(a,b)"); !ok {
+		t.Fatalf("edge(a,b) not interned as one atom")
+	}
+	if _, ok := v.Lookup("path(a,c)"); !ok {
+		t.Fatalf("whitespace not canonicalised in path(a,c)")
+	}
+	if f.Op != OpAnd {
+		t.Fatalf("structure wrong")
+	}
+	// Malformed applications must error, not panic.
+	for _, bad := range []string{"p(", "p(a", "p(a,)", "p()"} {
+		if _, err := ParseFormula(bad, NewVocabulary()); err == nil {
+			t.Fatalf("%q should fail", bad)
+		}
+	}
+	// Render → parse round trip preserves the application atom.
+	s := f.String(v)
+	g := MustParseFormula(s, v)
+	if g.String(v) != s {
+		t.Fatalf("round trip changed %q to %q", s, g.String(v))
+	}
+}

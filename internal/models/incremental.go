@@ -1,0 +1,186 @@
+package models
+
+import (
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+	"disjunct/internal/sat"
+)
+
+// IncrementalEngine is an alternative minimal-model engine that keeps
+// ONE CDCL solver alive across queries instead of building a fresh
+// solver per NP-oracle call. Query-specific constraints are attached
+// through activation literals and assumptions, so learned clauses are
+// reused between minimality checks — the standard incremental-SAT
+// architecture of production circumscription/ASP checkers.
+//
+// The engine answers the same questions as Engine (the test suite
+// cross-validates them); BenchmarkEngineVsIncremental measures the
+// difference. Every Solve on the shared solver is counted as one NP
+// call on the oracle, keeping the complexity accounting identical.
+type IncrementalEngine struct {
+	DB  *db.DB
+	Ora *oracle.NP
+
+	solver *sat.Solver
+	nBase  int // atoms of the database vocabulary
+	nVars  int // next free solver variable
+}
+
+// NewIncrementalEngine builds the engine and loads the database CNF
+// into the shared solver.
+func NewIncrementalEngine(d *db.DB, o *oracle.NP) *IncrementalEngine {
+	if o == nil {
+		o = oracle.NewNP()
+	}
+	e := &IncrementalEngine{DB: d, Ora: o, nBase: d.N(), nVars: d.N()}
+	e.solver = sat.New(d.N())
+	for _, cl := range d.ToCNF() {
+		lits := make([]sat.Lit, len(cl))
+		for i, l := range cl {
+			lits[i] = sat.MkLit(int(l.Atom()), l.IsPos())
+		}
+		e.solver.AddClause(lits...)
+	}
+	return e
+}
+
+// fresh allocates a new solver variable (activation literals).
+func (e *IncrementalEngine) fresh() int {
+	v := e.nVars
+	e.nVars++
+	return v
+}
+
+// HasModel reports satisfiability of the database.
+func (e *IncrementalEngine) HasModel() (bool, logic.Interp) {
+	e.Ora.CountCall()
+	if e.solver.Solve() != sat.Sat {
+		return false, logic.Interp{}
+	}
+	return true, e.model()
+}
+
+func (e *IncrementalEngine) model() logic.Interp {
+	m := logic.NewInterp(e.nBase)
+	for v := 0; v < e.nBase; v++ {
+		m.True.SetTo(v, e.solver.Model(v))
+	}
+	return m
+}
+
+// IsMinimalPZ reports whether m is (P;Z)-minimal, reusing the shared
+// solver: the "shrink" clause is guarded by a fresh activation literal
+// and the Q/P fixings travel as assumptions.
+func (e *IncrementalEngine) IsMinimalPZ(m logic.Interp, part Partition) bool {
+	assumptions := make([]sat.Lit, 0, e.nBase+1)
+	var shrink []sat.Lit
+	act := e.fresh()
+	shrink = append(shrink, sat.MkLit(act, false)) // ¬act ∨ ⋁ ¬p
+	for v := 0; v < e.nBase; v++ {
+		a := logic.Atom(v)
+		switch {
+		case part.Q.Test(v):
+			assumptions = append(assumptions, sat.MkLit(v, m.Holds(a)))
+		case part.P.Test(v):
+			if m.Holds(a) {
+				shrink = append(shrink, sat.MkLit(v, false))
+			} else {
+				assumptions = append(assumptions, sat.MkLit(v, false))
+			}
+		}
+	}
+	if len(shrink) == 1 {
+		e.deactivate(act)
+		return true // M∩P empty: nothing to shrink
+	}
+	e.solver.AddClause(shrink...)
+	assumptions = append(assumptions, sat.MkLit(act, true))
+	e.Ora.CountCall()
+	res := e.solver.Solve(assumptions...)
+	e.deactivate(act)
+	return res != sat.Sat
+}
+
+// MinimizePZ shrinks m to a (P;Z)-minimal model below it.
+func (e *IncrementalEngine) MinimizePZ(m logic.Interp, part Partition) logic.Interp {
+	cur := m.Clone()
+	for {
+		assumptions := make([]sat.Lit, 0, e.nBase+1)
+		act := e.fresh()
+		shrink := []sat.Lit{sat.MkLit(act, false)}
+		for v := 0; v < e.nBase; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.Q.Test(v):
+				assumptions = append(assumptions, sat.MkLit(v, cur.Holds(a)))
+			case part.P.Test(v):
+				if cur.Holds(a) {
+					shrink = append(shrink, sat.MkLit(v, false))
+				} else {
+					assumptions = append(assumptions, sat.MkLit(v, false))
+				}
+			}
+		}
+		if len(shrink) == 1 {
+			e.deactivate(act)
+			return cur
+		}
+		e.solver.AddClause(shrink...)
+		assumptions = append(assumptions, sat.MkLit(act, true))
+		e.Ora.CountCall()
+		res := e.solver.Solve(assumptions...)
+		if res != sat.Sat {
+			e.deactivate(act)
+			return cur
+		}
+		next := e.model()
+		e.deactivate(act)
+		cur = next
+	}
+}
+
+// Minimize is MinimizePZ with full minimisation.
+func (e *IncrementalEngine) Minimize(m logic.Interp) logic.Interp {
+	return e.MinimizePZ(m, FullMin(e.nBase))
+}
+
+// IsMinimal is IsMinimalPZ with full minimisation.
+func (e *IncrementalEngine) IsMinimal(m logic.Interp) bool {
+	return e.IsMinimalPZ(m, FullMin(e.nBase))
+}
+
+// deactivate permanently satisfies the guarded clause so it never
+// constrains future queries.
+func (e *IncrementalEngine) deactivate(act int) {
+	e.solver.AddClause(sat.MkLit(act, false))
+}
+
+// MinimalModels enumerates MM(DB) on the shared solver; blocking
+// clauses are permanent (they only exclude non-minimal territory), so
+// the engine must not be used for other queries afterwards — callers
+// needing both use separate engines.
+func (e *IncrementalEngine) MinimalModels(limit int, yield func(logic.Interp) bool) int {
+	part := FullMin(e.nBase)
+	count := 0
+	for limit <= 0 || count < limit {
+		e.Ora.CountCall()
+		if e.solver.Solve() != sat.Sat {
+			return count
+		}
+		min := e.MinimizePZ(e.model(), part)
+		count++
+		if !yield(min) {
+			return count
+		}
+		var block []sat.Lit
+		min.True.ForEach(func(i int) {
+			block = append(block, sat.MkLit(i, false))
+		})
+		if len(block) == 0 {
+			return count // ∅ is the unique minimal model
+		}
+		e.solver.AddClause(block...)
+	}
+	return count
+}

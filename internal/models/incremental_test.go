@@ -1,0 +1,130 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestIncrementalMinimalityAgainstEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(281))
+	for iter := 0; iter < 200; iter++ {
+		n := 3 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(7)))
+		p, q := randomPartition(rng, n)
+		part := partitionOf(n, p, q)
+		eng := NewEngine(d, nil)
+		inc := NewIncrementalEngine(d, nil)
+		for _, m := range refsem.Models(d) {
+			want := eng.IsMinimalPZ(m, part)
+			got := inc.IsMinimalPZ(m, part)
+			if got != want {
+				t.Fatalf("iter %d: incremental IsMinimalPZ(%s)=%v, engine=%v\nDB:\n%s",
+					iter, m.String(d.Voc), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestIncrementalMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(282))
+	for iter := 0; iter < 200; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(3+rng.Intn(4), 1+rng.Intn(6)))
+		inc := NewIncrementalEngine(d, nil)
+		ok, m := inc.HasModel()
+		if !ok {
+			continue
+		}
+		min := inc.Minimize(m)
+		if !d.Sat(min) || !min.SubsetOf(m) {
+			t.Fatalf("iter %d: Minimize broken", iter)
+		}
+		// Verify against the stateless engine.
+		if !NewEngine(d, nil).IsMinimal(min) {
+			t.Fatalf("iter %d: incremental Minimize returned non-minimal model", iter)
+		}
+	}
+}
+
+func TestIncrementalMinimalModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(283))
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+		want := refsem.MinimalModels(d)
+		var got []logic.Interp
+		NewIncrementalEngine(d, nil).MinimalModels(0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		})
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: incremental MM mismatch (want %d got %d)\nDB:\n%s",
+				iter, len(want), len(got), d.String())
+		}
+	}
+}
+
+func TestIncrementalQueriesDoNotInterfere(t *testing.T) {
+	// Many interleaved minimality queries on one engine must agree
+	// with fresh-engine answers (no residue from deactivated clauses).
+	rng := rand.New(rand.NewSource(284))
+	d := gen.Random(rng, gen.WithIntegrity(6, 12))
+	inc := NewIncrementalEngine(d, nil)
+	part := FullMin(d.N())
+	all := refsem.Models(d)
+	for round := 0; round < 5; round++ {
+		for _, m := range all {
+			want := NewEngine(d, nil).IsMinimalPZ(m, part)
+			if got := inc.IsMinimalPZ(m, part); got != want {
+				t.Fatalf("round %d: interference detected on %s", round, m.String(d.Voc))
+			}
+		}
+	}
+}
+
+// The ablation of DESIGN.md §8: fresh-solver oracle vs incremental
+// solver reuse, on repeated minimality checks over one database.
+func BenchmarkEngineVsIncremental(b *testing.B) {
+	for _, n := range []int{20, 40} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		d := gen.Random(rng, gen.Positive(n, 3*n))
+		part := FullMin(n)
+		// Pre-compute a pool of models to check.
+		eng := NewEngine(d, nil)
+		var pool []logic.Interp
+		eng.EnumerateModels(16, func(m logic.Interp) bool {
+			pool = append(pool, m.Clone())
+			return true
+		})
+		if len(pool) == 0 {
+			b.Fatal("no models")
+		}
+		b.Run(fmt.Sprintf("fresh/n=%d", n), func(b *testing.B) {
+			e := NewEngine(d, nil)
+			for i := 0; i < b.N; i++ {
+				e.IsMinimalPZ(pool[i%len(pool)], part)
+			}
+		})
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			e := NewIncrementalEngine(d, nil)
+			for i := 0; i < b.N; i++ {
+				e.IsMinimalPZ(pool[i%len(pool)], part)
+			}
+		})
+	}
+}
+
+func TestIncrementalUnsatDB(t *testing.T) {
+	d := db.MustParse("a. :- a.")
+	inc := NewIncrementalEngine(d, nil)
+	if ok, _ := inc.HasModel(); ok {
+		t.Fatalf("unsat DB reported satisfiable")
+	}
+	if n := inc.MinimalModels(0, func(logic.Interp) bool { return true }); n != 0 {
+		t.Fatalf("unsat DB yielded %d minimal models", n)
+	}
+}

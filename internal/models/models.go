@@ -1,0 +1,563 @@
+// Package models implements the model-theoretic machinery the paper's
+// semantics are defined with: models M(DB), minimal models MM(DB), and
+// (P;Z)-minimal models MM(DB;P;Z) for a partition ⟨P;Q;Z⟩ of the
+// vocabulary, plus minimality checking, minimal-model enumeration, and
+// the UMINSAT (unique minimal model) problem of Proposition 5.4.
+//
+// The minimality check is the NP-oracle workhorse: M is (P;Z)-minimal
+// iff DB has no model N with N∩P ⊊ M∩P and N∩Q = M∩Q — one SAT call.
+package models
+
+import (
+	"disjunct/internal/bitset"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// Partition is a partition ⟨P;Q;Z⟩ of the vocabulary: P atoms are
+// minimised, Q atoms are fixed, Z atoms are allowed to vary. The paper
+// writes MM(DB;P;Z); GCWA/EGCWA correspond to P = V, Q = Z = ∅.
+type Partition struct {
+	P *bitset.Set
+	Q *bitset.Set
+	Z *bitset.Set
+}
+
+// FullMin returns the partition minimising every atom (Q = Z = ∅).
+func FullMin(n int) Partition {
+	return Partition{
+		P: bitset.New(n).Fill(),
+		Q: bitset.New(n),
+		Z: bitset.New(n),
+	}
+}
+
+// NewPartition builds a partition from explicit atom lists; atoms not
+// mentioned default to Q (fixed).
+func NewPartition(n int, p, z []logic.Atom) Partition {
+	part := Partition{P: bitset.New(n), Q: bitset.New(n), Z: bitset.New(n)}
+	for _, a := range p {
+		part.P.Set(int(a))
+	}
+	for _, a := range z {
+		part.Z.Set(int(a))
+	}
+	part.Q.Fill()
+	part.Q.DifferenceWith(part.P)
+	part.Q.DifferenceWith(part.Z)
+	return part
+}
+
+// Valid reports whether P, Q, Z indeed partition {0..n-1}.
+func (p Partition) Valid() bool {
+	if p.P.Intersects(p.Q) || p.P.Intersects(p.Z) || p.Q.Intersects(p.Z) {
+		return false
+	}
+	u := p.P.Clone()
+	u.UnionWith(p.Q)
+	u.UnionWith(p.Z)
+	return u.Count() == u.Len()
+}
+
+// Engine bundles a database with an NP oracle and caches its CNF.
+type Engine struct {
+	DB  *db.DB
+	Ora *oracle.NP
+	cnf logic.CNF
+}
+
+// NewEngine returns an engine for d using oracle o (a fresh one if nil).
+func NewEngine(d *db.DB, o *oracle.NP) *Engine {
+	if o == nil {
+		o = oracle.NewNP()
+	}
+	return &Engine{DB: d, Ora: o, cnf: d.ToCNF()}
+}
+
+// CNF returns the database's cached clausal form.
+func (e *Engine) CNF() logic.CNF { return e.cnf }
+
+// HasModel reports whether the database is satisfiable (one NP call)
+// and returns a model if so.
+func (e *Engine) HasModel() (bool, logic.Interp) {
+	return e.Ora.Sat(e.DB.N(), e.cnf)
+}
+
+// IsModel reports whether m satisfies the database (polynomial, no
+// oracle call).
+func (e *Engine) IsModel(m logic.Interp) bool { return e.DB.Sat(m) }
+
+// IsMinimal reports whether model m is minimal: no model N ⊊ M
+// (on all atoms). One NP call. The caller must ensure m is a model.
+func (e *Engine) IsMinimal(m logic.Interp) bool {
+	return e.IsMinimalPZ(m, FullMin(e.DB.N()))
+}
+
+// IsMinimalPZ reports whether model m is (P;Z)-minimal: there is no
+// model N of DB with N∩Q = M∩Q and N∩P ⊊ M∩P. One NP call: the query
+// CNF is DB ∧ (Q fixed as in M) ∧ (¬p for p ∈ P\M) ∧ (∨_{p ∈ P∩M} ¬p).
+func (e *Engine) IsMinimalPZ(m logic.Interp, part Partition) bool {
+	n := e.DB.N()
+	query := logic.CloneCNF(e.cnf)
+	var shrink logic.Clause
+	for v := 0; v < n; v++ {
+		a := logic.Atom(v)
+		switch {
+		case part.Q.Test(v):
+			if m.Holds(a) {
+				query = append(query, logic.Clause{logic.PosLit(a)})
+			} else {
+				query = append(query, logic.Clause{logic.NegLit(a)})
+			}
+		case part.P.Test(v):
+			if m.Holds(a) {
+				shrink = append(shrink, logic.NegLit(a))
+			} else {
+				query = append(query, logic.Clause{logic.NegLit(a)})
+			}
+		}
+	}
+	if len(shrink) == 0 {
+		// M∩P is already empty: nothing can shrink.
+		return true
+	}
+	query = append(query, shrink)
+	sat, _ := e.Ora.Sat(n, query)
+	return !sat
+}
+
+// Minimize shrinks a model m to a minimal model below it by repeated
+// SAT calls (each call either finds a strictly smaller model or proves
+// minimality). At most |m| + 1 NP calls.
+func (e *Engine) Minimize(m logic.Interp) logic.Interp {
+	return e.MinimizePZ(m, FullMin(e.DB.N()))
+}
+
+// MinimizePZ shrinks m to a (P;Z)-minimal model N with N∩P ⊆ M∩P and
+// N∩Q = M∩Q.
+func (e *Engine) MinimizePZ(m logic.Interp, part Partition) logic.Interp {
+	n := e.DB.N()
+	cur := m.Clone()
+	for {
+		query := logic.CloneCNF(e.cnf)
+		var shrink logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.Q.Test(v):
+				if cur.Holds(a) {
+					query = append(query, logic.Clause{logic.PosLit(a)})
+				} else {
+					query = append(query, logic.Clause{logic.NegLit(a)})
+				}
+			case part.P.Test(v):
+				if cur.Holds(a) {
+					shrink = append(shrink, logic.NegLit(a))
+				} else {
+					query = append(query, logic.Clause{logic.NegLit(a)})
+				}
+			}
+		}
+		if len(shrink) == 0 {
+			return cur
+		}
+		query = append(query, shrink)
+		sat, smaller := e.Ora.Sat(n, query)
+		if !sat {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// EnumerateModels yields every model of the database over the original
+// vocabulary, in no particular order. limit ≤ 0 means unlimited.
+// Each enumerated model costs one NP call (blocked solver reuse is an
+// implementation detail of the sat package; calls are counted per model
+// plus one final unsat call).
+func (e *Engine) EnumerateModels(limit int, yield func(logic.Interp) bool) int {
+	n := e.DB.N()
+	s := e.Ora.SatSolver(n, e.cnf)
+	count := 0
+	s.EnumerateModels(n, limit, func(model []bool) bool {
+		e.Ora.CountCall()
+		m := logic.NewInterp(n)
+		for v := 0; v < n; v++ {
+			m.True.SetTo(v, model[v])
+		}
+		count++
+		return yield(m)
+	})
+	return count
+}
+
+// MinimalModels computes MM(DB), the set of minimal models, by
+// iterative SAT: find a model, minimise it, yield it, then block it by
+// the clause ∨_{a ∈ M} ¬a ("some atom of M must be false"). Every
+// other minimal model satisfies that clause (minimal models are
+// pairwise ⊆-incomparable) and every model violating it is a superset
+// of M, hence non-minimal — so nothing is lost and nothing above M is
+// revisited. For M = ∅ the blocking clause would be empty: ∅ is then
+// the unique minimal model and enumeration stops. limit ≤ 0 means
+// unlimited.
+func (e *Engine) MinimalModels(limit int, yield func(logic.Interp) bool) int {
+	return e.MinimalModelsPZ(FullMin(e.DB.N()), limit, yield)
+}
+
+// MinimalModelsPZ computes MM(DB;P;Z), yielding one representative per
+// (P,Q)-signature. After yielding a (P;Z)-minimal model M it blocks
+// the clause "some atom of M∩P false, or some Q atom differs from M":
+// minimal models with distinct signatures are incomparable under
+// (⊆ on P, = on Q) and so survive; models agreeing with M on Q with
+// P-part ⊇ M∩P are either non-minimal or Z-variants of M's signature.
+// Z-variants (models equal to M on P and Q but different on Z) are
+// themselves (P;Z)-minimal exactly when M is; callers that must reason
+// over them (formula inference) do so via MMEntails, which checks
+// Z-variants with a dedicated SAT call before blocking a signature.
+func (e *Engine) MinimalModelsPZ(part Partition, limit int, yield func(logic.Interp) bool) int {
+	n := e.DB.N()
+	query := logic.CloneCNF(e.cnf)
+	count := 0
+	for limit <= 0 || count < limit {
+		sat, m := e.Ora.Sat(n, query)
+		if !sat {
+			break
+		}
+		min := e.minimizeAgainst(query, m, part)
+		count++
+		if !yield(min) {
+			break
+		}
+		// Block every model with the same Q part and P part ⊇ min∩P.
+		var block logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.P.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				}
+			case part.Q.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				} else {
+					block = append(block, logic.PosLit(a))
+				}
+			}
+		}
+		if len(block) == 0 {
+			break // unique signature (∅ on P, no Q): done
+		}
+		query = append(query, block)
+	}
+	return count
+}
+
+// minimizeAgainst minimises m within the constraint set query (which
+// may contain blocking clauses) — the blocking clauses only exclude
+// supersets of already-yielded minimal models, so minimising within
+// query still yields a model of DB minimal w.r.t. DB (any strictly
+// smaller model of DB below a query-model is itself a query-model:
+// blocking clauses are negative on P, hence closed under shrinking P).
+func (e *Engine) minimizeAgainst(query logic.CNF, m logic.Interp, part Partition) logic.Interp {
+	n := e.DB.N()
+	cur := m
+	for {
+		q2 := logic.CloneCNF(query)
+		var shrink logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.Q.Test(v):
+				if cur.Holds(a) {
+					q2 = append(q2, logic.Clause{logic.PosLit(a)})
+				} else {
+					q2 = append(q2, logic.Clause{logic.NegLit(a)})
+				}
+			case part.P.Test(v):
+				if cur.Holds(a) {
+					shrink = append(shrink, logic.NegLit(a))
+				} else {
+					q2 = append(q2, logic.Clause{logic.NegLit(a)})
+				}
+			}
+		}
+		if len(shrink) == 0 {
+			return cur
+		}
+		q2 = append(q2, shrink)
+		sat, smaller := e.Ora.Sat(n, q2)
+		if !sat {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// MMEntails reports whether every minimal model of DB satisfies F —
+// the EGCWA/ECWA inference core, and via P=V also GCWA's minimal-model
+// component. It realises the Π₂ᵖ upper bound: co-search over models
+// with one NP (minimality) call per candidate. Candidates are found by
+// SAT on DB ∧ ¬F; each non-minimal candidate is minimised (its
+// minimisation may satisfy F, in which case it is blocked and the
+// search continues).
+func (e *Engine) MMEntails(f *logic.Formula, part Partition) bool {
+	n := e.DB.N()
+	voc := e.DB.Voc.Clone()
+	neg := logic.TseitinNeg(f, voc)
+	query := logic.CloneCNF(e.cnf)
+	query = append(query, neg...)
+	for {
+		sat, m := e.Ora.Sat(voc.Size(), query)
+		if !sat {
+			return true
+		}
+		// Restrict to original vocabulary.
+		mv := logic.NewInterp(n)
+		for v := 0; v < n; v++ {
+			mv.True.SetTo(v, m.Holds(logic.Atom(v)))
+		}
+		min := e.MinimizePZ(mv, part)
+		if !f.Eval(min) {
+			return false // a (P;Z)-minimal model violating F
+		}
+		// min satisfies F but the non-minimal candidate did not.
+		// Exclude all models N ⊇ min (on P, equal on Q): they are
+		// non-minimal (or Z-variants of min; Z-variants that violate F
+		// must still be considered!). Z-variants of min share min's
+		// P,Q signature and are (P;Z)-minimal iff min is — and min is.
+		// So if some Z-variant of min violates F, the answer is false:
+		// check with one SAT call before blocking.
+		if !part.Z.IsEmpty() {
+			zq := logic.CloneCNF(query)
+			for v := 0; v < n; v++ {
+				a := logic.Atom(v)
+				if part.Z.Test(v) {
+					continue
+				}
+				if min.Holds(a) {
+					zq = append(zq, logic.Clause{logic.PosLit(a)})
+				} else {
+					zq = append(zq, logic.Clause{logic.NegLit(a)})
+				}
+			}
+			if zsat, _ := e.Ora.Sat(voc.Size(), zq); zsat {
+				return false // Z-variant of min violates F
+			}
+		}
+		var block logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.P.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				}
+			case part.Q.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				} else {
+					block = append(block, logic.PosLit(a))
+				}
+			}
+		}
+		if len(block) == 0 {
+			return true // unique minimal signature, already satisfies F
+		}
+		query = append(query, block)
+	}
+}
+
+// AtomFalseInAllMinimal reports whether atom x is false in every
+// (P;Z)-minimal model of DB (the GCWA/CCWA test "MM(DB;P;Z) ⊨ ¬x"),
+// via the generic minimal-model co-search.
+func (e *Engine) AtomFalseInAllMinimal(x logic.Atom, part Partition) bool {
+	return e.MMEntails(logic.Not(logic.AtomF(x)), part)
+}
+
+// ExistsMinimalWithAtom reports whether some (P;Z)-minimal model of DB
+// contains x (the Σ₂ᵖ companion of the GCWA literal test) — an
+// alternative search strategy confined to the x-containing space:
+// every (P;Z)-minimal model of DB that contains x is also (P;Z)-
+// minimal within DB ∧ x, so candidates are drawn there and verified
+// with one DB-minimality call each. Which strategy wins is instance-
+// dependent (this one pays off when x-containing minimal models are
+// rare but the DB has many minimal models elsewhere; the generic
+// co-search of AtomFalseInAllMinimal wins in the opposite regime) —
+// both are exact, and the test suite cross-validates them.
+func (e *Engine) ExistsMinimalWithAtom(x logic.Atom, part Partition) bool {
+	n := e.DB.N()
+	withX := logic.CloneCNF(e.cnf)
+	withX = append(withX, logic.Clause{logic.PosLit(x)})
+	query := logic.CloneCNF(withX)
+	for {
+		sat, m := e.Ora.Sat(n, query)
+		if !sat {
+			return false
+		}
+		// Minimise within DB ∧ x (the shrink queries carry the unit x,
+		// so x survives minimisation).
+		min := e.minimizeCNF(withX, m, part)
+		// One DB-minimality call decides whether min is minimal for DB
+		// itself (a smaller DB-model would necessarily lack x).
+		if e.IsMinimalPZ(min, part) {
+			return true
+		}
+		// Block min's signature cone within the DB∧x space and retry.
+		var block logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.P.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				}
+			case part.Q.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				} else {
+					block = append(block, logic.PosLit(a))
+				}
+			}
+		}
+		if len(block) == 0 {
+			return false
+		}
+		query = append(query, block)
+	}
+}
+
+// minimizeCNF is MinimizePZ against an arbitrary base CNF (instead of
+// the database CNF), used to minimise within constrained spaces.
+func (e *Engine) minimizeCNF(base logic.CNF, m logic.Interp, part Partition) logic.Interp {
+	n := e.DB.N()
+	cur := m
+	for {
+		query := logic.CloneCNF(base)
+		var shrink logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.Q.Test(v):
+				if cur.Holds(a) {
+					query = append(query, logic.Clause{logic.PosLit(a)})
+				} else {
+					query = append(query, logic.Clause{logic.NegLit(a)})
+				}
+			case part.P.Test(v):
+				if cur.Holds(a) {
+					shrink = append(shrink, logic.NegLit(a))
+				} else {
+					query = append(query, logic.Clause{logic.NegLit(a)})
+				}
+			}
+		}
+		if len(shrink) == 0 {
+			return cur
+		}
+		query = append(query, shrink)
+		sat, smaller := e.Ora.Sat(n, query)
+		if !sat {
+			return cur
+		}
+		cur = smaller
+	}
+}
+
+// MMEntailsWitness is MMEntails returning, when the entailment FAILS,
+// a concrete countermodel: a (P;Z)-minimal model of DB violating f.
+// The witness makes non-inference explainable ("here is the minimal
+// world in which your formula is false").
+func (e *Engine) MMEntailsWitness(f *logic.Formula, part Partition) (bool, logic.Interp) {
+	n := e.DB.N()
+	voc := e.DB.Voc.Clone()
+	neg := logic.TseitinNeg(f, voc)
+	query := logic.CloneCNF(e.cnf)
+	query = append(query, neg...)
+	for {
+		sat, m := e.Ora.Sat(voc.Size(), query)
+		if !sat {
+			return true, logic.Interp{}
+		}
+		mv := logic.NewInterp(n)
+		for v := 0; v < n; v++ {
+			mv.True.SetTo(v, m.Holds(logic.Atom(v)))
+		}
+		min := e.MinimizePZ(mv, part)
+		if !f.Eval(min) {
+			return false, min
+		}
+		if !part.Z.IsEmpty() {
+			zq := logic.CloneCNF(query)
+			for v := 0; v < n; v++ {
+				a := logic.Atom(v)
+				if part.Z.Test(v) {
+					continue
+				}
+				if min.Holds(a) {
+					zq = append(zq, logic.Clause{logic.PosLit(a)})
+				} else {
+					zq = append(zq, logic.Clause{logic.NegLit(a)})
+				}
+			}
+			if zsat, zm := e.Ora.Sat(voc.Size(), zq); zsat {
+				wv := logic.NewInterp(n)
+				for v := 0; v < n; v++ {
+					wv.True.SetTo(v, zm.Holds(logic.Atom(v)))
+				}
+				return false, wv
+			}
+		}
+		var block logic.Clause
+		for v := 0; v < n; v++ {
+			a := logic.Atom(v)
+			switch {
+			case part.P.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				}
+			case part.Q.Test(v):
+				if min.Holds(a) {
+					block = append(block, logic.NegLit(a))
+				} else {
+					block = append(block, logic.PosLit(a))
+				}
+			}
+		}
+		if len(block) == 0 {
+			return true, logic.Interp{}
+		}
+		query = append(query, block)
+	}
+}
+
+// UniqueMinimalModel decides UMINSAT: does DB have exactly one minimal
+// model? (Proposition 5.4: coNP-hard; our procedure uses at most
+// |V|+3 NP calls: find a model, minimise, then ask for a model not
+// above it and minimise that.)
+func (e *Engine) UniqueMinimalModel() (bool, logic.Interp) {
+	ok, m := e.HasModel()
+	if !ok {
+		return false, logic.Interp{}
+	}
+	min := e.Minimize(m)
+	// Any other minimal model is not a superset of min: require some
+	// atom of min false ∨ … actually require N ⊉ min: ∨_{a∈min} ¬a.
+	n := e.DB.N()
+	query := logic.CloneCNF(e.cnf)
+	var notAbove logic.Clause
+	min.True.ForEach(func(i int) {
+		notAbove = append(notAbove, logic.NegLit(logic.Atom(i)))
+	})
+	if len(notAbove) == 0 {
+		// min = ∅ is contained in every model: unique.
+		return true, min
+	}
+	query = append(query, notAbove)
+	sat, _ := e.Ora.Sat(n, query)
+	if !sat {
+		return true, min
+	}
+	return false, min
+}

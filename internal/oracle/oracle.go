@@ -1,0 +1,135 @@
+// Package oracle provides instrumented complexity oracles.
+//
+// The paper locates problems in the polynomial hierarchy; the
+// executable counterpart of "membership in Π₂ᵖ" is an algorithm whose
+// only super-polynomial ingredient is calls to an NP oracle (and for
+// P^Σ₂ᵖ[O(log n)], O(log n) calls to a Σ₂ᵖ oracle). This package wraps
+// the SAT solver (the NP oracle) and the 2-QBF solver (the Σ₂ᵖ oracle)
+// behind counters, so that every semantics algorithm can *report* its
+// oracle usage and the benchmark harness can verify the shape of each
+// table cell: 0 NP calls for the P cells, O(1)/O(n) NP calls for the
+// (co)NP cells, and O(log n) Σ₂ᵖ calls for the Δ-log cells.
+package oracle
+
+import (
+	"fmt"
+
+	"disjunct/internal/logic"
+	"disjunct/internal/sat"
+)
+
+// Counters tallies oracle usage for one inference task.
+type Counters struct {
+	NPCalls     int64 // SAT-oracle invocations
+	Sigma2Calls int64 // Σ₂ᵖ-oracle invocations
+	SATConfl    int64 // total SAT conflicts inside NP calls
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.NPCalls += other.NPCalls
+	c.Sigma2Calls += other.Sigma2Calls
+	c.SATConfl += other.SATConfl
+}
+
+// String renders the counters compactly.
+func (c Counters) String() string {
+	return fmt.Sprintf("NP=%d Σ2=%d confl=%d", c.NPCalls, c.Sigma2Calls, c.SATConfl)
+}
+
+// NP is an instrumented NP oracle over a fixed propositional
+// vocabulary. Each query is an independent satisfiability question
+// about a CNF; a fresh solver is built per query (simple and stateless;
+// the CNFs the semantics algorithms build share little structure
+// between queries).
+type NP struct {
+	counters Counters
+}
+
+// NewNP returns a fresh NP oracle.
+func NewNP() *NP { return &NP{} }
+
+// Counters returns the usage counters so far.
+func (o *NP) Counters() Counters { return o.counters }
+
+// Reset zeroes the counters.
+func (o *NP) Reset() { o.counters = Counters{} }
+
+// convert translates a logic.CNF into solver clauses.
+func convert(c logic.CNF) [][]sat.Lit {
+	out := make([][]sat.Lit, len(c))
+	for i, cl := range c {
+		sc := make([]sat.Lit, len(cl))
+		for j, l := range cl {
+			sc[j] = sat.MkLit(int(l.Atom()), l.IsPos())
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// Sat reports whether the CNF over nVars variables is satisfiable and,
+// if so, returns one model restricted to variables 0..nVars-1. nVars
+// must cover every atom occurring in the CNF (including Tseitin atoms).
+func (o *NP) Sat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
+	o.counters.NPCalls++
+	s := sat.New(nVars)
+	for _, cl := range convert(cnf) {
+		if !s.AddClause(cl...) {
+			o.counters.SATConfl += s.Stats().Conflicts
+			return false, logic.Interp{}
+		}
+	}
+	st := s.Solve()
+	o.counters.SATConfl += s.Stats().Conflicts
+	if st != sat.Sat {
+		return false, logic.Interp{}
+	}
+	m := logic.NewInterp(nVars)
+	for v := 0; v < nVars; v++ {
+		m.True.SetTo(v, s.Model(v))
+	}
+	return true, m
+}
+
+// SatSolver builds an incremental solver preloaded with the CNF and
+// counts its construction as one NP call; additional Solve calls on the
+// returned solver should be counted by the caller via CountCall.
+func (o *NP) SatSolver(nVars int, cnf logic.CNF) *sat.Solver {
+	o.counters.NPCalls++
+	s := sat.New(nVars)
+	for _, cl := range convert(cnf) {
+		if !s.AddClause(cl...) {
+			break
+		}
+	}
+	return s
+}
+
+// CountCall records one additional NP-oracle invocation (for callers
+// driving an incremental solver directly).
+func (o *NP) CountCall() { o.counters.NPCalls++ }
+
+// CountSigma2 records one Σ₂ᵖ-oracle invocation.
+func (o *NP) CountSigma2() { o.counters.Sigma2Calls++ }
+
+// Valid reports whether formula f is valid over vocabulary voc
+// (one NP call on the negation).
+func (o *NP) Valid(f *logic.Formula, voc *logic.Vocabulary) bool {
+	w := voc.Clone()
+	cnf := logic.TseitinNeg(f, w)
+	isSat, _ := o.Sat(w.Size(), cnf)
+	return !isSat
+}
+
+// Entails reports whether every model of the CNF (over the first
+// nOrig variables) satisfies formula f: one NP call on CNF ∧ ¬f.
+func (o *NP) Entails(nOrig int, cnf logic.CNF, f *logic.Formula, voc *logic.Vocabulary) bool {
+	w := voc.Clone()
+	neg := logic.TseitinNeg(f, w)
+	all := make(logic.CNF, 0, len(cnf)+len(neg))
+	all = append(all, cnf...)
+	all = append(all, neg...)
+	isSat, _ := o.Sat(w.Size(), all)
+	return !isSat
+}

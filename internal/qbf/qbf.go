@@ -1,0 +1,320 @@
+// Package qbf implements 2-QBF — quantified Boolean formulas with one
+// quantifier alternation — and two solvers for them:
+//
+//   - CEGAR: the counterexample-guided abstraction refinement algorithm
+//     (two cooperating SAT solvers), the practical Σ₂ᵖ oracle used by
+//     the Δ-log membership algorithms;
+//   - Expand: naive universal expansion into one SAT call of
+//     exponential size (ablation baseline, DESIGN.md §8).
+//
+// The canonical form is ∃X ∀Y φ(X,Y) ("ExistsForall"); the dual
+// ∀X ∃Y φ is decided by negation. 2-QBF validity of ∃∀ is
+// Σ₂ᵖ-complete, which is exactly the hardness currency of the paper's
+// Π₂ᵖ/Σ₂ᵖ cells: the hardness reductions in package reduction
+// translate these instances into inference problems.
+package qbf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"disjunct/internal/logic"
+	"disjunct/internal/sat"
+)
+
+// Instance is a 2-QBF instance ∃X ∀Y. Matrix, with X = atoms 0..NX-1
+// and Y = atoms NX..NX+NY-1 of Voc. The matrix is an arbitrary
+// propositional formula over those atoms (the reductions need DNF
+// matrices; the CEGAR solver Tseitin-encodes whatever shape it gets).
+type Instance struct {
+	NX, NY int
+	Matrix *logic.Formula
+	Voc    *logic.Vocabulary
+}
+
+// Validate checks that the matrix only mentions declared variables.
+func (q *Instance) Validate() error {
+	atoms := q.Matrix.Atoms(nil)
+	for a := range atoms {
+		if int(a) >= q.NX+q.NY {
+			return fmt.Errorf("qbf: matrix mentions atom %d outside X∪Y (nx=%d ny=%d)", a, q.NX, q.NY)
+		}
+	}
+	return nil
+}
+
+// XAtom returns the i-th existential atom.
+func (q *Instance) XAtom(i int) logic.Atom { return logic.Atom(i) }
+
+// YAtom returns the j-th universal atom.
+func (q *Instance) YAtom(j int) logic.Atom { return logic.Atom(q.NX + j) }
+
+// Stats reports CEGAR effort.
+type Stats struct {
+	Iterations int // refinement rounds
+	SATCalls   int
+}
+
+// SolveCEGAR decides ∃X ∀Y. Matrix by counterexample-guided
+// abstraction refinement:
+//
+//	abstraction: SAT over X (plus copies of Y per counterexample)
+//	proposes a candidate x*;
+//	verification: SAT on ¬Matrix[X:=x*] over Y searches for a
+//	countermodel y*; if none, x* is a witness — true.
+//	Otherwise Matrix[Y:=y*] is added to the abstraction as a
+//	refinement and the loop repeats; an unsatisfiable abstraction
+//	means false.
+//
+// If witness is non-nil and the result is true, *witness receives the
+// winning X assignment.
+func SolveCEGAR(q *Instance, witness *[]bool) (bool, Stats) {
+	var st Stats
+	// Abstraction solver: variables are allocated on demand. The first
+	// NX solver vars mirror X.
+	abs := sat.New(q.NX)
+	absVoc := logic.NewVocabulary()
+	for i := 0; i < q.NX; i++ {
+		absVoc.Intern(fmt.Sprintf("x%d", i))
+	}
+
+	for {
+		st.Iterations++
+		st.SATCalls++
+		if abs.Solve() != sat.Sat {
+			return false, st
+		}
+		xs := make([]bool, q.NX)
+		for i := range xs {
+			xs[i] = abs.Model(i)
+		}
+		// Verification: ¬Matrix with X fixed to xs, over Y.
+		verVoc := q.Voc.Clone()
+		cnf := logic.TseitinNeg(q.Matrix, verVoc)
+		ver := sat.New(verVoc.Size())
+		okAdd := true
+		for _, cl := range cnf {
+			lits := make([]sat.Lit, len(cl))
+			for k, l := range cl {
+				lits[k] = sat.MkLit(int(l.Atom()), l.IsPos())
+			}
+			if !ver.AddClause(lits...) {
+				okAdd = false
+				break
+			}
+		}
+		for i := 0; i < q.NX; i++ {
+			if !okAdd {
+				break
+			}
+			okAdd = ver.AddClause(sat.MkLit(i, xs[i]))
+		}
+		st.SATCalls++
+		if !okAdd || ver.Solve() != sat.Sat {
+			// No countermodel: xs is a winning move.
+			if witness != nil {
+				*witness = xs
+			}
+			return true, st
+		}
+		ys := make([]bool, q.NY)
+		for j := 0; j < q.NY; j++ {
+			ys[j] = ver.Model(int(q.YAtom(j)))
+		}
+		// Refinement: add Matrix[Y:=ys] over fresh Tseitin atoms to the
+		// abstraction.
+		ref := substituteY(q, ys)
+		refCNF := logic.Tseitin(ref, absVoc)
+		okRef := true
+		for _, cl := range refCNF {
+			lits := make([]sat.Lit, len(cl))
+			for k, l := range cl {
+				lits[k] = sat.MkLit(int(l.Atom()), l.IsPos())
+			}
+			if !abs.AddClause(lits...) {
+				okRef = false
+				break
+			}
+		}
+		if !okRef {
+			return false, st
+		}
+	}
+}
+
+// substituteY fixes the universal variables of the matrix to ys,
+// leaving a formula over X only.
+func substituteY(q *Instance, ys []bool) *logic.Formula {
+	var sub func(f *logic.Formula) *logic.Formula
+	sub = func(f *logic.Formula) *logic.Formula {
+		switch f.Op {
+		case logic.OpAtom:
+			if int(f.A) >= q.NX {
+				if ys[int(f.A)-q.NX] {
+					return logic.TrueF()
+				}
+				return logic.FalseF()
+			}
+			return f
+		case logic.OpTrue, logic.OpFalse:
+			return f
+		case logic.OpNot:
+			return logic.Not(sub(f.Args[0]))
+		case logic.OpAnd:
+			args := make([]*logic.Formula, len(f.Args))
+			for i, g := range f.Args {
+				args[i] = sub(g)
+			}
+			return logic.And(args...)
+		case logic.OpOr:
+			args := make([]*logic.Formula, len(f.Args))
+			for i, g := range f.Args {
+				args[i] = sub(g)
+			}
+			return logic.Or(args...)
+		case logic.OpImpl:
+			return logic.Implies(sub(f.Args[0]), sub(f.Args[1]))
+		case logic.OpEquiv:
+			return logic.Equiv(sub(f.Args[0]), sub(f.Args[1]))
+		}
+		panic("qbf: unknown op")
+	}
+	return sub(q.Matrix)
+}
+
+// SolveExpand decides ∃X ∀Y. Matrix by full universal expansion:
+// one SAT query on ⋀_{y ∈ 2^Y} Matrix[Y:=y]. Exponential in NY; the
+// ablation baseline for CEGAR.
+func SolveExpand(q *Instance) bool {
+	voc := logic.NewVocabulary()
+	for i := 0; i < q.NX; i++ {
+		voc.Intern(fmt.Sprintf("x%d", i))
+	}
+	var all logic.CNF
+	ys := make([]bool, q.NY)
+	var rec func(j int) bool
+	rec = func(j int) bool {
+		if j == q.NY {
+			f := substituteY(q, ys)
+			if f.Op == logic.OpFalse {
+				return false
+			}
+			all = append(all, logic.Tseitin(f, voc)...)
+			return true
+		}
+		for _, v := range []bool{false, true} {
+			ys[j] = v
+			if !rec(j + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if !rec(0) {
+		return false
+	}
+	s := sat.New(voc.Size())
+	for _, cl := range all {
+		lits := make([]sat.Lit, len(cl))
+		for k, l := range cl {
+			lits[k] = sat.MkLit(int(l.Atom()), l.IsPos())
+		}
+		if !s.AddClause(lits...) {
+			return false
+		}
+	}
+	return s.Solve() == sat.Sat
+}
+
+// SolveBrute decides the instance by double enumeration (ground truth
+// for tests; NX+NY ≤ ~20).
+func SolveBrute(q *Instance) bool {
+	n := q.NX + q.NY
+	if n > 24 {
+		panic("qbf: SolveBrute limited to 24 variables")
+	}
+	m := logic.NewInterp(q.Voc.Size())
+	for xb := 0; xb < 1<<uint(q.NX); xb++ {
+		for i := 0; i < q.NX; i++ {
+			m.True.SetTo(i, xb&(1<<uint(i)) != 0)
+		}
+		holds := true
+		for yb := 0; yb < 1<<uint(q.NY); yb++ {
+			for j := 0; j < q.NY; j++ {
+				m.True.SetTo(q.NX+j, yb&(1<<uint(j)) != 0)
+			}
+			if !q.Matrix.Eval(m) {
+				holds = false
+				break
+			}
+		}
+		if holds {
+			return true
+		}
+	}
+	return false
+}
+
+// ForallExists decides ∀X ∃Y. Matrix (a Π₂ᵖ question) via the dual:
+// it is false iff ∃X ∀Y. ¬Matrix is true.
+func ForallExists(q *Instance) (bool, Stats) {
+	dual := &Instance{NX: q.NX, NY: q.NY, Matrix: logic.Not(q.Matrix), Voc: q.Voc}
+	t, st := SolveCEGAR(dual, nil)
+	return !t, st
+}
+
+// Random3DNF generates a random ∃X∀Y instance whose matrix is a
+// k-term DNF over X∪Y — the natural hard family for ∃∀ (validity of a
+// DNF under all Y is coNP-ish per candidate; the alternation makes it
+// Σ₂ᵖ). Terms have exactly 3 literals.
+func Random3DNF(rng *rand.Rand, nx, ny, terms int) *Instance {
+	voc := logic.NewVocabulary()
+	for i := 0; i < nx; i++ {
+		voc.Intern(fmt.Sprintf("x%d", i))
+	}
+	for j := 0; j < ny; j++ {
+		voc.Intern(fmt.Sprintf("y%d", j))
+	}
+	n := nx + ny
+	dis := make([]*logic.Formula, terms)
+	for t := 0; t < terms; t++ {
+		con := make([]*logic.Formula, 3)
+		for k := 0; k < 3; k++ {
+			a := logic.Atom(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				con[k] = logic.AtomF(a)
+			} else {
+				con[k] = logic.Not(logic.AtomF(a))
+			}
+		}
+		dis[t] = logic.And(con...)
+	}
+	return &Instance{NX: nx, NY: ny, Matrix: logic.Or(dis...), Voc: voc}
+}
+
+// RandomCNFMatrix generates an ∃X∀Y instance with a random 3-CNF
+// matrix (mostly false instances; complements Random3DNF).
+func RandomCNFMatrix(rng *rand.Rand, nx, ny, clauses int) *Instance {
+	voc := logic.NewVocabulary()
+	for i := 0; i < nx; i++ {
+		voc.Intern(fmt.Sprintf("x%d", i))
+	}
+	for j := 0; j < ny; j++ {
+		voc.Intern(fmt.Sprintf("y%d", j))
+	}
+	n := nx + ny
+	cls := make([]*logic.Formula, clauses)
+	for t := 0; t < clauses; t++ {
+		lits := make([]*logic.Formula, 3)
+		for k := 0; k < 3; k++ {
+			a := logic.Atom(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				lits[k] = logic.AtomF(a)
+			} else {
+				lits[k] = logic.Not(logic.AtomF(a))
+			}
+		}
+		cls[t] = logic.Or(lits...)
+	}
+	return &Instance{NX: nx, NY: ny, Matrix: logic.And(cls...), Voc: voc}
+}

@@ -1,0 +1,138 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/logic"
+)
+
+func TestCEGARAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	trues, falses := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		var q *Instance
+		if iter%2 == 0 {
+			q = Random3DNF(rng, 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(6))
+		} else {
+			q = RandomCNFMatrix(rng, 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(6))
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := SolveBrute(q)
+		got, st := SolveCEGAR(q, nil)
+		if got != want {
+			t.Fatalf("iter %d: CEGAR=%v brute=%v (iters=%d)", iter, got, want, st.Iterations)
+		}
+		if want {
+			trues++
+		} else {
+			falses++
+		}
+	}
+	if trues == 0 || falses == 0 {
+		t.Fatalf("degenerate corpus: true=%d false=%d", trues, falses)
+	}
+}
+
+func TestCEGARWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	for iter := 0; iter < 200; iter++ {
+		q := Random3DNF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(5))
+		var witness []bool
+		ok, _ := SolveCEGAR(q, &witness)
+		if !ok {
+			continue
+		}
+		// Verify the witness: for all Y the matrix must hold.
+		m := logic.NewInterp(q.Voc.Size())
+		for i, v := range witness {
+			m.True.SetTo(i, v)
+		}
+		for yb := 0; yb < 1<<uint(q.NY); yb++ {
+			for j := 0; j < q.NY; j++ {
+				m.True.SetTo(q.NX+j, yb&(1<<uint(j)) != 0)
+			}
+			if !q.Matrix.Eval(m) {
+				t.Fatalf("iter %d: witness fails at Y=%b", iter, yb)
+			}
+		}
+	}
+}
+
+func TestExpandAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for iter := 0; iter < 200; iter++ {
+		q := Random3DNF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(5))
+		want := SolveBrute(q)
+		if got := SolveExpand(q); got != want {
+			t.Fatalf("iter %d: Expand=%v brute=%v", iter, got, want)
+		}
+	}
+}
+
+func TestForallExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	for iter := 0; iter < 200; iter++ {
+		q := Random3DNF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(5))
+		// Brute-force ∀X ∃Y.
+		want := true
+		m := logic.NewInterp(q.Voc.Size())
+		for xb := 0; xb < 1<<uint(q.NX) && want; xb++ {
+			for i := 0; i < q.NX; i++ {
+				m.True.SetTo(i, xb&(1<<uint(i)) != 0)
+			}
+			holds := false
+			for yb := 0; yb < 1<<uint(q.NY); yb++ {
+				for j := 0; j < q.NY; j++ {
+					m.True.SetTo(q.NX+j, yb&(1<<uint(j)) != 0)
+				}
+				if q.Matrix.Eval(m) {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				want = false
+			}
+		}
+		got, _ := ForallExists(q)
+		if got != want {
+			t.Fatalf("iter %d: ForallExists=%v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestValidateRejectsStrayAtoms(t *testing.T) {
+	voc := logic.NewVocabulary()
+	voc.Intern("x0")
+	voc.Intern("y0")
+	stray := voc.Intern("z")
+	q := &Instance{NX: 1, NY: 1, Matrix: logic.AtomF(stray), Voc: voc}
+	if err := q.Validate(); err == nil {
+		t.Fatalf("stray atom must be rejected")
+	}
+}
+
+func TestTrivialInstances(t *testing.T) {
+	voc := logic.NewVocabulary()
+	x := voc.Intern("x0")
+	voc.Intern("y0")
+	// ∃x ∀y. x — true (pick x).
+	q := &Instance{NX: 1, NY: 1, Matrix: logic.AtomF(x), Voc: voc}
+	if got, _ := SolveCEGAR(q, nil); !got {
+		t.Fatalf("∃x∀y.x should be true")
+	}
+	// ∃x ∀y. y — false.
+	y := logic.Atom(1)
+	q2 := &Instance{NX: 1, NY: 1, Matrix: logic.AtomF(y), Voc: voc}
+	if got, _ := SolveCEGAR(q2, nil); got {
+		t.Fatalf("∃x∀y.y should be false")
+	}
+	// ∃x ∀y. (x ∨ ¬x) — true.
+	q3 := &Instance{NX: 1, NY: 1, Matrix: logic.Or(logic.AtomF(x), logic.Not(logic.AtomF(x))), Voc: voc}
+	if got, _ := SolveCEGAR(q3, nil); !got {
+		t.Fatalf("tautology should be true")
+	}
+}

@@ -1,0 +1,65 @@
+package reduction
+
+import (
+	"fmt"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// NLPUniqueMinimalFromUNSAT realises the Lemma 5.5 device: UMINSAT is
+// polynomially transformable to deciding whether a NORMAL logic
+// program (single-atom heads, default negation allowed, no integrity
+// clauses) has a unique minimal (classical) model. Composed with the
+// UNSAT→UMINSAT reduction this yields, from a DIMACS CNF ψ, an NLP
+// with
+//
+//	NLP has a unique minimal model  ⟺  ψ is UNSATISFIABLE.
+//
+// Construction (fresh atoms w, a, b — the paper's lemma introduces
+// three new atoms as well):
+//
+//	xᵢ ← ¬x̄ᵢ        x̄ᵢ ← ¬xᵢ        (assignment pairs)
+//	a ← ¬b          b ← ¬a          (the duplicator pair)
+//	w ← σ(¬l₁) ∧ … ∧ σ(¬lₖ)         (for each ψ-clause: its
+//	                                 falsifying pattern implies w)
+//	xᵢ ← w   x̄ᵢ ← w   a ← w   b ← w (w saturates everything)
+//
+// Classically: without w a model must choose at least one atom per
+// pair and may not falsify any ψ-clause (else w fires); minimal such
+// models are exact assignments satisfying ψ crossed with the a/b
+// choice — at least two when ψ is satisfiable. With w everything is
+// forced, giving the single model M_w = HB, which is minimal exactly
+// when no w-free model exists, i.e. when ψ is unsatisfiable.
+func NLPUniqueMinimalFromUNSAT(cnf [][]int, n int) *db.DB {
+	d := db.New()
+	pos := make([]logic.Atom, n+1)
+	neg := make([]logic.Atom, n+1)
+	for i := 1; i <= n; i++ {
+		pos[i] = d.Voc.Intern(fmt.Sprintf("x%d", i))
+		neg[i] = d.Voc.Intern(fmt.Sprintf("xbar%d", i))
+	}
+	w := d.Voc.Intern("w")
+	a := d.Voc.Intern("a")
+	b := d.Voc.Intern("b")
+
+	for i := 1; i <= n; i++ {
+		d.AddRule([]logic.Atom{pos[i]}, nil, []logic.Atom{neg[i]})
+		d.AddRule([]logic.Atom{neg[i]}, nil, []logic.Atom{pos[i]})
+		d.AddRule([]logic.Atom{pos[i]}, []logic.Atom{w}, nil)
+		d.AddRule([]logic.Atom{neg[i]}, []logic.Atom{w}, nil)
+	}
+	d.AddRule([]logic.Atom{a}, nil, []logic.Atom{b})
+	d.AddRule([]logic.Atom{b}, nil, []logic.Atom{a})
+	d.AddRule([]logic.Atom{a}, []logic.Atom{w}, nil)
+	d.AddRule([]logic.Atom{b}, []logic.Atom{w}, nil)
+
+	for _, c := range cnf {
+		body := make([]logic.Atom, 0, len(c))
+		for _, l := range c {
+			body = append(body, litAtom(-l, pos, neg))
+		}
+		d.AddRule([]logic.Atom{w}, body, nil)
+	}
+	return d
+}

@@ -1,0 +1,45 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/models"
+	"disjunct/internal/refsem"
+)
+
+func TestNLPUniqueMinimalFromUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	uniques, multis := 0, 0
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		cnf := RandomCNF(rng, n, 1+rng.Intn(3*n), 3)
+		want := !cnfSat(cnf, n) // unique minimal model ⟺ UNSAT
+		d := NLPUniqueMinimalFromUNSAT(cnf, n)
+
+		// The output must be a normal logic program.
+		for _, c := range d.Clauses {
+			if len(c.Head) != 1 {
+				t.Fatalf("iter %d: clause with %d head atoms — not an NLP", iter, len(c.Head))
+			}
+		}
+
+		mm := refsem.MinimalModels(d)
+		if got := len(mm) == 1; got != want {
+			t.Fatalf("iter %d: |MM|=%d, want unique=%v\nDB:\n%s", iter, len(mm), want, d.String())
+		}
+		// Production engine agrees.
+		eng := models.NewEngine(d, nil)
+		if got, _ := eng.UniqueMinimalModel(); got != want {
+			t.Fatalf("iter %d: UniqueMinimalModel=%v want %v", iter, got, want)
+		}
+		if want {
+			uniques++
+		} else {
+			multis++
+		}
+	}
+	if uniques == 0 || multis == 0 {
+		t.Fatalf("degenerate corpus: unique=%d multi=%d", uniques, multis)
+	}
+}

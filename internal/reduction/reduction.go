@@ -1,0 +1,345 @@
+// Package reduction implements the paper's hardness reductions as
+// executable translations. Each reduction maps instances of a
+// canonical complete problem (SAT/UNSAT for the NP/coNP cells, 2-QBF
+// for the Σ₂ᵖ/Π₂ᵖ cells) to inference/model-existence instances for
+// the disjunctive semantics; the test suite validates every
+// translation against an independent reference solver, and the
+// benchmark harness scales them up to exhibit each table cell's
+// worst-case behaviour.
+//
+// DIMACS-style convention for CNF inputs: a clause is a slice of
+// non-zero ints, positive i meaning variable i, negative meaning its
+// negation; variables are 1..n.
+package reduction
+
+import (
+	"fmt"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/qbf"
+)
+
+// MMNegLiteralFromQBF translates a 2-QBF instance ∃X ∀Y φ (φ must be
+// in DNF: an OR of ANDs of literals) into a positive disjunctive
+// database T (no negation, no integrity clauses) and an atom w such
+// that
+//
+//	MM(T) ⊨ ¬w   ⟺   ∃X ∀Y φ is FALSE.
+//
+// This is the Theorem 3.1 device: literal inference under every
+// minimal-model based semantics (GCWA, EGCWA, CCWA, ECWA/CIRC, and —
+// since T is positive — ICWA, PERF, DSM, PDSM) is Π₂ᵖ-hard, already
+// on positive databases.
+//
+// Construction: atoms x, x̄ per existential variable, y, ȳ per
+// universal variable, plus w.
+//
+//	x ∨ x̄.                 (choose an X assignment)
+//	y ∨ ȳ.                 (choose a Y assignment…)
+//	y ← w.   ȳ ← w.        (…unless w saturates Y)
+//	w ← σ(l₁) ∧ … ∧ σ(lₖ)  (for every DNF term, σ mapping v ↦ v-atom,
+//	                        ¬v ↦ v̄-atom)
+//
+// A minimal model containing w exists iff some X choice makes φ true
+// under every Y choice.
+func MMNegLiteralFromQBF(q *qbf.Instance) (*db.DB, logic.Atom, error) {
+	terms, err := dnfTerms(q.Matrix)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := db.New()
+	pos := make([]logic.Atom, q.NX+q.NY)
+	neg := make([]logic.Atom, q.NX+q.NY)
+	for i := 0; i < q.NX+q.NY; i++ {
+		name := q.Voc.Name(logic.Atom(i))
+		pos[i] = d.Voc.Intern(name)
+		neg[i] = d.Voc.Intern(name + "_bar")
+	}
+	w := d.Voc.Intern("w")
+	for i := 0; i < q.NX+q.NY; i++ {
+		d.AddFact(pos[i], neg[i])
+	}
+	for j := 0; j < q.NY; j++ {
+		i := q.NX + j
+		d.AddRule([]logic.Atom{pos[i]}, []logic.Atom{w}, nil)
+		d.AddRule([]logic.Atom{neg[i]}, []logic.Atom{w}, nil)
+	}
+	for _, term := range terms {
+		body := make([]logic.Atom, 0, len(term))
+		for _, l := range term {
+			if l.IsPos() {
+				body = append(body, pos[int(l.Atom())])
+			} else {
+				body = append(body, neg[int(l.Atom())])
+			}
+		}
+		d.AddRule([]logic.Atom{w}, body, nil)
+	}
+	return d, w, nil
+}
+
+// dnfTerms decomposes a formula that must be an OR of ANDs of literals
+// (single literals and single terms allowed).
+func dnfTerms(f *logic.Formula) ([][]logic.Lit, error) {
+	var terms [][]logic.Lit
+	var asTerm func(g *logic.Formula) ([]logic.Lit, error)
+	asLit := func(g *logic.Formula) (logic.Lit, error) {
+		switch {
+		case g.Op == logic.OpAtom:
+			return logic.PosLit(g.A), nil
+		case g.Op == logic.OpNot && g.Args[0].Op == logic.OpAtom:
+			return logic.NegLit(g.Args[0].A), nil
+		}
+		return 0, fmt.Errorf("reduction: matrix not in DNF (unexpected %v)", g.Op)
+	}
+	asTerm = func(g *logic.Formula) ([]logic.Lit, error) {
+		if g.Op == logic.OpAnd {
+			var out []logic.Lit
+			for _, h := range g.Args {
+				l, err := asLit(h)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, l)
+			}
+			return out, nil
+		}
+		l, err := asLit(g)
+		if err != nil {
+			return nil, err
+		}
+		return []logic.Lit{l}, nil
+	}
+	switch f.Op {
+	case logic.OpOr:
+		for _, g := range f.Args {
+			t, err := asTerm(g)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, t)
+		}
+	case logic.OpFalse:
+		// empty DNF: no terms
+	default:
+		t, err := asTerm(f)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+// assignmentGadget adds, for each variable 1..n of a DIMACS CNF, the
+// pair atoms p_i ("variable true") and n_i ("variable false") with the
+// disjunctive fact p_i ∨ n_i, returning the two atom slices (index 0
+// unused).
+func assignmentGadget(d *db.DB, n int) (pos, neg []logic.Atom) {
+	pos = make([]logic.Atom, n+1)
+	neg = make([]logic.Atom, n+1)
+	for i := 1; i <= n; i++ {
+		pos[i] = d.Voc.Intern(fmt.Sprintf("p%d", i))
+		neg[i] = d.Voc.Intern(fmt.Sprintf("n%d", i))
+		d.AddFact(pos[i], neg[i])
+	}
+	return pos, neg
+}
+
+// exactlyOneICs adds integrity clauses ← p_i ∧ n_i.
+func exactlyOneICs(d *db.DB, pos, neg []logic.Atom) {
+	for i := 1; i < len(pos); i++ {
+		d.AddRule(nil, []logic.Atom{pos[i], neg[i]}, nil)
+	}
+}
+
+// litAtom maps a DIMACS literal to its gadget atom.
+func litAtom(l int, pos, neg []logic.Atom) logic.Atom {
+	if l > 0 {
+		return pos[l]
+	}
+	return neg[-l]
+}
+
+// FormulaInferenceFromUNSAT translates a DIMACS CNF ψ over n variables
+// into a positive DDB (no integrity clauses!) and a formula F with
+//
+//	DDR(DB) ⊨ F  ⟺  PWS(DB) ⊨ F  ⟺  ψ is UNSATISFIABLE
+//
+// — the coNP-hardness of formula inference in Table 1's DDR/PWS rows.
+// DB is just the assignment gadget; F says "the model is not an exact
+// satisfying assignment of ψ":
+//
+//	F = ⋁ᵢ (pᵢ ∧ nᵢ) ∨ ¬ψ̂
+//
+// where ψ̂ replaces each literal by its gadget atom.
+func FormulaInferenceFromUNSAT(cnf [][]int, n int) (*db.DB, *logic.Formula) {
+	d := db.New()
+	pos, neg := assignmentGadget(d, n)
+	var both []*logic.Formula
+	for i := 1; i <= n; i++ {
+		both = append(both, logic.And(logic.AtomF(pos[i]), logic.AtomF(neg[i])))
+	}
+	var hat []*logic.Formula
+	for _, c := range cnf {
+		var lits []*logic.Formula
+		for _, l := range c {
+			lits = append(lits, logic.AtomF(litAtom(l, pos, neg)))
+		}
+		hat = append(hat, logic.Or(lits...))
+	}
+	f := logic.Or(logic.Or(both...), logic.Not(logic.And(hat...)))
+	return d, f
+}
+
+// LiteralInferenceFromUNSATWithICs translates a DIMACS CNF ψ into a
+// DDDB with integrity clauses and an atom w such that
+//
+//	DDR(DB) ⊨ ¬w  ⟺  PWS(DB) ⊨ ¬w  ⟺  ψ is UNSATISFIABLE
+//
+// — Chan's coNP-complete literal-inference cells of Table 2.
+// The gadget encodes exact assignments through integrity clauses and
+// guards each ψ-clause denial with w, so the database stays consistent
+// for every ψ (models without w always exist): w rides along in a
+// disjunctive fact (w ∨ d), hence occurs in T_DB↑ω and is a
+// possible-world member, and a DDR/PWS model containing w exists iff
+// ψ has a satisfying assignment.
+func LiteralInferenceFromUNSATWithICs(cnf [][]int, n int) (*db.DB, logic.Atom) {
+	d := db.New()
+	pos, neg := assignmentGadget(d, n)
+	exactlyOneICs(d, pos, neg)
+	w := d.Voc.Intern("w")
+	dummy := d.Voc.Intern("d")
+	d.AddFact(w, dummy)
+	for _, c := range cnf {
+		body := make([]logic.Atom, 0, len(c)+1)
+		for _, l := range c {
+			body = append(body, litAtom(-l, pos, neg))
+		}
+		body = append(body, w)
+		d.AddRule(nil, body, nil)
+	}
+	return d, w
+}
+
+// ExistsModelFromSAT translates a DIMACS CNF ψ into a DDDB with
+// integrity clauses that is classically satisfiable iff ψ is — the
+// NP-complete ∃MODEL cells of Table 2 (GCWA, CCWA, EGCWA, ECWA, DDR,
+// PWS model existence all coincide with satisfiability here, since
+// the database is positive).
+func ExistsModelFromSAT(cnf [][]int, n int) *db.DB {
+	d := db.New()
+	pos, neg := assignmentGadget(d, n)
+	exactlyOneICs(d, pos, neg)
+	for _, c := range cnf {
+		body := make([]logic.Atom, 0, len(c))
+		for _, l := range c {
+			body = append(body, litAtom(-l, pos, neg))
+		}
+		d.AddRule(nil, body, nil)
+	}
+	return d
+}
+
+// DSMExistsFromQBF translates ∃X ∀Y φ (φ in DNF) into a DNDB without
+// integrity clauses such that
+//
+//	DSM(DB) ≠ ∅  ⟺  ∃X ∀Y φ is TRUE
+//
+// — the Σ₂ᵖ-complete ∃MODEL cell for DSM (and PDSM existence of a
+// TOTAL model). The construction extends MMNegLiteralFromQBF with the
+// saturation rule w ← ¬w, which forbids stable models without w.
+func DSMExistsFromQBF(q *qbf.Instance) (*db.DB, error) {
+	d, w, err := MMNegLiteralFromQBF(q)
+	if err != nil {
+		return nil, err
+	}
+	d.AddRule([]logic.Atom{w}, nil, []logic.Atom{w})
+	return d, nil
+}
+
+// UMINSATFromUNSAT translates a DIMACS CNF ψ into a CNF Γ (over a
+// fresh vocabulary, returned with it) such that Γ has a UNIQUE minimal
+// model iff ψ is unsatisfiable — the Proposition 5.4 coNP-hardness of
+// UMINSAT.
+//
+// Construction (over atoms xᵢ, x̄ᵢ, w):
+//
+//	C ∨ w              for every clause C of ψ (literals mapped to
+//	                   the xᵢ/x̄ᵢ atoms)
+//	xᵢ ∨ x̄ᵢ ∨ w        (pairs active unless w)
+//	¬xᵢ ∨ ¬x̄ᵢ          (exclusivity)
+//	¬w ∨ ¬xᵢ, ¬w ∨ ¬x̄ᵢ (w kills the pairs)
+//
+// {w} is always a minimal model; a second minimal model exists iff ψ
+// has a satisfying assignment.
+func UMINSATFromUNSAT(cnf [][]int, n int) (logic.CNF, *logic.Vocabulary) {
+	voc := logic.NewVocabulary()
+	pos := make([]logic.Atom, n+1)
+	neg := make([]logic.Atom, n+1)
+	for i := 1; i <= n; i++ {
+		pos[i] = voc.Intern(fmt.Sprintf("x%d", i))
+		neg[i] = voc.Intern(fmt.Sprintf("xbar%d", i))
+	}
+	w := voc.Intern("w")
+	var out logic.CNF
+	for _, c := range cnf {
+		cl := logic.Clause{logic.PosLit(w)}
+		for _, l := range c {
+			if l > 0 {
+				cl = append(cl, logic.PosLit(pos[l]))
+			} else {
+				cl = append(cl, logic.PosLit(neg[-l]))
+			}
+		}
+		out = append(out, cl)
+	}
+	for i := 1; i <= n; i++ {
+		out = append(out,
+			logic.Clause{logic.PosLit(pos[i]), logic.PosLit(neg[i]), logic.PosLit(w)},
+			logic.Clause{logic.NegLit(pos[i]), logic.NegLit(neg[i])},
+			logic.Clause{logic.NegLit(w), logic.NegLit(pos[i])},
+			logic.Clause{logic.NegLit(w), logic.NegLit(neg[i])},
+		)
+	}
+	return out, voc
+}
+
+// CNFDB wraps a raw CNF (e.g. from UMINSATFromUNSAT) as a database so
+// the minimal-model engine can run on it: each CNF clause becomes a
+// database clause with the positive literals in the head and the
+// negated atoms in the positive body.
+func CNFDB(cnf logic.CNF, voc *logic.Vocabulary) *db.DB {
+	d := db.NewWithVocab(voc.Clone())
+	for _, cl := range cnf {
+		var c db.Clause
+		for _, l := range cl {
+			if l.IsPos() {
+				c.Head = append(c.Head, l.Atom())
+			} else {
+				c.PosBody = append(c.PosBody, l.Atom())
+			}
+		}
+		d.Add(c)
+	}
+	return d
+}
+
+// RandomCNF generates a random DIMACS k-CNF for the reduction tests
+// and benches.
+func RandomCNF(rnd interface{ Intn(int) int }, nVars, nClauses, k int) [][]int {
+	out := make([][]int, nClauses)
+	for i := range out {
+		c := make([]int, k)
+		for j := range c {
+			v := 1 + rnd.Intn(nVars)
+			if rnd.Intn(2) == 0 {
+				v = -v
+			}
+			c[j] = v
+		}
+		out[i] = c
+	}
+	return out
+}

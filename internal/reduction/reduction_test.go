@@ -1,0 +1,218 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/qbf"
+	"disjunct/internal/refsem"
+	"disjunct/internal/sat"
+	"disjunct/internal/semantics/dsm"
+	"disjunct/internal/semantics/egcwa"
+	"disjunct/internal/semantics/gcwa"
+)
+
+// cnfSat decides a DIMACS CNF with the brute-force reference.
+func cnfSat(cnf [][]int, n int) bool {
+	cls := make([][]sat.Lit, len(cnf))
+	for i, c := range cnf {
+		sc := make([]sat.Lit, len(c))
+		for j, l := range c {
+			if l > 0 {
+				sc[j] = sat.MkLit(l-1, true)
+			} else {
+				sc[j] = sat.MkLit(-l-1, false)
+			}
+		}
+		cls[i] = sc
+	}
+	ok, _ := sat.BruteForce(n, cls)
+	return ok
+}
+
+func TestMMNegLiteralFromQBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	trues, falses := 0, 0
+	for iter := 0; iter < 150; iter++ {
+		nx, ny := 1+rng.Intn(3), 1+rng.Intn(3)
+		q := qbf.Random3DNF(rng, nx, ny, 1+rng.Intn(5))
+		want := qbf.SolveBrute(q) // ∃X ∀Y φ
+		d, w, err := MMNegLiteralFromQBF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.HasNegation() || d.HasIntegrityClauses() {
+			t.Fatalf("reduction must produce a positive DDB")
+		}
+		// MM(T) ⊨ ¬w ⟺ QBF false — check against the brute-force
+		// minimal models.
+		negW := logic.Not(logic.AtomF(w))
+		got := refsem.Entails(refsem.MinimalModels(d), negW)
+		if got != !want {
+			t.Fatalf("iter %d: MM ⊨ ¬w = %v, QBF = %v\nDB:\n%s", iter, got, want, d.String())
+		}
+		// And via the production GCWA/EGCWA engines.
+		g := gcwa.New(core.Options{})
+		if inf, _ := g.InferLiteral(d, logic.NegLit(w)); inf != !want {
+			t.Fatalf("iter %d: GCWA InferLiteral(¬w)=%v, QBF=%v", iter, inf, want)
+		}
+		e := egcwa.New(core.Options{})
+		if inf, _ := e.InferLiteral(d, logic.NegLit(w)); inf != !want {
+			t.Fatalf("iter %d: EGCWA InferLiteral(¬w)=%v, QBF=%v", iter, inf, want)
+		}
+		if want {
+			trues++
+		} else {
+			falses++
+		}
+	}
+	if trues == 0 || falses == 0 {
+		t.Fatalf("degenerate QBF corpus: true=%d false=%d", trues, falses)
+	}
+}
+
+func TestFormulaInferenceFromUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	sats, unsats := 0, 0
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(3)
+		cnf := RandomCNF(rng, n, 1+rng.Intn(4*n), 3)
+		want := !cnfSat(cnf, n) // expect inference ⟺ UNSAT
+		d, f := FormulaInferenceFromUNSAT(cnf, n)
+		if d.HasIntegrityClauses() || d.HasNegation() {
+			t.Fatalf("reduction must be positive without ICs")
+		}
+		gotDDR := refsem.Entails(refsem.DDR(d), f)
+		gotPWS := refsem.Entails(refsem.PWS(d), f)
+		if gotDDR != want || gotPWS != want {
+			t.Fatalf("iter %d: DDR=%v PWS=%v want %v", iter, gotDDR, gotPWS, want)
+		}
+		if want {
+			unsats++
+		} else {
+			sats++
+		}
+	}
+	if sats == 0 || unsats == 0 {
+		t.Fatalf("degenerate CNF corpus: sat=%d unsat=%d", sats, unsats)
+	}
+}
+
+func TestLiteralInferenceFromUNSATWithICs(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		cnf := RandomCNF(rng, n, 1+rng.Intn(3*n), 3)
+		want := !cnfSat(cnf, n)
+		d, w := LiteralInferenceFromUNSATWithICs(cnf, n)
+		negW := logic.Not(logic.AtomF(w))
+		if got := refsem.Entails(refsem.DDR(d), negW); got != want {
+			t.Fatalf("iter %d: DDR ⊨ ¬w = %v, want %v\nDB:\n%s", iter, got, want, d.String())
+		}
+		if got := refsem.Entails(refsem.PWS(d), negW); got != want {
+			t.Fatalf("iter %d: PWS ⊨ ¬w = %v, want %v", iter, got, want)
+		}
+		// The DB must stay consistent regardless of ψ.
+		if len(refsem.Models(d)) == 0 {
+			t.Fatalf("iter %d: reduction produced an inconsistent DB", iter)
+		}
+	}
+}
+
+func TestExistsModelFromSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(114))
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		cnf := RandomCNF(rng, n, 1+rng.Intn(4*n), 3)
+		want := cnfSat(cnf, n)
+		d := ExistsModelFromSAT(cnf, n)
+		if got := len(refsem.Models(d)) > 0; got != want {
+			t.Fatalf("iter %d: ∃model=%v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestDSMExistsFromQBF(t *testing.T) {
+	rng := rand.New(rand.NewSource(115))
+	trues, falses := 0, 0
+	s := dsm.New(core.Options{})
+	for iter := 0; iter < 120; iter++ {
+		nx, ny := 1+rng.Intn(2), 1+rng.Intn(2)
+		q := qbf.Random3DNF(rng, nx, ny, 1+rng.Intn(4))
+		want := qbf.SolveBrute(q)
+		d, err := DSMExistsFromQBF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.HasIntegrityClauses() {
+			t.Fatalf("DSM reduction must avoid integrity clauses")
+		}
+		// Reference check.
+		if got := len(refsem.DSM(d)) > 0; got != want {
+			t.Fatalf("iter %d: ref DSM ∃=%v, QBF=%v\nDB:\n%s", iter, got, want, d.String())
+		}
+		// Production check.
+		if got, _ := s.HasModel(d); got != want {
+			t.Fatalf("iter %d: dsm.HasModel=%v, QBF=%v", iter, got, want)
+		}
+		if want {
+			trues++
+		} else {
+			falses++
+		}
+	}
+	if trues == 0 || falses == 0 {
+		t.Fatalf("degenerate corpus: true=%d false=%d", trues, falses)
+	}
+}
+
+func TestUMINSATFromUNSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(116))
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		cnf := RandomCNF(rng, n, 1+rng.Intn(3*n), 3)
+		want := !cnfSat(cnf, n) // unique minimal model ⟺ UNSAT
+		gamma, voc := UMINSATFromUNSAT(cnf, n)
+		d := CNFDB(gamma, voc)
+		mm := refsem.MinimalModels(d)
+		if got := len(mm) == 1; got != want {
+			t.Fatalf("iter %d: |MM|=%d (unique=%v), want unique=%v", iter, len(mm), len(mm) == 1, want)
+		}
+		// Production UMINSAT procedure agrees.
+		eng := models.NewEngine(d, nil)
+		if got, _ := eng.UniqueMinimalModel(); got != want {
+			t.Fatalf("iter %d: UniqueMinimalModel=%v want %v", iter, got, want)
+		}
+	}
+}
+
+func TestCNFDBRoundTrip(t *testing.T) {
+	voc := logic.NewVocabulary()
+	a := voc.Intern("a")
+	b := voc.Intern("b")
+	cnf := logic.CNF{{logic.PosLit(a), logic.NegLit(b)}}
+	d := CNFDB(cnf, voc)
+	if len(d.Clauses) != 1 {
+		t.Fatalf("clause count")
+	}
+	m := logic.InterpOf(2, b)
+	if d.Sat(m) {
+		t.Fatalf("{b} must violate a ∨ ¬b")
+	}
+	if !d.Sat(logic.InterpOf(2, a, b)) {
+		t.Fatalf("{a,b} must satisfy a ∨ ¬b")
+	}
+}
+
+func TestDNFTermsErrors(t *testing.T) {
+	voc := logic.NewVocabulary()
+	a := voc.Intern("a")
+	notDNF := logic.And(logic.Or(logic.AtomF(a), logic.AtomF(a)), logic.AtomF(a))
+	q := &qbf.Instance{NX: 1, NY: 0, Matrix: notDNF, Voc: voc}
+	if _, _, err := MMNegLiteralFromQBF(q); err == nil {
+		t.Fatalf("non-DNF matrix must be rejected")
+	}
+}

@@ -1,0 +1,55 @@
+package sat
+
+// EnumerateModels enumerates satisfying assignments projected onto the
+// variables 0..projectTo-1, invoking yield for each distinct projected
+// model (as a bool slice of length projectTo). Enumeration proceeds by
+// adding a blocking clause over the projection variables after each
+// model, so models differing only in auxiliary (Tseitin) variables are
+// reported once.
+//
+// If yield returns false, enumeration stops early. limit bounds the
+// number of models enumerated (≤0 means unlimited). The blocking
+// clauses remain in the solver afterwards; callers that need the solver
+// again should enumerate on a throwaway instance.
+//
+// The number of yields is returned.
+func (s *Solver) EnumerateModels(projectTo int, limit int, yield func(model []bool) bool) int {
+	count := 0
+	block := make([]Lit, 0, projectTo)
+	model := make([]bool, projectTo)
+	for limit <= 0 || count < limit {
+		if s.Solve() != Sat {
+			break
+		}
+		for v := 0; v < projectTo; v++ {
+			model[v] = s.Model(v)
+		}
+		count++
+		if !yield(model) {
+			break
+		}
+		block = block[:0]
+		for v := 0; v < projectTo; v++ {
+			block = append(block, MkLit(v, !model[v]))
+		}
+		if !s.AddClause(block...) {
+			break // blocked the last model: formula exhausted
+		}
+	}
+	return count
+}
+
+// SolveWithModel is a convenience wrapper: it solves under assumptions
+// and, when satisfiable, returns the assignment of variables
+// 0..projectTo-1.
+func (s *Solver) SolveWithModel(projectTo int, assumptions ...Lit) (Status, []bool) {
+	st := s.Solve(assumptions...)
+	if st != Sat {
+		return st, nil
+	}
+	model := make([]bool, projectTo)
+	for v := 0; v < projectTo; v++ {
+		model[v] = s.Model(v)
+	}
+	return st, model
+}

@@ -1,0 +1,191 @@
+package sat
+
+// Reference solvers used for cross-validation in tests and as ablation
+// baselines in the benchmark harness:
+//
+//   - BruteForce: exhaustive 2^n enumeration (ground truth for tiny
+//     instances);
+//   - DPLL: chronological-backtracking DPLL with unit propagation but
+//     no clause learning, no activity heuristic, no restarts (the
+//     "CDCL vs DPLL" ablation of DESIGN.md §8).
+
+// BruteForce reports satisfiability of the clauses over nVars variables
+// by exhaustive enumeration, returning a model if satisfiable. Intended
+// for nVars ≤ ~20 in tests.
+func BruteForce(nVars int, clauses [][]Lit) (bool, []bool) {
+	if nVars > 30 {
+		panic("sat: BruteForce limited to 30 variables")
+	}
+	model := make([]bool, nVars)
+	for bits := 0; bits < 1<<uint(nVars); bits++ {
+		for v := 0; v < nVars; v++ {
+			model[v] = bits&(1<<uint(v)) != 0
+		}
+		if evalClauses(clauses, model) {
+			return true, model
+		}
+	}
+	return false, nil
+}
+
+// CountModels counts satisfying assignments by exhaustive enumeration.
+func CountModels(nVars int, clauses [][]Lit) int {
+	if nVars > 30 {
+		panic("sat: CountModels limited to 30 variables")
+	}
+	model := make([]bool, nVars)
+	count := 0
+	for bits := 0; bits < 1<<uint(nVars); bits++ {
+		for v := 0; v < nVars; v++ {
+			model[v] = bits&(1<<uint(v)) != 0
+		}
+		if evalClauses(clauses, model) {
+			count++
+		}
+	}
+	return count
+}
+
+func evalClauses(clauses [][]Lit, model []bool) bool {
+	for _, c := range clauses {
+		sat := false
+		for _, l := range c {
+			if model[l.Var()] == l.IsPos() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// DPLL decides satisfiability with plain DPLL (unit propagation +
+// chronological backtracking, first unassigned variable, no learning).
+// It returns the status and, if Sat, a model. maxDecisions bounds the
+// search (≤0 = unlimited); on exhaustion it returns Unknown.
+func DPLL(nVars int, clauses [][]Lit, maxDecisions int64) (Status, []bool) {
+	d := &dpll{
+		nVars:   nVars,
+		clauses: clauses,
+		assign:  make([]lbool, nVars),
+		budget:  maxDecisions,
+	}
+	st := d.search()
+	if st != Sat {
+		return st, nil
+	}
+	model := make([]bool, nVars)
+	for v := 0; v < nVars; v++ {
+		model[v] = d.assign[v] == lTrue
+	}
+	return Sat, model
+}
+
+type dpll struct {
+	nVars   int
+	clauses [][]Lit
+	assign  []lbool
+	trail   []int
+	budget  int64
+}
+
+func (d *dpll) value(l Lit) lbool {
+	v := d.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.IsPos() == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+func (d *dpll) set(l Lit) {
+	d.assign[l.Var()] = boolToLbool(l.IsPos())
+	d.trail = append(d.trail, l.Var())
+}
+
+// propagate applies unit propagation to fixpoint. It returns false on
+// conflict.
+func (d *dpll) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range d.clauses {
+			var unit Lit = -1
+			unassigned, satisfied := 0, false
+			for _, l := range c {
+				switch d.value(l) {
+				case lTrue:
+					satisfied = true
+				case lUndef:
+					unassigned++
+					unit = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			switch unassigned {
+			case 0:
+				return false
+			case 1:
+				d.set(unit)
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func (d *dpll) search() Status {
+	base := len(d.trail)
+	if !d.propagate() {
+		d.undo(base)
+		return Unsat
+	}
+	v := -1
+	for u := 0; u < d.nVars; u++ {
+		if d.assign[u] == lUndef {
+			v = u
+			break
+		}
+	}
+	if v < 0 {
+		return Sat
+	}
+	if d.budget == 0 {
+		d.undo(base)
+		return Unknown
+	}
+	if d.budget > 0 {
+		d.budget--
+	}
+	for _, sign := range []bool{true, false} {
+		mark := len(d.trail)
+		d.set(MkLit(v, sign))
+		switch st := d.search(); st {
+		case Sat:
+			return Sat
+		case Unknown:
+			d.undo(base)
+			return Unknown
+		}
+		d.undo(mark)
+	}
+	d.undo(base)
+	return Unsat
+}
+
+func (d *dpll) undo(to int) {
+	for len(d.trail) > to {
+		v := d.trail[len(d.trail)-1]
+		d.trail = d.trail[:len(d.trail)-1]
+		d.assign[v] = lUndef
+	}
+}

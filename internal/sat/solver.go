@@ -1,0 +1,772 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver from scratch: two-watched-literal propagation, first-UIP
+// conflict analysis with clause minimisation, VSIDS-style activity
+// ordering, Luby restarts, phase saving, and solving under assumptions.
+//
+// The solver is the NP oracle of this library: every membership
+// algorithm for an NP/coNP/Σ₂ᵖ/Π₂ᵖ table cell bottoms out in calls to
+// Solver.Solve. Literals use the same encoding as package logic
+// (2*v for positive, 2*v+1 for negative).
+package sat
+
+import (
+	"errors"
+)
+
+// Lit is a solver literal, 2*v (positive) or 2*v+1 (negative).
+type Lit int32
+
+// MkLit builds a literal from a variable index and sign.
+func MkLit(v int, positive bool) Lit {
+	l := Lit(2 * v)
+	if !positive {
+		l++
+	}
+	return l
+}
+
+// Var returns the variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// IsPos reports whether l is positive.
+func (l Lit) IsPos() bool { return l&1 == 0 }
+
+// Neg returns the complement of l.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// clause is a learnt or problem clause stored in the solver.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+}
+
+// watcher pairs a clause reference with a "blocker" literal that is
+// checked before touching the clause (cache-friendly early exit).
+type watcher struct {
+	cref    *clause
+	blocker Lit
+}
+
+// Status is the result of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Unknown means the solver stopped before reaching a verdict
+	// (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is
+	// unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrBudget is returned by Solve when the conflict budget set with
+// SetConflictBudget is exhausted.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// Stats holds cumulative solver statistics.
+type Stats struct {
+	Solves       int64 // number of Solve calls
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learnt       int64 // clauses learnt
+	Restarts     int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// instances with New. A Solver is not safe for concurrent use.
+type Solver struct {
+	nVars   int
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // indexed by literal
+
+	assign  []lbool // indexed by variable
+	level   []int32 // decision level of assignment
+	reason  []*clause
+	trail   []Lit
+	trailLn []int32 // trail length at each decision level (index = level)
+	qhead   int
+
+	activity  []float64
+	varInc    float64
+	order     *varHeap
+	phase     []bool // saved phase
+	seen      []bool // scratch for analyze
+	claInc    float64
+	maxLearnt float64
+
+	okay bool // false once a top-level conflict is found
+
+	model     []lbool // snapshot of the last satisfying assignment
+	finalConf []Lit   // failed assumptions of the last Unsat-under-assumptions
+
+	budget     int64 // remaining conflicts before Unknown; <0 = unlimited
+	noRestarts bool
+	stats      Stats
+	scratch    struct {
+		learnt  []Lit
+		toClear []int
+	}
+}
+
+// New returns a solver over nVars variables (indices 0..nVars-1).
+func New(nVars int) *Solver {
+	s := &Solver{
+		varInc:    1,
+		claInc:    1,
+		maxLearnt: 4000,
+		okay:      true,
+		budget:    -1,
+	}
+	s.order = newVarHeap(&s.activity)
+	s.grow(nVars)
+	return s
+}
+
+// grow extends the solver to at least n variables.
+func (s *Solver) grow(n int) {
+	if n <= s.nVars {
+		return
+	}
+	for len(s.watches) < 2*n {
+		s.watches = append(s.watches, nil)
+	}
+	for v := s.nVars; v < n; v++ {
+		s.assign = append(s.assign, lUndef)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, nil)
+		s.activity = append(s.activity, 0)
+		s.phase = append(s.phase, false)
+		s.seen = append(s.seen, false)
+	}
+	s.nVars = n
+	if s.order == nil {
+		s.order = newVarHeap(&s.activity)
+	}
+	for v := 0; v < n; v++ {
+		s.order.insert(v)
+	}
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.nVars
+	s.grow(v + 1)
+	return v
+}
+
+// Stats returns a copy of the cumulative statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// SetConflictBudget limits the total number of conflicts across
+// subsequent Solve calls; pass a negative value for no limit.
+func (s *Solver) SetConflictBudget(n int64) { s.budget = n }
+
+// SetRestartsEnabled toggles the Luby restart policy (enabled by
+// default). Disabling it is the restart ablation of the benchmark
+// suite; the solver remains complete either way.
+func (s *Solver) SetRestartsEnabled(on bool) { s.noRestarts = !on }
+
+// value returns the current value of a literal.
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.IsPos() == (v == lTrue) {
+		return lTrue
+	}
+	return lFalse
+}
+
+// decisionLevel returns the current decision level.
+func (s *Solver) decisionLevel() int { return len(s.trailLn) }
+
+// AddClause adds a problem clause. Adding is only allowed at decision
+// level 0 (i.e. outside Solve). It returns false if the solver is
+// already in an unsatisfiable top-level state.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.okay {
+		return false
+	}
+	// Normalise: sort out duplicates, tautologies, satisfied/false lits.
+	seen := make(map[Lit]bool, len(lits))
+	cl := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() >= s.nVars {
+			s.grow(l.Var() + 1)
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // clause already satisfied at top level
+		case lFalse:
+			continue // literal can never help
+		}
+		if seen[l.Neg()] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			cl = append(cl, l)
+		}
+	}
+	switch len(cl) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(cl[0], nil)
+		if s.propagate() != nil {
+			s.okay = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: cl}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+}
+
+// uncheckedEnqueue records the assignment l=true with the given reason.
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = boolToLbool(l.IsPos())
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting
+// clause, or nil if no conflict was found.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		out := ws[:0]
+		n := len(ws)
+	nextWatcher:
+		for i := 0; i < n; i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				out = append(out, w)
+				continue
+			}
+			c := w.cref
+			// Ensure the false literal (¬p) is at position 1.
+			np := p.Neg()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], np
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				out = append(out, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nl := c.lits[1].Neg()
+					s.watches[nl] = append(s.watches[nl], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// No new watch: clause is unit or conflicting.
+			out = append(out, watcher{c, first})
+			if s.value(first) == lFalse {
+				// Conflict: copy the remaining watchers back.
+				for i++; i < n; i++ {
+					out = append(out, ws[i])
+				}
+				s.watches[p] = out
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = out
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, filling
+// s.scratch.learnt with the learnt clause (asserting literal first) and
+// returning the backtrack level.
+func (s *Solver) analyze(confl *clause) int {
+	learnt := s.scratch.learnt[:0]
+	learnt = append(learnt, 0) // placeholder for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		s.bumpClause(confl)
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to look at.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	// Clause minimisation: drop literals implied by the rest.
+	s.scratch.toClear = s.scratch.toClear[:0]
+	for _, l := range learnt {
+		s.seen[l.Var()] = true
+		s.scratch.toClear = append(s.scratch.toClear, l.Var())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if r := s.reason[learnt[i].Var()]; r == nil || !s.redundant(r) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Compute backtrack level = second-highest level in the clause.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+
+	// Clear every seen flag set in this analysis, including those of
+	// literals dropped by minimisation.
+	for _, v := range s.scratch.toClear {
+		s.seen[v] = false
+	}
+	s.scratch.toClear = s.scratch.toClear[:0]
+	s.scratch.learnt = learnt
+	return bt
+}
+
+// redundant reports whether every literal of the reason clause r (other
+// than its asserting literal) is already marked seen or implied at level
+// 0 — a cheap, local version of recursive minimisation.
+func (s *Solver) redundant(r *clause) bool {
+	for _, q := range r.lits[1:] {
+		v := q.Var()
+		if !s.seen[v] && s.level[v] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelUntil backtracks to the given decision level.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := int(s.trailLn[level])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == lTrue
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLn = s.trailLn[:level]
+	s.qhead = lim
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+// pickBranchVar returns the unassigned variable with highest activity,
+// or -1 if all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB removes roughly half of the learnt clauses, lowest activity
+// first, keeping reasons and binary clauses.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Partial selection: find median activity by simple nth-element scan.
+	acts := make([]float64, len(s.learnts))
+	for i, c := range s.learnts {
+		acts[i] = c.activity
+	}
+	med := quickMedian(acts)
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || c.activity >= med || s.isReason(c) {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].Var()
+	return s.assign[v] != lUndef && s.reason[v] == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l.Neg()]
+		for i, w := range ws {
+			if w.cref == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l.Neg()] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func quickMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Simple in-place quickselect for the median.
+	k := len(xs) / 2
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return xs[k]
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// On Sat, Model reports the found assignment; on Unsat under
+// assumptions, FinalConflict lists a subset of assumptions that is
+// jointly unsatisfiable with the formula.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.stats.Solves++
+	if !s.okay {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		if a.Var() >= s.nVars {
+			s.grow(a.Var() + 1)
+		}
+	}
+	defer s.cancelUntil(0)
+	s.finalConf = s.finalConf[:0]
+
+	var restarts int64
+	conflictsAtRestart := int64(0)
+	limit := luby(1) * 64
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsAtRestart++
+			if s.budget == 0 {
+				return Unknown
+			}
+			if s.budget > 0 {
+				s.budget--
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// Conflict at assumption level: analyse which
+				// assumptions are to blame, then fail.
+				if s.decisionLevel() == 0 {
+					s.okay = false
+				} else {
+					s.analyzeFinal(confl, assumptions)
+				}
+				return Unsat
+			}
+			bt := s.analyze(confl)
+			if bt < len(assumptions) {
+				bt = len(assumptions)
+			}
+			s.cancelUntil(bt)
+			learnt := s.scratch.learnt
+			if len(learnt) == 1 {
+				// Unit learnt clause: enqueue directly. At level 0 this
+				// is a permanent fact; above (clamped to the assumption
+				// level) it holds for the rest of this Solve call.
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if float64(len(s.learnts)) > s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.1
+			}
+			continue
+		}
+
+		// No conflict: restart?
+		if !s.noRestarts && conflictsAtRestart >= limit && s.decisionLevel() > len(assumptions) {
+			restarts++
+			s.stats.Restarts++
+			conflictsAtRestart = 0
+			limit = luby(restarts+1) * 64
+			s.cancelUntil(len(assumptions))
+			continue
+		}
+
+		// Enqueue pending assumptions as decisions.
+		if dl := s.decisionLevel(); dl < len(assumptions) {
+			a := assumptions[dl]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied: open an empty level so that
+				// decisionLevel tracks assumption count.
+				s.trailLn = append(s.trailLn, int32(len(s.trail)))
+			case lFalse:
+				s.analyzeFinalLit(a, assumptions)
+				return Unsat
+			default:
+				s.trailLn = append(s.trailLn, int32(len(s.trail)))
+				s.uncheckedEnqueue(a, nil)
+			}
+			continue
+		}
+
+		v := s.pickBranchVar()
+		if v < 0 {
+			s.model = append(s.model[:0], s.assign...)
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLn = append(s.trailLn, int32(len(s.trail)))
+		s.uncheckedEnqueue(MkLit(v, s.phase[v]), nil)
+	}
+}
+
+// analyzeFinal computes the subset of assumptions responsible for the
+// conflict clause confl, storing it in s.finalConf.
+func (s *Solver) analyzeFinal(confl *clause, assumptions []Lit) {
+	s.finalConf = s.finalConf[:0]
+	if s.decisionLevel() == 0 {
+		return
+	}
+	isAssumption := make(map[int]bool, len(assumptions))
+	for _, a := range assumptions {
+		isAssumption[a.Var()] = true
+	}
+	for _, l := range confl.lits {
+		if s.level[l.Var()] > 0 {
+			s.seen[l.Var()] = true
+		}
+	}
+	for i := len(s.trail) - 1; i >= int(s.trailLn[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			if isAssumption[v] {
+				s.finalConf = append(s.finalConf, s.trail[i].Neg())
+			}
+		} else {
+			for _, q := range r.lits {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+}
+
+// analyzeFinalLit handles the case where an assumption is directly
+// falsified by earlier assumptions/propagation.
+func (s *Solver) analyzeFinalLit(a Lit, assumptions []Lit) {
+	s.finalConf = s.finalConf[:0]
+	isAssumption := make(map[int]bool, len(assumptions))
+	for _, x := range assumptions {
+		isAssumption[x.Var()] = true
+	}
+	s.finalConf = append(s.finalConf, a)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLn[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			if isAssumption[v] && v != a.Var() {
+				s.finalConf = append(s.finalConf, s.trail[i].Neg())
+			}
+		} else {
+			for _, q := range r.lits {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+}
+
+// FinalConflict returns the failed-assumption set of the most recent
+// Unsat-under-assumptions result: a subset A' of the assumptions such
+// that the formula together with A' is unsatisfiable.
+func (s *Solver) FinalConflict() []Lit {
+	return append([]Lit(nil), s.finalConf...)
+}
+
+// Model returns the value of variable v in the most recent Sat result.
+func (s *Solver) Model(v int) bool {
+	return v < len(s.model) && s.model[v] == lTrue
+}
+
+// ModelLit reports whether literal l is true in the last model.
+func (s *Solver) ModelLit(l Lit) bool {
+	v := s.Model(l.Var())
+	return v == l.IsPos()
+}
+
+// Okay reports whether the solver is still in a consistent top-level
+// state (false after a clause set has been proven unsatisfiable).
+func (s *Solver) Okay() bool { return s.okay }

@@ -1,0 +1,457 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lits(xs ...int) []Lit {
+	// positive int i means variable i-1 positive, negative means negated.
+	out := make([]Lit, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = MkLit(x-1, true)
+		} else {
+			out[i] = MkLit(-x-1, false)
+		}
+	}
+	return out
+}
+
+func addAll(s *Solver, clauses [][]Lit) bool {
+	for _, c := range clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.IsPos() {
+		t.Fatalf("MkLit(5,true) = %v", l)
+	}
+	n := l.Neg()
+	if n.Var() != 5 || n.IsPos() {
+		t.Fatalf("Neg broken: %v", n)
+	}
+	if n.Neg() != l {
+		t.Fatalf("double negation broken")
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New(3)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("empty formula: got %v, want Sat", st)
+	}
+}
+
+func TestUnitPropagation(t *testing.T) {
+	s := New(2)
+	s.AddClause(lits(1)...)
+	s.AddClause(lits(-1, 2)...)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	if !s.Model(0) || !s.Model(1) {
+		t.Fatalf("model = %v %v, want true true", s.Model(0), s.Model(1))
+	}
+}
+
+func TestTriviallyUnsat(t *testing.T) {
+	s := New(1)
+	s.AddClause(lits(1)...)
+	if ok := s.AddClause(lits(-1)...); ok {
+		t.Fatalf("AddClause should report top-level conflict")
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	// (a∨b) ∧ (a∨¬b) ∧ (¬a∨b) ∧ (¬a∨¬b)
+	s := New(2)
+	addAll(s, [][]Lit{lits(1, 2), lits(1, -2), lits(-1, 2), lits(-1, -2)})
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat", st)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New(3)
+	addAll(s, [][]Lit{lits(-1, 2), lits(-2, 3)})
+	if st := s.Solve(lits(1)...); st != Sat {
+		t.Fatalf("sat under a: got %v", st)
+	}
+	if !s.Model(2) {
+		t.Fatalf("c should be forced true under assumption a")
+	}
+	// Now make it unsat under assumptions.
+	s.AddClause(lits(-3)...)
+	if st := s.Solve(lits(1)...); st != Unsat {
+		t.Fatalf("got %v, want Unsat under a", st)
+	}
+	fc := s.FinalConflict()
+	if len(fc) == 0 {
+		t.Fatalf("final conflict should mention the failed assumption")
+	}
+	// Solver must remain reusable without the assumption.
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("still sat without assumptions: got %v", st)
+	}
+	if s.Model(0) {
+		t.Fatalf("a must be false now")
+	}
+}
+
+func TestFinalConflictSubset(t *testing.T) {
+	// x1 ∧ x2 unsat with clause (¬x1 ∨ ¬x2); assumption x3 is irrelevant.
+	s := New(3)
+	s.AddClause(lits(-1, -2)...)
+	if st := s.Solve(lits(3, 1, 2)...); st != Unsat {
+		t.Fatalf("want Unsat")
+	}
+	for _, l := range s.FinalConflict() {
+		if l.Var() == 2 {
+			t.Fatalf("irrelevant assumption x3 in final conflict %v", s.FinalConflict())
+		}
+	}
+}
+
+// randomCNF produces a random k-CNF instance.
+func randomCNF(rng *rand.Rand, nVars, nClauses, k int) [][]Lit {
+	cls := make([][]Lit, nClauses)
+	for i := range cls {
+		c := make([]Lit, k)
+		for j := range c {
+			c[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+		}
+		cls[i] = c
+	}
+	return cls
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 2000; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(4*nVars)
+		cls := randomCNF(rng, nVars, nClauses, 2+rng.Intn(2))
+		want, _ := BruteForce(nVars, cls)
+
+		s := New(nVars)
+		okAdd := addAll(s, cls)
+		got := s.Solve()
+		if want && got != Sat {
+			t.Fatalf("iter %d: brute force SAT, solver %v (addOK=%v)\nclauses=%v", iter, got, okAdd, cls)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("iter %d: brute force UNSAT, solver %v\nclauses=%v", iter, got, cls)
+		}
+		if got == Sat {
+			model := make([]bool, nVars)
+			for v := 0; v < nVars; v++ {
+				model[v] = s.Model(v)
+			}
+			if !evalClauses(cls, model) {
+				t.Fatalf("iter %d: returned model does not satisfy formula", iter)
+			}
+		}
+	}
+}
+
+func TestRandomAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 1000; iter++ {
+		nVars := 3 + rng.Intn(7)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(3*nVars), 3)
+		nAssume := rng.Intn(3)
+		assume := make([]Lit, 0, nAssume)
+		used := map[int]bool{}
+		for len(assume) < nAssume {
+			v := rng.Intn(nVars)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			assume = append(assume, MkLit(v, rng.Intn(2) == 0))
+		}
+		// Ground truth: add assumptions as unit clauses.
+		ref := append([][]Lit{}, cls...)
+		for _, a := range assume {
+			ref = append(ref, []Lit{a})
+		}
+		want, _ := BruteForce(nVars, ref)
+
+		s := New(nVars)
+		addAll(s, cls)
+		got := s.Solve(assume...)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: want sat=%v got %v (assume=%v)", iter, want, got, assume)
+		}
+		// Solver must be reusable: repeat without assumptions.
+		want2, _ := BruteForce(nVars, cls)
+		if got2 := s.Solve(); (got2 == Sat) != want2 {
+			t.Fatalf("iter %d: reuse after assumptions broken: want sat=%v got %v", iter, want2, got2)
+		}
+	}
+}
+
+func TestDPLLAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 800; iter++ {
+		nVars := 3 + rng.Intn(7)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(4*nVars), 3)
+		want, _ := BruteForce(nVars, cls)
+		got, model := DPLL(nVars, cls, -1)
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: DPLL=%v, brute=%v", iter, got, want)
+		}
+		if got == Sat && !evalClauses(cls, model) {
+			t.Fatalf("iter %d: DPLL model invalid", iter)
+		}
+	}
+}
+
+func TestEnumerateModelsComplete(t *testing.T) {
+	// a∨b over 2 vars: exactly 3 models.
+	s := New(2)
+	s.AddClause(lits(1, 2)...)
+	var got [][]bool
+	n := s.EnumerateModels(2, 0, func(m []bool) bool {
+		got = append(got, append([]bool(nil), m...))
+		return true
+	})
+	if n != 3 || len(got) != 3 {
+		t.Fatalf("enumerated %d models, want 3: %v", n, got)
+	}
+	seen := map[[2]bool]bool{}
+	for _, m := range got {
+		seen[[2]bool{m[0], m[1]}] = true
+	}
+	if seen[[2]bool{false, false}] || len(seen) != 3 {
+		t.Fatalf("wrong model set: %v", got)
+	}
+}
+
+func TestEnumerateModelsCountsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 500; iter++ {
+		nVars := 2 + rng.Intn(6)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(3*nVars), 2)
+		want := CountModels(nVars, cls)
+		s := New(nVars)
+		addAll(s, cls)
+		got := s.EnumerateModels(nVars, 0, func([]bool) bool { return true })
+		if got != want {
+			t.Fatalf("iter %d: enumerated %d, brute force %d\nclauses=%v", iter, got, want, cls)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	s := New(4) // unconstrained: 16 models
+	if n := s.EnumerateModels(4, 5, func([]bool) bool { return true }); n != 5 {
+		t.Fatalf("limit ignored: %d", n)
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard unsat pigeonhole-ish instance would take many conflicts;
+	// with budget 0 conflicts the solver must give up as soon as a
+	// conflict occurs.
+	s := New(2)
+	addAll(s, [][]Lit{lits(1, 2), lits(1, -2), lits(-1, 2), lits(-1, -2)})
+	s.SetConflictBudget(0)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown under zero budget", st)
+	}
+	s.SetConflictBudget(-1)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want Unsat with unlimited budget", st)
+	}
+}
+
+func TestNewVarGrowth(t *testing.T) {
+	s := New(0)
+	a := s.NewVar()
+	b := s.NewVar()
+	if a != 0 || b != 1 {
+		t.Fatalf("NewVar sequence wrong: %d %d", a, b)
+	}
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes — classically unsat and
+	// requires real search. Keep n small for test speed.
+	for n := 2; n <= 5; n++ {
+		s := New((n + 1) * n)
+		v := func(p, h int) int { return p*n + h }
+		for p := 0; p <= n; p++ {
+			c := make([]Lit, n)
+			for h := 0; h < n; h++ {
+				c[h] = MkLit(v(p, h), true)
+			}
+			s.AddClause(c...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(MkLit(v(p1, h), false), MkLit(v(p2, h), false))
+				}
+			}
+		}
+		if st := s.Solve(); st != Unsat {
+			t.Fatalf("PHP(%d,%d): got %v, want Unsat", n+1, n, st)
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if g := luby(int64(i + 1)); g != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, g, w)
+		}
+	}
+}
+
+func TestQuickMedian(t *testing.T) {
+	if m := quickMedian([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := quickMedian([]float64{5}); m != 5 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := quickMedian(nil); m != 0 {
+		t.Fatalf("median of empty = %v", m)
+	}
+}
+
+// Property: for any CNF, if the solver says Sat the model satisfies the
+// CNF; solver verdict always equals brute force.
+func TestQuickCheckSolverSound(t *testing.T) {
+	f := func(seed int64, nv uint8, nc uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 2 + int(nv%8)
+		cls := randomCNF(rng, nVars, 1+int(nc%24), 3)
+		want, _ := BruteForce(nVars, cls)
+		s := New(nVars)
+		addAll(s, cls)
+		return (s.Solve() == Sat) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(3)
+	addAll(s, [][]Lit{lits(1, 2), lits(-1, 3)})
+	s.Solve()
+	st := s.Stats()
+	if st.Solves != 1 {
+		t.Fatalf("Solves = %d", st.Solves)
+	}
+	s.Solve()
+	if s.Stats().Solves != 2 {
+		t.Fatalf("Solves = %d", s.Stats().Solves)
+	}
+}
+
+func TestZeroVariableSolver(t *testing.T) {
+	s := New(0)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("empty solver must be Sat, got %v", st)
+	}
+	if n := s.EnumerateModels(0, 0, func([]bool) bool { return true }); n != 1 {
+		t.Fatalf("empty solver has %d models, want 1 (the empty one)", n)
+	}
+}
+
+func TestRestartsToggleStillComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 500; iter++ {
+		nVars := 3 + rng.Intn(7)
+		cls := randomCNF(rng, nVars, 1+rng.Intn(4*nVars), 3)
+		want, _ := BruteForce(nVars, cls)
+		s := New(nVars)
+		s.SetRestartsEnabled(false)
+		addAll(s, cls)
+		if got := s.Solve(); (got == Sat) != want {
+			t.Fatalf("iter %d: no-restart solver wrong: %v vs %v", iter, got, want)
+		}
+	}
+}
+
+func TestHardInstanceExercisesReduceDB(t *testing.T) {
+	// PHP(8,7) forces enough conflicts to trigger learnt-clause
+	// reduction; the verdict must stay Unsat and the stats sane.
+	if testing.Short() {
+		t.Skip("hard instance")
+	}
+	n := 7
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p <= n; p++ {
+		c := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = MkLit(v(p, h), true)
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), false), MkLit(v(p2, h), false))
+			}
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("PHP(8,7) must be Unsat, got %v", st)
+	}
+	stats := s.Stats()
+	if stats.Conflicts == 0 || stats.Learnt == 0 {
+		t.Fatalf("expected real search: %+v", stats)
+	}
+}
+
+func TestSolverStressRandomSequence(t *testing.T) {
+	// A long interleaving of AddClause / Solve / assumptions on one
+	// solver instance, cross-checked against brute force at each step.
+	rng := rand.New(rand.NewSource(301))
+	nVars := 8
+	s := New(nVars)
+	var clauses [][]Lit
+	for step := 0; step < 300; step++ {
+		if rng.Intn(2) == 0 {
+			c := make([]Lit, 1+rng.Intn(3))
+			for i := range c {
+				c[i] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		var assume []Lit
+		if rng.Intn(3) == 0 {
+			assume = append(assume, MkLit(rng.Intn(nVars), rng.Intn(2) == 0))
+		}
+		ref := append([][]Lit{}, clauses...)
+		for _, a := range assume {
+			ref = append(ref, []Lit{a})
+		}
+		want, _ := BruteForce(nVars, ref)
+		if got := s.Solve(assume...); (got == Sat) != want {
+			t.Fatalf("step %d: got %v want sat=%v (assume=%v, %d clauses)",
+				step, got, want, assume, len(clauses))
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package cwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+// refCWA computes CWA(DB) from the definition: models of DB plus ¬x
+// for every atom not true in all models.
+func refCWA(d *db.DB) []logic.Interp {
+	all := refsem.Models(d)
+	n := d.N()
+	entailed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		entailed[v] = len(all) > 0
+		for _, m := range all {
+			if !m.Holds(logic.Atom(v)) {
+				entailed[v] = false
+				break
+			}
+		}
+	}
+	var out []logic.Interp
+	for _, m := range all {
+		ok := true
+		for v := 0; v < n; v++ {
+			if m.Holds(logic.Atom(v)) && !entailed[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestRegistered(t *testing.T) {
+	if _, ok := core.New("CWA", core.Options{}); !ok {
+		t.Fatalf("CWA not registered")
+	}
+}
+
+func TestDisjunctionInconsistent(t *testing.T) {
+	// The paper's point: CWA(a ∨ b) adds both ¬a and ¬b and becomes
+	// inconsistent.
+	d := db.MustParse("a | b.")
+	s := New(core.Options{})
+	ok, err := s.HasModel(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("CWA(a∨b) must be inconsistent")
+	}
+}
+
+func TestHornUnique(t *testing.T) {
+	d := db.MustParse("a. b :- a. d :- e.")
+	s := New(core.Options{})
+	ok, _ := s.HasModel(d)
+	if !ok {
+		t.Fatalf("CWA of a Horn DB must be consistent")
+	}
+	count, _ := s.Models(d, 0, func(m logic.Interp) bool {
+		if got := m.String(d.Voc); got != "{a, b}" {
+			t.Fatalf("CWA model = %s, want {a, b}", got)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("CWA must have exactly one model, got %d", count)
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	s := New(core.Options{})
+	for iter := 0; iter < 250; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+		want := refCWA(d)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: CWA model set mismatch\nDB:\n%swant %d got %d",
+				iter, d.String(), len(want), len(got))
+		}
+		if len(want) > 1 {
+			t.Fatalf("iter %d: CWA produced %d models; must be ≤ 1", iter, len(want))
+		}
+	}
+}
+
+func TestHasModelLogCallsAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	consistent, inconsistent := 0, 0
+	for iter := 0; iter < 300; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(2+rng.Intn(5), 1+rng.Intn(8)))
+		s := New(core.Options{})
+		want, _ := s.HasModel(d)
+		got, err := s.HasModelLogCalls(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: log-calls=%v direct=%v\nDB:\n%s", iter, got, want, d.String())
+		}
+		if want {
+			consistent++
+		} else {
+			inconsistent++
+		}
+	}
+	if consistent == 0 || inconsistent == 0 {
+		t.Fatalf("degenerate corpus: consistent=%d inconsistent=%d", consistent, inconsistent)
+	}
+}
+
+func TestHasModelLogCallsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	for _, n := range []int{6, 10, 14} {
+		d := gen.Random(rng, gen.WithIntegrity(n, 2*n))
+		s := New(core.Options{})
+		if _, err := s.HasModelLogCalls(d); err != nil {
+			t.Fatal(err)
+		}
+		calls := s.Oracle().Counters().NPCalls
+		budget := int64(ceilLog2(n+1) + 3)
+		if calls > budget {
+			t.Fatalf("n=%d: %d NP calls, budget %d", n, calls, budget)
+		}
+	}
+}
+
+func ceilLog2(x int) int {
+	c, v := 0, 1
+	for v < x {
+		v *= 2
+		c++
+	}
+	return c
+}
+
+func TestInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		set := refCWA(d)
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(set, logic.LitF(l))
+			got, err := s.InferLiteral(d, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("iter %d: InferLiteral(%s)=%v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package ddr
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestRegisteredBothNames(t *testing.T) {
+	d, ok1 := core.New("DDR", core.Options{})
+	w, ok2 := core.New("WGCWA", core.Options{})
+	if !ok1 || !ok2 || d.Name() != "DDR" || w.Name() != "WGCWA" {
+		t.Fatalf("DDR/WGCWA registration broken")
+	}
+}
+
+func TestPaperExample31(t *testing.T) {
+	// Example 3.1: DB = {a∨b, ←a∧b, c←a∧b}: DDR(DB) ⊭ ¬c — the
+	// fixpoint ignores the integrity clause, so c still "occurs".
+	d := db.MustParse("a | b. :- a, b. c :- a, b.")
+	s := New(core.Options{})
+	c, _ := d.Voc.Lookup("c")
+	got, err := s.InferLiteral(d, logic.NegLit(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatalf("Example 3.1: DDR must NOT infer ¬c")
+	}
+	// GCWA (via minimal models) does infer ¬c here — the example's
+	// point is exactly this contrast.
+	if !refsem.Entails(refsem.GCWA(d), logic.MustParseFormula("-c", d.Voc)) {
+		t.Fatalf("GCWA should infer ¬c in Example 3.1")
+	}
+}
+
+func TestOccurrenceVsSubsumption(t *testing.T) {
+	// DB = {a, a∨b}: the disjunction a∨b is itself in T_DB↑0, so b
+	// occurs and ¬b is NOT inferred — DDR is weaker than GCWA, which
+	// infers ¬b (unique minimal model {a}).
+	d := db.MustParse("a. a | b.")
+	s := New(core.Options{})
+	b, _ := d.Voc.Lookup("b")
+	if got, _ := s.InferLiteral(d, logic.NegLit(b)); got {
+		t.Fatalf("DDR must not infer ¬b from {a, a∨b}")
+	}
+	if !refsem.Entails(refsem.GCWA(d), logic.MustParseFormula("-b", d.Voc)) {
+		t.Fatalf("GCWA should infer ¬b from {a, a∨b}")
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	s := New(core.Options{})
+	for iter := 0; iter < 250; iter++ {
+		var d *db.DB
+		if iter%2 == 0 {
+			d = gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(6)))
+		} else {
+			d = gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(6)))
+		}
+		want := refsem.DDR(d)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: DDR model set mismatch\nDB:\n%swant %d got %d",
+				iter, d.String(), len(want), len(got))
+		}
+	}
+}
+
+func TestOccurringAtomsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	s := New(core.Options{})
+	for iter := 0; iter < 200; iter++ {
+		d := gen.Random(rng, gen.Positive(2+rng.Intn(5), 1+rng.Intn(7)))
+		want := refsem.DDROccurring(d)
+		got := s.OccurringAtoms(d)
+		for v := 0; v < d.N(); v++ {
+			if want[v] != got.Test(v) {
+				t.Fatalf("iter %d: occurrence of %s: fixpoint=%v reference=%v\nDB:\n%s",
+					iter, d.Voc.Name(logic.Atom(v)), got.Test(v), want[v], d.String())
+			}
+		}
+	}
+}
+
+func TestInferLiteralMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	s := New(core.Options{})
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		set := refsem.DDR(d)
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(set, logic.LitF(l))
+			got, err := s.InferLiteral(d, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("iter %d: InferLiteral(%s)=%v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestInferFormulaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		f := randomFormula(rng, n, 3)
+		want := refsem.Entails(refsem.DDR(d), f)
+		got, err := s.InferFormula(d, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: InferFormula=%v want %v\nDB:\n%sF: %s",
+				iter, got, want, d.String(), f.String(d.Voc))
+		}
+	}
+}
+
+func TestTractableCellUsesNoOracle(t *testing.T) {
+	// The Table 1 cell: negative-literal inference on a positive DDB
+	// without integrity clauses must consume ZERO NP-oracle calls.
+	rng := rand.New(rand.NewSource(55))
+	s := New(core.Options{})
+	for iter := 0; iter < 50; iter++ {
+		d := gen.Random(rng, gen.Positive(4+rng.Intn(8), 1+rng.Intn(10)))
+		before := s.Oracle().Counters().NPCalls
+		a := logic.Atom(rng.Intn(d.N()))
+		if _, err := s.InferLiteral(d, logic.NegLit(a)); err != nil {
+			t.Fatal(err)
+		}
+		if after := s.Oracle().Counters().NPCalls; after != before {
+			t.Fatalf("tractable DDR cell consumed %d oracle calls", after-before)
+		}
+	}
+}
+
+func TestNegationUnsupported(t *testing.T) {
+	d := db.MustParse("a :- not b.")
+	s := New(core.Options{})
+	if _, err := s.InferLiteral(d, logic.PosLit(0)); err != core.ErrUnsupported {
+		t.Fatalf("DDR with negation should be unsupported, got %v", err)
+	}
+}
+
+func TestHasModel(t *testing.T) {
+	s := New(core.Options{})
+	if ok, _ := s.HasModel(db.MustParse("a | b.")); !ok {
+		t.Fatalf("no-IC DDR model must exist")
+	}
+	// DDR model existence with integrity clauses can fail even when DB
+	// is satisfiable: non-occurring atoms are forced false.
+	d := db.MustParse("a | b. c. :- c, a. :- c, b.")
+	if ok, _ := s.HasModel(d); ok {
+		t.Fatalf("DDR(DB) should be empty: ICs contradict every closure model")
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}

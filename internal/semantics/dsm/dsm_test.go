@@ -1,0 +1,208 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestRegistered(t *testing.T) {
+	if _, ok := core.New("DSM", core.Options{}); !ok {
+		t.Fatalf("DSM not registered")
+	}
+}
+
+func TestClassicStableExamples(t *testing.T) {
+	s := New(core.Options{})
+
+	// {a ← ¬b, b ← ¬a}: two stable models {a} and {b}.
+	d := db.MustParse("a :- not b. b :- not a.")
+	var got []string
+	s.Models(d, 0, func(m logic.Interp) bool {
+		got = append(got, m.String(d.Voc))
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("even loop: stable models %v, want 2", got)
+	}
+
+	// {a ← ¬a}: no stable model.
+	d2 := db.MustParse("a :- not a.")
+	if ok, _ := s.HasModel(d2); ok {
+		t.Fatalf("odd loop must have no stable model")
+	}
+
+	// Disjunctive: {a ∨ b}: stable models {a}, {b}.
+	d3 := db.MustParse("a | b.")
+	count, _ := s.Models(d3, 0, func(logic.Interp) bool { return true })
+	if count != 2 {
+		t.Fatalf("a|b: %d stable models, want 2", count)
+	}
+}
+
+func TestPositiveDBStableEqualsMinimal(t *testing.T) {
+	// Paper: if DB is positive, DSM(DB) = MM(DB).
+	rng := rand.New(rand.NewSource(71))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(6)))
+		want := refsem.MinimalModels(d)
+		var got []logic.Interp
+		s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		})
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: DSM ≠ MM on positive DB\nDB:\n%s", iter, d.String())
+		}
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	s := New(core.Options{})
+	for iter := 0; iter < 250; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(4), 1+rng.Intn(7)))
+		want := refsem.DSM(d)
+		var got []logic.Interp
+		s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		})
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: DSM mismatch\nDB:\n%swant %d got %d",
+				iter, d.String(), len(want), len(got))
+		}
+	}
+}
+
+func TestStableModelsAreMinimalModels(t *testing.T) {
+	// DSM(DB) ⊆ MM(DB) (paper, citing Przymusinski).
+	rng := rand.New(rand.NewSource(73))
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(4), 1+rng.Intn(6)))
+		mm := refsem.MinimalModels(d)
+		keys := map[string]bool{}
+		for _, m := range mm {
+			keys[m.Key()] = true
+		}
+		for _, m := range refsem.DSM(d) {
+			if !keys[m.Key()] {
+				t.Fatalf("iter %d: stable model not minimal\nDB:\n%s", iter, d.String())
+			}
+		}
+	}
+}
+
+func TestInferenceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.Normal(n, 1+rng.Intn(6)))
+		set := refsem.DSM(d)
+		f := randomFormula(rng, n, 3)
+		want := refsem.Entails(set, f)
+		got, err := s.InferFormula(d, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: InferFormula=%v want %v\nDB:\n%sF: %s",
+				iter, got, want, d.String(), f.String(d.Voc))
+		}
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(set, logic.LitF(l))
+			got, _ := s.InferLiteral(d, l)
+			if got != want {
+				t.Fatalf("iter %d: lit %s got %v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestHasModelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	s := New(core.Options{})
+	haveEmpty, haveNonEmpty := 0, 0
+	for iter := 0; iter < 200; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(4), 1+rng.Intn(6)))
+		want := len(refsem.DSM(d)) > 0
+		got, err := s.HasModel(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: HasModel=%v want %v\nDB:\n%s", iter, got, want, d.String())
+		}
+		if want {
+			haveNonEmpty++
+		} else {
+			haveEmpty++
+		}
+	}
+	if haveEmpty == 0 || haveNonEmpty == 0 {
+		t.Fatalf("degenerate corpus: empty=%d nonEmpty=%d", haveEmpty, haveNonEmpty)
+	}
+}
+
+func TestIsStable(t *testing.T) {
+	s := New(core.Options{})
+	d := db.MustParse("a :- not b. b :- not a.")
+	a, _ := d.Voc.Lookup("a")
+	b, _ := d.Voc.Lookup("b")
+	if !s.IsStable(d, logic.InterpOf(2, a)) {
+		t.Fatalf("{a} should be stable")
+	}
+	if s.IsStable(d, logic.InterpOf(2, a, b)) {
+		t.Fatalf("{a,b} should not be stable")
+	}
+	if s.IsStable(d, logic.InterpOf(2)) {
+		t.Fatalf("{} should not be stable (not a model of the reduct)")
+	}
+}
+
+func TestColoringStableModels(t *testing.T) {
+	// Proper 3-colourings of C5 = stable models of the colouring DB.
+	g := gen.Cycle(5)
+	d := gen.ColoringDB(g, 3)
+	s := New(core.Options{})
+	count, _ := s.Models(d, 0, func(logic.Interp) bool { return true })
+	// Number of proper 3-colourings of C_n is (k-1)^n + (-1)^n (k-1)
+	// with k=3, n=5: 2^5 - 2 = 30.
+	if count != 30 {
+		t.Fatalf("C5 3-colourings = %d, want 30", count)
+	}
+	// C5 with 2 colours: none.
+	d2 := gen.ColoringDB(g, 2)
+	if ok, _ := s.HasModel(d2); ok {
+		t.Fatalf("odd cycle is not 2-colourable")
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}

@@ -1,0 +1,152 @@
+package ecwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/refsem"
+)
+
+func mkPartition(rng *rand.Rand, n int) (models.Partition, map[int]bool, map[int]bool) {
+	p, q := map[int]bool{}, map[int]bool{}
+	var ps, zs []logic.Atom
+	for v := 0; v < n; v++ {
+		switch rng.Intn(3) {
+		case 0:
+			p[v] = true
+			ps = append(ps, logic.Atom(v))
+		case 1:
+			q[v] = true
+		default:
+			zs = append(zs, logic.Atom(v))
+		}
+	}
+	return models.NewPartition(n, ps, zs), p, q
+}
+
+func TestRegisteredBothNames(t *testing.T) {
+	e, ok1 := core.New("ECWA", core.Options{})
+	c, ok2 := core.New("CIRC", core.Options{})
+	if !ok1 || !ok2 {
+		t.Fatalf("ECWA/CIRC not registered")
+	}
+	if e.Name() != "ECWA" || c.Name() != "CIRC" {
+		t.Fatalf("names wrong: %s %s", e.Name(), c.Name())
+	}
+}
+
+func TestECWAEqualsCIRC(t *testing.T) {
+	// CIRC_{P;Z}(DB) = MM(DB;P;Z) = ECWA_{P;Z}(DB) in the finite
+	// propositional case (paper §3.3): the two registered semantics
+	// must agree on everything.
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		part, _, _ := mkPartition(rng, n)
+		e := New(core.Options{Partition: &part})
+		c, _ := core.New("CIRC", core.Options{Partition: &part})
+		f := randomFormula(rng, n, 2)
+		ge, _ := e.InferFormula(d, f)
+		gc, _ := c.InferFormula(d, f)
+		if ge != gc {
+			t.Fatalf("iter %d: ECWA=%v CIRC=%v", iter, ge, gc)
+		}
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		part, p, q := mkPartition(rng, n)
+		s := New(core.Options{Partition: &part})
+		want := refsem.ECWA(d, p, q)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: ECWA model set mismatch\nDB:\n%sP=%v Q=%v want %d got %d",
+				iter, d.String(), p, q, len(want), len(got))
+		}
+	}
+}
+
+func TestInferFormulaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		part, p, q := mkPartition(rng, n)
+		s := New(core.Options{Partition: &part})
+		f := randomFormula(rng, n, 3)
+		want := refsem.Entails(refsem.ECWA(d, p, q), f)
+		got, err := s.InferFormula(d, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: ECWA InferFormula=%v want %v\nDB:\n%sF: %s P=%v Q=%v",
+				iter, got, want, d.String(), f.String(d.Voc), p, q)
+		}
+	}
+}
+
+func TestLiteralInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		part, p, q := mkPartition(rng, n)
+		s := New(core.Options{Partition: &part})
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(refsem.ECWA(d, p, q), logic.LitF(l))
+			got, _ := s.InferLiteral(d, l)
+			if got != want {
+				t.Fatalf("iter %d: lit %s got %v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestHasModelIsSatisfiability(t *testing.T) {
+	s := New(core.Options{})
+	if ok, _ := s.HasModel(db.MustParse("a | b. :- a.")); !ok {
+		t.Fatalf("satisfiable DB must have an ECWA model")
+	}
+	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+		t.Fatalf("unsatisfiable DB must have no ECWA model")
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}

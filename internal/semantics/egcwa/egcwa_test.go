@@ -1,0 +1,113 @@
+package egcwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestRegistered(t *testing.T) {
+	if _, ok := core.New("EGCWA", core.Options{}); !ok {
+		t.Fatalf("EGCWA not registered")
+	}
+}
+
+func TestEGCWAIsMinimalModels(t *testing.T) {
+	// EGCWA(DB) = MM(DB) (paper §3.3).
+	rng := rand.New(rand.NewSource(41))
+	s := New(core.Options{})
+	for iter := 0; iter < 250; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(7)))
+		want := refsem.MinimalModels(d)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: EGCWA ≠ MM\nDB:\n%s", iter, d.String())
+		}
+	}
+}
+
+func TestEGCWAInfersIntegrityClauses(t *testing.T) {
+	// Yahya–Henschen motivation: EGCWA infers the integrity clause
+	// ¬(a ∧ b) from a ∨ b (true in both minimal models), which plain
+	// GCWA-closure does not add as a literal.
+	d := db.MustParse("a | b.")
+	s := New(core.Options{})
+	f := logic.MustParseFormula("-(a & b)", d.Voc)
+	got, err := s.InferFormula(d, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatalf("EGCWA must infer ¬(a∧b) from a∨b")
+	}
+	// But not ¬a or ¬b individually.
+	a, _ := d.Voc.Lookup("a")
+	if got, _ := s.InferLiteral(d, logic.NegLit(a)); got {
+		t.Fatalf("EGCWA must not infer ¬a from a∨b")
+	}
+}
+
+func TestEGCWAStrongerThanGCWAOnFormulas(t *testing.T) {
+	// GCWA(DB) ⊇ EGCWA(DB) = MM(DB), so everything GCWA infers, EGCWA
+	// infers too.
+	rng := rand.New(rand.NewSource(42))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		f := randomFormula(rng, n, 2)
+		gcwaHolds := refsem.Entails(refsem.GCWA(d), f)
+		egcwaHolds, _ := s.InferFormula(d, f)
+		if gcwaHolds && !egcwaHolds {
+			t.Fatalf("iter %d: GCWA infers but EGCWA does not\nDB:\n%sF: %s",
+				iter, d.String(), f.String(d.Voc))
+		}
+	}
+}
+
+func TestHasModelNPCell(t *testing.T) {
+	s := New(core.Options{})
+	// Positive DDB: O(1) — always true.
+	if ok, _ := s.HasModel(db.MustParse("a | b. c :- a.")); !ok {
+		t.Fatalf("positive DDB must have minimal models")
+	}
+	// With integrity clauses: satisfiability (NP cell of Table 2).
+	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+		t.Fatalf("unsatisfiable DDDB must have no EGCWA model")
+	}
+	if ok, _ := s.HasModel(db.MustParse("a | b. :- a.")); !ok {
+		t.Fatalf("satisfiable DDDB must have an EGCWA model")
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}

@@ -1,0 +1,218 @@
+package gcwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func newSem() *Sem { return New(core.Options{}) }
+
+func collect(t *testing.T, s *Sem, d *db.DB) []logic.Interp {
+	t.Helper()
+	var out []logic.Interp
+	if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+		out = append(out, m.Clone())
+		return true
+	}); err != nil {
+		t.Fatalf("Models: %v", err)
+	}
+	return out
+}
+
+func TestRegistered(t *testing.T) {
+	s, ok := core.New("GCWA", core.Options{})
+	if !ok || s.Name() != "GCWA" {
+		t.Fatalf("GCWA not registered correctly")
+	}
+}
+
+func TestMinkerExample(t *testing.T) {
+	// Minker's classic: DB = {a ∨ b}. Minimal models {a},{b}: neither
+	// ¬a nor ¬b is inferred, but ¬(a∧b) holds in all GCWA models and
+	// GCWA(DB) excludes nothing beyond M(DB)... in fact no atom is
+	// false in all minimal models, so GCWA(DB) = M(DB).
+	d := db.MustParse("a | b.")
+	s := newSem()
+	for _, name := range []string{"a", "b"} {
+		a, _ := d.Voc.Lookup(name)
+		if got, _ := s.InferLiteral(d, logic.NegLit(a)); got {
+			t.Fatalf("GCWA must not infer ¬%s from a∨b", name)
+		}
+		if got, _ := s.InferLiteral(d, logic.PosLit(a)); got {
+			t.Fatalf("GCWA must not infer %s from a∨b", name)
+		}
+	}
+	ms := collect(t, s, d)
+	if len(ms) != 3 {
+		t.Fatalf("GCWA(a|b) should have 3 models, got %d", len(ms))
+	}
+}
+
+func TestGCWANegatesUnsupportedAtom(t *testing.T) {
+	// c occurs in no head: GCWA ⊨ ¬c.
+	d := db.MustParse("a | b.")
+	c := d.Voc.Intern("c")
+	s := newSem()
+	if got, _ := s.InferLiteral(d, logic.NegLit(c)); !got {
+		t.Fatalf("GCWA must infer ¬c when c cannot be true in a minimal model")
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := newSem()
+	for iter := 0; iter < 250; iter++ {
+		var d *db.DB
+		if iter%2 == 0 {
+			d = gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		} else {
+			d = gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+		want := refsem.GCWA(d)
+		got := collect(t, s, d)
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: GCWA model set mismatch\nDB:\n%swant %d got %d", iter, d.String(), len(want), len(got))
+		}
+	}
+}
+
+func TestInferLiteralMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := newSem()
+	for iter := 0; iter < 250; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(7)))
+		set := refsem.GCWA(d)
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(set, logic.LitF(l))
+			got, err := s.InferLiteral(d, l)
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if got != want {
+				t.Fatalf("iter %d: InferLiteral(%s)=%v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestInferFormulaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := newSem()
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		f := randomFormula(rng, n, 3)
+		want := refsem.Entails(refsem.GCWA(d), f)
+		got, err := s.InferFormula(d, f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: InferFormula=%v want %v\nDB:\n%sF: %s",
+				iter, got, want, d.String(), f.String(d.Voc))
+		}
+	}
+}
+
+func TestDeltaLogAgreesWithDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	s := newSem()
+	for iter := 0; iter < 120; iter++ {
+		n := 2 + rng.Intn(3)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(5)))
+		f := randomFormula(rng, n, 2)
+		direct, _ := s.InferFormula(d, f)
+		dlog, err := s.InferFormulaDeltaLog(d, f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if direct != dlog {
+			t.Fatalf("iter %d: Δ-log=%v direct=%v\nDB:\n%sF: %s",
+				iter, dlog, direct, d.String(), f.String(d.Voc))
+		}
+	}
+}
+
+func TestDeltaLogOracleBudget(t *testing.T) {
+	// The Δ-log algorithm must stay within ⌈log₂(n+1)⌉ + 1 Σ₂ᵖ calls.
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{4, 8, 12} {
+		d := gen.Random(rng, gen.Positive(n, 2*n))
+		s := newSem()
+		f := logic.MustParseFormula("p0 | -p1", d.Voc)
+		before := s.Oracle().Counters().Sigma2Calls
+		if _, err := s.InferFormulaDeltaLog(d, f); err != nil {
+			t.Fatal(err)
+		}
+		calls := s.Oracle().Counters().Sigma2Calls - before
+		budget := int64(ceilLog2(n+1) + 1)
+		if calls > budget {
+			t.Fatalf("n=%d: %d Σ₂ᵖ calls, budget %d", n, calls, budget)
+		}
+		if calls == 0 {
+			t.Fatalf("n=%d: Δ-log made no Σ₂ᵖ calls at all", n)
+		}
+	}
+}
+
+func ceilLog2(x int) int {
+	c, v := 0, 1
+	for v < x {
+		v *= 2
+		c++
+	}
+	return c
+}
+
+func TestHasModel(t *testing.T) {
+	s := newSem()
+	if ok, _ := s.HasModel(db.MustParse("a | b.")); !ok {
+		t.Fatalf("positive DDB always has a GCWA model")
+	}
+	if ok, _ := s.HasModel(db.MustParse("a. :- a.")); ok {
+		t.Fatalf("inconsistent DB has no GCWA model")
+	}
+}
+
+func TestNegatedAtoms(t *testing.T) {
+	d := db.MustParse("a | b. c :- a, b.")
+	s := newSem()
+	neg := s.NegatedAtoms(d)
+	// Minimal models {a},{b}: c false in both → ¬c; a,b not.
+	if len(neg) != 1 || d.Voc.Name(neg[0]) != "c" {
+		var names []string
+		for _, a := range neg {
+			names = append(names, d.Voc.Name(a))
+		}
+		t.Fatalf("NegatedAtoms = %v, want [c]", names)
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}

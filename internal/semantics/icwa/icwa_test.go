@@ -1,0 +1,277 @@
+package icwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/refsem"
+	"disjunct/internal/strat"
+)
+
+func TestRegistered(t *testing.T) {
+	if _, ok := core.New("ICWA", core.Options{}); !ok {
+		t.Fatalf("ICWA not registered")
+	}
+}
+
+func TestStratifiedBasics(t *testing.T) {
+	// {b; a ← ¬b}: strata put b below a; ICWA model: {b} (a closed off).
+	d := db.MustParse("b. a :- not b.")
+	s := New(core.Options{})
+	var got []string
+	if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+		got = append(got, m.String(d.Voc))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "{b}" {
+		t.Fatalf("ICWA models = %v, want [{b}]", got)
+	}
+	b, _ := d.Voc.Lookup("b")
+	a, _ := d.Voc.Lookup("a")
+	if ok, _ := s.InferLiteral(d, logic.PosLit(b)); !ok {
+		t.Fatalf("ICWA must infer b")
+	}
+	if ok, _ := s.InferLiteral(d, logic.NegLit(a)); !ok {
+		t.Fatalf("ICWA must infer ¬a")
+	}
+}
+
+func TestModelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	s := New(core.Options{})
+	for iter := 0; iter < 250; iter++ {
+		d := gen.RandomStratified(rng, 2+rng.Intn(4), 1+rng.Intn(7), 1+rng.Intn(3))
+		want, ok := refsem.ICWA(d)
+		if !ok {
+			t.Fatalf("iter %d: generator must produce stratified DBs", iter)
+		}
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: ICWA model set mismatch\nDB:\n%swant %d got %d",
+				iter, d.String(), len(want), len(got))
+		}
+	}
+}
+
+func TestInferenceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	s := New(core.Options{})
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		d := gen.RandomStratified(rng, n, 1+rng.Intn(6), 1+rng.Intn(3))
+		set, ok := refsem.ICWA(d)
+		if !ok {
+			continue
+		}
+		f := randomFormula(rng, n, 3)
+		want := refsem.Entails(set, f)
+		got, err := s.InferFormula(d, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: InferFormula=%v want %v\nDB:\n%sF: %s",
+				iter, got, want, d.String(), f.String(d.Voc))
+		}
+		a := logic.Atom(rng.Intn(n))
+		for _, l := range []logic.Lit{logic.PosLit(a), logic.NegLit(a)} {
+			want := refsem.Entails(set, logic.LitF(l))
+			got, _ := s.InferLiteral(d, l)
+			if got != want {
+				t.Fatalf("iter %d: lit %s got %v want %v\nDB:\n%s",
+					iter, d.Voc.LitString(l), got, want, d.String())
+			}
+		}
+	}
+}
+
+func TestPositiveDBICWAEqualsGCWAModels(t *testing.T) {
+	// A positive DB has the one-stratum stratification ⟨V⟩, and the
+	// intersection characterisation collapses to ECWA = MM... i.e.
+	// ICWA models = MM(DB) on positive databases.
+	rng := rand.New(rand.NewSource(93))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(6)))
+		want := refsem.MinimalModels(d)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: ICWA ≠ MM on positive DB\nDB:\n%s", iter, d.String())
+		}
+	}
+}
+
+func TestHasModelO1(t *testing.T) {
+	s := New(core.Options{})
+	d := gen.RandomStratified(rand.New(rand.NewSource(94)), 6, 10, 3)
+	before := s.Oracle().Counters().NPCalls
+	ok, err := s.HasModel(d)
+	if err != nil || !ok {
+		t.Fatalf("stratified DB must have an ICWA model: %v %v", ok, err)
+	}
+	// The O(1) cell: no oracle calls for model existence.
+	if after := s.Oracle().Counters().NPCalls; after != before {
+		t.Fatalf("ICWA model existence consumed %d oracle calls, want 0", after-before)
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	d := db.MustParse("a :- not b. b :- not a.")
+	s := New(core.Options{})
+	if _, err := s.HasModel(d); err != core.ErrNotStratifiable {
+		t.Fatalf("want ErrNotStratifiable, got %v", err)
+	}
+}
+
+func TestIntegrityClausesUnsupported(t *testing.T) {
+	d := db.MustParse("a. :- a, b.")
+	s := New(core.Options{})
+	if _, err := s.HasModel(d); err != core.ErrUnsupported {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestIsICWAModel(t *testing.T) {
+	d := db.MustParse("b. a :- not b.")
+	s := New(core.Options{})
+	b, _ := d.Voc.Lookup("b")
+	a, _ := d.Voc.Lookup("a")
+	ok, err := s.IsICWAModel(d, logic.InterpOf(2, b))
+	if err != nil || !ok {
+		t.Fatalf("{b} should be an ICWA model: %v %v", ok, err)
+	}
+	ok, _ = s.IsICWAModel(d, logic.InterpOf(2, a, b))
+	if ok {
+		t.Fatalf("{a,b} should not be an ICWA model")
+	}
+}
+
+func randomFormula(rng *rand.Rand, n, depth int) *logic.Formula {
+	if depth == 0 || rng.Intn(3) == 0 {
+		a := logic.Atom(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			return logic.Not(logic.AtomF(a))
+		}
+		return logic.AtomF(a)
+	}
+	l := randomFormula(rng, n, depth-1)
+	r := randomFormula(rng, n, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return logic.And(l, r)
+	case 1:
+		return logic.Or(l, r)
+	default:
+		return logic.Implies(l, r)
+	}
+}
+
+// refICWAPartition computes ICWA models for an explicit ⟨P;Q;Z⟩
+// partition from the definition: models of the head-shifted DB minimal
+// in the prioritised order over P∩Sᵢ (Q fixed, Z free).
+func refICWAPartition(t *testing.T, d *db.DB, p, q map[int]bool) []logic.Interp {
+	t.Helper()
+	st, ok := strat.Compute(d)
+	if !ok {
+		t.Fatalf("not stratifiable")
+	}
+	shifted := d.HeadShift()
+	all := refsem.Models(shifted)
+	n := d.N()
+	less := func(a, b logic.Interp) bool {
+		// a <p b: equal on Q; at the first stratum where the P-parts
+		// differ, a's is a proper subset of b's (Z unconstrained).
+		for v := 0; v < n; v++ {
+			if q[v] && a.Holds(logic.Atom(v)) != b.Holds(logic.Atom(v)) {
+				return false
+			}
+		}
+		for i := 0; i < st.R; i++ {
+			sub, equal := true, true
+			for v := 0; v < n; v++ {
+				if !p[v] || st.Level[v] != i {
+					continue
+				}
+				av, bv := a.Holds(logic.Atom(v)), b.Holds(logic.Atom(v))
+				if av != bv {
+					equal = false
+				}
+				if av && !bv {
+					sub = false
+				}
+			}
+			if !equal {
+				return sub
+			}
+		}
+		return false
+	}
+	var out []logic.Interp
+	for _, m := range all {
+		minimal := true
+		for _, o := range all {
+			if less(o, m) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func TestICWAWithExplicitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(3)
+		d := gen.RandomStratified(rng, n, 1+rng.Intn(5), 1+rng.Intn(2))
+		p, q := map[int]bool{}, map[int]bool{}
+		var ps, zs []logic.Atom
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				p[v] = true
+				ps = append(ps, logic.Atom(v))
+			case 1:
+				q[v] = true
+			default:
+				zs = append(zs, logic.Atom(v))
+			}
+		}
+		part := models.NewPartition(n, ps, zs)
+		s := New(core.Options{Partition: &part})
+		want := refICWAPartition(t, d, p, q)
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(want, got) {
+			t.Fatalf("iter %d: partitioned ICWA mismatch (want %d got %d)\nP=%v Q=%v\n%s",
+				iter, len(want), len(got), p, q, d.String())
+		}
+	}
+}

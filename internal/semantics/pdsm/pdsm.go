@@ -1,0 +1,305 @@
+// Package pdsm implements Przymusinski's Partial Disjunctive Stable
+// Model semantics (§5.2 of the paper), the 3-valued generalisation of
+// DSM extending the well-founded semantics: truth values 1 (true),
+// 0.5 (undefined), 0 (false).
+//
+// For a partial interpretation M, the 3-valued reduct DB^M replaces
+// every negative body literal ¬c by the constant 1 − M(c); M is a
+// partial stable model iff M is a minimal 3-valued model of DB^M in
+// the pointwise truth ordering (false < undefined < true).
+//
+// A clause a1∨…∨an ← body is 3-valued-satisfied when
+// max(val(ai)) ≥ min(val(body)); an integrity clause (empty head)
+// requires min(val(body)) = 0.
+//
+// Complexity shape: identical to DSM (the paper: "Summarizing, we
+// obtain the same complexity results for PDSM as for DSM") — literal
+// and formula inference Π₂ᵖ-complete, model existence Σ₂ᵖ-complete
+// (the lower bound holding even without integrity clauses).
+//
+// Algorithms: candidates are enumerated over the 3ⁿ partial
+// interpretations (the explicit guess of the Σ₂ᵖ/Π₂ᵖ structure;
+// benchmark sizes keep n small); the minimality verification is one
+// NP-oracle call on a 2n-variable Boolean encoding of the 3-valued
+// reduct (t_a ≡ "a ≥ 1", u_a ≡ "a ≥ ½").
+//
+// For the generic core.Semantics interface, Models yields the total
+// partial stable models (which coincide with DSM(DB)); the partial
+// models are exposed through PartialModels, and inference is 3-valued:
+// a formula is inferred iff it evaluates to 1 in every partial stable
+// model.
+package pdsm
+
+import (
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+func init() {
+	core.Register("PDSM", func(opts core.Options) core.Semantics {
+		return New(opts)
+	})
+}
+
+// Sem is the PDSM semantics.
+type Sem struct {
+	opts core.Options
+}
+
+// New returns a PDSM instance.
+func New(opts core.Options) *Sem {
+	opts.OracleFor()
+	return &Sem{opts: opts}
+}
+
+// Name returns "PDSM".
+func (s *Sem) Name() string { return "PDSM" }
+
+// Oracle exposes the instrumented oracle.
+func (s *Sem) Oracle() *oracle.NP { return s.opts.Oracle }
+
+// clauseVal3 returns the 3-valued body value of clause c under p:
+// min over positive body atoms and the constants 1−p(c) for negative
+// body atoms.
+func bodyVal3(c db.Clause, p logic.Partial) logic.TruthValue {
+	v := logic.True
+	for _, b := range c.PosBody {
+		if w := p.Value(b); w < v {
+			v = w
+		}
+	}
+	for _, cn := range c.NegBody {
+		if w := logic.True - p.Value(cn); w < v {
+			v = w
+		}
+	}
+	return v
+}
+
+func headVal3(c db.Clause, p logic.Partial) logic.TruthValue {
+	v := logic.False
+	for _, h := range c.Head {
+		if w := p.Value(h); w > v {
+			v = w
+		}
+	}
+	return v
+}
+
+// Sat3 reports whether p is a 3-valued model of d:
+// val(head) ≥ val(body) for every clause (empty head has value 0).
+func Sat3(d *db.DB, p logic.Partial) bool {
+	for _, c := range d.Clauses {
+		if headVal3(c, p) < bodyVal3(c, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPartialStable reports whether p is a partial stable model of d:
+// p ⊨₃ DB^p and no 3-valued model of DB^p lies strictly below p in
+// the truth ordering. The minimality test is one NP-oracle call.
+func (s *Sem) IsPartialStable(d *db.DB, p logic.Partial) bool {
+	if !sat3Reduct(d, p, p) {
+		return false
+	}
+	return !s.hasSmallerReductModel(d, p)
+}
+
+// sat3Reduct reports whether q ⊨₃ DB^p (reduct w.r.t. p, evaluation
+// under q).
+func sat3Reduct(d *db.DB, p, q logic.Partial) bool {
+	for _, c := range d.Clauses {
+		// Body value under q, with negative literals frozen to their
+		// value under p (the reduct's constants).
+		v := logic.True
+		for _, b := range c.PosBody {
+			if w := q.Value(b); w < v {
+				v = w
+			}
+		}
+		for _, cn := range c.NegBody {
+			if w := logic.True - p.Value(cn); w < v {
+				v = w
+			}
+		}
+		if headVal3(c, q) < v {
+			return false
+		}
+	}
+	return true
+}
+
+// hasSmallerReductModel reports whether some 3-valued model q of DB^p
+// satisfies q ≤ p pointwise and q ≠ p — a single SAT query over the
+// Boolean encoding t_a ("a is true"), u_a ("a is at least undefined").
+func (s *Sem) hasSmallerReductModel(d *db.DB, p logic.Partial) bool {
+	n := d.N()
+	voc := logic.NewVocabulary()
+	t := make([]logic.Atom, n)
+	u := make([]logic.Atom, n)
+	for v := 0; v < n; v++ {
+		t[v] = voc.Intern("t$" + d.Voc.Name(logic.Atom(v)))
+	}
+	for v := 0; v < n; v++ {
+		u[v] = voc.Intern("u$" + d.Voc.Name(logic.Atom(v)))
+	}
+	var cnf logic.CNF
+	// Coherence: t_a → u_a.
+	for v := 0; v < n; v++ {
+		cnf = append(cnf, logic.Clause{logic.NegLit(t[v]), logic.PosLit(u[v])})
+	}
+	// Reduct clauses at both levels.
+	for _, c := range d.Clauses {
+		cmin := logic.True
+		for _, cn := range c.NegBody {
+			if w := logic.True - p.Value(cn); w < cmin {
+				cmin = w
+			}
+		}
+		// Level ½: if all constants ≥ ½ then (∧ u_b) → (∨ u_h).
+		if cmin >= logic.Undefined {
+			cl := make(logic.Clause, 0, len(c.PosBody)+len(c.Head))
+			for _, b := range c.PosBody {
+				cl = append(cl, logic.NegLit(u[b]))
+			}
+			for _, h := range c.Head {
+				cl = append(cl, logic.PosLit(u[h]))
+			}
+			cnf = append(cnf, cl)
+		}
+		// Level 1: if all constants are 1 then (∧ t_b) → (∨ t_h).
+		if cmin == logic.True {
+			cl := make(logic.Clause, 0, len(c.PosBody)+len(c.Head))
+			for _, b := range c.PosBody {
+				cl = append(cl, logic.NegLit(t[b]))
+			}
+			for _, h := range c.Head {
+				cl = append(cl, logic.PosLit(t[h]))
+			}
+			cnf = append(cnf, cl)
+		}
+	}
+	// q ≤ p pointwise, and q ≠ p.
+	var diff logic.Clause
+	for v := 0; v < n; v++ {
+		switch p.Value(logic.Atom(v)) {
+		case logic.False:
+			cnf = append(cnf, logic.Clause{logic.NegLit(u[v])})
+		case logic.Undefined:
+			cnf = append(cnf, logic.Clause{logic.NegLit(t[v])})
+			diff = append(diff, logic.NegLit(u[v])) // drop to false
+		case logic.True:
+			diff = append(diff, logic.NegLit(t[v])) // drop below true
+		}
+	}
+	if len(diff) == 0 {
+		return false // p is the all-false interpretation: nothing below
+	}
+	cnf = append(cnf, diff)
+	sat, _ := s.opts.Oracle.Sat(voc.Size(), cnf)
+	return sat
+}
+
+// PartialModels enumerates the partial stable models of d over the 3ⁿ
+// candidate space. limit ≤ 0 means unlimited. Returns the count.
+func (s *Sem) PartialModels(d *db.DB, limit int, yield func(logic.Partial) bool) (int, error) {
+	n := d.N()
+	if n > 18 {
+		return 0, core.ErrUnsupported // 3^n candidate space
+	}
+	p := logic.NewPartial(n)
+	count := 0
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == n {
+			if !s.IsPartialStable(d, p) {
+				return true
+			}
+			count++
+			if !yield(p.Clone()) {
+				return false
+			}
+			return limit <= 0 || count < limit
+		}
+		for _, tv := range []logic.TruthValue{logic.False, logic.Undefined, logic.True} {
+			p.SetValue(logic.Atom(v), tv)
+			if !rec(v + 1) {
+				return false
+			}
+		}
+		p.SetValue(logic.Atom(v), logic.False)
+		return true
+	}
+	rec(0)
+	return count, nil
+}
+
+// HasModel decides PDSM(DB) ≠ ∅ (Σ₂ᵖ-complete in general; O(1) on
+// positive databases, where PDSM coincides with DSM = MM ≠ ∅).
+func (s *Sem) HasModel(d *db.DB) (bool, error) {
+	if !d.HasNegation() && !d.HasIntegrityClauses() {
+		return true, nil
+	}
+	found := false
+	_, err := s.PartialModels(d, 1, func(logic.Partial) bool {
+		found = true
+		return false
+	})
+	return found, err
+}
+
+// InferFormula decides PDSM(DB) ⊨ f: f evaluates to true (1) under
+// 3-valued Kleene evaluation in every partial stable model.
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+	holds := true
+	_, err := s.PartialModels(d, 0, func(p logic.Partial) bool {
+		if f.Eval3(p) != logic.True {
+			holds = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return holds, nil
+}
+
+// InferLiteral decides PDSM(DB) ⊨ l.
+func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
+	return s.InferFormula(d, logic.LitF(l))
+}
+
+// Models yields the total partial stable models as two-valued
+// interpretations; these coincide with the disjunctive stable models.
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+	count := 0
+	_, err := s.PartialModels(d, 0, func(p logic.Partial) bool {
+		if !p.IsTotal() {
+			return true
+		}
+		count++
+		if !yield(p.Total()) {
+			return false
+		}
+		return limit <= 0 || count < limit
+	})
+	return count, err
+}
+
+// CheckModel reports whether the TOTAL interpretation m is a partial
+// stable model (total partial stable models = disjunctive stable
+// models).
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+	p := logic.NewPartial(d.N())
+	for v := 0; v < d.N(); v++ {
+		if m.Holds(logic.Atom(v)) {
+			p.SetValue(logic.Atom(v), logic.True)
+		}
+	}
+	return s.IsPartialStable(d, p), nil
+}

@@ -1,0 +1,197 @@
+package pdsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestRegistered(t *testing.T) {
+	if _, ok := core.New("PDSM", core.Options{}); !ok {
+		t.Fatalf("PDSM not registered")
+	}
+}
+
+func collectPartials(t *testing.T, s *Sem, d *db.DB) []logic.Partial {
+	t.Helper()
+	var out []logic.Partial
+	if _, err := s.PartialModels(d, 0, func(p logic.Partial) bool {
+		out = append(out, p.Clone())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func samePartialSet(a, b []logic.Partial) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := map[string]int{}
+	for _, p := range a {
+		seen[p.Key()]++
+	}
+	for _, p := range b {
+		if seen[p.Key()] == 0 {
+			return false
+		}
+		seen[p.Key()]--
+	}
+	return true
+}
+
+func TestWellFoundedExample(t *testing.T) {
+	// {a ← ¬a}: the unique partial stable model has a undefined —
+	// PDSM extends the well-founded semantics.
+	d := db.MustParse("a :- not a.")
+	s := New(core.Options{})
+	ps := collectPartials(t, s, d)
+	if len(ps) != 1 {
+		t.Fatalf("got %d partial stable models, want 1", len(ps))
+	}
+	a, _ := d.Voc.Lookup("a")
+	if ps[0].Value(a) != logic.Undefined {
+		t.Fatalf("a should be undefined, got %v", ps[0].Value(a))
+	}
+	// Consequently DSM has no model but PDSM does (the distinction the
+	// two Σ₂ᵖ ∃model cells share only in the general bound).
+	if ok, _ := s.HasModel(d); !ok {
+		t.Fatalf("PDSM model must exist for {a←¬a}")
+	}
+}
+
+func TestEvenLoopPartialModels(t *testing.T) {
+	// {a ← ¬b, b ← ¬a}: partial stable models are {a=1,b=0},
+	// {a=0,b=1} and the well-founded {a=½, b=½}.
+	d := db.MustParse("a :- not b. b :- not a.")
+	s := New(core.Options{})
+	ps := collectPartials(t, s, d)
+	if len(ps) != 3 {
+		var desc []string
+		for _, p := range ps {
+			desc = append(desc, p.String(d.Voc))
+		}
+		t.Fatalf("got %d partial stable models (%v), want 3", len(ps), desc)
+	}
+}
+
+func TestMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	s := New(core.Options{})
+	for iter := 0; iter < 200; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(3), 1+rng.Intn(6)))
+		want := refsem.PDSM(d)
+		got := collectPartials(t, s, d)
+		if !samePartialSet(want, got) {
+			t.Fatalf("iter %d: PDSM mismatch: want %d got %d\nDB:\n%s",
+				iter, len(want), len(got), d.String())
+		}
+	}
+}
+
+func TestPositiveDBTotalPartialsAreMinimalModels(t *testing.T) {
+	// Paper: PDSM coincides with DSM on positive DBs, and DSM = MM
+	// there; so the TOTAL partial stable models are exactly MM(DB).
+	rng := rand.New(rand.NewSource(102))
+	s := New(core.Options{})
+	for iter := 0; iter < 100; iter++ {
+		d := gen.Random(rng, gen.Positive(2+rng.Intn(3), 1+rng.Intn(5)))
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(refsem.MinimalModels(d), got) {
+			t.Fatalf("iter %d: total PDSM ≠ MM on positive DB\nDB:\n%s", iter, d.String())
+		}
+	}
+}
+
+func TestTotalPartialStableAreStable(t *testing.T) {
+	// Total partial stable models must coincide with DSM(DB).
+	rng := rand.New(rand.NewSource(103))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(3), 1+rng.Intn(5)))
+		var got []logic.Interp
+		if _, err := s.Models(d, 0, func(m logic.Interp) bool {
+			got = append(got, m.Clone())
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !refsem.SameModelSet(refsem.DSM(d), got) {
+			t.Fatalf("iter %d: total PDSM ≠ DSM\nDB:\n%s", iter, d.String())
+		}
+	}
+}
+
+func TestInferenceThreeValued(t *testing.T) {
+	// In {a←¬a} the unique PSM has a=½, so neither a nor ¬a is
+	// inferred, but a∨¬a is still NOT inferred 3-valuedly (value ½) —
+	// the semantics is genuinely 3-valued.
+	d := db.MustParse("a :- not a.")
+	s := New(core.Options{})
+	a, _ := d.Voc.Lookup("a")
+	if got, _ := s.InferLiteral(d, logic.PosLit(a)); got {
+		t.Fatalf("a must not be inferred")
+	}
+	if got, _ := s.InferLiteral(d, logic.NegLit(a)); got {
+		t.Fatalf("¬a must not be inferred")
+	}
+	f := logic.MustParseFormula("a | -a", d.Voc)
+	if got, _ := s.InferFormula(d, f); got {
+		t.Fatalf("a ∨ ¬a has value ½, must not be inferred")
+	}
+}
+
+func TestIsPartialStableSpotChecks(t *testing.T) {
+	d := db.MustParse("a :- not b. b :- not a.")
+	s := New(core.Options{})
+	a, _ := d.Voc.Lookup("a")
+	b, _ := d.Voc.Lookup("b")
+
+	wf := logic.NewPartial(2)
+	wf.SetValue(a, logic.Undefined)
+	wf.SetValue(b, logic.Undefined)
+	if !s.IsPartialStable(d, wf) {
+		t.Fatalf("well-founded model should be partial stable")
+	}
+
+	tot := logic.NewPartial(2)
+	tot.SetValue(a, logic.True)
+	if !s.IsPartialStable(d, tot) {
+		t.Fatalf("{a} should be partial stable")
+	}
+
+	bad := logic.NewPartial(2)
+	bad.SetValue(a, logic.True)
+	bad.SetValue(b, logic.True)
+	if s.IsPartialStable(d, bad) {
+		t.Fatalf("{a,b} should not be partial stable")
+	}
+}
+
+func TestHasModelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	s := New(core.Options{})
+	for iter := 0; iter < 150; iter++ {
+		d := gen.Random(rng, gen.Normal(2+rng.Intn(3), 1+rng.Intn(5)))
+		want := len(refsem.PDSM(d)) > 0
+		got, err := s.HasModel(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: HasModel=%v want %v\nDB:\n%s", iter, got, want, d.String())
+		}
+	}
+}

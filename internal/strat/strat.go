@@ -1,0 +1,276 @@
+// Package strat implements stratification of disjunctive databases
+// (§4 of the paper) and Przymusinski's priority relation on atoms used
+// by the perfect model semantics (§5.1).
+//
+// A stratification of DB is a partition ⟨S1,…,Sr⟩ of the vocabulary
+// such that for every clause a1∨…∨an ← b1∧…∧bk∧¬c1∧…∧¬cm with head
+// atoms in stratum i: every positive body atom lies in a stratum ≤ i,
+// every negated body atom in a stratum < i, and all head atoms lie in
+// the same stratum. A DB admitting one is a DSDB; a stratification can
+// be found efficiently (the paper: "Notice that a stratification of DB
+// can be efficiently found") — we compute the canonical least one via
+// the dependency graph's strongly connected components.
+package strat
+
+import (
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// Stratification assigns each atom a stratum index 0..R-1.
+type Stratification struct {
+	Level []int // Level[atom] = stratum
+	R     int   // number of strata
+}
+
+// Strata returns the atom lists per stratum, lowest first.
+func (s Stratification) Strata() [][]logic.Atom {
+	out := make([][]logic.Atom, s.R)
+	for a, l := range s.Level {
+		out[l] = append(out[l], logic.Atom(a))
+	}
+	return out
+}
+
+// depEdge is an edge of the dependency graph with a flag for negative
+// or disjunctive ("same stratum" constraint is handled separately).
+type depEdge struct {
+	to  int
+	neg bool // through negation: strictly higher stratum required
+}
+
+// Compute attempts to stratify d. It returns the canonical
+// stratification and true, or a zero value and false if d is not
+// stratifiable (some cycle passes through negation, or head atoms
+// cannot be placed consistently).
+//
+// Construction: build a graph on atoms where for each clause
+// a1∨…∨an ← b1∧…∧bk∧¬c1∧…∧¬cm we add
+//
+//	bj → ai   (non-negative: stratum(ai) ≥ stratum(bj))
+//	cl →¬ ai  (negative:     stratum(ai) > stratum(cl))
+//	ai ↔ aj   (head atoms share a stratum)
+//
+// Integrity clauses impose no constraints (they have no head).
+// The DB is stratifiable iff no cycle of the graph contains a negative
+// edge; strata are then the longest-negative-path indices of the
+// condensation (SCC) DAG.
+func Compute(d *db.DB) (Stratification, bool) {
+	n := d.N()
+	adj := make([][]depEdge, n)
+	addEdge := func(from, to logic.Atom, neg bool) {
+		adj[from] = append(adj[from], depEdge{int(to), neg})
+	}
+	for _, c := range d.Clauses {
+		for _, h := range c.Head {
+			for _, b := range c.PosBody {
+				addEdge(b, h, false)
+			}
+			for _, cn := range c.NegBody {
+				addEdge(cn, h, true)
+			}
+		}
+		// Head atoms must share a stratum: bidirectional zero edges.
+		for i := 1; i < len(c.Head); i++ {
+			addEdge(c.Head[0], c.Head[i], false)
+			addEdge(c.Head[i], c.Head[0], false)
+		}
+	}
+
+	comp, nComp := tarjanSCC(n, adj)
+
+	// A negative edge inside one SCC makes the DB unstratifiable.
+	for u := 0; u < n; u++ {
+		for _, e := range adj[u] {
+			if e.neg && comp[u] == comp[e.to] {
+				return Stratification{}, false
+			}
+		}
+	}
+
+	// Longest path by negative-edge count over the condensation DAG.
+	// Components are produced by Tarjan in reverse topological order,
+	// so process them from last to first.
+	compLevel := make([]int, nComp)
+	order := make([][]int, nComp) // atoms per component
+	for u := 0; u < n; u++ {
+		order[comp[u]] = append(order[comp[u]], u)
+	}
+	for ci := nComp - 1; ci >= 0; ci-- {
+		for _, u := range order[ci] {
+			for _, e := range adj[u] {
+				cj := comp[e.to]
+				if cj == ci {
+					continue
+				}
+				need := compLevel[ci]
+				if e.neg {
+					need++
+				}
+				if compLevel[cj] < need {
+					compLevel[cj] = need
+				}
+			}
+		}
+	}
+	level := make([]int, n)
+	r := 1
+	for u := 0; u < n; u++ {
+		level[u] = compLevel[comp[u]]
+		if level[u]+1 > r {
+			r = level[u] + 1
+		}
+	}
+	return Stratification{Level: level, R: r}, true
+}
+
+// Check verifies that s is a valid stratification of d.
+func Check(d *db.DB, s Stratification) bool {
+	if len(s.Level) != d.N() {
+		return false
+	}
+	for _, l := range s.Level {
+		if l < 0 || l >= s.R {
+			return false
+		}
+	}
+	for _, c := range d.Clauses {
+		if len(c.Head) == 0 {
+			continue
+		}
+		h0 := s.Level[c.Head[0]]
+		for _, h := range c.Head[1:] {
+			if s.Level[h] != h0 {
+				return false
+			}
+		}
+		for _, b := range c.PosBody {
+			if s.Level[b] > h0 {
+				return false
+			}
+		}
+		for _, n := range c.NegBody {
+			if s.Level[n] >= h0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Layers splits the clause set by head stratum: Layers(d,s)[i] contains
+// the clauses whose head atoms lie in stratum i. Integrity clauses are
+// assigned to the highest stratum of any atom they mention (they must
+// be respected once all their atoms are available).
+func Layers(d *db.DB, s Stratification) []*db.DB {
+	out := make([]*db.DB, s.R)
+	for i := range out {
+		out[i] = db.NewWithVocab(d.Voc)
+	}
+	for _, c := range d.Clauses {
+		idx := 0
+		if len(c.Head) > 0 {
+			idx = s.Level[c.Head[0]]
+		} else {
+			for _, part := range [][]logic.Atom{c.PosBody, c.NegBody} {
+				for _, a := range part {
+					if s.Level[a] > idx {
+						idx = s.Level[a]
+					}
+				}
+			}
+		}
+		out[idx].Clauses = append(out[idx].Clauses, c)
+	}
+	return out
+}
+
+// tarjanSCC computes strongly connected components; comp[v] is the
+// component index of v, and components are numbered in reverse
+// topological order (Tarjan's invariant).
+func tarjanSCC(n int, adj [][]depEdge) (comp []int, nComp int) {
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var counter int
+
+	// Iterative Tarjan to avoid deep recursion on large graphs.
+	type frame struct {
+		v, ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{start, 0}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-process v.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp, nComp
+}
+
+// Classify returns the full classification of d per the paper's
+// hierarchy (Fernández–Minker): positive DDB ⊂ DDDB ⊂ DSDB ⊂ DNDB.
+// A database with negation is a DSDB exactly when it stratifies.
+func Classify(d *db.DB) db.Class {
+	c := d.SyntacticClass()
+	if c != db.ClassDNDB {
+		return c
+	}
+	if _, ok := Compute(d); ok {
+		return db.ClassDSDB
+	}
+	return db.ClassDNDB
+}

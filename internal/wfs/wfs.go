@@ -1,0 +1,113 @@
+// Package wfs implements the Well-Founded Semantics of van Gelder,
+// Ross, and Schlipf for normal (non-disjunctive) logic programs — the
+// semantics PDSM extends to disjunctive databases ("[PDSM] extends the
+// Well-Founded Semantics of van Gelder, Ross, and Schlipf", §5.2).
+//
+// The implementation uses the alternating-fixpoint characterisation:
+// with Γ(I) = least model of the GL reduct P^I,
+//
+//	T₀ = ∅,  U₀ = HB;   Tᵢ₊₁ = Γ(Uᵢ),  Uᵢ₊₁ = Γ(Tᵢ)
+//
+// converges to the well-founded partial model: atoms in T∞ are true,
+// atoms outside U∞ are false, the rest undefined. Γ is antitone, so
+// (Tᵢ) increases, (Uᵢ) decreases, and the fixpoint is reached in at
+// most |HB| rounds — the whole computation is polynomial, unlike
+// every semantics in the paper's tables.
+//
+// The package serves two roles: a practical polynomial semantics for
+// the NLP fragment, and an independent cross-check of PDSM — the
+// well-founded model of an NLP is its knowledge-least partial stable
+// model (tested in wfs_test.go and pdsm's suite).
+package wfs
+
+import (
+	"disjunct/internal/bitset"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// IsNormal reports whether d is a normal logic program: every clause
+// has exactly one head atom (no disjunction, no integrity clauses).
+func IsNormal(d *db.DB) bool {
+	for _, c := range d.Clauses {
+		if len(c.Head) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Compute returns the well-founded partial model of a normal logic
+// program. It panics if d is not normal (callers check IsNormal).
+func Compute(d *db.DB) logic.Partial {
+	if !IsNormal(d) {
+		panic("wfs: Compute requires a normal logic program")
+	}
+	n := d.N()
+	t := bitset.New(n)        // true atoms, grows
+	u := bitset.New(n).Fill() // possibly-true atoms, shrinks
+	for {
+		nt := gamma(d, u)
+		nu := gamma(d, t)
+		if nt.Equal(t) && nu.Equal(u) {
+			break
+		}
+		t, u = nt, nu
+	}
+	p := logic.NewPartial(n)
+	for v := 0; v < n; v++ {
+		switch {
+		case t.Test(v):
+			p.SetValue(logic.Atom(v), logic.True)
+		case u.Test(v):
+			p.SetValue(logic.Atom(v), logic.Undefined)
+		}
+	}
+	return p
+}
+
+// gamma computes the least model of the GL reduct of d with respect to
+// the atom set i (treated as the true atoms of a total interpretation).
+func gamma(d *db.DB, i *bitset.Set) *bitset.Set {
+	n := d.N()
+	out := bitset.New(n)
+	for changed := true; changed; {
+		changed = false
+		for _, c := range d.Clauses {
+			h := int(c.Head[0])
+			if out.Test(h) {
+				continue
+			}
+			fire := true
+			for _, b := range c.PosBody {
+				if !out.Test(int(b)) {
+					fire = false
+					break
+				}
+			}
+			if fire {
+				for _, neg := range c.NegBody {
+					if i.Test(int(neg)) {
+						fire = false
+						break
+					}
+				}
+			}
+			if fire {
+				out.Set(h)
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// TotalStable reports whether the well-founded model is total; if so,
+// it is the unique stable model of the program.
+func TotalStable(d *db.DB) (logic.Interp, bool) {
+	p := Compute(d)
+	if !p.IsTotal() {
+		return logic.Interp{}, false
+	}
+	return p.Total(), true
+}

@@ -1,0 +1,139 @@
+package wfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+func TestClassics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want map[string]logic.TruthValue
+	}{
+		{"a :- not b.", map[string]logic.TruthValue{"a": logic.True, "b": logic.False}},
+		{"a :- not a.", map[string]logic.TruthValue{"a": logic.Undefined}},
+		{"a :- not b. b :- not a.", map[string]logic.TruthValue{"a": logic.Undefined, "b": logic.Undefined}},
+		{"a. b :- a, not c.", map[string]logic.TruthValue{"a": logic.True, "b": logic.True, "c": logic.False}},
+		// p depends negatively on an undefined loop: undefined.
+		{"a :- not b. b :- not a. p :- not a.", map[string]logic.TruthValue{"p": logic.Undefined}},
+		// Positive loop with no external support: false.
+		{"a :- b. b :- a.", map[string]logic.TruthValue{"a": logic.False, "b": logic.False}},
+	}
+	for _, tc := range cases {
+		d := db.MustParse(tc.src)
+		p := Compute(d)
+		for name, want := range tc.want {
+			a, ok := d.Voc.Lookup(name)
+			if !ok {
+				t.Fatalf("%q: unknown atom %s", tc.src, name)
+			}
+			if got := p.Value(a); got != want {
+				t.Fatalf("%q: wfs(%s) = %v, want %v", tc.src, name, got, want)
+			}
+		}
+	}
+}
+
+func TestNotNormalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic on disjunctive program")
+		}
+	}()
+	Compute(db.MustParse("a | b."))
+}
+
+func TestIsNormal(t *testing.T) {
+	if !IsNormal(db.MustParse("a :- not b. b.")) {
+		t.Fatalf("NLP misclassified")
+	}
+	if IsNormal(db.MustParse("a | b.")) {
+		t.Fatalf("disjunctive head accepted")
+	}
+	if IsNormal(db.MustParse("a. :- a.")) {
+		t.Fatalf("integrity clause accepted")
+	}
+}
+
+// randomNLP generates a random normal logic program.
+func randomNLP(rng *rand.Rand, atoms, clauses int) *db.DB {
+	cfg := gen.Config{Atoms: atoms, Clauses: clauses, MaxHead: 1, MaxBody: 2, NegProb: 0.4, FactProb: 0.3}
+	return gen.Random(rng, cfg)
+}
+
+func TestWFSIsPartialStable(t *testing.T) {
+	// The well-founded model of an NLP is a partial stable model —
+	// cross-validate against the brute-force PDSM reference.
+	rng := rand.New(rand.NewSource(191))
+	for iter := 0; iter < 200; iter++ {
+		d := randomNLP(rng, 2+rng.Intn(4), 1+rng.Intn(7))
+		wf := Compute(d)
+		found := false
+		for _, p := range refsem.PDSM(d) {
+			if p.Equal(wf) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("iter %d: WFS model %s is not among the partial stable models\nDB:\n%s",
+				iter, wf.String(d.Voc), d.String())
+		}
+	}
+}
+
+func TestWFSIsKnowledgeLeastPSM(t *testing.T) {
+	// Every partial stable model refines the well-founded model: it
+	// agrees on every atom the WFS decides (true stays true, false
+	// stays false).
+	rng := rand.New(rand.NewSource(192))
+	for iter := 0; iter < 200; iter++ {
+		d := randomNLP(rng, 2+rng.Intn(4), 1+rng.Intn(6))
+		wf := Compute(d)
+		for _, p := range refsem.PDSM(d) {
+			for v := 0; v < d.N(); v++ {
+				a := logic.Atom(v)
+				if wv := wf.Value(a); wv != logic.Undefined && p.Value(a) != wv {
+					t.Fatalf("iter %d: PSM %s contradicts WFS %s on %s\nDB:\n%s",
+						iter, p.String(d.Voc), wf.String(d.Voc), d.Voc.Name(a), d.String())
+				}
+			}
+		}
+	}
+}
+
+func TestTotalStableMatchesDSM(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	totals := 0
+	for iter := 0; iter < 200; iter++ {
+		d := randomNLP(rng, 2+rng.Intn(4), 1+rng.Intn(6))
+		m, total := TotalStable(d)
+		if !total {
+			continue
+		}
+		totals++
+		stable := refsem.DSM(d)
+		if len(stable) != 1 || !stable[0].Equal(m) {
+			t.Fatalf("iter %d: total WFS %s but DSM = %d models\nDB:\n%s",
+				iter, m.String(d.Voc), len(stable), d.String())
+		}
+	}
+	if totals == 0 {
+		t.Fatalf("corpus produced no total well-founded models")
+	}
+}
+
+func TestPolynomialScaling(t *testing.T) {
+	// Sanity: WFS on a sizeable program terminates fast (polynomial).
+	rng := rand.New(rand.NewSource(194))
+	d := randomNLP(rng, 300, 900)
+	p := Compute(d)
+	if p.N() != 300 {
+		t.Fatalf("wrong width")
+	}
+}

@@ -1,0 +1,157 @@
+package disjunct_test
+
+// Scenario regressions: classic knowledge-representation examples from
+// the disjunctive-database literature, each pinned with the verdicts
+// of several semantics. These serve as documentation ("what does each
+// semantics DO?") and as end-to-end regressions over the facade.
+
+import (
+	"testing"
+
+	"disjunct"
+)
+
+type verdict struct {
+	sem   string
+	query string // formula syntax; literal queries written as formulas
+	want  bool
+}
+
+type scenario struct {
+	name     string
+	db       string
+	datalog  bool
+	verdicts []verdict
+}
+
+var scenarios = []scenario{
+	{
+		name: "minker-indefinite-disjunction",
+		db:   "a | b.",
+		verdicts: []verdict{
+			{"GCWA", "-a", false},       // a open
+			{"GCWA", "-(a & b)", false}, // GCWA adds literals only
+			{"EGCWA", "-(a & b)", true}, // minimal models kill a∧b
+			{"DDR", "-a", false},        // a occurs
+			{"PWS", "a | b", true},      // every possible world has one
+			{"DSM", "-(a & b)", true},   // stable = minimal here
+			{"CWA", "a", true},          // CWA(a∨b) inconsistent → everything
+			{"CWA", "-a", true},         // (both follow vacuously)
+		},
+	},
+	{
+		name: "chan-example-3-1",
+		db:   "a | b. :- a, b. c :- a, b.",
+		verdicts: []verdict{
+			{"DDR", "-c", false}, // the fixpoint ignores the denial
+			{"PWS", "-c", true},  // possible worlds respect it
+			{"GCWA", "-c", true},
+			{"EGCWA", "-c", true},
+		},
+	},
+	{
+		name: "exclusive-vs-inclusive-disjunction",
+		db:   "a | b. c :- a, b.",
+		verdicts: []verdict{
+			// {a,b,c} is a PWS world but not a minimal model:
+			{"PWS", "-c | (a & b)", true},
+			{"DDR", "-c | (a & b)", false}, // DDR keeps {a,c} etc.
+			{"EGCWA", "-c", true},
+			{"GCWA", "-c", true},
+		},
+	},
+	{
+		name: "default-with-exception",
+		db: `bird. penguin | sparrow :- bird.
+		     flies :- bird, not abnormal.
+		     abnormal :- penguin.`,
+		verdicts: []verdict{
+			// Stable models: {bird,penguin,abnormal} and
+			// {bird,sparrow,flies}.
+			{"DSM", "flies | abnormal", true},
+			{"DSM", "flies & abnormal", false},
+			{"DSM", "penguin -> abnormal", true},
+			{"PERF", "penguin -> abnormal", true},
+			{"ICWA", "sparrow -> flies", true},
+		},
+	},
+	{
+		name: "even-loop-choice",
+		db:   "a :- not b. b :- not a. p :- a. p :- b.",
+		verdicts: []verdict{
+			{"DSM", "p", true},   // p holds in both stable models
+			{"DSM", "a", false},  // but neither choice is forced
+			{"PDSM", "p", false}, // the well-founded PSM leaves p undefined
+			{"PDSM", "a | -a", false},
+		},
+	},
+	{
+		name:    "datalog-reachability",
+		datalog: true,
+		db: `edge(a,b). edge(b,c). edge(d,d).
+		     reach(X) :- source(X).
+		     source(a).
+		     reach(Y) :- reach(X), edge(X,Y).`,
+		verdicts: []verdict{
+			{"GCWA", "reach(c)", true},
+			{"GCWA", "-reach(d)", true},
+			{"DSM", "reach(b)", true},
+		},
+	},
+	{
+		name:    "datalog-disjunctive-assignment",
+		datalog: true,
+		db: `item(i1). item(i2).
+		     left(X) | right(X) :- item(X).
+		     :- left(i1), left(i2).`,
+		verdicts: []verdict{
+			{"DSM", "left(i1) -> right(i2)", true},
+			{"DSM", "left(i1)", false},
+			{"EGCWA", "-(left(i1) & left(i2))", true},
+		},
+	},
+	{
+		name: "denial-prunes-worlds",
+		db:   "a | b | c. :- a. ",
+		verdicts: []verdict{
+			{"GCWA", "-a", true},
+			{"GCWA", "b | c", true},
+			{"EGCWA", "-(b & c)", true},
+			{"DDR", "-a", true}, // the model set respects the denial
+		},
+	},
+}
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			var d *disjunct.DB
+			var err error
+			if sc.datalog {
+				d, err = disjunct.ParseProgram(sc.db)
+			} else {
+				d, err = disjunct.Parse(sc.db)
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, v := range sc.verdicts {
+				sem, ok := disjunct.NewSemantics(v.sem, disjunct.Options{})
+				if !ok {
+					t.Fatalf("unknown semantics %s", v.sem)
+				}
+				f, err := disjunct.ParseFormula(v.query, d.Voc)
+				if err != nil {
+					t.Fatalf("query %q: %v", v.query, err)
+				}
+				got, err := sem.InferFormula(d, f)
+				if err != nil {
+					t.Fatalf("%s ⊨ %q: %v", v.sem, v.query, err)
+				}
+				if got != v.want {
+					t.Errorf("%s ⊨ %q = %v, want %v", v.sem, v.query, got, v.want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+package disjunct_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"disjunct"
+	"disjunct/internal/gen"
+)
+
+// TestSampleDatabasesLoad ensures the shipped sample databases parse
+// and every applicable semantics can decide model existence on them.
+func TestSampleDatabasesLoad(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := 0
+	for _, e := range entries {
+		name := e.Name()
+		ext := filepath.Ext(name)
+		if ext != ".ddb" && ext != ".dl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d *disjunct.DB
+		if ext == ".dl" {
+			d, err = disjunct.ParseProgram(string(src))
+		} else {
+			d, err = disjunct.Parse(string(src))
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loaded++
+		for _, sem := range disjunct.SemanticsNames() {
+			s, _ := disjunct.NewSemantics(sem, disjunct.Options{})
+			if _, err := s.HasModel(d); err != nil &&
+				err != disjunct.ErrUnsupported && err != disjunct.ErrNotStratifiable {
+				t.Errorf("%s under %s: %v", name, sem, err)
+			}
+		}
+	}
+	if loaded < 5 {
+		t.Fatalf("expected ≥5 sample databases, loaded %d", loaded)
+	}
+}
+
+// TestClauseOrderInvariance: permuting the clauses of a database must
+// not change any semantics' verdicts (the model sets are set-theoretic
+// objects).
+func TestClauseOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(3)
+		d1 := gen.Random(rng, gen.Normal(n, 2+rng.Intn(5)))
+		// Rebuild with shuffled clauses over the same vocabulary order.
+		d2 := d1.Clone()
+		rng.Shuffle(len(d2.Clauses), func(i, j int) {
+			d2.Clauses[i], d2.Clauses[j] = d2.Clauses[j], d2.Clauses[i]
+		})
+		q := disjunct.MustParseFormula(randomAtomName(d1, rng), d1.Voc)
+		for _, sem := range []string{"GCWA", "EGCWA", "DSM", "PDSM"} {
+			s1, _ := disjunct.NewSemantics(sem, disjunct.Options{})
+			s2, _ := disjunct.NewSemantics(sem, disjunct.Options{})
+			r1, err1 := s1.InferFormula(d1, q)
+			r2, err2 := s2.InferFormula(d2, q)
+			if (err1 == nil) != (err2 == nil) || r1 != r2 {
+				t.Fatalf("%s: clause order changed verdict (%v/%v, %v/%v)\n%s",
+					sem, r1, err1, r2, err2, d1.String())
+			}
+		}
+	}
+}
+
+func randomAtomName(d *disjunct.DB, rng *rand.Rand) string {
+	return d.Voc.Name(disjunct.Atom(rng.Intn(d.N())))
+}
+
+// TestVocabularyExtensionInvariance: interning extra (unused) atoms
+// must not change verdicts about existing atoms, except that the new
+// atoms are closed off.
+func TestVocabularyExtensionInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(272))
+	for iter := 0; iter < 40; iter++ {
+		n := 2 + rng.Intn(3)
+		d1 := gen.Random(rng, gen.Positive(n, 2+rng.Intn(5)))
+		d2 := d1.Clone()
+		d2.Voc.Intern("extra_one")
+		d2.Voc.Intern("extra_two")
+		name := randomAtomName(d1, rng)
+		if strings.HasPrefix(name, "extra") {
+			continue
+		}
+		for _, sem := range []string{"GCWA", "EGCWA", "DDR", "PWS"} {
+			s1, _ := disjunct.NewSemantics(sem, disjunct.Options{})
+			s2, _ := disjunct.NewSemantics(sem, disjunct.Options{})
+			q1 := disjunct.MustParseFormula(name, d1.Voc)
+			q2 := disjunct.MustParseFormula(name, d2.Voc)
+			r1, _ := s1.InferFormula(d1, q1)
+			r2, _ := s2.InferFormula(d2, q2)
+			if r1 != r2 {
+				t.Fatalf("%s: vocabulary extension changed verdict on %s\n%s", sem, name, d1.String())
+			}
+		}
+	}
+}
