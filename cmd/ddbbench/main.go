@@ -5,27 +5,34 @@
 //
 // Usage:
 //
-//	ddbbench [-table 1|2|all] [-aux] [-audit] [-full]
+//	ddbbench [-table 1|2|all|none] [-aux] [-audit] [-full] [-parallel] [-json file]
 //
 // Without -full the sweeps use the quick sizes (seconds); with -full
-// the report sizes (minutes).
+// the report sizes (minutes). -parallel runs the serial-vs-worker-pool
+// comparison (asserting the model sets match and the NP-call count is
+// worker-count-invariant); -json writes its structured report to a
+// file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"disjunct/internal/bench"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, all or none")
 	aux := flag.Bool("aux", true, "run the auxiliary experiments (UMINSAT, CWA, WFS, Example 3.1)")
 	crossover := flag.Bool("crossover", true, "run the head-to-head comparison series")
 	audit := flag.Bool("audit", true, "run the structural audit (oracle-call budgets, reductions)")
 	full := flag.Bool("full", false, "use the full sweep sizes (slower)")
 	claims := flag.Bool("claims", true, "print the reconstructed result tables first")
+	parallel := flag.Bool("parallel", true, "run the serial vs parallel enumeration comparison")
+	jsonPath := flag.String("json", "", "write the parallel/pool report as JSON to this file")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -52,7 +59,9 @@ func main() {
 		}
 		results = append(results, r...)
 	}
-	bench.WriteReport(os.Stdout, results)
+	if len(results) > 0 {
+		bench.WriteReport(os.Stdout, results)
+	}
 
 	if *aux {
 		if err := bench.RunAux(scale, os.Stdout); err != nil {
@@ -66,6 +75,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+	}
+
+	if *parallel || *jsonPath != "" {
+		rep, err := bench.RunParallel(scale, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		if *jsonPath != "" {
+			artefact := struct {
+				GOMAXPROCS int                   `json:"gomaxprocs"`
+				NumCPU     int                   `json:"num_cpu"`
+				Scale      string                `json:"scale"`
+				Report     *bench.ParallelReport `json:"report"`
+			}{runtime.GOMAXPROCS(0), runtime.NumCPU(), map[bool]string{false: "quick", true: "full"}[*full], rep}
+			data, err := json.MarshalIndent(artefact, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n\n", *jsonPath)
+		}
 	}
 
 	if *audit {

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	uminsat [-models] file.cnf     (or - for stdin)
+//	uminsat [-models] [-par n] file.cnf     (or - for stdin)
 //
 // Exit status: 0 if the minimal model is unique, 1 if not (or the
 // formula is unsatisfiable), 2 on usage/parse errors — so the tool
-// composes in shell pipelines.
+// composes in shell pipelines. With -par the minimal models listed by
+// -models are enumerated by the worker-pool engine (n workers, 0 =
+// one per CPU); the model set is identical, the order is not.
 package main
 
 import (
@@ -24,9 +26,10 @@ import (
 
 func main() {
 	showModels := flag.Bool("models", false, "also enumerate the minimal models (up to 16)")
+	parWorkers := flag.Int("par", -1, "enumerate -models with this many workers (0 = NumCPU, -1 = serial)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: uminsat [-models] file.cnf")
+		fmt.Fprintln(os.Stderr, "usage: uminsat [-models] [-par n] file.cnf")
 		os.Exit(2)
 	}
 	var r io.Reader
@@ -58,10 +61,15 @@ func main() {
 		fmt.Printf("NOT unique   [oracle: %s]\n", o.Counters())
 	}
 	if *showModels {
-		eng.MinimalModels(16, func(mm logic.Interp) bool {
+		print := func(mm logic.Interp) bool {
 			fmt.Println("  minimal model:", mm.String(d.Voc))
 			return true
-		})
+		}
+		if *parWorkers >= 0 {
+			eng.MinimalModelsPar(16, print, models.ParOptions{Workers: *parWorkers})
+		} else {
+			eng.MinimalModels(16, print)
+		}
 	}
 	if !unique {
 		os.Exit(1)

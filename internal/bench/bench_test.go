@@ -112,3 +112,27 @@ func TestWriteClaims(t *testing.T) {
 		}
 	}
 }
+
+func TestRunParallel(t *testing.T) {
+	// RunParallel itself enforces the two invariants (parallel model
+	// set == serial, NP-call count worker-count-invariant) and returns
+	// an error on violation.
+	var buf bytes.Buffer
+	rep, err := RunParallel(Quick, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Parallel) == 0 || len(rep.Pool) == 0 {
+		t.Fatalf("empty parallel report: %+v", rep)
+	}
+	for _, c := range rep.Parallel {
+		if c.Models == 0 || c.SerialNP == 0 || c.ParNP == 0 {
+			t.Fatalf("degenerate case %+v", c)
+		}
+	}
+	for _, c := range rep.Pool {
+		if c.NPCalls == 0 {
+			t.Fatalf("degenerate pool case %+v", c)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/oracle"
+	"disjunct/internal/par"
+)
+
+// ParallelCase is one instance family's serial-vs-parallel
+// minimal-model enumeration comparison. The NP-call counts are the
+// complexity-shape evidence: SerialNP is the strictly sequential
+// signature-blocking algorithm's count; ParNP is the region-decomposed
+// enumerator's count, which RunParallel asserts to be IDENTICAL for
+// one worker and for Workers workers — parallelism moves wall-clock,
+// never the oracle-call shape.
+type ParallelCase struct {
+	Name     string  `json:"name"`
+	Atoms    int     `json:"atoms"`
+	Models   int     `json:"minimal_models"`
+	SerialMS float64 `json:"serial_ms"`
+	Par1MS   float64 `json:"par1_ms"`
+	ParNMS   float64 `json:"parN_ms"`
+	SerialNP int64   `json:"serial_np_calls"`
+	ParNP    int64   `json:"par_np_calls"`
+}
+
+// PoolCase compares repeated oracle workloads with SAT-solver pooling
+// off (a fresh solver allocated per NP call) and on (solvers recycled
+// through sync.Pool via Solver.Reset). Verdicts and call counts are
+// identical by construction; only allocation behaviour differs.
+type PoolCase struct {
+	Name     string  `json:"name"`
+	NPCalls  int64   `json:"np_calls"`
+	FreshMS  float64 `json:"fresh_ms"`
+	PooledMS float64 `json:"pooled_ms"`
+}
+
+// ParallelReport is the data behind the "Parallel oracle layer"
+// section of the report (and the -json artefact).
+type ParallelReport struct {
+	Workers  int            `json:"workers"`
+	Parallel []ParallelCase `json:"parallel"`
+	Pool     []PoolCase     `json:"solver_pool"`
+}
+
+func parallelDBs(scale Scale) []struct {
+	name string
+	db   *db.DB
+} {
+	rng := rand.New(rand.NewSource(17))
+	sizes := []int{20, 28}
+	cyc := 6
+	if scale == Full {
+		sizes = []int{30, 40}
+		cyc = 8
+	}
+	var out []struct {
+		name string
+		db   *db.DB
+	}
+	for _, n := range sizes {
+		out = append(out, struct {
+			name string
+			db   *db.DB
+		}{fmt.Sprintf("rand-pos-n%d", n), gen.Random(rng, gen.Positive(n, 3*n/2))})
+	}
+	out = append(out, struct {
+		name string
+		db   *db.DB
+	}{fmt.Sprintf("col-cyc%d", cyc), gen.ColoringDB(gen.Cycle(cyc), 3)})
+	return out
+}
+
+// RunParallel measures serial vs worker-pool minimal-model enumeration
+// and fresh vs pooled solver allocation, writing a human-readable
+// section to w and returning the structured report. It FAILS (returns
+// an error) if the parallel path's model set deviates from the serial
+// one or its NP-call total varies with the worker count — the
+// invariants EXPERIMENTS.md documents.
+func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
+	workers := par.Workers(0)
+	rep := &ParallelReport{Workers: workers}
+
+	fmt.Fprintln(w, "Parallel oracle layer")
+	fmt.Fprintln(w, "=====================")
+	fmt.Fprintf(w, "  %d worker(s) available; par1 = pool pinned to one worker\n\n", workers)
+	fmt.Fprintf(w, "  %-14s %6s %8s %10s %10s %10s %10s %8s\n",
+		"instance", "atoms", "|MM|", "serial", "par1", "parN", "NP-serial", "NP-par")
+
+	collect := func(d *db.DB, run func(e *models.Engine, keys map[string]bool) int) (map[string]bool, int64, time.Duration) {
+		o := oracle.NewNP()
+		e := models.NewEngine(d, o)
+		keys := map[string]bool{}
+		start := time.Now()
+		run(e, keys)
+		return keys, o.Counters().NPCalls, time.Since(start)
+	}
+
+	for _, pc := range parallelDBs(scale) {
+		d := pc.db
+		serialKeys, serialNP, serialT := collect(d, func(e *models.Engine, keys map[string]bool) int {
+			return e.MinimalModels(0, func(m logic.Interp) bool {
+				keys[m.Key()] = true
+				return true
+			})
+		})
+		parRun := func(workers int) (map[string]bool, int64, time.Duration) {
+			return collect(d, func(e *models.Engine, keys map[string]bool) int {
+				return e.MinimalModelsPar(0, func(m logic.Interp) bool {
+					keys[m.Key()] = true
+					return true
+				}, models.ParOptions{Workers: workers})
+			})
+		}
+		par1Keys, par1NP, par1T := parRun(1)
+		parNKeys, parNNP, parNT := parRun(workers)
+
+		// The two harness-enforced invariants.
+		if len(par1Keys) != len(serialKeys) || len(parNKeys) != len(serialKeys) {
+			return rep, fmt.Errorf("parallel %s: model sets diverge (serial %d, par1 %d, parN %d)",
+				pc.name, len(serialKeys), len(par1Keys), len(parNKeys))
+		}
+		for k := range serialKeys {
+			if !par1Keys[k] || !parNKeys[k] {
+				return rep, fmt.Errorf("parallel %s: minimal model missing from parallel enumeration", pc.name)
+			}
+		}
+		if par1NP != parNNP {
+			return rep, fmt.Errorf("parallel %s: NP-call count depends on worker count (par1 %d, par%d %d)",
+				pc.name, par1NP, workers, parNNP)
+		}
+
+		rep.Parallel = append(rep.Parallel, ParallelCase{
+			Name:     pc.name,
+			Atoms:    d.N(),
+			Models:   len(serialKeys),
+			SerialMS: float64(serialT.Microseconds()) / 1e3,
+			Par1MS:   float64(par1T.Microseconds()) / 1e3,
+			ParNMS:   float64(parNT.Microseconds()) / 1e3,
+			SerialNP: serialNP,
+			ParNP:    par1NP,
+		})
+		fmt.Fprintf(w, "  %-14s %6d %8d %10s %10s %10s %10d %8d\n",
+			pc.name, d.N(), len(serialKeys),
+			fmtDuration(serialT), fmtDuration(par1T), fmtDuration(parNT), serialNP, par1NP)
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  solver pool (same workload, pooling off vs on):\n")
+	fmt.Fprintf(w, "  %-14s %10s %10s %10s\n", "instance", "NP-calls", "fresh", "pooled")
+	for _, pc := range parallelDBs(scale) {
+		d := pc.db
+		runOnce := func(pooled bool) (int64, time.Duration) {
+			o := oracle.NewNP()
+			o.SetPooling(pooled)
+			e := models.NewEngine(d, o)
+			start := time.Now()
+			e.MinimalModels(0, func(logic.Interp) bool { return true })
+			return o.Counters().NPCalls, time.Since(start)
+		}
+		calls, freshT := runOnce(false)
+		calls2, pooledT := runOnce(true)
+		if calls != calls2 {
+			return rep, fmt.Errorf("pool %s: pooling changed the NP-call count (%d vs %d)", pc.name, calls, calls2)
+		}
+		rep.Pool = append(rep.Pool, PoolCase{
+			Name:     pc.name,
+			NPCalls:  calls,
+			FreshMS:  float64(freshT.Microseconds()) / 1e3,
+			PooledMS: float64(pooledT.Microseconds()) / 1e3,
+		})
+		fmt.Fprintf(w, "  %-14s %10d %10s %10s\n", pc.name, calls, fmtDuration(freshT), fmtDuration(pooledT))
+	}
+	return rep, nil
+}

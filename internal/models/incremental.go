@@ -17,7 +17,15 @@ import (
 // The engine answers the same questions as Engine (the test suite
 // cross-validates them); BenchmarkEngineVsIncremental measures the
 // difference. Every Solve on the shared solver is counted as one NP
-// call on the oracle, keeping the complexity accounting identical.
+// call on the oracle — and its conflict delta is reported too — so the
+// complexity accounting matches the fresh-solver path. Assumption and
+// shrink-clause buffers are reused across queries (no per-check slice
+// churn).
+//
+// Unlike Engine, an IncrementalEngine is NOT safe for concurrent use:
+// it owns one stateful solver. The parallel layer (parallel.go) gives
+// each worker its own engine when incremental minimality checking is
+// wanted alongside worker-pool search.
 type IncrementalEngine struct {
 	DB  *db.DB
 	Ora *oracle.NP
@@ -25,6 +33,10 @@ type IncrementalEngine struct {
 	solver *sat.Solver
 	nBase  int // atoms of the database vocabulary
 	nVars  int // next free solver variable
+
+	lastConfl int64     // solver conflicts already reported to Ora
+	assumps   []sat.Lit // scratch: assumption literals of the current query
+	scratch   []sat.Lit // scratch: shrink/blocking clause under construction
 }
 
 // NewIncrementalEngine builds the engine and loads the database CNF
@@ -52,10 +64,20 @@ func (e *IncrementalEngine) fresh() int {
 	return v
 }
 
+// solve runs one counted query on the shared solver, reporting the
+// call and its conflict delta to the oracle.
+func (e *IncrementalEngine) solve(assumptions ...sat.Lit) sat.Status {
+	e.Ora.CountCall()
+	st := e.solver.Solve(assumptions...)
+	c := e.solver.Stats().Conflicts
+	e.Ora.CountConflicts(c - e.lastConfl)
+	e.lastConfl = c
+	return st
+}
+
 // HasModel reports satisfiability of the database.
 func (e *IncrementalEngine) HasModel() (bool, logic.Interp) {
-	e.Ora.CountCall()
-	if e.solver.Solve() != sat.Sat {
+	if e.solve() != sat.Sat {
 		return false, logic.Interp{}
 	}
 	return true, e.model()
@@ -73,8 +95,8 @@ func (e *IncrementalEngine) model() logic.Interp {
 // solver: the "shrink" clause is guarded by a fresh activation literal
 // and the Q/P fixings travel as assumptions.
 func (e *IncrementalEngine) IsMinimalPZ(m logic.Interp, part Partition) bool {
-	assumptions := make([]sat.Lit, 0, e.nBase+1)
-	var shrink []sat.Lit
+	assumptions := e.assumps[:0]
+	shrink := e.scratch[:0]
 	act := e.fresh()
 	shrink = append(shrink, sat.MkLit(act, false)) // ¬act ∨ ⋁ ¬p
 	for v := 0; v < e.nBase; v++ {
@@ -90,14 +112,15 @@ func (e *IncrementalEngine) IsMinimalPZ(m logic.Interp, part Partition) bool {
 			}
 		}
 	}
+	e.assumps, e.scratch = assumptions, shrink
 	if len(shrink) == 1 {
 		e.deactivate(act)
 		return true // M∩P empty: nothing to shrink
 	}
 	e.solver.AddClause(shrink...)
 	assumptions = append(assumptions, sat.MkLit(act, true))
-	e.Ora.CountCall()
-	res := e.solver.Solve(assumptions...)
+	e.assumps = assumptions
+	res := e.solve(assumptions...)
 	e.deactivate(act)
 	return res != sat.Sat
 }
@@ -106,9 +129,10 @@ func (e *IncrementalEngine) IsMinimalPZ(m logic.Interp, part Partition) bool {
 func (e *IncrementalEngine) MinimizePZ(m logic.Interp, part Partition) logic.Interp {
 	cur := m.Clone()
 	for {
-		assumptions := make([]sat.Lit, 0, e.nBase+1)
+		assumptions := e.assumps[:0]
+		shrink := e.scratch[:0]
 		act := e.fresh()
-		shrink := []sat.Lit{sat.MkLit(act, false)}
+		shrink = append(shrink, sat.MkLit(act, false))
 		for v := 0; v < e.nBase; v++ {
 			a := logic.Atom(v)
 			switch {
@@ -122,14 +146,15 @@ func (e *IncrementalEngine) MinimizePZ(m logic.Interp, part Partition) logic.Int
 				}
 			}
 		}
+		e.assumps, e.scratch = assumptions, shrink
 		if len(shrink) == 1 {
 			e.deactivate(act)
 			return cur
 		}
 		e.solver.AddClause(shrink...)
 		assumptions = append(assumptions, sat.MkLit(act, true))
-		e.Ora.CountCall()
-		res := e.solver.Solve(assumptions...)
+		e.assumps = assumptions
+		res := e.solve(assumptions...)
 		if res != sat.Sat {
 			e.deactivate(act)
 			return cur
@@ -161,11 +186,18 @@ func (e *IncrementalEngine) deactivate(act int) {
 // the engine must not be used for other queries afterwards — callers
 // needing both use separate engines.
 func (e *IncrementalEngine) MinimalModels(limit int, yield func(logic.Interp) bool) int {
-	part := FullMin(e.nBase)
+	return e.MinimalModelsPZ(FullMin(e.nBase), limit, yield)
+}
+
+// MinimalModelsPZ enumerates MM(DB;P;Z) — one representative per
+// (P,Q)-signature, matching Engine.MinimalModelsPZ — entirely on the
+// shared solver: candidate search, assumption-based minimisation, and
+// permanent signature blocking all reuse the same learned-clause
+// store. The same post-enumeration caveat as MinimalModels applies.
+func (e *IncrementalEngine) MinimalModelsPZ(part Partition, limit int, yield func(logic.Interp) bool) int {
 	count := 0
 	for limit <= 0 || count < limit {
-		e.Ora.CountCall()
-		if e.solver.Solve() != sat.Sat {
+		if e.solve() != sat.Sat {
 			return count
 		}
 		min := e.MinimizePZ(e.model(), part)
@@ -173,14 +205,16 @@ func (e *IncrementalEngine) MinimalModels(limit int, yield func(logic.Interp) bo
 		if !yield(min) {
 			return count
 		}
-		var block []sat.Lit
-		min.True.ForEach(func(i int) {
-			block = append(block, sat.MkLit(i, false))
-		})
+		block := signatureBlock(min, part, e.nBase)
 		if len(block) == 0 {
-			return count // ∅ is the unique minimal model
+			return count // unique signature: done
 		}
-		e.solver.AddClause(block...)
+		lits := e.scratch[:0]
+		for _, l := range block {
+			lits = append(lits, sat.MkLit(int(l.Atom()), l.IsPos()))
+		}
+		e.scratch = lits
+		e.solver.AddClause(lits...)
 	}
 	return count
 }

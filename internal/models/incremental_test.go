@@ -8,6 +8,7 @@ import (
 	"disjunct/internal/db"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
 	"disjunct/internal/refsem"
 )
 
@@ -115,6 +116,57 @@ func BenchmarkEngineVsIncremental(b *testing.B) {
 				e.IsMinimalPZ(pool[i%len(pool)], part)
 			}
 		})
+	}
+}
+
+func TestIncrementalMinimalModelsPZ(t *testing.T) {
+	// One representative per (P,Q)-signature, same signature set as the
+	// stateless engine's MinimalModelsPZ.
+	rng := rand.New(rand.NewSource(285))
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(7)))
+		p, q := randomPartition(rng, n)
+		part := partitionOf(n, p, q)
+		want := map[string]bool{}
+		NewEngine(d, nil).MinimalModelsPZ(part, 0, func(m logic.Interp) bool {
+			want[pqKey(m, part, n)] = true
+			return true
+		})
+		got := map[string]bool{}
+		NewIncrementalEngine(d, nil).MinimalModelsPZ(part, 0, func(m logic.Interp) bool {
+			k := pqKey(m, part, n)
+			if got[k] {
+				t.Fatalf("iter %d: signature %q yielded twice", iter, k)
+			}
+			got[k] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d signatures, engine %d\nDB:\n%s", iter, len(got), len(want), d.String())
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("iter %d: signature %q missing\nDB:\n%s", iter, k, d.String())
+			}
+		}
+	}
+}
+
+func TestIncrementalReportsConflicts(t *testing.T) {
+	// The shared solver's conflict deltas must flow into the oracle's
+	// SATConfl audit counter, like the fresh-solver path's do.
+	rng := rand.New(rand.NewSource(286))
+	d := gen.Random(rng, gen.WithIntegrity(10, 40))
+	o := oracle.NewNP()
+	inc := NewIncrementalEngine(d, o)
+	inc.MinimalModels(0, func(logic.Interp) bool { return true })
+	c := o.Counters()
+	if c.NPCalls == 0 {
+		t.Fatalf("no NP calls recorded")
+	}
+	if c.SATConfl != inc.solver.Stats().Conflicts {
+		t.Fatalf("oracle SATConfl=%d, solver conflicts=%d", c.SATConfl, inc.solver.Stats().Conflicts)
 	}
 }
 

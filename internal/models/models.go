@@ -216,42 +216,65 @@ func (e *Engine) MinimalModels(limit int, yield func(logic.Interp) bool) int {
 // over them (formula inference) do so via MMEntails, which checks
 // Z-variants with a dedicated SAT call before blocking a signature.
 func (e *Engine) MinimalModelsPZ(part Partition, limit int, yield func(logic.Interp) bool) int {
-	n := e.DB.N()
-	query := logic.CloneCNF(e.cnf)
 	count := 0
-	for limit <= 0 || count < limit {
-		sat, m := e.Ora.Sat(n, query)
-		if !sat {
-			break
-		}
-		min := e.minimizeAgainst(query, m, part)
+	e.minimalSignatures(logic.CloneCNF(e.cnf), part, func(min logic.Interp) bool {
 		count++
 		if !yield(min) {
-			break
+			return false
+		}
+		return limit <= 0 || count < limit
+	})
+	return count
+}
+
+// minimalSignatures runs the signature-blocking search over an
+// arbitrary base clause set (the database CNF possibly strengthened by
+// unit constraints — the parallel enumerator's region queries — or
+// previously published blocking clauses), invoking visit once per
+// base-(P;Z)-minimal signature found. visit returning false stops the
+// search. The base is appended to in place.
+func (e *Engine) minimalSignatures(query logic.CNF, part Partition, visit func(logic.Interp) bool) {
+	n := e.DB.N()
+	for {
+		sat, m := e.Ora.Sat(n, query)
+		if !sat {
+			return
+		}
+		min := e.minimizeAgainst(query, m, part)
+		if !visit(min) {
+			return
 		}
 		// Block every model with the same Q part and P part ⊇ min∩P.
-		var block logic.Clause
-		for v := 0; v < n; v++ {
-			a := logic.Atom(v)
-			switch {
-			case part.P.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				}
-			case part.Q.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				} else {
-					block = append(block, logic.PosLit(a))
-				}
-			}
-		}
+		block := signatureBlock(min, part, n)
 		if len(block) == 0 {
-			break // unique signature (∅ on P, no Q): done
+			return // unique signature (∅ on P, no Q): done
 		}
 		query = append(query, block)
 	}
-	return count
+}
+
+// signatureBlock returns the clause excluding the (⊆ on P, = on Q)
+// cone of m's signature: some atom of m∩P false, or some Q atom
+// different from m. An empty clause means the signature is the unique
+// one (∅ on P, no Q atoms) and nothing remains to search.
+func signatureBlock(m logic.Interp, part Partition, n int) logic.Clause {
+	var block logic.Clause
+	for v := 0; v < n; v++ {
+		a := logic.Atom(v)
+		switch {
+		case part.P.Test(v):
+			if m.Holds(a) {
+				block = append(block, logic.NegLit(a))
+			}
+		case part.Q.Test(v):
+			if m.Holds(a) {
+				block = append(block, logic.NegLit(a))
+			} else {
+				block = append(block, logic.PosLit(a))
+			}
+		}
+	}
+	return block
 }
 
 // minimizeAgainst minimises m within the constraint set query (which
@@ -346,22 +369,7 @@ func (e *Engine) MMEntails(f *logic.Formula, part Partition) bool {
 				return false // Z-variant of min violates F
 			}
 		}
-		var block logic.Clause
-		for v := 0; v < n; v++ {
-			a := logic.Atom(v)
-			switch {
-			case part.P.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				}
-			case part.Q.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				} else {
-					block = append(block, logic.PosLit(a))
-				}
-			}
-		}
+		block := signatureBlock(min, part, n)
 		if len(block) == 0 {
 			return true // unique minimal signature, already satisfies F
 		}
@@ -405,22 +413,7 @@ func (e *Engine) ExistsMinimalWithAtom(x logic.Atom, part Partition) bool {
 			return true
 		}
 		// Block min's signature cone within the DB∧x space and retry.
-		var block logic.Clause
-		for v := 0; v < n; v++ {
-			a := logic.Atom(v)
-			switch {
-			case part.P.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				}
-			case part.Q.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				} else {
-					block = append(block, logic.PosLit(a))
-				}
-			}
-		}
+		block := signatureBlock(min, part, n)
 		if len(block) == 0 {
 			return false
 		}
@@ -509,22 +502,7 @@ func (e *Engine) MMEntailsWitness(f *logic.Formula, part Partition) (bool, logic
 				return false, wv
 			}
 		}
-		var block logic.Clause
-		for v := 0; v < n; v++ {
-			a := logic.Atom(v)
-			switch {
-			case part.P.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				}
-			case part.Q.Test(v):
-				if min.Holds(a) {
-					block = append(block, logic.NegLit(a))
-				} else {
-					block = append(block, logic.PosLit(a))
-				}
-			}
-		}
+		block := signatureBlock(min, part, n)
 		if len(block) == 0 {
 			return true, logic.Interp{}
 		}

@@ -1,0 +1,201 @@
+package models
+
+import (
+	"sync"
+
+	"disjunct/internal/logic"
+	"disjunct/internal/par"
+	"disjunct/internal/sat"
+)
+
+// This file is the worker-pool layer of the minimal-model engine. The
+// parallel enumerators decompose the search space STATICALLY — into
+// regions (minimal models) or cubes (all models) — so that each piece
+// performs the same NP-oracle queries regardless of how many workers
+// run it or in which order. Consequence: with Share disabled and no
+// limit/early-stop, the total oracle-call count is a function of the
+// database alone, identical for 1 worker and NumCPU workers — the
+// complexity-shape evidence the bench harness reports stays exact
+// while wall-clock drops. bench.RunParallel asserts this.
+//
+// Region decomposition for minimal models: each (P,Q)-signature has a
+// unique least true P-atom (or none), so the regions
+//
+//	R_v = "P-atoms before v false, p_v true"   (v ∈ P, ascending)
+//	R_∅ = "every P-atom false"
+//
+// partition the signature space. Within R_v the engine runs the usual
+// signature-blocking search against DB ∧ R_v's units; a region-minimal
+// signature need not be globally minimal (a smaller model may drop
+// p_v into a later region), so each one is verified with one global
+// minimality call before being yielded. Blocking a region-minimal
+// cone never hides a globally minimal signature: anything strictly
+// inside the cone has a region model strictly below it on P.
+
+// ParOptions configures the parallel enumerators.
+type ParOptions struct {
+	// Workers is the goroutine count; ≤ 0 means runtime.NumCPU().
+	Workers int
+	// Share lets regions seed their query with the blocking clauses
+	// other workers have already published (the mutex-guarded store),
+	// pruning territory opportunistically. Sound — published cones
+	// contain no unreported minimal signature — but the pruning a
+	// region receives depends on timing, so oracle-call counts are no
+	// longer run-to-run reproducible. Leave it off when counts are the
+	// point (the bench harness does); turn it on when wall-clock is.
+	Share bool
+}
+
+// blockStore is the mutex-guarded store of globally valid blocking
+// clauses learned by the workers. Every yielded signature's cone
+// clause is published; regions consume a snapshot only when
+// ParOptions.Share is set.
+type blockStore struct {
+	mu      sync.Mutex
+	clauses []logic.Clause
+}
+
+func (b *blockStore) publish(cl logic.Clause) {
+	if len(cl) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.clauses = append(b.clauses, cl)
+	b.mu.Unlock()
+}
+
+func (b *blockStore) snapshot() []logic.Clause {
+	b.mu.Lock()
+	out := b.clauses[:len(b.clauses):len(b.clauses)]
+	b.mu.Unlock()
+	return out
+}
+
+// emitter serialises yields from concurrent workers and implements
+// limit / early-stop. User callbacks never run concurrently.
+type emitter struct {
+	mu      sync.Mutex
+	yield   func(logic.Interp) bool
+	limit   int
+	count   int
+	stopped bool
+}
+
+// emit delivers m; it reports whether the caller should keep working.
+func (em *emitter) emit(m logic.Interp) bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.stopped {
+		return false
+	}
+	em.count++
+	if !em.yield(m) || (em.limit > 0 && em.count >= em.limit) {
+		em.stopped = true
+	}
+	return !em.stopped
+}
+
+func (em *emitter) done() bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return em.stopped
+}
+
+// MinimalModelsPar is MinimalModels across a worker pool: same model
+// set (minimal models ARE their signatures under full minimisation),
+// deterministic oracle-call count for any worker count when limit ≤ 0
+// and Share is off. Yields arrive in nondeterministic order.
+func (e *Engine) MinimalModelsPar(limit int, yield func(logic.Interp) bool, opt ParOptions) int {
+	return e.MinimalModelsPZPar(FullMin(e.DB.N()), limit, yield, opt)
+}
+
+// MinimalModelsPZPar computes MM(DB;P;Z) — one representative per
+// (P,Q)-signature, like MinimalModelsPZ — with region-decomposed
+// worker-pool search. The signature set is identical to the serial
+// enumerator's; representatives may differ on Z atoms (any Z-variant
+// is as (P;Z)-minimal as another).
+func (e *Engine) MinimalModelsPZPar(part Partition, limit int, yield func(logic.Interp) bool, opt ParOptions) int {
+	n := e.DB.N()
+	pAtoms := part.P.Elements()
+	em := &emitter{yield: yield, limit: limit}
+	store := &blockStore{}
+
+	runRegion := func(i int) {
+		if em.done() {
+			return
+		}
+		// Region query: DB ∧ ¬p_w (w before i) ∧ p_i (omitted for R_∅).
+		query := logic.CloneCNF(e.cnf)
+		for j := 0; j < i && j < len(pAtoms); j++ {
+			query = append(query, logic.Clause{logic.NegLit(logic.Atom(pAtoms[j]))})
+		}
+		if i < len(pAtoms) {
+			query = append(query, logic.Clause{logic.PosLit(logic.Atom(pAtoms[i]))})
+		}
+		if opt.Share {
+			query = append(query, store.snapshot()...)
+		}
+		e.minimalSignatures(query, part, func(min logic.Interp) bool {
+			if em.done() {
+				return false
+			}
+			// Region-minimal; globally minimal? One NP call.
+			if !e.IsMinimalPZ(min, part) {
+				return true
+			}
+			store.publish(signatureBlock(min, part, n))
+			return em.emit(min)
+		})
+	}
+
+	par.ForEach(opt.Workers, len(pAtoms)+1, runRegion)
+	return em.count
+}
+
+// enumCubeBits is the static cube width of EnumerateModelsPar: the
+// model space splits on the first min(n, enumCubeBits) variables into
+// up to 2^enumCubeBits disjoint cubes. Fixed (not worker-derived) so
+// the oracle-call count never depends on the machine's core count.
+const enumCubeBits = 6
+
+// EnumerateModelsPar yields every model of the database across a
+// worker pool, one cube of the (statically split) assignment space per
+// work item. Model set matches EnumerateModels exactly; the call count
+// is deterministic for any worker count when limit ≤ 0 (one SatSolver
+// build per cube plus one CountCall per model, against the serial
+// path's single build — wall-clock, not the count shape, is what
+// changes). Yield order is nondeterministic.
+func (e *Engine) EnumerateModelsPar(limit int, yield func(logic.Interp) bool, opt ParOptions) int {
+	n := e.DB.N()
+	k := enumCubeBits
+	if k > n {
+		k = n
+	}
+	if k == 0 {
+		return e.EnumerateModels(limit, yield)
+	}
+	em := &emitter{yield: yield, limit: limit}
+
+	runCube := func(c int) {
+		if em.done() {
+			return
+		}
+		s := e.Ora.SatSolver(n, e.cnf)
+		for b := 0; b < k; b++ {
+			if !s.AddClause(sat.MkLit(b, c>>b&1 == 1)) {
+				return // cube contradicts the database at level 0
+			}
+		}
+		s.EnumerateModels(n, 0, func(model []bool) bool {
+			e.Ora.CountCall()
+			m := logic.NewInterp(n)
+			for v := 0; v < n; v++ {
+				m.True.SetTo(v, model[v])
+			}
+			return em.emit(m)
+		})
+	}
+
+	par.ForEach(opt.Workers, 1<<k, runCube)
+	return em.count
+}

@@ -1,0 +1,220 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"disjunct/internal/bitset"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// keySet collects the Key of every yielded interpretation.
+func keySet(yields []logic.Interp) map[string]bool {
+	out := make(map[string]bool, len(yields))
+	for _, m := range yields {
+		out[m.Key()] = true
+	}
+	return out
+}
+
+func collectPar(e *Engine, opt ParOptions) []logic.Interp {
+	var out []logic.Interp
+	e.MinimalModelsPar(0, func(m logic.Interp) bool {
+		out = append(out, m.Clone())
+		return true
+	}, opt)
+	return out
+}
+
+func randomDBs(seed int64, count int) []*db.DB {
+	rng := rand.New(rand.NewSource(seed))
+	var dbs []*db.DB
+	for i := 0; i < count; i++ {
+		switch i % 3 {
+		case 0:
+			dbs = append(dbs, gen.Random(rng, gen.Positive(6+rng.Intn(6), 10+rng.Intn(10))))
+		case 1:
+			dbs = append(dbs, gen.Random(rng, gen.WithIntegrity(6+rng.Intn(6), 10+rng.Intn(10))))
+		default:
+			dbs = append(dbs, gen.Random(rng, gen.Normal(5+rng.Intn(5), 8+rng.Intn(8))))
+		}
+	}
+	return dbs
+}
+
+func TestMinimalModelsParMatchesSerial(t *testing.T) {
+	for i, d := range randomDBs(7, 30) {
+		serial := keySet(collectMinimal(NewEngine(d, nil)))
+		for _, opt := range []ParOptions{
+			{Workers: 1}, {Workers: 4}, {Workers: 4, Share: true}, {Workers: 0},
+		} {
+			got := keySet(collectPar(NewEngine(d, nil), opt))
+			if len(got) != len(serial) {
+				t.Fatalf("db %d opt %+v: %d minimal models, serial %d", i, opt, len(got), len(serial))
+			}
+			for k := range serial {
+				if !got[k] {
+					t.Fatalf("db %d opt %+v: serial minimal model %s missing from parallel set", i, opt, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMinimalModelsParCountDeterministic asserts the complexity-shape
+// invariant: with Share off and no limit, the NP-call total of the
+// parallel enumerator does not depend on the worker count.
+func TestMinimalModelsParCountDeterministic(t *testing.T) {
+	for i, d := range randomDBs(11, 20) {
+		var want oracle.Counters
+		for wi, workers := range []int{1, 2, 4, 8} {
+			o := oracle.NewNP()
+			e := NewEngine(d, o)
+			e.MinimalModelsPar(0, func(logic.Interp) bool { return true }, ParOptions{Workers: workers})
+			got := o.Counters()
+			got.SATConfl = 0 // conflicts are a solver statistic, not part of the call-count shape
+			if wi == 0 {
+				want = got
+			} else if got != want {
+				t.Fatalf("db %d: workers=%d counters %+v, workers=1 %+v", i, workers, got, want)
+			}
+		}
+	}
+}
+
+// pqKey projects an interpretation onto the P∪Q atoms — the signature
+// identity the PZ enumerators guarantee one representative of.
+func pqKey(m logic.Interp, part Partition, n int) string {
+	pq := bitset.New(n)
+	pq.UnionWith(part.P)
+	pq.UnionWith(part.Q)
+	proj := m.True.Clone()
+	proj.IntersectWith(pq)
+	return proj.Key()
+}
+
+func TestMinimalModelsPZParSignaturesMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i, d := range randomDBs(5, 20) {
+		n := d.N()
+		var p, z []logic.Atom
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				p = append(p, logic.Atom(v))
+			case 1:
+				z = append(z, logic.Atom(v))
+			}
+		}
+		part := NewPartition(n, p, z)
+
+		serial := map[string]bool{}
+		NewEngine(d, nil).MinimalModelsPZ(part, 0, func(m logic.Interp) bool {
+			serial[pqKey(m, part, n)] = true
+			return true
+		})
+		for _, opt := range []ParOptions{{Workers: 1}, {Workers: 4}, {Workers: 4, Share: true}} {
+			got := map[string]bool{}
+			NewEngine(d, nil).MinimalModelsPZPar(part, 0, func(m logic.Interp) bool {
+				got[pqKey(m, part, n)] = true
+				return true
+			}, opt)
+			if len(got) != len(serial) {
+				t.Fatalf("db %d opt %+v: %d signatures, serial %d", i, opt, len(got), len(serial))
+			}
+			for k := range serial {
+				if !got[k] {
+					t.Fatalf("db %d opt %+v: signature %q missing", i, opt, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateModelsParMatchesSerial(t *testing.T) {
+	for i, d := range randomDBs(31, 20) {
+		var serial []logic.Interp
+		NewEngine(d, nil).EnumerateModels(0, func(m logic.Interp) bool {
+			serial = append(serial, m.Clone())
+			return true
+		})
+		for _, workers := range []int{1, 4, 0} {
+			var got []logic.Interp
+			NewEngine(d, nil).EnumerateModelsPar(0, func(m logic.Interp) bool {
+				got = append(got, m.Clone())
+				return true
+			}, ParOptions{Workers: workers})
+			sk, gk := keySet(serial), keySet(got)
+			if len(got) != len(serial) || len(gk) != len(sk) {
+				t.Fatalf("db %d workers=%d: %d models (%d distinct), serial %d (%d)",
+					i, workers, len(got), len(gk), len(serial), len(sk))
+			}
+			for k := range sk {
+				if !gk[k] {
+					t.Fatalf("db %d workers=%d: model %q missing", i, workers, k)
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateModelsParCountDeterministic(t *testing.T) {
+	for i, d := range randomDBs(43, 10) {
+		var want int64
+		for wi, workers := range []int{1, 3, 8} {
+			o := oracle.NewNP()
+			NewEngine(d, o).EnumerateModelsPar(0, func(logic.Interp) bool { return true },
+				ParOptions{Workers: workers})
+			if np := o.Counters().NPCalls; wi == 0 {
+				want = np
+			} else if np != want {
+				t.Fatalf("db %d: workers=%d NP=%d, workers=1 NP=%d", i, workers, np, want)
+			}
+		}
+	}
+}
+
+func TestParallelLimitAndEarlyStop(t *testing.T) {
+	d := db.MustParse("a | b. c | d. e | f.")
+	e := NewEngine(d, nil)
+	count := e.MinimalModelsPar(3, func(logic.Interp) bool { return true }, ParOptions{Workers: 4})
+	if count != 3 {
+		t.Fatalf("limit=3 yielded %d", count)
+	}
+	seen := 0
+	e2 := NewEngine(d, nil)
+	e2.EnumerateModelsPar(0, func(logic.Interp) bool {
+		seen++
+		return seen < 2 // abort from the callback
+	}, ParOptions{Workers: 4})
+	if seen != 2 {
+		t.Fatalf("early stop saw %d yields, want 2", seen)
+	}
+}
+
+// TestParallelYieldsAreMinimalModels sanity-checks every parallel
+// yield: a model of the database with no strictly smaller model.
+func TestParallelYieldsAreMinimalModels(t *testing.T) {
+	for i, d := range randomDBs(59, 15) {
+		e := NewEngine(d, nil)
+		check := NewEngine(d, oracle.NewNP())
+		var bad []string
+		e.MinimalModelsPar(0, func(m logic.Interp) bool {
+			if !d.Sat(m) {
+				bad = append(bad, fmt.Sprintf("non-model %s", m.Key()))
+			} else if !check.IsMinimal(m) {
+				bad = append(bad, fmt.Sprintf("non-minimal %s", m.Key()))
+			}
+			return true
+		}, ParOptions{Workers: 4})
+		sort.Strings(bad)
+		if len(bad) > 0 {
+			t.Fatalf("db %d: %v", i, bad)
+		}
+	}
+}

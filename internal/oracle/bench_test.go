@@ -1,0 +1,48 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/logic"
+)
+
+// randCNF builds a random 3-CNF at the given clause/variable ratio.
+func randCNF(rng *rand.Rand, n int, ratio float64) logic.CNF {
+	m := int(float64(n) * ratio)
+	cnf := make(logic.CNF, m)
+	for i := range cnf {
+		cl := make(logic.Clause, 3)
+		for j := range cl {
+			cl[j] = logic.MkLit(logic.Atom(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+// benchOracleSat measures repeated one-shot Sat queries; the pooled
+// variant reuses solvers through the sync.Pool + Reset path, the fresh
+// variant allocates a solver per query (the pre-pooling baseline).
+func benchOracleSat(b *testing.B, pooled bool) {
+	for _, n := range []int{50, 200} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		cnfs := make([]logic.CNF, 16)
+		for i := range cnfs {
+			cnfs[i] = randCNF(rng, n, 3.0)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			o := NewNP()
+			o.SetPooling(pooled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Sat(n, cnfs[i%len(cnfs)])
+			}
+		})
+	}
+}
+
+func BenchmarkOracleSatFresh(b *testing.B)  { benchOracleSat(b, false) }
+func BenchmarkOracleSatPooled(b *testing.B) { benchOracleSat(b, true) }

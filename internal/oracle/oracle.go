@@ -9,16 +9,25 @@
 // oracle usage and the benchmark harness can verify the shape of each
 // table cell: 0 NP calls for the P cells, O(1)/O(n) NP calls for the
 // (co)NP cells, and O(log n) Σ₂ᵖ calls for the Δ-log cells.
+//
+// The oracle is safe for concurrent use: the counters are atomic, so
+// one instrumented oracle can be shared by a pool of workers (package
+// par and the parallel enumerators of package models) without losing
+// the per-cell call-count audit. Solvers for one-shot Sat queries are
+// drawn from a process-wide sync.Pool and recycled via Solver.Reset,
+// amortising watcher-list and arena allocations across queries.
 package oracle
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"disjunct/internal/logic"
 	"disjunct/internal/sat"
 )
 
-// Counters tallies oracle usage for one inference task.
+// Counters is a snapshot of oracle usage for one inference task.
 type Counters struct {
 	NPCalls     int64 // SAT-oracle invocations
 	Sigma2Calls int64 // Σ₂ᵖ-oracle invocations
@@ -39,79 +48,156 @@ func (c Counters) String() string {
 
 // NP is an instrumented NP oracle over a fixed propositional
 // vocabulary. Each query is an independent satisfiability question
-// about a CNF; a fresh solver is built per query (simple and stateless;
-// the CNFs the semantics algorithms build share little structure
-// between queries).
+// about a CNF; solvers are recycled through a pool (see Sat), so
+// repeated queries reuse watcher lists and per-variable arrays rather
+// than reallocating them.
+//
+// All methods are safe for concurrent use. The counters are updated
+// atomically; Counters() returns a consistent-enough snapshot for the
+// harness' before/after deltas (each worker's calls land exactly once,
+// so totals over a quiesced oracle are exact).
 type NP struct {
-	counters Counters
+	npCalls     atomic.Int64
+	sigma2Calls atomic.Int64
+	satConfl    atomic.Int64
+	noPool      atomic.Bool
 }
 
 // NewNP returns a fresh NP oracle.
 func NewNP() *NP { return &NP{} }
 
 // Counters returns the usage counters so far.
-func (o *NP) Counters() Counters { return o.counters }
+func (o *NP) Counters() Counters {
+	return Counters{
+		NPCalls:     o.npCalls.Load(),
+		Sigma2Calls: o.sigma2Calls.Load(),
+		SATConfl:    o.satConfl.Load(),
+	}
+}
 
 // Reset zeroes the counters.
-func (o *NP) Reset() { o.counters = Counters{} }
+func (o *NP) Reset() {
+	o.npCalls.Store(0)
+	o.sigma2Calls.Store(0)
+	o.satConfl.Store(0)
+}
 
-// convert translates a logic.CNF into solver clauses.
-func convert(c logic.CNF) [][]sat.Lit {
-	out := make([][]sat.Lit, len(c))
-	for i, cl := range c {
-		sc := make([]sat.Lit, len(cl))
-		for j, l := range cl {
-			sc[j] = sat.MkLit(int(l.Atom()), l.IsPos())
-		}
-		out[i] = sc
+// SetPooling toggles solver reuse for Sat queries (on by default).
+// Disabling it makes every query build a fresh solver — the baseline
+// of BenchmarkOracleSatFresh; answers and call counts are identical
+// either way.
+func (o *NP) SetPooling(on bool) { o.noPool.Store(!on) }
+
+// solverPool recycles CDCL solvers across one-shot Sat queries,
+// process-wide: the pool is keyed by nothing (Solver.Reset regrows to
+// any size), so all oracles share the warm instances.
+var solverPool = sync.Pool{New: func() any { return sat.New(0) }}
+
+// litScratch pools the per-clause literal buffer used when loading a
+// logic.CNF into a solver (Solver.AddClause copies its argument, so
+// the buffer is safe to reuse immediately).
+var litScratch = sync.Pool{New: func() any { s := make([]sat.Lit, 0, 64); return &s }}
+
+// getSolver returns a solver ready for nVars variables, pooled unless
+// pooling is disabled.
+func (o *NP) getSolver(nVars int) *sat.Solver {
+	if o.noPool.Load() {
+		return sat.New(nVars)
 	}
-	return out
+	s := solverPool.Get().(*sat.Solver)
+	s.Reset(nVars)
+	return s
+}
+
+// putSolver returns a pooled solver after a query.
+func (o *NP) putSolver(s *sat.Solver) {
+	if o.noPool.Load() {
+		return
+	}
+	solverPool.Put(s)
+}
+
+// load translates a logic.CNF into solver clauses clause-by-clause
+// through a pooled scratch buffer (no per-query [][]Lit allocation).
+// It returns false on an UNSAT-at-level-0 conflict.
+func load(s *sat.Solver, cnf logic.CNF) bool {
+	bufp := litScratch.Get().(*[]sat.Lit)
+	buf := *bufp
+	ok := true
+	for _, cl := range cnf {
+		buf = buf[:0]
+		for _, l := range cl {
+			buf = append(buf, sat.MkLit(int(l.Atom()), l.IsPos()))
+		}
+		if !s.AddClause(buf...) {
+			ok = false
+			break
+		}
+	}
+	*bufp = buf
+	litScratch.Put(bufp)
+	return ok
 }
 
 // Sat reports whether the CNF over nVars variables is satisfiable and,
 // if so, returns one model restricted to variables 0..nVars-1. nVars
 // must cover every atom occurring in the CNF (including Tseitin atoms).
 func (o *NP) Sat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
-	o.counters.NPCalls++
-	s := sat.New(nVars)
-	for _, cl := range convert(cnf) {
-		if !s.AddClause(cl...) {
-			o.counters.SATConfl += s.Stats().Conflicts
-			return false, logic.Interp{}
-		}
+	o.npCalls.Add(1)
+	s := o.getSolver(nVars)
+	if !load(s, cnf) {
+		// UNSAT detected while adding (a top-level conflict): count it
+		// as one conflict — the solver's own statistic only tracks
+		// conflicts found during search.
+		o.satConfl.Add(s.Stats().Conflicts + 1)
+		o.putSolver(s)
+		return false, logic.Interp{}
 	}
 	st := s.Solve()
-	o.counters.SATConfl += s.Stats().Conflicts
+	o.satConfl.Add(s.Stats().Conflicts)
 	if st != sat.Sat {
+		o.putSolver(s)
 		return false, logic.Interp{}
 	}
 	m := logic.NewInterp(nVars)
 	for v := 0; v < nVars; v++ {
 		m.True.SetTo(v, s.Model(v))
 	}
+	o.putSolver(s)
 	return true, m
 }
 
 // SatSolver builds an incremental solver preloaded with the CNF and
 // counts its construction as one NP call; additional Solve calls on the
 // returned solver should be counted by the caller via CountCall.
+//
+// Contract on UNSAT-at-level-0: if adding a clause yields a top-level
+// conflict, loading stops, the conflict is recorded in the counters
+// (SATConfl), and the returned solver is in the dead state — Okay()
+// reports false and every subsequent Solve returns Unsat immediately.
+//
+// The returned solver is owned by the caller and is NOT pooled (the
+// oracle cannot know when the caller is done with it); it is also not
+// safe for concurrent use — parallel workers each build their own.
 func (o *NP) SatSolver(nVars int, cnf logic.CNF) *sat.Solver {
-	o.counters.NPCalls++
+	o.npCalls.Add(1)
 	s := sat.New(nVars)
-	for _, cl := range convert(cnf) {
-		if !s.AddClause(cl...) {
-			break
-		}
+	if !load(s, cnf) {
+		o.satConfl.Add(s.Stats().Conflicts + 1)
 	}
 	return s
 }
 
 // CountCall records one additional NP-oracle invocation (for callers
 // driving an incremental solver directly).
-func (o *NP) CountCall() { o.counters.NPCalls++ }
+func (o *NP) CountCall() { o.npCalls.Add(1) }
+
+// CountConflicts records delta additional SAT conflicts (for callers
+// driving an incremental solver directly).
+func (o *NP) CountConflicts(delta int64) { o.satConfl.Add(delta) }
 
 // CountSigma2 records one Σ₂ᵖ-oracle invocation.
-func (o *NP) CountSigma2() { o.counters.Sigma2Calls++ }
+func (o *NP) CountSigma2() { o.sigma2Calls.Add(1) }
 
 // Valid reports whether formula f is valid over vocabulary voc
 // (one NP call on the negation).

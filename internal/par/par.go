@@ -1,0 +1,73 @@
+// Package par is the small worker-pool substrate of the parallel
+// oracle layer. The semantics algorithms decompose into batches of
+// independent NP-oracle queries (per-atom closure tests, per-region
+// minimal-model searches, per-candidate stability/perfection checks);
+// this package runs such a batch across runtime.NumCPU() goroutines.
+//
+// The helpers deliberately know nothing about solvers or oracles: the
+// determinism guarantees of the callers (identical oracle-call counts
+// regardless of worker count) come from the *decomposition* being
+// static — each work item performs the same queries no matter which
+// worker runs it or when. par only supplies the scheduling.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: values ≤ 0 mean
+// runtime.NumCPU(), everything else is returned unchanged.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns when all calls have completed. Work items are
+// handed out dynamically (an atomic cursor), so uneven item costs are
+// balanced. With workers == 1 (or n == 1) everything runs on the
+// calling goroutine — the serial reference schedule.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapBool runs fn(i) for every i in [0, n) across workers goroutines
+// and returns the results as a slice — the common "filter a batch of
+// candidates with one oracle call each" shape.
+func MapBool(workers, n int, fn func(i int) bool) []bool {
+	out := make([]bool, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

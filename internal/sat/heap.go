@@ -35,6 +35,14 @@ func (h *varHeap) insert(v int) {
 	h.up(len(h.heap) - 1)
 }
 
+// clear empties the heap, keeping the backing arrays for reuse.
+func (h *varHeap) clear() {
+	h.heap = h.heap[:0]
+	for i := range h.index {
+		h.index[i] = -1
+	}
+}
+
 // update restores heap order after v's activity increased.
 func (h *varHeap) update(v int) {
 	if h.contains(v) {

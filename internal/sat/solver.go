@@ -180,6 +180,45 @@ func (s *Solver) grow(n int) {
 	}
 }
 
+// Reset returns the solver to the state of a fresh New(nVars) while
+// keeping every allocation it has accumulated: the watcher buckets,
+// the per-variable arrays (assignment, level, reason, activity, phase,
+// seen), the trail, the activity heap, and the analysis scratch all
+// retain their capacity. Problem and learnt clauses are dropped.
+//
+// Reset is the reuse path of the oracle's solver pool: loading a CNF
+// into a Reset solver touches only already-warm memory instead of
+// reallocating watcher lists per query. It restores the default
+// conflict budget and restart policy.
+func (s *Solver) Reset(nVars int) {
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	s.clauses = s.clauses[:0]
+	s.learnts = s.learnts[:0]
+	s.assign = s.assign[:0]
+	s.level = s.level[:0]
+	s.reason = s.reason[:0]
+	s.activity = s.activity[:0]
+	s.phase = s.phase[:0]
+	s.seen = s.seen[:0]
+	s.trail = s.trail[:0]
+	s.trailLn = s.trailLn[:0]
+	s.qhead = 0
+	s.varInc = 1
+	s.claInc = 1
+	s.maxLearnt = 4000
+	s.okay = true
+	s.model = s.model[:0]
+	s.finalConf = s.finalConf[:0]
+	s.budget = -1
+	s.noRestarts = false
+	s.stats = Stats{}
+	s.order.clear()
+	s.nVars = 0
+	s.grow(nVars)
+}
+
 // NumVars returns the number of variables.
 func (s *Solver) NumVars() int { return s.nVars }
 

@@ -1,0 +1,32 @@
+package ccwa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"disjunct/internal/gen"
+	"disjunct/internal/models"
+)
+
+func TestNegatedAtomsParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 25; iter++ {
+		n := 4 + rng.Intn(5)
+		d := gen.Random(rng, gen.WithIntegrity(n, 2+rng.Intn(10)))
+		part, _, _ := mkPartition(rng, n)
+		ser := newSem(&part)
+		want := ser.NegatedAtoms(d)
+		wantC := ser.Oracle().Counters()
+		for _, w := range []int{1, 4, 0} {
+			s := newSem(&part)
+			got := s.NegatedAtomsPar(d, models.ParOptions{Workers: w})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d workers=%d: par %v, serial %v\nDB:\n%s", iter, w, got, want, d.String())
+			}
+			if c := s.Oracle().Counters(); c != wantC {
+				t.Fatalf("iter %d workers=%d: counters %+v, serial %+v", iter, w, c, wantC)
+			}
+		}
+	}
+}

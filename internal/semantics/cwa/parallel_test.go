@@ -1,0 +1,31 @@
+package cwa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/gen"
+	"disjunct/internal/models"
+)
+
+func TestNegatedAtomsParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for iter := 0; iter < 30; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(4+rng.Intn(6), 2+rng.Intn(12)))
+		ser := New(core.Options{})
+		want := ser.NegatedAtoms(d)
+		wantC := ser.Oracle().Counters()
+		for _, w := range []int{1, 4, 0} {
+			s := New(core.Options{})
+			got := s.NegatedAtomsPar(d, models.ParOptions{Workers: w})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d workers=%d: par %v, serial %v\nDB:\n%s", iter, w, got, want, d.String())
+			}
+			if c := s.Oracle().Counters(); c != wantC {
+				t.Fatalf("iter %d workers=%d: counters %+v, serial %+v", iter, w, c, wantC)
+			}
+		}
+	}
+}

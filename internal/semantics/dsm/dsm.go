@@ -25,6 +25,7 @@ import (
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
 	"disjunct/internal/oracle"
+	"disjunct/internal/par"
 )
 
 func init() {
@@ -78,6 +79,37 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 		}
 		return limit <= 0 || count < limit
 	})
+	return count, nil
+}
+
+// ModelsPar is Models in two parallel phases: minimal-model candidates
+// from the region-decomposed worker pool, then the one-NP-call
+// stability checks (reduct + minimality) run concurrently over the
+// collected candidates. Same queries as the serial route — one
+// stability check per minimal model — so the oracle-call total is
+// worker-count-invariant; with limit > 0 candidate collection still
+// runs to completion before filtering. Yield order is
+// nondeterministic.
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+	eng := models.NewEngine(d, s.opts.Oracle)
+	var cands []logic.Interp
+	eng.MinimalModelsPar(0, func(m logic.Interp) bool {
+		cands = append(cands, m) // emitter serialises this callback
+		return true
+	}, opt)
+	stable := par.MapBool(opt.Workers, len(cands), func(i int) bool {
+		return s.IsStable(d, cands[i])
+	})
+	count := 0
+	for i, ok := range stable {
+		if !ok {
+			continue
+		}
+		count++
+		if !yield(cands[i]) || (limit > 0 && count >= limit) {
+			break
+		}
+	}
 	return count, nil
 }
 

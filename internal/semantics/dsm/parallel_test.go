@@ -1,0 +1,40 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+)
+
+func TestModelsParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	for iter := 0; iter < 30; iter++ {
+		d := gen.Random(rng, gen.Normal(3+rng.Intn(4), 1+rng.Intn(8)))
+		s := New(core.Options{})
+		want := map[string]bool{}
+		s.Models(d, 0, func(m logic.Interp) bool {
+			want[m.Key()] = true
+			return true
+		})
+		for _, w := range []int{1, 4, 0} {
+			got := map[string]bool{}
+			s.ModelsPar(d, 0, func(m logic.Interp) bool {
+				got[m.Key()] = true
+				return true
+			}, models.ParOptions{Workers: w})
+			if len(got) != len(want) {
+				t.Fatalf("iter %d workers=%d: %d stable models, serial %d\nDB:\n%s",
+					iter, w, len(got), len(want), d.String())
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("iter %d workers=%d: stable model %q missing", iter, w, k)
+				}
+			}
+		}
+	}
+}

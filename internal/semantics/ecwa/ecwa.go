@@ -96,6 +96,30 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 	return count, nil
 }
 
+// ModelsPar is Models with the model search decomposed into static
+// cubes across a worker pool (Engine.EnumerateModelsPar); each
+// candidate still pays its one-NP-call minimality check, applied under
+// the emitter lock so yields never run concurrently. The model set
+// matches Models exactly and — since every model is checked exactly
+// once — the oracle-call total is worker-count-invariant when
+// limit ≤ 0. Yield order is nondeterministic.
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+	eng := models.NewEngine(d, s.opts.Oracle)
+	part := s.opts.PartitionFor(d)
+	count := 0
+	eng.EnumerateModelsPar(0, func(m logic.Interp) bool {
+		if !eng.IsMinimalPZ(m, part) {
+			return true
+		}
+		count++
+		if !yield(m) {
+			return false
+		}
+		return limit <= 0 || count < limit
+	}, opt)
+	return count, nil
+}
+
 // CheckModel reports whether m ∈ MM(DB;P;Z): one model evaluation plus
 // one NP-oracle (minimality) call — the verifier of Theorem 3.7.
 func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {

@@ -1,0 +1,42 @@
+package ecwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+)
+
+func modelKeys(collect func(yield func(logic.Interp) bool)) map[string]bool {
+	out := map[string]bool{}
+	collect(func(m logic.Interp) bool {
+		out[m.Key()] = true
+		return true
+	})
+	return out
+}
+
+func TestModelsParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for iter := 0; iter < 25; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(3+rng.Intn(4), 1+rng.Intn(8)))
+		s := New(core.Options{})
+		want := modelKeys(func(y func(logic.Interp) bool) { s.Models(d, 0, y) })
+		for _, w := range []int{1, 4, 0} {
+			got := modelKeys(func(y func(logic.Interp) bool) {
+				s.ModelsPar(d, 0, y, models.ParOptions{Workers: w})
+			})
+			if len(got) != len(want) {
+				t.Fatalf("iter %d workers=%d: %d models, serial %d\nDB:\n%s", iter, w, len(got), len(want), d.String())
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("iter %d workers=%d: model %q missing", iter, w, k)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
+	"disjunct/internal/models"
 	"disjunct/internal/oracle"
 	"disjunct/internal/semantics/ecwa"
 )
@@ -62,6 +63,16 @@ func (s *Sem) HasModel(d *db.DB) (bool, error) { return s.inner.HasModel(d) }
 // Models enumerates the minimal models MM(DB).
 func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
 	return s.inner.Models(d, limit, yield)
+}
+
+// ModelsPar enumerates MM(DB) with the region-decomposed worker-pool
+// search (Engine.MinimalModelsPar) instead of the inner ECWA
+// filter-all-models route — under full minimisation the minimal models
+// ARE their signatures, so the set is identical while the search only
+// ever visits minimal territory. Yield order is nondeterministic.
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+	eng := models.NewEngine(d, s.Oracle())
+	return eng.MinimalModelsPar(limit, yield, opt), nil
 }
 
 // CheckModel reports whether m is a minimal model of d.

@@ -1,0 +1,32 @@
+package egcwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/core"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/models"
+	"disjunct/internal/refsem"
+)
+
+func TestModelsParIsMinimalModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for iter := 0; iter < 30; iter++ {
+		d := gen.Random(rng, gen.WithIntegrity(3+rng.Intn(4), 1+rng.Intn(8)))
+		want := refsem.MinimalModels(d)
+		for _, w := range []int{1, 4, 0} {
+			s := New(core.Options{})
+			var got []logic.Interp
+			s.ModelsPar(d, 0, func(m logic.Interp) bool {
+				got = append(got, m.Clone())
+				return true
+			}, models.ParOptions{Workers: w})
+			if !refsem.SameModelSet(want, got) {
+				t.Fatalf("iter %d workers=%d: par MM mismatch (want %d got %d)\nDB:\n%s",
+					iter, w, len(want), len(got), d.String())
+			}
+		}
+	}
+}

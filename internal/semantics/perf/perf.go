@@ -23,6 +23,7 @@ import (
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
 	"disjunct/internal/oracle"
+	"disjunct/internal/par"
 	"disjunct/internal/strat"
 )
 
@@ -115,6 +116,41 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 		}
 		return limit <= 0 || count < limit
 	})
+	return count, nil
+}
+
+// ModelsPar is Models in two parallel phases: the minimal-model
+// candidates are enumerated with the region-decomposed worker pool,
+// then the one-NP-call preferability checks run concurrently over the
+// collected candidates. Both phases issue the same queries as the
+// serial route (one perfection check per minimal model), so the
+// oracle-call total is worker-count-invariant; with limit > 0 the
+// candidate collection still runs to completion before filtering.
+// Yield order is nondeterministic.
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+	if err := s.check(d); err != nil {
+		return 0, err
+	}
+	pri := strat.NewPriority(d)
+	eng := models.NewEngine(d, s.opts.Oracle)
+	var cands []logic.Interp
+	eng.MinimalModelsPar(0, func(m logic.Interp) bool {
+		cands = append(cands, m) // emitter serialises this callback
+		return true
+	}, opt)
+	perfect := par.MapBool(opt.Workers, len(cands), func(i int) bool {
+		return s.IsPerfect(d, cands[i], pri)
+	})
+	count := 0
+	for i, ok := range perfect {
+		if !ok {
+			continue
+		}
+		count++
+		if !yield(cands[i]) || (limit > 0 && count >= limit) {
+			break
+		}
+	}
 	return count, nil
 }
 
