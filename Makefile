@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench report report-full fuzz clean
+.PHONY: all build test vet lint race bench report report-full soak fuzz clean
 
 all: build test
 
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Formatting + vet + staticcheck (staticcheck fetched pinned, on demand).
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2023.1.7 ./...
 
 test: vet
 	$(GO) test ./...
@@ -29,6 +34,10 @@ report:
 # Report-scale sweeps + structural audit (exits nonzero on violation).
 report-full:
 	$(GO) run ./cmd/ddbbench -full
+
+# Bounded differential soak (nightly CI runs 20k iterations).
+soak:
+	$(GO) run ./cmd/ddbsoak -iters 2000 -v
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .

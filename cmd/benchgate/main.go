@@ -1,0 +1,168 @@
+// Command benchgate is the bench-regression gate: it compares a
+// freshly generated ddbbench JSON artefact against a committed
+// baseline and fails if any audited NP-call total moved. Oracle-call
+// counts are the repository's complexity-shape evidence — they are
+// deterministic functions of the benchmark instances, so any drift
+// means an algorithmic change, not noise. Wall-clock columns are
+// reported for context but never gated.
+//
+// Sections present in the fresh artefact but absent from the baseline
+// (e.g. a newly added sweep) are reported and ignored; a case present
+// in the baseline but missing from the fresh run is a failure.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pr1.json -fresh BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"disjunct/internal/bench"
+)
+
+// artefact mirrors the ddbbench -json envelope.
+type artefact struct {
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	Scale      string                `json:"scale"`
+	Report     *bench.ParallelReport `json:"report"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "", "committed baseline JSON (required)")
+	freshPath := flag.String("fresh", "", "freshly generated JSON (required)")
+	flag.Parse()
+	if *basePath == "" || *freshPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fatal(err)
+	}
+	if base.Scale != fresh.Scale {
+		fatal(fmt.Errorf("scale mismatch: baseline %q, fresh %q — counts are not comparable", base.Scale, fresh.Scale))
+	}
+
+	g := &gate{}
+	comparePar(g, base.Report.Parallel, fresh.Report.Parallel)
+	comparePool(g, base.Report.Pool, fresh.Report.Pool)
+	compareCache(g, base.Report.Cache, fresh.Report.Cache)
+
+	if g.failures > 0 {
+		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d audited counter(s) unchanged\n", g.checked)
+}
+
+type gate struct {
+	checked  int
+	failures int
+}
+
+// eq gates one audited counter.
+func (g *gate) eq(section, name, field string, want, got int64) {
+	g.checked++
+	if want != got {
+		g.failures++
+		fmt.Printf("  FAIL %s/%s: %s was %d, now %d\n", section, name, field, want, got)
+	}
+}
+
+func (g *gate) missing(section, name string) {
+	g.failures++
+	fmt.Printf("  FAIL %s/%s: present in baseline, missing from fresh run\n", section, name)
+}
+
+func comparePar(g *gate, base, fresh []bench.ParallelCase) {
+	byName := map[string]bench.ParallelCase{}
+	for _, c := range fresh {
+		byName[c.Name] = c
+	}
+	for _, b := range base {
+		f, ok := byName[b.Name]
+		if !ok {
+			g.missing("parallel", b.Name)
+			continue
+		}
+		g.eq("parallel", b.Name, "minimal_models", int64(b.Models), int64(f.Models))
+		g.eq("parallel", b.Name, "serial_np_calls", b.SerialNP, f.SerialNP)
+		g.eq("parallel", b.Name, "par_np_calls", b.ParNP, f.ParNP)
+		fmt.Printf("  parallel/%s: serial %s, par1 %s, parN %s (wall-clock, not gated)\n",
+			b.Name, ms(b.SerialMS, f.SerialMS), ms(b.Par1MS, f.Par1MS), ms(b.ParNMS, f.ParNMS))
+	}
+}
+
+func comparePool(g *gate, base, fresh []bench.PoolCase) {
+	byName := map[string]bench.PoolCase{}
+	for _, c := range fresh {
+		byName[c.Name] = c
+	}
+	for _, b := range base {
+		f, ok := byName[b.Name]
+		if !ok {
+			g.missing("solver_pool", b.Name)
+			continue
+		}
+		g.eq("solver_pool", b.Name, "np_calls", b.NPCalls, f.NPCalls)
+	}
+}
+
+func compareCache(g *gate, base, fresh []bench.CacheCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  cache: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		return
+	}
+	type key struct{ name, sem string }
+	byKey := map[key]bench.CacheCase{}
+	for _, c := range fresh {
+		byKey[key{c.Name, c.Semantics}] = c
+	}
+	for _, b := range base {
+		id := b.Name + "/" + b.Semantics
+		f, ok := byKey[key{b.Name, b.Semantics}]
+		if !ok {
+			g.missing("cache", id)
+			continue
+		}
+		g.eq("cache", id, "np_calls", b.NPCalls, f.NPCalls)
+		g.eq("cache", id, "cache_hits", b.Hits, f.Hits)
+		g.eq("cache", id, "cache_misses", b.Misses, f.Misses)
+		g.eq("cache", id, "par_np_calls", b.ParNP, f.ParNP)
+	}
+}
+
+// ms formats a wall-clock pair "baseline→fresh".
+func ms(base, fresh float64) string {
+	return fmt.Sprintf("%.1f→%.1fms", base, fresh)
+}
+
+func load(path string) (*artefact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artefact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if a.Report == nil {
+		return nil, fmt.Errorf("%s: no report section", path)
+	}
+	return &a, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -5,9 +5,13 @@
 // the unit suites' bounded cross-validation (run it for minutes or
 // hours; `-iters` bounds the run for CI).
 //
+// A random subset of iterations (-cachefrac) is additionally replayed
+// with the oracle verdict cache attached, cross-checking that caching
+// never moves a verdict, a model set, or the logical NP-call total.
+//
 // Usage:
 //
-//	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-v]
+//	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N] [-v]
 package main
 
 import (
@@ -17,10 +21,12 @@ import (
 	"os"
 	"time"
 
+	"disjunct/internal/cache"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
 	"disjunct/internal/refsem"
 
 	_ "disjunct/internal/semantics/ccwa"
@@ -40,12 +46,15 @@ func main() {
 	iters := flag.Int("iters", 0, "iterations to run (0 = until interrupted)")
 	seed := flag.Int64("seed", time.Now().UnixNano(), "rng seed")
 	maxAtoms := flag.Int("maxatoms", 5, "maximum vocabulary size (brute force is 2^n)")
+	cacheFrac := flag.Float64("cachefrac", 0.25, "fraction of iterations replayed with the oracle verdict cache")
+	cacheCap := flag.Int("cachecap", 0, "verdict cache capacity (0 = default)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
-	fmt.Printf("ddbsoak: seed=%d maxatoms=%d\n", *seed, *maxAtoms)
+	fmt.Printf("ddbsoak: seed=%d maxatoms=%d cachefrac=%g\n", *seed, *maxAtoms, *cacheFrac)
 
+	cc := &cacheChecker{cache: cache.New(*cacheCap)}
 	divergences := 0
 	for i := 0; *iters == 0 || i < *iters; i++ {
 		if *verbose && i%500 == 0 && i > 0 {
@@ -61,16 +70,92 @@ func main() {
 		default:
 			d = gen.Random(rng, gen.NormalNoIC(n, 1+rng.Intn(6)))
 		}
-		if !check(d, rng) {
+		ok := check(d, rng)
+		if *cacheFrac > 0 && rng.Float64() < *cacheFrac {
+			ok = cc.check(d, rng) && ok
+		}
+		if !ok {
 			divergences++
 			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
 		}
+	}
+	if cc.checked > 0 {
+		rate := float64(cc.hits) / float64(cc.hits+cc.misses)
+		fmt.Printf("cache cross-check: %d iterations, hits=%d misses=%d rate=%.1f%%\n",
+			cc.checked, cc.hits, cc.misses, 100*rate)
 	}
 	if divergences > 0 {
 		fmt.Printf("ddbsoak: %d divergences\n", divergences)
 		os.Exit(1)
 	}
 	fmt.Println("ddbsoak: clean")
+}
+
+// cacheChecker replays production-semantics queries with the oracle
+// verdict cache attached — shared across iterations, so hits
+// accumulate across databases — and cross-checks the cached run
+// against an uncached one: verdicts, model sets, and logical NP-call
+// totals must all be identical, and the cached oracle's hit/miss split
+// must account for every call.
+type cacheChecker struct {
+	cache   *cache.Cache
+	checked int
+	hits    int64
+	misses  int64
+}
+
+func (cc *cacheChecker) check(d *db.DB, rng *rand.Rand) bool {
+	cc.checked++
+	lit := logic.NegLit(logic.Atom(rng.Intn(d.N())))
+	ok := true
+	for _, sem := range []string{"GCWA", "EGCWA", "ECWA", "CCWA", "DSM", "PERF"} {
+		if sem == "PERF" && d.HasIntegrityClauses() {
+			continue
+		}
+		plainOra := oracle.NewNP()
+		cachedOra := oracle.NewNP().WithCache(cc.cache)
+		plain, _ := core.New(sem, core.Options{Oracle: plainOra})
+		cached, _ := core.New(sem, core.Options{Oracle: cachedOra})
+
+		wantV, wantErr := plain.InferLiteral(d, lit)
+		gotV, gotErr := cached.InferLiteral(d, lit)
+		if wantV != gotV || (wantErr == nil) != (gotErr == nil) {
+			fmt.Printf("  cache %s ⊨ %s: cached=%v/%v uncached=%v/%v\n",
+				sem, d.Voc.LitString(lit), gotV, gotErr, wantV, wantErr)
+			ok = false
+		}
+
+		wantM := map[string]bool{}
+		gotM := map[string]bool{}
+		plain.Models(d, 0, func(m logic.Interp) bool { wantM[m.Key()] = true; return true })
+		cached.Models(d, 0, func(m logic.Interp) bool { gotM[m.Key()] = true; return true })
+		if len(wantM) != len(gotM) {
+			fmt.Printf("  cache %s models: cached=%d uncached=%d\n", sem, len(gotM), len(wantM))
+			ok = false
+		} else {
+			for k := range wantM {
+				if !gotM[k] {
+					fmt.Printf("  cache %s models: model sets diverge\n", sem)
+					ok = false
+					break
+				}
+			}
+		}
+
+		p, c := plainOra.Counters(), cachedOra.Counters()
+		if p.NPCalls != c.NPCalls {
+			fmt.Printf("  cache %s: NP-call total moved (cached=%d uncached=%d)\n", sem, c.NPCalls, p.NPCalls)
+			ok = false
+		}
+		if c.CacheHits+c.CacheMisses != c.NPCalls {
+			fmt.Printf("  cache %s: hits(%d)+misses(%d) != NP calls(%d)\n",
+				sem, c.CacheHits, c.CacheMisses, c.NPCalls)
+			ok = false
+		}
+		cc.hits += c.CacheHits
+		cc.misses += c.CacheMisses
+	}
+	return ok
 }
 
 // check cross-validates one database across all applicable semantics.

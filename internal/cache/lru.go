@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"disjunct/internal/bitset"
+)
+
+// Entry is one memoised oracle verdict.
+type Entry struct {
+	// Sat is the verdict for every CNF in the key's isomorphism class.
+	Sat bool
+	// Raw is the exact fingerprint (Canon.Raw) of the query that
+	// produced the entry; witness-model replay requires Raw equality.
+	Raw string
+	// Model is the witness for Sat entries, over the producing query's
+	// variable count, nil for UNSAT entries. It is shared between the
+	// cache and all readers and must be treated as immutable — clone
+	// before handing it to code that may mutate it.
+	Model *bitset.Set
+}
+
+// shardCount is the number of independently locked LRU shards. A
+// small power of two keeps the modulo cheap while making contention
+// between the worker-pool enumerators unlikely.
+const shardCount = 16
+
+// DefaultCapacity is the entry budget used when New is given a
+// non-positive capacity.
+const DefaultCapacity = 8192
+
+// Cache is a sharded, goroutine-safe LRU from canonical CNF keys to
+// verdicts. One Cache may be shared by any number of oracles (and by
+// the worker pools behind one oracle); hit/miss accounting lives in
+// the oracle's counters, the cache itself only tracks structural
+// stats.
+type Cache struct {
+	shards     [shardCount]shard
+	insertions atomic.Int64
+	evictions  atomic.Int64
+}
+
+type shard struct {
+	mu   sync.Mutex
+	m    map[Key]*node
+	cap  int
+	head *node // most recently used
+	tail *node // least recently used
+}
+
+type node struct {
+	key        Key
+	e          Entry
+	prev, next *node
+}
+
+// Stats is a snapshot of the cache's structural counters.
+type Stats struct {
+	Entries    int
+	Insertions int64
+	Evictions  int64
+}
+
+// New returns a cache holding at most capacity entries (≤ 0 selects
+// DefaultCapacity) across its shards.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := (capacity + shardCount - 1) / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*node)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// shardFor hashes the key bytes (FNV-1a) to a shard.
+func (c *Cache) shardFor(k Key) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime64
+	}
+	return &c.shards[h%shardCount]
+}
+
+// Get returns the entry for k, promoting it to most-recently-used.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	n, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return Entry{}, false
+	}
+	s.moveToFront(n)
+	e := n.e
+	s.mu.Unlock()
+	return e, true
+}
+
+// Put inserts or refreshes the entry for k as most-recently-used,
+// evicting the least-recently-used entry of the shard when full. The
+// entry's Model (if any) is stored as-is; the caller must hand over a
+// private copy.
+func (c *Cache) Put(k Key, e Entry) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if n, ok := s.m[k]; ok {
+		n.e = e
+		s.moveToFront(n)
+		s.mu.Unlock()
+		return
+	}
+	n := &node{key: k, e: e}
+	s.m[k] = n
+	s.pushFront(n)
+	c.insertions.Add(1)
+	if len(s.m) > s.cap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the current number of entries across all shards.
+func (c *Cache) Len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.m)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the structural counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Entries:    c.Len(),
+		Insertions: c.insertions.Load(),
+		Evictions:  c.evictions.Load(),
+	}
+}
+
+// list plumbing (shard mutex held)
+
+func (s *shard) pushFront(n *node) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *shard) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *shard) moveToFront(n *node) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}

@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLRUCapacityAndEviction(t *testing.T) {
+	c := New(shardCount) // one entry per shard
+	var keys []Key
+	for i := 0; i < 10*shardCount; i++ {
+		k := Key(fmt.Sprintf("key-%d", i))
+		keys = append(keys, k)
+		c.Put(k, Entry{Sat: i%2 == 0, Raw: string(k)})
+	}
+	if got := c.Len(); got > shardCount {
+		t.Fatalf("cache over capacity: %d entries, cap %d", got, shardCount)
+	}
+	st := c.Stats()
+	if st.Insertions != int64(len(keys)) {
+		t.Errorf("insertions = %d, want %d", st.Insertions, len(keys))
+	}
+	if st.Evictions != st.Insertions-int64(st.Entries) {
+		t.Errorf("evictions %d inconsistent with insertions %d and entries %d",
+			st.Evictions, st.Insertions, st.Entries)
+	}
+	// Whatever survived must round-trip unchanged.
+	found := 0
+	for i, k := range keys {
+		if e, ok := c.Get(k); ok {
+			found++
+			if e.Raw != string(k) || e.Sat != (i%2 == 0) {
+				t.Fatalf("entry for %q corrupted", k)
+			}
+		}
+	}
+	if found != c.Len() {
+		t.Errorf("found %d entries by Get, Len reports %d", found, c.Len())
+	}
+}
+
+func TestLRUPromotionOnGet(t *testing.T) {
+	c := New(shardCount) // one entry per shard ⇒ per-shard LRU order is total
+	// Two keys landing in the same shard: insert a, insert b evicts a
+	// unless a was promoted... with cap 1 per shard any second key in
+	// the shard evicts the first, so exercise promotion with cap 2.
+	c = New(2 * shardCount)
+	// Find three keys in one shard.
+	target := c.shardFor(Key("probe"))
+	var same []Key
+	for i := 0; len(same) < 3; i++ {
+		k := Key(fmt.Sprintf("p-%d", i))
+		if c.shardFor(k) == target {
+			same = append(same, k)
+		}
+	}
+	a, b, d := same[0], same[1], same[2]
+	c.Put(a, Entry{Raw: "a"})
+	c.Put(b, Entry{Raw: "b"})
+	if _, ok := c.Get(a); !ok { // promote a over b
+		t.Fatal("a missing before promotion")
+	}
+	c.Put(d, Entry{Raw: "d"}) // must evict b, the LRU
+	if _, ok := c.Get(b); ok {
+		t.Error("b survived although it was least recently used")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("a evicted although it was promoted by Get")
+	}
+	if _, ok := c.Get(d); !ok {
+		t.Error("d missing right after insertion")
+	}
+}
+
+// TestLRUConcurrentHammer drives the sharded LRU from many goroutines
+// with overlapping key sets. Run under -race (the CI race job does) it
+// is the data-race probe for the shard locking; in any mode it checks
+// that entries never cross keys: the entry stored under k always
+// carries k's own fingerprint.
+func TestLRUConcurrentHammer(t *testing.T) {
+	c := New(256)
+	const (
+		goroutines = 8
+		ops        = 4000
+		keySpace   = 512
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				id := rng.Intn(keySpace)
+				k := Key(fmt.Sprintf("key-%d", id))
+				if rng.Intn(2) == 0 {
+					c.Put(k, Entry{Sat: id%2 == 0, Raw: string(k)})
+				} else if e, ok := c.Get(k); ok {
+					if e.Raw != string(k) || e.Sat != (id%2 == 0) {
+						t.Errorf("entry under %q carries foreign payload %q", k, e.Raw)
+						return
+					}
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	if c.Len() > 256 {
+		t.Errorf("cache over capacity after hammer: %d", c.Len())
+	}
+}

@@ -1,0 +1,216 @@
+package oracle
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"disjunct/internal/cache"
+	"disjunct/internal/logic"
+)
+
+// randMixedCNF generates a random CNF over n atoms with m clauses of
+// 1–3 literals (short clauses, unlike bench_test's fixed-width
+// randCNF, so both SAT and UNSAT verdicts occur).
+func randMixedCNF(rng *rand.Rand, n, m int) logic.CNF {
+	out := make(logic.CNF, m)
+	for i := range out {
+		k := 1 + rng.Intn(3)
+		c := make(logic.Clause, k)
+		for j := range c {
+			c[j] = logic.MkLit(logic.Atom(rng.Intn(n)), rng.Intn(2) == 0)
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// TestCachedSatReplayIdentical drives a query stream — with repeats —
+// through a cached and an uncached oracle and requires bit-identical
+// verdicts AND models, plus the audit invariant hits+misses == NPCalls.
+func TestCachedSatReplayIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cached := NewNP().WithCache(cache.New(0))
+	plain := NewNP()
+
+	// Build a stream with guaranteed exact repeats and guaranteed
+	// structural (renamed / reordered) variants.
+	type query struct {
+		n   int
+		cnf logic.CNF
+	}
+	var stream []query
+	for i := 0; i < 60; i++ {
+		n := 3 + rng.Intn(8)
+		q := query{n, randMixedCNF(rng, n, 2+rng.Intn(3*n))}
+		stream = append(stream, q)
+		if i%3 == 0 {
+			stream = append(stream, q) // exact repeat
+		}
+		if i%4 == 0 {
+			// clause-reversed variant: same key, different Raw
+			rev := make(logic.CNF, len(q.cnf))
+			for j, c := range q.cnf {
+				rev[len(rev)-1-j] = c
+			}
+			stream = append(stream, query{q.n, rev})
+		}
+	}
+
+	for i, q := range stream {
+		okC, mC := cached.Sat(q.n, q.cnf)
+		okP, mP := plain.Sat(q.n, q.cnf)
+		if okC != okP {
+			t.Fatalf("query %d: cached verdict %v, uncached %v", i, okC, okP)
+		}
+		if okC && !mC.Equal(mP) {
+			t.Fatalf("query %d: cached model differs from uncached model", i)
+		}
+	}
+
+	cc, pc := cached.Counters(), plain.Counters()
+	if cc.NPCalls != pc.NPCalls || cc.NPCalls != int64(len(stream)) {
+		t.Fatalf("NPCalls: cached %d, uncached %d, want %d", cc.NPCalls, pc.NPCalls, len(stream))
+	}
+	if cc.CacheHits+cc.CacheMisses != cc.NPCalls {
+		t.Fatalf("hits(%d)+misses(%d) != NPCalls(%d)", cc.CacheHits, cc.CacheMisses, cc.NPCalls)
+	}
+	if cc.CacheHits == 0 {
+		t.Fatal("no cache hits on a stream with built-in repeats")
+	}
+	if pc.CacheHits != 0 || pc.CacheMisses != 0 {
+		t.Fatalf("uncached oracle reports cache traffic: %v", pc)
+	}
+	if cc.SATConfl > pc.SATConfl {
+		t.Errorf("cache increased solver work: confl %d > %d", cc.SATConfl, pc.SATConfl)
+	}
+}
+
+// TestCachedUnsatSharedAcrossRenamings checks that an UNSAT verdict
+// memoised under one variable naming is served to a renamed variant of
+// the same query without solver work.
+func TestCachedUnsatSharedAcrossRenamings(t *testing.T) {
+	o := NewNP().WithCache(cache.New(0))
+	// x ∧ ¬x over atoms {0}, then the same contradiction over atom 3.
+	a := logic.CNF{{logic.PosLit(0)}, {logic.NegLit(0)}}
+	b := logic.CNF{{logic.PosLit(3)}, {logic.NegLit(3)}}
+	if ok, _ := o.Sat(1, a); ok {
+		t.Fatal("contradiction reported satisfiable")
+	}
+	before := o.Counters()
+	if ok, _ := o.Sat(4, b); ok {
+		t.Fatal("renamed contradiction reported satisfiable")
+	}
+	after := o.Counters()
+	if after.CacheHits != before.CacheHits+1 {
+		t.Fatalf("renamed UNSAT variant missed the cache (hits %d → %d)", before.CacheHits, after.CacheHits)
+	}
+	if after.SATConfl != before.SATConfl {
+		t.Errorf("UNSAT hit still did solver work (%d conflicts)", after.SATConfl-before.SATConfl)
+	}
+}
+
+// TestCachedSatStructuralVariantSolves checks the conservative half of
+// the replay rule: a SAT verdict is NOT replayed for a merely
+// isomorphic (non-identical) query — it is re-solved and counted as a
+// miss, keeping cached control flow identical to uncached.
+func TestCachedSatStructuralVariantSolves(t *testing.T) {
+	o := NewNP().WithCache(cache.New(0))
+	a := logic.CNF{{logic.PosLit(0), logic.PosLit(1)}}
+	b := logic.CNF{{logic.PosLit(1), logic.PosLit(0)}} // same key, different Raw
+	if ok, _ := o.Sat(2, a); !ok {
+		t.Fatal("satisfiable clause reported UNSAT")
+	}
+	ok, m := o.Sat(2, b)
+	if !ok {
+		t.Fatal("reordered variant reported UNSAT")
+	}
+	c := o.Counters()
+	if c.CacheMisses != 2 || c.CacheHits != 0 {
+		t.Fatalf("want 2 misses, 0 hits for distinct-Raw SAT queries; got %v", c)
+	}
+	// And the model must be what a fresh solve of b returns.
+	ok2, m2 := NewNP().Sat(2, b)
+	if !ok2 || !m.Equal(m2) {
+		t.Fatal("structural-variant solve returned a non-fresh model")
+	}
+	// The exact repeat now hits and replays that model.
+	ok3, m3 := o.Sat(2, b)
+	if !ok3 || !m3.Equal(m2) {
+		t.Fatal("exact repeat did not replay the stored witness")
+	}
+	if o.Counters().CacheHits != 1 {
+		t.Fatalf("exact repeat did not hit: %v", o.Counters())
+	}
+}
+
+// TestCachedOracleConcurrent hammers one shared cached oracle from
+// many goroutines (race-detector coverage for the oracle/cache seam)
+// and cross-checks every answer against an uncached oracle.
+func TestCachedOracleConcurrent(t *testing.T) {
+	shared := cache.New(1024)
+	o := NewNP().WithCache(shared)
+	rng := rand.New(rand.NewSource(23))
+	type query struct {
+		n   int
+		cnf logic.CNF
+	}
+	queries := make([]query, 40)
+	for i := range queries {
+		n := 3 + rng.Intn(6)
+		queries[i] = query{n, randMixedCNF(rng, n, 2+rng.Intn(2*n))}
+	}
+	want := make([]bool, len(queries))
+	ref := NewNP()
+	for i, q := range queries {
+		want[i], _ = ref.Sat(q.n, q.cnf)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				qi := r.Intn(len(queries))
+				q := queries[qi]
+				ok, m := o.Sat(q.n, q.cnf)
+				if ok != want[qi] {
+					t.Errorf("query %d: concurrent cached verdict %v, want %v", qi, ok, want[qi])
+					return
+				}
+				if ok && !logic.EvalCNF(q.cnf, m) {
+					t.Errorf("query %d: returned model does not satisfy the query", qi)
+					return
+				}
+			}
+		}(int64(g) + 100)
+	}
+	wg.Wait()
+	c := o.Counters()
+	if c.CacheHits+c.CacheMisses != c.NPCalls {
+		t.Fatalf("hits(%d)+misses(%d) != NPCalls(%d) under concurrency",
+			c.CacheHits, c.CacheMisses, c.NPCalls)
+	}
+	if c.CacheHits == 0 {
+		t.Error("no hits despite heavy query repetition")
+	}
+}
+
+// TestWithCacheNilDetaches verifies WithCache(nil) restores the
+// uncached path.
+func TestWithCacheNilDetaches(t *testing.T) {
+	o := NewNP().WithCache(cache.New(0))
+	cnf := logic.CNF{{logic.PosLit(0)}}
+	o.Sat(1, cnf)
+	o.WithCache(nil)
+	if o.Cache() != nil {
+		t.Fatal("cache still attached after WithCache(nil)")
+	}
+	o.Sat(1, cnf)
+	c := o.Counters()
+	if c.CacheMisses != 1 {
+		t.Fatalf("detached oracle still touches the cache: %v", c)
+	}
+}

@@ -1,0 +1,24 @@
+package ccwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/semtest"
+)
+
+// TestCachedOracleCrossCheck: CCWA (default full-minimisation
+// partition) with the oracle verdict cache must match CCWA without it
+// — verdicts, model sets, NP-call totals. The Models path drives an
+// incremental solver, so this also covers the bypass-as-miss
+// accounting.
+func TestCachedOracleCrossCheck(t *testing.T) {
+	semtest.CrossCheckCached(t, "CCWA", 30, func(iter int, rng *rand.Rand) *db.DB {
+		if iter%2 == 0 {
+			return gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+		return gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+	})
+}

@@ -1,0 +1,28 @@
+package cwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/semtest"
+)
+
+// TestCachedOracleCrossCheck: CWA with the oracle verdict cache must
+// match CWA without it — verdicts, model sets, NP-call totals. CWA
+// mixes one-shot Sat queries (closure consistency, per-literal tests)
+// with an incremental enumeration solver, so both cache paths and the
+// bypass-as-miss accounting are exercised.
+func TestCachedOracleCrossCheck(t *testing.T) {
+	semtest.CrossCheckCached(t, "CWA", 30, func(iter int, rng *rand.Rand) *db.DB {
+		switch iter % 3 {
+		case 0:
+			return gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		case 1:
+			return gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+		default:
+			return gen.Random(rng, gen.NormalNoIC(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+	})
+}

@@ -1,0 +1,25 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/semtest"
+)
+
+// TestCachedOracleCrossCheck: DSM with the oracle verdict cache must
+// match DSM without it — verdicts, model sets, NP-call totals.
+func TestCachedOracleCrossCheck(t *testing.T) {
+	semtest.CrossCheckCached(t, "DSM", 30, func(iter int, rng *rand.Rand) *db.DB {
+		switch iter % 3 {
+		case 0:
+			return gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		case 1:
+			return gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+		default:
+			return gen.Random(rng, gen.NormalNoIC(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+	})
+}

@@ -1,0 +1,21 @@
+package gcwa
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/semtest"
+)
+
+// TestCachedOracleCrossCheck: GCWA with the oracle verdict cache must
+// match GCWA without it — verdicts, model sets, NP-call totals.
+func TestCachedOracleCrossCheck(t *testing.T) {
+	semtest.CrossCheckCached(t, "GCWA", 30, func(iter int, rng *rand.Rand) *db.DB {
+		if iter%2 == 0 {
+			return gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+		return gen.Random(rng, gen.WithIntegrity(2+rng.Intn(4), 1+rng.Intn(7)))
+	})
+}

@@ -1,0 +1,23 @@
+package perf
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/semtest"
+)
+
+// TestCachedOracleCrossCheck: PERF with the oracle verdict cache must
+// match PERF without it — verdicts, model sets, NP-call totals. PERF
+// is only defined without integrity clauses, so the generator stays in
+// that class.
+func TestCachedOracleCrossCheck(t *testing.T) {
+	semtest.CrossCheckCached(t, "PERF", 30, func(iter int, rng *rand.Rand) *db.DB {
+		if iter%2 == 0 {
+			return gen.Random(rng, gen.Positive(2+rng.Intn(4), 1+rng.Intn(7)))
+		}
+		return gen.Random(rng, gen.NormalNoIC(2+rng.Intn(4), 1+rng.Intn(7)))
+	})
+}

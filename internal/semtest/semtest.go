@@ -1,0 +1,92 @@
+// Package semtest provides the shared cached-oracle cross-check
+// harness used by the semantics packages' tests: every semantics must
+// produce bit-identical verdicts, model sets, and logical NP-call
+// totals whether or not the oracle verdict cache (internal/cache) is
+// attached. This is the per-semantics refinement of the bench suite's
+// audit invariant — hits + misses must account for every oracle call,
+// and reuse must actually occur (hits > 0 over the run).
+package semtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/cache"
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// CrossCheckCached runs the named semantics over iters databases drawn
+// from dbFor, once on an uncached oracle and once on an oracle whose
+// verdict cache is SHARED across all iterations (so structural reuse
+// across databases is exercised, not just within one query stream).
+// For each database it compares InferLiteral over every literal,
+// HasModel, and the full model set, and checks the counter invariants.
+func CrossCheckCached(t *testing.T, semName string, iters int, dbFor func(iter int, rng *rand.Rand) *db.DB) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(331))
+	shared := cache.New(0)
+	var hits int64
+	for iter := 0; iter < iters; iter++ {
+		d := dbFor(iter, rng)
+		plainOra := oracle.NewNP()
+		cachedOra := oracle.NewNP().WithCache(shared)
+		plain, ok := core.New(semName, core.Options{Oracle: plainOra})
+		if !ok {
+			t.Fatalf("semantics %q not registered", semName)
+		}
+		cached, _ := core.New(semName, core.Options{Oracle: cachedOra})
+
+		for a := 0; a < d.N(); a++ {
+			for _, lit := range []logic.Lit{logic.PosLit(logic.Atom(a)), logic.NegLit(logic.Atom(a))} {
+				want, wantErr := plain.InferLiteral(d, lit)
+				got, gotErr := cached.InferLiteral(d, lit)
+				if want != got || (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("iter %d: %s ⊨ %s: cached=%v (err %v), uncached=%v (err %v)\nDB:\n%s",
+						iter, semName, d.Voc.LitString(lit), got, gotErr, want, wantErr, d.String())
+				}
+			}
+		}
+
+		wantHas, wantErr := plain.HasModel(d)
+		gotHas, gotErr := cached.HasModel(d)
+		if wantHas != gotHas || (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("iter %d: %s HasModel: cached=%v (err %v), uncached=%v (err %v)\nDB:\n%s",
+				iter, semName, gotHas, gotErr, wantHas, wantErr, d.String())
+		}
+
+		wantM := map[string]bool{}
+		gotM := map[string]bool{}
+		_, wantErr = plain.Models(d, 0, func(m logic.Interp) bool { wantM[m.Key()] = true; return true })
+		_, gotErr = cached.Models(d, 0, func(m logic.Interp) bool { gotM[m.Key()] = true; return true })
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("iter %d: %s Models error divergence: cached %v, uncached %v", iter, semName, gotErr, wantErr)
+		}
+		if len(wantM) != len(gotM) {
+			t.Fatalf("iter %d: %s model sets: cached %d, uncached %d\nDB:\n%s",
+				iter, semName, len(gotM), len(wantM), d.String())
+		}
+		for k := range wantM {
+			if !gotM[k] {
+				t.Fatalf("iter %d: %s: model %q missing from cached enumeration\nDB:\n%s",
+					iter, semName, k, d.String())
+			}
+		}
+
+		p, c := plainOra.Counters(), cachedOra.Counters()
+		if p.NPCalls != c.NPCalls {
+			t.Fatalf("iter %d: %s: logical NP-call total moved (cached %d, uncached %d)\nDB:\n%s",
+				iter, semName, c.NPCalls, p.NPCalls, d.String())
+		}
+		if c.CacheHits+c.CacheMisses != c.NPCalls {
+			t.Fatalf("iter %d: %s: hits(%d)+misses(%d) != NP calls(%d)",
+				iter, semName, c.CacheHits, c.CacheMisses, c.NPCalls)
+		}
+		hits += c.CacheHits
+	}
+	if hits == 0 {
+		t.Fatalf("%s: zero cache hits across %d iterations — the cache never engaged", semName, iters)
+	}
+}
