@@ -1,8 +1,10 @@
 # disjunct — build/test/bench entry points.
 
 GO ?= go
+# Mirrored by ci.yml's STATICCHECK_VERSION — bump both together.
+STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test vet lint race bench report report-full soak fuzz clean
+.PHONY: all build test vet lint race bench report report-full soak chaos fuzz clean
 
 all: build test
 
@@ -15,7 +17,7 @@ vet:
 # Formatting + vet + staticcheck (staticcheck fetched pinned, on demand).
 lint: vet
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@2023.1.7 ./...
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 test: vet
 	$(GO) test ./...
@@ -38,6 +40,11 @@ report-full:
 # Bounded differential soak (nightly CI runs 20k iterations).
 soak:
 	$(GO) run ./cmd/ddbsoak -iters 2000 -v
+
+# Bounded chaos soak: budgets + deadline + seeded fault injection.
+# Fails on silent corruption, untyped interruptions, or goroutine leaks.
+chaos:
+	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -v
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .

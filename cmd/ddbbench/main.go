@@ -12,6 +12,12 @@
 // comparison (asserting the model sets match and the NP-call count is
 // worker-count-invariant); -json writes its structured report to a
 // file.
+//
+// Setting any of -deadline, -conflictbudget or -faultrate additionally
+// runs the graceful-degradation sweep: budgeted, fault-injected queries
+// against the unbudgeted reference, reporting completed/interrupted
+// counts and the typed interruption causes. A completed budgeted query
+// whose verdict differs from the reference is a hard failure.
 package main
 
 import (
@@ -33,6 +39,10 @@ func main() {
 	claims := flag.Bool("claims", true, "print the reconstructed result tables first")
 	parallel := flag.Bool("parallel", true, "run the serial vs parallel enumeration comparison")
 	jsonPath := flag.String("json", "", "write the parallel/pool report as JSON to this file")
+	deadline := flag.Duration("deadline", 0, "per-query wall-clock budget for the degradation sweep (0 = off)")
+	conflictBudget := flag.Int64("conflictbudget", 0, "per-query SAT-conflict budget for the degradation sweep (0 = unlimited)")
+	faultRate := flag.Float64("faultrate", 0, "injected fault rate for the degradation sweep (0 = none)")
+	faultSeed := flag.Int64("faultseed", 1, "seed for the fault injector")
 	flag.Parse()
 
 	scale := bench.Quick
@@ -99,6 +109,20 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n\n", *jsonPath)
 		}
+	}
+
+	if *deadline > 0 || *conflictBudget > 0 || *faultRate > 0 {
+		err := bench.RunBudgeted(os.Stdout, bench.BudgetedOptions{
+			Deadline:  *deadline,
+			Conflicts: *conflictBudget,
+			FaultRate: *faultRate,
+			FaultSeed: *faultSeed,
+			Seed:      1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
 	}
 
 	if *audit {

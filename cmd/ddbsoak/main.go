@@ -9,23 +9,37 @@
 // with the oracle verdict cache attached, cross-checking that caching
 // never moves a verdict, a model set, or the logical NP-call total.
 //
+// Setting -faultrate, -deadline or -conflictbudget switches on the
+// chaos layer: every iteration is additionally replayed under the given
+// budget with seeded fault injection, asserting the three-valued
+// contract — a budgeted run either completes with the exact unbudgeted
+// verdict (and model set, for the parallel enumerator) or surfaces a
+// typed interruption; anything else (silent corruption, an untyped
+// error, a leaked goroutine) is a divergence.
+//
 // Usage:
 //
-//	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N] [-v]
+//	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N]
+//	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
+	"disjunct/internal/budget"
 	"disjunct/internal/cache"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/faults"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
+	"disjunct/internal/models"
 	"disjunct/internal/oracle"
 	"disjunct/internal/refsem"
 
@@ -48,6 +62,10 @@ func main() {
 	maxAtoms := flag.Int("maxatoms", 5, "maximum vocabulary size (brute force is 2^n)")
 	cacheFrac := flag.Float64("cachefrac", 0.25, "fraction of iterations replayed with the oracle verdict cache")
 	cacheCap := flag.Int("cachecap", 0, "verdict cache capacity (0 = default)")
+	deadline := flag.Duration("deadline", 0, "chaos mode: per-query wall-clock budget (0 = off)")
+	conflictBudget := flag.Int64("conflictbudget", 0, "chaos mode: per-query SAT-conflict budget (0 = unlimited)")
+	faultRate := flag.Float64("faultrate", 0, "chaos mode: injected fault rate (0 = none)")
+	faultSeed := flag.Int64("faultseed", 1, "chaos mode: fault injector seed (salted per iteration)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -55,6 +73,17 @@ func main() {
 	fmt.Printf("ddbsoak: seed=%d maxatoms=%d cachefrac=%g\n", *seed, *maxAtoms, *cacheFrac)
 
 	cc := &cacheChecker{cache: cache.New(*cacheCap)}
+	var chaos *chaosChecker
+	if *deadline > 0 || *conflictBudget > 0 || *faultRate > 0 {
+		chaos = &chaosChecker{
+			limits:     budget.Limits{Conflicts: *conflictBudget, Deadline: *deadline},
+			faultRate:  *faultRate,
+			faultSeed:  *faultSeed,
+			goroutines: runtime.NumGoroutine(),
+		}
+		fmt.Printf("chaos: deadline=%v conflictbudget=%d faultrate=%g faultseed=%d\n",
+			*deadline, *conflictBudget, *faultRate, *faultSeed)
+	}
 	divergences := 0
 	for i := 0; *iters == 0 || i < *iters; i++ {
 		if *verbose && i%500 == 0 && i > 0 {
@@ -74,6 +103,9 @@ func main() {
 		if *cacheFrac > 0 && rng.Float64() < *cacheFrac {
 			ok = cc.check(d, rng) && ok
 		}
+		if chaos != nil {
+			ok = chaos.check(d, rng, i) && ok
+		}
 		if !ok {
 			divergences++
 			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
@@ -84,11 +116,137 @@ func main() {
 		fmt.Printf("cache cross-check: %d iterations, hits=%d misses=%d rate=%.1f%%\n",
 			cc.checked, cc.hits, cc.misses, 100*rate)
 	}
+	if chaos != nil {
+		if !chaos.settle() {
+			divergences++
+		}
+		fmt.Printf("chaos cross-check: %d queries, completed=%d interrupted=%d\n",
+			chaos.queries, chaos.completed, chaos.interrupted)
+	}
 	if divergences > 0 {
 		fmt.Printf("ddbsoak: %d divergences\n", divergences)
 		os.Exit(1)
 	}
 	fmt.Println("ddbsoak: clean")
+}
+
+// chaosChecker replays queries under a resource budget with seeded
+// fault injection and enforces the three-valued contract: every
+// budgeted run either completes with the exact unbudgeted verdict or
+// is interrupted with a typed cause — never a silent corruption, an
+// untyped error, a panic, or a leaked goroutine.
+type chaosChecker struct {
+	limits      budget.Limits
+	faultRate   float64
+	faultSeed   int64
+	goroutines  int // baseline at startup
+	queries     int
+	completed   int
+	interrupted int
+}
+
+// injector derives a per-query injector so chaos runs are reproducible
+// from (-faultseed, iteration) but queries fault independently.
+func (ch *chaosChecker) injector(iter, query int) *faults.Injector {
+	return faults.NewInjector(ch.faultRate, ch.faultSeed+int64(iter)*1000003+int64(query))
+}
+
+func (ch *chaosChecker) oracle(iter, query int) (*oracle.NP, *budget.B) {
+	b := budget.New(context.Background(), ch.limits)
+	return oracle.NewNP().WithBudget(b).WithFaults(ch.injector(iter, query)), b
+}
+
+func (ch *chaosChecker) check(d *db.DB, rng *rand.Rand, iter int) bool {
+	lit := logic.NegLit(logic.Atom(rng.Intn(d.N())))
+	ok := true
+
+	// Budgeted literal inference vs the unbudgeted production run.
+	for q, sem := range []string{"GCWA", "EGCWA", "DSM"} {
+		ref, _ := core.New(sem, core.Options{})
+		want, refErr := ref.InferLiteral(d, lit)
+		if refErr != nil {
+			continue // not a budget concern; the plain checker reports it
+		}
+		o, _ := ch.oracle(iter, q)
+		s, _ := core.New(sem, core.Options{Oracle: o})
+		ch.queries++
+		got, err := s.InferLiteral(d, lit)
+		if err != nil {
+			if !budget.Interrupted(err) {
+				fmt.Printf("  chaos %s: untyped error %v\n", sem, err)
+				ok = false
+				continue
+			}
+			ch.interrupted++
+			continue
+		}
+		ch.completed++
+		if got != want {
+			fmt.Printf("  chaos %s ⊨ %s: silent corruption — budgeted=%v unbudgeted=%v\n",
+				sem, d.Voc.LitString(lit), got, want)
+			ok = false
+		}
+		c := o.Counters()
+		if c.CacheHits+c.CacheMisses != 0 {
+			fmt.Printf("  chaos %s: cacheless oracle reported hits/misses %+v\n", sem, c)
+			ok = false
+		}
+	}
+
+	// Budgeted parallel enumeration vs the unbudgeted worker pool:
+	// a completed run must produce exactly the reference minimal-model
+	// set; an interrupted one must yield a subset.
+	refSet := map[string]bool{}
+	models.NewEngine(d, oracle.NewNP()).MinimalModels(0, func(m logic.Interp) bool {
+		refSet[m.Key()] = true
+		return true
+	})
+	o, _ := ch.oracle(iter, 3)
+	eng := models.NewEngine(d, o)
+	got := map[string]bool{}
+	ch.queries++
+	count, err := eng.MinimalModelsParBudgeted(0, func(m logic.Interp) bool {
+		got[m.Key()] = true
+		return true
+	}, models.ParOptions{Workers: 4})
+	for k := range got {
+		if !refSet[k] {
+			fmt.Printf("  chaos enumeration yielded a non-minimal model %s\n", k)
+			ok = false
+		}
+	}
+	if err != nil {
+		if !budget.Interrupted(err) {
+			fmt.Printf("  chaos enumeration: untyped error %v\n", err)
+			ok = false
+		} else {
+			ch.interrupted++
+		}
+	} else {
+		ch.completed++
+		if count != len(refSet) || len(got) != len(refSet) {
+			fmt.Printf("  chaos enumeration completed with %d models, reference has %d\n",
+				len(got), len(refSet))
+			ok = false
+		}
+	}
+	return ok
+}
+
+// settle verifies the goroutine count has returned to the startup
+// baseline (modulo runtime workers) once all chaos iterations finished.
+func (ch *chaosChecker) settle() bool {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= ch.goroutines {
+			return true
+		}
+		runtime.Gosched()
+		time.Sleep(2 * time.Millisecond)
+	}
+	fmt.Printf("  chaos: goroutine leak — %d running, baseline %d\n",
+		runtime.NumGoroutine(), ch.goroutines)
+	return false
 }
 
 // cacheChecker replays production-semantics queries with the oracle

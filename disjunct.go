@@ -27,8 +27,12 @@
 package disjunct
 
 import (
+	"context"
+
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/faults"
 	"disjunct/internal/ground"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -96,8 +100,14 @@ var (
 // package documentation for the grammar.
 func Parse(input string) (*DB, error) { return db.Parse(input) }
 
-// MustParse is Parse panicking on error.
-func MustParse(input string) *DB { return db.MustParse(input) }
+// MustParse is Parse panicking on error (examples, tests).
+func MustParse(input string) *DB {
+	d, err := db.Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
 
 // NewDB returns an empty database over a fresh vocabulary.
 func NewDB() *DB { return db.New() }
@@ -211,4 +221,66 @@ func WellFounded(d *DB) (Partial, bool) {
 // positive DDB ⊂ DDDB ⊂ DSDB ⊂ DNDB ("DSDB" requires stratifiability).
 func Classify(d *DB) string {
 	return strat.Classify(d).String()
+}
+
+// Budgeted, cancellable inference. A Budget is attached to an oracle
+// (Oracle.WithBudget); every solver on that oracle polls it and every
+// NP call charges it, so any inference running on the oracle either
+// completes — with a verdict identical to the unbudgeted run — or
+// returns one of the typed interruption errors below. See the README
+// "Robustness & budgets" section.
+type (
+	// Budget carries a context, a deadline, and resource limits
+	// (conflicts, propagations, NP calls) shared by every solver of an
+	// oracle. The zero value and nil are both "unlimited".
+	Budget = budget.B
+	// BudgetLimits configures a Budget.
+	BudgetLimits = budget.Limits
+	// Verdict is the three-valued outcome of a budgeted query: true,
+	// false, or incomplete (unknown-out-of-budget) with a typed cause.
+	Verdict = core.Verdict
+	// FaultInjector deterministically injects latency, transient solver
+	// failures, and spurious cancellations into an oracle
+	// (Oracle.WithFaults) for chaos testing.
+	FaultInjector = faults.Injector
+)
+
+// Typed interruption causes; match with errors.Is.
+var (
+	// ErrCanceled: the budget's context was canceled (or a fault
+	// injector fired a spurious cancellation).
+	ErrCanceled = budget.ErrCanceled
+	// ErrDeadline: the wall-clock deadline passed.
+	ErrDeadline = budget.ErrDeadline
+	// ErrConflictBudget: the solver-conflict budget ran out.
+	ErrConflictBudget = budget.ErrConflictBudget
+	// ErrPropagationBudget: the unit-propagation budget ran out.
+	ErrPropagationBudget = budget.ErrPropagationBudget
+	// ErrNPCallBudget: the NP-oracle-call budget ran out.
+	ErrNPCallBudget = budget.ErrNPCallBudget
+)
+
+// NewBudget builds a Budget from a context and limits; zero/absent
+// fields are unlimited. Attach it with Oracle.WithBudget.
+func NewBudget(ctx context.Context, lim BudgetLimits) *Budget {
+	return budget.New(ctx, lim)
+}
+
+// NewFaultInjector builds a deterministic fault injector firing on
+// roughly rate·100% of oracle calls, seeded for reproducibility; nil
+// (no faults) when rate ≤ 0. Attach it with Oracle.WithFaults.
+func NewFaultInjector(rate float64, seed int64) *FaultInjector {
+	return faults.NewInjector(rate, seed)
+}
+
+// Interrupted reports whether err is one of the typed interruption
+// causes (possibly wrapped) — i.e. whether a query was cut short by
+// budget/cancellation rather than failing semantically.
+func Interrupted(err error) bool { return budget.Interrupted(err) }
+
+// VerdictOf folds an inference result into a three-valued Verdict:
+// interruption errors become Incomplete verdicts, other errors are
+// returned unchanged.
+func VerdictOf(holds bool, err error) (Verdict, error) {
+	return core.VerdictOf(holds, err)
 }

@@ -88,7 +88,11 @@ func Audit() []error {
 	// (4) Reductions vs reference solvers.
 	for iter := 0; iter < 10; iter++ {
 		q := qbf.Random3DNF(rng, 2, 2, 3)
-		want := qbf.SolveBrute(q)
+		want, err := qbf.SolveBrute(q)
+		if err != nil {
+			report("QBF brute reference: %v", err)
+			continue
+		}
 		d, w, err := reduction.MMNegLiteralFromQBF(q)
 		if err != nil {
 			report("QBF reduction: %v", err)
@@ -116,7 +120,11 @@ func Audit() []error {
 	}
 
 	// (5) Example 3.1.
-	ex := db.MustParse("a | b. :- a, b. c :- a, b.")
+	ex, err := db.Parse("a | b. :- a, b. c :- a, b.")
+	if err != nil {
+		report("Example 3.1 parse: %v", err)
+		return errs
+	}
 	c, _ := ex.Voc.Lookup("c")
 	ddr, _ := newSem("DDR", core.Options{})
 	if got, _ := ddr.InferLiteral(ex, logic.NegLit(c)); got {
@@ -228,7 +236,10 @@ func RunAux(scale Scale, w io.Writer) error {
 
 	// Example 3.1.
 	fmt.Fprintln(w, "\nExample 3.1: DB = {a∨b, ←a∧b, c←a∧b}")
-	ex := db.MustParse("a | b. :- a, b. c :- a, b.")
+	ex, err := db.Parse("a | b. :- a, b. c :- a, b.")
+	if err != nil {
+		return err
+	}
 	c, _ := ex.Voc.Lookup("c")
 	for _, name := range []string{"DDR", "PWS", "GCWA"} {
 		s, _ := newSem(name, core.Options{})

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/core"
+	"disjunct/internal/faults"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// BudgetedOptions configures the graceful-degradation sweep.
+type BudgetedOptions struct {
+	// Deadline is the per-query wall-clock allowance (0 = none).
+	Deadline time.Duration
+	// Conflicts is the per-query SAT-conflict budget (0 = unlimited).
+	Conflicts int64
+	// FaultRate injects faults into the budgeted oracle (0 = none).
+	FaultRate float64
+	// FaultSeed seeds the injector; per-query salting keeps runs
+	// reproducible but queries independent.
+	FaultSeed int64
+	// Seed drives the instance generator.
+	Seed int64
+	// Queries is the number of budgeted queries per cell (default 40).
+	Queries int
+}
+
+// RunBudgeted measures graceful degradation: GCWA literal inference
+// (the Π₂ᵖ-complete cell) across growing instance sizes, each query run
+// twice — unbudgeted reference, then under the configured budget and
+// fault injection. It reports, per size, how many budgeted queries
+// completed, how many were interrupted, and the breakdown of typed
+// causes — and fails loudly on the one forbidden outcome: a budgeted
+// query that completes with a verdict different from the reference.
+func RunBudgeted(w io.Writer, opt BudgetedOptions) error {
+	if opt.Queries <= 0 {
+		opt.Queries = 40
+	}
+	fmt.Fprintln(w, "Graceful degradation under budgets and fault injection")
+	fmt.Fprintln(w, "======================================================")
+	fmt.Fprintf(w, "deadline=%v conflictbudget=%d faultrate=%g faultseed=%d\n\n",
+		opt.Deadline, opt.Conflicts, opt.FaultRate, opt.FaultSeed)
+	fmt.Fprintf(w, "  %6s %10s %12s %10s  %s\n", "atoms", "completed", "interrupted", "divergent", "causes")
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	divergentTotal := 0
+	for _, n := range []int{4, 6, 8, 10} {
+		completed, interrupted, divergent := 0, 0, 0
+		causes := map[string]int{}
+		for q := 0; q < opt.Queries; q++ {
+			d := gen.Random(rng, gen.Config{Atoms: n, Clauses: 2 * n, MaxHead: 3, MaxBody: 2, FactProb: 0.3})
+			lit := logic.NegLit(logic.Atom(rng.Intn(n)))
+
+			ref, _ := newSem("GCWA", core.Options{})
+			want, err := ref.InferLiteral(d, lit)
+			if err != nil {
+				continue // semantic error (not budget-related); skip
+			}
+
+			b := budget.New(context.Background(), budget.Limits{
+				Conflicts: opt.Conflicts, Deadline: opt.Deadline,
+			})
+			o := oracle.NewNP().WithBudget(b).
+				WithFaults(faults.NewInjector(opt.FaultRate, opt.FaultSeed+int64(q)*1000003+int64(n)))
+			s, _ := core.New("GCWA", core.Options{Oracle: o})
+			got, err := s.InferLiteral(d, lit)
+			if err != nil {
+				if !budget.Interrupted(err) {
+					return fmt.Errorf("size %d query %d: untyped interruption %w", n, q, err)
+				}
+				interrupted++
+				causes[causeLabel(err)]++
+				continue
+			}
+			if got != want {
+				divergent++
+				continue
+			}
+			completed++
+		}
+		divergentTotal += divergent
+		fmt.Fprintf(w, "  %6d %10d %12d %10d  %s\n", n, completed, interrupted, divergent, causeSummary(causes))
+	}
+	if divergentTotal > 0 {
+		return fmt.Errorf("budgeted sweep: %d completed queries diverged from the unbudgeted reference", divergentTotal)
+	}
+	fmt.Fprintln(w, "\n  every completed budgeted verdict matched the unbudgeted reference")
+	return nil
+}
+
+// causeLabel maps a typed interruption to its short display name.
+func causeLabel(err error) string {
+	switch {
+	case errors.Is(err, budget.ErrConflictBudget):
+		return "conflicts"
+	case errors.Is(err, budget.ErrPropagationBudget):
+		return "propagations"
+	case errors.Is(err, budget.ErrNPCallBudget):
+		return "npcalls"
+	case errors.Is(err, budget.ErrDeadline):
+		return "deadline"
+	case errors.Is(err, faults.ErrTransient):
+		return "transient"
+	case errors.Is(err, budget.ErrCanceled):
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+func causeSummary(causes map[string]int) string {
+	if len(causes) == 0 {
+		return "-"
+	}
+	out := ""
+	for _, k := range []string{"conflicts", "propagations", "npcalls", "deadline", "transient", "canceled", "other"} {
+		if causes[k] > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%d", k, causes[k])
+		}
+	}
+	return out
+}

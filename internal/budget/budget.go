@@ -1,0 +1,238 @@
+// Package budget provides cancellation and resource budgets for the
+// solve path. A *B is shared by every solver, oracle, and enumerator
+// participating in one logical query; it is concurrency-safe (all
+// counters are atomics) and sticky: the first limit that trips is
+// recorded and every subsequent check reports that same typed error,
+// so a query interrupted deep inside a worker pool surfaces exactly
+// one cause.
+//
+// A nil *B is valid everywhere and means "unlimited": every method is
+// nil-safe, so call sites never need to guard.
+//
+// Interruption travels through deep call chains (solver → oracle →
+// enumerator → semantics) as a panic carrying an Interrupt payload,
+// raised by Trip and converted back into an ordinary typed error by a
+// deferred Recover at each public API boundary. This keeps the dozens
+// of internal signatures unchanged while guaranteeing an interrupted
+// computation can never be mistaken for a completed one.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Typed interruption causes. Callers match with errors.Is.
+var (
+	// ErrCanceled reports that the context attached to the budget was
+	// canceled (or a fault injector issued a spurious cancellation).
+	ErrCanceled = errors.New("budget: canceled")
+	// ErrDeadline reports that the wall-clock deadline passed.
+	ErrDeadline = errors.New("budget: deadline exceeded")
+	// ErrConflictBudget reports that the SAT conflict budget ran out.
+	ErrConflictBudget = errors.New("budget: conflict budget exhausted")
+	// ErrPropagationBudget reports that the unit-propagation budget
+	// ran out.
+	ErrPropagationBudget = errors.New("budget: propagation budget exhausted")
+	// ErrNPCallBudget reports that the NP oracle-call budget ran out.
+	ErrNPCallBudget = errors.New("budget: NP-call budget exhausted")
+)
+
+// Limits bounds one logical query. Zero values mean unlimited.
+type Limits struct {
+	Conflicts    int64         // total SAT conflicts across all oracle calls
+	Propagations int64         // total unit propagations across all oracle calls
+	NPCalls      int64         // total NP oracle invocations
+	Deadline     time.Duration // wall-clock allowance from New
+}
+
+// B is a sticky, concurrency-safe budget. Create with New; share one
+// *B across however many goroutines cooperate on a query.
+type B struct {
+	ctx       context.Context
+	deadline  time.Time // zero = none
+	conflicts atomic.Int64
+	props     atomic.Int64
+	npcalls   atomic.Int64
+	hasConfl  bool
+	hasProps  bool
+	hasNP     bool
+	tripped   atomic.Pointer[error]
+}
+
+// New builds a budget from a context and limits. The effective
+// deadline is the earlier of ctx's deadline and lim.Deadline (measured
+// from now); either may be absent.
+func New(ctx context.Context, lim Limits) *B {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &B{ctx: ctx}
+	if lim.Conflicts > 0 {
+		b.hasConfl = true
+		b.conflicts.Store(lim.Conflicts)
+	}
+	if lim.Propagations > 0 {
+		b.hasProps = true
+		b.props.Store(lim.Propagations)
+	}
+	if lim.NPCalls > 0 {
+		b.hasNP = true
+		b.npcalls.Store(lim.NPCalls)
+	}
+	if lim.Deadline > 0 {
+		b.deadline = time.Now().Add(lim.Deadline)
+	}
+	if cd, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || cd.Before(b.deadline)) {
+		b.deadline = cd
+	}
+	return b
+}
+
+// trip records err as the cause if none is recorded yet and returns
+// the recorded cause (which may be an earlier one).
+func (b *B) trip(err error) error {
+	b.tripped.CompareAndSwap(nil, &err)
+	return *b.tripped.Load()
+}
+
+// Cause returns the recorded interruption cause, or nil if the budget
+// has not tripped.
+func (b *B) Cause() error {
+	if b == nil {
+		return nil
+	}
+	if p := b.tripped.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Err reports whether the budget is exhausted: it returns the sticky
+// cause if one is recorded, otherwise checks the context and the
+// wall-clock deadline. It is the cheap poll used at solver restart and
+// conflict boundaries.
+func (b *B) Err() error {
+	if b == nil {
+		return nil
+	}
+	if p := b.tripped.Load(); p != nil {
+		return *p
+	}
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			return b.trip(fmt.Errorf("%w: %v", ErrCanceled, context.Cause(b.ctx)))
+		default:
+		}
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		return b.trip(ErrDeadline)
+	}
+	return nil
+}
+
+// ChargeConflicts debits n SAT conflicts and returns the typed error
+// if the conflict budget is exhausted (now or previously).
+func (b *B) ChargeConflicts(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.hasConfl && b.conflicts.Add(-n) < 0 {
+		return b.trip(ErrConflictBudget)
+	}
+	return b.Err()
+}
+
+// ChargeProps debits n unit propagations.
+func (b *B) ChargeProps(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.hasProps && b.props.Add(-n) < 0 {
+		return b.trip(ErrPropagationBudget)
+	}
+	return nil
+}
+
+// ChargeNPCall debits one NP oracle call and returns the typed error
+// if the call budget is exhausted.
+func (b *B) ChargeNPCall() error {
+	if b == nil {
+		return nil
+	}
+	if b.hasNP && b.npcalls.Add(-1) < 0 {
+		return b.trip(ErrNPCallBudget)
+	}
+	return b.Err()
+}
+
+// RemainingConflicts reports the conflict budget left, or -1 if
+// unlimited. Never negative.
+func (b *B) RemainingConflicts() int64 {
+	if b == nil || !b.hasConfl {
+		return -1
+	}
+	if r := b.conflicts.Load(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// RemainingNPCalls reports the NP-call budget left, or -1 if
+// unlimited. Never negative.
+func (b *B) RemainingNPCalls() int64 {
+	if b == nil || !b.hasNP {
+		return -1
+	}
+	if r := b.npcalls.Load(); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Interrupt is the panic payload raised by Trip. It never escapes the
+// package's public API: every budget-aware entry point runs
+// `defer budget.Recover(&err)` and converts it back to Err.
+type Interrupt struct{ Err error }
+
+func (i Interrupt) Error() string { return i.Err.Error() }
+
+// Trip panics with an Interrupt carrying err. Call it when a budget
+// check fails deep inside a call chain whose signatures cannot carry
+// an error.
+func Trip(err error) {
+	if err == nil {
+		err = ErrCanceled
+	}
+	panic(Interrupt{Err: err})
+}
+
+// Recover converts an in-flight Interrupt panic into *errp. Use as
+//
+//	defer budget.Recover(&err)
+//
+// at every public budget-aware API boundary. Non-Interrupt panics are
+// re-raised untouched.
+func Recover(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case Interrupt:
+		*errp = r.Err
+	default:
+		panic(r)
+	}
+}
+
+// Interrupted reports whether err is one of the typed interruption
+// causes (directly or wrapped).
+func Interrupted(err error) bool {
+	return err != nil && (errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrConflictBudget) ||
+		errors.Is(err, ErrPropagationBudget) ||
+		errors.Is(err, ErrNPCallBudget))
+}

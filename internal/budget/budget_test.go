@@ -1,0 +1,174 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *B
+	if err := b.Err(); err != nil {
+		t.Fatalf("nil Err: %v", err)
+	}
+	if err := b.ChargeConflicts(1 << 40); err != nil {
+		t.Fatalf("nil ChargeConflicts: %v", err)
+	}
+	if err := b.ChargeProps(1 << 40); err != nil {
+		t.Fatalf("nil ChargeProps: %v", err)
+	}
+	if err := b.ChargeNPCall(); err != nil {
+		t.Fatalf("nil ChargeNPCall: %v", err)
+	}
+	if b.Cause() != nil {
+		t.Fatal("nil Cause must be nil")
+	}
+	if b.RemainingConflicts() != -1 || b.RemainingNPCalls() != -1 {
+		t.Fatal("nil budget must report unlimited")
+	}
+}
+
+func TestConflictBudgetTrips(t *testing.T) {
+	b := New(context.Background(), Limits{Conflicts: 10})
+	if err := b.ChargeConflicts(10); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	err := b.ChargeConflicts(1)
+	if !errors.Is(err, ErrConflictBudget) {
+		t.Fatalf("got %v, want ErrConflictBudget", err)
+	}
+	// Sticky: every later check reports the same cause.
+	if err := b.Err(); !errors.Is(err, ErrConflictBudget) {
+		t.Fatalf("Err after trip: %v", err)
+	}
+	if err := b.ChargeNPCall(); !errors.Is(err, ErrConflictBudget) {
+		t.Fatalf("ChargeNPCall after trip: %v", err)
+	}
+	if b.RemainingConflicts() != 0 {
+		t.Fatalf("RemainingConflicts = %d", b.RemainingConflicts())
+	}
+}
+
+func TestNPCallBudgetTrips(t *testing.T) {
+	b := New(context.Background(), Limits{NPCalls: 2})
+	for i := 0; i < 2; i++ {
+		if err := b.ChargeNPCall(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if err := b.ChargeNPCall(); !errors.Is(err, ErrNPCallBudget) {
+		t.Fatalf("got %v, want ErrNPCallBudget", err)
+	}
+}
+
+func TestPropagationBudgetTrips(t *testing.T) {
+	b := New(context.Background(), Limits{Propagations: 5})
+	if err := b.ChargeProps(5); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := b.ChargeProps(1); !errors.Is(err, ErrPropagationBudget) {
+		t.Fatalf("got %v, want ErrPropagationBudget", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{})
+	if err := b.Err(); err != nil {
+		t.Fatalf("before cancel: %v", err)
+	}
+	cancel()
+	if err := b.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(context.Background(), Limits{Deadline: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	if err := b.Err(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestContextDeadlineTakesEffect(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	b := New(ctx, Limits{Deadline: time.Hour})
+	time.Sleep(time.Millisecond)
+	// Either the ctx Done fires (ErrCanceled) or the min-deadline path
+	// (ErrDeadline); both are interruptions.
+	if err := b.Err(); !Interrupted(err) {
+		t.Fatalf("got %v, want an interruption", err)
+	}
+}
+
+func TestFirstCauseWinsConcurrently(t *testing.T) {
+	b := New(context.Background(), Limits{Conflicts: 1, NPCalls: 1})
+	var wg sync.WaitGroup
+	errs := make([]error, 64)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = b.ChargeConflicts(100)
+			} else {
+				for j := 0; j < 3; j++ {
+					errs[i] = b.ChargeNPCall()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	cause := b.Cause()
+	if cause == nil {
+		t.Fatal("budget must have tripped")
+	}
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, cause) {
+			t.Fatalf("goroutine %d saw %v, sticky cause is %v", i, err, cause)
+		}
+	}
+}
+
+func TestTripRecoverRoundTrip(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		Trip(fmt.Errorf("wrapped: %w", ErrDeadline))
+		return nil
+	}
+	err := run()
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want wrapped ErrDeadline", err)
+	}
+}
+
+func TestRecoverPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic payload lost: %v", r)
+		}
+	}()
+	var err error
+	defer Recover(&err)
+	panic("boom")
+}
+
+func TestInterrupted(t *testing.T) {
+	for _, err := range []error{
+		ErrCanceled, ErrDeadline, ErrConflictBudget,
+		ErrPropagationBudget, ErrNPCallBudget,
+		fmt.Errorf("deep: %w", ErrCanceled),
+	} {
+		if !Interrupted(err) {
+			t.Errorf("Interrupted(%v) = false", err)
+		}
+	}
+	if Interrupted(nil) || Interrupted(errors.New("other")) {
+		t.Error("Interrupted must reject nil and unrelated errors")
+	}
+}

@@ -91,7 +91,11 @@ func TestCheckModelMatchesMembership(t *testing.T) {
 				keys[m.Key()] = true
 			}
 			s, _ := core.New(name, core.Options{})
-			for _, m := range refsem.AllInterps(d.N()) {
+			all, err := refsem.AllInterps(d.N())
+			if err != nil {
+				t.Fatalf("AllInterps: %v", err)
+			}
+			for _, m := range all {
 				got, err := core.CheckModel(s, d, m)
 				if err != nil {
 					t.Fatalf("%s iter %d: %v", name, iter, err)

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -49,7 +49,7 @@ func TestOptionsDefaults(t *testing.T) {
 	if opts.OracleFor() != o {
 		t.Fatalf("OracleFor must be stable")
 	}
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	part := opts.PartitionFor(d)
 	if part.P.Count() != d.N() {
 		t.Fatalf("default partition must minimise everything")
@@ -97,7 +97,7 @@ func TestCredulousVsCautious(t *testing.T) {
 }
 
 func TestCredulousLiteral(t *testing.T) {
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	s, _ := core.New("EGCWA", core.Options{})
 	a, _ := d.Voc.Lookup("a")
 	cred, err := core.CredulousLiteral(s, d, logic.PosLit(a))

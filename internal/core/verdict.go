@@ -1,0 +1,51 @@
+package core
+
+import "disjunct/internal/budget"
+
+// Verdict is the three-valued outcome of a budgeted inference query:
+// True, False, or Incomplete (unknown-out-of-budget). The budget layer
+// never degrades silently — a Verdict is Incomplete exactly when the
+// query was interrupted by a typed budget cause, and then Cause
+// records which one. A complete Verdict is byte-identical to what the
+// unbudgeted query would have returned (the budget machinery never
+// changes search order; the chaos soak asserts this).
+type Verdict struct {
+	// Holds is the answer; meaningful only when Incomplete is false.
+	Holds bool
+	// Incomplete marks an interrupted query: the answer is unknown
+	// within the granted budget.
+	Incomplete bool
+	// Cause is the typed interruption error (budget.ErrCanceled,
+	// ErrDeadline, ErrConflictBudget, ErrPropagationBudget,
+	// ErrNPCallBudget, or a fault-injection error wrapping one); nil
+	// when the query completed.
+	Cause error
+}
+
+// VerdictOf folds a (bool, error) inference result into a Verdict.
+// Interruption errors become Incomplete verdicts; any other error is
+// returned as-is for the caller to handle (ErrUnsupported etc. are
+// semantic outcomes, not budget exhaustion).
+func VerdictOf(holds bool, err error) (Verdict, error) {
+	if err == nil {
+		return Verdict{Holds: holds}, nil
+	}
+	if budget.Interrupted(err) {
+		return Verdict{Incomplete: true, Cause: err}, nil
+	}
+	return Verdict{}, err
+}
+
+// String renders "true", "false", or "incomplete(<cause>)".
+func (v Verdict) String() string {
+	switch {
+	case v.Incomplete && v.Cause != nil:
+		return "incomplete(" + v.Cause.Error() + ")"
+	case v.Incomplete:
+		return "incomplete"
+	case v.Holds:
+		return "true"
+	default:
+		return "false"
+	}
+}

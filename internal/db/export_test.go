@@ -1,0 +1,11 @@
+package db
+
+// MustParse is a test-only wrapper over Parse; the production API
+// returns errors (no panics on malformed input).
+func MustParse(input string) *DB {
+	d, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

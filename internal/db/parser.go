@@ -26,15 +26,6 @@ func Parse(input string) (*DB, error) {
 	return d, nil
 }
 
-// MustParse is Parse but panics on error (tests, examples).
-func MustParse(input string) *DB {
-	d, err := Parse(input)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // ParseInto parses input and appends the clauses to d, interning atoms
 // into d's vocabulary.
 func ParseInto(input string, d *DB) error {

@@ -1,0 +1,29 @@
+// Package dbtest holds parsing helpers for test code. The production
+// packages expose only error-returning parsers (db.Parse,
+// ground.ParseProgram); tests that embed known-good sources use these
+// panicking wrappers instead.
+package dbtest
+
+import (
+	"disjunct/internal/db"
+	"disjunct/internal/ground"
+)
+
+// MustParse parses a database source, panicking on error. Test-only:
+// production call sites handle db.Parse errors.
+func MustParse(input string) *db.DB {
+	d, err := db.Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustParseProgram parses a non-ground program, panicking on error.
+func MustParseProgram(input string) *ground.Program {
+	p, err := ground.ParseProgram(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

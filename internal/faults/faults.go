@@ -1,0 +1,122 @@
+// Package faults provides deterministic, seeded fault injection for
+// the oracle layer. An Injector decides — purely from (seed, sequence
+// number) via splitmix64, so runs are reproducible and independent of
+// goroutine scheduling — whether a given oracle call experiences
+// injected latency, a transient solver failure (retried with bounded
+// backoff by the caller), or a spurious cancellation.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"disjunct/internal/budget"
+)
+
+// Kind classifies the fault injected into one oracle call.
+type Kind int
+
+const (
+	None      Kind = iota // no fault
+	Latency               // sleep briefly before solving
+	Transient             // fail once; caller retries with backoff
+	Cancel                // spurious cancellation; surfaces as ErrCanceled
+)
+
+// ErrTransient is the retryable failure an Injector raises. Callers
+// retry up to MaxRetries with Backoff between attempts; if retries are
+// exhausted the failure is promoted to a permanent ErrExhausted.
+var ErrTransient = errors.New("faults: transient solver failure (injected)")
+
+// ErrExhausted wraps ErrTransient once the retry budget is spent. It
+// also wraps budget.ErrCanceled so the exhaustion registers as a typed
+// interruption under budget.Interrupted, like every other injected
+// terminal outcome.
+var ErrExhausted = fmt.Errorf("%w: retries exhausted (%w)", ErrTransient, budget.ErrCanceled)
+
+// ErrInjectedCancel is a spurious cancellation. It wraps
+// budget.ErrCanceled so callers' errors.Is(err, budget.ErrCanceled)
+// matching treats injected and genuine cancellations uniformly.
+var ErrInjectedCancel = fmt.Errorf("%w (injected)", budget.ErrCanceled)
+
+// MaxRetries bounds how many times a transient failure is retried.
+const MaxRetries = 3
+
+// MaxLatency bounds a single injected sleep.
+const MaxLatency = 2 * time.Millisecond
+
+// Injector is a seeded deterministic fault source, safe for
+// concurrent use. The zero value and a nil *Injector inject nothing.
+type Injector struct {
+	rate uint64 // faults per 2^64 draws
+	seed uint64
+	seq  atomic.Uint64
+}
+
+// NewInjector returns an injector that faults a `rate` fraction of
+// calls (clamped to [0,1]) using the given seed. rate 0 returns nil,
+// which injects nothing.
+func NewInjector(rate float64, seed int64) *Injector {
+	if rate <= 0 {
+		return nil
+	}
+	r := rate * (1 << 63) * 2
+	if rate >= 1 || r >= float64(^uint64(0)) {
+		return &Injector{rate: ^uint64(0), seed: uint64(seed)}
+	}
+	return &Injector{rate: uint64(r), seed: uint64(seed)}
+}
+
+// splitmix64 is the standard 64-bit mixer; (seed, seq) → uniform u64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Draw allocates the next sequence number and returns the fault kind
+// for it. The mapping within faulting draws is 40% latency, 40%
+// transient, 20% cancel.
+func (in *Injector) Draw() Kind {
+	if in == nil || in.rate == 0 {
+		return None
+	}
+	n := in.seq.Add(1)
+	h := splitmix64(in.seed + n*0x9e3779b97f4a7c15)
+	if h >= in.rate {
+		return None
+	}
+	// A second independent hash picks the kind.
+	switch k := splitmix64(h) % 10; {
+	case k < 4:
+		return Latency
+	case k < 8:
+		return Transient
+	default:
+		return Cancel
+	}
+}
+
+// Sleep performs the injected latency for draw n (a small deterministic
+// duration derived from the sequence).
+func (in *Injector) Sleep() {
+	if in == nil {
+		return
+	}
+	n := in.seq.Load()
+	d := time.Duration(splitmix64(in.seed^n)%uint64(MaxLatency-time.Microsecond)) + time.Microsecond
+	time.Sleep(d)
+}
+
+// Backoff returns the pause before retry attempt i (0-based),
+// exponential and bounded.
+func Backoff(attempt int) time.Duration {
+	d := 50 * time.Microsecond << uint(attempt)
+	if d > 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	return d
+}

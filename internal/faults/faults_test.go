@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+)
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	if in := NewInjector(0, 1); in != nil {
+		t.Fatal("rate 0 must return nil")
+	}
+	if in := NewInjector(-0.5, 1); in != nil {
+		t.Fatal("negative rate must return nil")
+	}
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if k := in.Draw(); k != None {
+			t.Fatalf("nil injector drew %v", k)
+		}
+	}
+}
+
+func TestFullRateAlwaysFaults(t *testing.T) {
+	in := NewInjector(1.0, 7)
+	for i := 0; i < 200; i++ {
+		if k := in.Draw(); k == None {
+			t.Fatalf("draw %d: rate-1 injector drew None", i)
+		}
+	}
+}
+
+func TestDrawsAreDeterministic(t *testing.T) {
+	a := NewInjector(0.3, 42)
+	b := NewInjector(0.3, 42)
+	for i := 0; i < 1000; i++ {
+		if ka, kb := a.Draw(), b.Draw(); ka != kb {
+			t.Fatalf("draw %d: %v != %v with identical seed", i, ka, kb)
+		}
+	}
+}
+
+func TestSeedChangesSequence(t *testing.T) {
+	a := NewInjector(0.5, 1)
+	b := NewInjector(0.5, 2)
+	same := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		if a.Draw() == b.Draw() {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestRateIsRoughlyHonoured(t *testing.T) {
+	in := NewInjector(0.2, 99)
+	faults := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Draw() != None {
+			faults++
+		}
+	}
+	frac := float64(faults) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("rate 0.2 produced fault fraction %.3f", frac)
+	}
+}
+
+func TestAllKindsOccur(t *testing.T) {
+	in := NewInjector(1.0, 3)
+	seen := map[Kind]int{}
+	for i := 0; i < 500; i++ {
+		seen[in.Draw()]++
+	}
+	for _, k := range []Kind{Latency, Transient, Cancel} {
+		if seen[k] == 0 {
+			t.Errorf("kind %v never drawn at rate 1", k)
+		}
+	}
+}
+
+func TestBackoffBoundedAndMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i <= MaxRetries+3; i++ {
+		d := Backoff(i)
+		if d <= 0 || d > 2*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v out of bounds", i, d)
+		}
+		if d < prev {
+			t.Fatalf("Backoff(%d) = %v < Backoff(%d) = %v", i, d, i-1, prev)
+		}
+		prev = d
+	}
+}
+
+func TestErrorTyping(t *testing.T) {
+	if !errors.Is(ErrExhausted, ErrTransient) {
+		t.Error("ErrExhausted must wrap ErrTransient")
+	}
+	if !errors.Is(ErrInjectedCancel, budget.ErrCanceled) {
+		t.Error("ErrInjectedCancel must wrap budget.ErrCanceled")
+	}
+	if !budget.Interrupted(ErrInjectedCancel) {
+		t.Error("injected cancel must register as an interruption")
+	}
+}
+
+func TestExhaustedIsInterruption(t *testing.T) {
+	if !budget.Interrupted(ErrExhausted) {
+		t.Error("retry exhaustion must register as a typed interruption")
+	}
+}

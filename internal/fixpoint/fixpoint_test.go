@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
 )
 
 func TestLeastModel(t *testing.T) {
-	d := db.MustParse("a. b :- a. c :- b, a. e :- f.")
+	d := dbtest.MustParse("a. b :- a. c :- b, a. e :- f.")
 	m := LeastModel(d)
 	for _, name := range []string{"a", "b", "c"} {
 		at, _ := d.Voc.Lookup(name)
@@ -33,11 +34,11 @@ func TestLeastModelPanicsOnDisjunction(t *testing.T) {
 			t.Fatalf("want panic on non-definite program")
 		}
 	}()
-	LeastModel(db.MustParse("a | b."))
+	LeastModel(dbtest.MustParse("a | b."))
 }
 
 func TestPossiblyTrueBasic(t *testing.T) {
-	d := db.MustParse("a | b. c :- a, b. e :- f.")
+	d := dbtest.MustParse("a | b. c :- a, b. e :- f.")
 	pt := PossiblyTrue(d)
 	for _, name := range []string{"a", "b", "c"} {
 		at, _ := d.Voc.Lookup(name)
@@ -74,7 +75,7 @@ func TestTUpOmegaExample31(t *testing.T) {
 	// {a∨b, c←a∧b}: derivations give c∨a∨b, but a∨b subsumes it, so
 	// the REDUCED state is just {a∨b} — c does not occur there,
 	// whereas it does occur in the unreduced closure (Example 3.1).
-	d := db.MustParse("a | b. c :- a, b.")
+	d := dbtest.MustParse("a | b. c :- a, b.")
 	st := TUpOmega(d, 0)
 	c, _ := d.Voc.Lookup("c")
 	if st.Atoms(d.N()).Test(int(c)) {

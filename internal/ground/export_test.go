@@ -1,0 +1,11 @@
+package ground
+
+// MustParseProgram is a test-only wrapper over ParseProgram; the
+// production API returns errors (no panics on malformed input).
+func MustParseProgram(input string) *Program {
+	p, err := ParseProgram(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -38,15 +38,6 @@ func ParseProgram(input string) (*Program, error) {
 	return prog, nil
 }
 
-// MustParseProgram is ParseProgram panicking on error.
-func MustParseProgram(input string) *Program {
-	p, err := ParseProgram(input)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 type programParser struct {
 	src  string
 	pos  int

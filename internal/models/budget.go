@@ -1,0 +1,111 @@
+package models
+
+import (
+	"disjunct/internal/budget"
+	"disjunct/internal/logic"
+)
+
+// This file is the budget-aware surface of the model engine. The
+// budget itself lives on the oracle (oracle.NP.WithBudget): every NP
+// call charges it and every solver polls it, raising a
+// budget.Interrupt panic the moment a limit trips. The *Budgeted
+// wrappers here are the API boundary that converts that panic back
+// into a typed error while preserving the partial result produced
+// before the interruption.
+//
+// Contract (the "three-valued" enumeration contract):
+//
+//   - err == nil: the enumeration COMPLETED; the yielded set is
+//     exactly what the unbudgeted method yields (byte-identical —
+//     the budget machinery never changes search order).
+//   - err != nil: the enumeration is INCOMPLETE; err is one of the
+//     typed causes (budget.ErrCanceled, ErrDeadline,
+//     ErrConflictBudget, ErrPropagationBudget, ErrNPCallBudget, or a
+//     fault-injection error wrapping one of these). Every model
+//     yielded before the trip is a genuine model — partial results
+//     are valid, just not exhaustive. The count returned is the
+//     number of yields that actually happened.
+
+// EnumerateModelsBudgeted is EnumerateModels under the oracle's
+// attached budget; see the file comment for the completeness
+// contract.
+func (e *Engine) EnumerateModelsBudgeted(limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
+	e.EnumerateModels(limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	})
+	return count, nil
+}
+
+// MinimalModelsBudgeted is MinimalModels under the oracle's attached
+// budget.
+func (e *Engine) MinimalModelsBudgeted(limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
+	e.MinimalModels(limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	})
+	return count, nil
+}
+
+// MinimalModelsPZBudgeted is MinimalModelsPZ under the oracle's
+// attached budget.
+func (e *Engine) MinimalModelsPZBudgeted(part Partition, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
+	e.MinimalModelsPZ(part, limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	})
+	return count, nil
+}
+
+// MinimalModelsParBudgeted is MinimalModelsPar under the oracle's
+// attached budget: a trip inside any worker drains the pool (no
+// goroutine leaks, no lost panics — see par.ForEach) and surfaces
+// here as the typed cause.
+func (e *Engine) MinimalModelsParBudgeted(limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
+	e.MinimalModelsPar(limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	}, opt)
+	return count, nil
+}
+
+// MinimalModelsPZParBudgeted is MinimalModelsPZPar under the oracle's
+// attached budget.
+func (e *Engine) MinimalModelsPZParBudgeted(part Partition, limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
+	e.MinimalModelsPZPar(part, limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	}, opt)
+	return count, nil
+}
+
+// EnumerateModelsParBudgeted is EnumerateModelsPar under the oracle's
+// attached budget.
+func (e *Engine) EnumerateModelsParBudgeted(limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
+	e.EnumerateModelsPar(limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	}, opt)
+	return count, nil
+}
+
+// MMEntailsBudgeted is MMEntails under the oracle's attached budget.
+// When err is non-nil the boolean carries no information (the
+// entailment question is unknown-out-of-budget).
+func (e *Engine) MMEntailsBudgeted(f *logic.Formula, part Partition) (ok bool, err error) {
+	defer budget.Recover(&err)
+	return e.MMEntails(f, part), nil
+}
+
+// HasModelBudgeted is HasModel under the oracle's attached budget.
+func (e *Engine) HasModelBudgeted() (ok bool, m logic.Interp, err error) {
+	defer budget.Recover(&err)
+	ok, m = e.HasModel()
+	return ok, m, nil
+}

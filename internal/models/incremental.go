@@ -47,6 +47,7 @@ func NewIncrementalEngine(d *db.DB, o *oracle.NP) *IncrementalEngine {
 	}
 	e := &IncrementalEngine{DB: d, Ora: o, nBase: d.N(), nVars: d.N()}
 	e.solver = sat.New(d.N())
+	e.solver.SetBudget(o.Budget())
 	for _, cl := range d.ToCNF() {
 		lits := make([]sat.Lit, len(cl))
 		for i, l := range cl {
@@ -72,7 +73,9 @@ func (e *IncrementalEngine) solve(assumptions ...sat.Lit) sat.Status {
 	c := e.solver.Stats().Conflicts
 	e.Ora.CountConflicts(c - e.lastConfl)
 	e.lastConfl = c
-	return st
+	// A budget trip surfaces as Unknown; raise it so the callers'
+	// status checks never mistake an interrupted query for Unsat.
+	return oracle.CheckSolve(e.solver, st)
 }
 
 // HasModel reports satisfiability of the database.

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/oracle"
@@ -171,7 +171,7 @@ func TestIncrementalReportsConflicts(t *testing.T) {
 }
 
 func TestIncrementalUnsatDB(t *testing.T) {
-	d := db.MustParse("a. :- a.")
+	d := dbtest.MustParse("a. :- a.")
 	inc := NewIncrementalEngine(d, nil)
 	if ok, _ := inc.HasModel(); ok {
 		t.Fatalf("unsat DB reported satisfiable")

@@ -189,6 +189,10 @@ func (e *Engine) EnumerateModels(limit int, yield func(logic.Interp) bool) int {
 		count++
 		return yield(m)
 	})
+	// An attached query budget tripping mid-enumeration makes the
+	// solver's loop stop as if exhausted; surface the interruption
+	// instead of silently under-reporting the model set.
+	oracle.CheckEnumerate(s)
 	return count
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/oracle"
@@ -23,7 +24,7 @@ func collectMinimal(e *Engine) []logic.Interp {
 }
 
 func TestMinimalModelsSimple(t *testing.T) {
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	e := NewEngine(d, nil)
 	mm := collectMinimal(e)
 	if len(mm) != 2 {
@@ -38,7 +39,7 @@ func TestMinimalModelsSimple(t *testing.T) {
 
 func TestMinimalModelsPaperExample(t *testing.T) {
 	// §2 of the paper: DB with M(DB) as listed and MM(DB) = {{a},{b}}.
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	d.Voc.Intern("c")
 	e := NewEngine(d, nil)
 	mm := collectMinimal(e)
@@ -241,7 +242,7 @@ func TestUniqueMinimalModelMatchesReference(t *testing.T) {
 }
 
 func TestUniqueMinimalModelUnsat(t *testing.T) {
-	d := db.MustParse("a. :- a.")
+	d := dbtest.MustParse("a. :- a.")
 	ok, _ := NewEngine(d, nil).UniqueMinimalModel()
 	if ok {
 		t.Fatalf("unsatisfiable DB cannot have a unique minimal model")
@@ -261,7 +262,7 @@ func TestEnumerateModelsCount(t *testing.T) {
 }
 
 func TestOracleCountersAdvance(t *testing.T) {
-	d := db.MustParse("a | b. c :- a.")
+	d := dbtest.MustParse("a | b. c :- a.")
 	o := oracle.NewNP()
 	eng := NewEngine(d, o)
 	eng.MMEntails(logic.MustParseFormula("a | b", d.Voc), FullMin(d.N()))

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
 	"disjunct/internal/par"
 	"disjunct/internal/sat"
 )
@@ -194,6 +195,7 @@ func (e *Engine) EnumerateModelsPar(limit int, yield func(logic.Interp) bool, op
 			}
 			return em.emit(m)
 		})
+		oracle.CheckEnumerate(s)
 	}
 
 	par.ForEach(opt.Workers, 1<<k, runCube)

@@ -8,6 +8,7 @@ import (
 
 	"disjunct/internal/bitset"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/oracle"
@@ -180,7 +181,7 @@ func TestEnumerateModelsParCountDeterministic(t *testing.T) {
 }
 
 func TestParallelLimitAndEarlyStop(t *testing.T) {
-	d := db.MustParse("a | b. c | d. e | f.")
+	d := dbtest.MustParse("a | b. c | d. e | f.")
 	e := NewEngine(d, nil)
 	count := e.MinimalModelsPar(3, func(logic.Interp) bool { return true }, ParOptions{Workers: 4})
 	if count != 3 {

@@ -1,0 +1,186 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/faults"
+	"disjunct/internal/logic"
+)
+
+// chain builds the satisfiable CNF (x0) ∧ (¬x0 ∨ x1) ∧ … over n vars.
+func chain(n int) logic.CNF {
+	cnf := logic.CNF{{logic.PosLit(0)}}
+	for v := 1; v < n; v++ {
+		cnf = append(cnf, logic.Clause{logic.NegLit(logic.Atom(v - 1)), logic.PosLit(logic.Atom(v))})
+	}
+	return cnf
+}
+
+// satCall runs one Sat query converting a budget trip back to an error.
+func satCall(o *NP, n int, cnf logic.CNF) (ok bool, err error) {
+	defer budget.Recover(&err)
+	ok, _ = o.Sat(n, cnf)
+	return ok, nil
+}
+
+// TestNPCallBudgetExactCounters: with an NP-call budget of k, exactly k
+// calls are served and the counter reads exactly k at the trip — exact
+// up to the interruption point.
+func TestNPCallBudgetExactCounters(t *testing.T) {
+	const k = 3
+	o := NewNP().WithBudget(budget.New(context.Background(), budget.Limits{NPCalls: k}))
+	for i := 0; i < k; i++ {
+		ok, err := satCall(o, 4, chain(4))
+		if err != nil || !ok {
+			t.Fatalf("call %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	_, err := satCall(o, 4, chain(4))
+	if !errors.Is(err, budget.ErrNPCallBudget) {
+		t.Fatalf("call %d: err=%v, want ErrNPCallBudget", k, err)
+	}
+	if got := o.Counters().NPCalls; got != k {
+		t.Fatalf("NPCalls = %d, want exactly %d (no count for the interrupted call)", got, k)
+	}
+}
+
+// TestConflictBudgetAcrossCalls: the conflict budget is shared across
+// oracle calls — once the cumulative conflicts exceed it, the next
+// search trips with the typed cause.
+func TestConflictBudgetAcrossCalls(t *testing.T) {
+	o := NewNP().WithBudget(budget.New(context.Background(), budget.Limits{Conflicts: 3}))
+	// Pigeonhole PHP(5,4) forces far more than 3 conflicts.
+	n := 4
+	nv := (n + 1) * n
+	var cnf logic.CNF
+	v := func(p, h int) logic.Atom { return logic.Atom(p*n + h) }
+	for p := 0; p <= n; p++ {
+		var c logic.Clause
+		for h := 0; h < n; h++ {
+			c = append(c, logic.PosLit(v(p, h)))
+		}
+		cnf = append(cnf, c)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				cnf = append(cnf, logic.Clause{logic.NegLit(v(p1, h)), logic.NegLit(v(p2, h))})
+			}
+		}
+	}
+	_, err := satCall(o, nv, cnf)
+	if !errors.Is(err, budget.ErrConflictBudget) {
+		t.Fatalf("err = %v, want ErrConflictBudget", err)
+	}
+	// Sticky: the next call reports the same cause without solving.
+	before := o.Counters().NPCalls
+	_, err = satCall(o, 4, chain(4))
+	if !errors.Is(err, budget.ErrConflictBudget) {
+		t.Fatalf("subsequent call: %v", err)
+	}
+	if got := o.Counters().NPCalls; got != before {
+		t.Fatalf("interrupted call was counted: %d -> %d", before, got)
+	}
+}
+
+// TestFaultsDeterministicOutcome: two oracles with identical injector
+// seeds produce the identical sequence of verdicts/errors and end with
+// identical counters.
+func TestFaultsDeterministicOutcome(t *testing.T) {
+	run := func() ([]error, Counters) {
+		o := NewNP().WithFaults(faults.NewInjector(0.5, 1234))
+		var errs []error
+		for i := 0; i < 40; i++ {
+			_, err := satCall(o, 5, chain(5))
+			errs = append(errs, err)
+		}
+		return errs, o.Counters()
+	}
+	errsA, cA := run()
+	errsB, cB := run()
+	if cA != cB {
+		t.Fatalf("counters diverge: %+v vs %+v", cA, cB)
+	}
+	for i := range errsA {
+		a, b := errsA[i], errsB[i]
+		if (a == nil) != (b == nil) || (a != nil && a.Error() != b.Error()) {
+			t.Fatalf("call %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestFaultsOnlyTypedErrors: every fault-induced failure surfaces as a
+// typed interruption (never a bare panic, never an untyped error), and
+// completed calls return correct verdicts.
+func TestFaultsOnlyTypedErrors(t *testing.T) {
+	o := NewNP().WithFaults(faults.NewInjector(0.9, 77))
+	completed, interrupted := 0, 0
+	for i := 0; i < 200; i++ {
+		ok, err := satCall(o, 5, chain(5))
+		if err != nil {
+			if !budget.Interrupted(err) {
+				t.Fatalf("call %d: untyped error %v", i, err)
+			}
+			interrupted++
+			continue
+		}
+		if !ok {
+			t.Fatalf("call %d: chain CNF is satisfiable, got UNSAT", i)
+		}
+		completed++
+	}
+	if interrupted == 0 {
+		t.Fatal("rate-0.9 injector never interrupted in 200 calls")
+	}
+	if completed == 0 {
+		t.Fatal("latency/retried-transient calls should still complete some of the time")
+	}
+}
+
+// TestTransientRetryCountsOnce: a retried transient failure is one
+// logical NP call — NPCalls increments once per Sat invocation no
+// matter how many injected retries it absorbed.
+func TestTransientRetryCountsOnce(t *testing.T) {
+	o := NewNP().WithFaults(faults.NewInjector(0.5, 42))
+	served := int64(0)
+	for i := 0; i < 60; i++ {
+		if _, err := satCall(o, 3, chain(3)); err == nil {
+			served++
+		}
+	}
+	// Interrupted calls charge the NP counter too (the call was
+	// admitted before solving began), so NPCalls equals total
+	// invocations, not total solver attempts: retries never inflate it.
+	if got := o.Counters().NPCalls; got != 60 {
+		t.Fatalf("NPCalls = %d, want 60 (one per logical call, retries uncounted)", got)
+	}
+	if served == 0 {
+		t.Fatal("no call survived at rate 0.5")
+	}
+}
+
+// TestBudgetAndFaultsCompose: both attached; every outcome is either a
+// correct verdict or a typed interruption.
+func TestBudgetAndFaultsCompose(t *testing.T) {
+	o := NewNP().
+		WithBudget(budget.New(context.Background(), budget.Limits{NPCalls: 30})).
+		WithFaults(faults.NewInjector(0.3, 9))
+	for i := 0; i < 60; i++ {
+		ok, err := satCall(o, 4, chain(4))
+		if err != nil {
+			if !budget.Interrupted(err) {
+				t.Fatalf("untyped: %v", err)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatal("wrong verdict on satisfiable CNF")
+		}
+	}
+	if got := o.Counters().NPCalls; got > 30 {
+		t.Fatalf("NPCalls = %d exceeds budget 30", got)
+	}
+}

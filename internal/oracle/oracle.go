@@ -38,8 +38,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"disjunct/internal/budget"
 	"disjunct/internal/cache"
+	"disjunct/internal/faults"
 	"disjunct/internal/logic"
 	"disjunct/internal/sat"
 )
@@ -89,6 +92,8 @@ type NP struct {
 	cacheMisses atomic.Int64
 	noPool      atomic.Bool
 	cache       atomic.Pointer[cache.Cache]
+	bres        atomic.Pointer[budget.B]
+	inj         atomic.Pointer[faults.Injector]
 }
 
 // NewNP returns a fresh NP oracle.
@@ -111,6 +116,51 @@ func (o *NP) WithCache(c *cache.Cache) *NP {
 
 // Cache returns the attached verdict cache, nil when caching is off.
 func (o *NP) Cache() *cache.Cache { return o.cache.Load() }
+
+// WithBudget attaches a shared query budget and returns the oracle
+// (chainable). Every subsequent oracle call charges the budget: one
+// NP call per Sat/SatSolver/CountCall, plus conflicts/propagations/
+// deadline polled inside the solver. When a limit trips, the call
+// raises a budget.Interrupt panic, converted into a typed error by
+// the `defer budget.Recover(&err)` at the semantics/enumerator API
+// boundary — counters reflect exactly the work performed before the
+// interruption. A nil budget (the default) imposes no limits.
+func (o *NP) WithBudget(b *budget.B) *NP {
+	o.bres.Store(b)
+	return o
+}
+
+// Budget returns the attached budget, nil when unlimited.
+func (o *NP) Budget() *budget.B { return o.bres.Load() }
+
+// WithFaults attaches a seeded fault injector to the one-shot solve
+// path and returns the oracle (chainable). Injected faults are
+// deterministic in (seed, draw sequence): latency sleeps briefly
+// before solving, transient failures are retried with bounded backoff
+// (promoted to faults.ErrExhausted when retries run out), and
+// spurious cancellations surface as budget.ErrCanceled. Counters are
+// unaffected by retries — a query is one logical NP call no matter
+// how many injected attempts it takes — so a faulted run that
+// completes is counter-identical to a faultless one. Callers must
+// reach the oracle through a budget-aware API boundary (all semantics
+// packages and budgeted enumerators), which converts injected trips
+// into typed errors. A nil injector (the default) injects nothing.
+func (o *NP) WithFaults(in *faults.Injector) *NP {
+	o.inj.Store(in)
+	return o
+}
+
+// Faults returns the attached fault injector, nil when off.
+func (o *NP) Faults() *faults.Injector { return o.inj.Load() }
+
+// chargeCall debits one NP call from the attached budget, raising a
+// budget.Interrupt if the budget is exhausted. Called before the
+// counters record the call, so interrupted queries are never counted.
+func (o *NP) chargeCall() {
+	if err := o.bres.Load().ChargeNPCall(); err != nil {
+		budget.Trip(err)
+	}
+}
 
 // Counters returns the usage counters so far.
 func (o *NP) Counters() Counters {
@@ -200,6 +250,7 @@ func load(s *sat.Solver, cnf logic.CNF) bool {
 // the solver. Either way the answer is bit-identical to what solving
 // would produce, and NPCalls counts the query exactly once.
 func (o *NP) Sat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
+	o.chargeCall()
 	o.npCalls.Add(1)
 	c := o.cache.Load()
 	if c == nil {
@@ -234,9 +285,33 @@ func (o *NP) Sat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
 	return isSat, m
 }
 
-// solveSat is the uncached one-shot satisfiability path.
+// solveSat is the uncached one-shot satisfiability path. With a fault
+// injector attached, each solve attempt may draw an injected fault:
+// latency delays the attempt, a transient failure aborts it and is
+// retried with bounded backoff (each retry is the same logical NP
+// call — counters are charged once, by Sat), and a cancellation or
+// exhausted retry budget raises a budget.Interrupt.
 func (o *NP) solveSat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
+	if in := o.inj.Load(); in != nil {
+	attempts:
+		for attempt := 0; ; attempt++ {
+			switch in.Draw() {
+			case faults.Latency:
+				in.Sleep()
+			case faults.Transient:
+				if attempt >= faults.MaxRetries {
+					budget.Trip(faults.ErrExhausted)
+				}
+				time.Sleep(faults.Backoff(attempt))
+				continue attempts
+			case faults.Cancel:
+				budget.Trip(faults.ErrInjectedCancel)
+			}
+			break
+		}
+	}
 	s := o.getSolver(nVars)
+	s.SetBudget(o.bres.Load())
 	if !load(s, cnf) {
 		// UNSAT detected while adding (a top-level conflict): count it
 		// as one conflict — the solver's own statistic only tracks
@@ -247,6 +322,14 @@ func (o *NP) solveSat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
 	}
 	st := s.Solve()
 	o.satConfl.Add(s.Stats().Conflicts)
+	if st == sat.Unknown {
+		err := s.StopCause()
+		o.putSolver(s)
+		if err == nil {
+			err = budget.ErrCanceled
+		}
+		budget.Trip(err)
+	}
 	if st != sat.Sat {
 		o.putSolver(s)
 		return false, logic.Interp{}
@@ -272,9 +355,11 @@ func (o *NP) solveSat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
 // oracle cannot know when the caller is done with it); it is also not
 // safe for concurrent use — parallel workers each build their own.
 func (o *NP) SatSolver(nVars int, cnf logic.CNF) *sat.Solver {
+	o.chargeCall()
 	o.npCalls.Add(1)
 	o.countBypass()
 	s := sat.New(nVars)
+	s.SetBudget(o.bres.Load())
 	if !load(s, cnf) {
 		o.satConfl.Add(s.Stats().Conflicts + 1)
 	}
@@ -284,6 +369,7 @@ func (o *NP) SatSolver(nVars int, cnf logic.CNF) *sat.Solver {
 // CountCall records one additional NP-oracle invocation (for callers
 // driving an incremental solver directly).
 func (o *NP) CountCall() {
+	o.chargeCall()
 	o.npCalls.Add(1)
 	o.countBypass()
 }
@@ -296,6 +382,32 @@ func (o *NP) CountCall() {
 func (o *NP) countBypass() {
 	if o.cache.Load() != nil {
 		o.cacheMisses.Add(1)
+	}
+}
+
+// CheckSolve inspects the status of a Solve call on an incremental
+// solver (from SatSolver) and raises a budget.Interrupt when the
+// solver stopped because an attached query budget tripped. Statuses
+// other than Unknown — and Unknown caused by the legacy per-solver
+// conflict budget (sat.ErrBudget), which callers set deliberately —
+// pass through unchanged.
+func CheckSolve(s *sat.Solver, st sat.Status) sat.Status {
+	if st == sat.Unknown {
+		if err := s.StopCause(); budget.Interrupted(err) {
+			budget.Trip(err)
+		}
+	}
+	return st
+}
+
+// CheckEnumerate raises a budget.Interrupt when an EnumerateModels
+// loop on s stopped because the attached budget tripped (the solver's
+// enumeration loop treats Unknown as exhaustion, so without this
+// check an interrupted enumeration would be indistinguishable from a
+// complete one). Call it immediately after EnumerateModels returns.
+func CheckEnumerate(s *sat.Solver) {
+	if err := s.StopCause(); budget.Interrupted(err) {
+		budget.Trip(err)
 	}
 }
 

@@ -31,6 +31,13 @@ func Workers(requested int) int {
 // handed out dynamically (an atomic cursor), so uneven item costs are
 // balanced. With workers == 1 (or n == 1) everything runs on the
 // calling goroutine — the serial reference schedule.
+//
+// A panic inside fn (notably a budget.Interrupt raised by a tripped
+// query budget) does not crash the process or leak goroutines: the
+// first panic payload is captured, the remaining work items are
+// drained without running fn, every worker exits, and the panic is
+// re-raised on the calling goroutine — where the caller's deferred
+// budget.Recover can translate it into a typed error.
 func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -47,20 +54,34 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var payload atomic.Pointer[any]
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= n {
+				if i >= n || panicked.Load() {
 					return
 				}
-				fn(i)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							p := r
+							payload.CompareAndSwap(nil, &p)
+							panicked.Store(true)
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if p := payload.Load(); p != nil {
+		panic(*p)
+	}
 }
 
 // MapBool runs fn(i) for every i in [0, n) across workers goroutines

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkers(t *testing.T) {
@@ -43,4 +44,57 @@ func TestMapBool(t *testing.T) {
 			t.Fatalf("MapBool[%d] = %v", i, b)
 		}
 	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || s != "item-3" {
+			t.Fatalf("panic payload = %v, want item-3", r)
+		}
+	}()
+	ForEach(4, 8, func(i int) {
+		if i == 3 {
+			panic("item-3")
+		}
+	})
+}
+
+func TestForEachPanicDrainsWithoutDeadlock(t *testing.T) {
+	// Every item panics; exactly one payload must surface, the pool
+	// must drain, and no goroutine may leak.
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic surfaced")
+				}
+			}()
+			ForEach(8, 64, func(i int) { panic(i) })
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d -> %d", before, runtime.NumGoroutine())
+}
+
+func TestForEachSingleWorkerPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("serial path swallowed the panic")
+		}
+	}()
+	ForEach(1, 4, func(i int) {
+		if i == 2 {
+			panic("serial")
+		}
+	})
 }

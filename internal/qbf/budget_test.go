@@ -1,0 +1,90 @@
+package qbf
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/budget"
+)
+
+func TestSolveBruteTooLarge(t *testing.T) {
+	q := &Instance{NX: 20, NY: 20}
+	_, err := SolveBrute(q)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("SolveBrute oversized: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCEGARBudgetTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tripped := false
+	for iter := 0; iter < 50 && !tripped; iter++ {
+		q := Random3DNF(rng, 4, 4, 8)
+		b := budget.New(context.Background(), budget.Limits{Conflicts: 1})
+		_, _, err := SolveCEGARBudget(q, nil, b)
+		if err != nil {
+			if !budget.Interrupted(err) {
+				t.Fatalf("non-typed interruption: %v", err)
+			}
+			tripped = true
+		}
+	}
+	if !tripped {
+		t.Fatal("conflict budget of 1 never tripped across 50 random instances")
+	}
+}
+
+func TestCEGARBudgetCanceledContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := Random3DNF(rng, 3, 3, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := budget.New(ctx, budget.Limits{})
+	_, _, err := SolveCEGARBudget(q, nil, b)
+	if !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+// TestCEGARBudgetedCompleteMatchesBrute: with a generous budget the
+// budgeted path completes and must agree with the brute-force
+// reference (and with the unbudgeted CEGAR path).
+func TestCEGARBudgetedCompleteMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		q := Random3DNF(rng, 1+rng.Intn(4), 1+rng.Intn(4), 1+rng.Intn(6))
+		want, err := SolveBrute(q)
+		if err != nil {
+			t.Fatalf("brute: %v", err)
+		}
+		b := budget.New(context.Background(), budget.Limits{Conflicts: 1 << 30})
+		got, _, err := SolveCEGARBudget(q, nil, b)
+		if err != nil {
+			t.Fatalf("iter %d: generous budget tripped: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: budgeted CEGAR %v, brute %v", iter, got, want)
+		}
+		plain, _ := SolveCEGAR(q, nil)
+		if got != plain {
+			t.Fatalf("iter %d: budgeted %v, unbudgeted %v", iter, got, plain)
+		}
+	}
+}
+
+func TestForallExistsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 50; iter++ {
+		q := Random3DNF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(5))
+		want, _ := ForallExists(q)
+		got, _, err := ForallExistsBudget(q, budget.New(context.Background(), budget.Limits{Conflicts: 1 << 30}))
+		if err != nil {
+			t.Fatalf("iter %d: generous budget tripped: %v", iter, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: budgeted %v, unbudgeted %v", iter, got, want)
+		}
+	}
+}

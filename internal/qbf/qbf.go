@@ -15,12 +15,18 @@
 package qbf
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"disjunct/internal/budget"
 	"disjunct/internal/logic"
 	"disjunct/internal/sat"
 )
+
+// ErrTooLarge is returned by SolveBrute when the instance exceeds its
+// exhaustive-enumeration cap.
+var ErrTooLarge = errors.New("qbf: instance too large for brute force")
 
 // Instance is a 2-QBF instance ∃X ∀Y. Matrix, with X = atoms 0..NX-1
 // and Y = atoms NX..NX+NY-1 of Voc. The matrix is an arbitrary
@@ -69,20 +75,38 @@ type Stats struct {
 // If witness is non-nil and the result is true, *witness receives the
 // winning X assignment.
 func SolveCEGAR(q *Instance, witness *[]bool) (bool, Stats) {
+	ok, st, _ := SolveCEGARBudget(q, witness, nil)
+	return ok, st
+}
+
+// SolveCEGARBudget is SolveCEGAR under a shared query budget: both
+// cooperating SAT solvers poll b at their conflict/restart boundaries
+// and the refinement loop polls it once per iteration. On
+// interruption it returns a non-nil typed cause (budget.ErrCanceled,
+// ErrDeadline, ErrConflictBudget, ErrPropagationBudget) and the
+// boolean result is meaningless. A nil budget never interrupts.
+func SolveCEGARBudget(q *Instance, witness *[]bool, b *budget.B) (bool, Stats, error) {
 	var st Stats
 	// Abstraction solver: variables are allocated on demand. The first
 	// NX solver vars mirror X.
 	abs := sat.New(q.NX)
+	abs.SetBudget(b)
 	absVoc := logic.NewVocabulary()
 	for i := 0; i < q.NX; i++ {
 		absVoc.Intern(fmt.Sprintf("x%d", i))
 	}
 
 	for {
+		if err := b.Err(); err != nil {
+			return false, st, err
+		}
 		st.Iterations++
 		st.SATCalls++
-		if abs.Solve() != sat.Sat {
-			return false, st
+		switch abs.Solve() {
+		case sat.Unsat:
+			return false, st, nil
+		case sat.Unknown:
+			return false, st, stopCause(abs)
 		}
 		xs := make([]bool, q.NX)
 		for i := range xs {
@@ -92,6 +116,7 @@ func SolveCEGAR(q *Instance, witness *[]bool) (bool, Stats) {
 		verVoc := q.Voc.Clone()
 		cnf := logic.TseitinNeg(q.Matrix, verVoc)
 		ver := sat.New(verVoc.Size())
+		ver.SetBudget(b)
 		okAdd := true
 		for _, cl := range cnf {
 			lits := make([]sat.Lit, len(cl))
@@ -110,12 +135,19 @@ func SolveCEGAR(q *Instance, witness *[]bool) (bool, Stats) {
 			okAdd = ver.AddClause(sat.MkLit(i, xs[i]))
 		}
 		st.SATCalls++
-		if !okAdd || ver.Solve() != sat.Sat {
+		verSt := sat.Unsat
+		if okAdd {
+			verSt = ver.Solve()
+			if verSt == sat.Unknown {
+				return false, st, stopCause(ver)
+			}
+		}
+		if verSt != sat.Sat {
 			// No countermodel: xs is a winning move.
 			if witness != nil {
 				*witness = xs
 			}
-			return true, st
+			return true, st, nil
 		}
 		ys := make([]bool, q.NY)
 		for j := 0; j < q.NY; j++ {
@@ -137,9 +169,18 @@ func SolveCEGAR(q *Instance, witness *[]bool) (bool, Stats) {
 			}
 		}
 		if !okRef {
-			return false, st
+			return false, st, nil
 		}
 	}
+}
+
+// stopCause extracts the typed interruption cause from a solver that
+// returned Unknown, defaulting to ErrCanceled if none was recorded.
+func stopCause(s *sat.Solver) error {
+	if err := s.StopCause(); err != nil {
+		return err
+	}
+	return budget.ErrCanceled
 }
 
 // substituteY fixes the universal variables of the matrix to ys,
@@ -227,11 +268,11 @@ func SolveExpand(q *Instance) bool {
 }
 
 // SolveBrute decides the instance by double enumeration (ground truth
-// for tests; NX+NY ≤ ~20).
-func SolveBrute(q *Instance) bool {
+// for tests; NX+NY ≤ ~20). Above 24 variables it returns ErrTooLarge.
+func SolveBrute(q *Instance) (bool, error) {
 	n := q.NX + q.NY
 	if n > 24 {
-		panic("qbf: SolveBrute limited to 24 variables")
+		return false, fmt.Errorf("%w: SolveBrute limited to 24 variables, got %d", ErrTooLarge, n)
 	}
 	m := logic.NewInterp(q.Voc.Size())
 	for xb := 0; xb < 1<<uint(q.NX); xb++ {
@@ -249,18 +290,25 @@ func SolveBrute(q *Instance) bool {
 			}
 		}
 		if holds {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // ForallExists decides ∀X ∃Y. Matrix (a Π₂ᵖ question) via the dual:
 // it is false iff ∃X ∀Y. ¬Matrix is true.
 func ForallExists(q *Instance) (bool, Stats) {
+	t, st, _ := ForallExistsBudget(q, nil)
+	return t, st
+}
+
+// ForallExistsBudget is ForallExists under a shared query budget; see
+// SolveCEGARBudget for the interruption contract.
+func ForallExistsBudget(q *Instance, b *budget.B) (bool, Stats, error) {
 	dual := &Instance{NX: q.NX, NY: q.NY, Matrix: logic.Not(q.Matrix), Voc: q.Voc}
-	t, st := SolveCEGAR(dual, nil)
-	return !t, st
+	t, st, err := SolveCEGARBudget(dual, nil, b)
+	return !t, st, err
 }
 
 // Random3DNF generates a random ∃X∀Y instance whose matrix is a

@@ -20,7 +20,7 @@ func TestCEGARAgainstBrute(t *testing.T) {
 		if err := q.Validate(); err != nil {
 			t.Fatal(err)
 		}
-		want := SolveBrute(q)
+		want, _ := SolveBrute(q)
 		got, st := SolveCEGAR(q, nil)
 		if got != want {
 			t.Fatalf("iter %d: CEGAR=%v brute=%v (iters=%d)", iter, got, want, st.Iterations)
@@ -65,7 +65,7 @@ func TestExpandAgainstBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	for iter := 0; iter < 200; iter++ {
 		q := Random3DNF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(5))
-		want := SolveBrute(q)
+		want, _ := SolveBrute(q)
 		if got := SolveExpand(q); got != want {
 			t.Fatalf("iter %d: Expand=%v brute=%v", iter, got, want)
 		}

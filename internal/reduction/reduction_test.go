@@ -29,7 +29,7 @@ func cnfSat(cnf [][]int, n int) bool {
 		}
 		cls[i] = sc
 	}
-	ok, _ := sat.BruteForce(n, cls)
+	ok, _, _ := sat.BruteForce(n, cls)
 	return ok
 }
 
@@ -39,7 +39,7 @@ func TestMMNegLiteralFromQBF(t *testing.T) {
 	for iter := 0; iter < 150; iter++ {
 		nx, ny := 1+rng.Intn(3), 1+rng.Intn(3)
 		q := qbf.Random3DNF(rng, nx, ny, 1+rng.Intn(5))
-		want := qbf.SolveBrute(q) // ∃X ∀Y φ
+		want, _ := qbf.SolveBrute(q) // ∃X ∀Y φ
 		d, w, err := MMNegLiteralFromQBF(q)
 		if err != nil {
 			t.Fatal(err)
@@ -142,7 +142,7 @@ func TestDSMExistsFromQBF(t *testing.T) {
 	for iter := 0; iter < 120; iter++ {
 		nx, ny := 1+rng.Intn(2), 1+rng.Intn(2)
 		q := qbf.Random3DNF(rng, nx, ny, 1+rng.Intn(4))
-		want := qbf.SolveBrute(q)
+		want, _ := qbf.SolveBrute(q)
 		d, err := DSMExistsFromQBF(q)
 		if err != nil {
 			t.Fatal(err)

@@ -8,15 +8,24 @@
 package refsem
 
 import (
+	"errors"
+	"fmt"
+
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
 	"disjunct/internal/strat"
 )
 
-// AllInterps enumerates every interpretation over n atoms (n ≤ 22).
-func AllInterps(n int) []logic.Interp {
+// ErrTooLarge is returned when an instance exceeds the exhaustive-
+// enumeration caps (2ⁿ interpretations, 3ⁿ partials). Reference
+// implementations fail cleanly instead of attempting the blowup.
+var ErrTooLarge = errors.New("refsem: instance too large for exhaustive enumeration")
+
+// AllInterps enumerates every interpretation over n atoms (n ≤ 22);
+// larger n yields ErrTooLarge.
+func AllInterps(n int) ([]logic.Interp, error) {
 	if n > 22 {
-		panic("refsem: AllInterps limited to 22 atoms")
+		return nil, fmt.Errorf("%w: AllInterps over %d atoms (max 22)", ErrTooLarge, n)
 	}
 	out := make([]logic.Interp, 0, 1<<uint(n))
 	for bits := 0; bits < 1<<uint(n); bits++ {
@@ -28,13 +37,24 @@ func AllInterps(n int) []logic.Interp {
 		}
 		out = append(out, m)
 	}
+	return out, nil
+}
+
+// allInterps is AllInterps for the in-package reference semantics,
+// which keep their historical panic-free-on-small-inputs signatures;
+// the panic still carries the typed ErrTooLarge.
+func allInterps(n int) []logic.Interp {
+	out, err := AllInterps(n)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
 // Models returns M(DB): all classical models.
 func Models(d *db.DB) []logic.Interp {
 	var out []logic.Interp
-	for _, m := range AllInterps(d.N()) {
+	for _, m := range allInterps(d.N()) {
 		if d.Sat(m) {
 			out = append(out, m)
 		}
@@ -345,7 +365,7 @@ func leastModel(d *db.DB, n int) logic.Interp {
 // M ∈ MM(DB^M), checked from the definition.
 func DSM(d *db.DB) []logic.Interp {
 	var out []logic.Interp
-	for _, m := range AllInterps(d.N()) {
+	for _, m := range allInterps(d.N()) {
 		red := d.Reduct(m)
 		if !red.Sat(m) {
 			continue
@@ -457,10 +477,11 @@ func ICWA(d *db.DB) (result []logic.Interp, ok bool) {
 	return result, true
 }
 
-// AllPartials enumerates every 3-valued interpretation over n atoms.
-func AllPartials(n int) []logic.Partial {
+// AllPartials enumerates every 3-valued interpretation over n atoms
+// (n ≤ 13); larger n yields ErrTooLarge.
+func AllPartials(n int) ([]logic.Partial, error) {
 	if n > 13 {
-		panic("refsem: AllPartials limited to 13 atoms")
+		return nil, fmt.Errorf("%w: AllPartials over %d atoms (max 13)", ErrTooLarge, n)
 	}
 	total := 1
 	for i := 0; i < n; i++ {
@@ -475,6 +496,16 @@ func AllPartials(n int) []logic.Partial {
 			c /= 3
 		}
 		out = append(out, p)
+	}
+	return out, nil
+}
+
+// allPartials is AllPartials panicking with the typed error (see
+// allInterps).
+func allPartials(n int) []logic.Partial {
+	out, err := AllPartials(n)
+	if err != nil {
+		panic(err)
 	}
 	return out
 }
@@ -509,7 +540,7 @@ func sat3Reduct(d *db.DB, p, q logic.Partial) bool {
 
 // PDSM returns the partial stable models, from the definition.
 func PDSM(d *db.DB) []logic.Partial {
-	all := AllPartials(d.N())
+	all := allPartials(d.N())
 	var out []logic.Partial
 	for _, p := range all {
 		if !sat3Reduct(d, p, p) {

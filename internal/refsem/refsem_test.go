@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/strat"
@@ -161,16 +161,24 @@ func TestSameModelSetSemantics(t *testing.T) {
 }
 
 func TestAllInterpsCount(t *testing.T) {
-	if got := len(AllInterps(4)); got != 16 {
+	all4, err := AllInterps(4)
+	if err != nil {
+		t.Fatalf("AllInterps(4): %v", err)
+	}
+	if got := len(all4); got != 16 {
 		t.Fatalf("AllInterps(4) = %d", got)
 	}
-	if got := len(AllPartials(3)); got != 27 {
+	part3, err := AllPartials(3)
+	if err != nil {
+		t.Fatalf("AllPartials(3): %v", err)
+	}
+	if got := len(part3); got != 27 {
 		t.Fatalf("AllPartials(3) = %d", got)
 	}
 }
 
 func TestPreferableGeneralizesSubset(t *testing.T) {
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	pri := strat.NewPriority(d)
 	sub := logic.InterpOf(2, 0)
 	sup := logic.InterpOf(2, 0, 1)

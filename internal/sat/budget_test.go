@@ -1,0 +1,152 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+)
+
+// php builds the pigeonhole principle PHP(n+1, n): unsatisfiable and
+// search-heavy — the canonical budget-tripping workload.
+func php(n int) *Solver {
+	s := New((n + 1) * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p <= n; p++ {
+		c := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = MkLit(v(p, h), true)
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), false), MkLit(v(p2, h), false))
+			}
+		}
+	}
+	return s
+}
+
+func TestBudgetConflictTrip(t *testing.T) {
+	s := php(7)
+	s.SetBudget(budget.New(context.Background(), budget.Limits{Conflicts: 5}))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err := s.StopCause(); !errors.Is(err, budget.ErrConflictBudget) {
+		t.Fatalf("StopCause = %v, want ErrConflictBudget", err)
+	}
+}
+
+func TestBudgetPropagationTrip(t *testing.T) {
+	s := php(7)
+	s.SetBudget(budget.New(context.Background(), budget.Limits{Propagations: 3}))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err := s.StopCause(); !errors.Is(err, budget.ErrPropagationBudget) {
+		t.Fatalf("StopCause = %v, want ErrPropagationBudget", err)
+	}
+}
+
+func TestBudgetContextCancel(t *testing.T) {
+	s := php(6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetBudget(budget.New(ctx, budget.Limits{}))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err := s.StopCause(); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("StopCause = %v, want ErrCanceled", err)
+	}
+}
+
+func TestBudgetDeadline(t *testing.T) {
+	s := php(6)
+	s.SetBudget(budget.New(context.Background(), budget.Limits{Deadline: time.Nanosecond}))
+	time.Sleep(time.Millisecond)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err := s.StopCause(); !errors.Is(err, budget.ErrDeadline) {
+		t.Fatalf("StopCause = %v, want ErrDeadline", err)
+	}
+}
+
+// TestBudgetedCompleteMatchesUnbudgeted: when the budget is generous
+// enough for the search to finish, the verdict and the model are
+// byte-identical to the unbudgeted run (the budget machinery never
+// perturbs search order).
+func TestBudgetedCompleteMatchesUnbudgeted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 3 + rng.Intn(10)
+		clauses := randomCNF(rng, nVars, 2+rng.Intn(3*nVars), 3)
+
+		plain := New(nVars)
+		addAll(plain, clauses)
+		wantSt := plain.Solve()
+
+		bud := New(nVars)
+		addAll(bud, clauses)
+		bud.SetBudget(budget.New(context.Background(), budget.Limits{
+			Conflicts: 1 << 30, Propagations: 1 << 40, Deadline: time.Hour,
+		}))
+		gotSt := bud.Solve()
+
+		if gotSt != wantSt {
+			t.Fatalf("iter %d: budgeted %v, unbudgeted %v", iter, gotSt, wantSt)
+		}
+		if err := bud.StopCause(); err != nil {
+			t.Fatalf("iter %d: completed solve has StopCause %v", iter, err)
+		}
+		if wantSt == Sat {
+			for v := 0; v < nVars; v++ {
+				if plain.Model(v) != bud.Model(v) {
+					t.Fatalf("iter %d: model differs at %d", iter, v)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetResume: a solver whose budget tripped can be re-budgeted
+// (after Reset the stop cause clears) — the enumerator pool depends on
+// this.
+func TestBudgetResetClearsStopCause(t *testing.T) {
+	s := php(7)
+	s.SetBudget(budget.New(context.Background(), budget.Limits{Conflicts: 2}))
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	s.Reset(4)
+	if err := s.StopCause(); err != nil {
+		t.Fatalf("StopCause after Reset = %v", err)
+	}
+	s.AddClause(MkLit(0, true))
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("fresh solve after Reset = %v, want Sat", st)
+	}
+}
+
+func TestBruteForceTooLarge(t *testing.T) {
+	_, _, err := BruteForce(31, nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("BruteForce(31): %v, want ErrTooLarge", err)
+	}
+	_, err = CountModels(64, nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("CountModels(64): %v, want ErrTooLarge", err)
+	}
+	// Within the cap everything still works.
+	ok, model, err := BruteForce(2, [][]Lit{{MkLit(0, true)}, {MkLit(1, false)}})
+	if err != nil || !ok || !model[0] || model[1] {
+		t.Fatalf("BruteForce small: ok=%v model=%v err=%v", ok, model, err)
+	}
+}

@@ -12,7 +12,11 @@ package sat
 // clauses remain in the solver afterwards; callers that need the solver
 // again should enumerate on a throwaway instance.
 //
-// The number of yields is returned.
+// The number of yields is returned. If a budget attached with
+// SetBudget trips mid-enumeration, Solve returns Unknown and the loop
+// stops with the enumeration incomplete; budget-aware callers must
+// check StopCause afterwards to distinguish exhaustion from
+// interruption.
 func (s *Solver) EnumerateModels(projectTo int, limit int, yield func(model []bool) bool) int {
 	count := 0
 	block := make([]Lit, 0, projectTo)

@@ -1,5 +1,16 @@
 package sat
 
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTooLarge is returned by the reference brute-forcers when the
+// instance exceeds their exhaustive-enumeration cap. It is a typed
+// error (not a panic): reference implementations are library code and
+// must fail cleanly on oversized input.
+var ErrTooLarge = errors.New("sat: instance too large for brute force")
+
 // Reference solvers used for cross-validation in tests and as ablation
 // baselines in the benchmark harness:
 //
@@ -11,10 +22,10 @@ package sat
 
 // BruteForce reports satisfiability of the clauses over nVars variables
 // by exhaustive enumeration, returning a model if satisfiable. Intended
-// for nVars ≤ ~20 in tests.
-func BruteForce(nVars int, clauses [][]Lit) (bool, []bool) {
+// for nVars ≤ ~20 in tests; above 30 variables it returns ErrTooLarge.
+func BruteForce(nVars int, clauses [][]Lit) (bool, []bool, error) {
 	if nVars > 30 {
-		panic("sat: BruteForce limited to 30 variables")
+		return false, nil, fmt.Errorf("%w: BruteForce limited to 30 variables, got %d", ErrTooLarge, nVars)
 	}
 	model := make([]bool, nVars)
 	for bits := 0; bits < 1<<uint(nVars); bits++ {
@@ -22,16 +33,17 @@ func BruteForce(nVars int, clauses [][]Lit) (bool, []bool) {
 			model[v] = bits&(1<<uint(v)) != 0
 		}
 		if evalClauses(clauses, model) {
-			return true, model
+			return true, model, nil
 		}
 	}
-	return false, nil
+	return false, nil, nil
 }
 
-// CountModels counts satisfying assignments by exhaustive enumeration.
-func CountModels(nVars int, clauses [][]Lit) int {
+// CountModels counts satisfying assignments by exhaustive enumeration;
+// above 30 variables it returns ErrTooLarge.
+func CountModels(nVars int, clauses [][]Lit) (int, error) {
 	if nVars > 30 {
-		panic("sat: CountModels limited to 30 variables")
+		return 0, fmt.Errorf("%w: CountModels limited to 30 variables, got %d", ErrTooLarge, nVars)
 	}
 	model := make([]bool, nVars)
 	count := 0
@@ -43,7 +55,7 @@ func CountModels(nVars int, clauses [][]Lit) int {
 			count++
 		}
 	}
-	return count
+	return count, nil
 }
 
 func evalClauses(clauses [][]Lit, model []bool) bool {

@@ -11,6 +11,8 @@ package sat
 
 import (
 	"errors"
+
+	"disjunct/internal/budget"
 )
 
 // Lit is a solver literal, 2*v (positive) or 2*v+1 (negative).
@@ -133,6 +135,9 @@ type Solver struct {
 	finalConf []Lit   // failed assumptions of the last Unsat-under-assumptions
 
 	budget     int64 // remaining conflicts before Unknown; <0 = unlimited
+	bres       *budget.B
+	stopErr    error // typed cause of the last Unknown result
+	propsDebit int64 // stats.Propagations already charged to bres
 	noRestarts bool
 	stats      Stats
 	scratch    struct {
@@ -212,6 +217,9 @@ func (s *Solver) Reset(nVars int) {
 	s.model = s.model[:0]
 	s.finalConf = s.finalConf[:0]
 	s.budget = -1
+	s.bres = nil
+	s.stopErr = nil
+	s.propsDebit = 0
 	s.noRestarts = false
 	s.stats = Stats{}
 	s.order.clear()
@@ -235,6 +243,35 @@ func (s *Solver) Stats() Stats { return s.stats }
 // SetConflictBudget limits the total number of conflicts across
 // subsequent Solve calls; pass a negative value for no limit.
 func (s *Solver) SetConflictBudget(n int64) { s.budget = n }
+
+// SetBudget attaches a shared query budget. Solve polls it at
+// conflict, restart, and (sampled) decision boundaries and returns
+// Unknown with StopCause set when it trips. A nil budget (the
+// default) imposes no limit.
+func (s *Solver) SetBudget(b *budget.B) {
+	s.bres = b
+	s.propsDebit = s.stats.Propagations
+}
+
+// StopCause returns the typed reason the most recent Solve call
+// returned Unknown (budget.ErrCanceled, budget.ErrDeadline,
+// budget.ErrConflictBudget, budget.ErrPropagationBudget, or the
+// legacy ErrBudget), or nil if the last call reached a verdict.
+func (s *Solver) StopCause() error { return s.stopErr }
+
+// chargeProps debits propagations performed since the last charge
+// against the attached budget.
+func (s *Solver) chargeProps() error {
+	if s.bres == nil {
+		return nil
+	}
+	d := s.stats.Propagations - s.propsDebit
+	if d == 0 {
+		return nil
+	}
+	s.propsDebit = s.stats.Propagations
+	return s.bres.ChargeProps(d)
+}
 
 // SetRestartsEnabled toggles the Luby restart policy (enabled by
 // default). Disabling it is the restart ablation of the benchmark
@@ -618,8 +655,13 @@ func luby(i int64) int64 {
 // jointly unsatisfiable with the formula.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.stats.Solves++
+	s.stopErr = nil
 	if !s.okay {
 		return Unsat
+	}
+	if err := s.bres.Err(); err != nil {
+		s.stopErr = err
+		return Unknown
 	}
 	for _, a := range assumptions {
 		if a.Var() >= s.nVars {
@@ -635,14 +677,23 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	for {
 		confl := s.propagate()
+		if err := s.chargeProps(); err != nil {
+			s.stopErr = err
+			return Unknown
+		}
 		if confl != nil {
 			s.stats.Conflicts++
 			conflictsAtRestart++
 			if s.budget == 0 {
+				s.stopErr = ErrBudget
 				return Unknown
 			}
 			if s.budget > 0 {
 				s.budget--
+			}
+			if err := s.bres.ChargeConflicts(1); err != nil {
+				s.stopErr = err
+				return Unknown
 			}
 			if s.decisionLevel() <= len(assumptions) {
 				// Conflict at assumption level: analyse which
@@ -686,6 +737,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.stats.Restarts++
 			conflictsAtRestart = 0
 			limit = luby(restarts+1) * 64
+			if err := s.bres.Err(); err != nil {
+				s.stopErr = err
+				return Unknown
+			}
 			s.cancelUntil(len(assumptions))
 			continue
 		}
@@ -714,6 +769,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			return Sat
 		}
 		s.stats.Decisions++
+		// Conflict-free searches never reach the boundary checks above,
+		// so poll ctx/deadline on a sampled subset of decisions too.
+		if s.stats.Decisions&255 == 0 {
+			if err := s.bres.Err(); err != nil {
+				s.stopErr = err
+				return Unknown
+			}
+		}
 		s.trailLn = append(s.trailLn, int32(len(s.trail)))
 		s.uncheckedEnqueue(MkLit(v, s.phase[v]), nil)
 	}

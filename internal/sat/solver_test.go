@@ -141,7 +141,7 @@ func TestRandomAgainstBruteForce(t *testing.T) {
 		nVars := 3 + rng.Intn(8)
 		nClauses := 1 + rng.Intn(4*nVars)
 		cls := randomCNF(rng, nVars, nClauses, 2+rng.Intn(2))
-		want, _ := BruteForce(nVars, cls)
+		want, _, _ := BruteForce(nVars, cls)
 
 		s := New(nVars)
 		okAdd := addAll(s, cls)
@@ -185,7 +185,7 @@ func TestRandomAssumptionsAgainstBruteForce(t *testing.T) {
 		for _, a := range assume {
 			ref = append(ref, []Lit{a})
 		}
-		want, _ := BruteForce(nVars, ref)
+		want, _, _ := BruteForce(nVars, ref)
 
 		s := New(nVars)
 		addAll(s, cls)
@@ -194,7 +194,7 @@ func TestRandomAssumptionsAgainstBruteForce(t *testing.T) {
 			t.Fatalf("iter %d: want sat=%v got %v (assume=%v)", iter, want, got, assume)
 		}
 		// Solver must be reusable: repeat without assumptions.
-		want2, _ := BruteForce(nVars, cls)
+		want2, _, _ := BruteForce(nVars, cls)
 		if got2 := s.Solve(); (got2 == Sat) != want2 {
 			t.Fatalf("iter %d: reuse after assumptions broken: want sat=%v got %v", iter, want2, got2)
 		}
@@ -206,7 +206,7 @@ func TestDPLLAgainstBruteForce(t *testing.T) {
 	for iter := 0; iter < 800; iter++ {
 		nVars := 3 + rng.Intn(7)
 		cls := randomCNF(rng, nVars, 1+rng.Intn(4*nVars), 3)
-		want, _ := BruteForce(nVars, cls)
+		want, _, _ := BruteForce(nVars, cls)
 		got, model := DPLL(nVars, cls, -1)
 		if (got == Sat) != want {
 			t.Fatalf("iter %d: DPLL=%v, brute=%v", iter, got, want)
@@ -243,7 +243,7 @@ func TestEnumerateModelsCountsMatchBruteForce(t *testing.T) {
 	for iter := 0; iter < 500; iter++ {
 		nVars := 2 + rng.Intn(6)
 		cls := randomCNF(rng, nVars, 1+rng.Intn(3*nVars), 2)
-		want := CountModels(nVars, cls)
+		want, _ := CountModels(nVars, cls)
 		s := New(nVars)
 		addAll(s, cls)
 		got := s.EnumerateModels(nVars, 0, func([]bool) bool { return true })
@@ -343,7 +343,7 @@ func TestQuickCheckSolverSound(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		nVars := 2 + int(nv%8)
 		cls := randomCNF(rng, nVars, 1+int(nc%24), 3)
-		want, _ := BruteForce(nVars, cls)
+		want, _, _ := BruteForce(nVars, cls)
 		s := New(nVars)
 		addAll(s, cls)
 		return (s.Solve() == Sat) == want
@@ -382,7 +382,7 @@ func TestRestartsToggleStillComplete(t *testing.T) {
 	for iter := 0; iter < 500; iter++ {
 		nVars := 3 + rng.Intn(7)
 		cls := randomCNF(rng, nVars, 1+rng.Intn(4*nVars), 3)
-		want, _ := BruteForce(nVars, cls)
+		want, _, _ := BruteForce(nVars, cls)
 		s := New(nVars)
 		s.SetRestartsEnabled(false)
 		addAll(s, cls)
@@ -448,7 +448,7 @@ func TestSolverStressRandomSequence(t *testing.T) {
 		for _, a := range assume {
 			ref = append(ref, []Lit{a})
 		}
-		want, _ := BruteForce(nVars, ref)
+		want, _, _ := BruteForce(nVars, ref)
 		if got := s.Solve(assume...); (got == Sat) != want {
 			t.Fatalf("step %d: got %v want sat=%v (assume=%v, %d clauses)",
 				step, got, want, assume, len(clauses))

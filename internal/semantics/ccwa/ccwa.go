@@ -16,6 +16,7 @@
 package ccwa
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -106,7 +107,8 @@ func (s *Sem) closureCNF(d *db.DB) logic.CNF {
 // the negations holding in all minimal models) — the Π₂ᵖ-complete
 // core, decided by one minimal-model entailment co-search.
 // Other literals: classical entailment from the closure.
-func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
+func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (ok bool, err error) {
+	defer budget.Recover(&err)
 	eng, part := s.engine(d)
 	if !l.IsPos() && part.P.Test(int(l.Atom())) {
 		// CCWA ⊨ ¬x ⟺ MM(DB;P;Z) ⊨ ¬x, provided DB is consistent;
@@ -121,7 +123,8 @@ func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
 
 // InferFormula decides CCWA(DB) ⊨ f by computing the closure and one
 // classical entailment check.
-func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	cnf := s.closureCNF(d)
 	return s.opts.Oracle.Entails(d.N(), cnf, f, d.Voc), nil
 }
@@ -131,21 +134,22 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // satisfiability: O(1) — constantly true, zero oracle calls — on
 // positive DDBs without integrity clauses (Table 1), one NP call
 // otherwise (the NP-complete cell of Table 2).
-func (s *Sem) HasModel(d *db.DB) (bool, error) {
+func (s *Sem) HasModel(d *db.DB) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if !d.HasNegation() && !d.HasIntegrityClauses() {
 		return true, nil // the all-true interpretation is a model
 	}
 	eng, _ := s.engine(d)
-	ok, _ := eng.HasModel()
+	ok, _ = eng.HasModel()
 	return ok, nil
 }
 
 // Models enumerates CCWA(DB) — the classical models of the closure.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	cnf := s.closureCNF(d)
 	n := d.N()
 	solver := s.opts.Oracle.SatSolver(n, cnf)
-	count := 0
 	solver.EnumerateModels(n, limit, func(model []bool) bool {
 		s.opts.Oracle.CountCall()
 		m := logic.NewInterp(n)
@@ -155,6 +159,7 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 		count++
 		return yield(m)
 	})
+	oracle.CheckEnumerate(solver)
 	return count, nil
 }
 
@@ -163,7 +168,8 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // verifier inside the Π₂ᵖ membership arguments; here each closure atom
 // costs one minimal-model entailment query, and only atoms true in m
 // need checking.)
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if !d.Sat(m) {
 		return false, nil
 	}

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -46,7 +46,7 @@ func TestPaperPartitionExample(t *testing.T) {
 	// given in full; instead use its explicit partition example:
 	// V = {a,b,c}, P = {a}, Q = {b}, Z = {c} over DB = {a ∨ b}.
 	// MM(DB;P;Z) per the paper: {b},{b,c},{a},{a,c}.
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	d.Voc.Intern("c")
 	a, _ := d.Voc.Lookup("a")
 	c, _ := d.Voc.Lookup("c")
@@ -175,10 +175,10 @@ func TestCCWAWithFullPartitionIsGCWA(t *testing.T) {
 
 func TestHasModel(t *testing.T) {
 	s := newSem(nil)
-	if ok, _ := s.HasModel(db.MustParse("a | b. c :- b.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. c :- b.")); !ok {
 		t.Fatalf("want model")
 	}
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a. :- b.")); ok {
 		t.Fatalf("want no model")
 	}
 }

@@ -30,6 +30,7 @@ package ccwa
 import (
 	"strconv"
 
+	"disjunct/internal/budget"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -38,7 +39,8 @@ import (
 // InferFormulaDeltaLog decides CCWA(DB) ⊨ f with O(log |P|) Σ₂ᵖ oracle
 // calls. It returns the same verdict as InferFormula (the benchmark
 // suite cross-checks them).
-func (s *Sem) InferFormulaDeltaLog(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormulaDeltaLog(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	part := s.opts.PartitionFor(d)
 	q := &deltaLogSolver{sem: s, d: d, part: part}
 	nP := part.P.Count()

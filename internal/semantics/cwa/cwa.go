@@ -18,6 +18,7 @@ package cwa
 import (
 	"fmt"
 
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -97,7 +98,8 @@ func (s *Sem) closureCNF(d *db.DB) logic.CNF {
 
 // HasModel decides CWA(DB) ≠ ∅ by computing the closure: n+1 NP calls.
 // See HasModelLogCalls for the O(log n)-call upper bound.
-func (s *Sem) HasModel(d *db.DB) (bool, error) {
+func (s *Sem) HasModel(d *db.DB) (ok bool, err error) {
+	defer budget.Recover(&err)
 	sat, _ := s.opts.Oracle.Sat(d.N(), s.closureCNF(d))
 	return sat, nil
 }
@@ -126,7 +128,8 @@ func (s *Sem) HasModel(d *db.DB) (bool, error) {
 // model M contains a non-entailed atom x (witnessed by N ∌ x), then
 // E ⊊ M strictly; E being a model would contradict M's minimality if
 // E were a model — and if E is not a model, CWA(DB) = ∅.
-func (s *Sem) HasModelLogCalls(d *db.DB) (bool, error) {
+func (s *Sem) HasModelLogCalls(d *db.DB) (ok bool, err error) {
+	defer budget.Recover(&err)
 	n := d.N()
 	base := d.ToCNF()
 	if sat, _ := s.opts.Oracle.Sat(n, base); !sat {
@@ -207,7 +210,8 @@ func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
 }
 
 // InferFormula decides CWA(DB) ⊨ f.
-func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	return s.opts.Oracle.Entails(d.N(), s.closureCNF(d), f, d.Voc), nil
 }
 
@@ -215,10 +219,10 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // paper: CWA "enforces a unique model of the DB if the result is
 // consistent"): every atom is either entailed — true in all models —
 // or negated by the closure.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	n := d.N()
 	solver := s.opts.Oracle.SatSolver(n, s.closureCNF(d))
-	count := 0
 	solver.EnumerateModels(n, limit, func(model []bool) bool {
 		s.opts.Oracle.CountCall()
 		m := logic.NewInterp(n)
@@ -228,12 +232,14 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 		count++
 		return yield(m)
 	})
+	oracle.CheckEnumerate(solver)
 	return count, nil
 }
 
 // CheckModel reports whether m ∈ CWA(DB): m models DB and every atom
 // of m is classically entailed (one NP call per true atom).
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if !d.Sat(m) {
 		return false, nil
 	}

@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -51,7 +52,7 @@ func TestRegistered(t *testing.T) {
 func TestDisjunctionInconsistent(t *testing.T) {
 	// The paper's point: CWA(a ∨ b) adds both ¬a and ¬b and becomes
 	// inconsistent.
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	s := New(core.Options{})
 	ok, err := s.HasModel(d)
 	if err != nil {
@@ -63,7 +64,7 @@ func TestDisjunctionInconsistent(t *testing.T) {
 }
 
 func TestHornUnique(t *testing.T) {
-	d := db.MustParse("a. b :- a. d :- e.")
+	d := dbtest.MustParse("a. b :- a. d :- e.")
 	s := New(core.Options{})
 	ok, _ := s.HasModel(d)
 	if !ok {

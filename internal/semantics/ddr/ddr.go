@@ -21,6 +21,7 @@ package ddr
 
 import (
 	"disjunct/internal/bitset"
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/fixpoint"
@@ -106,7 +107,8 @@ func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
 
 // InferFormula decides DDR(DB) ⊨ f: classical entailment from the
 // closure (coNP; one NP-oracle call after the polynomial fixpoint).
-func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return false, err
 	}
@@ -117,25 +119,26 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // positive DDB without integrity clauses this is constantly true (the
 // occurring atoms themselves form a model); with integrity clauses it
 // is NP-complete.
-func (s *Sem) HasModel(d *db.DB) (bool, error) {
+func (s *Sem) HasModel(d *db.DB) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return false, err
 	}
 	if !d.HasIntegrityClauses() {
 		return true, nil
 	}
-	ok, _ := s.opts.Oracle.Sat(d.N(), s.closureCNF(d))
+	ok, _ = s.opts.Oracle.Sat(d.N(), s.closureCNF(d))
 	return ok, nil
 }
 
 // Models enumerates DDR(DB): the models of the closure.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return 0, err
 	}
 	n := d.N()
 	solver := s.opts.Oracle.SatSolver(n, s.closureCNF(d))
-	count := 0
 	solver.EnumerateModels(n, limit, func(model []bool) bool {
 		s.opts.Oracle.CountCall()
 		m := logic.NewInterp(n)
@@ -145,6 +148,7 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 		count++
 		return yield(m)
 	})
+	oracle.CheckEnumerate(solver)
 	return count, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -22,7 +23,7 @@ func TestRegisteredBothNames(t *testing.T) {
 func TestPaperExample31(t *testing.T) {
 	// Example 3.1: DB = {a∨b, ←a∧b, c←a∧b}: DDR(DB) ⊭ ¬c — the
 	// fixpoint ignores the integrity clause, so c still "occurs".
-	d := db.MustParse("a | b. :- a, b. c :- a, b.")
+	d := dbtest.MustParse("a | b. :- a, b. c :- a, b.")
 	s := New(core.Options{})
 	c, _ := d.Voc.Lookup("c")
 	got, err := s.InferLiteral(d, logic.NegLit(c))
@@ -43,7 +44,7 @@ func TestOccurrenceVsSubsumption(t *testing.T) {
 	// DB = {a, a∨b}: the disjunction a∨b is itself in T_DB↑0, so b
 	// occurs and ¬b is NOT inferred — DDR is weaker than GCWA, which
 	// infers ¬b (unique minimal model {a}).
-	d := db.MustParse("a. a | b.")
+	d := dbtest.MustParse("a. a | b.")
 	s := New(core.Options{})
 	b, _ := d.Voc.Lookup("b")
 	if got, _ := s.InferLiteral(d, logic.NegLit(b)); got {
@@ -155,7 +156,7 @@ func TestTractableCellUsesNoOracle(t *testing.T) {
 }
 
 func TestNegationUnsupported(t *testing.T) {
-	d := db.MustParse("a :- not b.")
+	d := dbtest.MustParse("a :- not b.")
 	s := New(core.Options{})
 	if _, err := s.InferLiteral(d, logic.PosLit(0)); err != core.ErrUnsupported {
 		t.Fatalf("DDR with negation should be unsupported, got %v", err)
@@ -164,12 +165,12 @@ func TestNegationUnsupported(t *testing.T) {
 
 func TestHasModel(t *testing.T) {
 	s := New(core.Options{})
-	if ok, _ := s.HasModel(db.MustParse("a | b.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b.")); !ok {
 		t.Fatalf("no-IC DDR model must exist")
 	}
 	// DDR model existence with integrity clauses can fail even when DB
 	// is satisfiable: non-occurring atoms are forced false.
-	d := db.MustParse("a | b. c. :- c, a. :- c, b.")
+	d := dbtest.MustParse("a | b. c. :- c, a. :- c, b.")
 	if ok, _ := s.HasModel(d); ok {
 		t.Fatalf("DDR(DB) should be empty: ICs contradict every closure model")
 	}

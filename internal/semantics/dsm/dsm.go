@@ -20,6 +20,7 @@
 package dsm
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -66,9 +67,9 @@ func (s *Sem) IsStable(d *db.DB, m logic.Interp) bool {
 // Models enumerates DSM(DB): the minimal models of DB that pass the
 // stability check. (DSM(DB) ⊆ MM(DB), so enumerating minimal models
 // loses nothing.)
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
-	count := 0
 	eng.MinimalModels(0, func(m logic.Interp) bool {
 		if !s.IsStable(d, m) {
 			return true
@@ -90,7 +91,8 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // worker-count-invariant; with limit > 0 candidate collection still
 // runs to completion before filtering. Yield order is
 // nondeterministic.
-func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
 	var cands []logic.Interp
 	eng.MinimalModelsPar(0, func(m logic.Interp) bool {
@@ -100,7 +102,6 @@ func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt 
 	stable := par.MapBool(opt.Workers, len(cands), func(i int) bool {
 		return s.IsStable(d, cands[i])
 	})
-	count := 0
 	for i, ok := range stable {
 		if !ok {
 			continue
@@ -155,6 +156,7 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // CheckModel reports whether m is a disjunctive stable model (the
 // polynomial reduct plus one NP-oracle minimality call — the verifier
 // of Theorem 5.11).
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	return s.IsStable(d, m), nil
 }

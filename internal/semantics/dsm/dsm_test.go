@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -21,7 +21,7 @@ func TestClassicStableExamples(t *testing.T) {
 	s := New(core.Options{})
 
 	// {a ← ¬b, b ← ¬a}: two stable models {a} and {b}.
-	d := db.MustParse("a :- not b. b :- not a.")
+	d := dbtest.MustParse("a :- not b. b :- not a.")
 	var got []string
 	s.Models(d, 0, func(m logic.Interp) bool {
 		got = append(got, m.String(d.Voc))
@@ -32,13 +32,13 @@ func TestClassicStableExamples(t *testing.T) {
 	}
 
 	// {a ← ¬a}: no stable model.
-	d2 := db.MustParse("a :- not a.")
+	d2 := dbtest.MustParse("a :- not a.")
 	if ok, _ := s.HasModel(d2); ok {
 		t.Fatalf("odd loop must have no stable model")
 	}
 
 	// Disjunctive: {a ∨ b}: stable models {a}, {b}.
-	d3 := db.MustParse("a | b.")
+	d3 := dbtest.MustParse("a | b.")
 	count, _ := s.Models(d3, 0, func(logic.Interp) bool { return true })
 	if count != 2 {
 		t.Fatalf("a|b: %d stable models, want 2", count)
@@ -155,7 +155,7 @@ func TestHasModelMatchesReference(t *testing.T) {
 
 func TestIsStable(t *testing.T) {
 	s := New(core.Options{})
-	d := db.MustParse("a :- not b. b :- not a.")
+	d := dbtest.MustParse("a :- not b. b :- not a.")
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")
 	if !s.IsStable(d, logic.InterpOf(2, a)) {

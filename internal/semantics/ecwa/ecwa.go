@@ -13,6 +13,7 @@
 package ecwa
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -59,7 +60,8 @@ func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
 // InferFormula decides MM(DB;P;Z) ⊨ f via the minimal-model
 // entailment co-search (Π₂ᵖ membership, Theorem 3.7: a guessed
 // countermodel is verified minimal with one NP-oracle call).
-func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
 	return eng.MMEntails(f, s.opts.PartitionFor(d)), nil
 }
@@ -67,22 +69,23 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // HasModel decides MM(DB;P;Z) ≠ ∅ ⟺ DB satisfiable (every model of a
 // finite propositional DB sits above some (P;Z)-minimal one): O(1) on
 // positive DDBs without integrity clauses, one NP call otherwise.
-func (s *Sem) HasModel(d *db.DB) (bool, error) {
+func (s *Sem) HasModel(d *db.DB) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if !d.HasNegation() && !d.HasIntegrityClauses() {
 		return true, nil // the all-true interpretation is a model
 	}
 	eng := models.NewEngine(d, s.opts.Oracle)
-	ok, _ := eng.HasModel()
+	ok, _ = eng.HasModel()
 	return ok, nil
 }
 
 // Models enumerates MM(DB;P;Z) exactly — including Z-variants — by
 // enumerating all models and filtering by the one-NP-call minimality
 // check. Exponential in general; intended for small databases.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
 	part := s.opts.PartitionFor(d)
-	count := 0
 	eng.EnumerateModels(0, func(m logic.Interp) bool {
 		if !eng.IsMinimalPZ(m, part) {
 			return true
@@ -103,10 +106,10 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // matches Models exactly and — since every model is checked exactly
 // once — the oracle-call total is worker-count-invariant when
 // limit ≤ 0. Yield order is nondeterministic.
-func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
 	part := s.opts.PartitionFor(d)
-	count := 0
 	eng.EnumerateModelsPar(0, func(m logic.Interp) bool {
 		if !eng.IsMinimalPZ(m, part) {
 			return true
@@ -122,7 +125,8 @@ func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt 
 
 // CheckModel reports whether m ∈ MM(DB;P;Z): one model evaluation plus
 // one NP-oracle (minimality) call — the verifier of Theorem 3.7.
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if !d.Sat(m) {
 		return false, nil
 	}
@@ -133,8 +137,9 @@ func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
 // InferFormulaWitness is InferFormula returning, on failure, a
 // concrete (P;Z)-minimal countermodel — the "minimal world" in which
 // the query is false.
-func (s *Sem) InferFormulaWitness(d *db.DB, f *logic.Formula) (bool, logic.Interp, error) {
+func (s *Sem) InferFormulaWitness(d *db.DB, f *logic.Formula) (ok bool, w logic.Interp, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.opts.Oracle)
-	holds, w := eng.MMEntailsWitness(f, s.opts.PartitionFor(d))
-	return holds, w, nil
+	ok, w = eng.MMEntailsWitness(f, s.opts.PartitionFor(d))
+	return ok, w, nil
 }

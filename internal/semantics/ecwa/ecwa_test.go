@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -123,10 +123,10 @@ func TestLiteralInference(t *testing.T) {
 
 func TestHasModelIsSatisfiability(t *testing.T) {
 	s := New(core.Options{})
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a.")); !ok {
 		t.Fatalf("satisfiable DB must have an ECWA model")
 	}
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a. :- b.")); ok {
 		t.Fatalf("unsatisfiable DB must have no ECWA model")
 	}
 }

@@ -15,6 +15,7 @@
 package egcwa
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -70,9 +71,14 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // filter-all-models route — under full minimisation the minimal models
 // ARE their signatures, so the set is identical while the search only
 // ever visits minimal territory. Yield order is nondeterministic.
-func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
 	eng := models.NewEngine(d, s.Oracle())
-	return eng.MinimalModelsPar(limit, yield, opt), nil
+	eng.MinimalModelsPar(limit, func(m logic.Interp) bool {
+		count++
+		return yield(m)
+	}, opt)
+	return count, nil
 }
 
 // CheckModel reports whether m is a minimal model of d.

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -42,7 +42,7 @@ func TestEGCWAInfersIntegrityClauses(t *testing.T) {
 	// Yahya–Henschen motivation: EGCWA infers the integrity clause
 	// ¬(a ∧ b) from a ∨ b (true in both minimal models), which plain
 	// GCWA-closure does not add as a literal.
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	s := New(core.Options{})
 	f := logic.MustParseFormula("-(a & b)", d.Voc)
 	got, err := s.InferFormula(d, f)
@@ -80,14 +80,14 @@ func TestEGCWAStrongerThanGCWAOnFormulas(t *testing.T) {
 func TestHasModelNPCell(t *testing.T) {
 	s := New(core.Options{})
 	// Positive DDB: O(1) — always true.
-	if ok, _ := s.HasModel(db.MustParse("a | b. c :- a.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. c :- a.")); !ok {
 		t.Fatalf("positive DDB must have minimal models")
 	}
 	// With integrity clauses: satisfiability (NP cell of Table 2).
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a. :- b.")); ok {
 		t.Fatalf("unsatisfiable DDDB must have no EGCWA model")
 	}
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a.")); !ok {
 		t.Fatalf("satisfiable DDDB must have an EGCWA model")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -37,7 +38,7 @@ func TestMinkerExample(t *testing.T) {
 	// ¬a nor ¬b is inferred, but ¬(a∧b) holds in all GCWA models and
 	// GCWA(DB) excludes nothing beyond M(DB)... in fact no atom is
 	// false in all minimal models, so GCWA(DB) = M(DB).
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	s := newSem()
 	for _, name := range []string{"a", "b"} {
 		a, _ := d.Voc.Lookup(name)
@@ -56,7 +57,7 @@ func TestMinkerExample(t *testing.T) {
 
 func TestGCWANegatesUnsupportedAtom(t *testing.T) {
 	// c occurs in no head: GCWA ⊨ ¬c.
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	c := d.Voc.Intern("c")
 	s := newSem()
 	if got, _ := s.InferLiteral(d, logic.NegLit(c)); !got {
@@ -175,16 +176,16 @@ func ceilLog2(x int) int {
 
 func TestHasModel(t *testing.T) {
 	s := newSem()
-	if ok, _ := s.HasModel(db.MustParse("a | b.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b.")); !ok {
 		t.Fatalf("positive DDB always has a GCWA model")
 	}
-	if ok, _ := s.HasModel(db.MustParse("a. :- a.")); ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a. :- a.")); ok {
 		t.Fatalf("inconsistent DB has no GCWA model")
 	}
 }
 
 func TestNegatedAtoms(t *testing.T) {
-	d := db.MustParse("a | b. c :- a, b.")
+	d := dbtest.MustParse("a | b. c :- a, b.")
 	s := newSem()
 	neg := s.NegatedAtoms(d)
 	// Minimal models {a},{b}: c false in both → ¬c; a,b not.

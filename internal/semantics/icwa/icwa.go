@@ -25,6 +25,7 @@ package icwa
 
 import (
 	"disjunct/internal/bitset"
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -100,7 +101,8 @@ func (s *Sem) prep(d *db.DB) (*db.DB, []models.Partition, error) {
 
 // IsICWAModel reports whether m ∈ ICWA(DB): m models the head-shifted
 // database and is (Pᵢ;Zᵢ)-minimal at every stratum (r NP calls).
-func (s *Sem) IsICWAModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) IsICWAModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	shifted, parts, err := s.prep(d)
 	if err != nil {
 		return false, err
@@ -141,7 +143,8 @@ func (s *Sem) HasModel(d *db.DB) (bool, error) {
 // model of DB′ ∧ ¬f, verify prioritised minimality (r NP calls); on
 // failure, block the candidate and the superset cone of its
 // prioritised minimisation, and continue.
-func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
+func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (ok bool, err error) {
+	defer budget.Recover(&err)
 	shifted, parts, err := s.prep(d)
 	if err != nil {
 		return false, err
@@ -232,13 +235,13 @@ func (s *Sem) InferLiteral(d *db.DB, l logic.Lit) (bool, error) {
 // Models enumerates ICWA(DB) by filtering all models of the
 // head-shifted database through the per-stratum minimality checks.
 // Exponential; intended for small databases.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	shifted, parts, err := s.prep(d)
 	if err != nil {
 		return 0, err
 	}
 	eng := models.NewEngine(shifted, s.opts.Oracle)
-	count := 0
 	eng.EnumerateModels(0, func(m logic.Interp) bool {
 		for _, p := range parts {
 			if !eng.IsMinimalPZ(m, p) {

@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
@@ -21,7 +22,7 @@ func TestRegistered(t *testing.T) {
 
 func TestStratifiedBasics(t *testing.T) {
 	// {b; a ← ¬b}: strata put b below a; ICWA model: {b} (a closed off).
-	d := db.MustParse("b. a :- not b.")
+	d := dbtest.MustParse("b. a :- not b.")
 	s := New(core.Options{})
 	var got []string
 	if _, err := s.Models(d, 0, func(m logic.Interp) bool {
@@ -135,7 +136,7 @@ func TestHasModelO1(t *testing.T) {
 }
 
 func TestUnstratifiableRejected(t *testing.T) {
-	d := db.MustParse("a :- not b. b :- not a.")
+	d := dbtest.MustParse("a :- not b. b :- not a.")
 	s := New(core.Options{})
 	if _, err := s.HasModel(d); err != core.ErrNotStratifiable {
 		t.Fatalf("want ErrNotStratifiable, got %v", err)
@@ -143,7 +144,7 @@ func TestUnstratifiableRejected(t *testing.T) {
 }
 
 func TestIntegrityClausesUnsupported(t *testing.T) {
-	d := db.MustParse("a. :- a, b.")
+	d := dbtest.MustParse("a. :- a, b.")
 	s := New(core.Options{})
 	if _, err := s.HasModel(d); err != core.ErrUnsupported {
 		t.Fatalf("want ErrUnsupported, got %v", err)
@@ -151,7 +152,7 @@ func TestIntegrityClausesUnsupported(t *testing.T) {
 }
 
 func TestIsICWAModel(t *testing.T) {
-	d := db.MustParse("b. a :- not b.")
+	d := dbtest.MustParse("b. a :- not b.")
 	s := New(core.Options{})
 	b, _ := d.Voc.Lookup("b")
 	a, _ := d.Voc.Lookup("a")

@@ -31,6 +31,7 @@
 package pdsm
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -206,13 +207,13 @@ func (s *Sem) hasSmallerReductModel(d *db.DB, p logic.Partial) bool {
 
 // PartialModels enumerates the partial stable models of d over the 3ⁿ
 // candidate space. limit ≤ 0 means unlimited. Returns the count.
-func (s *Sem) PartialModels(d *db.DB, limit int, yield func(logic.Partial) bool) (int, error) {
+func (s *Sem) PartialModels(d *db.DB, limit int, yield func(logic.Partial) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	n := d.N()
 	if n > 18 {
 		return 0, core.ErrUnsupported // 3^n candidate space
 	}
 	p := logic.NewPartial(n)
-	count := 0
 	var rec func(v int) bool
 	rec = func(v int) bool {
 		if v == n {
@@ -294,7 +295,8 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // CheckModel reports whether the TOTAL interpretation m is a partial
 // stable model (total partial stable models = disjunctive stable
 // models).
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	p := logic.NewPartial(d.N())
 	for v := 0; v < d.N(); v++ {
 		if m.Holds(logic.Atom(v)) {

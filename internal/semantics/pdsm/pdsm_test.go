@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -49,7 +50,7 @@ func samePartialSet(a, b []logic.Partial) bool {
 func TestWellFoundedExample(t *testing.T) {
 	// {a ← ¬a}: the unique partial stable model has a undefined —
 	// PDSM extends the well-founded semantics.
-	d := db.MustParse("a :- not a.")
+	d := dbtest.MustParse("a :- not a.")
 	s := New(core.Options{})
 	ps := collectPartials(t, s, d)
 	if len(ps) != 1 {
@@ -69,7 +70,7 @@ func TestWellFoundedExample(t *testing.T) {
 func TestEvenLoopPartialModels(t *testing.T) {
 	// {a ← ¬b, b ← ¬a}: partial stable models are {a=1,b=0},
 	// {a=0,b=1} and the well-founded {a=½, b=½}.
-	d := db.MustParse("a :- not b. b :- not a.")
+	d := dbtest.MustParse("a :- not b. b :- not a.")
 	s := New(core.Options{})
 	ps := collectPartials(t, s, d)
 	if len(ps) != 3 {
@@ -138,7 +139,7 @@ func TestInferenceThreeValued(t *testing.T) {
 	// In {a←¬a} the unique PSM has a=½, so neither a nor ¬a is
 	// inferred, but a∨¬a is still NOT inferred 3-valuedly (value ½) —
 	// the semantics is genuinely 3-valued.
-	d := db.MustParse("a :- not a.")
+	d := dbtest.MustParse("a :- not a.")
 	s := New(core.Options{})
 	a, _ := d.Voc.Lookup("a")
 	if got, _ := s.InferLiteral(d, logic.PosLit(a)); got {
@@ -154,7 +155,7 @@ func TestInferenceThreeValued(t *testing.T) {
 }
 
 func TestIsPartialStableSpotChecks(t *testing.T) {
-	d := db.MustParse("a :- not b. b :- not a.")
+	d := dbtest.MustParse("a :- not b. b :- not a.")
 	s := New(core.Options{})
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")

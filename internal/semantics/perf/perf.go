@@ -18,6 +18,7 @@
 package perf
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
@@ -99,13 +100,13 @@ func (s *Sem) IsPerfect(d *db.DB, m logic.Interp, pri *strat.Priority) bool {
 
 // Models enumerates PERF(DB). Perfect models are minimal, so the
 // candidates are MM(DB), each checked with one NP call.
-func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, error) {
+func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (count int, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return 0, err
 	}
 	pri := strat.NewPriority(d)
 	eng := models.NewEngine(d, s.opts.Oracle)
-	count := 0
 	eng.MinimalModels(0, func(m logic.Interp) bool {
 		if !s.IsPerfect(d, m, pri) {
 			return true
@@ -127,7 +128,8 @@ func (s *Sem) Models(d *db.DB, limit int, yield func(logic.Interp) bool) (int, e
 // oracle-call total is worker-count-invariant; with limit > 0 the
 // candidate collection still runs to completion before filtering.
 // Yield order is nondeterministic.
-func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (int, error) {
+func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt models.ParOptions) (count int, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return 0, err
 	}
@@ -141,7 +143,6 @@ func (s *Sem) ModelsPar(d *db.DB, limit int, yield func(logic.Interp) bool, opt 
 	perfect := par.MapBool(opt.Workers, len(cands), func(i int) bool {
 		return s.IsPerfect(d, cands[i], pri)
 	})
-	count := 0
 	for i, ok := range perfect {
 		if !ok {
 			continue
@@ -195,7 +196,8 @@ func (s *Sem) InferFormula(d *db.DB, f *logic.Formula) (bool, error) {
 // CheckModel reports whether m is a perfect model: one model
 // evaluation plus one NP-oracle preferability call (the paper's
 // "M is a perfect model of DB iff DB′ has no model").
-func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (bool, error) {
+func (s *Sem) CheckModel(d *db.DB, m logic.Interp) (ok bool, err error) {
+	defer budget.Recover(&err)
 	if err := s.check(d); err != nil {
 		return false, err
 	}

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/core"
-	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -20,7 +20,7 @@ func TestRegistered(t *testing.T) {
 
 func TestStratifiedExample(t *testing.T) {
 	// DB = {a ← ¬b}: priority a < b; unique perfect model {a}.
-	d := db.MustParse("a :- not b.")
+	d := dbtest.MustParse("a :- not b.")
 	s := New(core.Options{})
 	var got []string
 	if _, err := s.Models(d, 0, func(m logic.Interp) bool {
@@ -130,7 +130,7 @@ func TestHasModelMatchesReference(t *testing.T) {
 }
 
 func TestIntegrityClausesUnsupported(t *testing.T) {
-	d := db.MustParse("a. :- a, b.")
+	d := dbtest.MustParse("a. :- a, b.")
 	s := New(core.Options{})
 	if _, err := s.HasModel(d); err != core.ErrUnsupported {
 		t.Fatalf("PERF with integrity clauses should be unsupported, got %v", err)
@@ -162,7 +162,7 @@ func TestIsPerfectAgainstReference(t *testing.T) {
 
 func TestPriorityRelation(t *testing.T) {
 	// a ← b ∧ ¬c: a ≤ b, a < c.
-	d := db.MustParse("a :- b, not c.")
+	d := dbtest.MustParse("a :- b, not c.")
 	pri := strat.NewPriority(d)
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")

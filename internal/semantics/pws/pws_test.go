@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/core"
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -23,7 +24,7 @@ func TestSplitProgramSemantics(t *testing.T) {
 	// DB = {a∨b, c←a∧b}: possible models are {a}, {b}, {a,b,c} —
 	// note {a,b} is NOT possible ({a,b} split derives c) and {a,c} is
 	// not possible either (c needs both a and b).
-	d := db.MustParse("a | b. c :- a, b.")
+	d := dbtest.MustParse("a | b. c :- a, b.")
 	s := New(core.Options{})
 	var got []string
 	if _, err := s.Models(d, 0, func(m logic.Interp) bool {
@@ -46,7 +47,7 @@ func TestSplitProgramSemantics(t *testing.T) {
 func TestPWSDiffersFromDDR(t *testing.T) {
 	// On DB = {a∨b, c←a∧b}, the formula ¬c ∨ (a∧b) holds in every
 	// possible model but fails in the DDR model {a,c}.
-	d := db.MustParse("a | b. c :- a, b.")
+	d := dbtest.MustParse("a | b. c :- a, b.")
 	s := New(core.Options{})
 	f := logic.MustParseFormula("-c | (a & b)", d.Voc)
 	got, err := s.InferFormula(d, f)
@@ -146,7 +147,7 @@ func TestTractableCellUsesNoOracle(t *testing.T) {
 func TestIntegrityClausesRespected(t *testing.T) {
 	// Unlike DDR, PWS respects integrity clauses (Chan's improvement):
 	// in Example 3.1, PWS infers ¬c.
-	d := db.MustParse("a | b. :- a, b. c :- a, b.")
+	d := dbtest.MustParse("a | b. :- a, b. c :- a, b.")
 	s := New(core.Options{})
 	c, _ := d.Voc.Lookup("c")
 	got, err := s.InferLiteral(d, logic.NegLit(c))
@@ -159,7 +160,7 @@ func TestIntegrityClausesRespected(t *testing.T) {
 }
 
 func TestNegationUnsupported(t *testing.T) {
-	d := db.MustParse("a :- not b.")
+	d := dbtest.MustParse("a :- not b.")
 	s := New(core.Options{})
 	if _, err := s.InferLiteral(d, logic.PosLit(0)); err != core.ErrUnsupported {
 		t.Fatalf("PWS with negation should be unsupported, got %v", err)
@@ -168,10 +169,10 @@ func TestNegationUnsupported(t *testing.T) {
 
 func TestHasModel(t *testing.T) {
 	s := New(core.Options{})
-	if ok, _ := s.HasModel(db.MustParse("a | b.")); !ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b.")); !ok {
 		t.Fatalf("PWS model must exist without ICs")
 	}
-	if ok, _ := s.HasModel(db.MustParse("a | b. :- a. :- b.")); ok {
+	if ok, _ := s.HasModel(dbtest.MustParse("a | b. :- a. :- b.")); ok {
 		t.Fatalf("no possible world survives the ICs")
 	}
 }

@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 )
 
 func TestStratifyPositive(t *testing.T) {
-	d := db.MustParse("a | b. c :- a.")
+	d := dbtest.MustParse("a | b. c :- a.")
 	s, ok := Compute(d)
 	if !ok {
 		t.Fatalf("positive DB must stratify")
@@ -23,7 +24,7 @@ func TestStratifyPositive(t *testing.T) {
 }
 
 func TestStratifyLayered(t *testing.T) {
-	d := db.MustParse("b. a :- not b. c :- not a.")
+	d := dbtest.MustParse("b. a :- not b. c :- not a.")
 	s, ok := Compute(d)
 	if !ok {
 		t.Fatalf("must stratify")
@@ -48,7 +49,7 @@ func TestUnstratifiable(t *testing.T) {
 		"a :- not b. b :- not a.",
 		"a :- b. b :- not c. c :- a.",
 	} {
-		d := db.MustParse(src)
+		d := dbtest.MustParse(src)
 		if _, ok := Compute(d); ok {
 			t.Fatalf("%q should not stratify", src)
 		}
@@ -57,7 +58,7 @@ func TestUnstratifiable(t *testing.T) {
 
 func TestHeadAtomsShareStratum(t *testing.T) {
 	// a and b share a head; b is negated below c; a must sit with b.
-	d := db.MustParse("a | b. c :- not b.")
+	d := dbtest.MustParse("a | b. c :- not b.")
 	s, ok := Compute(d)
 	if !ok {
 		t.Fatalf("must stratify")
@@ -75,14 +76,14 @@ func TestHeadAtomsShareStratum(t *testing.T) {
 func TestDisjunctiveHeadCycleThroughNegation(t *testing.T) {
 	// Head sharing forces a,b together; b :- not a then needs
 	// level(b) > level(a) = level(b): unstratifiable.
-	d := db.MustParse("a | b. b :- not a.")
+	d := dbtest.MustParse("a | b. b :- not a.")
 	if _, ok := Compute(d); ok {
 		t.Fatalf("should not stratify: negation inside a head-equivalence class")
 	}
 }
 
 func TestCheckRejectsBadStratification(t *testing.T) {
-	d := db.MustParse("b. a :- not b.")
+	d := dbtest.MustParse("b. a :- not b.")
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")
 	bad := Stratification{Level: make([]int, d.N()), R: 1}
@@ -112,7 +113,7 @@ func TestGeneratedStratifiedAlwaysStratifies(t *testing.T) {
 }
 
 func TestLayers(t *testing.T) {
-	d := db.MustParse("b. a :- not b. c :- not a.")
+	d := dbtest.MustParse("b. a :- not b. c :- not a.")
 	s, _ := Compute(d)
 	layers := Layers(d, s)
 	if len(layers) != s.R {
@@ -128,7 +129,7 @@ func TestLayers(t *testing.T) {
 }
 
 func TestPriorityTransitivity(t *testing.T) {
-	d := db.MustParse("a :- not b. b :- not c.")
+	d := dbtest.MustParse("a :- not b. b :- not c.")
 	p := NewPriority(d)
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")
@@ -142,7 +143,7 @@ func TestPriorityTransitivity(t *testing.T) {
 }
 
 func TestPriorityHeadEquivalence(t *testing.T) {
-	d := db.MustParse("a | b.")
+	d := dbtest.MustParse("a | b.")
 	p := NewPriority(d)
 	a, _ := d.Voc.Lookup("a")
 	b, _ := d.Voc.Lookup("b")
@@ -155,7 +156,7 @@ func TestPriorityHeadEquivalence(t *testing.T) {
 }
 
 func TestPriorityReflexive(t *testing.T) {
-	d := db.MustParse("a.")
+	d := dbtest.MustParse("a.")
 	p := NewPriority(d)
 	if !p.Leq(0, 0) || p.Less(0, 0) {
 		t.Fatalf("reflexivity broken")
@@ -173,7 +174,7 @@ func TestClassify(t *testing.T) {
 		{"a :- not a.", db.ClassDNDB},
 	}
 	for _, tc := range cases {
-		if got := Classify(db.MustParse(tc.src)); got != tc.want {
+		if got := Classify(dbtest.MustParse(tc.src)); got != tc.want {
 			t.Fatalf("%q: Classify = %v, want %v", tc.src, got, tc.want)
 		}
 	}

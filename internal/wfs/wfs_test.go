@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"disjunct/internal/db"
+	"disjunct/internal/dbtest"
 	"disjunct/internal/gen"
 	"disjunct/internal/logic"
 	"disjunct/internal/refsem"
@@ -25,7 +26,7 @@ func TestClassics(t *testing.T) {
 		{"a :- b. b :- a.", map[string]logic.TruthValue{"a": logic.False, "b": logic.False}},
 	}
 	for _, tc := range cases {
-		d := db.MustParse(tc.src)
+		d := dbtest.MustParse(tc.src)
 		p := Compute(d)
 		for name, want := range tc.want {
 			a, ok := d.Voc.Lookup(name)
@@ -45,17 +46,17 @@ func TestNotNormalPanics(t *testing.T) {
 			t.Fatalf("want panic on disjunctive program")
 		}
 	}()
-	Compute(db.MustParse("a | b."))
+	Compute(dbtest.MustParse("a | b."))
 }
 
 func TestIsNormal(t *testing.T) {
-	if !IsNormal(db.MustParse("a :- not b. b.")) {
+	if !IsNormal(dbtest.MustParse("a :- not b. b.")) {
 		t.Fatalf("NLP misclassified")
 	}
-	if IsNormal(db.MustParse("a | b.")) {
+	if IsNormal(dbtest.MustParse("a | b.")) {
 		t.Fatalf("disjunctive head accepted")
 	}
-	if IsNormal(db.MustParse("a. :- a.")) {
+	if IsNormal(dbtest.MustParse("a. :- a.")) {
 		t.Fatalf("integrity clause accepted")
 	}
 }
