@@ -4,7 +4,7 @@ GO ?= go
 # Mirrored by ci.yml's STATICCHECK_VERSION — bump both together.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test vet lint race bench report report-full soak chaos fuzz clean
+.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke clean
 
 all: build test
 
@@ -44,7 +44,13 @@ soak:
 # Bounded chaos soak: budgets + deadline + seeded fault injection.
 # Fails on silent corruption, untyped interruptions, or goroutine leaks.
 chaos:
-	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -v
+	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -servefrac 0.3 -v
+
+# End-to-end service smoke: real binaries, offered load above the
+# admission limit, 5% injected faults, SIGTERM drain. Fails on untyped
+# outcomes, verdict divergence, goroutine leaks, or a dirty drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .

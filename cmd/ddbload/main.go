@@ -1,0 +1,117 @@
+// Command ddbload drives a running ddbserve instance with a seeded,
+// open-loop workload and verifies the robustness contract: every
+// offered request must terminate as exactly one of completed (with a
+// verdict byte-identical to a direct library call on the same input),
+// incomplete with a typed budget cause, shed with a typed 429/503, or
+// rejected with a typed 422. A single untyped outcome or diverging
+// verdict fails the run.
+//
+// With -sweep, ddbload runs the same workload at several offered rates
+// and prints a table of completed/shed/interrupted counts per rate —
+// the load-shed sweep recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"disjunct/internal/serve"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8091", "ddbserve base URL")
+		rate     = flag.Float64("rate", 50, "offered requests/second")
+		requests = flag.Int("requests", 200, "total requests to offer")
+		workers  = flag.Int("workers", 16, "concurrent HTTP clients")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		maxAtoms = flag.Int("maxatoms", 5, "vocabulary bound for generated databases")
+		deadline = flag.Duration("deadline", 10*time.Second, "per-request client deadline ask")
+		confl    = flag.Int64("conflictbudget", 0, "per-request conflict-budget ask (0 = none)")
+		npcalls  = flag.Int64("npcallbudget", 0, "per-request NP-call-budget ask (0 = none)")
+		verify   = flag.Bool("verify", true, "cross-check completed verdicts against direct library calls")
+		settle   = flag.Bool("settle", false, "after the run, require server goroutines to settle near idle baseline")
+		sweep    = flag.String("sweep", "", "comma-separated offered rates; run the workload once per rate and print a table")
+	)
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		BaseURL:  *baseURL,
+		Rate:     *rate,
+		Requests: *requests,
+		Workers:  *workers,
+		Seed:     *seed,
+		MaxAtoms: *maxAtoms,
+		Verify:   *verify,
+		Limits: serve.LimitsJSON{
+			DeadlineMS: deadline.Milliseconds(),
+			Conflicts:  *confl,
+			NPCalls:    *npcalls,
+		},
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	baseline := -1
+	if h, err := serve.FetchHealth(client, *baseURL); err == nil {
+		baseline = h.Goroutines
+	}
+
+	fail := false
+	if *sweep != "" {
+		fmt.Printf("%10s %10s %10s %10s %10s %10s %10s %10s\n",
+			"rate", "offered", "completed", "interrupt", "shed429", "shed503", "untyped", "divergent")
+		for _, field := range strings.Split(*sweep, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ddbload: bad -sweep rate %q: %v\n", field, err)
+				os.Exit(2)
+			}
+			c := cfg
+			c.Rate = r
+			rep := serve.RunLoad(c)
+			fmt.Printf("%10.0f %10d %10d %10d %10d %10d %10d %10d\n",
+				r, rep.Offered, rep.Completed, rep.Incomplete, rep.Shed429, rep.Shed503, rep.Untyped, rep.Divergent)
+			if !rep.Clean() {
+				fail = true
+				diagnose(rep)
+			}
+		}
+	} else {
+		rep := serve.RunLoad(cfg)
+		fmt.Println(rep.String())
+		if !rep.Clean() {
+			fail = true
+			diagnose(rep)
+		}
+	}
+
+	if *settle && baseline >= 0 {
+		got, ok := serve.AwaitGoroutineSettle(client, *baseURL, baseline, 4, 5*time.Second)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ddbload: goroutines did not settle: baseline=%d now=%d\n", baseline, got)
+			fail = true
+		} else {
+			fmt.Printf("goroutines settled: baseline=%d now=%d\n", baseline, got)
+		}
+	}
+
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func diagnose(rep serve.LoadReport) {
+	for _, n := range rep.UntypedNotes {
+		fmt.Fprintf(os.Stderr, "ddbload: untyped outcome: %s\n", n)
+	}
+	for _, n := range rep.DivergeNotes {
+		fmt.Fprintf(os.Stderr, "ddbload: verdict divergence: %s\n", n)
+	}
+}

@@ -1,0 +1,101 @@
+// Command ddbserve runs the disjunctive-database inference service:
+// HTTP/JSON literal-inference, formula-inference, and model-existence
+// queries over every registered semantics, behind a bounded admission
+// queue, per-semantics circuit breakers, server-side budget ceilings,
+// and a graceful SIGTERM/SIGINT drain.
+//
+// Exit status is 0 after a clean drain (all in-flight work finished
+// inside the drain deadline) and 1 after a forced drain (the deadline
+// expired and stragglers were interrupted with typed budget cancels).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/serve"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8091", "listen address")
+		maxConcurrent = flag.Int("maxconcurrent", 0, "max queries solving at once (0 = GOMAXPROCS)")
+		queueDepth    = flag.Int("queue", 0, "admission queue depth beyond the concurrency limit (0 = 8×concurrency)")
+		drainTimeout  = flag.Duration("draintimeout", 5*time.Second, "grace period for in-flight work on SIGTERM")
+		retryMax      = flag.Int("retrymax", 2, "max server-side retries of transient-class oracle failures")
+		deadlineCap   = flag.Duration("deadlinecap", 30*time.Second, "ceiling on per-request deadlines (0 = unlimited)")
+		conflictCap   = flag.Int64("conflictcap", 0, "ceiling on per-request conflict budgets (0 = unlimited)")
+		propCap       = flag.Int64("propcap", 0, "ceiling on per-request propagation budgets (0 = unlimited)")
+		npCap         = flag.Int64("npcallcap", 0, "ceiling on per-request NP-call budgets (0 = unlimited)")
+		brkThreshold  = flag.Int("breakerthreshold", 5, "consecutive infrastructure failures that open a breaker (0 disables)")
+		brkCooldown   = flag.Duration("breakercooldown", time.Second, "open-breaker cooldown before the half-open probe")
+		faultRate     = flag.Float64("faultrate", 0, "injected oracle fault probability (chaos mode)")
+		faultSeed     = flag.Int64("faultseed", 1, "fault injection seed")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		DrainTimeout:  *drainTimeout,
+		RetryMax:      *retryMax,
+		Ceilings: budget.Limits{
+			Deadline:     *deadlineCap,
+			Conflicts:    *conflictCap,
+			Propagations: *propCap,
+			NPCalls:      *npCap,
+		},
+		Breaker:   serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		FaultRate: *faultRate,
+		FaultSeed: *faultSeed,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ddbserve: listen %s: %v", *addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s)", ln.Addr(), *faultRate, *drainTimeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case s := <-sig:
+		log.Printf("ddbserve: %v: draining (deadline %s)", s, *drainTimeout)
+	case err := <-serveErr:
+		log.Fatalf("ddbserve: serve: %v", err)
+	}
+
+	// Stop accepting new connections first, then drain the query layer.
+	// Shutdown's context bounds only the listener teardown; the query
+	// drain deadline is the server's own DrainTimeout.
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), *drainTimeout+time.Second)
+	defer shutCancel()
+	drainErr := srv.Drain(context.Background())
+	_ = hs.Shutdown(shutCtx)
+
+	if drainErr != nil {
+		if errors.Is(drainErr, serve.ErrDrainForced) {
+			fmt.Fprintln(os.Stderr, "ddbserve: forced drain: in-flight work interrupted with typed cancels")
+			os.Exit(1)
+		}
+		log.Fatalf("ddbserve: drain: %v", drainErr)
+	}
+	log.Printf("ddbserve: clean drain, bye")
+}

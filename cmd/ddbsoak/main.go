@@ -17,17 +17,30 @@
 // typed interruption; anything else (silent corruption, an untyped
 // error, a leaked goroutine) is a divergence.
 //
+// A random subset of iterations (-servefrac) is additionally replayed
+// through an in-process HTTP inference server, cross-checking the full
+// wire path (encode, parse, clamp, admit, execute) against the same
+// brute-force references; in chaos mode the server injects the same
+// fault rate, so served answers must be complete-and-correct or carry
+// a typed interruption cause.
+//
 // Usage:
 //
 //	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N]
-//	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S] [-v]
+//	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S]
+//	        [-servefrac F] [-v]
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"time"
@@ -42,18 +55,9 @@ import (
 	"disjunct/internal/models"
 	"disjunct/internal/oracle"
 	"disjunct/internal/refsem"
+	"disjunct/internal/serve"
 
-	_ "disjunct/internal/semantics/ccwa"
-	_ "disjunct/internal/semantics/cwa"
-	_ "disjunct/internal/semantics/ddr"
-	_ "disjunct/internal/semantics/dsm"
-	_ "disjunct/internal/semantics/ecwa"
-	_ "disjunct/internal/semantics/egcwa"
-	_ "disjunct/internal/semantics/gcwa"
-	_ "disjunct/internal/semantics/icwa"
-	_ "disjunct/internal/semantics/pdsm"
-	_ "disjunct/internal/semantics/perf"
-	_ "disjunct/internal/semantics/pws"
+	_ "disjunct/internal/semantics/all"
 )
 
 func main() {
@@ -66,6 +70,7 @@ func main() {
 	conflictBudget := flag.Int64("conflictbudget", 0, "chaos mode: per-query SAT-conflict budget (0 = unlimited)")
 	faultRate := flag.Float64("faultrate", 0, "chaos mode: injected fault rate (0 = none)")
 	faultSeed := flag.Int64("faultseed", 1, "chaos mode: fault injector seed (salted per iteration)")
+	serveFrac := flag.Float64("servefrac", 0, "fraction of iterations replayed through an in-process HTTP server (0 = off)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -83,6 +88,11 @@ func main() {
 		}
 		fmt.Printf("chaos: deadline=%v conflictbudget=%d faultrate=%g faultseed=%d\n",
 			*deadline, *conflictBudget, *faultRate, *faultSeed)
+	}
+	var sc *serveChecker
+	if *serveFrac > 0 {
+		sc = newServeChecker(*faultRate, *faultSeed)
+		fmt.Printf("serve: servefrac=%g faultrate=%g\n", *serveFrac, *faultRate)
 	}
 	divergences := 0
 	for i := 0; *iters == 0 || i < *iters; i++ {
@@ -106,6 +116,9 @@ func main() {
 		if chaos != nil {
 			ok = chaos.check(d, rng, i) && ok
 		}
+		if sc != nil && rng.Float64() < *serveFrac {
+			ok = sc.check(d, rng) && ok
+		}
 		if !ok {
 			divergences++
 			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
@@ -115,6 +128,16 @@ func main() {
 		rate := float64(cc.hits) / float64(cc.hits+cc.misses)
 		fmt.Printf("cache cross-check: %d iterations, hits=%d misses=%d rate=%.1f%%\n",
 			cc.checked, cc.hits, cc.misses, 100*rate)
+	}
+	// Drain the in-process server before the chaos goroutine-settle
+	// check: its listener and idle keep-alive connections must be gone
+	// for the leak check to see the true baseline.
+	if sc != nil {
+		if !sc.close() {
+			divergences++
+		}
+		fmt.Printf("serve cross-check: %d queries, completed=%d interrupted=%d\n",
+			sc.queries, sc.completed, sc.interrupted)
 	}
 	if chaos != nil {
 		if !chaos.settle() {
@@ -247,6 +270,124 @@ func (ch *chaosChecker) settle() bool {
 	fmt.Printf("  chaos: goroutine leak — %d running, baseline %d\n",
 		runtime.NumGoroutine(), ch.goroutines)
 	return false
+}
+
+// serveChecker replays a subset of iterations through an in-process
+// HTTP inference server and cross-checks the served verdicts against
+// the brute-force reference semantics — the full wire path (JSON
+// encode, parse, clamp, admit, execute, respond) must move nothing.
+// When the soak runs in chaos mode the same fault rate is injected on
+// the server's oracle path, so served answers must additionally obey
+// the three-valued contract: complete-and-correct or interrupted with
+// a typed cause from the closed taxonomy.
+type serveChecker struct {
+	srv         *serve.Server
+	hs          *httptest.Server
+	queries     int
+	completed   int
+	interrupted int
+}
+
+func newServeChecker(faultRate float64, faultSeed int64) *serveChecker {
+	srv := serve.New(serve.Config{FaultRate: faultRate, FaultSeed: faultSeed, RetryMax: 2})
+	return &serveChecker{srv: srv, hs: httptest.NewServer(srv.Handler())}
+}
+
+// close drains the server and reports whether the drain was clean.
+func (sc *serveChecker) close() bool {
+	err := sc.srv.Drain(context.Background())
+	sc.hs.Close()
+	if err != nil {
+		fmt.Printf("  serve: drain after soak: %v\n", err)
+		return false
+	}
+	return true
+}
+
+func (sc *serveChecker) post(path string, req serve.QueryRequest) (int, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := sc.hs.Client().Post(sc.hs.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+func (sc *serveChecker) check(d *db.DB, rng *rand.Rand) bool {
+	// Queries are phrased against the textual form the server parses, so
+	// the database must survive the round trip (atoms in no clause are
+	// dropped by parsing).
+	rt, err := db.Parse(d.String())
+	if err != nil || rt.N() == 0 {
+		return true
+	}
+	lit := logic.NegLit(logic.Atom(rng.Intn(rt.N())))
+	litText := rt.Voc.LitString(lit)
+	ok := true
+
+	type refFn func(*db.DB) []logic.Interp
+	cases := []struct {
+		sem      string
+		ref      refFn
+		positive bool
+		noIC     bool
+	}{
+		{"GCWA", refsem.GCWA, false, false},
+		{"EGCWA", refsem.EGCWA, false, false},
+		{"DDR", refsem.DDR, true, false},
+		{"PWS", refsem.PWS, true, false},
+		{"DSM", refsem.DSM, false, false},
+		{"PERF", refsem.PERF, false, true},
+	}
+	for _, c := range cases {
+		if c.positive && rt.HasNegation() {
+			continue
+		}
+		if c.noIC && rt.HasIntegrityClauses() {
+			continue
+		}
+		sc.queries++
+		status, data, err := sc.post("/v1/infer/literal", serve.QueryRequest{
+			Semantics: c.sem, DB: rt.String(), Literal: litText,
+		})
+		if err != nil {
+			fmt.Printf("  serve %s: transport error %v\n", c.sem, err)
+			ok = false
+			continue
+		}
+		if status != http.StatusOK {
+			fmt.Printf("  serve %s: status %d body %s\n", c.sem, status, data)
+			ok = false
+			continue
+		}
+		var qr serve.QueryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			fmt.Printf("  serve %s: unparseable 200 body %q: %v\n", c.sem, data, err)
+			ok = false
+			continue
+		}
+		if qr.Incomplete {
+			if !serve.KnownCauseCodes[qr.CauseCode] {
+				fmt.Printf("  serve %s: untyped interruption cause %q\n", c.sem, qr.CauseCode)
+				ok = false
+				continue
+			}
+			sc.interrupted++
+			continue
+		}
+		sc.completed++
+		want := refsem.Entails(c.ref(rt), logic.LitF(lit))
+		if qr.Holds != want {
+			fmt.Printf("  serve %s ⊨ %s: served=%v reference=%v\n", c.sem, litText, qr.Holds, want)
+			ok = false
+		}
+	}
+	return ok
 }
 
 // cacheChecker replays production-semantics queries with the oracle

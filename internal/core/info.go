@@ -1,0 +1,82 @@
+package core
+
+import "sort"
+
+// Info describes a registered semantics for dispatchers: the serving
+// layer's /v1/semantics endpoint surfaces it to clients, and workload
+// generators (the loadgen, the soak tester's HTTP cross-check) consult
+// the applicability flags to build databases a semantics is actually
+// defined for instead of provoking ErrUnsupported.
+type Info struct {
+	// Name is the registry key ("GCWA", "DDR", …).
+	Name string `json:"name"`
+	// Complexity summarises the paper's table cells for the three
+	// decision problems (literal inference / formula inference / model
+	// existence) — documentation for clients picking budgets, not a
+	// machine-checked contract (the bench harness audits the cells).
+	Complexity string `json:"complexity"`
+	// NoNegation marks semantics defined only for positive databases
+	// (DDR/WGCWA, PWS/PMS): negation in a body yields ErrUnsupported.
+	NoNegation bool `json:"no_negation,omitempty"`
+	// NoIC marks semantics defined only without integrity clauses
+	// (PERF, ICWA): a headless clause yields ErrUnsupported.
+	NoIC bool `json:"no_ic,omitempty"`
+	// Stratified marks semantics that additionally require a
+	// stratifiable database (ICWA): non-stratifiable input yields
+	// ErrNotStratifiable. The property is dynamic — callers can only
+	// discover it by asking — so dispatchers treat such errors as
+	// semantic outcomes, never as service failures.
+	Stratified bool `json:"stratified,omitempty"`
+}
+
+// Applicable reports whether the info's static applicability flags
+// admit a database with the given syntactic features. (Stratified is
+// dynamic and not decided here.)
+func (i Info) Applicable(hasNegation, hasIC bool) bool {
+	if i.NoNegation && hasNegation {
+		return false
+	}
+	if i.NoIC && hasIC {
+		return false
+	}
+	return true
+}
+
+var infos = map[string]Info{}
+
+// Describe records dispatch metadata for a registered semantics. Like
+// Register it is called from init functions; describing an
+// unregistered name or re-describing a name panics.
+func Describe(info Info) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[info.Name]; !ok {
+		panic("core: Describe before Register: " + info.Name)
+	}
+	if _, dup := infos[info.Name]; dup {
+		panic("core: duplicate Describe: " + info.Name)
+	}
+	infos[info.Name] = info
+}
+
+// InfoFor returns the dispatch metadata for a semantics name. The
+// boolean reports whether the name has been described.
+func InfoFor(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	i, ok := infos[name]
+	return i, ok
+}
+
+// Infos returns the metadata of every described semantics, sorted by
+// name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(infos))
+	for _, i := range infos {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}

@@ -4,6 +4,12 @@
 // goroutine scheduling — whether a given oracle call experiences
 // injected latency, a transient solver failure (retried with bounded
 // backoff by the caller), or a spurious cancellation.
+//
+// Every per-draw quantity (the fault kind, the injected latency, the
+// jittered retry backoff) is a pure function of (seed, draw sequence
+// number): Draw hands the caller its draw's own sequence number, and
+// LatencyFor/BackoffFor derive durations from it, so concurrent draws
+// on a shared injector never perturb each other's outcomes.
 package faults
 
 import (
@@ -26,8 +32,9 @@ const (
 )
 
 // ErrTransient is the retryable failure an Injector raises. Callers
-// retry up to MaxRetries with Backoff between attempts; if retries are
-// exhausted the failure is promoted to a permanent ErrExhausted.
+// retry up to MaxRetries with jittered backoff (BackoffFor) between
+// attempts; if retries are exhausted the failure is promoted to a
+// permanent ErrExhausted.
 var ErrTransient = errors.New("faults: transient solver failure (injected)")
 
 // ErrExhausted wraps ErrTransient once the retry budget is spent. It
@@ -46,6 +53,9 @@ const MaxRetries = 3
 
 // MaxLatency bounds a single injected sleep.
 const MaxLatency = 2 * time.Millisecond
+
+// MaxBackoff bounds a single retry pause (jitter included).
+const MaxBackoff = 2 * time.Millisecond
 
 // Injector is a seeded deterministic fault source, safe for
 // concurrent use. The zero value and a nil *Injector inject nothing.
@@ -78,13 +88,22 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Draw allocates the next sequence number and returns the fault kind
-// for it. The mapping within faulting draws is 40% latency, 40%
-// transient, 20% cancel.
-func (in *Injector) Draw() Kind {
+// for it together with the draw's own sequence number. The sequence
+// number is what makes per-draw randomness race-free: pass it to
+// SleepFor/LatencyFor/BackoffFor and the derived durations depend only
+// on (seed, n), never on how many other goroutines have drawn since.
+// The mapping within faulting draws is 40% latency, 40% transient,
+// 20% cancel. A nil injector returns (None, 0).
+func (in *Injector) Draw() (Kind, uint64) {
 	if in == nil || in.rate == 0 {
-		return None
+		return None, 0
 	}
 	n := in.seq.Add(1)
+	return in.kindFor(n), n
+}
+
+// kindFor is the pure (seed, n) → Kind mapping behind Draw.
+func (in *Injector) kindFor(n uint64) Kind {
 	h := splitmix64(in.seed + n*0x9e3779b97f4a7c15)
 	if h >= in.rate {
 		return None
@@ -100,23 +119,57 @@ func (in *Injector) Draw() Kind {
 	}
 }
 
-// Sleep performs the injected latency for draw n (a small deterministic
-// duration derived from the sequence).
-func (in *Injector) Sleep() {
+// LatencyFor returns the injected latency for draw n: a small
+// deterministic duration in [1µs, MaxLatency), a pure function of
+// (seed, n). A nil injector returns 0.
+func (in *Injector) LatencyFor(n uint64) time.Duration {
 	if in == nil {
-		return
+		return 0
 	}
-	n := in.seq.Load()
-	d := time.Duration(splitmix64(in.seed^n)%uint64(MaxLatency-time.Microsecond)) + time.Microsecond
-	time.Sleep(d)
+	return time.Duration(splitmix64(in.seed^n)%uint64(MaxLatency-time.Microsecond)) + time.Microsecond
 }
 
-// Backoff returns the pause before retry attempt i (0-based),
-// exponential and bounded.
+// SleepFor performs the injected latency for draw n (as returned by
+// Draw). Unlike reading the injector's latest sequence number — which
+// races under concurrent draws — the duration slept is exactly
+// LatencyFor(n) no matter what other goroutines are doing.
+func (in *Injector) SleepFor(n uint64) {
+	if d := in.LatencyFor(n); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// BackoffFor returns the jittered pause before retry attempt
+// (0-based) of draw n: full jitter over (0, Backoff(attempt)],
+// deterministic in (seed, n, attempt). Distinct draws jitter
+// independently, so concurrent retries against the shared solver pool
+// don't synchronize into thundering-herd waves. A nil injector falls
+// back to the deterministic ceiling Backoff(attempt).
+func (in *Injector) BackoffFor(n uint64, attempt int) time.Duration {
+	if in == nil {
+		return Backoff(attempt)
+	}
+	return FullJitter(splitmix64(in.seed^n), attempt)
+}
+
+// Backoff returns the maximum pause before retry attempt i (0-based):
+// exponential and bounded by MaxBackoff. It is the jitter ceiling —
+// callers with a seed should prefer FullJitter/BackoffFor so
+// concurrent retries spread out instead of marching in lockstep.
 func Backoff(attempt int) time.Duration {
 	d := 50 * time.Microsecond << uint(attempt)
-	if d > 2*time.Millisecond {
-		d = 2 * time.Millisecond
+	if d > MaxBackoff {
+		d = MaxBackoff
 	}
 	return d
+}
+
+// FullJitter returns a pause drawn uniformly from (0, Backoff(attempt)]
+// — AWS-style "full jitter", deterministic in (h, attempt). h is any
+// caller-chosen hash (a request id, an injector draw hash); equal
+// inputs give equal pauses, so tests stay reproducible while distinct
+// concurrent retriers decorrelate.
+func FullJitter(h uint64, attempt int) time.Duration {
+	bound := Backoff(attempt)
+	return time.Duration(splitmix64(h+uint64(attempt)*0x9e3779b97f4a7c15)%uint64(bound)) + 1
 }

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,16 +18,22 @@ func TestZeroRateInjectsNothing(t *testing.T) {
 	}
 	var in *Injector
 	for i := 0; i < 100; i++ {
-		if k := in.Draw(); k != None {
-			t.Fatalf("nil injector drew %v", k)
+		if k, n := in.Draw(); k != None || n != 0 {
+			t.Fatalf("nil injector drew %v (seq %d)", k, n)
 		}
+	}
+	if d := in.LatencyFor(7); d != 0 {
+		t.Fatalf("nil injector latency %v", d)
+	}
+	if d := in.BackoffFor(7, 1); d != Backoff(1) {
+		t.Fatalf("nil injector backoff %v, want ceiling %v", d, Backoff(1))
 	}
 }
 
 func TestFullRateAlwaysFaults(t *testing.T) {
 	in := NewInjector(1.0, 7)
 	for i := 0; i < 200; i++ {
-		if k := in.Draw(); k == None {
+		if k, _ := in.Draw(); k == None {
 			t.Fatalf("draw %d: rate-1 injector drew None", i)
 		}
 	}
@@ -36,8 +43,10 @@ func TestDrawsAreDeterministic(t *testing.T) {
 	a := NewInjector(0.3, 42)
 	b := NewInjector(0.3, 42)
 	for i := 0; i < 1000; i++ {
-		if ka, kb := a.Draw(), b.Draw(); ka != kb {
-			t.Fatalf("draw %d: %v != %v with identical seed", i, ka, kb)
+		ka, na := a.Draw()
+		kb, nb := b.Draw()
+		if ka != kb || na != nb {
+			t.Fatalf("draw %d: (%v,%d) != (%v,%d) with identical seed", i, ka, na, kb, nb)
 		}
 	}
 }
@@ -48,7 +57,9 @@ func TestSeedChangesSequence(t *testing.T) {
 	same := 0
 	const n = 500
 	for i := 0; i < n; i++ {
-		if a.Draw() == b.Draw() {
+		ka, _ := a.Draw()
+		kb, _ := b.Draw()
+		if ka == kb {
 			same++
 		}
 	}
@@ -62,7 +73,7 @@ func TestRateIsRoughlyHonoured(t *testing.T) {
 	faults := 0
 	const n = 10000
 	for i := 0; i < n; i++ {
-		if in.Draw() != None {
+		if k, _ := in.Draw(); k != None {
 			faults++
 		}
 	}
@@ -76,7 +87,8 @@ func TestAllKindsOccur(t *testing.T) {
 	in := NewInjector(1.0, 3)
 	seen := map[Kind]int{}
 	for i := 0; i < 500; i++ {
-		seen[in.Draw()]++
+		k, _ := in.Draw()
+		seen[k]++
 	}
 	for _, k := range []Kind{Latency, Transient, Cancel} {
 		if seen[k] == 0 {
@@ -85,17 +97,123 @@ func TestAllKindsOccur(t *testing.T) {
 	}
 }
 
+// TestConcurrentDrawDeterminism is the regression test for the Sleep
+// determinism race: per-draw quantities must be pure functions of
+// (seed, draw seq) even when many goroutines draw concurrently. Each
+// goroutine records (seq → kind, latency, backoff) for its own draws;
+// the union must cover every sequence number exactly once and agree
+// with a serial replay under the same seed.
+func TestConcurrentDrawDeterminism(t *testing.T) {
+	const workers = 8
+	const perWorker = 250
+	in := NewInjector(0.5, 1234)
+
+	type obs struct {
+		kind    Kind
+		latency time.Duration
+		backoff time.Duration
+	}
+	results := make([]map[uint64]obs, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		results[w] = make(map[uint64]obs, perWorker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k, n := in.Draw()
+				results[w][n] = obs{k, in.LatencyFor(n), in.BackoffFor(n, 1)}
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := make(map[uint64]obs, workers*perWorker)
+	for _, m := range results {
+		for n, o := range m {
+			if _, dup := merged[n]; dup {
+				t.Fatalf("sequence number %d allocated twice", n)
+			}
+			merged[n] = o
+		}
+	}
+	if len(merged) != workers*perWorker {
+		t.Fatalf("observed %d distinct draws, want %d", len(merged), workers*perWorker)
+	}
+
+	serial := NewInjector(0.5, 1234)
+	for i := 0; i < workers*perWorker; i++ {
+		k, n := serial.Draw()
+		o, ok := merged[n]
+		if !ok {
+			t.Fatalf("sequence number %d never drawn concurrently", n)
+		}
+		if o.kind != k {
+			t.Fatalf("draw %d: concurrent kind %v, serial kind %v", n, o.kind, k)
+		}
+		if o.latency != serial.LatencyFor(n) {
+			t.Fatalf("draw %d: concurrent latency %v, serial %v", n, o.latency, serial.LatencyFor(n))
+		}
+		if o.backoff != serial.BackoffFor(n, 1) {
+			t.Fatalf("draw %d: concurrent backoff %v, serial %v", n, o.backoff, serial.BackoffFor(n, 1))
+		}
+	}
+}
+
 func TestBackoffBoundedAndMonotone(t *testing.T) {
 	prev := time.Duration(0)
 	for i := 0; i <= MaxRetries+3; i++ {
 		d := Backoff(i)
-		if d <= 0 || d > 2*time.Millisecond {
+		if d <= 0 || d > MaxBackoff {
 			t.Fatalf("Backoff(%d) = %v out of bounds", i, d)
 		}
 		if d < prev {
 			t.Fatalf("Backoff(%d) = %v < Backoff(%d) = %v", i, d, i-1, prev)
 		}
 		prev = d
+	}
+}
+
+func TestFullJitterBoundedAndDeterministic(t *testing.T) {
+	for attempt := 0; attempt <= MaxRetries+2; attempt++ {
+		for h := uint64(0); h < 500; h++ {
+			d := FullJitter(h, attempt)
+			if d <= 0 || d > Backoff(attempt) {
+				t.Fatalf("FullJitter(%d, %d) = %v outside (0, %v]", h, attempt, d, Backoff(attempt))
+			}
+			if d != FullJitter(h, attempt) {
+				t.Fatalf("FullJitter(%d, %d) not deterministic", h, attempt)
+			}
+		}
+	}
+}
+
+// TestFullJitterSpreads checks that distinct hashes decorrelate: over
+// many hashes the jittered pauses must not collapse onto a handful of
+// values (the thundering-herd failure mode the jitter exists to avoid).
+func TestFullJitterSpreads(t *testing.T) {
+	distinct := map[time.Duration]bool{}
+	for h := uint64(0); h < 1000; h++ {
+		distinct[FullJitter(h, MaxRetries)] = true
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("only %d distinct jitter values over 1000 hashes", len(distinct))
+	}
+}
+
+func TestBackoffForMatchesJitterContract(t *testing.T) {
+	in := NewInjector(0.5, 77)
+	for n := uint64(1); n < 200; n++ {
+		for attempt := 0; attempt <= MaxRetries; attempt++ {
+			d := in.BackoffFor(n, attempt)
+			if d <= 0 || d > Backoff(attempt) {
+				t.Fatalf("BackoffFor(%d, %d) = %v outside (0, %v]", n, attempt, d, Backoff(attempt))
+			}
+			if d != in.BackoffFor(n, attempt) {
+				t.Fatalf("BackoffFor(%d, %d) not deterministic", n, attempt)
+			}
+		}
 	}
 }
 

@@ -295,14 +295,18 @@ func (o *NP) solveSat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
 	if in := o.inj.Load(); in != nil {
 	attempts:
 		for attempt := 0; ; attempt++ {
-			switch in.Draw() {
+			kind, n := in.Draw()
+			switch kind {
 			case faults.Latency:
-				in.Sleep()
+				in.SleepFor(n)
 			case faults.Transient:
 				if attempt >= faults.MaxRetries {
 					budget.Trip(faults.ErrExhausted)
 				}
-				time.Sleep(faults.Backoff(attempt))
+				// Full-jitter backoff keyed to this draw: concurrent
+				// retries spread out instead of hammering the solver
+				// pool in lockstep.
+				time.Sleep(in.BackoffFor(n, attempt))
 				continue attempts
 			case faults.Cancel:
 				budget.Trip(faults.ErrInjectedCancel)

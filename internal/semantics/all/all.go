@@ -1,0 +1,20 @@
+// Package all registers every semantics implementation with the core
+// registry. Dispatch-driven binaries (the serving layer, the soak
+// tester, the load generator) blank-import it instead of naming the
+// eleven packages individually, so a newly added semantics becomes
+// servable by appearing here once.
+package all
+
+import (
+	_ "disjunct/internal/semantics/ccwa"
+	_ "disjunct/internal/semantics/cwa"
+	_ "disjunct/internal/semantics/ddr"
+	_ "disjunct/internal/semantics/dsm"
+	_ "disjunct/internal/semantics/ecwa"
+	_ "disjunct/internal/semantics/egcwa"
+	_ "disjunct/internal/semantics/gcwa"
+	_ "disjunct/internal/semantics/icwa"
+	_ "disjunct/internal/semantics/pdsm"
+	_ "disjunct/internal/semantics/perf"
+	_ "disjunct/internal/semantics/pws"
+)

@@ -1,0 +1,57 @@
+package all_test
+
+import (
+	"testing"
+
+	"disjunct/internal/core"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+// TestEveryRegisteredSemanticsIsDescribed pins the dispatch contract:
+// the serving layer and workload generators rely on core.InfoFor for
+// every name core.Names returns.
+func TestEveryRegisteredSemanticsIsDescribed(t *testing.T) {
+	names := core.Names()
+	if len(names) < 11 {
+		t.Fatalf("only %d semantics registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		info, ok := core.InfoFor(name)
+		if !ok {
+			t.Errorf("%s: registered but not described", name)
+			continue
+		}
+		if info.Name != name || info.Complexity == "" {
+			t.Errorf("%s: malformed info %+v", name, info)
+		}
+	}
+	if len(core.Infos()) != len(names) {
+		t.Errorf("Infos() returned %d entries for %d registered names", len(core.Infos()), len(names))
+	}
+}
+
+func TestApplicableFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		negation, ic, expect bool
+	}{
+		{"GCWA", true, true, true},
+		{"DSM", true, true, true},
+		{"DDR", true, false, false},
+		{"DDR", false, true, true},
+		{"PWS", true, false, false},
+		{"PERF", false, true, false},
+		{"PERF", true, false, true},
+		{"ICWA", false, true, false},
+	}
+	for _, c := range cases {
+		info, ok := core.InfoFor(c.name)
+		if !ok {
+			t.Fatalf("%s not described", c.name)
+		}
+		if got := info.Applicable(c.negation, c.ic); got != c.expect {
+			t.Errorf("%s.Applicable(neg=%v, ic=%v) = %v, want %v", c.name, c.negation, c.ic, got, c.expect)
+		}
+	}
+}

@@ -29,6 +29,10 @@ func init() {
 	core.Register("CCWA", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "CCWA",
+		Complexity: "literal Πᵖ₂-complete; formula Πᵖ₂-hard, in P^Σᵖ₂[O(log n)]; existence O(1) positive / NP with IC",
+	})
 }
 
 // Sem is the CCWA semantics.

@@ -31,6 +31,10 @@ func init() {
 	core.Register("CWA", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "CWA",
+		Complexity: "literal/formula coNP; existence coNP-hard, in P^NP[O(log n)]",
+	})
 }
 
 // Sem is Reiter's CWA.

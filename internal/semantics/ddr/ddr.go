@@ -38,6 +38,9 @@ func init() {
 		s.name = "WGCWA"
 		return s
 	})
+	ddrCell := "negative literal in P (no IC) / coNP with IC; formula coNP-complete; existence in P"
+	core.Describe(core.Info{Name: "DDR", Complexity: ddrCell, NoNegation: true})
+	core.Describe(core.Info{Name: "WGCWA", Complexity: ddrCell, NoNegation: true})
 }
 
 // Sem is the DDR ≡ WGCWA semantics.

@@ -33,6 +33,10 @@ func init() {
 	core.Register("DSM", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "DSM",
+		Complexity: "literal/formula Πᵖ₂-complete; existence O(1) positive / Σᵖ₂-complete in general",
+	})
 }
 
 // Sem is the DSM semantics.

@@ -31,6 +31,9 @@ func init() {
 		s.name = "CIRC"
 		return s
 	})
+	ecwaCell := "literal/formula Πᵖ₂-complete; existence O(1) positive / NP with IC"
+	core.Describe(core.Info{Name: "ECWA", Complexity: ecwaCell})
+	core.Describe(core.Info{Name: "CIRC", Complexity: ecwaCell})
 }
 
 // Sem is the ECWA ≡ CIRC semantics.

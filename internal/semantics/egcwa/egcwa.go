@@ -28,6 +28,10 @@ func init() {
 	core.Register("EGCWA", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "EGCWA",
+		Complexity: "literal/formula Πᵖ₂-complete; existence O(1) positive / NP with IC",
+	})
 }
 
 // Sem is the EGCWA semantics.

@@ -38,6 +38,12 @@ func init() {
 	core.Register("ICWA", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "ICWA",
+		Complexity: "literal/formula Πᵖ₂-complete (given stratification); existence O(1)",
+		NoIC:       true,
+		Stratified: true,
+	})
 }
 
 // Sem is the ICWA semantics.

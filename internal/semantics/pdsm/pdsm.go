@@ -42,6 +42,10 @@ func init() {
 	core.Register("PDSM", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "PDSM",
+		Complexity: "literal/formula Πᵖ₂-complete; existence Σᵖ₂-complete (even without IC)",
+	})
 }
 
 // Sem is the PDSM semantics.

@@ -32,6 +32,11 @@ func init() {
 	core.Register("PERF", func(opts core.Options) core.Semantics {
 		return New(opts)
 	})
+	core.Describe(core.Info{
+		Name:       "PERF",
+		Complexity: "literal/formula Πᵖ₂-complete; existence Σᵖ₂-complete (O(1) positive)",
+		NoIC:       true,
+	})
 }
 
 // Sem is the PERF semantics.

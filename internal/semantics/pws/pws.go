@@ -40,6 +40,9 @@ func init() {
 		s.name = "PMS"
 		return s
 	})
+	pwsCell := "negative literal in P (no IC) / coNP with IC; formula coNP-complete; existence NP"
+	core.Describe(core.Info{Name: "PWS", Complexity: pwsCell, NoNegation: true})
+	core.Describe(core.Info{Name: "PMS", Complexity: pwsCell, NoNegation: true})
 }
 
 // Sem is the PWS ≡ PMS semantics.

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-semantics circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive oracle-path failures that
+	// opens the breaker. ≤ 0 disables circuit breaking.
+	Threshold int
+	// Cooldown is how long an open breaker sheds before letting one
+	// probe through (half-open).
+	Cooldown time.Duration
+}
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a circuit breaker guarding one semantics' oracle path.
+// Failures are infrastructure failures only (transient-exhausted
+// solver faults, injected cancels) — a client whose own budget trips
+// is served correctly and must not poison the breaker for everyone
+// else. While open, requests shed instantly with ShedBreakerOpen
+// (sheds fast: no queue slot, no solve work); after Cooldown one probe
+// is admitted, and its outcome decides between closing and re-opening.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg, now: time.Now}
+}
+
+// allow reports whether a request may proceed. When it returns false
+// the request is shed with ShedBreakerOpen and retryAfter estimates
+// when the next probe slot opens.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.cfg.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		// Cooldown over: become half-open and admit this request as
+		// the probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			// Exactly one probe at a time; everyone else sheds until
+			// it reports back.
+			return false, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// record reports the outcome of an admitted request. failure means an
+// infrastructure failure (see breakerFailure); anything else counts as
+// success.
+func (b *breaker) record(failure bool) {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if failure {
+			// Probe failed: reopen and restart the cooldown.
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		} else {
+			b.state = breakerClosed
+			b.failures = 0
+		}
+	case breakerClosed:
+		if !failure {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	case breakerOpen:
+		// A request admitted before the breaker opened finished late;
+		// its outcome is stale — ignore it.
+	}
+}
+
+// snapshot returns the state for health reporting.
+func (b *breaker) snapshot() (state string, failures int) {
+	if b == nil {
+		return breakerClosed.String(), 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String(), b.failures
+}

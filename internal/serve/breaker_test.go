@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown})
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.record(true)
+	}
+	// A success resets the consecutive count.
+	b.record(false)
+	for i := 0; i < 2; i++ {
+		b.record(true)
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatalf("breaker opened below threshold (2 consecutive after reset)")
+	}
+	b.record(true) // third consecutive failure
+	ok, retryAfter := b.allow()
+	if ok {
+		t.Fatalf("breaker did not open at threshold")
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Fatalf("open breaker retryAfter = %v, want in (0, 1s]", retryAfter)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker denied")
+	}
+	b.record(true)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker should be open")
+	}
+	clk.advance(1100 * time.Millisecond)
+	// Cooldown over: exactly one probe is admitted.
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second request admitted while probe in flight")
+	}
+	b.record(false) // probe succeeds
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker did not close after successful probe")
+	}
+	if state, failures := b.snapshot(); state != "closed" || failures != 0 {
+		t.Fatalf("snapshot = (%s, %d), want (closed, 0)", state, failures)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.record(true)
+	clk.advance(1100 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe denied")
+	}
+	b.record(true) // probe fails
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state after failed probe = %s, want open", state)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("reopened breaker admitted a request before cooldown")
+	}
+	// And it recovers again after another full cooldown.
+	clk.advance(1100 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("second probe denied")
+	}
+	b.record(false)
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state after second probe success = %s, want closed", state)
+	}
+}
+
+func TestBreakerStaleResultWhileOpenIgnored(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Minute)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("denied")
+	}
+	b.record(true) // opens
+	// A request admitted before the breaker opened reports success late:
+	// that must not silently close the breaker.
+	b.record(false)
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("stale success closed the breaker (state=%s)", state)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(BreakerConfig{Threshold: 0})
+	for i := 0; i < 100; i++ {
+		b.record(true)
+		if ok, _ := b.allow(); !ok {
+			t.Fatal("disabled breaker shed a request")
+		}
+	}
+	var nilB *breaker
+	if ok, _ := nilB.allow(); !ok {
+		t.Fatal("nil breaker shed")
+	}
+	nilB.record(true) // must not panic
+}

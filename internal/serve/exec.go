@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/core"
+	"disjunct/internal/faults"
+	"disjunct/internal/oracle"
+)
+
+// execute runs one admitted query under its clamped budget, retrying
+// transient-class oracle failures a bounded number of times with
+// seeded full-jitter backoff. It returns the wire response, or a
+// semantic error (ErrUnsupported / ErrNotStratifiable) for the handler
+// to surface as a typed 422.
+//
+// Each attempt gets a fresh budget and oracle: counters in the
+// response are exactly the work of the attempt that produced the
+// verdict, and an interrupted attempt can never leak partial state
+// into the next. The request context is chained to the server's base
+// context, so a drain-deadline cancellation reaches the solver as a
+// typed budget.ErrCanceled mid-attempt.
+func (s *Server) execute(reqCtx context.Context, kind string, pq parsedQuery) (QueryResponse, error) {
+	seq := s.reqSeq.Add(1)
+
+	// A query budget must observe both the client connection and the
+	// server's drain-deadline cancellation.
+	ctx, cancel := context.WithCancelCause(reqCtx)
+	defer cancel(nil)
+	stop := context.AfterFunc(s.baseCtx, func() { cancel(context.Cause(s.baseCtx)) })
+	defer stop()
+	// AfterFunc runs asynchronously; if the drain deadline has already
+	// fired, cancel synchronously so even an instant query cannot race
+	// past a forced drain and report a complete verdict.
+	if s.baseCtx.Err() != nil {
+		cancel(context.Cause(s.baseCtx))
+	}
+
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		b := budget.New(ctx, pq.eff)
+		o := oracle.NewNP().WithBudget(b)
+		if s.cfg.FaultRate > 0 {
+			// Salted per (request, attempt): a retry re-rolls the fault
+			// sequence instead of deterministically re-failing.
+			o.WithFaults(faults.NewInjector(s.cfg.FaultRate, s.cfg.FaultSeed+int64(seq)*1000003+int64(attempt)))
+		}
+		sem, ok := core.New(pq.semName, core.Options{Oracle: o})
+		if !ok {
+			// Unreachable: decodeQuery checked the registry.
+			return QueryResponse{}, core.ErrUnsupported
+		}
+		var holds bool
+		var err error
+		switch kind {
+		case "literal":
+			holds, err = sem.InferLiteral(pq.d, pq.lit)
+		case "formula":
+			holds, err = sem.InferFormula(pq.d, pq.formula)
+		default: // "model"
+			holds, err = sem.HasModel(pq.d)
+		}
+		v, semErr := core.VerdictOf(holds, err)
+		if semErr != nil {
+			return QueryResponse{}, semErr
+		}
+		if v.Incomplete && errors.Is(v.Cause, faults.ErrTransient) &&
+			attempt < s.cfg.RetryMax && ctx.Err() == nil && !s.draining.Load() {
+			s.stats.retries.Add(1)
+			time.Sleep(faults.FullJitter(uint64(seq)*0x9e3779b97f4a7c15+uint64(s.cfg.FaultSeed), attempt))
+			continue
+		}
+		return QueryResponse{
+			Semantics:  pq.semName,
+			Kind:       kind,
+			Verdict:    VerdictString(v),
+			Holds:      v.Holds,
+			Incomplete: v.Incomplete,
+			CauseCode:  CauseCode(v.Cause),
+			Cause:      causeString(v.Cause),
+			Counters:   CountersFrom(o.Counters()),
+			Limits:     LimitsFrom(pq.eff),
+			Retries:    attempt,
+			SolveMS:    float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
+	}
+}
+
+func causeString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// Loadgen: an open-loop, seeded workload driver for the serving
+// layer. It offers requests at a fixed rate regardless of how the
+// server responds — which is exactly what creates overload — and
+// classifies every terminal outcome into the typed taxonomy:
+// completed (verdict cross-checked against a direct library call on
+// the same input), incomplete (typed budget cause), shed (typed
+// 429/503), or rejected (typed 422 for genuinely inapplicable
+// inputs). Anything else — unparseable body, unknown cause code,
+// transport error — is untyped, and the smoke harness hard-fails on a
+// single occurrence.
+
+// LoadConfig shapes one load run.
+type LoadConfig struct {
+	BaseURL  string        // e.g. "http://127.0.0.1:8091"
+	Rate     float64       // offered requests/second
+	Requests int           // total requests to offer
+	Workers  int           // concurrent HTTP clients (default 4×queue)
+	Seed     int64         // workload seed (db shapes, kinds, semantics)
+	MaxAtoms int           // vocabulary bound for generated dbs (default 5)
+	Timeout  time.Duration // per-request client timeout (default 30s)
+	Limits   LimitsJSON    // client budget ask sent with each request
+	// Semantics restricts the mix; default is every described
+	// semantics except the stratification-gated ones (whose 422s are
+	// data-dependent noise for a load sweep).
+	Semantics []string
+	// Verify cross-checks every completed verdict against a direct
+	// library call on the same (db, query) — the byte-identity
+	// invariant of the acceptance criteria.
+	Verify bool
+}
+
+// LoadReport is the outcome breakdown of one run.
+type LoadReport struct {
+	Offered      int            `json:"offered"`
+	Completed    int            `json:"completed"`
+	Incomplete   int            `json:"incomplete"`
+	Shed429      int            `json:"shed_429"`
+	Shed503      int            `json:"shed_503"`
+	Rejected     int            `json:"rejected"` // typed 422 (unsupported/not stratifiable)
+	Untyped      int            `json:"untyped"`  // ANY outcome outside the taxonomy
+	Divergent    int            `json:"divergent"`
+	ByCause      map[string]int `json:"by_cause"`
+	ByShed       map[string]int `json:"by_shed"`
+	Elapsed      time.Duration  `json:"elapsed_ns"`
+	UntypedNotes []string       `json:"untyped_notes,omitempty"` // first few diagnostics
+	DivergeNotes []string       `json:"diverge_notes,omitempty"`
+}
+
+// Clean reports whether the run satisfied the robustness contract:
+// every request terminated typed and no completed verdict diverged.
+func (r LoadReport) Clean() bool { return r.Untyped == 0 && r.Divergent == 0 }
+
+func (r LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offered=%d completed=%d incomplete=%d shed429=%d shed503=%d rejected=%d untyped=%d divergent=%d",
+		r.Offered, r.Completed, r.Incomplete, r.Shed429, r.Shed503, r.Rejected, r.Untyped, r.Divergent)
+	if len(r.ByCause) > 0 {
+		keys := make([]string, 0, len(r.ByCause))
+		for k := range r.ByCause {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "\n  causes:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, r.ByCause[k])
+		}
+	}
+	return b.String()
+}
+
+// loadJob is one pre-generated request.
+type loadJob struct {
+	kind    string // "literal" | "formula" | "model"
+	sem     string
+	dbText  string
+	literal string
+	formula string
+	body    []byte
+}
+
+// genJobs pre-generates the whole workload serially so it is a pure
+// function of the seed, independent of worker scheduling.
+func genJobs(cfg LoadConfig) []loadJob {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sems := cfg.Semantics
+	if len(sems) == 0 {
+		for _, info := range core.Infos() {
+			if !info.Stratified {
+				sems = append(sems, info.Name)
+			}
+		}
+	}
+	jobs := make([]loadJob, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		semName := sems[rng.Intn(len(sems))]
+		info, _ := core.InfoFor(semName)
+		n := 2 + rng.Intn(cfg.MaxAtoms-1)
+		// The query is phrased against the textual form the server will
+		// parse, so atoms must come from the round-tripped vocabulary
+		// (a generated atom that appears in no clause is absent there).
+		var d *db.DB
+		for {
+			var g *db.DB
+			switch {
+			case info.NoNegation && info.NoIC:
+				g = gen.Random(rng, gen.Positive(n, 1+rng.Intn(6)))
+			case info.NoNegation:
+				g = gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+			case info.NoIC:
+				g = gen.Random(rng, gen.NormalNoIC(n, 1+rng.Intn(6)))
+			default:
+				g = gen.Random(rng, gen.Normal(n, 1+rng.Intn(6)))
+			}
+			rt, err := db.Parse(g.String())
+			if err == nil && rt.N() > 0 {
+				d = rt
+				break
+			}
+		}
+		job := loadJob{sem: semName, dbText: d.String()}
+		atom := d.Voc.Name(logic.Atom(rng.Intn(d.N())))
+		switch k := rng.Intn(10); {
+		case k < 6:
+			job.kind = "literal"
+			if rng.Intn(2) == 0 {
+				job.literal = "-" + atom
+			} else {
+				job.literal = atom
+			}
+		case k < 8:
+			job.kind = "formula"
+			other := d.Voc.Name(logic.Atom(rng.Intn(d.N())))
+			job.formula = "~" + atom + " | " + other
+		default:
+			job.kind = "model"
+		}
+		body, _ := json.Marshal(QueryRequest{
+			Semantics: job.sem,
+			DB:        job.dbText,
+			Literal:   job.literal,
+			Formula:   job.formula,
+			Limits:    cfg.Limits,
+		})
+		job.body = body
+		jobs = append(jobs, job)
+	}
+	return jobs
+}
+
+// endpoint maps a job kind to its path.
+func endpoint(kind string) string {
+	switch kind {
+	case "literal":
+		return "/v1/infer/literal"
+	case "formula":
+		return "/v1/infer/formula"
+	default:
+		return "/v1/model"
+	}
+}
+
+// referenceVerdict recomputes the job's query with a direct,
+// unbudgeted, fault-free library call on the same database text the
+// server parsed.
+func referenceVerdict(job loadJob) (bool, error) {
+	d, err := db.Parse(job.dbText)
+	if err != nil {
+		return false, err
+	}
+	sem, ok := core.New(job.sem, core.Options{Oracle: oracle.NewNP()})
+	if !ok {
+		return false, fmt.Errorf("semantics %q not registered", job.sem)
+	}
+	switch job.kind {
+	case "literal":
+		lit, err := parseLiteral(job.literal, d.Voc)
+		if err != nil {
+			return false, err
+		}
+		return sem.InferLiteral(d, lit)
+	case "formula":
+		f, err := logic.ParseFormula(job.formula, d.Voc)
+		if err != nil {
+			return false, err
+		}
+		return sem.InferFormula(d, f)
+	default:
+		return sem.HasModel(d)
+	}
+}
+
+// RunLoad drives the workload against cfg.BaseURL and returns the
+// typed breakdown.
+func RunLoad(cfg LoadConfig) LoadReport {
+	if cfg.MaxAtoms < 2 {
+		cfg.MaxAtoms = 5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	jobs := genJobs(cfg)
+	ch := make(chan loadJob, len(jobs))
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	report := LoadReport{ByCause: map[string]int{}, ByShed: map[string]int{}}
+	var mu sync.Mutex
+	note := func(list *[]string, format string, args ...any) {
+		if len(*list) < 5 {
+			*list = append(*list, fmt.Sprintf(format, args...))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range ch {
+				kind, status, qr, er, err := doRequest(client, cfg.BaseURL, job)
+				mu.Lock()
+				switch kind {
+				case outcomeCompleted:
+					report.Completed++
+					if cfg.Verify {
+						want, refErr := referenceVerdict(job)
+						if refErr != nil {
+							report.Untyped++
+							note(&report.UntypedNotes, "reference error for %s %s: %v", job.sem, job.kind, refErr)
+						} else if want != qr.Holds {
+							report.Divergent++
+							note(&report.DivergeNotes, "%s %s on %q: served=%v direct=%v",
+								job.sem, job.kind, job.literal+job.formula, qr.Holds, want)
+						}
+					}
+				case outcomeIncomplete:
+					report.Incomplete++
+					report.ByCause[qr.CauseCode]++
+				case outcomeShed429:
+					report.Shed429++
+					report.ByShed[er.Error]++
+				case outcomeShed503:
+					report.Shed503++
+					report.ByShed[er.Error]++
+				case outcomeRejected:
+					report.Rejected++
+				default:
+					report.Untyped++
+					note(&report.UntypedNotes, "status=%d err=%v sem=%s kind=%s", status, err, job.sem, job.kind)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	next := start
+	for _, job := range jobs {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		ch <- job // buffered to len(jobs): offering never blocks on slow service
+		next = next.Add(interval)
+	}
+	close(ch)
+	wg.Wait()
+	report.Offered = len(jobs)
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// outcome classes of one HTTP exchange.
+const (
+	outcomeCompleted = iota
+	outcomeIncomplete
+	outcomeShed429
+	outcomeShed503
+	outcomeRejected
+	outcomeUntyped
+)
+
+// doRequest performs one exchange and classifies it. Every path that
+// doesn't match the typed taxonomy exactly returns outcomeUntyped.
+func doRequest(client *http.Client, baseURL string, job loadJob) (int, int, QueryResponse, ErrorResponse, error) {
+	var qr QueryResponse
+	var er ErrorResponse
+	resp, err := client.Post(baseURL+endpoint(job.kind), "application/json", bytes.NewReader(job.body))
+	if err != nil {
+		return outcomeUntyped, 0, qr, er, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("reading body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if err := json.Unmarshal(body, &qr); err != nil {
+			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("partial/invalid 200 body: %w", err)
+		}
+		switch qr.Verdict {
+		case "true", "false":
+			return outcomeCompleted, resp.StatusCode, qr, er, nil
+		case "incomplete":
+			if !KnownCauseCodes[qr.CauseCode] {
+				return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("unknown cause code %q", qr.CauseCode)
+			}
+			return outcomeIncomplete, resp.StatusCode, qr, er, nil
+		default:
+			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("unknown verdict %q", qr.Verdict)
+		}
+	case http.StatusTooManyRequests:
+		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ShedQueueFull && er.Error != ShedQueueWait) {
+			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("untyped 429 body %q", body)
+		}
+		return outcomeShed429, resp.StatusCode, qr, er, nil
+	case http.StatusServiceUnavailable:
+		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ShedDraining && er.Error != ShedBreakerOpen) {
+			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("untyped 503 body %q", body)
+		}
+		return outcomeShed503, resp.StatusCode, qr, er, nil
+	case http.StatusUnprocessableEntity:
+		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ReasonUnsupported && er.Error != ReasonNotStratifiable) {
+			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("untyped 422 body %q", body)
+		}
+		return outcomeRejected, resp.StatusCode, qr, er, nil
+	default:
+		return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("unexpected status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// FetchHealth reads and decodes /healthz.
+func FetchHealth(client *http.Client, baseURL string) (Health, error) {
+	var h Health
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// AwaitGoroutineSettle polls /healthz until the reported goroutine
+// count drops back to at most baseline+slack, or the timeout expires.
+func AwaitGoroutineSettle(client *http.Client, baseURL string, baseline, slack int, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	last := -1
+	for time.Now().Before(deadline) {
+		h, err := FetchHealth(client, baseURL)
+		if err == nil {
+			last = h.Goroutines
+			if h.Goroutines <= baseline+slack {
+				return last, true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return last, false
+}

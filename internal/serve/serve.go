@@ -1,0 +1,532 @@
+// Package serve is the resilient HTTP/JSON inference service over the
+// semantics registry: every registered semantics (all ten families of
+// the paper, aliases included) is queryable for literal inference,
+// formula inference, and model existence.
+//
+// The paper's complexity landscape — P cells next to Π₂ᵖ cells — means
+// per-request cost varies by orders of magnitude on the same server,
+// so the serving layer is built around typed degradation rather than
+// best-effort unbounded concurrency:
+//
+//   - Admission control: a bounded queue in front of a fixed-size
+//     execution pool. When the queue is full, requests shed instantly
+//     with a typed 429 + Retry-After (O(1) per shed, regardless of how
+//     expensive the queries holding the slots are).
+//   - Budget clamping: every request runs under a budget.B whose
+//     limits are min(client ask, server ceiling) — a client can ask
+//     for less than the ceiling but never more, and the effective
+//     limits are echoed in the response.
+//   - Typed three-valued answers: a 200 carries core.Verdict — true,
+//     false, or incomplete with the typed interruption cause and the
+//     exact oracle counters up to the interruption.
+//   - Bounded retry: transient-class oracle failures (faults.ErrTransient)
+//     are retried a bounded number of times with seeded full-jitter
+//     backoff before surfacing as incomplete.
+//   - Circuit breaking: a per-semantics closed/open/half-open breaker
+//     around the oracle path. Infrastructure failures open it; while
+//     open, requests shed fast with a typed 503; after a cooldown a
+//     single probe decides between closing and re-opening.
+//   - Graceful drain: Drain stops admission (503 for new work), lets
+//     in-flight requests finish inside a drain deadline, then cancels
+//     the shared base context so stragglers are interrupted through
+//     the budget layer — every interruption stays typed.
+//
+// /healthz reports queue depth, in-flight count, breaker states, and
+// shed/completion counters; /readyz flips to 503 the moment draining
+// begins so load balancers stop routing before the listener closes.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+)
+
+// ErrDrainForced reports that the drain deadline passed with requests
+// still in flight; they were canceled through the budget layer (each
+// finished with a typed incomplete verdict, not a torn connection).
+var ErrDrainForced = errors.New("serve: drain deadline exceeded; in-flight queries canceled")
+
+// Config tunes the server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing queries
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// the executing ones (default 8×MaxConcurrent).
+	QueueDepth int
+	// Ceilings are the server-enforced per-request budget limits.
+	// A request's effective budget is min(client ask, ceiling) per
+	// dimension; zero fields leave that dimension unlimited.
+	Ceilings budget.Limits
+	// DrainTimeout is how long Drain waits for in-flight work before
+	// canceling it through the budget layer (default 5s).
+	DrainTimeout time.Duration
+	// RetryMax bounds query-level retries when the oracle path fails
+	// with a transient-class fault (default 2; 0 disables).
+	RetryMax int
+	// Breaker configures the per-semantics circuit breakers
+	// (default threshold 5, cooldown 1s; Threshold ≤ 0 disables —
+	// the zero value therefore disables breaking only if set
+	// explicitly after New).
+	Breaker BreakerConfig
+	// FaultRate/FaultSeed switch on seeded chaos injection on the
+	// oracle path of every request (0 = off). Used by the smoke/soak
+	// harnesses; production servers leave it off.
+	FaultRate float64
+	FaultSeed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8 * c.MaxConcurrent
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.RetryMax < 0 {
+		c.RetryMax = 0
+	}
+	if c.Breaker.Threshold == 0 {
+		c.Breaker = BreakerConfig{Threshold: 5, Cooldown: time.Second}
+	}
+	if c.Breaker.Cooldown <= 0 {
+		c.Breaker.Cooldown = time.Second
+	}
+	return c
+}
+
+// stats are the monotonic outcome counters surfaced by /healthz.
+type stats struct {
+	completed     atomic.Int64 // 200 with a definite verdict
+	incomplete    atomic.Int64 // 200 with a typed interruption
+	shedQueueFull atomic.Int64
+	shedQueueWait atomic.Int64
+	shedDraining  atomic.Int64
+	shedBreaker   atomic.Int64
+	badRequest    atomic.Int64 // 400/404/422
+	retries       atomic.Int64 // query-level transient retries performed
+}
+
+// Server is the inference service. Create with New, mount Handler on
+// any http.Server (or httptest), and call Drain to shut down.
+type Server struct {
+	cfg Config
+	adm *admission
+	mux *http.ServeMux
+
+	// drainCtx is cancelled the moment draining begins: admission and
+	// readiness watch it. baseCtx is cancelled DrainTimeout later:
+	// request budgets derive from it, so cancellation reaches in-flight
+	// solvers as a typed budget.ErrCanceled.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	baseCtx     context.Context
+	baseCancel  context.CancelCauseFunc
+
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+
+	breakerMu sync.Mutex
+	breakers  map[string]*breaker
+
+	stats stats
+
+	// testHook, when non-nil, runs while a request holds an execution
+	// slot (before solving). Tests use it to hold slots open
+	// deterministically.
+	testHook func()
+}
+
+// New builds a Server. Semantics must already be registered (blank-
+// import disjunct/internal/semantics/all).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		breakers: map[string]*breaker{},
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/infer/literal", s.queryHandler("literal"))
+	s.mux.HandleFunc("POST /v1/infer/formula", s.queryHandler("formula"))
+	s.mux.HandleFunc("POST /v1/model", s.queryHandler("model"))
+	s.mux.HandleFunc("GET /v1/semantics", s.handleSemantics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of requests currently executing.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// Drain gracefully shuts the server down: admission stops immediately
+// (new requests shed with a typed 503, /readyz goes unready), in-flight
+// requests are given cfg.DrainTimeout to finish, and whatever is still
+// running after that is cancelled through the budget layer — each
+// straggler completes its HTTP exchange with a typed incomplete
+// verdict. Returns nil if everything finished inside the deadline,
+// ErrDrainForced otherwise. ctx can force the cancellation phase early.
+// Safe to call more than once; later calls wait for the same drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainCancel()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	forced := false
+	select {
+	case <-done:
+	case <-timer.C:
+		forced = true
+	case <-ctx.Done():
+		forced = true
+	}
+	if forced {
+		s.baseCancel(ErrDrainForced)
+		<-done // budgets poll the context at conflict boundaries; prompt
+		return ErrDrainForced
+	}
+	return nil
+}
+
+// breakerFor returns (creating on first use) the breaker guarding one
+// semantics.
+func (s *Server) breakerFor(name string) *breaker {
+	s.breakerMu.Lock()
+	defer s.breakerMu.Unlock()
+	b, ok := s.breakers[name]
+	if !ok {
+		b = newBreaker(s.cfg.Breaker)
+		s.breakers[name] = b
+	}
+	return b
+}
+
+// writeJSON marshals v fully before touching the ResponseWriter, so a
+// client never observes a partial body: either the whole typed
+// document arrives or the connection errors.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Marshal of our own wire types cannot fail; guard anyway.
+		http.Error(w, `{"error":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// writeShed emits a typed shed response with Retry-After.
+func writeShed(w http.ResponseWriter, status int, resp ErrorResponse) {
+	if resp.RetryAfterMS > 0 {
+		secs := (resp.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSON(w, status, resp)
+}
+
+// clamp applies the server ceilings to a client ask: per dimension the
+// effective limit is the stricter of the two (zero = unlimited).
+func clamp(ask, ceiling budget.Limits) budget.Limits {
+	min := func(a, c int64) int64 {
+		switch {
+		case c <= 0:
+			return a
+		case a <= 0 || a > c:
+			return c
+		default:
+			return a
+		}
+	}
+	eff := budget.Limits{
+		Conflicts:    min(ask.Conflicts, ceiling.Conflicts),
+		Propagations: min(ask.Propagations, ceiling.Propagations),
+		NPCalls:      min(ask.NPCalls, ceiling.NPCalls),
+	}
+	switch {
+	case ceiling.Deadline <= 0:
+		eff.Deadline = ask.Deadline
+	case ask.Deadline <= 0 || ask.Deadline > ceiling.Deadline:
+		eff.Deadline = ceiling.Deadline
+	default:
+		eff.Deadline = ask.Deadline
+	}
+	return eff
+}
+
+// parsedQuery is a decoded, validated request.
+type parsedQuery struct {
+	semName string
+	d       *db.DB
+	lit     logic.Lit
+	formula *logic.Formula
+	eff     budget.Limits
+}
+
+// parseLiteral parses "x", "-x", "~x", or "not x" against a
+// vocabulary.
+func parseLiteral(in string, voc *logic.Vocabulary) (logic.Lit, error) {
+	t := strings.TrimSpace(in)
+	neg := false
+	switch {
+	case strings.HasPrefix(t, "-"):
+		neg, t = true, strings.TrimSpace(t[1:])
+	case strings.HasPrefix(t, "~"):
+		neg, t = true, strings.TrimSpace(t[1:])
+	case strings.HasPrefix(t, "not "):
+		neg, t = true, strings.TrimSpace(t[4:])
+	}
+	if t == "" {
+		return 0, fmt.Errorf("empty literal")
+	}
+	a, ok := voc.Lookup(t)
+	if !ok {
+		return 0, fmt.Errorf("atom %q not in the database's vocabulary", t)
+	}
+	return logic.MkLit(a, !neg), nil
+}
+
+// decodeQuery validates the body for one query kind. It returns a
+// typed ErrorResponse (with its HTTP status) on any malformed input.
+func (s *Server) decodeQuery(kind string, r *http.Request) (parsedQuery, int, *ErrorResponse) {
+	var pq parsedQuery
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "body: " + err.Error()}
+	}
+	if _, ok := core.InfoFor(req.Semantics); !ok {
+		return pq, http.StatusNotFound, &ErrorResponse{Error: ReasonUnknownSemantics, Semantics: req.Semantics}
+	}
+	d, err := db.Parse(req.DB)
+	if err != nil {
+		return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "db: " + err.Error()}
+	}
+	if d.N() == 0 {
+		return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "db: empty vocabulary"}
+	}
+	pq.semName = req.Semantics
+	pq.d = d
+	switch kind {
+	case "literal":
+		lit, err := parseLiteral(req.Literal, d.Voc)
+		if err != nil {
+			return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "literal: " + err.Error()}
+		}
+		pq.lit = lit
+	case "formula":
+		f, err := logic.ParseFormula(req.Formula, d.Voc)
+		if err != nil {
+			return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "formula: " + err.Error()}
+		}
+		pq.formula = f
+	}
+	pq.eff = clamp(req.Limits.ToLimits(), s.cfg.Ceilings)
+	return pq, 0, nil
+}
+
+// queryHandler builds the handler for one query kind. The request
+// path is: drain check → decode/validate → breaker → admission →
+// execute (with bounded transient retries) → typed response.
+func (s *Server) queryHandler(kind string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.stats.shedDraining.Add(1)
+			writeShed(w, http.StatusServiceUnavailable, ErrorResponse{Error: ShedDraining})
+			return
+		}
+		pq, status, errResp := s.decodeQuery(kind, r)
+		if errResp != nil {
+			s.stats.badRequest.Add(1)
+			writeJSON(w, status, *errResp)
+			return
+		}
+		br := s.breakerFor(pq.semName)
+		if ok, retryAfter := br.allow(); !ok {
+			s.stats.shedBreaker.Add(1)
+			writeShed(w, http.StatusServiceUnavailable, ErrorResponse{
+				Error:        ShedBreakerOpen,
+				Semantics:    pq.semName,
+				RetryAfterMS: int64(retryAfter / time.Millisecond),
+			})
+			return
+		}
+
+		// The queue wait is bounded by the request's effective deadline
+		// (measured from arrival); the solve budget restarts after
+		// admission.
+		admCtx := r.Context()
+		if pq.eff.Deadline > 0 {
+			var cancel context.CancelFunc
+			admCtx, cancel = context.WithTimeout(admCtx, pq.eff.Deadline)
+			defer cancel()
+		}
+		res := s.adm.admit(s.drainCtx, admCtx)
+		if res.shed != "" {
+			// The breaker saw neither success nor failure: report
+			// success=stale by not recording anything.
+			switch res.shed {
+			case ShedQueueFull:
+				s.stats.shedQueueFull.Add(1)
+				writeShed(w, http.StatusTooManyRequests, ErrorResponse{Error: ShedQueueFull, RetryAfterMS: 50})
+			case ShedQueueWait:
+				s.stats.shedQueueWait.Add(1)
+				writeShed(w, http.StatusTooManyRequests, ErrorResponse{Error: ShedQueueWait, RetryAfterMS: 50})
+			default:
+				s.stats.shedDraining.Add(1)
+				writeShed(w, http.StatusServiceUnavailable, ErrorResponse{Error: ShedDraining})
+			}
+			return
+		}
+		s.wg.Add(1)
+		s.inFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			s.wg.Done()
+		}()
+		defer res.release()
+		if s.testHook != nil {
+			s.testHook()
+		}
+
+		resp, semErr := s.execute(r.Context(), kind, pq)
+		if semErr != nil {
+			// A semantic outcome, not a service failure: the database
+			// is outside the class this semantics is defined for.
+			s.stats.badRequest.Add(1)
+			reason := ReasonUnsupported
+			if errors.Is(semErr, core.ErrNotStratifiable) {
+				reason = ReasonNotStratifiable
+			}
+			writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+				Error: reason, Semantics: pq.semName, Detail: semErr.Error(),
+			})
+			br.record(false)
+			return
+		}
+		resp.QueueMS = float64(res.waited) / float64(time.Millisecond)
+		br.record(resp.Incomplete && infrastructureFailure(resp.CauseCode))
+		if resp.Incomplete {
+			s.stats.incomplete.Add(1)
+		} else {
+			s.stats.completed.Add(1)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// infrastructureFailure classifies cause codes for the breaker: only
+// oracle-infrastructure faults (transient exhaustion, injected
+// cancels — surfaced as plain cancels — are excluded because genuine
+// client cancels look identical) open the breaker. A client whose own
+// conflict/NP/deadline budget trips is being served correctly.
+func infrastructureFailure(code string) bool {
+	return code == CauseTransientExhausted
+}
+
+// handleSemantics lists the registry with its dispatch metadata.
+func (s *Server) handleSemantics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Semantics []core.Info `json:"semantics"`
+	}{core.Infos()})
+}
+
+// breakerReport is one breaker's /healthz entry.
+type breakerReport struct {
+	State    string `json:"state"`
+	Failures int    `json:"failures"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status     string                   `json:"status"` // "ok" | "draining"
+	Queued     int64                    `json:"queued"`
+	Waiting    int64                    `json:"waiting"`
+	Executing  int64                    `json:"executing"`
+	InFlight   int64                    `json:"in_flight"`
+	Goroutines int                      `json:"goroutines"`
+	Breakers   map[string]breakerReport `json:"breakers"`
+	Stats      map[string]int64         `json:"stats"`
+}
+
+func (s *Server) health() Health {
+	queued, waiting, executing := s.adm.depth()
+	h := Health{
+		Status:     "ok",
+		Queued:     queued,
+		Waiting:    waiting,
+		Executing:  executing,
+		InFlight:   s.inFlight.Load(),
+		Goroutines: runtime.NumGoroutine(),
+		Breakers:   map[string]breakerReport{},
+		Stats: map[string]int64{
+			"completed":       s.stats.completed.Load(),
+			"incomplete":      s.stats.incomplete.Load(),
+			"shed_queue_full": s.stats.shedQueueFull.Load(),
+			"shed_queue_wait": s.stats.shedQueueWait.Load(),
+			"shed_draining":   s.stats.shedDraining.Load(),
+			"shed_breaker":    s.stats.shedBreaker.Load(),
+			"bad_request":     s.stats.badRequest.Load(),
+			"retries":         s.stats.retries.Load(),
+		},
+	}
+	if s.draining.Load() {
+		h.Status = "draining"
+	}
+	s.breakerMu.Lock()
+	for name, b := range s.breakers {
+		state, failures := b.snapshot()
+		h.Breakers[name] = breakerReport{State: state, Failures: failures}
+	}
+	s.breakerMu.Unlock()
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}{false, ShedDraining})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Ready bool `json:"ready"`
+	}{true})
+}

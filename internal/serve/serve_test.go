@@ -1,0 +1,618 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/faults"
+	"disjunct/internal/oracle"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+// post sends one query and returns the status and raw body.
+func post(t *testing.T, ts *httptest.Server, path string, req QueryRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func decodeQueryResponse(t *testing.T, data []byte) QueryResponse {
+	t.Helper()
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatalf("200 body does not parse as QueryResponse (partial body?): %v\n%s", err, data)
+	}
+	return qr
+}
+
+func decodeErrorResponse(t *testing.T, data []byte) ErrorResponse {
+	t.Helper()
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatalf("error body does not parse as ErrorResponse (partial body?): %v\n%s", err, data)
+	}
+	return er
+}
+
+// directVerdict answers the same query with a plain library call.
+func directVerdict(t *testing.T, semName, dbText, literal string) bool {
+	t.Helper()
+	d, err := db.Parse(dbText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem, ok := core.New(semName, core.Options{Oracle: oracle.NewNP()})
+	if !ok {
+		t.Fatalf("semantics %q not registered", semName)
+	}
+	lit, err := parseLiteral(literal, d.Voc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := sem.InferLiteral(d, lit)
+	if err != nil {
+		t.Fatalf("direct %s call: %v", semName, err)
+	}
+	return holds
+}
+
+func TestServeBasicVerdictsMatchLibrary(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		sem, db, lit string
+		wantOracle   bool // semantics known to consult the NP oracle here
+	}{
+		{"GCWA", "a | b.", "-a", true},
+		{"GCWA", "a.", "a", true},
+		{"CWA", "a. b :- a.", "b", true},
+		{"EGCWA", "a | b. a | c.", "-b", true},
+		{"DDR", "a | b.", "-a", false}, // DDR answers syntactically
+		{"PWS", "a | b. c.", "c", false},
+		{"DSM", "a :- not b.", "a", false},
+		{"PERF", "a | b.", "-a", false},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: tc.sem, DB: tc.db, Literal: tc.lit})
+		if status != http.StatusOK {
+			t.Fatalf("%s %q ⊢ %q: status %d body %s", tc.sem, tc.db, tc.lit, status, body)
+		}
+		qr := decodeQueryResponse(t, body)
+		if qr.Incomplete {
+			t.Fatalf("%s %q ⊢ %q: unexpectedly incomplete (%s)", tc.sem, tc.db, tc.lit, qr.CauseCode)
+		}
+		want := directVerdict(t, tc.sem, tc.db, tc.lit)
+		if qr.Holds != want {
+			t.Fatalf("%s %q ⊢ %q: served %v, direct library call %v", tc.sem, tc.db, tc.lit, qr.Holds, want)
+		}
+		if tc.wantOracle && qr.Counters.NPCalls == 0 && qr.Counters.Sigma2Calls == 0 {
+			t.Fatalf("%s: response carries no oracle counters", tc.sem)
+		}
+	}
+}
+
+func TestServeTypedRejections(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Unknown semantics → typed 404.
+	status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "NOPE", DB: "a.", Literal: "a"})
+	if er := decodeErrorResponse(t, body); status != http.StatusNotFound || er.Error != ReasonUnknownSemantics {
+		t.Fatalf("unknown semantics: status=%d error=%q", status, er.Error)
+	}
+	// Malformed db → typed 400.
+	status, body = post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a |", Literal: "a"})
+	if er := decodeErrorResponse(t, body); status != http.StatusBadRequest || er.Error != ReasonBadRequest {
+		t.Fatalf("bad db: status=%d error=%q", status, er.Error)
+	}
+	// Unknown atom in the literal → typed 400.
+	status, body = post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a.", Literal: "z"})
+	if er := decodeErrorResponse(t, body); status != http.StatusBadRequest || er.Error != ReasonBadRequest {
+		t.Fatalf("unknown atom: status=%d error=%q", status, er.Error)
+	}
+	// Non-stratifiable db under ICWA → typed 422.
+	status, body = post(t, ts, "/v1/model", QueryRequest{Semantics: "ICWA", DB: "a :- not b. b :- not a."})
+	if er := decodeErrorResponse(t, body); status != http.StatusUnprocessableEntity || er.Error != ReasonNotStratifiable {
+		t.Fatalf("non-stratifiable: status=%d error=%q", status, er.Error)
+	}
+	// Negation under DDR → typed 422 unsupported.
+	status, body = post(t, ts, "/v1/model", QueryRequest{Semantics: "DDR", DB: "a :- not b."})
+	if er := decodeErrorResponse(t, body); status != http.StatusUnprocessableEntity || er.Error != ReasonUnsupported {
+		t.Fatalf("DDR with negation: status=%d error=%q", status, er.Error)
+	}
+}
+
+func TestServeBudgetClampAndTypedInterruption(t *testing.T) {
+	// Server ceiling of 1 NP call: any real query trips the budget and
+	// must come back as a typed incomplete, with the clamped limits
+	// echoed in the response.
+	srv := New(Config{Ceilings: budget.Limits{NPCalls: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := post(t, ts, "/v1/infer/literal", QueryRequest{
+		Semantics: "GCWA", DB: "a | b. b | c. c | a.", Literal: "-a",
+		Limits: LimitsJSON{NPCalls: 1 << 40}, // huge ask, must be clamped
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	qr := decodeQueryResponse(t, body)
+	if !qr.Incomplete {
+		t.Fatalf("verdict complete under a 1-NP-call ceiling: %s", body)
+	}
+	if qr.Verdict != "incomplete" || qr.CauseCode != CauseNPCallBudget {
+		t.Fatalf("verdict=%q cause=%q, want incomplete/np_call_budget", qr.Verdict, qr.CauseCode)
+	}
+	if qr.Limits.NPCalls != 1 {
+		t.Fatalf("response limits.np_calls = %d, want clamped 1", qr.Limits.NPCalls)
+	}
+	if !KnownCauseCodes[qr.CauseCode] {
+		t.Fatalf("cause code %q not in the closed taxonomy", qr.CauseCode)
+	}
+}
+
+func TestClampPerDimension(t *testing.T) {
+	ceiling := budget.Limits{Conflicts: 100, NPCalls: 10, Deadline: time.Second}
+	cases := []struct {
+		ask  budget.Limits
+		want budget.Limits
+	}{
+		// No ask: ceilings apply wholesale.
+		{budget.Limits{}, budget.Limits{Conflicts: 100, NPCalls: 10, Deadline: time.Second}},
+		// Ask below ceilings: honored.
+		{budget.Limits{Conflicts: 7, NPCalls: 3, Deadline: time.Millisecond, Propagations: 5},
+			budget.Limits{Conflicts: 7, NPCalls: 3, Deadline: time.Millisecond, Propagations: 5}},
+		// Ask above ceilings: clamped.
+		{budget.Limits{Conflicts: 1e6, NPCalls: 1e6, Deadline: time.Hour},
+			budget.Limits{Conflicts: 100, NPCalls: 10, Deadline: time.Second}},
+	}
+	for i, tc := range cases {
+		if got := clamp(tc.ask, ceiling); got != tc.want {
+			t.Fatalf("case %d: clamp = %+v, want %+v", i, got, tc.want)
+		}
+	}
+	// No ceilings at all: asks pass through.
+	ask := budget.Limits{Conflicts: 42}
+	if got := clamp(ask, budget.Limits{}); got != ask {
+		t.Fatalf("clamp with no ceilings = %+v, want %+v", got, ask)
+	}
+}
+
+func TestParseLiteralForms(t *testing.T) {
+	d, err := db.Parse("a. foo.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"a", "-a", "~a", "not a", " -a ", "foo", "-foo"} {
+		if _, err := parseLiteral(in, d.Voc); err != nil {
+			t.Fatalf("parseLiteral(%q): %v", in, err)
+		}
+	}
+	for _, in := range []string{"", "-", "z", "not  "} {
+		if _, err := parseLiteral(in, d.Voc); err == nil {
+			t.Fatalf("parseLiteral(%q) unexpectedly succeeded", in)
+		}
+	}
+	lit, _ := parseLiteral("-a", d.Voc)
+	if lit.IsPos() {
+		t.Fatal("-a parsed as positive")
+	}
+}
+
+func TestCauseCodeTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{budget.ErrCanceled, CauseCanceled},
+		{budget.ErrDeadline, CauseDeadline},
+		{budget.ErrConflictBudget, CauseConflictBudget},
+		{budget.ErrPropagationBudget, CausePropagationBudget},
+		{budget.ErrNPCallBudget, CauseNPCallBudget},
+		// ErrExhausted wraps both ErrTransient and ErrCanceled; the
+		// transient code must win.
+		{faults.ErrExhausted, CauseTransientExhausted},
+		{faults.ErrInjectedCancel, CauseCanceled},
+		{errors.New("mystery"), ""},
+	}
+	for _, tc := range cases {
+		if got := CauseCode(tc.err); got != tc.want {
+			t.Fatalf("CauseCode(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+		if tc.want != "" && !KnownCauseCodes[tc.want] {
+			t.Fatalf("%q missing from KnownCauseCodes", tc.want)
+		}
+	}
+}
+
+// TestServeShedsTypedUnderOverload is acceptance criterion (a): with
+// capacity 1+1 and both slots held, every further request sheds with a
+// typed 429 + Retry-After and a fully-formed JSON body.
+func TestServeShedsTypedUnderOverload(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1})
+	hold := make(chan struct{})
+	srv.testHook = func() { <-hold }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"}
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			status, body := post(t, ts, "/v1/infer/literal", req)
+			results <- result{status, body}
+		}()
+	}
+	// One executing (parked in the hook), one queued.
+	waitFor(t, func() bool { q, _, _ := srv.adm.depth(); return q == 2 })
+
+	for i := 0; i < 5; i++ {
+		body, _ := json.Marshal(req)
+		resp, err := ts.Client().Post(ts.URL+"/v1/infer/literal", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("shed request %d: transport error %v", i, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("shed request %d: status %d body %s, want 429", i, resp.StatusCode, data)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("shed request %d: missing Retry-After header", i)
+		}
+		if er := decodeErrorResponse(t, data); er.Error != ShedQueueFull {
+			t.Fatalf("shed request %d: error=%q, want %q", i, er.Error, ShedQueueFull)
+		}
+	}
+
+	// Release the held slots: both parked requests must complete with
+	// correct verdicts — shedding never corrupts admitted work.
+	close(hold)
+	want := directVerdict(t, "GCWA", "a | b.", "-a")
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-results:
+			if res.status != http.StatusOK {
+				t.Fatalf("parked request: status %d body %s", res.status, res.body)
+			}
+			if qr := decodeQueryResponse(t, res.body); qr.Incomplete || qr.Holds != want {
+				t.Fatalf("parked request verdict %s/%v, want complete %v", qr.Verdict, qr.Holds, want)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("parked request never completed")
+		}
+	}
+	if got := srv.stats.shedQueueFull.Load(); got != 5 {
+		t.Fatalf("shed_queue_full stat = %d, want 5", got)
+	}
+}
+
+// TestServeDrainCompletesInFlight is acceptance criterion (b): work
+// in flight when drain begins finishes with verdicts identical to
+// direct library calls, while new arrivals shed with a typed 503 and
+// /readyz goes unready.
+func TestServeDrainCompletesInFlight(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2, QueueDepth: 2, DrainTimeout: 10 * time.Second})
+	hold := make(chan struct{})
+	srv.testHook = func() { <-hold }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := []QueryRequest{
+		{Semantics: "GCWA", DB: "a | b.", Literal: "-a"},
+		{Semantics: "EGCWA", DB: "a | b. a | c.", Literal: "-b"},
+	}
+	type result struct {
+		status int
+		body   []byte
+		req    QueryRequest
+	}
+	results := make(chan result, len(queries))
+	for _, q := range queries {
+		q := q
+		go func() {
+			status, body := post(t, ts, "/v1/infer/literal", q)
+			results <- result{status, body, q}
+		}()
+	}
+	waitFor(t, func() bool { return srv.InFlight() == 2 })
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- srv.Drain(context.Background()) }()
+	waitFor(t, func() bool { return srv.Draining() })
+
+	// New arrivals during the drain shed with the typed 503.
+	status, body := post(t, ts, "/v1/infer/literal", queries[0])
+	if er := decodeErrorResponse(t, body); status != http.StatusServiceUnavailable || er.Error != ShedDraining {
+		t.Fatalf("request during drain: status=%d error=%q, want 503/%q", status, er.Error, ShedDraining)
+	}
+	// /readyz reports unready, /healthz stays serving.
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", resp.StatusCode)
+	}
+
+	// Let the in-flight work run: it must complete inside the drain
+	// deadline with verdicts identical to direct library calls.
+	close(hold)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v, want clean", err)
+	}
+	for range queries {
+		res := <-results
+		if res.status != http.StatusOK {
+			t.Fatalf("in-flight request during drain: status %d body %s", res.status, res.body)
+		}
+		qr := decodeQueryResponse(t, res.body)
+		if qr.Incomplete {
+			t.Fatalf("in-flight request interrupted by clean drain: %s", res.body)
+		}
+		if want := directVerdict(t, res.req.Semantics, res.req.DB, res.req.Literal); qr.Holds != want {
+			t.Fatalf("%s drained verdict %v, direct library call %v", res.req.Semantics, qr.Holds, want)
+		}
+	}
+}
+
+// TestServeForcedDrainInterruptsTyped: when in-flight work outlives
+// the drain deadline, it is cancelled through the budget layer and
+// still completes its HTTP exchange with a typed incomplete verdict.
+func TestServeForcedDrainInterruptsTyped(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1, DrainTimeout: 100 * time.Millisecond})
+	// Park the request until the drain deadline forces base-context
+	// cancellation — simulating a query too slow for the grace period.
+	srv.testHook = func() { <-srv.baseCtx.Done() }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan QueryResponse, 1)
+	go func() {
+		status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+		if status != http.StatusOK {
+			t.Errorf("forced-drain straggler: status %d body %s", status, body)
+		}
+		done <- decodeQueryResponse(t, body)
+	}()
+	waitFor(t, func() bool { return srv.InFlight() == 1 })
+
+	err := srv.Drain(context.Background())
+	if !errors.Is(err, ErrDrainForced) {
+		t.Fatalf("drain = %v, want ErrDrainForced", err)
+	}
+	select {
+	case qr := <-done:
+		if !qr.Incomplete {
+			t.Fatalf("straggler completed?! %+v", qr)
+		}
+		if qr.CauseCode != CauseCanceled {
+			t.Fatalf("straggler cause %q, want %q (typed budget cancel)", qr.CauseCode, CauseCanceled)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("straggler never finished its HTTP exchange")
+	}
+}
+
+// TestServeGoroutinesSettleAfterDrain is acceptance criterion (c):
+// after a burst with shedding and a drain, the goroutine count returns
+// to its pre-burst baseline.
+func TestServeGoroutinesSettleAfterDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{MaxConcurrent: 2, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b. b | c.", Literal: "-a"})
+			switch status {
+			case http.StatusOK:
+				decodeQueryResponse(t, body)
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				decodeErrorResponse(t, body)
+			default:
+				t.Errorf("untyped status %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after burst: %v", err)
+	}
+	ts.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC() // nudge idle HTTP keep-alive and timer goroutines
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: baseline=%d now=%d", baseline, runtime.NumGoroutine())
+}
+
+// TestServeBreakerTripsAndRecovers drives the breaker through the
+// HTTP layer: failures recorded for a semantics open its breaker
+// (typed 503 breaker_open with Retry-After), the cooldown admits a
+// probe, and a healthy probe closes the circuit again.
+func TestServeBreakerTripsAndRecovers(t *testing.T) {
+	srv := New(Config{Breaker: BreakerConfig{Threshold: 3, Cooldown: time.Minute}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	br := srv.breakerFor("GCWA")
+	br.now = clk.now
+
+	// Infrastructure failures (as queryHandler would record them after
+	// transient-exhausted responses) open the breaker.
+	for i := 0; i < 3; i++ {
+		br.record(true)
+	}
+	req := QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"}
+	status, body := post(t, ts, "/v1/infer/literal", req)
+	er := decodeErrorResponse(t, body)
+	if status != http.StatusServiceUnavailable || er.Error != ShedBreakerOpen {
+		t.Fatalf("open breaker: status=%d error=%q, want 503/%q", status, er.Error, ShedBreakerOpen)
+	}
+	if er.RetryAfterMS <= 0 {
+		t.Fatalf("open breaker: retry_after_ms = %d, want > 0", er.RetryAfterMS)
+	}
+	// Other semantics are unaffected — the breaker is per-semantics.
+	if status, _ := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "EGCWA", DB: "a | b.", Literal: "-a"}); status != http.StatusOK {
+		t.Fatalf("EGCWA sheared by GCWA's breaker: status %d", status)
+	}
+	if got := srv.stats.shedBreaker.Load(); got != 1 {
+		t.Fatalf("shed_breaker stat = %d, want 1", got)
+	}
+
+	// After the cooldown the next request is the half-open probe; it
+	// succeeds (no fault injection) and closes the breaker.
+	clk.advance(2 * time.Minute)
+	status, body = post(t, ts, "/v1/infer/literal", req)
+	if status != http.StatusOK {
+		t.Fatalf("probe: status %d body %s", status, body)
+	}
+	if qr := decodeQueryResponse(t, body); qr.Incomplete {
+		t.Fatalf("probe incomplete: %s", body)
+	}
+	if state, _ := br.snapshot(); state != "closed" {
+		t.Fatalf("breaker after healthy probe: %s, want closed", state)
+	}
+	// And the circuit keeps serving.
+	if status, _ = post(t, ts, "/v1/infer/literal", req); status != http.StatusOK {
+		t.Fatalf("closed breaker: status %d", status)
+	}
+}
+
+// TestServeHealthzShape checks the health document carries the queue,
+// breaker, and counter fields the smoke harness relies on.
+func TestServeHealthzShape(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if status, _ := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"}); status != http.StatusOK {
+		t.Fatalf("warmup query: %d", status)
+	}
+	h, err := FetchHealth(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+	if h.Goroutines <= 0 {
+		t.Fatal("healthz goroutines missing")
+	}
+	if h.Stats["completed"] != 1 {
+		t.Fatalf("stats.completed = %d, want 1", h.Stats["completed"])
+	}
+	if _, ok := h.Breakers["GCWA"]; !ok {
+		t.Fatal("healthz missing GCWA breaker state")
+	}
+}
+
+// TestServeChaosTaxonomy runs the load generator against an in-process
+// fault-injecting server: under seeded chaos every outcome must stay
+// inside the typed taxonomy and every completed verdict must match the
+// direct library call.
+func TestServeChaosTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load run")
+	}
+	srv := New(Config{MaxConcurrent: 2, QueueDepth: 2, FaultRate: 0.05, FaultSeed: 42, RetryMax: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep := RunLoad(LoadConfig{
+		BaseURL:  ts.URL,
+		Rate:     400,
+		Requests: 120,
+		Workers:  8,
+		Seed:     9,
+		MaxAtoms: 5,
+		Verify:   true,
+		Limits:   LimitsJSON{DeadlineMS: 10000},
+	})
+	if rep.Untyped > 0 {
+		t.Fatalf("untyped outcomes under chaos: %d\n%v", rep.Untyped, rep.UntypedNotes)
+	}
+	if rep.Divergent > 0 {
+		t.Fatalf("served verdicts diverged from library: %d\n%v", rep.Divergent, rep.DivergeNotes)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+	total := rep.Completed + rep.Incomplete + rep.Shed429 + rep.Shed503 + rep.Rejected
+	if total != rep.Offered {
+		t.Fatalf("outcome classes sum to %d, offered %d", total, rep.Offered)
+	}
+	for code := range rep.ByCause {
+		if !KnownCauseCodes[code] {
+			t.Fatalf("cause code %q outside the closed taxonomy", code)
+		}
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain after chaos: %v", err)
+	}
+}
+
+// TestConfigDefaults pins the derived defaults.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxConcurrent <= 0 || c.QueueDepth != 8*c.MaxConcurrent {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.DrainTimeout != 5*time.Second || c.Breaker.Threshold != 5 || c.Breaker.Cooldown != time.Second {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// Explicitly disabled breaker survives withDefaults.
+	c2 := Config{Breaker: BreakerConfig{Threshold: -1}}.withDefaults()
+	if c2.Breaker.Threshold != -1 {
+		t.Fatalf("disabled breaker overridden: %+v", c2.Breaker)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if assertions change

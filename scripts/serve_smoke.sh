@@ -1,0 +1,62 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the inference service's
+# robustness contract, against the real binaries over real sockets.
+#
+# Starts ddbserve with a deliberately tiny admission capacity and a 5%
+# injected fault rate, drives it with ddbload far above the admission
+# limit, and hard-fails on:
+#   - any untyped outcome (a body outside the typed taxonomy),
+#   - any served verdict that diverges from a direct library call,
+#   - server goroutines that fail to settle back to baseline,
+#   - a drain that doesn't exit cleanly on SIGTERM.
+set -eu
+
+ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-8097}"
+URL="http://$ADDR"
+LOG="${TMPDIR:-/tmp}/ddbserve-smoke.log"
+
+go build -o "${TMPDIR:-/tmp}/ddbserve-smoke" ./cmd/ddbserve
+go build -o "${TMPDIR:-/tmp}/ddbload-smoke" ./cmd/ddbload
+
+"${TMPDIR:-/tmp}/ddbserve-smoke" \
+    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -faultrate 0.05 -faultseed 7 -retrymax 2 \
+    -draintimeout 10s >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+i=0
+until curl -sf "$URL/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server never became ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Offered load far above the admission limit (capacity 2+4), with
+# verdict verification against direct library calls and a goroutine
+# settle check. ddbload exits nonzero on any contract violation.
+"${TMPDIR:-/tmp}/ddbload-smoke" \
+    -url "$URL" -rate 1000 -requests 500 -seed 21 -maxatoms 6 \
+    -deadline 10s -verify -settle
+
+# Graceful drain: SIGTERM must produce a clean exit (status 0).
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve-smoke: drain exited with status $STATUS" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+grep -q "clean drain" "$LOG" || {
+    echo "serve-smoke: server log missing clean-drain marker" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+echo "serve-smoke: clean"
