@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -10,10 +11,12 @@ import (
 // solve path. A request first claims a queue slot (shed with
 // ShedQueueFull when none are left — the typed 429), then waits for
 // one of the MaxConcurrent execution slots; while it waits the server
-// may begin draining (shed with ShedDraining, the typed 503) or the
+// may begin draining (shed with ShedDraining, the typed 503), the
 // request's own deadline may expire (ShedQueueWait — still a 429:
 // no solve work was started, so the client should simply back off and
-// retry).
+// retry), or the client may disconnect (ShedClientGone — counted
+// separately so disconnects don't masquerade as deadline sheds in
+// stats).
 //
 // The two-level structure is what makes shedding cheap: a full queue
 // is detected with one atomic add, so overload costs O(1) per shed
@@ -70,7 +73,13 @@ func (a *admission) admit(drainCtx, reqCtx context.Context) admitResult {
 		return admitResult{shed: ShedDraining, waited: time.Since(start)}
 	case <-reqCtx.Done():
 		a.queued.Add(-1)
-		return admitResult{shed: ShedQueueWait, waited: time.Since(start)}
+		// Only a deadline firing is the queue-wait shed (back off and
+		// retry); any other cancellation means the client went away.
+		shed := ShedQueueWait
+		if !errors.Is(context.Cause(reqCtx), context.DeadlineExceeded) {
+			shed = ShedClientGone
+		}
+		return admitResult{shed: shed, waited: time.Since(start)}
 	}
 }
 

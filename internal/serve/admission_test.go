@@ -97,6 +97,34 @@ func TestAdmissionQueueWaitDeadline(t *testing.T) {
 	}
 }
 
+// TestAdmissionClientGone: a plain cancellation of the request context
+// (client disconnect) while queued is classified ShedClientGone, not
+// ShedQueueWait — disconnects must not be counted as deadline sheds.
+func TestAdmissionClientGone(t *testing.T) {
+	a := newAdmission(1, 4)
+	first := a.admit(context.Background(), context.Background())
+	if first.shed != "" {
+		t.Fatalf("first admit shed: %s", first.shed)
+	}
+	reqCtx, cancel := context.WithCancel(context.Background())
+	done := make(chan admitResult, 1)
+	go func() { done <- a.admit(context.Background(), reqCtx) }()
+	waitFor(t, func() bool { _, w, _ := a.depth(); return w == 1 })
+	cancel()
+	select {
+	case res := <-done:
+		if res.shed != ShedClientGone {
+			t.Fatalf("shed=%q, want %q", res.shed, ShedClientGone)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released by client cancel")
+	}
+	first.release()
+	if q, _, _ := a.depth(); q != 0 {
+		t.Fatalf("queued=%d after cancel + release, want 0", q)
+	}
+}
+
 // waitFor polls cond for up to 5s.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

@@ -96,6 +96,11 @@ const (
 	// ShedQueueWait: the request's deadline expired while it was still
 	// queued — no solve work was started (HTTP 429 + Retry-After).
 	ShedQueueWait = "queue_wait_timeout"
+	// ShedClientGone: the client disconnected (or otherwise canceled
+	// the request) while it was still queued — no solve work was
+	// started (HTTP 499, nginx-style "client closed request"; the
+	// response body usually goes unread and exists for logs/stats).
+	ShedClientGone = "client_gone"
 	// ShedDraining: the server is draining and admits nothing new
 	// (HTTP 503).
 	ShedDraining = "draining"

@@ -59,33 +59,52 @@ func newBreaker(cfg BreakerConfig) *breaker {
 
 // allow reports whether a request may proceed. When it returns false
 // the request is shed with ShedBreakerOpen and retryAfter estimates
-// when the next probe slot opens.
-func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+// when the next probe slot opens. probe is true when this request
+// claimed the single half-open probe slot; the caller must then either
+// record its outcome or return the slot with cancelProbe — dropping it
+// would shed every later request forever.
+func (b *breaker) allow() (ok, probe bool, retryAfter time.Duration) {
 	if b == nil || b.cfg.Threshold <= 0 {
-		return true, 0
+		return true, false, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return true, false, 0
 	case breakerOpen:
 		if wait := b.cfg.Cooldown - b.now().Sub(b.openedAt); wait > 0 {
-			return false, wait
+			return false, false, wait
 		}
 		// Cooldown over: become half-open and admit this request as
 		// the probe.
 		b.state = breakerHalfOpen
 		b.probing = true
-		return true, 0
+		return true, true, 0
 	default: // half-open
 		if b.probing {
 			// Exactly one probe at a time; everyone else sheds until
 			// it reports back.
-			return false, b.cfg.Cooldown
+			return false, false, b.cfg.Cooldown
 		}
 		b.probing = true
-		return true, 0
+		return true, true, 0
+	}
+}
+
+// cancelProbe returns an unused probe slot claimed by allow. It is
+// called when a probe-carrying request is shed before reaching the
+// oracle path (admission queue full, queue-wait timeout, client gone,
+// drain): the probe saw neither success nor failure, so the breaker
+// stays half-open and the next allowed request becomes the probe.
+func (b *breaker) cancelProbe() {
+	if b == nil || b.cfg.Threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen && b.probing {
+		b.probing = false
 	}
 }
 

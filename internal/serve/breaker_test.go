@@ -21,7 +21,7 @@ func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock
 func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
 	b, _ := newTestBreaker(3, time.Second)
 	for i := 0; i < 2; i++ {
-		if ok, _ := b.allow(); !ok {
+		if ok, _, _ := b.allow(); !ok {
 			t.Fatalf("closed breaker denied request %d", i)
 		}
 		b.record(true)
@@ -31,11 +31,11 @@ func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		b.record(true)
 	}
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatalf("breaker opened below threshold (2 consecutive after reset)")
 	}
 	b.record(true) // third consecutive failure
-	ok, retryAfter := b.allow()
+	ok, _, retryAfter := b.allow()
 	if ok {
 		t.Fatalf("breaker did not open at threshold")
 	}
@@ -46,23 +46,23 @@ func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
 
 func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	b, clk := newTestBreaker(1, time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("closed breaker denied")
 	}
 	b.record(true)
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("breaker should be open")
 	}
 	clk.advance(1100 * time.Millisecond)
 	// Cooldown over: exactly one probe is admitted.
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("half-open breaker denied the probe")
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("second request admitted while probe in flight")
 	}
 	b.record(false) // probe succeeds
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("breaker did not close after successful probe")
 	}
 	if state, failures := b.snapshot(); state != "closed" || failures != 0 {
@@ -74,19 +74,19 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	b, clk := newTestBreaker(1, time.Second)
 	b.record(true)
 	clk.advance(1100 * time.Millisecond)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("probe denied")
 	}
 	b.record(true) // probe fails
 	if state, _ := b.snapshot(); state != "open" {
 		t.Fatalf("state after failed probe = %s, want open", state)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("reopened breaker admitted a request before cooldown")
 	}
 	// And it recovers again after another full cooldown.
 	clk.advance(1100 * time.Millisecond)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("second probe denied")
 	}
 	b.record(false)
@@ -95,9 +95,55 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbeReleasesSlot is the regression test for the
+// half-open probe leak: a request that claims the probe slot but is
+// then shed at admission must return it via cancelProbe, or every
+// later request sheds forever.
+func TestBreakerCancelProbeReleasesSlot(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.record(true) // opens
+	clk.advance(1100 * time.Millisecond)
+	ok, probe, _ := b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after cooldown = (ok=%v, probe=%v), want probe admitted", ok, probe)
+	}
+	// Probe holder gets shed at admission (queue full / drain) and
+	// reports back neither success nor failure.
+	b.cancelProbe()
+	// The slot must be claimable again — without cancelProbe this
+	// sheds forever.
+	ok, probe, _ = b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after cancelProbe = (ok=%v, probe=%v), want probe admitted", ok, probe)
+	}
+	b.record(false)
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state after re-probed success = %s, want closed", state)
+	}
+}
+
+// TestBreakerCancelProbeOutsideHalfOpenHarmless: cancelProbe from a
+// non-probe request (closed or open state) must not disturb the state
+// machine.
+func TestBreakerCancelProbeOutsideHalfOpenHarmless(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second)
+	b.cancelProbe() // closed: no-op
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("state = %s, want closed", state)
+	}
+	b.record(true)
+	b.record(true)  // opens
+	b.cancelProbe() // open: no-op
+	if state, _ := b.snapshot(); state != "open" {
+		t.Fatalf("state = %s, want open", state)
+	}
+	var nilB *breaker
+	nilB.cancelProbe() // must not panic
+}
+
 func TestBreakerStaleResultWhileOpenIgnored(t *testing.T) {
 	b, _ := newTestBreaker(1, time.Minute)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("denied")
 	}
 	b.record(true) // opens
@@ -113,12 +159,12 @@ func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(BreakerConfig{Threshold: 0})
 	for i := 0; i < 100; i++ {
 		b.record(true)
-		if ok, _ := b.allow(); !ok {
+		if ok, _, _ := b.allow(); !ok {
 			t.Fatal("disabled breaker shed a request")
 		}
 	}
 	var nilB *breaker
-	if ok, _ := nilB.allow(); !ok {
+	if ok, _, _ := nilB.allow(); !ok {
 		t.Fatal("nil breaker shed")
 	}
 	nilB.record(true) // must not panic

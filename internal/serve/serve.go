@@ -54,6 +54,11 @@ import (
 	"disjunct/internal/logic"
 )
 
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected while queued, so the body exists
+// for logs, not for the (gone) client. net/http permits any code ≥ 100.
+const statusClientClosedRequest = 499
+
 // ErrDrainForced reports that the drain deadline passed with requests
 // still in flight; they were canceled through the budget layer (each
 // finished with a typed incomplete verdict, not a torn connection).
@@ -114,14 +119,15 @@ func (c Config) withDefaults() Config {
 
 // stats are the monotonic outcome counters surfaced by /healthz.
 type stats struct {
-	completed     atomic.Int64 // 200 with a definite verdict
-	incomplete    atomic.Int64 // 200 with a typed interruption
-	shedQueueFull atomic.Int64
-	shedQueueWait atomic.Int64
-	shedDraining  atomic.Int64
-	shedBreaker   atomic.Int64
-	badRequest    atomic.Int64 // 400/404/422
-	retries       atomic.Int64 // query-level transient retries performed
+	completed      atomic.Int64 // 200 with a definite verdict
+	incomplete     atomic.Int64 // 200 with a typed interruption
+	shedQueueFull  atomic.Int64
+	shedQueueWait  atomic.Int64
+	shedClientGone atomic.Int64 // client disconnected while queued
+	shedDraining   atomic.Int64
+	shedBreaker    atomic.Int64
+	badRequest     atomic.Int64 // 400/404/422
+	retries        atomic.Int64 // query-level transient retries performed
 }
 
 // Server is the inference service. Create with New, mount Handler on
@@ -140,10 +146,18 @@ type Server struct {
 	baseCtx     context.Context
 	baseCancel  context.CancelCauseFunc
 
-	wg       sync.WaitGroup
-	inFlight atomic.Int64
-	draining atomic.Bool
-	reqSeq   atomic.Uint64
+	// drainMu orders request registration against the start of a drain:
+	// register's wg.Add and Drain's draining.Store are both under it,
+	// so every Add strictly happens-before Drain's Wait (never an Add
+	// from a zero counter concurrent with Wait).
+	drainMu   sync.Mutex
+	wg        sync.WaitGroup
+	drainOnce sync.Once
+	drainDone chan struct{}
+	drainErr  error
+	inFlight  atomic.Int64
+	draining  atomic.Bool
+	reqSeq    atomic.Uint64
 
 	breakerMu sync.Mutex
 	breakers  map[string]*breaker
@@ -161,9 +175,10 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		adm:      newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
-		breakers: map[string]*breaker{},
+		cfg:       cfg,
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		breakers:  map[string]*breaker{},
+		drainDone: make(chan struct{}),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
@@ -193,9 +208,24 @@ func (s *Server) InFlight() int64 { return s.inFlight.Load() }
 // straggler completes its HTTP exchange with a typed incomplete
 // verdict. Returns nil if everything finished inside the deadline,
 // ErrDrainForced otherwise. ctx can force the cancellation phase early.
-// Safe to call more than once; later calls wait for the same drain.
+// Safe to call more than once: the first call runs the drain; later
+// calls wait for that same drain and return its result (their ctx does
+// not restart the grace period or force a drain already reported
+// clean).
 func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		defer close(s.drainDone)
+		s.drainErr = s.drain(ctx)
+	})
+	<-s.drainDone
+	return s.drainErr
+}
+
+// drain is the body of the one real Drain call.
+func (s *Server) drain(ctx context.Context) error {
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	s.drainCancel()
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
@@ -215,6 +245,21 @@ func (s *Server) Drain(ctx context.Context) error {
 		return ErrDrainForced
 	}
 	return nil
+}
+
+// register adds the request to the drain WaitGroup unless draining has
+// begun; it returns false (and adds nothing) in the latter case. Under
+// drainMu a request either sees draining set and sheds, or completes
+// its Add before Drain can begin waiting — so a drain reported clean
+// never leaves a registered request still running.
+func (s *Server) register() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.wg.Add(1)
+	return true
 }
 
 // breakerFor returns (creating on first use) the breaker guarding one
@@ -374,7 +419,8 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			return
 		}
 		br := s.breakerFor(pq.semName)
-		if ok, retryAfter := br.allow(); !ok {
+		ok, probe, retryAfter := br.allow()
+		if !ok {
 			s.stats.shedBreaker.Add(1)
 			writeShed(w, http.StatusServiceUnavailable, ErrorResponse{
 				Error:        ShedBreakerOpen,
@@ -383,6 +429,19 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			})
 			return
 		}
+
+		// Register with the drain WaitGroup before admission so Drain's
+		// Wait covers the whole admit+execute span (queued requests are
+		// released promptly via drainCtx).
+		if !s.register() {
+			if probe {
+				br.cancelProbe()
+			}
+			s.stats.shedDraining.Add(1)
+			writeShed(w, http.StatusServiceUnavailable, ErrorResponse{Error: ShedDraining})
+			return
+		}
+		defer s.wg.Done()
 
 		// The queue wait is bounded by the request's effective deadline
 		// (measured from arrival); the solve budget restarts after
@@ -395,8 +454,12 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 		}
 		res := s.adm.admit(s.drainCtx, admCtx)
 		if res.shed != "" {
-			// The breaker saw neither success nor failure: report
-			// success=stale by not recording anything.
+			// The breaker saw neither success nor failure: record
+			// nothing, but return a claimed probe slot so the breaker
+			// can't wedge half-open with probing set forever.
+			if probe {
+				br.cancelProbe()
+			}
 			switch res.shed {
 			case ShedQueueFull:
 				s.stats.shedQueueFull.Add(1)
@@ -404,18 +467,17 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			case ShedQueueWait:
 				s.stats.shedQueueWait.Add(1)
 				writeShed(w, http.StatusTooManyRequests, ErrorResponse{Error: ShedQueueWait, RetryAfterMS: 50})
+			case ShedClientGone:
+				s.stats.shedClientGone.Add(1)
+				writeShed(w, statusClientClosedRequest, ErrorResponse{Error: ShedClientGone})
 			default:
 				s.stats.shedDraining.Add(1)
 				writeShed(w, http.StatusServiceUnavailable, ErrorResponse{Error: ShedDraining})
 			}
 			return
 		}
-		s.wg.Add(1)
 		s.inFlight.Add(1)
-		defer func() {
-			s.inFlight.Add(-1)
-			s.wg.Done()
-		}()
+		defer s.inFlight.Add(-1)
 		defer res.release()
 		if s.testHook != nil {
 			s.testHook()
@@ -492,14 +554,15 @@ func (s *Server) health() Health {
 		Goroutines: runtime.NumGoroutine(),
 		Breakers:   map[string]breakerReport{},
 		Stats: map[string]int64{
-			"completed":       s.stats.completed.Load(),
-			"incomplete":      s.stats.incomplete.Load(),
-			"shed_queue_full": s.stats.shedQueueFull.Load(),
-			"shed_queue_wait": s.stats.shedQueueWait.Load(),
-			"shed_draining":   s.stats.shedDraining.Load(),
-			"shed_breaker":    s.stats.shedBreaker.Load(),
-			"bad_request":     s.stats.badRequest.Load(),
-			"retries":         s.stats.retries.Load(),
+			"completed":        s.stats.completed.Load(),
+			"incomplete":       s.stats.incomplete.Load(),
+			"shed_queue_full":  s.stats.shedQueueFull.Load(),
+			"shed_queue_wait":  s.stats.shedQueueWait.Load(),
+			"shed_client_gone": s.stats.shedClientGone.Load(),
+			"shed_draining":    s.stats.shedDraining.Load(),
+			"shed_breaker":     s.stats.shedBreaker.Load(),
+			"bad_request":      s.stats.badRequest.Load(),
+			"retries":          s.stats.retries.Load(),
 		},
 	}
 	if s.draining.Load() {

@@ -599,6 +599,151 @@ func TestServeChaosTaxonomy(t *testing.T) {
 	}
 }
 
+// TestServeAdmissionShedReturnsProbe is the regression test for the
+// half-open probe leak: a request that claims a breaker's probe slot
+// but is then shed by a full admission queue must return the slot, or
+// the breaker stays wedged half-open and 503s that semantics forever.
+func TestServeAdmissionShedReturnsProbe(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1, Breaker: BreakerConfig{Threshold: 1, Cooldown: time.Second}})
+	hold := make(chan struct{})
+	srv.testHook = func() { <-hold }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Open GCWA's breaker directly and move past the cooldown with the
+	// injectable clock, so the next GCWA request is the half-open probe.
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := srv.breakerFor("GCWA")
+	b.now = clk.now
+	b.record(true) // threshold 1: opens
+	clk.advance(1100 * time.Millisecond)
+
+	// Fill the exec slot and the single queue slot with requests for a
+	// different semantics (its own breaker, unaffected).
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			status, _ := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "EGCWA", DB: "a | b. a | c.", Literal: "-b"})
+			results <- status
+		}()
+	}
+	waitFor(t, func() bool { q, _, _ := srv.adm.depth(); return q == 2 })
+
+	// The probe-carrying GCWA request sheds on the full queue...
+	status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+	if er := decodeErrorResponse(t, body); status != http.StatusTooManyRequests || er.Error != ShedQueueFull {
+		t.Fatalf("probe request: status=%d error=%q, want 429/%q", status, er.Error, ShedQueueFull)
+	}
+
+	close(hold)
+	for i := 0; i < 2; i++ {
+		if status := <-results; status != http.StatusOK {
+			t.Fatalf("holder request status %d", status)
+		}
+	}
+
+	// ...and the probe slot must be free again: the next GCWA request
+	// is admitted as the new probe and its success closes the breaker.
+	status, body = post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+	if status != http.StatusOK {
+		t.Fatalf("post-shed probe: status %d body %s (breaker wedged half-open?)", status, body)
+	}
+	if state, _ := b.snapshot(); state != "closed" {
+		t.Fatalf("breaker state = %q, want closed after successful probe", state)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServeClientGoneWhileQueued: a client that disconnects while its
+// request is still queued is shed with the typed 499 client_gone —
+// not miscounted as a queue-wait deadline shed.
+func TestServeClientGoneWhileQueued(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 4})
+	hold := make(chan struct{})
+	srv.testHook = func() { <-hold }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	holder := make(chan int, 1)
+	go func() {
+		status, _ := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+		holder <- status
+	}()
+	waitFor(t, func() bool { return srv.InFlight() == 1 })
+
+	reqBody, err := json.Marshal(QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/infer/literal", bytes.NewReader(reqBody)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	served := make(chan struct{})
+	go func() { defer close(served); srv.Handler().ServeHTTP(rec, req) }()
+	waitFor(t, func() bool { _, w, _ := srv.adm.depth(); return w == 1 })
+	cancel()
+	<-served
+
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if er := decodeErrorResponse(t, rec.Body.Bytes()); er.Error != ShedClientGone {
+		t.Fatalf("error = %q, want %q", er.Error, ShedClientGone)
+	}
+	if got := srv.stats.shedClientGone.Load(); got != 1 {
+		t.Fatalf("shed_client_gone = %d, want 1", got)
+	}
+	if got := srv.stats.shedQueueWait.Load(); got != 0 {
+		t.Fatalf("shed_queue_wait = %d, want 0 (disconnect miscounted as deadline shed)", got)
+	}
+	close(hold)
+	if status := <-holder; status != http.StatusOK {
+		t.Fatalf("holder request status %d", status)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServeDrainIdempotent: Drain runs exactly once — concurrent and
+// later calls wait for that same drain and return its stored result
+// (a repeat call must not restart the grace period and report nil
+// after the first drain was forced).
+func TestServeDrainIdempotent(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 1, DrainTimeout: 100 * time.Millisecond})
+	srv.testHook = func() { <-srv.baseCtx.Done() }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		status, body := post(t, ts, "/v1/infer/literal", QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+		if status != http.StatusOK {
+			t.Errorf("straggler status %d body %s", status, body)
+		}
+	}()
+	waitFor(t, func() bool { return srv.InFlight() == 1 })
+
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- srv.Drain(context.Background()) }()
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrDrainForced) {
+			t.Fatalf("concurrent drain %d = %v, want ErrDrainForced", i, err)
+		}
+	}
+	// A later call returns the stored forced result; rerunning the body
+	// on the now-idle server would wrongly report a clean nil drain.
+	if err := srv.Drain(context.Background()); !errors.Is(err, ErrDrainForced) {
+		t.Fatalf("repeat drain = %v, want stored ErrDrainForced", err)
+	}
+	<-finished
+}
+
 // TestConfigDefaults pins the derived defaults.
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
