@@ -44,7 +44,7 @@ soak:
 # Bounded chaos soak: budgets + deadline + seeded fault injection.
 # Fails on silent corruption, untyped interruptions, or goroutine leaks.
 chaos:
-	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -servefrac 0.3 -v
+	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -servefrac 0.3 -sessionfrac 0.3 -v
 
 # End-to-end service smoke: real binaries, offered load above the
 # admission limit, 5% injected faults, SIGTERM drain. Fails on untyped

@@ -57,6 +57,7 @@ func main() {
 	comparePar(g, base.Report.Parallel, fresh.Report.Parallel)
 	comparePool(g, base.Report.Pool, fresh.Report.Pool)
 	compareCache(g, base.Report.Cache, fresh.Report.Cache)
+	compareSession(g, base.Report.Session, fresh.Report.Session)
 
 	if g.failures > 0 {
 		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
@@ -139,6 +140,42 @@ func compareCache(g *gate, base, fresh []bench.CacheCase) {
 		g.eq("cache", id, "cache_hits", b.Hits, f.Hits)
 		g.eq("cache", id, "cache_misses", b.Misses, f.Misses)
 		g.eq("cache", id, "par_np_calls", b.ParNP, f.ParNP)
+	}
+}
+
+// compareSession gates the warm-session sweep: the fresh-engine NP
+// total is pinned to the baseline (the workload is deterministic), the
+// fast path must stay at zero NP calls, and the session total must
+// never exceed the fresh total. The session total itself is bounded
+// rather than pinned — learned-clause retention inside a warm engine
+// may legitimately shift the exact count between toolchain versions,
+// but never above the fresh-path cost.
+func compareSession(g *gate, base, fresh []bench.SessionCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  session: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		return
+	}
+	type key struct{ name, sem string }
+	byKey := map[key]bench.SessionCase{}
+	for _, c := range fresh {
+		byKey[key{c.Name, c.Semantics}] = c
+	}
+	for _, b := range base {
+		id := b.Name + "/" + b.Semantics
+		f, ok := byKey[key{b.Name, b.Semantics}]
+		if !ok {
+			g.missing("session", id)
+			continue
+		}
+		g.eq("session", id, "fresh_np_calls", b.FreshNP, f.FreshNP)
+		g.eq("session", id, "fast_np_calls", 0, f.FastNP)
+		g.checked++
+		if f.SessionNP > f.FreshNP {
+			g.failures++
+			fmt.Printf("  FAIL session/%s: session NP total %d exceeds fresh total %d\n", id, f.SessionNP, f.FreshNP)
+		}
+		fmt.Printf("  session/%s: fresh %s, session %s, %.1fx (wall-clock, not gated)\n",
+			id, ms(b.FreshMS, f.FreshMS), ms(b.SessionMS, f.SessionMS), f.Speedup)
 	}
 }
 

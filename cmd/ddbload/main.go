@@ -37,6 +37,8 @@ func main() {
 		confl    = flag.Int64("conflictbudget", 0, "per-request conflict-budget ask (0 = none)")
 		npcalls  = flag.Int64("npcallbudget", 0, "per-request NP-call-budget ask (0 = none)")
 		verify   = flag.Bool("verify", true, "cross-check completed verdicts against direct library calls")
+		hotDBs   = flag.Int("hotdbs", 0, "draw databases from a fixed pool of this size (repeat-DB workload; 0 = fresh db per request)")
+		semList  = flag.String("semantics", "", "comma-separated semantics restriction (default: every registered semantics)")
 		settle   = flag.Bool("settle", false, "after the run, require server goroutines to settle near idle baseline")
 		sweep    = flag.String("sweep", "", "comma-separated offered rates; run the workload once per rate and print a table")
 	)
@@ -50,6 +52,17 @@ func main() {
 		Seed:     *seed,
 		MaxAtoms: *maxAtoms,
 		Verify:   *verify,
+		HotDBs:   *hotDBs,
+		Semantics: func() []string {
+			if *semList == "" {
+				return nil
+			}
+			var out []string
+			for _, s := range strings.Split(*semList, ",") {
+				out = append(out, strings.TrimSpace(s))
+			}
+			return out
+		}(),
 		Limits: serve.LimitsJSON{
 			DeadlineMS: deadline.Milliseconds(),
 			Conflicts:  *confl,

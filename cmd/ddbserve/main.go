@@ -43,6 +43,11 @@ func main() {
 		brkCooldown   = flag.Duration("breakercooldown", time.Second, "open-breaker cooldown before the half-open probe")
 		faultRate     = flag.Float64("faultrate", 0, "injected oracle fault probability (chaos mode)")
 		faultSeed     = flag.Int64("faultseed", 1, "fault injection seed")
+		sessions      = flag.Bool("sessions", false, "enable warm query sessions: compiled-DB cache, fragment fast paths, request coalescing")
+		sessBytes     = flag.Int64("sessionbytes", 0, "compiled-DB cache byte budget (0 = 64 MiB default)")
+		sessMax       = flag.Int("sessionmax", 0, "max resident warm sessions (0 = default 64)")
+		sessQueries   = flag.Int("sessionqueries", 0, "warm queries before an engine is retired (0 = default 512)")
+		sessWindow    = flag.Duration("sessionwindow", 0, "micro-batch wait for a busy session before falling back fresh (0 = default 2ms)")
 	)
 	flag.Parse()
 
@@ -57,9 +62,14 @@ func main() {
 			Propagations: *propCap,
 			NPCalls:      *npCap,
 		},
-		Breaker:   serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
-		FaultRate: *faultRate,
-		FaultSeed: *faultSeed,
+		Breaker:            serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		FaultRate:          *faultRate,
+		FaultSeed:          *faultSeed,
+		Sessions:           *sessions,
+		SessionCacheBytes:  *sessBytes,
+		SessionMaxSessions: *sessMax,
+		SessionMaxQueries:  *sessQueries,
+		SessionBatchWindow: *sessWindow,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -67,7 +77,7 @@ func main() {
 		log.Fatalf("ddbserve: listen %s: %v", *addr, err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s)", ln.Addr(), *faultRate, *drainTimeout)
+	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s sessions=%v)", ln.Addr(), *faultRate, *drainTimeout, *sessions)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -24,11 +24,19 @@
 // fault rate, so served answers must be complete-and-correct or carry
 // a typed interruption cause.
 //
+// A random subset of iterations (-sessionfrac) is additionally replayed
+// through a shared warm session manager (compiled-DB cache, fragment
+// fast paths, warm incremental engines), cross-checking every handled
+// verdict against the brute-force references, asserting repeats cost
+// zero NP calls, and failing on any leaked checkout. When -sessionfrac
+// and -servefrac are both set, the in-process server also runs with its
+// session layer enabled, so the wire path exercises the warm routes.
+//
 // Usage:
 //
 //	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N]
 //	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S]
-//	        [-servefrac F] [-v]
+//	        [-servefrac F] [-sessionfrac F] [-v]
 package main
 
 import (
@@ -56,6 +64,7 @@ import (
 	"disjunct/internal/oracle"
 	"disjunct/internal/refsem"
 	"disjunct/internal/serve"
+	"disjunct/internal/session"
 
 	_ "disjunct/internal/semantics/all"
 )
@@ -71,6 +80,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "chaos mode: injected fault rate (0 = none)")
 	faultSeed := flag.Int64("faultseed", 1, "chaos mode: fault injector seed (salted per iteration)")
 	serveFrac := flag.Float64("servefrac", 0, "fraction of iterations replayed through an in-process HTTP server (0 = off)")
+	sessionFrac := flag.Float64("sessionfrac", 0, "fraction of iterations replayed through a shared warm session manager (0 = off)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -91,8 +101,13 @@ func main() {
 	}
 	var sc *serveChecker
 	if *serveFrac > 0 {
-		sc = newServeChecker(*faultRate, *faultSeed)
-		fmt.Printf("serve: servefrac=%g faultrate=%g\n", *serveFrac, *faultRate)
+		sc = newServeChecker(*faultRate, *faultSeed, *sessionFrac > 0)
+		fmt.Printf("serve: servefrac=%g faultrate=%g sessions=%v\n", *serveFrac, *faultRate, *sessionFrac > 0)
+	}
+	var sx *sessionChecker
+	if *sessionFrac > 0 {
+		sx = &sessionChecker{mgr: session.NewManager(session.Config{})}
+		fmt.Printf("session: sessionfrac=%g\n", *sessionFrac)
 	}
 	divergences := 0
 	for i := 0; *iters == 0 || i < *iters; i++ {
@@ -119,6 +134,9 @@ func main() {
 		if sc != nil && rng.Float64() < *serveFrac {
 			ok = sc.check(d, rng) && ok
 		}
+		if sx != nil && rng.Float64() < *sessionFrac {
+			ok = sx.check(d, rng) && ok
+		}
 		if !ok {
 			divergences++
 			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
@@ -138,6 +156,14 @@ func main() {
 		}
 		fmt.Printf("serve cross-check: %d queries, completed=%d interrupted=%d\n",
 			sc.queries, sc.completed, sc.interrupted)
+	}
+	if sx != nil {
+		if !sx.close() {
+			divergences++
+		}
+		st := sx.mgr.Stats()
+		fmt.Printf("session cross-check: %d queries, handled=%d fast=%d warm=%d memohits=%d retired=%d\n",
+			sx.queries, sx.handled, st.FastQueries, st.WarmQueries, st.MemoHits, st.Retired)
 	}
 	if chaos != nil {
 		if !chaos.settle() {
@@ -288,8 +314,8 @@ type serveChecker struct {
 	interrupted int
 }
 
-func newServeChecker(faultRate float64, faultSeed int64) *serveChecker {
-	srv := serve.New(serve.Config{FaultRate: faultRate, FaultSeed: faultSeed, RetryMax: 2})
+func newServeChecker(faultRate float64, faultSeed int64, sessions bool) *serveChecker {
+	srv := serve.New(serve.Config{FaultRate: faultRate, FaultSeed: faultSeed, RetryMax: 2, Sessions: sessions})
 	return &serveChecker{srv: srv, hs: httptest.NewServer(srv.Handler())}
 }
 
@@ -388,6 +414,86 @@ func (sc *serveChecker) check(d *db.DB, rng *rand.Rand) bool {
 		}
 	}
 	return ok
+}
+
+// sessionChecker replays literal queries through one warm session
+// manager shared across all iterations — the compiled-DB cache, the
+// fragment fast paths, and the warm incremental engines all accumulate
+// state — and cross-checks every verdict the layer handles against the
+// brute-force references. Repeats of a handled query must cost zero NP
+// calls, and no checkout may leak by the end of the soak.
+type sessionChecker struct {
+	mgr     *session.Manager
+	queries int
+	handled int
+}
+
+func (sx *sessionChecker) check(d *db.DB, rng *rand.Rand) bool {
+	comp := sx.mgr.InternDB(d)
+	lit := logic.NegLit(logic.Atom(rng.Intn(d.N())))
+	ok := true
+	ctx := context.Background()
+
+	type refFn func(*db.DB) []logic.Interp
+	cases := []struct {
+		sem      string
+		ref      refFn
+		positive bool
+		noIC     bool
+	}{
+		{"GCWA", refsem.GCWA, false, false},
+		{"EGCWA", refsem.EGCWA, false, false},
+		{"DDR", refsem.DDR, true, false},
+		{"PWS", refsem.PWS, true, false},
+		{"DSM", refsem.DSM, false, false},
+		{"PERF", refsem.PERF, false, true},
+	}
+	for _, c := range cases {
+		if c.positive && d.HasNegation() {
+			continue
+		}
+		if c.noIC && d.HasIntegrityClauses() {
+			continue
+		}
+		sx.queries++
+		req := session.Request{Sem: c.sem, Kind: session.KindLiteral, Lit: lit, QueryText: d.Voc.LitString(lit)}
+		res, handled := sx.mgr.Query(ctx, comp, req)
+		if !handled {
+			continue
+		}
+		if res.Err != nil {
+			fmt.Printf("  session %s: unbudgeted query interrupted: %v\n", c.sem, res.Err)
+			ok = false
+			continue
+		}
+		sx.handled++
+		want := refsem.Entails(c.ref(d), logic.LitF(lit))
+		if res.Holds != want {
+			fmt.Printf("  session %s ⊨ %s (path %s): session=%v reference=%v\n",
+				c.sem, d.Voc.LitString(lit), res.Path, res.Holds, want)
+			ok = false
+		}
+		if res.Path == "fast" && res.Counters.NPCalls != 0 {
+			fmt.Printf("  session %s: fast path consumed %d NP calls\n", c.sem, res.Counters.NPCalls)
+			ok = false
+		}
+		res2, h2 := sx.mgr.Query(ctx, comp, req)
+		if !h2 || res2.Err != nil || res2.Holds != want || res2.Counters.NPCalls != 0 {
+			fmt.Printf("  session %s: repeat diverged (handled=%v err=%v holds=%v np=%d want=%v)\n",
+				c.sem, h2, res2.Err, res2.Holds, res2.Counters.NPCalls, want)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// close verifies no session is still checked out after the soak.
+func (sx *sessionChecker) close() bool {
+	if st := sx.mgr.Stats(); st.ActiveCheckouts != 0 {
+		fmt.Printf("  session: checkout leak — %d outstanding\n", st.ActiveCheckouts)
+		return false
+	}
+	return true
 }
 
 // cacheChecker replays production-semantics queries with the oracle

@@ -77,6 +77,7 @@ type ParallelReport struct {
 	Parallel []ParallelCase `json:"parallel"`
 	Pool     []PoolCase     `json:"solver_pool"`
 	Cache    []CacheCase    `json:"cache"`
+	Session  []SessionCase  `json:"session,omitempty"`
 }
 
 func parallelDBs(scale Scale) []struct {
@@ -209,6 +210,9 @@ func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
 	}
 
 	if err := runCacheSweep(scale, workers, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runSessionSweep(scale, w, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

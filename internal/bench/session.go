@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+	"disjunct/internal/session"
+)
+
+// SessionCase is one (instance family × semantics) fresh-vs-session
+// comparison. The workload (literal inference over every atom both
+// polarities, model existence, one formula entailment where the route
+// supports it — each issued TWICE, the repeat-DB traffic shape the
+// session layer amortizes) runs once against a fresh engine per query
+// and once through a session.Manager holding the compiled artifact.
+// runSessionSweep asserts that every verdict is identical, that the
+// fast path consumed zero NP calls, and that the session workload
+// total never exceeds the fresh total; wall-clock is reported, never
+// gated.
+type SessionCase struct {
+	Name        string  `json:"name"`
+	Semantics   string  `json:"semantics"`
+	Fragment    string  `json:"fragment"`
+	Atoms       int     `json:"atoms"`
+	Queries     int     `json:"queries"`
+	FastQueries int     `json:"fast_queries"`
+	WarmQueries int     `json:"warm_queries"`
+	MemoHits    int64   `json:"memo_hits"`
+	FreshNP     int64   `json:"fresh_np_calls"`
+	SessionNP   int64   `json:"session_np_calls"`
+	FastNP      int64   `json:"fast_np_calls"`
+	FreshMS     float64 `json:"fresh_ms"`
+	SessionMS   float64 `json:"session_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// sessionDBs builds the seeded instance families of the sweep: one
+// per fast-path fragment plus a general disjunctive family that
+// exercises the warm incremental route.
+func sessionDBs(scale Scale) []struct {
+	name string
+	db   *db.DB
+	sems []string
+} {
+	rng := rand.New(rand.NewSource(73))
+	defN, stratN, posN := 14, 10, 10
+	if scale == Full {
+		defN, stratN, posN = 20, 14, 13
+	}
+
+	// Definite program: single positive head, no denials.
+	def := db.New()
+	var as []logic.Atom
+	for i := 0; i < defN; i++ {
+		as = append(as, def.Voc.Intern(fmt.Sprintf("p%d", i)))
+	}
+	for i := 0; i < 3*defN/2; i++ {
+		head := as[rng.Intn(defN)]
+		var body []logic.Atom
+		for _, a := range as {
+			if a != head && rng.Intn(4) == 0 {
+				body = append(body, a)
+			}
+		}
+		def.AddRule([]logic.Atom{head}, body, nil)
+	}
+
+	// Stratified normal program: regenerate until the compiler
+	// classifies it (a draw can be non-stratifiable or degenerate).
+	var strat *db.DB
+	for {
+		strat = gen.RandomStratified(rng, stratN, 3*stratN/2, 3)
+		if session.Compile("", strat).Frag == session.FragStratNormal {
+			break
+		}
+	}
+
+	// General disjunctive positive database: regenerate until no fast
+	// path applies, so the warm route is what gets measured.
+	var pos *db.DB
+	for {
+		pos = gen.Random(rng, gen.Positive(posN, 3*posN/2))
+		if session.Compile("", pos).Frag == session.FragGeneral {
+			break
+		}
+	}
+
+	return []struct {
+		name string
+		db   *db.DB
+		sems []string
+	}{
+		{fmt.Sprintf("definite-n%d", defN), def, []string{"GCWA", "DSM"}},
+		{fmt.Sprintf("strat-n%d", stratN), strat, []string{"DSM", "PERF"}},
+		{fmt.Sprintf("rand-pos-n%d", posN), pos, []string{"GCWA", "ECWA", "CIRC"}},
+	}
+}
+
+// sessionFormulaRoutes: the routes that answer formula queries — every
+// fast-path fragment (evaluation on the fixpoint model) and the warm
+// minimal-model-entailment engines.
+var sessionFormulaRoutes = map[string]bool{"EGCWA": true, "ECWA": true, "CIRC": true}
+
+// runSessionWorkload drives the doubled query stream for one
+// (instance, semantics) pair through both routes and audits the
+// session contract.
+func runSessionWorkload(name string, d *db.DB, semName string) (SessionCase, error) {
+	sc := SessionCase{Name: name, Semantics: semName, Atoms: d.N()}
+
+	freshOra := oracle.NewNP()
+	fresh, ok := core.New(semName, core.Options{Oracle: freshOra})
+	if !ok {
+		return sc, fmt.Errorf("session %s: semantics %q not registered", name, semName)
+	}
+	mgr := session.NewManager(session.Config{})
+	comp := mgr.InternDB(d)
+	sc.Fragment = comp.Frag.String()
+
+	type query struct {
+		kind session.Kind
+		lit  logic.Lit
+		f    *logic.Formula
+		text string
+	}
+	var qs []query
+	for a := 0; a < d.N(); a++ {
+		for _, l := range []logic.Lit{logic.PosLit(logic.Atom(a)), logic.NegLit(logic.Atom(a))} {
+			qs = append(qs, query{kind: session.KindLiteral, lit: l, text: d.Voc.LitString(l)})
+		}
+	}
+	qs = append(qs, query{kind: session.KindModel})
+	if comp.Frag != session.FragGeneral || sessionFormulaRoutes[semName] {
+		f := logic.Or(logic.And(logic.AtomF(0), logic.Not(logic.AtomF(1))), logic.AtomF(2))
+		qs = append(qs, query{kind: session.KindFormula, f: f, text: f.String(d.Voc)})
+	}
+
+	ctx := context.Background()
+	var freshT, sessT time.Duration
+	for round := 0; round < 2; round++ {
+		for _, q := range qs {
+			sc.Queries++
+
+			before := freshOra.Counters().NPCalls
+			t0 := time.Now()
+			var want bool
+			var err error
+			switch q.kind {
+			case session.KindLiteral:
+				want, err = fresh.InferLiteral(d, q.lit)
+			case session.KindFormula:
+				want, err = fresh.InferFormula(d, q.f)
+			default:
+				want, err = fresh.HasModel(d)
+			}
+			freshT += time.Since(t0)
+			if err != nil {
+				return sc, fmt.Errorf("session %s/%s: fresh %s %q: %v", name, semName, q.kind, q.text, err)
+			}
+			sc.FreshNP += freshOra.Counters().NPCalls - before
+
+			t0 = time.Now()
+			res, handled := mgr.Query(ctx, comp, session.Request{
+				Sem: semName, Kind: q.kind, Lit: q.lit, F: q.f, QueryText: q.text,
+			})
+			sessT += time.Since(t0)
+			if !handled {
+				return sc, fmt.Errorf("session %s/%s: %s %q not handled by the session layer", name, semName, q.kind, q.text)
+			}
+			if res.Err != nil {
+				return sc, fmt.Errorf("session %s/%s: warm %s %q: %v", name, semName, q.kind, q.text, res.Err)
+			}
+			if res.Holds != want {
+				return sc, fmt.Errorf("session %s/%s: %s %q verdict diverged: fresh %v, session %v",
+					name, semName, q.kind, q.text, want, res.Holds)
+			}
+			sc.SessionNP += res.Counters.NPCalls
+			if res.Path == "fast" {
+				sc.FastQueries++
+				sc.FastNP += res.Counters.NPCalls
+			} else {
+				sc.WarmQueries++
+			}
+			// The second issue of a session-handled query is memoized:
+			// it must consume zero oracle calls.
+			if round == 1 && res.Counters.NPCalls != 0 {
+				return sc, fmt.Errorf("session %s/%s: repeat of %s %q consumed %d NP calls, want 0 (memo)",
+					name, semName, q.kind, q.text, res.Counters.NPCalls)
+			}
+		}
+	}
+
+	st := mgr.Stats()
+	sc.MemoHits = st.MemoHits
+	if st.ActiveCheckouts != 0 {
+		return sc, fmt.Errorf("session %s/%s: %d checkouts leaked", name, semName, st.ActiveCheckouts)
+	}
+	if sc.FastNP != 0 {
+		return sc, fmt.Errorf("session %s/%s: fast path consumed %d NP calls, want 0", name, semName, sc.FastNP)
+	}
+	if sc.SessionNP > sc.FreshNP {
+		return sc, fmt.Errorf("session %s/%s: session NP total %d exceeds fresh total %d",
+			name, semName, sc.SessionNP, sc.FreshNP)
+	}
+	if sc.WarmQueries > 0 && sc.MemoHits == 0 {
+		return sc, fmt.Errorf("session %s/%s: warm repeats never hit the memo", name, semName)
+	}
+	sc.FreshMS = float64(freshT.Microseconds()) / 1e3
+	sc.SessionMS = float64(sessT.Microseconds()) / 1e3
+	if sessT > 0 {
+		sc.Speedup = float64(freshT) / float64(sessT)
+	}
+	return sc, nil
+}
+
+// runSessionSweep is the fresh-vs-session section of RunParallel: the
+// repeat-DB workload on both routes, with the zero-NP fast-path and
+// session-never-exceeds-fresh invariants enforced inline.
+func runSessionSweep(scale Scale, w io.Writer, rep *ParallelReport) error {
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  warm sessions (doubled workload, fresh engines vs session layer):\n")
+	fmt.Fprintf(w, "  %-14s %-5s %-12s %4s %5s %5s %5s %9s %8s %10s %10s %8s\n",
+		"instance", "sem", "fragment", "q", "fast", "warm", "memo", "NP-fresh", "NP-sess", "fresh", "session", "speedup")
+
+	for _, fam := range sessionDBs(scale) {
+		for _, semName := range fam.sems {
+			sc, err := runSessionWorkload(fam.name, fam.db, semName)
+			if err != nil {
+				return err
+			}
+			rep.Session = append(rep.Session, sc)
+			fmt.Fprintf(w, "  %-14s %-5s %-12s %4d %5d %5d %5d %9d %8d %10s %10s %7.1fx\n",
+				sc.Name, sc.Semantics, sc.Fragment, sc.Queries, sc.FastQueries, sc.WarmQueries,
+				sc.MemoHits, sc.FreshNP, sc.SessionNP,
+				fmtDuration(time.Duration(sc.FreshMS*float64(time.Millisecond))),
+				fmtDuration(time.Duration(sc.SessionMS*float64(time.Millisecond))),
+				sc.Speedup)
+		}
+	}
+	return nil
+}

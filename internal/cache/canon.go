@@ -77,12 +77,32 @@ const branchBudget = 48
 // CNF query over nVars variables. It never mutates cnf.
 func Canonicalize(nVars int, cnf logic.CNF) Canon {
 	raw := rawFingerprint(nVars, cnf)
+	nm := normalize(cnf)
+	st := &canonState{clauses: nm.clauses, n: nm.n, budget: branchBudget}
+	sig := st.initialSigs()
+	st.refine(sig)
+	st.search(sig, 0)
+	return Canon{Key: Key(st.best), Raw: raw, Vars: nm.n}
+}
 
-	// Normalize each clause — sort literals, drop duplicates, drop
-	// tautological clauses (x ∨ ¬x ∨ …) — then map the surviving
-	// clauses onto dense variable ids and deduplicate them.
+// normalized is the renaming-ready normal form shared by the full
+// canonical labeling (Canonicalize) and the cheap structural
+// fingerprint (Fingerprint): literals sorted and deduplicated per
+// clause, tautological clauses dropped, variables mapped onto dense
+// ids in order of first occurrence, clauses sorted and deduplicated.
+// Two isomorphic inputs normalize to clause sets that are variable
+// renamings of each other.
+type normalized struct {
+	clauses [][]int // dense literals 2v / 2v+1, lit-sorted, clause-deduped
+	n       int     // dense variable count
+	lits    int     // total literal count of the normalized clause set
+}
+
+// normalize computes the shared normal form. It never mutates cnf.
+func normalize(cnf logic.CNF) normalized {
 	denseOf := map[logic.Atom]int{}
 	nDense := 0
+	lits := 0
 	clauses := make([][]int, 0, len(cnf))
 	for _, cl := range cnf {
 		c := append([]logic.Lit(nil), cl...)
@@ -117,12 +137,45 @@ func Canonicalize(nVars int, cnf logic.CNF) Canon {
 	}
 	slices.SortFunc(clauses, slices.Compare)
 	clauses = slices.CompactFunc(clauses, slices.Equal[[]int])
+	for _, c := range clauses {
+		lits += len(c)
+	}
+	return normalized{clauses: clauses, n: nDense, lits: lits}
+}
 
-	st := &canonState{clauses: clauses, n: nDense, budget: branchBudget}
-	sig := st.initialSigs()
-	st.refine(sig)
-	st.search(sig, 0)
-	return Canon{Key: Key(st.best), Raw: raw, Vars: nDense}
+// Fingerprint computes a cheap isomorphism-invariant structural hash of
+// a query: the hash of the normalized clause-size multiset combined
+// with the sorted multiset of per-variable occurrence profiles (the
+// degree/polarity signature each variable would seed the full
+// refinement with). Isomorphic CNFs always fingerprint equally —
+// queries with equal canonical Keys have equal fingerprints — while
+// unequal classes may rarely collide, which costs only a detour
+// through full canonicalization, never correctness. It also returns
+// the normalized literal count (the retention-bound measure, itself
+// class-invariant). Fingerprint does no refinement or branching: one
+// pass plus small sorts.
+func Fingerprint(nVars int, cnf logic.CNF) (fp uint64, lits int) {
+	_ = nVars // unused variables never influence the structural class
+	nm := normalize(cnf)
+	occ := make([][]uint64, nm.n)
+	for _, c := range nm.clauses {
+		for _, dl := range c {
+			occ[dl>>1] = append(occ[dl>>1], mix(uint64(len(c)), uint64(dl&1)))
+		}
+	}
+	vsig := make([]uint64, nm.n)
+	for v := range vsig {
+		slices.Sort(occ[v])
+		vsig[v] = hashSeq(0x9e3779b97f4a7c15, occ[v])
+	}
+	slices.Sort(vsig) // multiset: renaming-invariant
+	return hashSeq(mix(uint64(nm.n), uint64(len(nm.clauses))), vsig), nm.lits
+}
+
+// RawKey is the exact query fingerprint (Canon.Raw) computed without
+// the canonical labeling: variable count and clause sequence verbatim.
+func RawKey(nVars int, cnf logic.CNF) string {
+	return rawFingerprint(nVars, cnf)
 }
 
 // canonState is the working state of the canonical-labeling search

@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"sync"
+
+	"disjunct/internal/logic"
+)
+
+// The fast path defers the expensive canonical labeling for CNFs that
+// may never repeat. The first time a structural class (identified by
+// the cheap Fingerprint hash) is sighted, its verdict is parked in a
+// lazy side table keyed by the exact Raw fingerprint, together with a
+// private copy of the query. Only when the class is sighted again is
+// every parked record of the class canonicalized and promoted into the
+// main LRU — from then on the class behaves exactly as it did before
+// the fast path existed. Hit/miss classification is preserved by
+// construction: a byte-identical repeat of a parked query is a hit
+// (witness replay, as the canonical store would have given), the first
+// sighting is a miss, and any structurally-repeating query reaches the
+// canonical path with all earlier class members already promoted.
+//
+// The side table is bounded: fingerprint hash collisions or table
+// saturation only force queries through the canonical path early, and
+// lazy-record eviction under pressure loses potential future hits —
+// neither ever affects verdicts.
+
+const (
+	// LazyRetainLimit is the largest normalized literal count a query
+	// may have for its first sighting to take the lazy path. The bound
+	// is class-invariant (normalization is), so every member of a class
+	// takes the same route. Large queries go straight to the canonical
+	// path: for them the labeling cost is amortized by solver savings,
+	// and retaining big CNF copies in the side table is not.
+	LazyRetainLimit = 1 << 12
+
+	// fpSeenMax bounds the seen-class set. At saturation every new
+	// class is conservatively treated as already seen (canonical path).
+	fpSeenMax = 1 << 20
+
+	// lazyMaxRecs / lazyMaxLits bound the parked records (count and
+	// total retained literals). Oldest-first eviction under pressure.
+	lazyMaxRecs = 8192
+	lazyMaxLits = 1 << 22
+)
+
+// lazyRec is one parked first-sighting verdict.
+type lazyRec struct {
+	fp    uint64
+	raw   string
+	nVars int
+	cnf   logic.CNF
+	lits  int
+	e     Entry
+}
+
+type fastTable struct {
+	mu     sync.Mutex
+	fpSeen map[uint64]struct{}
+	byRaw  map[string]*lazyRec
+	byFp   map[uint64][]*lazyRec
+	fifo   []string // raw keys in park order; tombstoned by byRaw lookup
+	lits   int      // total retained literals across parked records
+}
+
+func (t *fastTable) init() {
+	t.fpSeen = make(map[uint64]struct{})
+	t.byRaw = make(map[string]*lazyRec)
+	t.byFp = make(map[uint64][]*lazyRec)
+}
+
+// FastGet returns the parked verdict for a byte-identical query, if
+// any, without touching the canonical store. The returned entry's
+// Model is shared and must be treated as immutable by the caller.
+func (c *Cache) FastGet(raw string) (Entry, bool) {
+	t := &c.fast
+	t.mu.Lock()
+	rec, ok := t.byRaw[raw]
+	if !ok {
+		t.mu.Unlock()
+		return Entry{}, false
+	}
+	e := rec.e
+	t.mu.Unlock()
+	return e, true
+}
+
+// SeenClass marks the structural class as sighted and reports whether
+// it had already been sighted (true also when the seen-set is
+// saturated — the conservative answer routes the query through the
+// canonical path, which is always correct).
+func (c *Cache) SeenClass(fp uint64) bool {
+	t := &c.fast
+	t.mu.Lock()
+	_, seen := t.fpSeen[fp]
+	if !seen {
+		if len(t.fpSeen) >= fpSeenMax {
+			t.mu.Unlock()
+			return true
+		}
+		t.fpSeen[fp] = struct{}{}
+	}
+	t.mu.Unlock()
+	return seen
+}
+
+// PutLazy parks a first-sighting verdict under its exact fingerprint,
+// retaining a private copy of the query for later promotion. The
+// entry's Model (if any) must already be a private copy. Oldest parked
+// records are evicted to stay within the table bounds.
+func (c *Cache) PutLazy(fp uint64, raw string, nVars int, cnf logic.CNF, lits int, e Entry) {
+	rec := &lazyRec{fp: fp, raw: raw, nVars: nVars, cnf: logic.CloneCNF(cnf), lits: lits, e: e}
+	t := &c.fast
+	t.mu.Lock()
+	if old, ok := t.byRaw[raw]; ok {
+		// Concurrent first sightings of the same exact query: keep the
+		// winner, drop the duplicate (verdicts are identical).
+		t.lits -= old.lits
+		t.removeFromFp(old)
+	}
+	t.byRaw[raw] = rec
+	t.byFp[fp] = append(t.byFp[fp], rec)
+	t.fifo = append(t.fifo, raw)
+	t.lits += rec.lits
+	for (len(t.byRaw) > lazyMaxRecs || t.lits > lazyMaxLits) && len(t.fifo) > 0 {
+		victim := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		v, ok := t.byRaw[victim]
+		if !ok || v == rec {
+			continue // tombstone, or would evict the record just parked
+		}
+		delete(t.byRaw, victim)
+		t.lits -= v.lits
+		t.removeFromFp(v)
+	}
+	t.mu.Unlock()
+}
+
+// Promote canonicalizes every parked record of the class and moves it
+// into the main LRU, leaving the side table without members of the
+// class. Safe to call for classes with no parked records.
+func (c *Cache) Promote(fp uint64) {
+	t := &c.fast
+	t.mu.Lock()
+	recs := t.byFp[fp]
+	if len(recs) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.byFp, fp)
+	for _, r := range recs {
+		if cur, ok := t.byRaw[r.raw]; ok && cur == r {
+			delete(t.byRaw, r.raw)
+			t.lits -= r.lits
+		}
+	}
+	t.mu.Unlock()
+	// Canonicalization happens outside the table lock — it is the
+	// expensive step the fast path exists to avoid on the hot path.
+	for _, r := range recs {
+		cn := Canonicalize(r.nVars, r.cnf)
+		c.Put(cn.Key, r.e)
+	}
+}
+
+// removeFromFp unlinks rec from its class bucket (table lock held).
+func (t *fastTable) removeFromFp(rec *lazyRec) {
+	bucket := t.byFp[rec.fp]
+	for i, r := range bucket {
+		if r == rec {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.byFp, rec.fp)
+	} else {
+		t.byFp[rec.fp] = bucket
+	}
+}
+
+// FastStats is a snapshot of the side table.
+type FastStats struct {
+	SeenClasses int
+	LazyEntries int
+	LazyLits    int
+}
+
+// FastStatsSnapshot returns the side table's current occupancy.
+func (c *Cache) FastStatsSnapshot() FastStats {
+	t := &c.fast
+	t.mu.Lock()
+	s := FastStats{SeenClasses: len(t.fpSeen), LazyEntries: len(t.byRaw), LazyLits: t.lits}
+	t.mu.Unlock()
+	return s
+}

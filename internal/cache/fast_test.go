@@ -1,0 +1,132 @@
+package cache
+
+import (
+	"testing"
+
+	"disjunct/internal/logic"
+)
+
+func mkCNF(clauses [][]int) logic.CNF {
+	cnf := make(logic.CNF, 0, len(clauses))
+	for _, cl := range clauses {
+		c := make([]logic.Lit, 0, len(cl))
+		for _, l := range cl {
+			if l >= 0 {
+				c = append(c, logic.PosLit(logic.Atom(l)))
+			} else {
+				c = append(c, logic.NegLit(logic.Atom(-l-1)))
+			}
+		}
+		cnf = append(cnf, c)
+	}
+	return cnf
+}
+
+// Renamings and reorderings must fingerprint equally (class-invariance),
+// and the literal count must match across the class.
+func TestFingerprintInvariantUnderRenaming(t *testing.T) {
+	// a = {x0∨x1}, {¬x0∨x2}, {¬x2}  (negative l encodes ¬x(-l-1))
+	a := mkCNF([][]int{{0, 1}, {-1, 2}, {-3}})
+	// b = a under the renaming x0→x2, x1→x0, x2→x1, with clauses and
+	// literals permuted.
+	b := mkCNF([][]int{{-3, 1}, {-2}, {2, 0}})
+	fa, la := Fingerprint(3, a)
+	fb, lb := Fingerprint(5, b) // extra unused vars must not matter
+	if fa != fb || la != lb {
+		t.Fatalf("isomorphic CNFs fingerprint differently: (%x,%d) vs (%x,%d)", fa, la, fb, lb)
+	}
+	ca := Canonicalize(3, a)
+	cb := Canonicalize(5, b)
+	if ca.Key != cb.Key {
+		t.Fatalf("test premise broken: CNFs are not canonical-equal")
+	}
+	// Different class, very likely different fingerprint.
+	c := mkCNF([][]int{{0, 1, 2}, {-1}})
+	fc, _ := Fingerprint(3, c)
+	if fc == fa {
+		t.Fatalf("distinct classes collided (possible but ~2^-64; investigate)")
+	}
+}
+
+// Parked verdicts replay byte-identically and are promoted exactly once
+// when the class repeats.
+func TestLazyParkAndPromote(t *testing.T) {
+	c := New(64)
+	a := mkCNF([][]int{{0, 1}, {-1}})
+	rawA := RawKey(2, a)
+	fp, lits := Fingerprint(2, a)
+	if seen := c.SeenClass(fp); seen {
+		t.Fatalf("fresh class reported seen")
+	}
+	c.PutLazy(fp, rawA, 2, a, lits, Entry{Sat: false, Raw: rawA})
+	if e, ok := c.FastGet(rawA); !ok || e.Sat {
+		t.Fatalf("FastGet after PutLazy: ok=%v e=%+v", ok, e)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("lazy record leaked into canonical LRU: Len=%d", got)
+	}
+	if seen := c.SeenClass(fp); !seen {
+		t.Fatalf("class not marked seen")
+	}
+	c.Promote(fp)
+	if _, ok := c.FastGet(rawA); ok {
+		t.Fatalf("record still parked after promotion")
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("promotion did not land in canonical LRU: Len=%d", got)
+	}
+	cn := Canonicalize(2, a)
+	if e, ok := c.Get(cn.Key); !ok || e.Sat || e.Raw != rawA {
+		t.Fatalf("promoted entry wrong: ok=%v e=%+v", ok, e)
+	}
+	c.Promote(fp) // idempotent on empty class
+	if st := c.FastStatsSnapshot(); st.LazyEntries != 0 || st.LazyLits != 0 {
+		t.Fatalf("side table not empty after promotion: %+v", st)
+	}
+}
+
+// randBenchCNF builds a deterministic pseudo-random 3-CNF of the given
+// size — the shape of a typical minimality query.
+func randBenchCNF(nVars, nClauses int) logic.CNF {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(bound int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(bound))
+	}
+	cnf := make(logic.CNF, 0, nClauses)
+	for i := 0; i < nClauses; i++ {
+		cl := make(logic.Clause, 0, 3)
+		for j := 0; j < 3; j++ {
+			a := logic.Atom(next(nVars))
+			if next(2) == 0 {
+				cl = append(cl, logic.PosLit(a))
+			} else {
+				cl = append(cl, logic.NegLit(a))
+			}
+		}
+		cnf = append(cnf, cl)
+	}
+	return cnf
+}
+
+// The pair below measures what the lazy first-sighting path skips: a
+// parked query pays Fingerprint where the old always-canonical path
+// paid Canonicalize (iterated refinement + sorting). The ratio is the
+// per-query saving for classes that never repeat.
+func BenchmarkFingerprint(b *testing.B) {
+	cnf := randBenchCNF(40, 120)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(40, cnf)
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	cnf := randBenchCNF(40, 120)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Canonicalize(40, cnf)
+	}
+}

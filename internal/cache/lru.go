@@ -39,6 +39,7 @@ type Cache struct {
 	shards     [shardCount]shard
 	insertions atomic.Int64
 	evictions  atomic.Int64
+	fast       fastTable
 }
 
 type shard struct {
@@ -77,6 +78,7 @@ func New(capacity int) *Cache {
 		c.shards[i].m = make(map[Key]*node)
 		c.shards[i].cap = perShard
 	}
+	c.fast.init()
 	return c
 }
 

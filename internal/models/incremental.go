@@ -1,6 +1,7 @@
 package models
 
 import (
+	"disjunct/internal/budget"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
 	"disjunct/internal/oracle"
@@ -182,6 +183,94 @@ func (e *IncrementalEngine) IsMinimal(m logic.Interp) bool {
 // constrains future queries.
 func (e *IncrementalEngine) deactivate(act int) {
 	e.solver.AddClause(sat.MkLit(act, false))
+}
+
+// Vars returns the current solver variable count (base atoms plus all
+// activation and auxiliary variables allocated so far) — the staleness
+// measure warm sessions retire engines on.
+func (e *IncrementalEngine) Vars() int { return e.nVars }
+
+// SetBudget (re)attaches a query budget to the shared solver. The
+// oracle's own budget is attached separately (oracle.WithBudget); warm
+// sessions swap both per request.
+func (e *IncrementalEngine) SetBudget(b *budget.B) { e.solver.SetBudget(b) }
+
+// MMEntails reports MM(DB;P;Z) ⊨ F on the shared solver — the warm
+// counterpart of Engine.MMEntails with identical verdicts (the test
+// suite cross-validates them). The ¬F Tseitin clauses and the
+// signature-blocking clauses of the candidate loop are guarded by one
+// per-query activation literal, so they vanish for later queries while
+// every learned clause survives. Candidate minimisation reuses
+// MinimizePZ unchanged: like the fresh path, candidates are minimised
+// against the database alone, and the unguarded base clauses are
+// exactly that.
+func (e *IncrementalEngine) MMEntails(f *logic.Formula, part Partition) bool {
+	n := e.nBase
+	voc := e.DB.Voc.Clone()
+	neg := logic.TseitinNeg(f, voc)
+	qact := e.fresh()
+	defer e.deactivate(qact)
+	// Tseitin auxiliary atoms are numbered from n upward in the cloned
+	// vocabulary; on the shared solver those indices were consumed long
+	// ago by activation variables of earlier queries (some forced false
+	// by deactivation units), so the auxiliaries are remapped onto a
+	// freshly reserved variable block.
+	auxBase := e.nVars
+	e.nVars += voc.Size() - n
+	remap := func(a int) int {
+		if a >= n {
+			return auxBase + (a - n)
+		}
+		return a
+	}
+	lits := e.scratch[:0]
+	for _, cl := range neg {
+		lits = lits[:0]
+		lits = append(lits, sat.MkLit(qact, false)) // ¬qact ∨ clause
+		for _, l := range cl {
+			lits = append(lits, sat.MkLit(remap(int(l.Atom())), l.IsPos()))
+		}
+		e.solver.AddClause(lits...)
+	}
+	e.scratch = lits
+	for {
+		if e.solve(sat.MkLit(qact, true)) != sat.Sat {
+			return true
+		}
+		min := e.MinimizePZ(e.model(), part)
+		if !f.Eval(min) {
+			return false // a (P;Z)-minimal model violating F
+		}
+		// Same Z-variant subtlety as the fresh path: Z-variants of min
+		// share its signature and are minimal because min is, so one of
+		// them violating F decides the query. Fix every non-Z atom to
+		// min's value by assumption and re-ask the guarded query.
+		if !part.Z.IsEmpty() {
+			assumptions := e.assumps[:0]
+			assumptions = append(assumptions, sat.MkLit(qact, true))
+			for v := 0; v < n; v++ {
+				if part.Z.Test(v) {
+					continue
+				}
+				assumptions = append(assumptions, sat.MkLit(v, min.Holds(logic.Atom(v))))
+			}
+			e.assumps = assumptions
+			if e.solve(assumptions...) == sat.Sat {
+				return false
+			}
+		}
+		block := signatureBlock(min, part, n)
+		if len(block) == 0 {
+			return true // unique minimal signature, already satisfies F
+		}
+		lits := e.scratch[:0]
+		lits = append(lits, sat.MkLit(qact, false))
+		for _, l := range block {
+			lits = append(lits, sat.MkLit(int(l.Atom()), l.IsPos()))
+		}
+		e.scratch = lits
+		e.solver.AddClause(lits...)
+	}
 }
 
 // MinimalModels enumerates MM(DB) on the shared solver; blocking

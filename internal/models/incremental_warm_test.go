@@ -1,0 +1,109 @@
+package models
+
+import (
+	"math/rand"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/gen"
+	"disjunct/internal/logic"
+	"disjunct/internal/refsem"
+)
+
+// Warm MMEntails must return the same verdict as the fresh engine for
+// a stream of queries against ONE shared solver — the per-query
+// activation guards must fully isolate each query's ¬F and blocking
+// clauses from the next.
+func TestIncrementalMMEntailsMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(7)))
+		part := FullMin(d.N())
+		warm := NewIncrementalEngine(d, nil)
+		for q := 0; q < 5; q++ {
+			f := randomFormula(rng, d.Voc, n, 3)
+			want := refsem.Entails(refsem.MinimalModels(d), f)
+			fresh := NewEngine(d, nil).MMEntails(f, part)
+			got := warm.MMEntails(f, part)
+			if got != want || fresh != want {
+				t.Fatalf("iter %d query %d: warm=%v fresh=%v want %v\nDB:\n%sF: %s",
+					iter, q, got, fresh, want, d.String(), f.String(d.Voc))
+			}
+		}
+	}
+}
+
+// Same cross-validation for general (P;Q;Z) partitions, exercising the
+// assumption-based Z-variant check.
+func TestIncrementalMMEntailsPZMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		p, q := randomPartition(rng, n)
+		part := partitionOf(n, p, q)
+		warm := NewIncrementalEngine(d, nil)
+		for k := 0; k < 4; k++ {
+			f := randomFormula(rng, d.Voc, n, 3)
+			want := refsem.Entails(refsem.MinimalModelsPZ(d, p, q), f)
+			got := warm.MMEntails(f, part)
+			if got != want {
+				t.Fatalf("iter %d query %d: warm MMEntails(P;Z)=%v want %v\nDB:\n%sF: %s\nP=%v Q=%v",
+					iter, k, got, want, d.String(), f.String(d.Voc), p, q)
+			}
+		}
+	}
+}
+
+// A warm query stream mixing MMEntails with the other engine entry
+// points (HasModel, IsMinimal/Minimize) must not cross-contaminate.
+func TestIncrementalWarmMixedQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 60; iter++ {
+		n := 3 + rng.Intn(4)
+		d := gen.Random(rng, gen.WithIntegrity(n, 1+rng.Intn(6)))
+		part := FullMin(d.N())
+		warm := NewIncrementalEngine(d, nil)
+		mm := refsem.MinimalModels(d)
+		for k := 0; k < 6; k++ {
+			switch k % 3 {
+			case 0:
+				f := randomFormula(rng, d.Voc, n, 2)
+				if got, want := warm.MMEntails(f, part), refsem.Entails(mm, f); got != want {
+					t.Fatalf("iter %d step %d: MMEntails=%v want %v\nDB:\n%s", iter, k, got, want, d.String())
+				}
+			case 1:
+				ok, m := warm.HasModel()
+				if ok != satisfiable(d) {
+					t.Fatalf("iter %d step %d: HasModel=%v minimal models=%d\nDB:\n%s", iter, k, ok, len(mm), d.String())
+				}
+				if ok && !logic.EvalCNF(d.ToCNF(), m) {
+					t.Fatalf("iter %d step %d: HasModel witness is not a model\nDB:\n%s", iter, k, d.String())
+				}
+			case 2:
+				if ok, m := warm.HasModel(); ok {
+					min := warm.Minimize(m)
+					if !warm.IsMinimal(min) {
+						t.Fatalf("iter %d step %d: Minimize result not minimal\nDB:\n%s", iter, k, d.String())
+					}
+				}
+			}
+		}
+	}
+}
+
+// satisfiable is a brute-force satisfiability check for tiny DBs.
+func satisfiable(d *db.DB) bool {
+	interps, err := refsem.AllInterps(d.N())
+	if err != nil {
+		panic(err)
+	}
+	cnf := d.ToCNF()
+	for _, m := range interps {
+		if logic.EvalCNF(cnf, m) {
+			return true
+		}
+	}
+	return false
+}

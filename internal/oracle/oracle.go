@@ -256,6 +256,38 @@ func (o *NP) Sat(nVars int, cnf logic.CNF) (bool, logic.Interp) {
 	if c == nil {
 		return o.solveSat(nVars, cnf)
 	}
+	raw := cache.RawKey(nVars, cnf)
+	if e, ok := c.FastGet(raw); ok {
+		// Byte-identical repeat of a parked first sighting: replay its
+		// verdict (and witness) exactly as the canonical store would.
+		o.cacheHits.Add(1)
+		if !e.Sat {
+			return false, logic.Interp{}
+		}
+		return true, logic.Interp{True: e.Model.Clone()}
+	}
+	fp, lits := cache.Fingerprint(nVars, cnf)
+	seen := c.SeenClass(fp)
+	if !seen && lits <= cache.LazyRetainLimit {
+		// First sighting of a small structural class: skip the expensive
+		// canonical labeling, solve as a miss (exactly what the canonical
+		// path would do on a cold key), and park the verdict for promotion
+		// if the class ever repeats.
+		o.cacheMisses.Add(1)
+		isSat, m := o.solveSat(nVars, cnf)
+		ent := cache.Entry{Sat: isSat, Raw: raw}
+		if isSat {
+			ent.Model = m.True.Clone()
+		}
+		c.PutLazy(fp, raw, nVars, cnf, lits, ent)
+		return isSat, m
+	}
+	if seen {
+		// The class has been sighted before: move any parked records into
+		// the canonical store first, so the lookup below sees exactly the
+		// entries an always-canonical cache would hold.
+		c.Promote(fp)
+	}
 	cn := cache.Canonicalize(nVars, cnf)
 	if e, ok := c.Get(cn.Key); ok {
 		if !e.Sat {

@@ -84,9 +84,15 @@ type QueryResponse struct {
 	Cause      string       `json:"cause,omitempty"`
 	Counters   CountersJSON `json:"counters"`
 	Limits     LimitsJSON   `json:"limits"`
-	Retries    int          `json:"retries"`
-	QueueMS    float64      `json:"queue_ms"`
-	SolveMS    float64      `json:"solve_ms"`
+	// Path reports how the answer was produced when the warm session
+	// layer is on: "fast" (fragment fast path, zero NP calls),
+	// "session" (warm incremental engine), or "coalesced" (shared from
+	// a concurrent identical request — counters and timings are the
+	// leader's). Empty for the fresh path.
+	Path    string  `json:"path,omitempty"`
+	Retries int     `json:"retries"`
+	QueueMS float64 `json:"queue_ms"`
+	SolveMS float64 `json:"solve_ms"`
 }
 
 // Shed / error reasons carried in ErrorResponse.Error.

@@ -9,6 +9,7 @@ import (
 	"disjunct/internal/core"
 	"disjunct/internal/faults"
 	"disjunct/internal/oracle"
+	"disjunct/internal/session"
 )
 
 // execute runs one admitted query under its clamped budget, retrying
@@ -37,6 +38,20 @@ func (s *Server) execute(reqCtx context.Context, kind string, pq parsedQuery) (Q
 	// past a forced drain and report a complete verdict.
 	if s.baseCtx.Err() != nil {
 		cancel(context.Cause(s.baseCtx))
+	}
+
+	// Warm session layer first: fragment fast paths (zero NP calls)
+	// and warm incremental engines for the minimal-model family.
+	// Unhandled queries fall through to the fresh per-attempt path.
+	// The session budget derives from the same chained context, so
+	// drain cancellation reaches warm solves as typed interruptions;
+	// fault injection never reaches the warm path (its engine solves
+	// directly, not through the one-shot oracle hook), so session
+	// interruptions are always budget-class and never retried.
+	if s.sessions != nil && pq.comp != nil {
+		if resp, handled := s.executeSession(ctx, kind, pq); handled {
+			return resp, nil
+		}
 	}
 
 	start := time.Now()
@@ -87,6 +102,53 @@ func (s *Server) execute(reqCtx context.Context, kind string, pq parsedQuery) (Q
 			SolveMS:    float64(time.Since(start)) / float64(time.Millisecond),
 		}, nil
 	}
+}
+
+// executeSession offers one query to the warm session layer. The
+// boolean reports whether the layer handled it; false sends the
+// caller down the fresh path. A handled query's response carries the
+// session's own counters (zero on fast paths and memo hits) and its
+// route in Path.
+func (s *Server) executeSession(ctx context.Context, kind string, pq parsedQuery) (QueryResponse, bool) {
+	var k session.Kind
+	switch kind {
+	case "literal":
+		k = session.KindLiteral
+	case "formula":
+		k = session.KindFormula
+	default:
+		k = session.KindModel
+	}
+	start := time.Now()
+	b := budget.New(ctx, pq.eff)
+	res, handled := s.sessions.Query(ctx, pq.comp, session.Request{
+		Sem:       pq.semName,
+		Kind:      k,
+		Lit:       pq.lit,
+		F:         pq.formula,
+		QueryText: pq.qtext,
+		Budget:    b,
+	})
+	if !handled {
+		return QueryResponse{}, false
+	}
+	// res.Err is always a typed budget interruption (the layer never
+	// handles queries its semantics would reject), so VerdictOf can
+	// only yield a verdict here, never a semantic error.
+	v, _ := core.VerdictOf(res.Holds, res.Err)
+	return QueryResponse{
+		Semantics:  pq.semName,
+		Kind:       kind,
+		Verdict:    VerdictString(v),
+		Holds:      v.Holds,
+		Incomplete: v.Incomplete,
+		CauseCode:  CauseCode(v.Cause),
+		Cause:      causeString(v.Cause),
+		Counters:   CountersFrom(res.Counters),
+		Limits:     LimitsFrom(pq.eff),
+		Path:       res.Path,
+		SolveMS:    float64(time.Since(start)) / float64(time.Millisecond),
+	}, true
 }
 
 func causeString(err error) string {

@@ -52,6 +52,7 @@ import (
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
+	"disjunct/internal/session"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed
@@ -93,6 +94,18 @@ type Config struct {
 	// harnesses; production servers leave it off.
 	FaultRate float64
 	FaultSeed int64
+	// Sessions switches on the warm query-session layer
+	// (internal/session): a compiled-DB artifact cache, fragment fast
+	// paths, warm incremental solver sessions, and cross-request
+	// coalescing of identical queries.
+	Sessions bool
+	// SessionCacheBytes / SessionMaxSessions / SessionMaxQueries /
+	// SessionBatchWindow tune the session manager (zero = its
+	// defaults); ignored unless Sessions is set.
+	SessionCacheBytes  int64
+	SessionMaxSessions int
+	SessionMaxQueries  int
+	SessionBatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +141,7 @@ type stats struct {
 	shedBreaker    atomic.Int64
 	badRequest     atomic.Int64 // 400/404/422
 	retries        atomic.Int64 // query-level transient retries performed
+	coalesced      atomic.Int64 // requests answered from a coalesced leader
 }
 
 // Server is the inference service. Create with New, mount Handler on
@@ -162,12 +176,20 @@ type Server struct {
 	breakerMu sync.Mutex
 	breakers  map[string]*breaker
 
+	// sessions is the warm query-session layer, nil unless
+	// cfg.Sessions; flights coalesces identical concurrent requests.
+	sessions *session.Manager
+	flights  flightGroup
+
 	stats stats
 
 	// testHook, when non-nil, runs while a request holds an execution
 	// slot (before solving). Tests use it to hold slots open
-	// deterministically.
-	testHook func()
+	// deterministically. flightHook, when non-nil, runs right after a
+	// request joins a coalescing flight; tests use it to order a leader
+	// against its followers deterministically.
+	testHook   func()
+	flightHook func(leader bool)
 }
 
 // New builds a Server. Semantics must already be registered (blank-
@@ -179,6 +201,15 @@ func New(cfg Config) *Server {
 		adm:       newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
 		breakers:  map[string]*breaker{},
 		drainDone: make(chan struct{}),
+	}
+	if cfg.Sessions {
+		s.sessions = session.NewManager(session.Config{
+			MaxBytes:             cfg.SessionCacheBytes,
+			MaxSessions:          cfg.SessionMaxSessions,
+			MaxQueriesPerSession: cfg.SessionMaxQueries,
+			BatchWindow:          cfg.SessionBatchWindow,
+		})
+		s.flights.m = map[string]*flight{}
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
@@ -338,6 +369,12 @@ type parsedQuery struct {
 	lit     logic.Lit
 	formula *logic.Formula
 	eff     budget.Limits
+	// comp is the compiled artifact when the session layer is on;
+	// qtext is the canonical query text and dbText the raw database
+	// text (memo/coalescing key components).
+	comp   *session.Compiled
+	qtext  string
+	dbText string
 }
 
 // parseLiteral parses "x", "-x", "~x", or "not x" against a
@@ -375,15 +412,32 @@ func (s *Server) decodeQuery(kind string, r *http.Request) (parsedQuery, int, *E
 	if _, ok := core.InfoFor(req.Semantics); !ok {
 		return pq, http.StatusNotFound, &ErrorResponse{Error: ReasonUnknownSemantics, Semantics: req.Semantics}
 	}
-	d, err := db.Parse(req.DB)
-	if err != nil {
-		return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "db: " + err.Error()}
+	var d *db.DB
+	if s.sessions != nil {
+		// Hot databases skip grounding entirely: the compiled artifact
+		// (parse, CNF, classification, canonical key) is cached by exact
+		// request text and shared read-only across requests.
+		if comp, ok := s.sessions.Lookup(req.DB); ok {
+			pq.comp, d = comp, comp.D
+		}
+	}
+	if d == nil {
+		parsed, err := db.Parse(req.DB)
+		if err != nil {
+			return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "db: " + err.Error()}
+		}
+		d = parsed
+		if s.sessions != nil {
+			pq.comp = s.sessions.Intern(req.DB, d)
+			d = pq.comp.D
+		}
 	}
 	if d.N() == 0 {
 		return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "db: empty vocabulary"}
 	}
 	pq.semName = req.Semantics
 	pq.d = d
+	pq.dbText = req.DB
 	switch kind {
 	case "literal":
 		lit, err := parseLiteral(req.Literal, d.Voc)
@@ -391,12 +445,14 @@ func (s *Server) decodeQuery(kind string, r *http.Request) (parsedQuery, int, *E
 			return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "literal: " + err.Error()}
 		}
 		pq.lit = lit
+		pq.qtext = d.Voc.LitString(lit)
 	case "formula":
 		f, err := logic.ParseFormula(req.Formula, d.Voc)
 		if err != nil {
 			return pq, http.StatusBadRequest, &ErrorResponse{Error: ReasonBadRequest, Detail: "formula: " + err.Error()}
 		}
 		pq.formula = f
+		pq.qtext = f.String(d.Voc)
 	}
 	pq.eff = clamp(req.Limits.ToLimits(), s.cfg.Ceilings)
 	return pq, 0, nil
@@ -483,7 +539,48 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			s.testHook()
 		}
 
+		// Coalesce identical concurrent requests: the first arrival
+		// leads and solves; followers reuse its response when it is a
+		// complete verdict, and re-execute themselves otherwise (an
+		// incomplete or semantic-error outcome can depend on the
+		// leader's own timing and budget). Followers wait holding their
+		// own admission slots, so the leader is never starved.
+		var fl *flight
+		var flKey string
+		if s.sessions != nil {
+			flKey = coalesceKey(kind, pq)
+			f, leader := s.flights.join(flKey)
+			if s.flightHook != nil {
+				s.flightHook(leader)
+			}
+			if leader {
+				fl = f
+			} else {
+				select {
+				case <-f.done:
+					if f.ok {
+						s.stats.coalesced.Add(1)
+						resp := f.resp
+						resp.Path = "coalesced"
+						resp.QueueMS = float64(res.waited) / float64(time.Millisecond)
+						br.record(false)
+						s.stats.completed.Add(1)
+						writeJSON(w, http.StatusOK, resp)
+						return
+					}
+					// Leader's outcome is not sharable: fall through and
+					// run the query ourselves (without leading).
+				case <-r.Context().Done():
+					// Our client is going away; execute() surfaces the
+					// typed cancellation.
+				}
+			}
+		}
+
 		resp, semErr := s.execute(r.Context(), kind, pq)
+		if fl != nil {
+			s.flights.finish(flKey, fl, resp, semErr == nil && !resp.Incomplete)
+		}
 		if semErr != nil {
 			// A semantic outcome, not a service failure: the database
 			// is outside the class this semantics is defined for.
@@ -541,6 +638,10 @@ type Health struct {
 	Goroutines int                      `json:"goroutines"`
 	Breakers   map[string]breakerReport `json:"breakers"`
 	Stats      map[string]int64         `json:"stats"`
+	// Sessions is present when the warm session layer is enabled:
+	// compiled-artifact cache hits/misses/bytes, checkout and
+	// fast-path/warm counters, and residency gauges.
+	Sessions map[string]int64 `json:"sessions,omitempty"`
 }
 
 func (s *Server) health() Health {
@@ -563,7 +664,26 @@ func (s *Server) health() Health {
 			"shed_breaker":     s.stats.shedBreaker.Load(),
 			"bad_request":      s.stats.badRequest.Load(),
 			"retries":          s.stats.retries.Load(),
+			"coalesced":        s.stats.coalesced.Load(),
 		},
+	}
+	if s.sessions != nil {
+		st := s.sessions.Stats()
+		h.Sessions = map[string]int64{
+			"compiled_hits":      st.CompiledHits,
+			"compiled_misses":    st.CompiledMisses,
+			"compiled_bytes":     st.CompiledBytes,
+			"compiled_entries":   st.CompiledEntries,
+			"compiled_evictions": st.CompiledEvictions,
+			"fast_queries":       st.FastQueries,
+			"warm_queries":       st.WarmQueries,
+			"memo_hits":          st.MemoHits,
+			"checkouts":          st.Checkouts,
+			"checkout_timeouts":  st.CheckoutTimeouts,
+			"retired":            st.Retired,
+			"active_checkouts":   st.ActiveCheckouts,
+			"sessions":           st.Sessions,
+		}
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -1,0 +1,81 @@
+package session
+
+import "disjunct/internal/logic"
+
+// Per-fragment allowlists: the semantics whose model set provably
+// collapses onto the fragment's fixpoint model, so their three
+// decision problems are answered by evaluation — zero NP calls.
+//
+// PDSM is excluded everywhere: it rejects databases above its
+// enumeration bound (ErrUnsupported), so a fast path answering for it
+// would diverge from the fresh engine on large fragment instances.
+// PERF and ICWA are excluded from the Horn fragment because they are
+// undefined in the presence of integrity clauses (the fresh path
+// returns ErrUnsupported); they join on the fragments they accept.
+var (
+	// fastDefinite: the unique minimal model IS the least model, every
+	// closure/possible-world/stable/perfect construction yields exactly
+	// it, and the DB is always consistent.
+	fastDefinite = map[string]bool{
+		"GCWA": true, "CCWA": true, "EGCWA": true, "ECWA": true, "CIRC": true,
+		"CWA": true, "DSM": true, "DDR": true, "WGCWA": true,
+		"PWS": true, "PMS": true, "PERF": true, "ICWA": true,
+	}
+	// fastHorn: single-head positive clauses plus denials — the model
+	// set is {least model} when the denials hold there, ∅ otherwise.
+	fastHorn = map[string]bool{
+		"GCWA": true, "CCWA": true, "EGCWA": true, "ECWA": true, "CIRC": true,
+		"CWA": true, "DSM": true, "DDR": true, "WGCWA": true,
+		"PWS": true, "PMS": true,
+	}
+	// fastStrat: stratified normal programs have a total well-founded
+	// model that is the unique stable model and the perfect model.
+	fastStrat = map[string]bool{
+		"DSM": true, "PERF": true, "ICWA": true,
+	}
+)
+
+// fastVerdict answers a query from the compiled artifact alone when
+// the (fragment, semantics) pair is allowlisted. The second return
+// reports whether the fast path applied. No oracle is ever consulted.
+func fastVerdict(comp *Compiled, sem string, kind Kind, lit logic.Lit, f *logic.Formula) (bool, bool) {
+	var model logic.Interp
+	consistent := true
+	switch comp.Frag {
+	case FragDefinite:
+		if !fastDefinite[sem] {
+			return false, false
+		}
+		model = comp.Least
+	case FragHorn:
+		if !fastHorn[sem] {
+			return false, false
+		}
+		model, consistent = comp.Least, comp.Consistent
+	case FragStratNormal:
+		if !fastStrat[sem] {
+			return false, false
+		}
+		model = comp.Stable
+	default:
+		return false, false
+	}
+	switch kind {
+	case KindModel:
+		return consistent, true
+	case KindLiteral:
+		if !consistent {
+			return true, true // the empty model set entails everything
+		}
+		if lit.IsPos() {
+			return model.Holds(lit.Atom()), true
+		}
+		return !model.Holds(lit.Atom()), true
+	case KindFormula:
+		if !consistent {
+			return true, true
+		}
+		return f.Eval(model), true
+	}
+	return false, false
+}

@@ -59,4 +59,60 @@ grep -q "clean drain" "$LOG" || {
     cat "$LOG" >&2
     exit 1
 }
-echo "serve-smoke: clean"
+
+# --- session smoke -------------------------------------------------
+# Second pass with the warm-session layer on and a repeat-DB workload:
+# a fixed pool of 6 databases replayed with verdict verification. Every
+# session-served, coalesced, or fast-path verdict must match the direct
+# library call (ddbload exits nonzero on divergence), the session layer
+# must actually engage, and no session may stay checked out afterwards.
+SLOG="${TMPDIR:-/tmp}/ddbserve-session-smoke.log"
+"${TMPDIR:-/tmp}/ddbserve-smoke" \
+    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -sessions -retrymax 2 \
+    -draintimeout 10s >"$SLOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$URL/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "session-smoke: server never became ready" >&2
+        cat "$SLOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"${TMPDIR:-/tmp}/ddbload-smoke" \
+    -url "$URL" -rate 1000 -requests 500 -seed 33 -maxatoms 6 \
+    -hotdbs 6 -deadline 10s -verify -settle
+
+HEALTH="$(curl -sf "$URL/healthz")"
+echo "$HEALTH" | grep -q '"active_checkouts":0' || {
+    echo "session-smoke: session checkout leak (or missing section):" >&2
+    echo "$HEALTH" >&2
+    exit 1
+}
+if echo "$HEALTH" | grep -q '"compiled_hits":0'; then
+    echo "session-smoke: compiled-DB cache never hit on a repeat-DB workload:" >&2
+    echo "$HEALTH" >&2
+    exit 1
+fi
+
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+    echo "session-smoke: drain exited with status $STATUS" >&2
+    cat "$SLOG" >&2
+    exit 1
+fi
+grep -q "clean drain" "$SLOG" || {
+    echo "session-smoke: server log missing clean-drain marker" >&2
+    cat "$SLOG" >&2
+    exit 1
+}
+echo "serve-smoke: clean (fresh + session)"
