@@ -58,6 +58,8 @@ func main() {
 	comparePool(g, base.Report.Pool, fresh.Report.Pool)
 	compareCache(g, base.Report.Cache, fresh.Report.Cache)
 	compareSession(g, base.Report.Session, fresh.Report.Session)
+	compareBatch(g, base.Report.Batch, fresh.Report.Batch)
+	compareStream(g, base.Report.Stream, fresh.Report.Stream)
 
 	if g.failures > 0 {
 		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
@@ -176,6 +178,80 @@ func compareSession(g *gate, base, fresh []bench.SessionCase) {
 		}
 		fmt.Printf("  session/%s: fresh %s, session %s, %.1fx (wall-clock, not gated)\n",
 			id, ms(b.FreshMS, f.FreshMS), ms(b.SessionMS, f.SessionMS), f.Speedup)
+	}
+}
+
+// compareBatch gates the batch-execution sweep: the sequential NP
+// total is pinned to the baseline, the batch total must equal the
+// sequential total (identical oracle work is the replay-identity
+// contract), and the compile amortization ratio must exceed 1 — the
+// one ratio gated despite being wall-clock-derived, because it
+// compares N repetitions of one operation against a single repetition
+// and only an algorithmic regression (recompiling per query) can drag
+// it to 1.
+func compareBatch(g *gate, base, fresh []bench.BatchCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  batch: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		for _, f := range fresh {
+			auditBatch(g, f)
+		}
+		return
+	}
+	byName := map[string]bench.BatchCase{}
+	for _, c := range fresh {
+		byName[c.Name] = c
+	}
+	for _, b := range base {
+		f, ok := byName[b.Name]
+		if !ok {
+			g.missing("batch", b.Name)
+			continue
+		}
+		g.eq("batch", b.Name, "seq_np_calls", b.SeqNP, f.SeqNP)
+		auditBatch(g, f)
+		fmt.Printf("  batch/%s: seq %s, batch %s, %.1fx amortized (wall-clock, not gated except amort>1)\n",
+			b.Name, ms(b.SeqMS, f.SeqMS), ms(b.BatchMS, f.BatchMS), f.Amortization)
+	}
+}
+
+// auditBatch applies the baseline-free internal invariants of one
+// batch case.
+func auditBatch(g *gate, f bench.BatchCase) {
+	g.eq("batch", f.Name, "batch_np_calls (vs sequential)", f.SeqNP, f.BatchNP)
+	g.checked++
+	if f.Amortization <= 1 {
+		g.failures++
+		fmt.Printf("  FAIL batch/%s: compile amortization %.2f not > 1\n", f.Name, f.Amortization)
+	}
+}
+
+// compareStream gates the streaming sweep: the model count and push
+// NP total are pinned to the baseline, and the drained iterator must
+// report the exact NP total of the push enumerator. Time-to-first-
+// model is reported, never gated.
+func compareStream(g *gate, base, fresh []bench.StreamCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  stream: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		for _, f := range fresh {
+			g.eq("stream", f.Name, "iter_np_calls (vs push)", f.PushNP, f.IterNP)
+		}
+		return
+	}
+	byName := map[string]bench.StreamCase{}
+	for _, c := range fresh {
+		byName[c.Name] = c
+	}
+	for _, b := range base {
+		f, ok := byName[b.Name]
+		if !ok {
+			g.missing("stream", b.Name)
+			continue
+		}
+		g.eq("stream", b.Name, "models", int64(b.Models), int64(f.Models))
+		g.eq("stream", b.Name, "push_np_calls", b.PushNP, f.PushNP)
+		g.eq("stream", b.Name, "iter_np_calls (vs push)", f.PushNP, f.IterNP)
+		fmt.Printf("  stream/%s: buffered %s, first model %s, TTFM %.1fx (wall-clock, not gated)\n",
+			b.Name, ms(b.BufferedMS, f.BufferedMS), ms(b.FirstModelMS, f.FirstModelMS), f.TTFMSpeedup)
 	}
 }
 

@@ -41,6 +41,8 @@ func main() {
 		semList  = flag.String("semantics", "", "comma-separated semantics restriction (default: every registered semantics)")
 		settle   = flag.Bool("settle", false, "after the run, require server goroutines to settle near idle baseline")
 		sweep    = flag.String("sweep", "", "comma-separated offered rates; run the workload once per rate and print a table")
+		batch    = flag.Int("batchsize", 0, "replay the workload through /v1/batch in chunks of this size instead of per-request (0 = off)")
+		streams  = flag.Int("streams", 0, "verify this many /v1/models/stream enumerations against direct library runs (0 = off)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,35 @@ func main() {
 	}
 
 	fail := false
+	if *batch > 0 {
+		rep := serve.RunBatchReplay(cfg, *batch)
+		fmt.Println(rep.String())
+		if !rep.Clean() {
+			fail = true
+			for _, n := range rep.Notes {
+				fmt.Fprintf(os.Stderr, "ddbload: batch: %s\n", n)
+			}
+		}
+	}
+	if *streams > 0 {
+		rep := serve.RunStreamCheck(cfg, *streams)
+		fmt.Println(rep.String())
+		if !rep.Clean() {
+			fail = true
+			for _, n := range rep.Notes {
+				fmt.Fprintf(os.Stderr, "ddbload: stream: %s\n", n)
+			}
+		}
+	}
+	if *batch > 0 || *streams > 0 {
+		if *settle {
+			settleCheck(client, *baseURL, baseline, &fail)
+		}
+		if fail {
+			os.Exit(1)
+		}
+		return
+	}
 	if *sweep != "" {
 		fmt.Printf("%10s %10s %10s %10s %10s %10s %10s %10s\n",
 			"rate", "offered", "completed", "interrupt", "shed429", "shed503", "untyped", "divergent")
@@ -105,18 +136,27 @@ func main() {
 		}
 	}
 
-	if *settle && baseline >= 0 {
-		got, ok := serve.AwaitGoroutineSettle(client, *baseURL, baseline, 4, 5*time.Second)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ddbload: goroutines did not settle: baseline=%d now=%d\n", baseline, got)
-			fail = true
-		} else {
-			fmt.Printf("goroutines settled: baseline=%d now=%d\n", baseline, got)
-		}
+	if *settle {
+		settleCheck(client, *baseURL, baseline, &fail)
 	}
 
 	if fail {
 		os.Exit(1)
+	}
+}
+
+// settleCheck requires the server's goroutine count to return near its
+// pre-run baseline; a miss flips fail.
+func settleCheck(client *http.Client, baseURL string, baseline int, fail *bool) {
+	if baseline < 0 {
+		return
+	}
+	got, ok := serve.AwaitGoroutineSettle(client, baseURL, baseline, 4, 5*time.Second)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ddbload: goroutines did not settle: baseline=%d now=%d\n", baseline, got)
+		*fail = true
+	} else {
+		fmt.Printf("goroutines settled: baseline=%d now=%d\n", baseline, got)
 	}
 }
 

@@ -48,6 +48,8 @@ func main() {
 		sessMax       = flag.Int("sessionmax", 0, "max resident warm sessions (0 = default 64)")
 		sessQueries   = flag.Int("sessionqueries", 0, "warm queries before an engine is retired (0 = default 512)")
 		sessWindow    = flag.Duration("sessionwindow", 0, "micro-batch wait for a busy session before falling back fresh (0 = default 2ms)")
+		batchMax      = flag.Int("batchmax", 0, "max queries per /v1/batch request (0 = default 256)")
+		streamMax     = flag.Int("streammax", 0, "server-side cap on models per /v1/models/stream request (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -70,6 +72,8 @@ func main() {
 		SessionMaxSessions: *sessMax,
 		SessionMaxQueries:  *sessQueries,
 		SessionBatchWindow: *sessWindow,
+		BatchMaxQueries:    *batchMax,
+		StreamMaxModels:    *streamMax,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -80,6 +80,7 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0, "chaos mode: injected fault rate (0 = none)")
 	faultSeed := flag.Int64("faultseed", 1, "chaos mode: fault injector seed (salted per iteration)")
 	serveFrac := flag.Float64("servefrac", 0, "fraction of iterations replayed through an in-process HTTP server (0 = off)")
+	batchFrac := flag.Float64("batchfrac", 0, "fraction of iterations additionally replayed through /v1/batch (0 = off; implies -servefrac machinery)")
 	sessionFrac := flag.Float64("sessionfrac", 0, "fraction of iterations replayed through a shared warm session manager (0 = off)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
@@ -100,9 +101,10 @@ func main() {
 			*deadline, *conflictBudget, *faultRate, *faultSeed)
 	}
 	var sc *serveChecker
-	if *serveFrac > 0 {
+	if *serveFrac > 0 || *batchFrac > 0 {
 		sc = newServeChecker(*faultRate, *faultSeed, *sessionFrac > 0)
-		fmt.Printf("serve: servefrac=%g faultrate=%g sessions=%v\n", *serveFrac, *faultRate, *sessionFrac > 0)
+		fmt.Printf("serve: servefrac=%g batchfrac=%g faultrate=%g sessions=%v\n",
+			*serveFrac, *batchFrac, *faultRate, *sessionFrac > 0)
 	}
 	var sx *sessionChecker
 	if *sessionFrac > 0 {
@@ -134,6 +136,9 @@ func main() {
 		if sc != nil && rng.Float64() < *serveFrac {
 			ok = sc.check(d, rng) && ok
 		}
+		if sc != nil && *batchFrac > 0 && rng.Float64() < *batchFrac {
+			ok = sc.checkBatch(d, rng) && ok
+		}
 		if sx != nil && rng.Float64() < *sessionFrac {
 			ok = sx.check(d, rng) && ok
 		}
@@ -154,8 +159,8 @@ func main() {
 		if !sc.close() {
 			divergences++
 		}
-		fmt.Printf("serve cross-check: %d queries, completed=%d interrupted=%d\n",
-			sc.queries, sc.completed, sc.interrupted)
+		fmt.Printf("serve cross-check: %d queries, completed=%d interrupted=%d batches=%d batchqueries=%d\n",
+			sc.queries, sc.completed, sc.interrupted, sc.batches, sc.batchQueries)
 	}
 	if sx != nil {
 		if !sx.close() {
@@ -307,11 +312,13 @@ func (ch *chaosChecker) settle() bool {
 // the three-valued contract: complete-and-correct or interrupted with
 // a typed cause from the closed taxonomy.
 type serveChecker struct {
-	srv         *serve.Server
-	hs          *httptest.Server
-	queries     int
-	completed   int
-	interrupted int
+	srv          *serve.Server
+	hs           *httptest.Server
+	queries      int
+	completed    int
+	interrupted  int
+	batches      int
+	batchQueries int
 }
 
 func newServeChecker(faultRate float64, faultSeed int64, sessions bool) *serveChecker {
@@ -411,6 +418,89 @@ func (sc *serveChecker) check(d *db.DB, rng *rand.Rand) bool {
 		if qr.Holds != want {
 			fmt.Printf("  serve %s ⊨ %s: served=%v reference=%v\n", c.sem, litText, qr.Holds, want)
 			ok = false
+		}
+	}
+	return ok
+}
+
+// checkBatch replays negative-literal queries over every atom through
+// one /v1/batch request and cross-checks each per-query verdict against
+// the brute-force references — the batch pipeline (shared compile, warm
+// checkout groups, fresh leftovers) must agree with sequential serving
+// and with the reference semantics on every member.
+func (sc *serveChecker) checkBatch(d *db.DB, rng *rand.Rand) bool {
+	rt, err := db.Parse(d.String())
+	if err != nil || rt.N() == 0 {
+		return true
+	}
+	type batchCase struct {
+		sem string
+		ref func(*db.DB) []logic.Interp
+		lit logic.Lit
+	}
+	var cases []batchCase
+	for v := 0; v < rt.N(); v++ {
+		lit := logic.NegLit(logic.Atom(v))
+		cases = append(cases, batchCase{"GCWA", refsem.GCWA, lit}, batchCase{"EGCWA", refsem.EGCWA, lit})
+		if !rt.HasNegation() {
+			cases = append(cases, batchCase{"PWS", refsem.PWS, lit})
+		}
+	}
+	breq := serve.BatchRequest{DB: rt.String()}
+	for _, c := range cases {
+		breq.Queries = append(breq.Queries, serve.BatchQuery{
+			Kind: "literal", Semantics: c.sem, Literal: rt.Voc.LitString(c.lit),
+		})
+	}
+	body, err := json.Marshal(breq)
+	if err != nil {
+		fmt.Printf("  batch: marshal: %v\n", err)
+		return false
+	}
+	resp, err := sc.hs.Client().Post(sc.hs.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Printf("  batch: transport error %v\n", err)
+		return false
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fmt.Printf("  batch: status %d body %s\n", resp.StatusCode, data)
+		return false
+	}
+	var br serve.BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		fmt.Printf("  batch: unparseable 200 body: %v\n", err)
+		return false
+	}
+	if len(br.Results) != len(cases) {
+		fmt.Printf("  batch: %d results for %d queries\n", len(br.Results), len(cases))
+		return false
+	}
+	sc.batches++
+	sc.batchQueries += len(cases)
+	ok := true
+	for i, item := range br.Results {
+		c := cases[i]
+		switch {
+		case item.Error != nil:
+			fmt.Printf("  batch %s ⊨ %s: unexpected error entry %q\n", c.sem, rt.Voc.LitString(c.lit), item.Error.Error)
+			ok = false
+		case item.Response == nil:
+			fmt.Printf("  batch query %d: neither response nor error\n", i)
+			ok = false
+		case item.Response.Incomplete:
+			if !serve.KnownCauseCodes[item.Response.CauseCode] {
+				fmt.Printf("  batch %s: untyped cause %q\n", c.sem, item.Response.CauseCode)
+				ok = false
+			}
+		default:
+			want := refsem.Entails(c.ref(rt), logic.LitF(c.lit))
+			if item.Response.Holds != want {
+				fmt.Printf("  batch %s ⊨ %s: served=%v reference=%v\n",
+					c.sem, rt.Voc.LitString(c.lit), item.Response.Holds, want)
+				ok = false
+			}
 		}
 	}
 	return ok

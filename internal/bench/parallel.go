@@ -78,6 +78,8 @@ type ParallelReport struct {
 	Pool     []PoolCase     `json:"solver_pool"`
 	Cache    []CacheCase    `json:"cache"`
 	Session  []SessionCase  `json:"session,omitempty"`
+	Batch    []BatchCase    `json:"batch,omitempty"`
+	Stream   []StreamCase   `json:"stream,omitempty"`
 }
 
 func parallelDBs(scale Scale) []struct {
@@ -213,6 +215,12 @@ func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
 		return rep, err
 	}
 	if err := runSessionSweep(scale, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runBatchSweep(scale, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runStreamSweep(scale, w, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

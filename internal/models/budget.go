@@ -26,73 +26,50 @@ import (
 //     are valid, just not exhaustive. The count returned is the
 //     number of yields that actually happened.
 
+// The six enumeration wrappers are Drain adapters over the pull-based
+// iterators of iterator.go: the iterator's step cores perform exactly
+// the NP-call sequence of the historical push enumerators, Recover the
+// budget panic into the typed error, and Drain maps the iterator
+// taxonomy (io.EOF / ErrLimit / typed cause) back onto this contract.
+
 // EnumerateModelsBudgeted is EnumerateModels under the oracle's
 // attached budget; see the file comment for the completeness
 // contract.
 func (e *Engine) EnumerateModelsBudgeted(limit int, yield func(logic.Interp) bool) (count int, err error) {
-	defer budget.Recover(&err)
-	e.EnumerateModels(limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	})
-	return count, nil
+	return Drain(e.IterateModels(limit), yield)
 }
 
 // MinimalModelsBudgeted is MinimalModels under the oracle's attached
 // budget.
 func (e *Engine) MinimalModelsBudgeted(limit int, yield func(logic.Interp) bool) (count int, err error) {
-	defer budget.Recover(&err)
-	e.MinimalModels(limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	})
-	return count, nil
+	return Drain(e.IterateMinimalModels(limit), yield)
 }
 
 // MinimalModelsPZBudgeted is MinimalModelsPZ under the oracle's
 // attached budget.
 func (e *Engine) MinimalModelsPZBudgeted(part Partition, limit int, yield func(logic.Interp) bool) (count int, err error) {
-	defer budget.Recover(&err)
-	e.MinimalModelsPZ(part, limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	})
-	return count, nil
+	return Drain(e.IterateMinimalModelsPZ(part, limit), yield)
 }
 
 // MinimalModelsParBudgeted is MinimalModelsPar under the oracle's
 // attached budget: a trip inside any worker drains the pool (no
-// goroutine leaks, no lost panics — see par.ForEach) and surfaces
+// goroutine leaks, no lost panics — see par.ForEach), halts the
+// emitter so no in-flight sibling yields after the trip, and surfaces
 // here as the typed cause.
 func (e *Engine) MinimalModelsParBudgeted(limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
-	defer budget.Recover(&err)
-	e.MinimalModelsPar(limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	}, opt)
-	return count, nil
+	return Drain(e.IterateMinimalModelsPar(limit, opt), yield)
 }
 
 // MinimalModelsPZParBudgeted is MinimalModelsPZPar under the oracle's
 // attached budget.
 func (e *Engine) MinimalModelsPZParBudgeted(part Partition, limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
-	defer budget.Recover(&err)
-	e.MinimalModelsPZPar(part, limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	}, opt)
-	return count, nil
+	return Drain(e.IterateMinimalModelsPZPar(part, limit, opt), yield)
 }
 
 // EnumerateModelsParBudgeted is EnumerateModelsPar under the oracle's
 // attached budget.
 func (e *Engine) EnumerateModelsParBudgeted(limit int, yield func(logic.Interp) bool, opt ParOptions) (count int, err error) {
-	defer budget.Recover(&err)
-	e.EnumerateModelsPar(limit, func(m logic.Interp) bool {
-		count++
-		return yield(m)
-	}, opt)
-	return count, nil
+	return Drain(e.IterateModelsPar(limit, opt), yield)
 }
 
 // MMEntailsBudgeted is MMEntails under the oracle's attached budget.

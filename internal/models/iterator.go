@@ -1,0 +1,330 @@
+package models
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+	"disjunct/internal/sat"
+)
+
+// This file is the pull-based surface of the model engine. Every
+// enumerator variant — serial or worker-pool, all-models or
+// (P;Z)-minimal — is exposed as a ModelIterator, and the historical
+// yield-callback entry points (the *Budgeted wrappers in budget.go)
+// are thin Drain adapters over these iterators. Pull composition is
+// what the streaming endpoint and the batch planner build on: a
+// consumer controls pacing, can stop after any model without paying
+// for the rest, and receives the interruption cause as a typed error
+// instead of a recovered panic.
+//
+// Iterator contract:
+//
+//   - Next returns (model, nil) for each model, in the same order (or,
+//     for the parallel variants, the same set) as the corresponding
+//     push enumerator, with identical NP-oracle charging.
+//   - The terminal error is sticky and typed: io.EOF means the
+//     enumeration COMPLETED; ErrLimit means the constructor's limit
+//     was reached; any other error is a budget-class interruption
+//     (budget.ErrCanceled, ErrDeadline, ErrConflictBudget,
+//     ErrPropagationBudget, ErrNPCallBudget, possibly wrapped). Models
+//     returned before a non-EOF terminal are genuine models — partial
+//     prefixes are valid, just not exhaustive.
+//   - A ctx passed to Next is polled before each step; cancellation
+//     surfaces as an error wrapping budget.ErrCanceled.
+//   - Close is idempotent, releases any producer goroutine, and never
+//     loses a budget trip (the trip is recorded as the terminal error,
+//     not re-raised). Iterators are not safe for concurrent use.
+
+// ModelIterator is a pull-based model enumeration in progress.
+type ModelIterator interface {
+	// Next returns the next model, or a sticky terminal error.
+	Next(ctx context.Context) (logic.Interp, error)
+	// Close releases the iterator's resources. Safe to call multiple
+	// times and concurrently with nothing (not with Next).
+	Close() error
+}
+
+// ErrLimit is the terminal error of an iterator whose constructor
+// limit was reached: the enumeration stopped by request, with the
+// model set possibly non-exhausted.
+var ErrLimit = errors.New("models: enumeration limit reached")
+
+// ctxErr converts a context's cancellation into the typed budget
+// taxonomy (the same classification budget.New applies).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		cause := context.Cause(ctx)
+		if errors.Is(cause, context.DeadlineExceeded) {
+			return fmt.Errorf("%w: %v", budget.ErrDeadline, cause)
+		}
+		return fmt.Errorf("%w: %v", budget.ErrCanceled, cause)
+	default:
+		return nil
+	}
+}
+
+// stepIter adapts a serial step function — one (model, more) probe per
+// call, raising budget.Interrupt panics on trips — into the iterator
+// contract. Zero goroutines: the producer runs inside Next.
+type stepIter struct {
+	step  func() (logic.Interp, bool)
+	limit int
+	count int
+	err   error
+}
+
+func (it *stepIter) Next(ctx context.Context) (logic.Interp, error) {
+	if it.err != nil {
+		return logic.Interp{}, it.err
+	}
+	if cerr := ctxErr(ctx); cerr != nil {
+		it.err = cerr
+		return logic.Interp{}, it.err
+	}
+	if it.limit > 0 && it.count >= it.limit {
+		it.err = ErrLimit
+		return logic.Interp{}, it.err
+	}
+	var (
+		m   logic.Interp
+		ok  bool
+		err error
+	)
+	func() {
+		defer budget.Recover(&err)
+		m, ok = it.step()
+	}()
+	switch {
+	case err != nil:
+		it.err = err
+	case !ok:
+		it.err = io.EOF
+	default:
+		it.count++
+		return m, nil
+	}
+	return logic.Interp{}, it.err
+}
+
+func (it *stepIter) Close() error {
+	if it.err == nil {
+		it.err = io.EOF
+	}
+	return nil
+}
+
+// pumpIter adapts a push enumerator (the worker-pool variants) into
+// the iterator contract: one producer goroutine runs the enumerator
+// with a yield that hands models over an unbuffered channel, so the
+// pool never runs ahead of the consumer by more than the workers'
+// in-flight items. Close (or a yield refusal after stop) drains the
+// producer — no goroutine is ever leaked, and a budget trip inside a
+// worker becomes the terminal error rather than a re-raised panic.
+type pumpIter struct {
+	ch    chan logic.Interp
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+	perr  error // producer's terminal error; readable after done closes
+	limit int
+	count int
+	err   error
+}
+
+// newPumpIter starts the producer. run must invoke yield once per
+// model and respect yield returning false (the enumerators do, via
+// their emitter).
+func newPumpIter(limit int, run func(yield func(logic.Interp) bool)) *pumpIter {
+	p := &pumpIter{
+		ch:    make(chan logic.Interp),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		limit: limit,
+	}
+	go func() {
+		var err error
+		func() {
+			defer budget.Recover(&err)
+			run(func(m logic.Interp) bool {
+				select {
+				case p.ch <- m:
+					return true
+				case <-p.stop:
+					return false
+				}
+			})
+		}()
+		p.perr = err
+		close(p.ch)
+		close(p.done)
+	}()
+	return p
+}
+
+func (p *pumpIter) Next(ctx context.Context) (logic.Interp, error) {
+	if p.err != nil {
+		return logic.Interp{}, p.err
+	}
+	// A dead ctx wins over a ready model: poll it first so
+	// cancellation is deterministic rather than racing the select.
+	if cerr := ctxErr(ctx); cerr != nil {
+		p.err = cerr
+		return logic.Interp{}, p.err
+	}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		cancel = ctx.Done()
+	}
+	select {
+	case m, ok := <-p.ch:
+		if ok {
+			p.count++
+			return m, nil
+		}
+		<-p.done
+		switch {
+		case p.perr != nil:
+			p.err = p.perr
+		case p.limit > 0 && p.count >= p.limit:
+			p.err = ErrLimit
+		default:
+			p.err = io.EOF
+		}
+		return logic.Interp{}, p.err
+	case <-cancel:
+		p.err = ctxErr(ctx)
+		return logic.Interp{}, p.err
+	}
+}
+
+func (p *pumpIter) Close() error {
+	p.once.Do(func() { close(p.stop) })
+	for range p.ch {
+		// Discard in-flight models until the producer exits; each
+		// worker's next yield sees stop closed and unwinds.
+	}
+	<-p.done
+	if p.err == nil {
+		p.err = io.EOF
+	}
+	return nil
+}
+
+// enumSearch is the pull-based core of all-models enumeration: the
+// blocked-clause solver loop of sat.Solver.EnumerateModels unrolled
+// into a step function, with the oracle charged identically to the
+// push path (one call for the solver build, one per model found).
+type enumSearch struct {
+	e     *Engine
+	s     *sat.Solver
+	block []sat.Lit
+	done  bool
+}
+
+// step finds the next model. The solver is built lazily so that a
+// budget trip during construction surfaces from the first step (inside
+// the iterator's Recover) rather than from the constructor.
+func (es *enumSearch) step() (logic.Interp, bool) {
+	if es.done {
+		return logic.Interp{}, false
+	}
+	n := es.e.DB.N()
+	if es.s == nil {
+		es.s = es.e.Ora.SatSolver(n, es.e.cnf)
+	}
+	if es.s.Solve() != sat.Sat {
+		es.done = true
+		// Distinguish exhaustion from a mid-enumeration budget trip.
+		oracle.CheckEnumerate(es.s)
+		return logic.Interp{}, false
+	}
+	es.e.Ora.CountCall()
+	m := logic.NewInterp(n)
+	es.block = es.block[:0]
+	for v := 0; v < n; v++ {
+		val := es.s.Model(v)
+		m.True.SetTo(v, val)
+		es.block = append(es.block, sat.MkLit(v, !val))
+	}
+	if !es.s.AddClause(es.block...) {
+		es.done = true // blocked the last model: formula exhausted
+	}
+	return m, true
+}
+
+// IterateModels returns a pull-based enumeration of every model of the
+// database (the iterator form of EnumerateModels). limit ≤ 0 means
+// unlimited.
+func (e *Engine) IterateModels(limit int) ModelIterator {
+	es := &enumSearch{e: e}
+	return &stepIter{step: es.step, limit: limit}
+}
+
+// IterateModelsPar is IterateModels across the cube-decomposed worker
+// pool (the iterator form of EnumerateModelsPar): same model set,
+// nondeterministic order, worker-count-invariant oracle totals.
+func (e *Engine) IterateModelsPar(limit int, opt ParOptions) ModelIterator {
+	return newPumpIter(limit, func(yield func(logic.Interp) bool) {
+		e.EnumerateModelsPar(limit, yield, opt)
+	})
+}
+
+// IterateMinimalModels returns a pull-based enumeration of MM(DB).
+func (e *Engine) IterateMinimalModels(limit int) ModelIterator {
+	return e.IterateMinimalModelsPZ(FullMin(e.DB.N()), limit)
+}
+
+// IterateMinimalModelsPZ returns a pull-based enumeration of
+// MM(DB;P;Z) — one representative per signature, in the serial
+// signature-blocking order of MinimalModelsPZ.
+func (e *Engine) IterateMinimalModelsPZ(part Partition, limit int) ModelIterator {
+	s := &sigSearch{e: e, query: logic.CloneCNF(e.cnf), part: part}
+	return &stepIter{step: s.step, limit: limit}
+}
+
+// IterateMinimalModelsPar is IterateMinimalModels across the
+// region-decomposed worker pool.
+func (e *Engine) IterateMinimalModelsPar(limit int, opt ParOptions) ModelIterator {
+	return e.IterateMinimalModelsPZPar(FullMin(e.DB.N()), limit, opt)
+}
+
+// IterateMinimalModelsPZPar is IterateMinimalModelsPZ across the
+// region-decomposed worker pool: same signature set, nondeterministic
+// order and Z-representatives.
+func (e *Engine) IterateMinimalModelsPZPar(part Partition, limit int, opt ParOptions) ModelIterator {
+	return newPumpIter(limit, func(yield func(logic.Interp) bool) {
+		e.MinimalModelsPZPar(part, limit, yield, opt)
+	})
+}
+
+// Drain pulls it dry, feeding each model to yield, and maps the
+// terminal taxonomy back onto the push contract: io.EOF and ErrLimit
+// (and a yield refusal) are completion (nil error); anything else is
+// the typed interruption cause. Drain closes the iterator.
+func Drain(it ModelIterator, yield func(logic.Interp) bool) (count int, err error) {
+	defer it.Close()
+	for {
+		m, nerr := it.Next(nil)
+		switch {
+		case nerr == nil:
+			count++
+			if !yield(m) {
+				return count, nil
+			}
+		case errors.Is(nerr, io.EOF), errors.Is(nerr, ErrLimit):
+			return count, nil
+		default:
+			return count, nerr
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package models
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/dbtest"
+	"disjunct/internal/logic"
+	"disjunct/internal/oracle"
+)
+
+// pull drains an iterator via Next(ctx) without Close, returning the
+// models and the terminal error.
+func pull(t *testing.T, it ModelIterator, ctx context.Context) ([]logic.Interp, error) {
+	t.Helper()
+	var out []logic.Interp
+	for {
+		m, err := it.Next(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m.Clone())
+	}
+}
+
+// TestIterateModelsMatchesPush: the serial pull enumerator returns the
+// same models in the same order with the same NP-call total as the
+// push path.
+func TestIterateModelsMatchesPush(t *testing.T) {
+	for i, d := range randomDBs(101, 20) {
+		oPush := oracle.NewNP()
+		var want []logic.Interp
+		NewEngine(d, oPush).EnumerateModels(0, func(m logic.Interp) bool {
+			want = append(want, m.Clone())
+			return true
+		})
+
+		oPull := oracle.NewNP()
+		it := NewEngine(d, oPull).IterateModels(0)
+		got, err := pull(t, it, nil)
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("db %d: terminal %v, want io.EOF", i, err)
+		}
+		if !equalKeys(sortedKeys(got), sortedKeys(want)) || len(got) != len(want) {
+			t.Fatalf("db %d: pull %d models, push %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Key() != want[j].Key() {
+				t.Fatalf("db %d: order diverges at %d", i, j)
+			}
+		}
+		if a, b := oPull.Counters().NPCalls, oPush.Counters().NPCalls; a != b {
+			t.Fatalf("db %d: pull NP=%d push NP=%d", i, a, b)
+		}
+		it.Close()
+		if _, err := it.Next(nil); !errors.Is(err, io.EOF) {
+			t.Fatalf("db %d: Next after Close = %v", i, err)
+		}
+	}
+}
+
+// TestIterateMinimalModelsMatchesPush: serial minimal-model pull vs
+// push — identical order and NP totals.
+func TestIterateMinimalModelsMatchesPush(t *testing.T) {
+	for i, d := range randomDBs(103, 20) {
+		oPush := oracle.NewNP()
+		var want []logic.Interp
+		NewEngine(d, oPush).MinimalModels(0, func(m logic.Interp) bool {
+			want = append(want, m.Clone())
+			return true
+		})
+
+		oPull := oracle.NewNP()
+		got, err := pull(t, NewEngine(d, oPull).IterateMinimalModels(0), nil)
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("db %d: terminal %v, want io.EOF", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("db %d: pull %d minimal models, push %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Key() != want[j].Key() {
+				t.Fatalf("db %d: order diverges at %d", i, j)
+			}
+		}
+		if a, b := oPull.Counters().NPCalls, oPush.Counters().NPCalls; a != b {
+			t.Fatalf("db %d: pull NP=%d push NP=%d", i, a, b)
+		}
+	}
+}
+
+// TestIterateParMatchesPush: the pump-backed parallel iterators return
+// the same model set and NP totals as their push counterparts, and
+// leak no producer goroutine.
+func TestIterateParMatchesPush(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i, d := range randomDBs(107, 12) {
+		for _, minimal := range []bool{false, true} {
+			oPush := oracle.NewNP()
+			var want []logic.Interp
+			add := func(m logic.Interp) bool { want = append(want, m.Clone()); return true }
+			if minimal {
+				NewEngine(d, oPush).MinimalModelsPar(0, add, ParOptions{Workers: 4})
+			} else {
+				NewEngine(d, oPush).EnumerateModelsPar(0, add, ParOptions{Workers: 4})
+			}
+
+			oPull := oracle.NewNP()
+			var it ModelIterator
+			if minimal {
+				it = NewEngine(d, oPull).IterateMinimalModelsPar(0, ParOptions{Workers: 4})
+			} else {
+				it = NewEngine(d, oPull).IterateModelsPar(0, ParOptions{Workers: 4})
+			}
+			got, err := pull(t, it, nil)
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("db %d minimal=%v: terminal %v, want io.EOF", i, minimal, err)
+			}
+			it.Close()
+			if !equalKeys(sortedKeys(got), sortedKeys(want)) {
+				t.Fatalf("db %d minimal=%v: pull set %d != push set %d", i, minimal, len(got), len(want))
+			}
+			if a, b := oPull.Counters().NPCalls, oPush.Counters().NPCalls; a != b {
+				t.Fatalf("db %d minimal=%v: pull NP=%d push NP=%d", i, minimal, a, b)
+			}
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+// TestIteratorLimit: the limit terminal is ErrLimit, sticky, with
+// exactly limit models delivered — serial and parallel.
+func TestIteratorLimit(t *testing.T) {
+	base := runtime.NumGoroutine()
+	d := dbtest.MustParse("a | b. c | d. e | f.")
+	for name, mk := range map[string]func() ModelIterator{
+		"serial":     func() ModelIterator { return NewEngine(d, nil).IterateModels(3) },
+		"serial-min": func() ModelIterator { return NewEngine(d, nil).IterateMinimalModels(3) },
+		"par":        func() ModelIterator { return NewEngine(d, nil).IterateModelsPar(3, ParOptions{Workers: 4}) },
+		"par-min":    func() ModelIterator { return NewEngine(d, nil).IterateMinimalModelsPar(3, ParOptions{Workers: 4}) },
+	} {
+		it := mk()
+		got, err := pull(t, it, nil)
+		if !errors.Is(err, ErrLimit) {
+			t.Fatalf("%s: terminal %v, want ErrLimit", name, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("%s: %d models, want 3", name, len(got))
+		}
+		if _, err2 := it.Next(nil); !errors.Is(err2, ErrLimit) {
+			t.Fatalf("%s: terminal not sticky: %v", name, err2)
+		}
+		it.Close()
+	}
+	settleGoroutines(t, base)
+}
+
+// TestIteratorBudgetTrip: a tight NP budget surfaces as a typed
+// terminal error from Next, not a panic, serial and parallel alike.
+func TestIteratorBudgetTrip(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(211))
+	_ = rng
+	for i, d := range randomDBs(211, 8) {
+		for _, par := range []bool{false, true} {
+			o := oracle.NewNP().WithBudget(budget.New(context.Background(),
+				budget.Limits{NPCalls: 2, Deadline: time.Hour}))
+			e := NewEngine(d, o)
+			var it ModelIterator
+			if par {
+				it = e.IterateMinimalModelsPar(0, ParOptions{Workers: 4})
+			} else {
+				it = e.IterateMinimalModels(0)
+			}
+			_, err := pull(t, it, nil)
+			it.Close()
+			if errors.Is(err, io.EOF) || errors.Is(err, ErrLimit) {
+				continue // tiny DB finished within budget — fine
+			}
+			if !budget.Interrupted(err) {
+				t.Fatalf("db %d par=%v: terminal %v is not a typed budget cause", i, par, err)
+			}
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+// TestIteratorContextCancel: cancelling the ctx passed to Next
+// surfaces budget.ErrCanceled and Close reclaims the producer.
+func TestIteratorContextCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	d := dbtest.MustParse("a | b. c | d. e | f. g | h.")
+	ctx, cancel := context.WithCancel(context.Background())
+	it := NewEngine(d, nil).IterateModelsPar(0, ParOptions{Workers: 2})
+	if _, err := it.Next(ctx); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	cancel()
+	if _, err := it.Next(ctx); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("Next after cancel = %v, want ErrCanceled", err)
+	}
+	it.Close()
+	settleGoroutines(t, base)
+
+	// Serial variant honours ctx too.
+	it2 := NewEngine(d, nil).IterateModels(0)
+	if _, err := it2.Next(ctx); !errors.Is(err, budget.ErrCanceled) {
+		t.Fatalf("serial Next on dead ctx = %v, want ErrCanceled", err)
+	}
+	it2.Close()
+}
+
+// TestIteratorCloseEarly: closing after one model reclaims all
+// producer goroutines and later Next calls return the terminal.
+func TestIteratorCloseEarly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	d := dbtest.MustParse("a | b. c | d. e | f. g | h. i | j.")
+	for i := 0; i < 20; i++ {
+		it := NewEngine(d, nil).IterateModelsPar(0, ParOptions{Workers: 4})
+		if _, err := it.Next(nil); err != nil {
+			t.Fatalf("iter %d: first Next: %v", i, err)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatalf("iter %d: Close: %v", i, err)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatalf("iter %d: second Close: %v", i, err)
+		}
+	}
+	settleGoroutines(t, base)
+}
+
+// TestDrainMapsTerminals: Drain converts io.EOF/ErrLimit to nil and
+// passes budget causes through.
+func TestDrainMapsTerminals(t *testing.T) {
+	d := dbtest.MustParse("a | b. c | d.")
+	count, err := Drain(NewEngine(d, nil).IterateModels(0), func(logic.Interp) bool { return true })
+	if err != nil || count == 0 {
+		t.Fatalf("complete drain: count=%d err=%v", count, err)
+	}
+	count, err = Drain(NewEngine(d, nil).IterateModels(2), func(logic.Interp) bool { return true })
+	if err != nil || count != 2 {
+		t.Fatalf("limited drain: count=%d err=%v", count, err)
+	}
+	count, err = Drain(NewEngine(d, nil).IterateModels(0), func(logic.Interp) bool { return false })
+	if err != nil || count != 1 {
+		t.Fatalf("refused drain: count=%d err=%v", count, err)
+	}
+}

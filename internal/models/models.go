@@ -75,6 +75,17 @@ func NewEngine(d *db.DB, o *oracle.NP) *Engine {
 	return &Engine{DB: d, Ora: o, cnf: d.ToCNF()}
 }
 
+// NewEngineCNF returns an engine reusing an already-built clausal form
+// (e.g. a compiled artifact's CNF) instead of recomputing d.ToCNF().
+// The engine treats cnf as read-only (searches work on clones), so one
+// CNF may back many engines concurrently.
+func NewEngineCNF(d *db.DB, o *oracle.NP, cnf logic.CNF) *Engine {
+	if o == nil {
+		o = oracle.NewNP()
+	}
+	return &Engine{DB: d, Ora: o, cnf: cnf}
+}
+
 // CNF returns the database's cached clausal form.
 func (e *Engine) CNF() logic.CNF { return e.cnf }
 
@@ -177,22 +188,18 @@ func (e *Engine) MinimizePZ(m logic.Interp, part Partition) logic.Interp {
 // implementation detail of the sat package; calls are counted per model
 // plus one final unsat call).
 func (e *Engine) EnumerateModels(limit int, yield func(logic.Interp) bool) int {
-	n := e.DB.N()
-	s := e.Ora.SatSolver(n, e.cnf)
+	es := &enumSearch{e: e}
 	count := 0
-	s.EnumerateModels(n, limit, func(model []bool) bool {
-		e.Ora.CountCall()
-		m := logic.NewInterp(n)
-		for v := 0; v < n; v++ {
-			m.True.SetTo(v, model[v])
+	for limit <= 0 || count < limit {
+		m, ok := es.step()
+		if !ok {
+			break
 		}
 		count++
-		return yield(m)
-	})
-	// An attached query budget tripping mid-enumeration makes the
-	// solver's loop stop as if exhausted; surface the interruption
-	// instead of silently under-reporting the model set.
-	oracle.CheckEnumerate(s)
+		if !yield(m) {
+			break
+		}
+	}
 	return count
 }
 
@@ -231,29 +238,53 @@ func (e *Engine) MinimalModelsPZ(part Partition, limit int, yield func(logic.Int
 	return count
 }
 
-// minimalSignatures runs the signature-blocking search over an
-// arbitrary base clause set (the database CNF possibly strengthened by
-// unit constraints — the parallel enumerator's region queries — or
-// previously published blocking clauses), invoking visit once per
-// base-(P;Z)-minimal signature found. visit returning false stops the
-// search. The base is appended to in place.
+// sigSearch is the signature-blocking search over an arbitrary base
+// clause set (the database CNF possibly strengthened by unit
+// constraints — the parallel enumerator's region queries — or
+// previously published blocking clauses), unrolled into a pull-based
+// step function. Each step finds one base-(P;Z)-minimal signature and
+// installs its blocking clause before returning, so the oracle-call
+// sequence is identical whether the caller continues or stops (the
+// clause only influences later steps). The base is appended to in
+// place.
+type sigSearch struct {
+	e     *Engine
+	query logic.CNF
+	part  Partition
+	done  bool
+}
+
+// step finds the next base-(P;Z)-minimal signature representative.
+func (s *sigSearch) step() (logic.Interp, bool) {
+	if s.done {
+		return logic.Interp{}, false
+	}
+	n := s.e.DB.N()
+	sat, m := s.e.Ora.Sat(n, s.query)
+	if !sat {
+		s.done = true
+		return logic.Interp{}, false
+	}
+	min := s.e.minimizeAgainst(s.query, m, s.part)
+	// Block every model with the same Q part and P part ⊇ min∩P.
+	block := signatureBlock(min, s.part, n)
+	if len(block) == 0 {
+		s.done = true // unique signature (∅ on P, no Q): done after min
+	} else {
+		s.query = append(s.query, block)
+	}
+	return min, true
+}
+
+// minimalSignatures is the push adapter over sigSearch, invoking visit
+// once per signature found; visit returning false stops the search.
 func (e *Engine) minimalSignatures(query logic.CNF, part Partition, visit func(logic.Interp) bool) {
-	n := e.DB.N()
+	s := &sigSearch{e: e, query: query, part: part}
 	for {
-		sat, m := e.Ora.Sat(n, query)
-		if !sat {
+		min, ok := s.step()
+		if !ok || !visit(min) {
 			return
 		}
-		min := e.minimizeAgainst(query, m, part)
-		if !visit(min) {
-			return
-		}
-		// Block every model with the same Q part and P part ⊇ min∩P.
-		block := signatureBlock(min, part, n)
-		if len(block) == 0 {
-			return // unique signature (∅ on P, no Q): done
-		}
-		query = append(query, block)
 	}
 }
 

@@ -102,6 +102,17 @@ func (em *emitter) done() bool {
 	return em.stopped
 }
 
+// halt stops emission unconditionally. Workers call it (under recover)
+// the moment a budget trip unwinds them, so that no in-flight sibling
+// invokes the user callback after the trip: emit and halt linearise on
+// the mutex, and any emit that starts after halt returns false without
+// touching yield.
+func (em *emitter) halt() {
+	em.mu.Lock()
+	em.stopped = true
+	em.mu.Unlock()
+}
+
 // MinimalModelsPar is MinimalModels across a worker pool: same model
 // set (minimal models ARE their signatures under full minimisation),
 // deterministic oracle-call count for any worker count when limit ≤ 0
@@ -125,6 +136,12 @@ func (e *Engine) MinimalModelsPZPar(part Partition, limit int, yield func(logic.
 		if em.done() {
 			return
 		}
+		defer func() {
+			if r := recover(); r != nil {
+				em.halt() // budget trip: silence siblings before unwinding
+				panic(r)
+			}
+		}()
 		// Region query: DB ∧ ¬p_w (w before i) ∧ p_i (omitted for R_∅).
 		query := logic.CloneCNF(e.cnf)
 		for j := 0; j < i && j < len(pAtoms); j++ {
@@ -181,6 +198,12 @@ func (e *Engine) EnumerateModelsPar(limit int, yield func(logic.Interp) bool, op
 		if em.done() {
 			return
 		}
+		defer func() {
+			if r := recover(); r != nil {
+				em.halt() // budget trip: silence siblings before unwinding
+				panic(r)
+			}
+		}()
 		s := e.Ora.SatSolver(n, e.cnf)
 		for b := 0; b < k; b++ {
 			if !s.AddClause(sat.MkLit(b, c>>b&1 == 1)) {

@@ -124,6 +124,106 @@ const (
 	// ReasonNotStratifiable: a stratification-based semantics was given
 	// a non-stratifiable database (HTTP 422).
 	ReasonNotStratifiable = "not_stratifiable"
+	// ReasonBatchTooLarge: the batch exceeds the server's per-request
+	// query cap (HTTP 400).
+	ReasonBatchTooLarge = "batch_too_large"
+)
+
+// BatchQuery is one query of a batch request. Kind is "literal",
+// "formula", or "model"; empty infers it from which field is set
+// (Literal → literal, Formula → formula, neither → model). Semantics
+// overrides the batch default for this query only.
+type BatchQuery struct {
+	Kind      string `json:"kind,omitempty"`
+	Semantics string `json:"semantics,omitempty"`
+	Literal   string `json:"literal,omitempty"`
+	Formula   string `json:"formula,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many queries against one
+// database. The database is parsed/compiled once; Limits is the
+// per-query budget ask (clamped by the server ceilings, applied to
+// each query independently); Semantics is the default for queries that
+// don't name their own.
+type BatchRequest struct {
+	Semantics string       `json:"semantics,omitempty"`
+	DB        string       `json:"db"`
+	Queries   []BatchQuery `json:"queries"`
+	Limits    LimitsJSON   `json:"limits"`
+}
+
+// BatchItem is one query's outcome inside a BatchResponse: exactly one
+// of Response (a 200-shaped verdict) or Error (the same typed taxonomy
+// a standalone request would have received) is set.
+type BatchItem struct {
+	Index    int            `json:"index"`
+	Response *QueryResponse `json:"response,omitempty"`
+	Error    *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchResponse is the 200 body of /v1/batch. CompileMS is the shared
+// database parse/compile cost, paid once for the whole batch; QueueMS
+// is the single admission wait (a batch occupies one execution slot).
+// Paths counts per-query routes ("fast"/"session"/"fresh").
+type BatchResponse struct {
+	Queries    int            `json:"queries"`
+	Completed  int            `json:"completed"`
+	Incomplete int            `json:"incomplete"`
+	Errored    int            `json:"errored"`
+	CompileMS  float64        `json:"compile_ms"`
+	QueueMS    float64        `json:"queue_ms"`
+	Paths      map[string]int `json:"paths,omitempty"`
+	Results    []BatchItem    `json:"results"`
+}
+
+// StreamRequest is the body of POST /v1/models/stream: an NDJSON model
+// enumeration. Kind is "models" (default, all models) or "minimal"
+// (MM(DB)); Parallel selects the worker-pool enumerator (same set,
+// nondeterministic order); Limit ≤ 0 means unlimited (subject to the
+// server's StreamMaxModels cap); Limits is the stream's budget ask.
+type StreamRequest struct {
+	DB       string     `json:"db"`
+	Kind     string     `json:"kind,omitempty"`
+	Limit    int        `json:"limit,omitempty"`
+	Parallel bool       `json:"parallel,omitempty"`
+	Limits   LimitsJSON `json:"limits"`
+}
+
+// StreamModelRow is one NDJSON model line: the true atoms, in
+// vocabulary order (empty slice = the empty model).
+type StreamModelRow struct {
+	Model []string `json:"model"`
+}
+
+// StreamDoneRow is the terminal NDJSON record every stream ends with —
+// even interrupted ones. Cause is "complete", "limit", a budget cause
+// code, "canceled" (drain or explicit cancel), or "client_gone".
+type StreamDoneRow struct {
+	Done         bool         `json:"done"`
+	Cause        string       `json:"cause"`
+	Count        int          `json:"count"`
+	Counters     CountersJSON `json:"counters"`
+	Limits       LimitsJSON   `json:"limits"`
+	FirstModelMS float64      `json:"first_model_ms"`
+	TotalMS      float64      `json:"total_ms"`
+}
+
+// StreamLine is the union shape NDJSON consumers decode each line
+// into: a model row has Model != nil and Done false; the terminal
+// record has Done true.
+type StreamLine struct {
+	Model    []string     `json:"model"`
+	Done     bool         `json:"done"`
+	Cause    string       `json:"cause"`
+	Count    int          `json:"count"`
+	Counters CountersJSON `json:"counters"`
+}
+
+// Terminal causes specific to streams (budget causes and "canceled"
+// reuse the Cause* codes; "client_gone" reuses ShedClientGone).
+const (
+	StreamCauseComplete = "complete"
+	StreamCauseLimit    = "limit"
 )
 
 // ErrorResponse is the body of every non-200 answer.
@@ -177,6 +277,19 @@ func CauseCode(err error) string {
 // response may carry; consumers (load generator, soak cross-check)
 // treat anything else as an untyped error.
 var KnownCauseCodes = map[string]bool{
+	CauseCanceled:           true,
+	CauseDeadline:           true,
+	CauseConflictBudget:     true,
+	CausePropagationBudget:  true,
+	CauseNPCallBudget:       true,
+	CauseTransientExhausted: true,
+}
+
+// KnownStreamCauses is the closed set a StreamDoneRow.Cause may carry.
+var KnownStreamCauses = map[string]bool{
+	StreamCauseComplete:     true,
+	StreamCauseLimit:        true,
+	ShedClientGone:          true,
 	CauseCanceled:           true,
 	CauseDeadline:           true,
 	CauseConflictBudget:     true,

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+)
+
+// postBatch sends one batch and returns the status and raw body.
+func postBatch(t *testing.T, ts *httptest.Server, req BatchRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, data
+}
+
+func decodeBatchResponse(t *testing.T, data []byte) BatchResponse {
+	t.Helper()
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatalf("200 body does not parse as BatchResponse: %v\n%s", err, data)
+	}
+	return br
+}
+
+// batchTestDBs pairs databases with query mixes that exercise all three
+// routes: fixpoint fast paths (definite DBs / Horn fragments), warm
+// sessions (positive disjunctive under the minimal-model family), and
+// the fresh path (semantics outside the warm set).
+var batchTestDBs = []struct {
+	name string
+	db   string
+	qs   []BatchQuery
+}{
+	{
+		name: "definite",
+		db:   "a. b :- a. c | d :- b.",
+		qs: []BatchQuery{
+			{Semantics: "CWA", Literal: "a"},
+			{Semantics: "CWA", Literal: "b"},
+			{Semantics: "GCWA", Literal: "-c"},
+			{Semantics: "GCWA", Literal: "-d"},
+			{Semantics: "GCWA", Kind: "model"},
+		},
+	},
+	{
+		name: "positive-disjunctive",
+		db:   "a | b. b | c. d :- a.",
+		qs: []BatchQuery{
+			{Semantics: "GCWA", Literal: "-a"},
+			{Semantics: "GCWA", Literal: "-d"},
+			{Semantics: "EGCWA", Literal: "-b"},
+			{Semantics: "ECWA", Literal: "-c"},
+			{Semantics: "CIRC", Formula: "a | c"},
+			{Semantics: "PWS", Literal: "b"},
+			{Semantics: "GCWA", Kind: "model"},
+		},
+	},
+	{
+		name: "normal",
+		db:   "a :- not b. b :- not a. c.",
+		qs: []BatchQuery{
+			{Semantics: "DSM", Literal: "c"},
+			{Semantics: "DSM", Literal: "a"},
+			{Semantics: "DSM", Literal: "-b"},
+			{Semantics: "DSM", Kind: "model"},
+		},
+	},
+}
+
+// runBatchVsSequential asserts that a batch produces, query for query,
+// the same verdicts and the same NP-call totals as the identical
+// queries issued one at a time against an identically configured fresh
+// server.
+func runBatchVsSequential(t *testing.T, cfg Config) {
+	t.Helper()
+	for _, tc := range batchTestDBs {
+		// Sequential reference on its own server: a warm manager's memo
+		// and engine state must not leak between the two runs.
+		seqSrv := New(cfg)
+		seqTS := httptest.NewServer(seqSrv.Handler())
+		type ref struct {
+			status int
+			qr     QueryResponse
+		}
+		refs := make([]ref, len(tc.qs))
+		var seqNP int64
+		for i, q := range tc.qs {
+			path, req := "/v1/model", QueryRequest{Semantics: q.Semantics, DB: tc.db}
+			switch {
+			case q.Literal != "":
+				path, req.Literal = "/v1/infer/literal", q.Literal
+			case q.Formula != "":
+				path, req.Formula = "/v1/infer/formula", q.Formula
+			}
+			status, body := post(t, seqTS, path, req)
+			if status != http.StatusOK {
+				t.Fatalf("%s seq query %d: status %d body %s", tc.name, i, status, body)
+			}
+			refs[i] = ref{status, decodeQueryResponse(t, body)}
+			seqNP += refs[i].qr.Counters.NPCalls
+		}
+		seqTS.Close()
+
+		batchSrv := New(cfg)
+		batchTS := httptest.NewServer(batchSrv.Handler())
+		status, body := postBatch(t, batchTS, BatchRequest{DB: tc.db, Queries: tc.qs})
+		if status != http.StatusOK {
+			t.Fatalf("%s batch: status %d body %s", tc.name, status, body)
+		}
+		br := decodeBatchResponse(t, body)
+		if br.Queries != len(tc.qs) || len(br.Results) != len(tc.qs) {
+			t.Fatalf("%s: batch reports %d/%d results for %d queries", tc.name, br.Queries, len(br.Results), len(tc.qs))
+		}
+		var batchNP int64
+		for i, item := range br.Results {
+			if item.Error != nil {
+				t.Fatalf("%s query %d: unexpected error entry %+v", tc.name, i, *item.Error)
+			}
+			if item.Response == nil {
+				t.Fatalf("%s query %d: neither response nor error", tc.name, i)
+			}
+			if item.Response.Incomplete {
+				t.Fatalf("%s query %d: unexpectedly incomplete (%s)", tc.name, i, item.Response.CauseCode)
+			}
+			if item.Response.Holds != refs[i].qr.Holds {
+				t.Fatalf("%s query %d (%s): batch %v, sequential %v",
+					tc.name, i, tc.qs[i].Semantics, item.Response.Holds, refs[i].qr.Holds)
+			}
+			batchNP += item.Response.Counters.NPCalls
+		}
+		if batchNP != seqNP {
+			t.Fatalf("%s: batch NP total %d != sequential %d", tc.name, batchNP, seqNP)
+		}
+		if br.Completed != len(tc.qs) || br.Errored != 0 || br.Incomplete != 0 {
+			t.Fatalf("%s: counts completed=%d incomplete=%d errored=%d", tc.name, br.Completed, br.Incomplete, br.Errored)
+		}
+		batchTS.Close()
+	}
+}
+
+func TestBatchMatchesSequentialFresh(t *testing.T) {
+	runBatchVsSequential(t, Config{})
+}
+
+func TestBatchMatchesSequentialSessions(t *testing.T) {
+	runBatchVsSequential(t, Config{Sessions: true})
+}
+
+// TestBatchPathsPartition: with sessions on, a batch routes queries per
+// fragment class. A disjunctive DB splits between warm sessions and the
+// fresh path; a definite DB answers entirely on the fixpoint fast path
+// with zero NP calls.
+func TestBatchPathsPartition(t *testing.T) {
+	srv := New(Config{Sessions: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := postBatch(t, ts, BatchRequest{
+		DB: "a | b. b | c. d :- a.",
+		Queries: []BatchQuery{
+			{Semantics: "GCWA", Literal: "-a"}, // warm session
+			{Semantics: "GCWA", Literal: "-d"}, // warm session, same checkout
+			{Semantics: "DSM", Literal: "b"},   // fresh (DSM not warm-eligible)
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	br := decodeBatchResponse(t, body)
+	if br.Paths["session"] != 2 || br.Paths["fresh"] != 1 {
+		t.Fatalf("disjunctive batch: want paths session:2 fresh:1, got %v", br.Paths)
+	}
+
+	status, body = postBatch(t, ts, BatchRequest{
+		Semantics: "GCWA",
+		DB:        "a. b :- a. c :- b.",
+		Queries:   []BatchQuery{{Literal: "a"}, {Literal: "c"}, {Literal: "-a"}, {Kind: "model"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("definite batch: status %d body %s", status, body)
+	}
+	br = decodeBatchResponse(t, body)
+	if br.Paths["fast"] != 4 {
+		t.Fatalf("definite batch: want paths fast:4, got %v", br.Paths)
+	}
+	for i, item := range br.Results {
+		if item.Response == nil || item.Response.Counters.NPCalls != 0 {
+			t.Fatalf("definite batch query %d: want zero NP calls, got %+v", i, item)
+		}
+	}
+
+	h := healthOf(t, ts)
+	if got := h.Stats["batch_requests"]; got != 2 {
+		t.Fatalf("batch_requests = %d, want 2", got)
+	}
+	if got := h.Stats["batch_queries"]; got != 7 {
+		t.Fatalf("batch_queries = %d, want 7", got)
+	}
+}
+
+// healthOf decodes /healthz.
+func healthOf(t *testing.T, ts *httptest.Server) Health {
+	t.Helper()
+	h, err := FetchHealth(ts.Client(), ts.URL)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	return h
+}
+
+// TestBatchPerQueryErrors: malformed queries become typed per-item
+// error entries; valid neighbors still answer. The batch itself is a
+// 200.
+func TestBatchPerQueryErrors(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := postBatch(t, ts, BatchRequest{
+		Semantics: "GCWA",
+		DB:        "a | b. :- a, b.",
+		Queries: []BatchQuery{
+			{Literal: "-a"},                   // valid (batch default semantics)
+			{Semantics: "NOPE", Literal: "a"}, // unknown semantics
+			{Literal: "zzz"},                  // atom not in vocabulary
+			{Kind: "frobnicate"},              // bad kind
+			{Semantics: "PERF", Literal: "a"}, // PERF is undefined with integrity clauses
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	br := decodeBatchResponse(t, body)
+	wantErrors := map[int]string{
+		1: ReasonUnknownSemantics,
+		2: ReasonBadRequest,
+		3: ReasonBadRequest,
+		4: ReasonUnsupported,
+	}
+	for i, item := range br.Results {
+		want, isErr := wantErrors[i]
+		if isErr {
+			if item.Error == nil || item.Error.Error != want {
+				t.Fatalf("query %d: want error %q, got %+v", i, want, item)
+			}
+			continue
+		}
+		if item.Response == nil || item.Response.Incomplete {
+			t.Fatalf("query %d: want a complete verdict, got %+v", i, item)
+		}
+	}
+	if br.Errored != len(wantErrors) || br.Completed != len(br.Results)-len(wantErrors) {
+		t.Fatalf("counts completed=%d errored=%d, want %d/%d",
+			br.Completed, br.Errored, len(br.Results)-len(wantErrors), len(wantErrors))
+	}
+}
+
+// TestBatchRejections: oversized batches, empty batches, bad bodies and
+// bad databases are typed 400s; a draining server sheds with 503.
+func TestBatchRejections(t *testing.T) {
+	srv := New(Config{BatchMaxQueries: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, body := postBatch(t, ts, BatchRequest{DB: "a.", Queries: []BatchQuery{
+		{Semantics: "CWA", Literal: "a"},
+		{Semantics: "CWA", Literal: "-a"},
+		{Semantics: "CWA", Kind: "model"},
+	}})
+	if er := decodeErrorResponse(t, body); status != http.StatusBadRequest || er.Error != ReasonBatchTooLarge {
+		t.Fatalf("oversized: status=%d error=%q", status, er.Error)
+	}
+	status, body = postBatch(t, ts, BatchRequest{DB: "a."})
+	if er := decodeErrorResponse(t, body); status != http.StatusBadRequest || er.Error != ReasonBadRequest {
+		t.Fatalf("empty: status=%d error=%q", status, er.Error)
+	}
+	status, body = postBatch(t, ts, BatchRequest{DB: "a |", Queries: []BatchQuery{{Semantics: "CWA", Literal: "a"}}})
+	if er := decodeErrorResponse(t, body); status != http.StatusBadRequest || er.Error != ReasonBadRequest {
+		t.Fatalf("bad db: status=%d error=%q", status, er.Error)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	status, body = postBatch(t, ts, BatchRequest{DB: "a.", Queries: []BatchQuery{{Semantics: "CWA", Literal: "a"}}})
+	if er := decodeErrorResponse(t, body); status != http.StatusServiceUnavailable || er.Error != ShedDraining {
+		t.Fatalf("draining: status=%d error=%q", status, er.Error)
+	}
+}
+
+// TestBatchBudgetTripIsPerQuery: one under-budgeted batch member trips
+// alone; siblings in the same warm group still complete, exactly as in
+// the session-layer contract.
+func TestBatchBudgetTripIsPerQuery(t *testing.T) {
+	srv := New(Config{Sessions: true, Ceilings: budget.Limits{NPCalls: 2}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The ceiling applies to every query; the first GCWA solve on this
+	// DB needs more than 2 NP calls, later memo-assisted ones need
+	// fewer. What matters here: an interrupted member yields a typed
+	// incomplete entry, not a batch failure, and complete members agree
+	// with an unbudgeted reference.
+	status, body := postBatch(t, ts, BatchRequest{
+		Semantics: "GCWA",
+		DB:        "a | b. b | c. c | d. d | e.",
+		Queries: []BatchQuery{
+			{Literal: "-a"}, {Literal: "-b"}, {Literal: "-c"}, {Literal: "-d"}, {Literal: "-e"},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d body %s", status, body)
+	}
+	br := decodeBatchResponse(t, body)
+	refSrv := New(Config{Sessions: true})
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	sawIncomplete := false
+	for i, item := range br.Results {
+		if item.Response == nil {
+			t.Fatalf("query %d: %+v", i, item)
+		}
+		if item.Response.Incomplete {
+			sawIncomplete = true
+			if !KnownCauseCodes[item.Response.CauseCode] {
+				t.Fatalf("query %d: untyped cause %q", i, item.Response.CauseCode)
+			}
+			continue
+		}
+		lits := []string{"-a", "-b", "-c", "-d", "-e"}
+		_, refBody := post(t, refTS, "/v1/infer/literal", QueryRequest{
+			Semantics: "GCWA", DB: "a | b. b | c. c | d. d | e.", Literal: lits[i],
+		})
+		ref := decodeQueryResponse(t, refBody)
+		if item.Response.Holds != ref.Holds {
+			t.Fatalf("query %d: budgeted-batch verdict %v, reference %v", i, item.Response.Holds, ref.Holds)
+		}
+	}
+	if !sawIncomplete {
+		t.Fatalf("ceiling of 2 NP calls tripped nothing; test is vacuous")
+	}
+	if br.Incomplete == 0 {
+		t.Fatalf("batch counts don't reflect the trip: %+v", br)
+	}
+}

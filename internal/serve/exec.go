@@ -132,9 +132,14 @@ func (s *Server) executeSession(ctx context.Context, kind string, pq parsedQuery
 	if !handled {
 		return QueryResponse{}, false
 	}
-	// res.Err is always a typed budget interruption (the layer never
-	// handles queries its semantics would reject), so VerdictOf can
-	// only yield a verdict here, never a semantic error.
+	return sessionResponse(kind, pq, res, start), true
+}
+
+// sessionResponse maps a session-layer Result onto the wire shape.
+// res.Err is always a typed budget interruption (the layer never
+// handles queries its semantics would reject), so VerdictOf can only
+// yield a verdict here, never a semantic error.
+func sessionResponse(kind string, pq parsedQuery, res session.Result, start time.Time) QueryResponse {
 	v, _ := core.VerdictOf(res.Holds, res.Err)
 	return QueryResponse{
 		Semantics:  pq.semName,
@@ -148,7 +153,7 @@ func (s *Server) executeSession(ctx context.Context, kind string, pq parsedQuery
 		Limits:     LimitsFrom(pq.eff),
 		Path:       res.Path,
 		SolveMS:    float64(time.Since(start)) / float64(time.Millisecond),
-	}, true
+	}
 }
 
 func causeString(err error) string {

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -416,10 +417,18 @@ func doRequest(client *http.Client, baseURL string, job loadJob) (int, int, Quer
 	}
 }
 
-// FetchHealth reads and decodes /healthz.
+// FetchHealth reads and decodes /healthz. The request carries its own
+// deadline: a health probe against a wedged server must fail fast, not
+// inherit the client's (possibly unlimited) timeout.
 func FetchHealth(client *http.Client, baseURL string) (Health, error) {
 	var h Health
-	resp, err := client.Get(baseURL + "/healthz")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return h, err
 	}

@@ -106,6 +106,12 @@ type Config struct {
 	SessionMaxSessions int
 	SessionMaxQueries  int
 	SessionBatchWindow time.Duration
+	// BatchMaxQueries caps the queries one /v1/batch request may carry
+	// (default 256; larger batches are rejected with a typed 400).
+	BatchMaxQueries int
+	// StreamMaxModels caps the models one /v1/models/stream request may
+	// emit regardless of its own limit (0 = uncapped).
+	StreamMaxModels int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +133,9 @@ func (c Config) withDefaults() Config {
 	if c.Breaker.Cooldown <= 0 {
 		c.Breaker.Cooldown = time.Second
 	}
+	if c.BatchMaxQueries <= 0 {
+		c.BatchMaxQueries = 256
+	}
 	return c
 }
 
@@ -142,6 +151,12 @@ type stats struct {
 	badRequest     atomic.Int64 // 400/404/422
 	retries        atomic.Int64 // query-level transient retries performed
 	coalesced      atomic.Int64 // requests answered from a coalesced leader
+
+	batchRequests    atomic.Int64 // /v1/batch requests admitted
+	batchQueries     atomic.Int64 // queries carried by admitted batches
+	streams          atomic.Int64 // /v1/models/stream requests admitted
+	streamModels     atomic.Int64 // model rows emitted across all streams
+	streamClientGone atomic.Int64 // streams cut by a client disconnect
 }
 
 // Server is the inference service. Create with New, mount Handler on
@@ -217,6 +232,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/infer/literal", s.queryHandler("literal"))
 	s.mux.HandleFunc("POST /v1/infer/formula", s.queryHandler("formula"))
 	s.mux.HandleFunc("POST /v1/model", s.queryHandler("model"))
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/models/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/semantics", s.handleSemantics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -655,16 +672,21 @@ func (s *Server) health() Health {
 		Goroutines: runtime.NumGoroutine(),
 		Breakers:   map[string]breakerReport{},
 		Stats: map[string]int64{
-			"completed":        s.stats.completed.Load(),
-			"incomplete":       s.stats.incomplete.Load(),
-			"shed_queue_full":  s.stats.shedQueueFull.Load(),
-			"shed_queue_wait":  s.stats.shedQueueWait.Load(),
-			"shed_client_gone": s.stats.shedClientGone.Load(),
-			"shed_draining":    s.stats.shedDraining.Load(),
-			"shed_breaker":     s.stats.shedBreaker.Load(),
-			"bad_request":      s.stats.badRequest.Load(),
-			"retries":          s.stats.retries.Load(),
-			"coalesced":        s.stats.coalesced.Load(),
+			"completed":          s.stats.completed.Load(),
+			"incomplete":         s.stats.incomplete.Load(),
+			"shed_queue_full":    s.stats.shedQueueFull.Load(),
+			"shed_queue_wait":    s.stats.shedQueueWait.Load(),
+			"shed_client_gone":   s.stats.shedClientGone.Load(),
+			"shed_draining":      s.stats.shedDraining.Load(),
+			"shed_breaker":       s.stats.shedBreaker.Load(),
+			"bad_request":        s.stats.badRequest.Load(),
+			"retries":            s.stats.retries.Load(),
+			"coalesced":          s.stats.coalesced.Load(),
+			"batch_requests":     s.stats.batchRequests.Load(),
+			"batch_queries":      s.stats.batchQueries.Load(),
+			"streams":            s.stats.streams.Load(),
+			"stream_models":      s.stats.streamModels.Load(),
+			"stream_client_gone": s.stats.streamClientGone.Load(),
 		},
 	}
 	if s.sessions != nil {

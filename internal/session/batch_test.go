@@ -1,0 +1,167 @@
+package session_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"disjunct/internal/budget"
+	"disjunct/internal/logic"
+	"disjunct/internal/session"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+// batchQueries builds a mixed query stream against d: literals over
+// every atom (both signs), a model query, and a formula query, across
+// fast, warm, and unhandled semantics.
+func batchQueries(dbIdx int, n int, voc func(logic.Lit) string) []session.Request {
+	sems := []string{"GCWA", "ECWA", "CIRC", "DSM", "PWS"}
+	var reqs []session.Request
+	for v := 0; v < n; v++ {
+		for _, pos := range []bool{true, false} {
+			lit := logic.PosLit(logic.Atom(v))
+			if !pos {
+				lit = logic.NegLit(logic.Atom(v))
+			}
+			sem := sems[(dbIdx+v)%len(sems)]
+			reqs = append(reqs, session.Request{
+				Sem: sem, Kind: session.KindLiteral, Lit: lit, QueryText: voc(lit),
+			})
+		}
+	}
+	reqs = append(reqs, session.Request{Sem: "GCWA", Kind: session.KindModel})
+	return reqs
+}
+
+// TestBatchMatchesSequential: Manager.Batch must produce the same
+// verdicts, handled set, and NP-call totals as the same requests
+// issued one at a time through Manager.Query, on separate managers.
+func TestBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		d := mixedDB(i, rng)
+		reqs := batchQueries(i, d.N(), d.Voc.LitString)
+
+		seqMgr := session.NewManager(session.Config{})
+		seqComp := seqMgr.InternDB(d)
+		type ans struct {
+			res     session.Result
+			handled bool
+		}
+		seq := make([]ans, len(reqs))
+		for j, req := range reqs {
+			res, handled := seqMgr.Query(ctx, seqComp, req)
+			seq[j] = ans{res, handled}
+		}
+
+		batchMgr := session.NewManager(session.Config{})
+		batchComp := batchMgr.InternDB(d)
+		out := batchMgr.Batch(ctx, batchComp, reqs)
+
+		var seqNP, batchNP int64
+		for j := range reqs {
+			if out[j].Handled != seq[j].handled {
+				t.Fatalf("db %d req %d: batch handled=%v, sequential %v", i, j, out[j].Handled, seq[j].handled)
+			}
+			if !out[j].Handled {
+				continue
+			}
+			if out[j].Res.Err != nil || seq[j].res.Err != nil {
+				t.Fatalf("db %d req %d: unexpected errs %v / %v", i, j, out[j].Res.Err, seq[j].res.Err)
+			}
+			if out[j].Res.Holds != seq[j].res.Holds {
+				t.Fatalf("db %d req %d (%s %s): batch %v, sequential %v",
+					i, j, reqs[j].Sem, reqs[j].QueryText, out[j].Res.Holds, seq[j].res.Holds)
+			}
+			if out[j].Res.Path != seq[j].res.Path {
+				t.Fatalf("db %d req %d: batch path %q, sequential %q", i, j, out[j].Res.Path, seq[j].res.Path)
+			}
+			seqNP += seq[j].res.Counters.NPCalls
+			batchNP += out[j].Res.Counters.NPCalls
+		}
+		if seqNP != batchNP {
+			t.Fatalf("db %d: batch NP total %d != sequential %d", i, batchNP, seqNP)
+		}
+		if st := batchMgr.Stats(); st.ActiveCheckouts != 0 {
+			t.Fatalf("db %d: checkout leak after batch: %d", i, st.ActiveCheckouts)
+		}
+	}
+}
+
+// TestBatchSingleCheckoutPerGroup: a batch with many warm queries for
+// one (db, semantics) pair claims the session exactly once.
+func TestBatchSingleCheckoutPerGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	d := mixedDB(3, rng) // positive general: warm territory
+	mgr := session.NewManager(session.Config{})
+	comp := mgr.InternDB(d)
+	var reqs []session.Request
+	for v := 0; v < d.N(); v++ {
+		lit := logic.PosLit(logic.Atom(v))
+		reqs = append(reqs, session.Request{
+			Sem: "GCWA", Kind: session.KindLiteral, Lit: lit, QueryText: d.Voc.LitString(lit),
+		})
+	}
+	out := mgr.Batch(context.Background(), comp, reqs)
+	for j, o := range out {
+		if !o.Handled || o.Res.Err != nil {
+			t.Fatalf("req %d: handled=%v err=%v", j, o.Handled, o.Res.Err)
+		}
+	}
+	st := mgr.Stats()
+	if st.Checkouts != 1 {
+		t.Fatalf("warm group of %d used %d checkouts, want 1", len(reqs), st.Checkouts)
+	}
+	if st.ActiveCheckouts != 0 {
+		t.Fatalf("checkout leak: %d", st.ActiveCheckouts)
+	}
+}
+
+// TestBatchBudgetTripRetiresAndContinues: a query interrupted by its
+// budget must not poison the rest of the group — the engine is retired
+// and rebuilt, and later queries still answer with verdicts identical
+// to a sequential run.
+func TestBatchBudgetTripRetiresAndContinues(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		d := mixedDB(3+5*i, rng) // positive general mixes
+		var reqs []session.Request
+		for v := 0; v < d.N(); v++ {
+			lit := logic.PosLit(logic.Atom(v))
+			b := (*budget.B)(nil)
+			if v == 0 {
+				b = budget.New(ctx, budget.Limits{NPCalls: 1, Deadline: time.Hour})
+			}
+			reqs = append(reqs, session.Request{
+				Sem: "ECWA", Kind: session.KindLiteral, Lit: lit,
+				QueryText: d.Voc.LitString(lit), Budget: b,
+			})
+		}
+		mgr := session.NewManager(session.Config{})
+		out := mgr.Batch(ctx, mgr.InternDB(d), reqs)
+
+		ref := session.NewManager(session.Config{})
+		refComp := ref.InternDB(d)
+		for j := 1; j < len(reqs); j++ {
+			if !out[j].Handled {
+				continue
+			}
+			res, handled := ref.Query(ctx, refComp, session.Request{
+				Sem: reqs[j].Sem, Kind: reqs[j].Kind, Lit: reqs[j].Lit, QueryText: reqs[j].QueryText,
+			})
+			if !handled {
+				t.Fatalf("db %d req %d: reference unhandled", i, j)
+			}
+			if out[j].Res.Err == nil && res.Err == nil && out[j].Res.Holds != res.Holds {
+				t.Fatalf("db %d req %d: post-trip verdict %v, reference %v", i, j, out[j].Res.Holds, res.Holds)
+			}
+		}
+		if st := mgr.Stats(); st.ActiveCheckouts != 0 {
+			t.Fatalf("db %d: checkout leak: %d", i, st.ActiveCheckouts)
+		}
+	}
+}

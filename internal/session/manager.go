@@ -269,10 +269,7 @@ func (m *Manager) Query(ctx context.Context, comp *Compiled, req Request) (Resul
 		m.fastQueries.Add(1)
 		return Result{Holds: holds, Path: "fast"}, true
 	}
-	if !warmSems[req.Sem] {
-		return Result{}, false
-	}
-	if req.Kind == KindFormula && !warmFormulaSems[req.Sem] {
+	if !warmEligible(req.Sem, req.Kind) {
 		return Result{}, false
 	}
 	sess := m.session(comp, req.Sem)
@@ -282,12 +279,27 @@ func (m *Manager) Query(ctx context.Context, comp *Compiled, req Request) (Resul
 		return Result{}, false
 	}
 	defer m.checkin(sess, st)
+	return m.warmOne(st, comp, req), true
+}
 
+// warmEligible reports whether the warm-session family serves this
+// (semantics, kind) pair at all.
+func warmEligible(sem string, kind Kind) bool {
+	if !warmSems[sem] {
+		return false
+	}
+	return kind != KindFormula || warmFormulaSems[sem]
+}
+
+// warmOne answers one warm-eligible query on an already checked-out
+// engine token: memo lookup, lazy engine (re)build, per-query budget
+// attach, counter delta, and retirement on interrupt or staleness.
+func (m *Manager) warmOne(st *engineState, comp *Compiled, req Request) Result {
 	memoKey := req.Kind.String() + "|" + req.QueryText
 	if v, ok := st.memo[memoKey]; ok {
 		m.memoHits.Add(1)
 		m.warmQueries.Add(1)
-		return Result{Holds: v, Path: "session"}, true
+		return Result{Holds: v, Path: "session"}
 	}
 	if st.eng == nil {
 		st.ora = oracle.NewNP()
@@ -313,7 +325,7 @@ func (m *Manager) Query(ctx context.Context, comp *Compiled, req Request) (Resul
 		// only completed verdicts, survives).
 		st.eng, st.ora = nil, nil
 		m.retired.Add(1)
-		return Result{Err: err, Counters: delta, Path: "session"}, true
+		return Result{Err: err, Counters: delta, Path: "session"}
 	}
 	st.memo[memoKey] = holds
 	st.queries++
@@ -321,7 +333,68 @@ func (m *Manager) Query(ctx context.Context, comp *Compiled, req Request) (Resul
 		st.eng, st.ora = nil, nil
 		m.retired.Add(1)
 	}
-	return Result{Holds: holds, Counters: delta, Path: "session"}, true
+	return Result{Holds: holds, Counters: delta, Path: "session"}
+}
+
+// BatchOutcome pairs one batch request's Result with whether the
+// session layer handled it; unhandled entries must be run by the
+// caller's fresh path.
+type BatchOutcome struct {
+	Res     Result
+	Handled bool
+}
+
+// Batch answers many requests against one compiled database, paying
+// the checkout cost once per (database, semantics) group instead of
+// once per query — the public form of the micro-batch window. Fast-path
+// queries are answered inline with zero NP calls; warm-eligible
+// queries are grouped by semantics and executed back-to-back on a
+// single checked-out engine, in request order within each group, so
+// the NP-call total equals the same queries issued sequentially
+// through Query. A checkout that cannot be claimed within the batch
+// window leaves its whole group unhandled; a query interrupted by its
+// budget retires the engine and the next query in the group rebuilds
+// it, exactly as on the sequential path.
+func (m *Manager) Batch(ctx context.Context, comp *Compiled, reqs []Request) []BatchOutcome {
+	out := make([]BatchOutcome, len(reqs))
+	var order []string
+	groups := make(map[string][]int)
+	for i, req := range reqs {
+		if holds, ok := fastVerdict(comp, req.Sem, req.Kind, req.Lit, req.F); ok {
+			m.fastQueries.Add(1)
+			out[i] = BatchOutcome{Res: Result{Holds: holds, Path: "fast"}, Handled: true}
+			continue
+		}
+		if !warmEligible(req.Sem, req.Kind) {
+			continue
+		}
+		if _, seen := groups[req.Sem]; !seen {
+			order = append(order, req.Sem)
+		}
+		groups[req.Sem] = append(groups[req.Sem], i)
+	}
+	for _, sem := range order {
+		idxs := groups[sem]
+		sess := m.session(comp, sem)
+		st, ok := m.checkout(ctx, sess)
+		if !ok {
+			m.checkoutTimeouts.Add(1)
+			continue // the whole group falls back to the caller's fresh path
+		}
+		for _, i := range idxs {
+			out[i] = BatchOutcome{Res: m.warmOne(st, comp, reqs[i]), Handled: true}
+		}
+		m.checkin(sess, st)
+	}
+	return out
+}
+
+// FastVerdict exposes the fragment fast path for callers that hold a
+// compiled artifact but no Manager (e.g. the serve batch planner with
+// sessions disabled). The second return reports whether the
+// (fragment, semantics) pair is allowlisted.
+func FastVerdict(comp *Compiled, sem string, kind Kind, lit logic.Lit, f *logic.Formula) (bool, bool) {
+	return fastVerdict(comp, sem, kind, lit, f)
 }
 
 // runWarm executes one warm query; budget trips surface as the typed

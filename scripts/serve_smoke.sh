@@ -115,4 +115,81 @@ grep -q "clean drain" "$SLOG" || {
     cat "$SLOG" >&2
     exit 1
 }
-echo "serve-smoke: clean (fresh + session)"
+# --- batch + stream smoke ------------------------------------------
+# Third pass: the amortized endpoints. A hot-DB workload replayed in
+# /v1/batch chunks with verdict verification, eight NDJSON streams
+# set-compared against direct library enumeration, then a deliberately
+# long stream (a 20-atom disjunction: ~10^6 models) interrupted by
+# SIGTERM — the stream must end with a typed terminal record and the
+# server must still drain cleanly.
+BLOG="${TMPDIR:-/tmp}/ddbserve-batch-smoke.log"
+SOUT="${TMPDIR:-/tmp}/ddbserve-stream-smoke.ndjson"
+"${TMPDIR:-/tmp}/ddbserve-smoke" \
+    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -sessions -retrymax 2 \
+    -draintimeout 10s >"$BLOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+i=0
+until curl -sf "$URL/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "batch-smoke: server never became ready" >&2
+        cat "$BLOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Batch replay + stream verification; ddbload exits nonzero on any
+# untyped or divergent outcome.
+"${TMPDIR:-/tmp}/ddbload-smoke" \
+    -url "$URL" -requests 160 -seed 44 -maxatoms 6 \
+    -hotdbs 4 -batchsize 8 -streams 8 -deadline 10s -verify -settle
+
+# Long stream cut by drain. The wide disjunction has ~2^20 models, so
+# the enumeration is still running when SIGTERM lands.
+WIDE="p0"
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19; do
+    WIDE="$WIDE | p$i"
+done
+: >"$SOUT"
+curl -sN -X POST "$URL/v1/models/stream" \
+    -H 'Content-Type: application/json' \
+    -d "{\"db\":\"$WIDE.\",\"kind\":\"models\"}" >"$SOUT" &
+CURL=$!
+sleep 0.5
+
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+    echo "batch-smoke: drain exited with status $STATUS" >&2
+    cat "$BLOG" >&2
+    exit 1
+fi
+grep -q "clean drain" "$BLOG" || {
+    echo "batch-smoke: server log missing clean-drain marker" >&2
+    cat "$BLOG" >&2
+    exit 1
+}
+wait "$CURL" || true
+grep -q '"model"' "$SOUT" || {
+    echo "batch-smoke: interrupted stream emitted no model rows" >&2
+    tail -2 "$SOUT" >&2
+    exit 1
+}
+tail -1 "$SOUT" | grep -q '"done":true' || {
+    echo "batch-smoke: interrupted stream missing terminal record" >&2
+    tail -2 "$SOUT" >&2
+    exit 1
+}
+tail -1 "$SOUT" | grep -q '"cause":"canceled"' || {
+    echo "batch-smoke: interrupted stream terminal cause is not typed 'canceled'" >&2
+    tail -1 "$SOUT" >&2
+    exit 1
+}
+
+echo "serve-smoke: clean (fresh + session + batch/stream)"
