@@ -4,7 +4,7 @@ GO ?= go
 # Mirrored by ci.yml's STATICCHECK_VERSION — bump both together.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke clean
+.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke restart-smoke clean
 
 all: build test
 
@@ -52,10 +52,18 @@ chaos:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Crash-recovery smoke of the persistent store: storeless reference
+# recording, a store-backed server SIGKILLed mid-load, pre-warmed
+# restart replaying identical verdicts. Also runs as the fourth pass
+# of serve-smoke.
+restart-smoke:
+	sh scripts/restart_smoke.sh
+
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .
 	$(GO) test -fuzz=FuzzParseFormula -fuzztime=30s .
 	$(GO) test -fuzz=FuzzParseProgram -fuzztime=30s .
+	$(GO) test -fuzz=FuzzStoreRecover -fuzztime=30s ./internal/store
 
 clean:
 	$(GO) clean ./...

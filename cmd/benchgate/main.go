@@ -60,6 +60,7 @@ func main() {
 	compareSession(g, base.Report.Session, fresh.Report.Session)
 	compareBatch(g, base.Report.Batch, fresh.Report.Batch)
 	compareStream(g, base.Report.Stream, fresh.Report.Stream)
+	compareStore(g, base.Report.Store, fresh.Report.Store)
 
 	if g.failures > 0 {
 		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
@@ -252,6 +253,51 @@ func compareStream(g *gate, base, fresh []bench.StreamCase) {
 		g.eq("stream", b.Name, "iter_np_calls (vs push)", f.PushNP, f.IterNP)
 		fmt.Printf("  stream/%s: buffered %s, first model %s, TTFM %.1fx (wall-clock, not gated)\n",
 			b.Name, ms(b.BufferedMS, f.BufferedMS), ms(b.FirstModelMS, f.FirstModelMS), f.TTFMSpeedup)
+	}
+}
+
+// compareStore gates the persistence sweep: the cold store-backed NP
+// total is pinned to the baseline, persistence must move nothing
+// (store-on == store-off), and the pre-warmed restart must compile
+// zero databases cold and never exceed the cold process's oracle
+// work. Time-to-warm wall-clock is reported, never gated.
+func compareStore(g *gate, base, fresh []bench.StoreCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  store: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		for _, f := range fresh {
+			auditStore(g, f)
+		}
+		return
+	}
+	type key struct{ name, sem string }
+	byKey := map[key]bench.StoreCase{}
+	for _, c := range fresh {
+		byKey[key{c.Name, c.Semantics}] = c
+	}
+	for _, b := range base {
+		id := b.Name + "/" + b.Semantics
+		f, ok := byKey[key{b.Name, b.Semantics}]
+		if !ok {
+			g.missing("store", id)
+			continue
+		}
+		g.eq("store", id, "store_on_np_calls", b.OnNP, f.OnNP)
+		auditStore(g, f)
+		fmt.Printf("  store/%s: cold %s, pre-warmed replay %s, %.1fx (wall-clock, not gated)\n",
+			id, ms(b.ColdMS, f.ColdMS), ms(b.ReplayMS, f.ReplayMS), f.Speedup)
+	}
+}
+
+// auditStore applies the baseline-free internal invariants of one
+// store case.
+func auditStore(g *gate, f bench.StoreCase) {
+	id := f.Name + "/" + f.Semantics
+	g.eq("store", id, "store_off_np_calls (vs store-on)", f.OnNP, f.OffNP)
+	g.eq("store", id, "replay_cold_compiles", 0, f.ColdCompiles)
+	g.checked++
+	if f.ReplayNP > f.OnNP {
+		g.failures++
+		fmt.Printf("  FAIL store/%s: restart NP total %d exceeds cold total %d\n", id, f.ReplayNP, f.OnNP)
 	}
 }
 

@@ -43,18 +43,22 @@ func main() {
 		sweep    = flag.String("sweep", "", "comma-separated offered rates; run the workload once per rate and print a table")
 		batch    = flag.Int("batchsize", 0, "replay the workload through /v1/batch in chunks of this size instead of per-request (0 = off)")
 		streams  = flag.Int("streams", 0, "verify this many /v1/models/stream enumerations against direct library runs (0 = off)")
+		record   = flag.String("record", "", "write completed verdicts to this JSON file, keyed by deterministic job index")
+		replay   = flag.String("replay", "", "compare completed verdicts against this recorded file; any divergence on a jointly-completed query fails the run")
 	)
 	flag.Parse()
 
 	cfg := serve.LoadConfig{
-		BaseURL:  *baseURL,
-		Rate:     *rate,
-		Requests: *requests,
-		Workers:  *workers,
-		Seed:     *seed,
-		MaxAtoms: *maxAtoms,
-		Verify:   *verify,
-		HotDBs:   *hotDBs,
+		BaseURL:    *baseURL,
+		Rate:       *rate,
+		Requests:   *requests,
+		Workers:    *workers,
+		Seed:       *seed,
+		MaxAtoms:   *maxAtoms,
+		Verify:     *verify,
+		HotDBs:     *hotDBs,
+		RecordPath: *record,
+		ReplayPath: *replay,
 		Semantics: func() []string {
 			if *semList == "" {
 				return nil
@@ -130,6 +134,13 @@ func main() {
 	} else {
 		rep := serve.RunLoad(cfg)
 		fmt.Println(rep.String())
+		if *replay != "" {
+			fmt.Printf("replayed %d recorded verdicts, %d divergent\n", rep.Replayed, rep.Divergent)
+			if rep.Replayed == 0 && rep.Completed > 0 {
+				fmt.Fprintln(os.Stderr, "ddbload: replay compared zero verdicts despite completed queries")
+				fail = true
+			}
+		}
 		if !rep.Clean() {
 			fail = true
 			diagnose(rep)

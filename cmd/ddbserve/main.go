@@ -24,6 +24,7 @@ import (
 
 	"disjunct/internal/budget"
 	"disjunct/internal/serve"
+	"disjunct/internal/store"
 
 	_ "disjunct/internal/semantics/all"
 )
@@ -50,8 +51,25 @@ func main() {
 		sessWindow    = flag.Duration("sessionwindow", 0, "micro-batch wait for a busy session before falling back fresh (0 = default 2ms)")
 		batchMax      = flag.Int("batchmax", 0, "max queries per /v1/batch request (0 = default 256)")
 		streamMax     = flag.Int("streammax", 0, "server-side cap on models per /v1/models/stream request (0 = uncapped)")
+		storeDir      = flag.String("store", "", "persistent compiled-artifact & verdict store directory (implies -sessions; empty = no persistence)")
+		storeBytes    = flag.Int64("storebytes", 0, "store log-size budget before compaction (0 = default 256 MiB)")
 	)
 	flag.Parse()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var rec store.Recovery
+		var err error
+		st, rec, err = store.Open(store.Config{Dir: *storeDir, MaxBytes: *storeBytes})
+		if err != nil {
+			log.Fatalf("ddbserve: store recovery error: %v", err)
+		}
+		if rec.TornTail {
+			log.Printf("ddbserve: store: truncated torn tail (%d bytes) — crash recovery, re-deriving dropped entries on demand", rec.Dropped)
+		}
+		log.Printf("ddbserve: store: recovered %d artifacts, %d verdicts, %d interner entries from %s",
+			rec.Artifacts, rec.Verdicts, rec.Interns, *storeDir)
+	}
 
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
@@ -74,6 +92,7 @@ func main() {
 		SessionBatchWindow: *sessWindow,
 		BatchMaxQueries:    *batchMax,
 		StreamMaxModels:    *streamMax,
+		Store:              st,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -81,7 +100,7 @@ func main() {
 		log.Fatalf("ddbserve: listen %s: %v", *addr, err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s sessions=%v)", ln.Addr(), *faultRate, *drainTimeout, *sessions)
+	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s sessions=%v store=%q)", ln.Addr(), *faultRate, *drainTimeout, *sessions || st != nil, *storeDir)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -110,6 +129,11 @@ func main() {
 			os.Exit(1)
 		}
 		log.Fatalf("ddbserve: drain: %v", drainErr)
+	}
+	if st != nil {
+		fst := st.Stats()
+		log.Printf("ddbserve: store flushed on drain (%d artifacts, %d verdicts, %d interns, %d bytes)",
+			fst.Artifacts, fst.Verdicts, fst.Interns, fst.SizeBytes)
 	}
 	log.Printf("ddbserve: clean drain, bye")
 }

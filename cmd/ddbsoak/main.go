@@ -65,6 +65,7 @@ import (
 	"disjunct/internal/refsem"
 	"disjunct/internal/serve"
 	"disjunct/internal/session"
+	"disjunct/internal/store"
 
 	_ "disjunct/internal/semantics/all"
 )
@@ -82,6 +83,7 @@ func main() {
 	serveFrac := flag.Float64("servefrac", 0, "fraction of iterations replayed through an in-process HTTP server (0 = off)")
 	batchFrac := flag.Float64("batchfrac", 0, "fraction of iterations additionally replayed through /v1/batch (0 = off; implies -servefrac machinery)")
 	sessionFrac := flag.Float64("sessionfrac", 0, "fraction of iterations replayed through a shared warm session manager (0 = off)")
+	storeDir := flag.String("storedir", "", "back the session manager with a persistent store at this directory and, after the soak, reopen it in a pre-warmed second manager that must replay every recorded verdict identically with zero cold compiles (enables the session checker if -sessionfrac is 0)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -107,8 +109,26 @@ func main() {
 			*serveFrac, *batchFrac, *faultRate, *sessionFrac > 0)
 	}
 	var sx *sessionChecker
+	if *storeDir != "" && *sessionFrac == 0 {
+		*sessionFrac = 0.25
+	}
 	if *sessionFrac > 0 {
-		sx = &sessionChecker{mgr: session.NewManager(session.Config{})}
+		// The store opens after the chaos baseline is captured, so its
+		// flusher goroutine counts against the settle check: a flusher
+		// that outlives the store close shows up as a goroutine leak.
+		var st *store.Store
+		if *storeDir != "" {
+			var rec store.Recovery
+			var err error
+			st, rec, err = store.Open(store.Config{Dir: *storeDir})
+			if err != nil {
+				fmt.Printf("ddbsoak: store open: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("store: dir=%s recovered artifacts=%d verdicts=%d interns=%d torntail=%v\n",
+				*storeDir, rec.Artifacts, rec.Verdicts, rec.Interns, rec.TornTail)
+		}
+		sx = &sessionChecker{mgr: session.NewManager(session.Config{Store: st}), st: st, dir: *storeDir}
 		fmt.Printf("session: sessionfrac=%g\n", *sessionFrac)
 	}
 	divergences := 0
@@ -169,6 +189,9 @@ func main() {
 		st := sx.mgr.Stats()
 		fmt.Printf("session cross-check: %d queries, handled=%d fast=%d warm=%d memohits=%d retired=%d\n",
 			sx.queries, sx.handled, st.FastQueries, st.WarmQueries, st.MemoHits, st.Retired)
+		if sx.st != nil && !sx.replay() {
+			divergences++
+		}
 	}
 	if chaos != nil {
 		if !chaos.settle() {
@@ -513,10 +536,26 @@ func (sc *serveChecker) checkBatch(d *db.DB, rng *rand.Rand) bool {
 // brute-force references. Repeats of a handled query must cost zero NP
 // calls, and no checkout may leak by the end of the soak.
 type sessionChecker struct {
-	mgr     *session.Manager
-	queries int
-	handled int
+	mgr      *session.Manager
+	st       *store.Store
+	dir      string
+	queries  int
+	handled  int
+	recorded []soakVerdict
 }
+
+// soakVerdict is one handled verdict remembered for the post-soak
+// restart replay. The database is kept as the exact interned text so
+// the replay manager's store lookup hits the same artifact key.
+type soakVerdict struct {
+	dbText string
+	sem    string
+	atom   string
+	holds  bool
+}
+
+// maxRecorded bounds replay memory on long unbounded soaks.
+const maxRecorded = 2048
 
 func (sx *sessionChecker) check(d *db.DB, rng *rand.Rand) bool {
 	comp := sx.mgr.InternDB(d)
@@ -557,6 +596,11 @@ func (sx *sessionChecker) check(d *db.DB, rng *rand.Rand) bool {
 			continue
 		}
 		sx.handled++
+		if sx.st != nil && len(sx.recorded) < maxRecorded {
+			sx.recorded = append(sx.recorded, soakVerdict{
+				dbText: d.String(), sem: c.sem, atom: d.Voc.Name(lit.Atom()), holds: res.Holds,
+			})
+		}
 		want := refsem.Entails(c.ref(d), logic.LitF(lit))
 		if res.Holds != want {
 			fmt.Printf("  session %s ⊨ %s (path %s): session=%v reference=%v\n",
@@ -577,13 +621,99 @@ func (sx *sessionChecker) check(d *db.DB, rng *rand.Rand) bool {
 	return ok
 }
 
-// close verifies no session is still checked out after the soak.
+// close verifies no session is still checked out after the soak, and
+// when a store is attached, flushes it and asserts its write-behind
+// flusher goroutine actually exited — a clean drain contract, checked
+// before the chaos goroutine-settle so a lingering flusher is caught
+// by name here rather than as an anonymous leak there.
 func (sx *sessionChecker) close() bool {
+	ok := true
 	if st := sx.mgr.Stats(); st.ActiveCheckouts != 0 {
 		fmt.Printf("  session: checkout leak — %d outstanding\n", st.ActiveCheckouts)
+		ok = false
+	}
+	if sx.st != nil {
+		if err := sx.st.Close(); err != nil {
+			fmt.Printf("  session: store close: %v\n", err)
+			ok = false
+		}
+		if s := sx.st.Stats(); s.FlusherRunning {
+			fmt.Println("  session: store flusher goroutine still running after close")
+			ok = false
+		} else if s.WriteErrors != 0 {
+			fmt.Printf("  session: store reported %d write errors\n", s.WriteErrors)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// replay is the restart half of the persistence contract: reopen the
+// store directory in a second, pre-warmed manager — standing in for a
+// restarted process — and require every recorded verdict to reproduce
+// identically without a single cold compile. Recorded verdicts were
+// already cross-checked against the brute-force references when they
+// were handled, so identity here transitively proves identity between
+// the cold process, the pre-warmed process, and direct library calls.
+func (sx *sessionChecker) replay() bool {
+	st2, rec, err := store.Open(store.Config{Dir: sx.dir})
+	if err != nil {
+		fmt.Printf("  store replay: reopen: %v\n", err)
 		return false
 	}
-	return true
+	defer st2.Close()
+	mgr2 := session.NewManager(session.Config{Store: st2})
+	warmed, err := mgr2.Prewarm()
+	if err != nil {
+		fmt.Printf("  store replay: prewarm: %v\n", err)
+		return false
+	}
+	ok := true
+	replayed := 0
+	ctx := context.Background()
+	for _, r := range sx.recorded {
+		d, err := db.Parse(r.dbText)
+		if err != nil {
+			fmt.Printf("  store replay: recorded db no longer parses: %v\n", err)
+			ok = false
+			continue
+		}
+		a, found := d.Voc.Lookup(r.atom)
+		if !found {
+			continue // atom lost in the textual round trip: not comparable
+		}
+		lit := logic.NegLit(a)
+		comp := mgr2.Intern(r.dbText, d)
+		res, handled := mgr2.Query(ctx, comp, session.Request{
+			Sem: r.sem, Kind: session.KindLiteral, Lit: lit, QueryText: d.Voc.LitString(lit),
+		})
+		if !handled {
+			continue
+		}
+		if res.Err != nil {
+			fmt.Printf("  store replay %s: query error: %v\n", r.sem, res.Err)
+			ok = false
+			continue
+		}
+		replayed++
+		if res.Holds != r.holds {
+			fmt.Printf("  store replay %s ⊨ %s: restarted=%v recorded=%v\nDB:\n%s\n",
+				r.sem, d.Voc.LitString(lit), res.Holds, r.holds, r.dbText)
+			ok = false
+		}
+	}
+	st := mgr2.Stats()
+	if st.ColdCompiles != 0 {
+		fmt.Printf("  store replay: pre-warmed manager ran %d cold compiles, want 0\n", st.ColdCompiles)
+		ok = false
+	}
+	if len(sx.recorded) > 0 && replayed == 0 {
+		fmt.Printf("  store replay: compared zero of %d recorded verdicts\n", len(sx.recorded))
+		ok = false
+	}
+	fmt.Printf("store replay: recovered artifacts=%d verdicts=%d, prewarmed=%d, replayed=%d/%d, coldcompiles=%d\n",
+		rec.Artifacts, rec.Verdicts, warmed, replayed, len(sx.recorded), st.ColdCompiles)
+	return ok
 }
 
 // cacheChecker replays production-semantics queries with the oracle

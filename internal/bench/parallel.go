@@ -80,6 +80,7 @@ type ParallelReport struct {
 	Session  []SessionCase  `json:"session,omitempty"`
 	Batch    []BatchCase    `json:"batch,omitempty"`
 	Stream   []StreamCase   `json:"stream,omitempty"`
+	Store    []StoreCase    `json:"store,omitempty"`
 }
 
 func parallelDBs(scale Scale) []struct {
@@ -221,6 +222,9 @@ func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
 		return rep, err
 	}
 	if err := runStreamSweep(scale, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runStoreSweep(scale, w, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
+	"disjunct/internal/session"
+	"disjunct/internal/store"
+)
+
+// StoreCase is one (instance family × semantics) persistence
+// comparison across three processes over the same workload: a cold
+// store-backed manager (which writes the store), a storeless reference
+// manager, and a pre-warmed manager reopened on the store directory —
+// standing in for a restarted process. runStoreSweep asserts that all
+// three produce identical verdicts, that persistence never moves the
+// NP-call total (store-on == store-off), and that the restarted
+// manager compiles nothing cold and never exceeds the cold process's
+// oracle work. Wall-clock is reported, never gated.
+type StoreCase struct {
+	Name         string  `json:"name"`
+	Semantics    string  `json:"semantics"`
+	Queries      int     `json:"queries"`
+	OnNP         int64   `json:"store_on_np_calls"`
+	OffNP        int64   `json:"store_off_np_calls"`
+	ReplayNP     int64   `json:"replay_np_calls"`
+	ColdCompiles int64   `json:"replay_cold_compiles"`
+	Prewarmed    int64   `json:"prewarmed_artifacts"`
+	VerdictSeeds int64   `json:"verdict_seeds"`
+	ColdMS       float64 `json:"cold_ms"`
+	ReplayMS     float64 `json:"replay_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// storeQuery is one workload item of the persistence sweep — the same
+// shape as the session sweep's stream (all literals both polarities,
+// model existence, one formula where the route supports it).
+type storeQuery struct {
+	kind session.Kind
+	lit  logic.Lit
+	f    *logic.Formula
+	text string
+}
+
+func storeQueries(d *db.DB, semName string) []storeQuery {
+	var qs []storeQuery
+	for a := 0; a < d.N(); a++ {
+		for _, l := range []logic.Lit{logic.PosLit(logic.Atom(a)), logic.NegLit(logic.Atom(a))} {
+			qs = append(qs, storeQuery{kind: session.KindLiteral, lit: l, text: d.Voc.LitString(l)})
+		}
+	}
+	qs = append(qs, storeQuery{kind: session.KindModel})
+	if session.Compile("", d).Frag != session.FragGeneral || sessionFormulaRoutes[semName] {
+		f := logic.Or(logic.And(logic.AtomF(0), logic.Not(logic.AtomF(1))), logic.AtomF(2))
+		qs = append(qs, storeQuery{kind: session.KindFormula, f: f, text: f.String(d.Voc)})
+	}
+	return qs
+}
+
+// driveStore runs the workload through one manager and returns the
+// verdict vector, the NP-call total, and the wall-clock.
+func driveStore(mgr *session.Manager, d *db.DB, semName string, qs []storeQuery) ([]bool, int64, time.Duration, error) {
+	comp := mgr.InternDB(d)
+	ctx := context.Background()
+	verdicts := make([]bool, 0, len(qs))
+	var np int64
+	t0 := time.Now()
+	for _, q := range qs {
+		res, handled := mgr.Query(ctx, comp, session.Request{
+			Sem: semName, Kind: q.kind, Lit: q.lit, F: q.f, QueryText: q.text,
+		})
+		if !handled {
+			return nil, 0, 0, fmt.Errorf("%s %q not handled by the session layer", q.kind, q.text)
+		}
+		if res.Err != nil {
+			return nil, 0, 0, fmt.Errorf("%s %q: %v", q.kind, q.text, res.Err)
+		}
+		verdicts = append(verdicts, res.Holds)
+		np += res.Counters.NPCalls
+	}
+	return verdicts, np, time.Since(t0), nil
+}
+
+// runStoreWorkload runs one (instance, semantics) pair through the
+// three processes and audits the persistence contract.
+func runStoreWorkload(name string, d *db.DB, semName string) (StoreCase, error) {
+	sc := StoreCase{Name: name, Semantics: semName}
+	// Round-trip the instance once: the pre-warmed manager compiles from
+	// the persisted artifact TEXT, and queries are phrased against atom
+	// indices, so all three managers must see the parse-order vocabulary.
+	rt, err := db.Parse(d.String())
+	if err != nil {
+		return sc, fmt.Errorf("store %s/%s: round trip: %v", name, semName, err)
+	}
+	d = rt
+	dir, err := os.MkdirTemp("", "ddbbench-store-*")
+	if err != nil {
+		return sc, err
+	}
+	defer os.RemoveAll(dir)
+
+	qs := storeQueries(d, semName)
+	sc.Queries = len(qs)
+	id := name + "/" + semName
+
+	// Cold store-backed process: compiles everything, writes the store.
+	st1, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return sc, err
+	}
+	mgrOn := session.NewManager(session.Config{Store: st1})
+	onV, onNP, onT, err := driveStore(mgrOn, d, semName, qs)
+	if err != nil {
+		return sc, fmt.Errorf("store %s: cold: %v", id, err)
+	}
+	if err := st1.Close(); err != nil {
+		return sc, fmt.Errorf("store %s: close: %v", id, err)
+	}
+	sc.OnNP = onNP
+	sc.ColdMS = float64(onT.Microseconds()) / 1e3
+
+	// Storeless reference: persistence must not move the oracle shape.
+	offV, offNP, _, err := driveStore(session.NewManager(session.Config{}), d, semName, qs)
+	if err != nil {
+		return sc, fmt.Errorf("store %s: storeless: %v", id, err)
+	}
+	sc.OffNP = offNP
+	if onNP != offNP {
+		return sc, fmt.Errorf("store %s: persistence moved the NP total (on=%d off=%d)", id, onNP, offNP)
+	}
+	for i := range onV {
+		if onV[i] != offV[i] {
+			return sc, fmt.Errorf("store %s: verdict %d diverged between store-on and store-off", id, i)
+		}
+	}
+
+	// Pre-warmed restart: reopen the directory, prewarm, replay.
+	st2, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		return sc, fmt.Errorf("store %s: reopen: %v", id, err)
+	}
+	mgr2 := session.NewManager(session.Config{Store: st2})
+	if _, err := mgr2.Prewarm(); err != nil {
+		st2.Close()
+		return sc, fmt.Errorf("store %s: prewarm: %v", id, err)
+	}
+	repV, repNP, repT, err := driveStore(mgr2, d, semName, qs)
+	if cerr := st2.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return sc, fmt.Errorf("store %s: replay: %v", id, err)
+	}
+	sc.ReplayNP = repNP
+	sc.ReplayMS = float64(repT.Microseconds()) / 1e3
+	stats := mgr2.Stats()
+	sc.ColdCompiles = stats.ColdCompiles
+	sc.Prewarmed = stats.PrewarmedArtifacts
+	sc.VerdictSeeds = stats.StoreVerdictSeeds
+	if stats.ColdCompiles != 0 {
+		return sc, fmt.Errorf("store %s: pre-warmed restart ran %d cold compiles, want 0", id, stats.ColdCompiles)
+	}
+	if repNP > onNP {
+		return sc, fmt.Errorf("store %s: restart NP total %d exceeds cold total %d", id, repNP, onNP)
+	}
+	for i := range onV {
+		if onV[i] != repV[i] {
+			return sc, fmt.Errorf("store %s: verdict %d diverged after restart", id, i)
+		}
+	}
+	if repT > 0 {
+		sc.Speedup = float64(onT) / float64(repT)
+	}
+	return sc, nil
+}
+
+// runStoreSweep is the persistence section of RunParallel: the same
+// instance families as the session sweep, each run cold-with-store,
+// storeless, and pre-warmed-after-restart, with the
+// persistence-moves-nothing and zero-cold-compile invariants enforced
+// inline.
+func runStoreSweep(scale Scale, w io.Writer, rep *ParallelReport) error {
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  persistent store (cold store-backed vs storeless vs pre-warmed restart):\n")
+	fmt.Fprintf(w, "  %-14s %-5s %4s %8s %8s %9s %5s %6s %10s %10s %8s\n",
+		"instance", "sem", "q", "NP-cold", "NP-off", "NP-replay", "warm", "seeds", "cold", "replay", "speedup")
+
+	for _, fam := range sessionDBs(scale) {
+		for _, semName := range fam.sems {
+			sc, err := runStoreWorkload(fam.name, fam.db, semName)
+			if err != nil {
+				return err
+			}
+			rep.Store = append(rep.Store, sc)
+			fmt.Fprintf(w, "  %-14s %-5s %4d %8d %8d %9d %5d %6d %10s %10s %7.1fx\n",
+				sc.Name, sc.Semantics, sc.Queries, sc.OnNP, sc.OffNP, sc.ReplayNP,
+				sc.Prewarmed, sc.VerdictSeeds,
+				fmtDuration(time.Duration(sc.ColdMS*float64(time.Millisecond))),
+				fmtDuration(time.Duration(sc.ReplayMS*float64(time.Millisecond))),
+				sc.Speedup)
+		}
+	}
+	return nil
+}

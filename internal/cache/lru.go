@@ -40,7 +40,11 @@ type Cache struct {
 	insertions atomic.Int64
 	evictions  atomic.Int64
 	fast       fastTable
+	persist    atomic.Pointer[persistFn]
 }
+
+// persistFn is the write-behind hook type (see SetPersist).
+type persistFn = func(Key, Entry)
 
 type shard struct {
 	mu   sync.Mutex
@@ -114,8 +118,13 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 // Put inserts or refreshes the entry for k as most-recently-used,
 // evicting the least-recently-used entry of the shard when full. The
 // entry's Model (if any) is stored as-is; the caller must hand over a
-// private copy.
+// private copy. New insertions fire the registered persist hook (see
+// SetPersist) outside the shard lock.
 func (c *Cache) Put(k Key, e Entry) {
+	c.put(k, e, true)
+}
+
+func (c *Cache) put(k Key, e Entry, hook bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	if n, ok := s.m[k]; ok {
@@ -135,6 +144,11 @@ func (c *Cache) Put(k Key, e Entry) {
 		c.evictions.Add(1)
 	}
 	s.mu.Unlock()
+	if hook {
+		if fn := c.persist.Load(); fn != nil && *fn != nil {
+			(*fn)(k, e)
+		}
+	}
 }
 
 // Len returns the current number of entries across all shards.

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"encoding/binary"
+
+	"disjunct/internal/bitset"
+	"disjunct/internal/store"
+)
+
+// Persistence: the interner's canonical entries survive restarts. The
+// cache itself stays storage-agnostic — Put fires a registered hook on
+// every insertion (covering both direct canonical-path inserts and the
+// side table's lazy promotions, which land through Put), and Seed is
+// the hook-free reload path. AttachStore is the concrete adapter onto
+// internal/store.
+
+// SetPersist registers fn to be called after every new insertion into
+// the canonical LRU (refreshes of an existing key do not fire; reloads
+// via Seed do not fire). The hook runs outside the shard lock and must
+// be goroutine-safe. A nil fn detaches.
+func (c *Cache) SetPersist(fn func(Key, Entry)) {
+	if fn == nil {
+		c.persist.Store((*persistFn)(nil))
+		return
+	}
+	c.persist.Store(&fn)
+}
+
+// Seed inserts an entry without firing the persist hook — the reload
+// path: persisting what was just read back would only churn the log.
+func (c *Cache) Seed(k Key, e Entry) {
+	c.put(k, e, false)
+}
+
+// AttachStore seeds the cache from every interner entry persisted in
+// st and registers a write-behind hook persisting future insertions.
+// It returns the number of entries seeded. Entries whose witness model
+// fails to decode are skipped (they re-derive on demand; the store's
+// CRC layer makes this unreachable short of a collision).
+func AttachStore(c *Cache, st *store.Store) int {
+	seeded := 0
+	for _, in := range st.Interns() {
+		e := Entry{Sat: in.Sat, Raw: in.Raw}
+		if in.Sat {
+			m, ok := UnmarshalModel(in.Model)
+			if !ok {
+				continue
+			}
+			e.Model = m
+		}
+		c.Seed(Key(in.Key), e)
+		seeded++
+	}
+	c.SetPersist(func(k Key, e Entry) {
+		st.PutIntern(store.Intern{
+			Key:   string(k),
+			Sat:   e.Sat,
+			Raw:   e.Raw,
+			Model: MarshalModel(e.Model),
+		})
+	})
+	return seeded
+}
+
+// MarshalModel encodes a witness model as (universe size, element
+// count, delta-encoded elements), all uvarints; nil in, nil out.
+func MarshalModel(m *bitset.Set) []byte {
+	if m == nil {
+		return nil
+	}
+	buf := binary.AppendUvarint(nil, uint64(m.Len()))
+	buf = binary.AppendUvarint(buf, uint64(m.Count()))
+	prev := 0
+	m.ForEach(func(i int) {
+		buf = binary.AppendUvarint(buf, uint64(i-prev))
+		prev = i
+	})
+	return buf
+}
+
+// UnmarshalModel is the inverse of MarshalModel. The boolean reports
+// whether the encoding was well-formed (trailing bytes, out-of-range
+// elements, and truncation all fail).
+func UnmarshalModel(b []byte) (*bitset.Set, bool) {
+	if b == nil {
+		return nil, true
+	}
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > 1<<24 {
+		return nil, false
+	}
+	b = b[w:]
+	count, w := binary.Uvarint(b)
+	if w <= 0 || count > n {
+		return nil, false
+	}
+	b = b[w:]
+	m := bitset.New(int(n))
+	at := 0
+	for i := uint64(0); i < count; i++ {
+		d, w := binary.Uvarint(b)
+		if w <= 0 {
+			return nil, false
+		}
+		b = b[w:]
+		at += int(d)
+		if at >= int(n) || (i > 0 && d == 0) {
+			return nil, false
+		}
+		m.Set(at)
+	}
+	if len(b) != 0 {
+		return nil, false
+	}
+	return m, true
+}

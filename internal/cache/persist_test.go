@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"testing"
+
+	"disjunct/internal/bitset"
+	"disjunct/internal/store"
+)
+
+func TestMarshalModelRoundTrip(t *testing.T) {
+	cases := []*bitset.Set{
+		nil,
+		bitset.New(0),
+		bitset.New(7),
+		bitset.FromElements(7, 0),
+		bitset.FromElements(7, 6),
+		bitset.FromElements(7, 0, 1, 2, 3, 4, 5, 6),
+		bitset.FromElements(130, 0, 63, 64, 65, 128, 129),
+	}
+	for i, m := range cases {
+		b := MarshalModel(m)
+		got, ok := UnmarshalModel(b)
+		if !ok {
+			t.Fatalf("case %d: unmarshal failed", i)
+		}
+		if m == nil {
+			if got != nil {
+				t.Fatalf("case %d: nil round-tripped to %v", i, got)
+			}
+			continue
+		}
+		if got == nil || !got.Equal(m) {
+			t.Fatalf("case %d: %v round-tripped to %v", i, m, got)
+		}
+	}
+}
+
+func TestUnmarshalModelRejectsDamage(t *testing.T) {
+	good := MarshalModel(bitset.FromElements(10, 1, 4, 9))
+	for cut := 1; cut < len(good); cut++ {
+		if _, ok := UnmarshalModel(good[:cut]); ok {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, ok := UnmarshalModel(append(append([]byte{}, good...), 0)); ok {
+		t.Fatal("trailing byte accepted")
+	}
+	// Element index at/after the universe size.
+	bad := MarshalModel(bitset.FromElements(10, 9))
+	bad[0] = 5 // shrink the declared universe below the element
+	if _, ok := UnmarshalModel(bad); ok {
+		t.Fatal("out-of-range element accepted")
+	}
+}
+
+// TestPersistHookFiresOnInsertOnly: new keys fire, refreshes and Seed
+// do not.
+func TestPersistHookFiresOnInsertOnly(t *testing.T) {
+	c := New(64)
+	var fired []Key
+	c.SetPersist(func(k Key, e Entry) { fired = append(fired, k) })
+	c.Put("k1", Entry{Sat: true, Raw: "r1"})
+	c.Put("k1", Entry{Sat: true, Raw: "r1b"}) // refresh: no fire
+	c.Seed("k2", Entry{Sat: false, Raw: "r2"})
+	if len(fired) != 1 || fired[0] != "k1" {
+		t.Fatalf("hook fired for %v, want [k1]", fired)
+	}
+	c.SetPersist(nil)
+	c.Put("k3", Entry{})
+	if len(fired) != 1 {
+		t.Fatal("detached hook still fired")
+	}
+}
+
+// TestAttachStoreRoundTrip: insertions (including a model-bearing one)
+// written behind, reloaded into a fresh cache on reopen.
+func TestAttachStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := New(64)
+	if n := AttachStore(c1, st); n != 0 {
+		t.Fatalf("fresh store seeded %d entries", n)
+	}
+	model := bitset.FromElements(9, 0, 4, 8)
+	c1.Put("sat", Entry{Sat: true, Raw: "rawSat", Model: model.Clone()})
+	c1.Put("unsat", Entry{Sat: false, Raw: "rawUnsat"})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rec.Interns != 2 {
+		t.Fatalf("recovered %d interner entries, want 2", rec.Interns)
+	}
+	c2 := New(64)
+	if n := AttachStore(c2, st2); n != 2 {
+		t.Fatalf("seeded %d entries, want 2", n)
+	}
+	e, ok := c2.Get("sat")
+	if !ok || !e.Sat || e.Raw != "rawSat" || e.Model == nil || !e.Model.Equal(model) {
+		t.Fatalf("sat entry after reload = %+v ok=%v", e, ok)
+	}
+	if e, ok := c2.Get("unsat"); !ok || e.Sat || e.Raw != "rawUnsat" || e.Model != nil {
+		t.Fatalf("unsat entry after reload = %+v ok=%v", e, ok)
+	}
+	// Seeded entries must not have been re-persisted (log churn).
+	st2.Flush()
+	if got := st2.Stats().QueuedWrites; got != 0 {
+		t.Fatalf("reload re-persisted %d entries", got)
+	}
+}
+
+// TestAttachStoreCapturesPromotions: a lazy side-table record promoted
+// into the canonical LRU lands in the store (promotion goes through
+// Put, which fires the hook).
+func TestAttachStoreCapturesPromotions(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := New(64)
+	AttachStore(c, st)
+
+	// A tiny CNF parked lazily, then promoted on second sighting.
+	lcnf := mkCNF([][]int{{1, 2}, {-1, 2}})
+	fp, lits := Fingerprint(2, lcnf)
+	raw := RawKey(2, lcnf)
+	c.PutLazy(fp, raw, 2, lcnf, lits, Entry{Sat: true, Raw: raw})
+	c.Promote(fp)
+	st.Flush()
+	if got := st.Stats().Interns; got != 1 {
+		t.Fatalf("promotion persisted %d interner entries, want 1", got)
+	}
+}

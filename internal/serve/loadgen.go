@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -54,6 +55,31 @@ type LoadConfig struct {
 	// per request — the repeat-DB workload that exercises the server's
 	// warm session layer (compiled-DB cache, memo, coalescing).
 	HotDBs int
+	// RecordPath, when set, writes the run's completed verdicts to a
+	// JSON file keyed by job index. genJobs is a pure function of
+	// (Seed, Requests, MaxAtoms, HotDBs, Semantics), so a later run
+	// with the same shape replays the identical workload and the index
+	// identifies the identical query — the restart-replay contract.
+	RecordPath string
+	// ReplayPath, when set, loads a verdict file recorded by a previous
+	// run of the same workload shape and counts any verdict that
+	// differs on a query completed by both runs as Divergent. A file
+	// recorded from a different workload shape is an untyped failure.
+	ReplayPath string
+}
+
+// verdictLog is the record/replay file format.
+type verdictLog struct {
+	Seed     int64           `json:"seed"`
+	Requests int             `json:"requests"`
+	MaxAtoms int             `json:"max_atoms"`
+	HotDBs   int             `json:"hot_dbs"`
+	Verdicts []verdictLogRow `json:"verdicts"`
+}
+
+type verdictLogRow struct {
+	Idx   int  `json:"idx"`
+	Holds bool `json:"holds"`
 }
 
 // LoadReport is the outcome breakdown of one run.
@@ -66,6 +92,7 @@ type LoadReport struct {
 	Rejected     int            `json:"rejected"` // typed 422 (unsupported/not stratifiable)
 	Untyped      int            `json:"untyped"`  // ANY outcome outside the taxonomy
 	Divergent    int            `json:"divergent"`
+	Replayed     int            `json:"replayed,omitempty"` // verdicts compared against a replay file
 	ByCause      map[string]int `json:"by_cause"`
 	ByShed       map[string]int `json:"by_shed"`
 	Elapsed      time.Duration  `json:"elapsed_ns"`
@@ -97,6 +124,7 @@ func (r LoadReport) String() string {
 
 // loadJob is one pre-generated request.
 type loadJob struct {
+	idx     int    // position in the deterministic workload
 	kind    string // "literal" | "formula" | "model"
 	sem     string
 	dbText  string
@@ -202,7 +230,7 @@ func genJobs(cfg LoadConfig) []loadJob {
 				}
 			}
 		}
-		job := loadJob{sem: semName, dbText: d.String()}
+		job := loadJob{idx: i, sem: semName, dbText: d.String()}
 		atom := d.Voc.Name(logic.Atom(rng.Intn(d.N())))
 		switch k := rng.Intn(10); {
 		case k < 6:
@@ -292,6 +320,10 @@ func RunLoad(cfg LoadConfig) LoadReport {
 
 	report := LoadReport{ByCause: map[string]int{}, ByShed: map[string]int{}}
 	var mu sync.Mutex
+	var completedVerdicts map[int]bool
+	if cfg.RecordPath != "" || cfg.ReplayPath != "" {
+		completedVerdicts = map[int]bool{}
+	}
 	note := func(list *[]string, format string, args ...any) {
 		if len(*list) < 5 {
 			*list = append(*list, fmt.Sprintf(format, args...))
@@ -309,6 +341,9 @@ func RunLoad(cfg LoadConfig) LoadReport {
 				switch kind {
 				case outcomeCompleted:
 					report.Completed++
+					if completedVerdicts != nil {
+						completedVerdicts[job.idx] = qr.Holds
+					}
 					if cfg.Verify {
 						want, refErr := referenceVerdict(job)
 						if refErr != nil {
@@ -354,7 +389,74 @@ func RunLoad(cfg LoadConfig) LoadReport {
 	wg.Wait()
 	report.Offered = len(jobs)
 	report.Elapsed = time.Since(start)
+
+	if cfg.ReplayPath != "" {
+		replayCompare(cfg, jobs, completedVerdicts, &report, note)
+	}
+	if cfg.RecordPath != "" {
+		if err := writeVerdictLog(cfg, completedVerdicts); err != nil {
+			report.Untyped++
+			note(&report.UntypedNotes, "record: %v", err)
+		}
+	}
 	return report
+}
+
+// writeVerdictLog persists the run's completed verdicts for a later
+// replay, sorted by job index for deterministic files.
+func writeVerdictLog(cfg LoadConfig, verdicts map[int]bool) error {
+	lg := verdictLog{Seed: cfg.Seed, Requests: cfg.Requests, MaxAtoms: cfg.MaxAtoms, HotDBs: cfg.HotDBs}
+	idxs := make([]int, 0, len(verdicts))
+	for i := range verdicts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		lg.Verdicts = append(lg.Verdicts, verdictLogRow{Idx: i, Holds: verdicts[i]})
+	}
+	data, err := json.MarshalIndent(lg, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.RecordPath, data, 0o644)
+}
+
+// replayCompare checks this run's completed verdicts against a
+// recorded file: same workload shape required, and every query both
+// runs completed must agree — SIGKILL-torn runs legitimately complete
+// different subsets, so only the intersection is gated.
+func replayCompare(cfg LoadConfig, jobs []loadJob, verdicts map[int]bool, report *LoadReport, note func(*[]string, string, ...any)) {
+	data, err := os.ReadFile(cfg.ReplayPath)
+	if err != nil {
+		report.Untyped++
+		note(&report.UntypedNotes, "replay: %v", err)
+		return
+	}
+	var lg verdictLog
+	if err := json.Unmarshal(data, &lg); err != nil {
+		report.Untyped++
+		note(&report.UntypedNotes, "replay: %v", err)
+		return
+	}
+	if lg.Seed != cfg.Seed || lg.Requests != cfg.Requests || lg.MaxAtoms != cfg.MaxAtoms || lg.HotDBs != cfg.HotDBs {
+		report.Untyped++
+		note(&report.UntypedNotes, "replay file shape (seed=%d req=%d atoms=%d hot=%d) differs from this run",
+			lg.Seed, lg.Requests, lg.MaxAtoms, lg.HotDBs)
+		return
+	}
+	for _, row := range lg.Verdicts {
+		got, ok := verdicts[row.Idx]
+		if !ok {
+			continue // not completed by this run (shed/incomplete): not comparable
+		}
+		report.Replayed++
+		if got != row.Holds {
+			report.Divergent++
+			job := jobs[row.Idx]
+			note(&report.DivergeNotes, "replay divergence at job %d: %s %s on %q: this=%v recorded=%v",
+				row.Idx, job.sem, job.kind, job.literal+job.formula, got, row.Holds)
+		}
+	}
 }
 
 // outcome classes of one HTTP exchange.

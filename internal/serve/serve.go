@@ -53,6 +53,7 @@ import (
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
 	"disjunct/internal/session"
+	"disjunct/internal/store"
 )
 
 // statusClientClosedRequest is nginx's non-standard 499 "client closed
@@ -106,6 +107,14 @@ type Config struct {
 	SessionMaxSessions int
 	SessionMaxQueries  int
 	SessionBatchWindow time.Duration
+	// Store is the optional persistent compiled-artifact and verdict
+	// tier (internal/store), already opened by the caller. Setting it
+	// forces Sessions on (the store backs the session caches): compile
+	// misses fall through to disk, fresh compiles and completed warm
+	// verdicts are written behind, startup pre-warms the compile cache
+	// from disk before /readyz reports ready, and Drain flushes and
+	// closes the store instead of discarding it.
+	Store *store.Store
 	// BatchMaxQueries caps the queries one /v1/batch request may carry
 	// (default 256; larger batches are rejected with a typed 400).
 	BatchMaxQueries int
@@ -135,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMaxQueries <= 0 {
 		c.BatchMaxQueries = 256
+	}
+	if c.Store != nil {
+		c.Sessions = true
 	}
 	return c
 }
@@ -196,6 +208,15 @@ type Server struct {
 	sessions *session.Manager
 	flights  flightGroup
 
+	// store is the persistent tier (nil when disabled). warmed flips
+	// once the startup prewarm finishes (immediately when no store);
+	// /readyz stays unready until then, and warmedCh orders Drain's
+	// store close after the prewarm goroutine exits.
+	store     *store.Store
+	warmed    atomic.Bool
+	warmedCh  chan struct{}
+	prewarmed atomic.Int64 // artifacts loaded by the startup prewarm
+
 	stats stats
 
 	// testHook, when non-nil, runs while a request holds an execution
@@ -223,8 +244,28 @@ func New(cfg Config) *Server {
 			MaxSessions:          cfg.SessionMaxSessions,
 			MaxQueriesPerSession: cfg.SessionMaxQueries,
 			BatchWindow:          cfg.SessionBatchWindow,
+			Store:                cfg.Store,
 		})
 		s.flights.m = map[string]*flight{}
+		s.store = cfg.Store
+	}
+	s.warmedCh = make(chan struct{})
+	if s.store != nil {
+		// Pre-warm the compile cache from disk before reporting ready:
+		// load balancers only route once hot databases answer with zero
+		// cold compiles. Queries that race the prewarm are still correct —
+		// they fall through to the store per-text.
+		go func() {
+			defer close(s.warmedCh)
+			n, err := s.sessions.Prewarm()
+			if err == nil {
+				s.prewarmed.Store(int64(n))
+			}
+			s.warmed.Store(true)
+		}()
+	} else {
+		s.warmed.Store(true)
+		close(s.warmedCh)
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
@@ -290,9 +331,26 @@ func (s *Server) drain(ctx context.Context) error {
 	if forced {
 		s.baseCancel(ErrDrainForced)
 		<-done // budgets poll the context at conflict boundaries; prompt
+		s.closeStore()
 		return ErrDrainForced
 	}
+	s.closeStore()
 	return nil
+}
+
+// closeStore flushes and closes the persistent tier at the end of a
+// drain — the whole point of the store is that a drain persists the
+// warm state instead of discarding it. Runs after the in-flight wait,
+// so completed requests' write-behinds are on disk before exit; it
+// also waits for the startup prewarm goroutine so Close never races a
+// loader. The store's flusher goroutine is guaranteed exited when this
+// returns (the soak's settle check asserts it).
+func (s *Server) closeStore() {
+	if s.store == nil {
+		return
+	}
+	<-s.warmedCh
+	s.store.Close()
 }
 
 // register adds the request to the drain WaitGroup unless draining has
@@ -659,6 +717,10 @@ type Health struct {
 	// compiled-artifact cache hits/misses/bytes, checkout and
 	// fast-path/warm counters, and residency gauges.
 	Sessions map[string]int64 `json:"sessions,omitempty"`
+	// Store is present when the persistent tier is enabled: entry
+	// counts, write-behind and recovery statistics, and the prewarm
+	// outcome. `torn_tail`/`flusher_running`/`prewarmed` are 0/1 gauges.
+	Store map[string]int64 `json:"store,omitempty"`
 }
 
 func (s *Server) health() Health {
@@ -705,6 +767,35 @@ func (s *Server) health() Health {
 			"retired":            st.Retired,
 			"active_checkouts":   st.ActiveCheckouts,
 			"sessions":           st.Sessions,
+			"cold_compiles":      st.ColdCompiles,
+			"store_hits":         st.StoreArtifactHits,
+			"prewarmed_arts":     st.PrewarmedArtifacts,
+			"verdict_seeds":      st.StoreVerdictSeeds,
+		}
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		b2i := func(v bool) int64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		h.Store = map[string]int64{
+			"artifacts":       st.Artifacts,
+			"verdicts":        st.Verdicts,
+			"interns":         st.Interns,
+			"queued_writes":   st.QueuedWrites,
+			"flushed_writes":  st.FlushedWrites,
+			"flushes":         st.Flushes,
+			"compactions":     st.Compactions,
+			"write_errors":    st.WriteErrors,
+			"size_bytes":      st.SizeBytes,
+			"torn_tail":       b2i(st.TornTail),
+			"dropped_bytes":   st.DroppedBytes,
+			"flusher_running": b2i(st.FlusherRunning),
+			"prewarmed":       b2i(s.warmed.Load()),
+			"prewarmed_arts":  s.prewarmed.Load(),
 		}
 	}
 	if s.draining.Load() {
@@ -729,6 +820,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 			Ready  bool   `json:"ready"`
 			Reason string `json:"reason"`
 		}{false, ShedDraining})
+		return
+	}
+	if !s.warmed.Load() {
+		// The store prewarm hasn't finished: stay unready so load
+		// balancers don't route traffic into a cold compile cache.
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}{false, "prewarming"})
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {

@@ -112,6 +112,22 @@ type Compiled struct {
 // text is only used for size accounting; the Manager keys artifacts by
 // it).
 func Compile(text string, d *db.DB) *Compiled {
+	return compile(text, d, "", false)
+}
+
+// CompileWithKey builds the artifact reusing a canonical key persisted
+// by a previous process, skipping the canonical labeling — the only
+// super-polynomial-in-practice step of compilation. The caller (the
+// store prewarm path) guarantees the key was computed from the same
+// database text; everything else (grounding, fingerprint, fragment
+// classification, fixpoint models) is re-derived here, so a stale or
+// even wrong key can never change a verdict — it only mis-reports
+// cross-text dedup stats.
+func CompileWithKey(text string, d *db.DB, key cache.Key) *Compiled {
+	return compile(text, d, key, true)
+}
+
+func compile(text string, d *db.DB, key cache.Key, haveKey bool) *Compiled {
 	cnf := d.ToCNF()
 	n := d.N()
 	c := &Compiled{
@@ -123,7 +139,11 @@ func Compile(text string, d *db.DB) *Compiled {
 		HasIC:      d.HasIntegrityClauses(),
 		Consistent: true,
 	}
-	c.Key = cache.Canonicalize(n, cnf).Key
+	if haveKey {
+		c.Key = key
+	} else {
+		c.Key = cache.Canonicalize(n, cnf).Key
+	}
 	c.classify()
 	bytes := int64(len(text)) + int64(len(c.Raw)) + int64(len(c.Key)) + 256
 	for _, cl := range cnf {

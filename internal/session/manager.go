@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"disjunct/internal/budget"
+	"disjunct/internal/cache"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
 	"disjunct/internal/models"
 	"disjunct/internal/oracle"
+	"disjunct/internal/store"
 )
 
 // Kind selects one of the three decision problems.
@@ -69,6 +71,12 @@ type Config struct {
 	// same-DB queries arriving within it execute back-to-back on one
 	// checked-out engine (default 2ms).
 	BatchWindow time.Duration
+	// Store is the optional disk-backed tier: compile misses fall
+	// through to it (reusing the persisted canonical key instead of
+	// re-canonicalizing), fresh compiles and completed warm verdicts are
+	// written behind, and Prewarm loads it wholesale. Nil disables
+	// persistence.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +114,12 @@ type Stats struct {
 	Retired           int64 // engines retired (staleness or interrupt)
 	ActiveCheckouts   int64 // gauge: sessions currently checked out
 	Sessions          int64 // gauge: warm sessions resident
+
+	// Store-tier counters (all zero when no store is configured).
+	ColdCompiles       int64 // compiles that ran full canonical labeling
+	StoreArtifactHits  int64 // compile misses answered by the store's key
+	PrewarmedArtifacts int64 // artifacts loaded wholesale by Prewarm
+	StoreVerdictSeeds  int64 // memo entries seeded from persisted verdicts
 }
 
 // Result is the session layer's answer to a query it handled.
@@ -149,16 +163,20 @@ type Manager struct {
 	sessions map[sessKey]*list.Element // (raw, sem) → session node
 	sessList *list.List
 
-	compiledHits      atomic.Int64
-	compiledMisses    atomic.Int64
-	compiledEvictions atomic.Int64
-	fastQueries       atomic.Int64
-	warmQueries       atomic.Int64
-	memoHits          atomic.Int64
-	checkouts         atomic.Int64
-	checkoutTimeouts  atomic.Int64
-	retired           atomic.Int64
-	activeCheckouts   atomic.Int64
+	compiledHits       atomic.Int64
+	compiledMisses     atomic.Int64
+	compiledEvictions  atomic.Int64
+	coldCompiles       atomic.Int64
+	storeArtifactHits  atomic.Int64
+	prewarmedArtifacts atomic.Int64
+	storeVerdictSeeds  atomic.Int64
+	fastQueries        atomic.Int64
+	warmQueries        atomic.Int64
+	memoHits           atomic.Int64
+	checkouts          atomic.Int64
+	checkoutTimeouts   atomic.Int64
+	retired            atomic.Int64
+	activeCheckouts    atomic.Int64
 }
 
 type artNode struct {
@@ -228,7 +246,13 @@ func (m *Manager) Intern(text string, d *db.DB) *Compiled {
 		return comp
 	}
 	m.artMu.Unlock()
-	comp := Compile(text, d)
+	comp := m.compileFor(text, d)
+	return m.insert(text, comp)
+}
+
+// insert adds a compiled artifact to the LRU (keeping the winner when
+// racing interns collide) and enforces the byte budget.
+func (m *Manager) insert(text string, comp *Compiled) *Compiled {
 	m.artMu.Lock()
 	if el, ok := m.arts[text]; ok { // lost the race: keep the winner
 		m.artList.MoveToFront(el)
@@ -248,6 +272,32 @@ func (m *Manager) Intern(text string, d *db.DB) *Compiled {
 		m.compiledEvictions.Add(1)
 	}
 	m.artMu.Unlock()
+	return comp
+}
+
+// compileFor compiles a database text, falling through to the store on
+// a cache miss: a persisted artifact for the exact text supplies the
+// canonical key, skipping the expensive labeling (a "warm" compile).
+// Cold compiles are written behind so the next process skips them.
+func (m *Manager) compileFor(text string, d *db.DB) *Compiled {
+	if st := m.cfg.Store; st != nil {
+		if a, ok := st.Artifact(text); ok {
+			comp := CompileWithKey(text, d, cache.Key(a.Key))
+			// The fragment is re-derived; agreement with the persisted
+			// record cross-checks that the text→key binding is current. A
+			// mismatch means the record predates a compiler change — fall
+			// through to a cold compile and repair the store.
+			if uint8(comp.Frag) == a.Frag {
+				m.storeArtifactHits.Add(1)
+				return comp
+			}
+		}
+	}
+	m.coldCompiles.Add(1)
+	comp := Compile(text, d)
+	if st := m.cfg.Store; st != nil {
+		st.PutArtifact(store.Artifact{Text: text, Key: string(comp.Key), Frag: uint8(comp.Frag)})
+	}
 	return comp
 }
 
@@ -328,6 +378,9 @@ func (m *Manager) warmOne(st *engineState, comp *Compiled, req Request) Result {
 		return Result{Err: err, Counters: delta, Path: "session"}
 	}
 	st.memo[memoKey] = holds
+	if ps := m.cfg.Store; ps != nil {
+		ps.PutVerdict(store.Verdict{Raw: comp.Raw, Sem: req.Sem, MemoKey: memoKey, Holds: holds})
+	}
 	st.queries++
 	if st.queries >= m.cfg.MaxQueriesPerSession || st.eng.Vars() > m.cfg.MaxVars {
 		st.eng, st.ora = nil, nil
@@ -430,7 +483,17 @@ func (m *Manager) session(comp *Compiled, sem string) *warmSession {
 		return s
 	}
 	s := &warmSession{key: key, comp: comp, slot: make(chan *engineState, 1)}
-	s.slot <- &engineState{memo: make(map[string]bool)}
+	memo := make(map[string]bool)
+	if st := m.cfg.Store; st != nil {
+		// Seed the verdict memo from persisted completed verdicts: equal
+		// Raw means the indexed CNF is byte-identical, so verdicts from a
+		// previous process transfer verbatim and replays cost zero NP.
+		for k, v := range st.Verdicts(comp.Raw, sem) {
+			memo[k] = v
+		}
+		m.storeVerdictSeeds.Add(int64(len(memo)))
+	}
+	s.slot <- &engineState{memo: memo}
 	el := m.sessList.PushFront(s)
 	m.sessions[key] = el
 	for m.sessList.Len() > m.cfg.MaxSessions {
@@ -498,5 +561,10 @@ func (m *Manager) Stats() Stats {
 		Retired:           m.retired.Load(),
 		ActiveCheckouts:   m.activeCheckouts.Load(),
 		Sessions:          sessions,
+
+		ColdCompiles:       m.coldCompiles.Load(),
+		StoreArtifactHits:  m.storeArtifactHits.Load(),
+		PrewarmedArtifacts: m.prewarmedArtifacts.Load(),
+		StoreVerdictSeeds:  m.storeVerdictSeeds.Load(),
 	}
 }

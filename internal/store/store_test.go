@@ -1,0 +1,368 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) (*Store, Recovery) {
+	t.Helper()
+	s, rec, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	s, rec := openT(t, dir)
+	if rec.TornTail || rec.Artifacts != 0 || rec.Verdicts != 0 || rec.Interns != 0 {
+		t.Fatalf("fresh store reported recovery %+v", rec)
+	}
+	s.PutArtifact(Artifact{Text: "a | b.\n", Key: "K1", Frag: 2})
+	s.PutArtifact(Artifact{Text: "p. q :- p.\n", Key: "K2", Frag: 1})
+	s.PutVerdict(Verdict{Raw: "R1", Sem: "GCWA", MemoKey: "literal|a", Holds: true})
+	s.PutVerdict(Verdict{Raw: "R1", Sem: "GCWA", MemoKey: "literal|b", Holds: false})
+	s.PutVerdict(Verdict{Raw: "R2", Sem: "CIRC", MemoKey: "formula|a & b", Holds: true})
+	s.PutIntern(Intern{Key: "CK1", Sat: true, Raw: "RAW1", Model: []byte{3, 1, 0, 2}})
+	s.PutIntern(Intern{Key: "CK2", Sat: false, Raw: "RAW2"})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func checkSeeded(t *testing.T, s *Store) {
+	t.Helper()
+	a, ok := s.Artifact("a | b.\n")
+	if !ok || a.Key != "K1" || a.Frag != 2 {
+		t.Fatalf("artifact 1 = %+v ok=%v", a, ok)
+	}
+	if a, ok := s.Artifact("p. q :- p.\n"); !ok || a.Key != "K2" {
+		t.Fatalf("artifact 2 = %+v ok=%v", a, ok)
+	}
+	m := s.Verdicts("R1", "GCWA")
+	if len(m) != 2 || m["literal|a"] != true || m["literal|b"] != false {
+		t.Fatalf("verdicts R1/GCWA = %v", m)
+	}
+	if m := s.Verdicts("R2", "CIRC"); len(m) != 1 || !m["formula|a & b"] {
+		t.Fatalf("verdicts R2/CIRC = %v", m)
+	}
+	if m := s.Verdicts("R1", "CCWA"); m != nil {
+		t.Fatalf("unexpected verdicts for unknown sem: %v", m)
+	}
+	ins := s.Interns()
+	if len(ins) != 2 {
+		t.Fatalf("interns = %v", ins)
+	}
+	byKey := map[string]Intern{}
+	for _, in := range ins {
+		byKey[in.Key] = in
+	}
+	if in := byKey["CK1"]; !in.Sat || in.Raw != "RAW1" || !bytes.Equal(in.Model, []byte{3, 1, 0, 2}) {
+		t.Fatalf("intern CK1 = %+v", in)
+	}
+	if in := byKey["CK2"]; in.Sat || in.Raw != "RAW2" || in.Model != nil {
+		t.Fatalf("intern CK2 = %+v", in)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	s, rec := openT(t, dir)
+	defer s.Close()
+	if rec.TornTail || rec.Dropped != 0 {
+		t.Fatalf("clean reopen reported torn tail: %+v", rec)
+	}
+	if rec.Artifacts != 2 || rec.Verdicts != 3 || rec.Interns != 2 {
+		t.Fatalf("recovery counts = %+v", rec)
+	}
+	checkSeeded(t, s)
+}
+
+func TestLaterRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	s.PutArtifact(Artifact{Text: "a.", Key: "OLD"})
+	s.PutArtifact(Artifact{Text: "a.", Key: "NEW", Frag: 3})
+	s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: "q", Holds: false})
+	s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: "q", Holds: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := openT(t, dir)
+	defer s2.Close()
+	if a, _ := s2.Artifact("a."); a.Key != "NEW" || a.Frag != 3 {
+		t.Fatalf("artifact after reload = %+v (want later record)", a)
+	}
+	if m := s2.Verdicts("R", "GCWA"); !m["q"] {
+		t.Fatalf("verdict after reload = %v (want later record)", m)
+	}
+}
+
+func TestDedupIdenticalPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.PutArtifact(Artifact{Text: "a.", Key: "K"})
+		s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: "q", Holds: true})
+		s.PutIntern(Intern{Key: "CK", Sat: true, Raw: "RAW"})
+	}
+	st := s.Stats()
+	if st.QueuedWrites != 3 {
+		t.Fatalf("identical puts queued %d writes, want 3", st.QueuedWrites)
+	}
+}
+
+// TestTruncateEveryOffset cuts a healthy log at every byte length and
+// asserts the loader always recovers: never errors, never reports an
+// entry that wasn't fully written, and keeps a valid prefix (entry
+// counts monotonically non-decreasing in the cut point).
+func TestTruncateEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := len(data)
+	prevTotal := -1
+	for cut := 0; cut <= full; cut++ {
+		d2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d2, logName), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, rec, err := Open(Config{Dir: d2})
+		if err != nil {
+			t.Fatalf("cut=%d: Open error: %v", cut, err)
+		}
+		total := rec.Artifacts + rec.Verdicts + rec.Interns
+		if cut < full && !rec.TornTail && total != 7 && cut > len(magic) {
+			// A cut strictly inside a record must be reported torn
+			// unless it landed exactly on a record boundary.
+			if rec.Dropped != 0 {
+				t.Fatalf("cut=%d: dropped %d but no torn flag", cut, rec.Dropped)
+			}
+		}
+		if cut == full && (rec.TornTail || total != 7) {
+			t.Fatalf("uncut log reported %+v", rec)
+		}
+		// Each loaded artifact must be one we actually wrote.
+		for _, a := range s.Artifacts() {
+			if !(a.Key == "K1" || a.Key == "K2") {
+				t.Fatalf("cut=%d: corrupt artifact served: %+v", cut, a)
+			}
+		}
+		for _, in := range s.Interns() {
+			if !(in.Key == "CK1" || in.Key == "CK2") {
+				t.Fatalf("cut=%d: corrupt intern served: %+v", cut, in)
+			}
+		}
+		if total < prevTotal && cut > 0 {
+			// Longer prefixes can only reveal more records.
+			t.Fatalf("cut=%d: recovered %d entries, previous cut recovered %d", cut, total, prevTotal)
+		}
+		prevTotal = total
+		// The store must be writable after recovery: dropped entries
+		// are re-derived and re-persisted by the caller.
+		s.PutArtifact(Artifact{Text: "re.", Key: "K1"})
+		s.Flush()
+		if err := s.Close(); err != nil {
+			t.Fatalf("cut=%d: Close: %v", cut, err)
+		}
+		s2, _, err := Open(Config{Dir: d2})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after repair: %v", cut, err)
+		}
+		if _, ok := s2.Artifact("re."); !ok {
+			t.Fatalf("cut=%d: re-derived entry lost on reopen", cut)
+		}
+		s2.Close()
+	}
+}
+
+// TestCorruptEveryOffset flips a byte at every offset of a healthy log
+// and asserts the loader never serves a record that differs from what
+// was written: every surviving entry is byte-identical to an original.
+func TestCorruptEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdicts := map[string]map[string]bool{
+		"R1\x00GCWA": {"literal|a": true, "literal|b": false},
+		"R2\x00CIRC": {"formula|a & b": true},
+	}
+	for off := 0; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xFF
+		d2 := t.TempDir()
+		if err := os.WriteFile(filepath.Join(d2, logName), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, _, err := Open(Config{Dir: d2})
+		if err != nil {
+			t.Fatalf("off=%d: Open error: %v", off, err)
+		}
+		for _, a := range s.Artifacts() {
+			if !(a == Artifact{Text: "a | b.\n", Key: "K1", Frag: 2} ||
+				a == Artifact{Text: "p. q :- p.\n", Key: "K2", Frag: 1}) {
+				t.Fatalf("off=%d: corrupt artifact served: %+v", off, a)
+			}
+		}
+		for raw, sem := range map[string]string{"R1": "GCWA", "R2": "CIRC"} {
+			for k, v := range s.Verdicts(raw, sem) {
+				if want, ok := wantVerdicts[raw+"\x00"+sem][k]; !ok || want != v {
+					t.Fatalf("off=%d: corrupt verdict served: %s/%s %q=%v", off, raw, sem, k, v)
+				}
+			}
+		}
+		for _, in := range s.Interns() {
+			okCK1 := in.Key == "CK1" && in.Sat && in.Raw == "RAW1" && bytes.Equal(in.Model, []byte{3, 1, 0, 2})
+			okCK2 := in.Key == "CK2" && !in.Sat && in.Raw == "RAW2" && in.Model == nil
+			if !okCK1 && !okCK2 {
+				t.Fatalf("off=%d: corrupt intern served: %+v", off, in)
+			}
+		}
+		s.Close()
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir, MaxBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the same keys with alternating values: the live set stays
+	// tiny while the log grows past budget, forcing compaction.
+	for i := 0; i < 2000; i++ {
+		s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: "q", Holds: i%2 == 0})
+		s.PutArtifact(Artifact{Text: "a.", Key: "K", Frag: uint8(i % 2)})
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d bytes of churn (size=%d)", 4000*20, st.SizeBytes)
+	}
+	if st.SizeBytes > 2048 {
+		t.Fatalf("post-compaction size %d over budget", st.SizeBytes)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := openT(t, dir)
+	defer s2.Close()
+	if rec.TornTail {
+		t.Fatalf("compacted log reported torn tail: %+v", rec)
+	}
+	if a, ok := s2.Artifact("a."); !ok || a.Frag != 1 {
+		t.Fatalf("artifact after compaction = %+v ok=%v (want last write)", a, ok)
+	}
+	if m := s2.Verdicts("R", "GCWA"); len(m) != 1 || m["q"] != false {
+		t.Fatalf("verdicts after compaction = %v (want last write)", m)
+	}
+}
+
+func TestCompactionTmpLeftoverIgnored(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	// A crash mid-compaction leaves a temp file; the old log wins.
+	if err := os.WriteFile(filepath.Join(dir, tmpName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := openT(t, dir)
+	defer s.Close()
+	if rec.TornTail {
+		t.Fatalf("leftover tmp corrupted recovery: %+v", rec)
+	}
+	checkSeeded(t, s)
+	if _, err := os.Stat(filepath.Join(dir, tmpName)); !os.IsNotExist(err) {
+		t.Fatalf("leftover tmp not removed: %v", err)
+	}
+}
+
+func TestCloseStopsFlusherAndDropsLatePuts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	if st := s.Stats(); !st.FlusherRunning {
+		t.Fatal("flusher not running after Open")
+	}
+	s.PutArtifact(Artifact{Text: "a.", Key: "K"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.FlusherRunning {
+		t.Fatal("flusher still reported running after Close")
+	}
+	// Late write-behind from an in-flight request: dropped silently.
+	s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: "late", Holds: true})
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	s2, rec := openT(t, dir)
+	defer s2.Close()
+	if rec.Artifacts != 1 || rec.Verdicts != 0 {
+		t.Fatalf("recovery after close = %+v (pre-close put must persist, late put must not)", rec)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open(Config{}); err == nil {
+		t.Fatal("Open with empty Dir succeeded")
+	}
+}
+
+func TestForeignFileStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("not a store log at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rec, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open over foreign file: %v", err)
+	}
+	defer s.Close()
+	if !rec.TornTail || rec.Dropped == 0 {
+		t.Fatalf("foreign file not reported as dropped: %+v", rec)
+	}
+	if rec.Artifacts+rec.Verdicts+rec.Interns != 0 {
+		t.Fatalf("foreign file yielded entries: %+v", rec)
+	}
+	s.PutArtifact(Artifact{Text: "a.", Key: "K"})
+	s.Flush()
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s.PutVerdict(Verdict{Raw: "R", Sem: "GCWA", MemoKey: string(rune('a'+g)) + "x", Holds: i%2 == 0})
+				s.PutArtifact(Artifact{Text: "t" + string(rune('a'+g)), Key: "K"})
+				s.Verdicts("R", "GCWA")
+				s.Stats()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := openT(t, dir)
+	defer s2.Close()
+	if rec.Artifacts != 8 {
+		t.Fatalf("concurrent artifacts persisted = %d, want 8", rec.Artifacts)
+	}
+}

@@ -1,0 +1,143 @@
+#!/bin/sh
+# restart_smoke.sh — crash-recovery smoke of the persistent store,
+# against the real binaries over real sockets.
+#
+# Three server lifetimes over one deterministic hot-DB workload:
+#   1. a storeless session server records the reference verdicts (each
+#      verified against a direct library call by ddbload -verify);
+#   2. a store-backed server is SIGKILLed in the middle of the same
+#      load — a crash with the append log possibly torn mid-record;
+#   3. a server restarted on the same -store directory must recover
+#      without errors, gate readiness on the prewarm, replay the
+#      identical workload with every jointly-completed verdict equal
+#      to the recorded storeless reference, hit the compiled-DB cache,
+#      flush the store on a clean SIGTERM drain — and leave no temp
+#      state behind.
+set -eu
+
+ADDR="127.0.0.1:${RESTART_SMOKE_PORT:-8098}"
+URL="http://$ADDR"
+TMP="${TMPDIR:-/tmp}"
+STOREDIR="$TMP/ddbserve-restart-store.$$"
+REF="$TMP/ddbload-restart-ref.$$.json"
+SERVE="$TMP/ddbserve-restart-smoke"
+LOAD="$TMP/ddbload-restart-smoke"
+
+go build -o "$SERVE" ./cmd/ddbserve
+go build -o "$LOAD" ./cmd/ddbload
+
+rm -rf "$STOREDIR"
+mkdir -p "$STOREDIR"
+SRV=""
+cleanup() {
+    [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+    rm -rf "$STOREDIR" "$REF"
+}
+trap cleanup EXIT
+
+wait_ready() { # $1=pass name, $2=log file
+    i=0
+    until curl -sf "$URL/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "restart-smoke: $1: server never became ready" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+WORKLOAD="-rate 200 -requests 240 -seed 55 -maxatoms 6 -hotdbs 6 -deadline 10s"
+
+# --- pass 1: storeless reference recording -------------------------
+ALOG="$TMP/ddbserve-restart-ref.log"
+"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 -sessions \
+    -draintimeout 10s >"$ALOG" 2>&1 &
+SRV=$!
+wait_ready reference "$ALOG"
+# shellcheck disable=SC2086
+"$LOAD" -url "$URL" $WORKLOAD -verify -record "$REF"
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+SRV=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "restart-smoke: reference drain exited with status $STATUS" >&2
+    cat "$ALOG" >&2
+    exit 1
+fi
+
+# --- pass 2: store-backed server SIGKILLed mid-load ----------------
+KLOG="$TMP/ddbserve-restart-kill.log"
+"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 \
+    -store "$STOREDIR" -draintimeout 10s >"$KLOG" 2>&1 &
+SRV=$!
+wait_ready victim "$KLOG"
+# The load runs in the background; the server dies under it, so the
+# driver's transport errors are expected and ignored.
+# shellcheck disable=SC2086
+"$LOAD" -url "$URL" $WORKLOAD >/dev/null 2>&1 &
+LOADPID=$!
+sleep 0.6
+kill -KILL "$SRV" 2>/dev/null || true
+wait "$LOADPID" 2>/dev/null || true
+wait "$SRV" 2>/dev/null || true
+SRV=""
+
+# --- pass 3: restart on the same store directory -------------------
+RLOG="$TMP/ddbserve-restart.log"
+"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 \
+    -store "$STOREDIR" -draintimeout 10s >"$RLOG" 2>&1 &
+SRV=$!
+wait_ready restart "$RLOG"
+if grep -q "store recovery error" "$RLOG"; then
+    echo "restart-smoke: recovery error after SIGKILL:" >&2
+    cat "$RLOG" >&2
+    exit 1
+fi
+grep -q "store: recovered" "$RLOG" || {
+    echo "restart-smoke: restarted server log missing recovery line" >&2
+    cat "$RLOG" >&2
+    exit 1
+}
+# Replay the identical workload: -verify pins every completed verdict
+# to a direct library call, -replay pins it to the storeless reference
+# recording; ddbload exits nonzero on any divergence or an empty
+# comparison.
+# shellcheck disable=SC2086
+"$LOAD" -url "$URL" $WORKLOAD -verify -replay "$REF" -settle
+
+HEALTH="$(curl -sf "$URL/healthz")"
+if echo "$HEALTH" | grep -q '"compiled_hits":0'; then
+    echo "restart-smoke: compiled-DB cache never hit after restart:" >&2
+    echo "$HEALTH" >&2
+    exit 1
+fi
+echo "$HEALTH" | grep -q '"store"' || {
+    echo "restart-smoke: /healthz missing store section:" >&2
+    echo "$HEALTH" >&2
+    exit 1
+}
+
+kill -TERM "$SRV"
+STATUS=0
+wait "$SRV" || STATUS=$?
+SRV=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "restart-smoke: drain exited with status $STATUS" >&2
+    cat "$RLOG" >&2
+    exit 1
+fi
+grep -q "store flushed on drain" "$RLOG" || {
+    echo "restart-smoke: drained server log missing store-flush marker" >&2
+    cat "$RLOG" >&2
+    exit 1
+}
+grep -q "clean drain" "$RLOG" || {
+    echo "restart-smoke: drained server log missing clean-drain marker" >&2
+    cat "$RLOG" >&2
+    exit 1
+}
+
+echo "restart-smoke: clean (reference + SIGKILL recovery + pre-warmed replay)"

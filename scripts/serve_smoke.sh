@@ -192,4 +192,14 @@ tail -1 "$SOUT" | grep -q '"cause":"canceled"' || {
     exit 1
 }
 
-echo "serve-smoke: clean (fresh + session + batch/stream)"
+# --- restart smoke (crash recovery) --------------------------------
+# Fourth pass: the persistent store's crash-recovery contract —
+# storeless reference recording, a store-backed server SIGKILLed
+# mid-load, and a pre-warmed restart replaying identical verdicts.
+# Standalone so CI can also run it as its own job; skippable when the
+# caller runs it separately.
+if [ -z "${SERVE_SMOKE_SKIP_RESTART:-}" ]; then
+    RESTART_SMOKE_PORT="${SERVE_SMOKE_PORT:-8097}" sh "$(dirname "$0")/restart_smoke.sh"
+fi
+
+echo "serve-smoke: clean (fresh + session + batch/stream + restart)"
