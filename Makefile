@@ -4,7 +4,7 @@ GO ?= go
 # Mirrored by ci.yml's STATICCHECK_VERSION — bump both together.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke restart-smoke clean
+.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke restart-smoke cluster-smoke clean
 
 all: build test
 
@@ -58,6 +58,12 @@ serve-smoke:
 # of serve-smoke.
 restart-smoke:
 	sh scripts/restart_smoke.sh
+
+# Sharded-cluster smoke: ddbrouter + three ddbserve workers, a SIGKILL
+# of the warmest worker mid-load (>=95% failover completion enforced),
+# a graceful drain with warm-state handoff, clean SIGTERMs.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .

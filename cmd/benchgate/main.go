@@ -61,6 +61,7 @@ func main() {
 	compareBatch(g, base.Report.Batch, fresh.Report.Batch)
 	compareStream(g, base.Report.Stream, fresh.Report.Stream)
 	compareStore(g, base.Report.Store, fresh.Report.Store)
+	compareCluster(g, base.Report.Cluster, fresh.Report.Cluster)
 
 	if g.failures > 0 {
 		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
@@ -299,6 +300,44 @@ func auditStore(g *gate, f bench.StoreCase) {
 		g.failures++
 		fmt.Printf("  FAIL store/%s: restart NP total %d exceeds cold total %d\n", id, f.ReplayNP, f.OnNP)
 	}
+}
+
+// compareCluster gates the sharded-cluster sweep: the 1-node NP total
+// is pinned to the baseline and sharding must move nothing — the
+// 3-node total must equal the 1-node total, since consistent-hash
+// routing keeps each compiled DB's warm session on exactly one worker.
+// Wall-clock is reported, never gated.
+func compareCluster(g *gate, base, fresh []bench.ClusterCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  cluster: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		for _, f := range fresh {
+			auditCluster(g, f)
+		}
+		return
+	}
+	type key struct{ name, sem string }
+	byKey := map[key]bench.ClusterCase{}
+	for _, c := range fresh {
+		byKey[key{c.Name, c.Semantics}] = c
+	}
+	for _, b := range base {
+		id := b.Name + "/" + b.Semantics
+		f, ok := byKey[key{b.Name, b.Semantics}]
+		if !ok {
+			g.missing("cluster", id)
+			continue
+		}
+		g.eq("cluster", id, "one_node_np_calls", b.OneNP, f.OneNP)
+		auditCluster(g, f)
+		fmt.Printf("  cluster/%s: 1-node %s, 3-node %s (wall-clock, not gated)\n",
+			id, ms(b.OneMS, f.OneMS), ms(b.ThreeMS, f.ThreeMS))
+	}
+}
+
+// auditCluster applies the baseline-free internal invariant of one
+// cluster case.
+func auditCluster(g *gate, f bench.ClusterCase) {
+	g.eq("cluster", f.Name+"/"+f.Semantics, "three_node_np_calls (vs 1-node)", f.OneNP, f.ThreeNP)
 }
 
 // ms formats a wall-clock pair "baseline→fresh".

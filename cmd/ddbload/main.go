@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -45,6 +46,8 @@ func main() {
 		streams  = flag.Int("streams", 0, "verify this many /v1/models/stream enumerations against direct library runs (0 = off)")
 		record   = flag.String("record", "", "write completed verdicts to this JSON file, keyed by deterministic job index")
 		replay   = flag.String("replay", "", "compare completed verdicts against this recorded file; any divergence on a jointly-completed query fails the run")
+		cluster  = flag.Bool("clustercheck", false, "after the run, require the target (a ddbrouter) to report failovers > 0 with a completion ratio >= -clustermin")
+		clustMin = flag.Float64("clustermin", 0.95, "minimum failover_success/failovers ratio for -clustercheck")
 	)
 	flag.Parse()
 
@@ -107,6 +110,9 @@ func main() {
 		if *settle {
 			settleCheck(client, *baseURL, baseline, &fail)
 		}
+		if *cluster {
+			clusterCheck(client, *baseURL, *clustMin, &fail)
+		}
 		if fail {
 			os.Exit(1)
 		}
@@ -150,9 +156,53 @@ func main() {
 	if *settle {
 		settleCheck(client, *baseURL, baseline, &fail)
 	}
+	if *cluster {
+		clusterCheck(client, *baseURL, *clustMin, &fail)
+	}
 
 	if fail {
 		os.Exit(1)
+	}
+}
+
+// clusterCheck reads a ddbrouter's /healthz stats and enforces the
+// failover-completion contract: at least one failover happened (the
+// caller is expected to have killed a worker mid-load) and the
+// fraction a surviving node answered meets the floor.
+func clusterCheck(client *http.Client, baseURL string, min float64, fail *bool) {
+	resp, err := client.Get(baseURL + "/healthz")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: healthz: %v\n", err)
+		*fail = true
+		return
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status string           `json:"status"`
+		Stats  map[string]int64 `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: decode healthz: %v\n", err)
+		*fail = true
+		return
+	}
+	fo, isRouter := h.Stats["failovers"]
+	if !isRouter {
+		fmt.Fprintln(os.Stderr, "ddbload: clustercheck: target healthz has no failover stats (not a ddbrouter?)")
+		*fail = true
+		return
+	}
+	okc := h.Stats["failover_success"]
+	if fo == 0 {
+		fmt.Fprintln(os.Stderr, "ddbload: clustercheck: zero failovers recorded; the kill never forced a reroute")
+		*fail = true
+		return
+	}
+	ratio := float64(okc) / float64(fo)
+	fmt.Printf("cluster: failovers=%d completed=%d ratio=%.3f (min %.2f)\n", fo, okc, ratio, min)
+	if ratio < min {
+		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: failover completion %.3f below floor %.2f\n", ratio, min)
+		*fail = true
 	}
 }
 

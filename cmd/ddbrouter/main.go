@@ -1,0 +1,91 @@
+// Command ddbrouter fronts a set of ddbserve workers with a
+// consistent-hash cluster router: requests route on the compiled-DB
+// fingerprint (so each worker keeps warm sessions for its keyspace
+// slice), dead or draining workers are failed over with seeded
+// full-jitter backoff, node health is probed continuously, and a
+// graceful worker departure hands its warm state to the ring
+// successors via /v1/cluster/drain before the ring flips.
+//
+// The router is stateless: killing and restarting it loses nothing
+// but the node-health counters. Exit is 0 on SIGTERM/SIGINT.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"disjunct/internal/cluster"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8090", "listen address (use :0 for an ephemeral port)")
+		workersFlag = flag.String("workers", "", "comma-separated worker base URLs (required)")
+		replicas    = flag.Int("replicas", 0, "virtual nodes per worker on the hash ring (0 = default)")
+		failover    = flag.Int("failovermax", 2, "max ring successors a request may fail over to")
+		probe       = flag.Duration("probeinterval", 250*time.Millisecond, "worker health-probe period (also the node_unavailable Retry-After hint)")
+		threshold   = flag.Int("failthreshold", 3, "consecutive failures that mark a worker down until a probe succeeds")
+		seed        = flag.Int64("seed", 1, "failover backoff jitter seed")
+		keyCache    = flag.Int("keycache", 0, "DB-text → route-key LRU entries (0 = default 4096)")
+		reqTimeout  = flag.Duration("requesttimeout", 30*time.Second, "per-attempt forwarding timeout (streams exempt)")
+	)
+	flag.Parse()
+
+	if *workersFlag == "" {
+		log.Fatal("ddbrouter: -workers is required (comma-separated base URLs)")
+	}
+	var workers []string
+	for _, w := range strings.Split(*workersFlag, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	if len(workers) == 0 {
+		log.Fatal("ddbrouter: -workers parsed to an empty list")
+	}
+
+	r := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:       *replicas,
+		FailoverMax:    *failover,
+		ProbeInterval:  *probe,
+		FailThreshold:  *threshold,
+		Seed:           *seed,
+		KeyCache:       *keyCache,
+		RequestTimeout: *reqTimeout,
+	}, workers)
+	defer r.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ddbrouter: listen %s: %v", *addr, err)
+	}
+	hs := &http.Server{Handler: r.Handler()}
+	log.Printf("ddbrouter: listening on http://%s (workers=%d failovermax=%d probe=%s seed=%d)",
+		ln.Addr(), len(workers), *failover, *probe, *seed)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case s := <-sig:
+		log.Printf("ddbrouter: %v: shutting down", s)
+	case err := <-serveErr:
+		log.Fatalf("ddbrouter: serve: %v", err)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(shutCtx)
+	log.Printf("ddbrouter: bye")
+}

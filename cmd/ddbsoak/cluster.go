@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"disjunct/internal/cluster"
+	"disjunct/internal/faults"
+	"disjunct/internal/serve"
+)
+
+// runClusterSweep is the multi-node half of the soak: an in-process
+// N-worker cluster behind the consistent-hash router takes a verified
+// hot-DB load in four phases — a clean warmup, a pass with seeded node
+// chaos (SIGKILL-equivalent listener close, partition, or slowdown of
+// a seeded victim at a seeded point mid-load), a post-chaos pass after
+// healing, and a graceful drain of one survivor with its warm state
+// handed off. Every phase must finish with zero divergent and zero
+// untyped outcomes; goroutines must settle afterwards.
+func runClusterSweep(seed int64, nodes, requests int) bool {
+	plan := faults.NodePlanFor(seed, nodes, requests)
+	fmt.Printf("cluster: nodes=%d requests=%d victim=%d at=%d kind=%s\n",
+		nodes, requests, plan.Victim, plan.At, plan.Kind)
+	baseline := runtime.NumGoroutine()
+
+	l := cluster.StartLocal(nodes, serve.Config{
+		MaxConcurrent: 4, Sessions: true, RetryMax: 2,
+	}, cluster.RouterConfig{
+		Seed: seed, ProbeInterval: 25 * time.Millisecond, FailThreshold: 2,
+	})
+
+	cfg := serve.LoadConfig{
+		BaseURL:  l.URL(),
+		Rate:     400,
+		Requests: requests,
+		Workers:  8,
+		Seed:     seed,
+		MaxAtoms: 6,
+		HotDBs:   6,
+		Verify:   true,
+		Limits:   serve.LimitsJSON{DeadlineMS: 10_000},
+	}
+
+	ok := true
+	phase := func(name string, rep serve.LoadReport) {
+		fmt.Printf("cluster %s: %s\n", name, rep.String())
+		if !rep.Clean() {
+			ok = false
+			for _, n := range rep.UntypedNotes {
+				fmt.Printf("  cluster %s: untyped outcome: %s\n", name, n)
+			}
+			for _, n := range rep.DivergeNotes {
+				fmt.Printf("  cluster %s: verdict divergence: %s\n", name, n)
+			}
+		}
+	}
+
+	// Phase 1: clean warmup — routes every hot DB to its owner and
+	// warms that owner's sessions.
+	phase("warmup", serve.RunLoad(cfg))
+
+	// Phase 2: seeded chaos lands mid-load. The victim and the point
+	// are the plan's; the offered rate converts the request index into
+	// a wall-clock delay.
+	victimURL := l.Workers[plan.Victim].URL()
+	victimHost := strings.TrimPrefix(victimURL, "http://")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Duration(float64(plan.At) / cfg.Rate * float64(time.Second)))
+		switch plan.Kind {
+		case faults.NodeKill:
+			l.Workers[plan.Victim].Kill()
+		default:
+			l.Chaos.Afflict(victimHost, plan.Kind)
+		}
+	}()
+	chaosCfg := cfg
+	chaosCfg.Seed = seed + 1
+	phase("chaos", serve.RunLoad(chaosCfg))
+	wg.Wait()
+
+	// Phase 3: heal a partition/slowdown (a killed worker stays dead —
+	// the ring keeps failing its keys over) and replay.
+	if plan.Kind != faults.NodeKill {
+		l.Chaos.Heal()
+	}
+	postCfg := cfg
+	postCfg.Seed = seed + 2
+	phase("post-chaos", serve.RunLoad(postCfg))
+
+	// Phase 4: gracefully drain one survivor; its warm state must hand
+	// off and the shrunk ring must still serve a clean pass.
+	drainIdx := (plan.Victim + 1) % nodes
+	rep, err := l.Router.DrainNode(context.Background(), l.Workers[drainIdx].URL())
+	if err != nil {
+		fmt.Printf("  cluster drain: %v\n", err)
+		ok = false
+	} else {
+		fmt.Printf("cluster drain: node=%s artifacts=%d verdicts=%d\n",
+			rep.Node, rep.Artifacts, rep.Verdicts)
+		l.Workers[drainIdx].Kill()
+		drainedCfg := cfg
+		drainedCfg.Seed = seed + 3
+		phase("post-drain", serve.RunLoad(drainedCfg))
+	}
+
+	// Teardown, then the settle check: everything the sweep started
+	// must exit.
+	l.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return ok
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("  cluster: goroutine leak — %d running, baseline %d\n",
+		runtime.NumGoroutine(), baseline)
+	return false
+}

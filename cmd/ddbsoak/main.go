@@ -84,6 +84,8 @@ func main() {
 	batchFrac := flag.Float64("batchfrac", 0, "fraction of iterations additionally replayed through /v1/batch (0 = off; implies -servefrac machinery)")
 	sessionFrac := flag.Float64("sessionfrac", 0, "fraction of iterations replayed through a shared warm session manager (0 = off)")
 	storeDir := flag.String("storedir", "", "back the session manager with a persistent store at this directory and, after the soak, reopen it in a pre-warmed second manager that must replay every recorded verdict identically with zero cold compiles (enables the session checker if -sessionfrac is 0)")
+	clusterNodes := flag.Int("clusternodes", 0, "after the soak, run a verified load through an in-process N-worker cluster with seeded node chaos (kill/partition/slow of a seeded victim mid-load) and a graceful drain handoff; any divergent or untyped outcome fails the run (0 = off)")
+	clusterReqs := flag.Int("clusterreqs", 240, "requests per cluster sweep phase (with -clusternodes)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -199,6 +201,11 @@ func main() {
 		}
 		fmt.Printf("chaos cross-check: %d queries, completed=%d interrupted=%d\n",
 			chaos.queries, chaos.completed, chaos.interrupted)
+	}
+	if *clusterNodes > 1 {
+		if !runClusterSweep(*seed, *clusterNodes, *clusterReqs) {
+			divergences++
+		}
 	}
 	if divergences > 0 {
 		fmt.Printf("ddbsoak: %d divergences\n", divergences)

@@ -81,6 +81,7 @@ type ParallelReport struct {
 	Batch    []BatchCase    `json:"batch,omitempty"`
 	Stream   []StreamCase   `json:"stream,omitempty"`
 	Store    []StoreCase    `json:"store,omitempty"`
+	Cluster  []ClusterCase  `json:"cluster,omitempty"`
 }
 
 func parallelDBs(scale Scale) []struct {
@@ -225,6 +226,9 @@ func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
 		return rep, err
 	}
 	if err := runStoreSweep(scale, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runClusterSweep(scale, w, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

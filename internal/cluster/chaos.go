@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"disjunct/internal/faults"
+)
+
+// ChaosTransport applies a faults.NodePlan at the transport level: it
+// wraps the router's RoundTripper and, once armed against a victim
+// worker, makes that worker's traffic fail the way the plan says —
+// refused connections for a partition, injected delay for a slow
+// node. Kill is not simulated here: a killed worker really dies (the
+// in-process harness closes its listener abruptly; the smoke script
+// SIGKILLs the process), so the transport sees genuine connection
+// errors with no simulation gap.
+type ChaosTransport struct {
+	base http.RoundTripper
+
+	mu      sync.Mutex
+	kind    faults.NodeKind
+	victim  string // host:port of the afflicted worker; "" = none
+	healed  bool
+	delayed int64
+	refused int64
+}
+
+// NewChaosTransport wraps a base transport (nil = http.DefaultTransport).
+func NewChaosTransport(base http.RoundTripper) *ChaosTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &ChaosTransport{base: base, victim: ""}
+}
+
+// Afflict arms the chaos against one worker host (the URL's host:port
+// part). Idempotent; Heal disarms.
+func (c *ChaosTransport) Afflict(host string, kind faults.NodeKind) {
+	c.mu.Lock()
+	c.victim, c.kind, c.healed = host, kind, false
+	c.mu.Unlock()
+}
+
+// Heal lifts the affliction (the partition ends, the node speeds up).
+func (c *ChaosTransport) Heal() {
+	c.mu.Lock()
+	c.healed = true
+	c.mu.Unlock()
+}
+
+// Counts reports how many requests were delayed and refused.
+func (c *ChaosTransport) Counts() (delayed, refused int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delayed, c.refused
+}
+
+func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	victim, kind, healed := c.victim, c.kind, c.healed
+	c.mu.Unlock()
+	if healed || victim == "" || req.URL.Host != victim {
+		return c.base.RoundTrip(req)
+	}
+	switch kind {
+	case faults.NodePartition:
+		c.mu.Lock()
+		c.refused++
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: connection refused (injected partition of %s)", victim)
+	case faults.NodeSlow:
+		c.mu.Lock()
+		c.delayed++
+		c.mu.Unlock()
+		select {
+		case <-time.After(faults.NodeSlowDelay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return c.base.RoundTrip(req)
+	default:
+		return c.base.RoundTrip(req)
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+
+	"disjunct/internal/serve"
+)
+
+// drainCtx is the context local teardown drains under; the server's
+// own DrainTimeout bounds the forced phase.
+func drainCtx() context.Context { return context.Background() }
+
+// Local is an in-process cluster: N real serve.Servers on httptest
+// listeners behind one Router, for tests, ddbsoak sweeps, and the
+// bench harness. Everything runs over real HTTP on the loopback, so
+// the failure modes (torn connections on an abrupt worker close,
+// refused dials) are the genuine article, not mocks.
+type Local struct {
+	Router  *Router
+	RSrv    *httptest.Server
+	Workers []*LocalWorker
+	Chaos   *ChaosTransport
+}
+
+// LocalWorker pairs one serve.Server with its listener.
+type LocalWorker struct {
+	Srv  *serve.Server
+	HTTP *httptest.Server
+}
+
+// URL returns the worker's base URL.
+func (w *LocalWorker) URL() string { return w.HTTP.URL }
+
+// Kill abruptly terminates the worker: the listener closes with
+// in-flight connections cut, exactly what the router sees when a
+// process is SIGKILLed. The serve.Server's goroutines are cleaned up
+// via an immediate forced drain so tests leak nothing.
+func (w *LocalWorker) Kill() {
+	w.HTTP.CloseClientConnections()
+	w.HTTP.Close()
+	go w.Srv.Drain(drainCtx())
+}
+
+// StartLocal builds an n-worker cluster. Each worker gets its own
+// serve.Server from workerCfg (sessions on unless the caller disabled
+// them explicitly alongside a store). Close tears everything down.
+func StartLocal(n int, workerCfg serve.Config, routerCfg RouterConfig) *Local {
+	l := &Local{}
+	var urls []string
+	for i := 0; i < n; i++ {
+		s := serve.New(workerCfg)
+		hs := httptest.NewServer(s.Handler())
+		l.Workers = append(l.Workers, &LocalWorker{Srv: s, HTTP: hs})
+		urls = append(urls, hs.URL)
+	}
+	l.Chaos = NewChaosTransport(routerCfg.Transport)
+	routerCfg.Transport = l.Chaos
+	l.Router = NewRouter(routerCfg, urls)
+	l.RSrv = httptest.NewServer(l.Router.Handler())
+	return l
+}
+
+// URL returns the router's base URL — point any load at it.
+func (l *Local) URL() string { return l.RSrv.URL }
+
+// Close drains every still-running worker and stops the router.
+func (l *Local) Close() {
+	l.RSrv.Close()
+	l.Router.Close()
+	for _, w := range l.Workers {
+		func() {
+			defer func() { recover() }() // double-close after Kill is fine
+			w.HTTP.Close()
+		}()
+		w.Srv.Drain(drainCtx())
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates a deterministic corpus of routing keys shaped like
+// the raw compiled-DB fingerprints the router actually hashes.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("raw:%d|c%d", i, splitmix64(uint64(i)))
+	}
+	return keys
+}
+
+// TestRingStability is the ring-stability property: removing a node
+// remaps only the keys that node owned, and re-adding it restores the
+// original assignment exactly.
+func TestRingStability(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+	r := NewRing(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	keys := ringKeys(2000)
+
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		o := r.Owner(k)
+		if o == "" {
+			t.Fatalf("empty owner for %q on populated ring", k)
+		}
+		before[k] = o
+	}
+
+	for _, victim := range nodes {
+		r.Remove(victim)
+		for _, k := range keys {
+			after := r.Owner(k)
+			if after == victim {
+				t.Fatalf("key %q still owned by removed node %s", k, victim)
+			}
+			if before[k] != victim && after != before[k] {
+				t.Fatalf("key %q owned by %s moved to %s when unrelated node %s left",
+					k, before[k], after, victim)
+			}
+		}
+		r.Add(victim)
+		for _, k := range keys {
+			if got := r.Owner(k); got != before[k] {
+				t.Fatalf("key %q: owner %s after re-adding %s, want %s", k, got, victim, before[k])
+			}
+		}
+	}
+}
+
+// TestRingSequenceMatchesRemoval checks the failover contract: the
+// second node in Sequence(key, 2) is exactly the owner the key would
+// have if the first were removed — so failover and drain-handoff land
+// warm state on the same node.
+func TestRingSequenceMatchesRemoval(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"a", "b", "c"} {
+		r.Add(n)
+	}
+	for _, k := range ringKeys(500) {
+		seq := r.Sequence(k, 2)
+		if len(seq) != 2 {
+			t.Fatalf("Sequence(%q, 2) = %v, want 2 distinct nodes", k, seq)
+		}
+		if seq[0] == seq[1] {
+			t.Fatalf("Sequence(%q, 2) repeated node %v", k, seq)
+		}
+		r.Remove(seq[0])
+		if got := r.Owner(k); got != seq[1] {
+			t.Fatalf("key %q: post-removal owner %s, want sequence successor %s", k, got, seq[1])
+		}
+		r.Add(seq[0])
+	}
+}
+
+// TestRingBalance bounds the skew on a 3-node ring with default
+// vnodes: no node should own more than twice its fair share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"w1", "w2", "w3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(6000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns zero keys", n)
+		}
+		if counts[n] > 2*fair {
+			t.Fatalf("node %s owns %d of %d keys (> 2x fair share %d)", n, counts[n], len(keys), fair)
+		}
+	}
+}
+
+// TestRingEdgeCases covers the empty ring, single node, and k clamps.
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if r.Owner("k") != "" {
+		t.Fatal("empty ring should own nothing")
+	}
+	if seq := r.Sequence("k", 3); seq != nil {
+		t.Fatalf("empty ring Sequence = %v, want nil", seq)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d after duplicate Add, want 1", r.Size())
+	}
+	if got := r.Sequence("k", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("Sequence on 1-node ring = %v", got)
+	}
+	r.Remove("ghost") // idempotent no-op
+	if r.Owner("k") != "only" {
+		t.Fatal("removing absent node disturbed ownership")
+	}
+	if got := r.Members(); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+func TestRingConcurrentAccess(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			r.Remove("n3")
+			r.Add("n3")
+		}
+	}()
+	for _, k := range ringKeys(200) {
+		_ = r.Owner(k)
+		_ = r.Sequence(k, 3)
+		_ = r.Members()
+	}
+	<-done
+}

@@ -1,0 +1,828 @@
+package cluster
+
+import (
+	"bytes"
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"disjunct/internal/cache"
+	"disjunct/internal/db"
+	"disjunct/internal/faults"
+	"disjunct/internal/serve"
+	"disjunct/internal/session"
+)
+
+// RouterConfig tunes the cluster router. The zero value gets defaults
+// from NewRouter.
+type RouterConfig struct {
+	// Replicas is the ring's virtual-node count per worker
+	// (default DefaultReplicas).
+	Replicas int
+	// FailoverMax bounds how many ring successors a request may fail
+	// over to beyond its owner (default 2). Only idempotent inference
+	// requests fail over; failover never retries a node that already
+	// produced a response.
+	FailoverMax int
+	// ProbeInterval is the health-probe period per node, and also the
+	// Retry-After hint on node_unavailable sheds — the cluster-level
+	// analogue of the breaker's half-open interval (default 250ms).
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive request/probe failures mark
+	// a node down until a probe succeeds again (default 3).
+	FailThreshold int
+	// Seed feeds the full-jitter backoff between failover attempts, so
+	// a failover storm after a node kill decorrelates deterministically.
+	Seed int64
+	// KeyCache bounds the DB-text → route-key LRU (default 4096).
+	KeyCache int
+	// Transport overrides the HTTP transport to the workers — the
+	// node-chaos hook (default http.DefaultTransport).
+	Transport http.RoundTripper
+	// RequestTimeout bounds one forwarded attempt (default 30s;
+	// streams are exempt).
+	RequestTimeout time.Duration
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.FailoverMax < 0 {
+		c.FailoverMax = 0
+	} else if c.FailoverMax == 0 {
+		c.FailoverMax = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.KeyCache <= 0 {
+		c.KeyCache = 4096
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// node is the router's view of one worker.
+type node struct {
+	name string // ring member id == base URL
+	url  string // base URL, no trailing slash
+
+	down     atomic.Bool
+	draining atomic.Bool
+	fails    atomic.Int32 // consecutive failures toward FailThreshold
+}
+
+// routerStats are the monotonic counters surfaced by the router's
+// /healthz — the smoke harness computes the post-kill failover
+// completion ratio from failovers / failover_success.
+type routerStats struct {
+	forwarded       atomic.Int64 // requests relayed with a worker response
+	failovers       atomic.Int64 // requests that needed ≥1 failover hop
+	failoverSuccess atomic.Int64 // of those, requests a later node answered
+	shedUnavailable atomic.Int64 // typed node_unavailable sheds
+	streamNodeLost  atomic.Int64 // streams terminated with cause node_lost
+	probes          atomic.Int64
+	keyHits         atomic.Int64
+	keyMisses       atomic.Int64
+	handoffArts     atomic.Int64 // artifacts moved by drain handoffs
+	handoffVerds    atomic.Int64 // verdicts moved by drain handoffs
+}
+
+// Router is the stateless cluster front: it owns the ring, the node
+// health state, and the drain orchestration, and forwards every
+// request to the worker owning its compiled-DB fingerprint. It holds
+// no inference state of its own — restarting the router loses nothing.
+type Router struct {
+	cfg    RouterConfig
+	ring   *Ring
+	client *http.Client
+
+	nodeMu sync.RWMutex
+	nodes  map[string]*node
+
+	keyMu   sync.Mutex
+	keyLRU  *list.List               // front = most recent; values are *keyEntry
+	keyIdx  map[string]*list.Element // db text → entry
+	stats   routerStats
+	mux     *http.ServeMux
+	stopped chan struct{}
+	stopOne sync.Once
+	probeWG sync.WaitGroup
+}
+
+type keyEntry struct {
+	text string
+	key  string
+}
+
+// NewRouter builds a router over an initial worker set (base URLs) and
+// starts its health-probe loop. Call Close to stop probing.
+func NewRouter(cfg RouterConfig, workers []string) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Replicas),
+		client:  &http.Client{Transport: cfg.Transport},
+		nodes:   map[string]*node{},
+		keyLRU:  list.New(),
+		keyIdx:  map[string]*list.Element{},
+		stopped: make(chan struct{}),
+	}
+	for _, w := range workers {
+		r.AddNode(w)
+	}
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("POST /v1/infer/literal", r.forwardQuery)
+	r.mux.HandleFunc("POST /v1/infer/formula", r.forwardQuery)
+	r.mux.HandleFunc("POST /v1/model", r.forwardQuery)
+	r.mux.HandleFunc("POST /v1/batch", r.forwardQuery)
+	r.mux.HandleFunc("POST /v1/models/stream", r.forwardStream)
+	r.mux.HandleFunc("GET /v1/semantics", r.forwardAny)
+	r.mux.HandleFunc("POST /v1/cluster/drain", r.handleDrain)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /readyz", r.handleReadyz)
+	r.probeWG.Add(1)
+	go r.probeLoop()
+	return r
+}
+
+// Handler returns the router's HTTP handler tree.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Close stops the probe loop. Idempotent.
+func (r *Router) Close() {
+	r.stopOne.Do(func() { close(r.stopped) })
+	r.probeWG.Wait()
+}
+
+// AddNode inserts a worker (base URL) into the ring and health set.
+func (r *Router) AddNode(baseURL string) {
+	name := strings.TrimSuffix(baseURL, "/")
+	r.nodeMu.Lock()
+	if _, ok := r.nodes[name]; !ok {
+		r.nodes[name] = &node{name: name, url: name}
+	}
+	r.nodeMu.Unlock()
+	r.ring.Add(name)
+}
+
+// RemoveNode drops a worker abruptly — no handoff. Use DrainNode for
+// the graceful path.
+func (r *Router) RemoveNode(baseURL string) {
+	name := strings.TrimSuffix(baseURL, "/")
+	r.ring.Remove(name)
+	r.nodeMu.Lock()
+	delete(r.nodes, name)
+	r.nodeMu.Unlock()
+}
+
+// Nodes lists the current members, sorted.
+func (r *Router) Nodes() []string { return r.ring.Members() }
+
+func (r *Router) node(name string) *node {
+	r.nodeMu.RLock()
+	n := r.nodes[name]
+	r.nodeMu.RUnlock()
+	return n
+}
+
+// fail records one failure against a node; at FailThreshold the node
+// goes down until a probe succeeds.
+func (r *Router) fail(n *node) {
+	if n == nil {
+		return
+	}
+	if int(n.fails.Add(1)) >= r.cfg.FailThreshold {
+		n.down.Store(true)
+	}
+}
+
+// recover marks a node healthy again (probe success).
+func (r *Router) recover(n *node) {
+	n.fails.Store(0)
+	n.down.Store(false)
+}
+
+// probeLoop is the probe-driven half-open mechanism at node level:
+// a downed node takes no traffic until a /readyz probe succeeds, at
+// which point it is instantly fully restored. The probe interval is
+// therefore the honest Retry-After hint for node_unavailable sheds.
+func (r *Router) probeLoop() {
+	defer r.probeWG.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case <-t.C:
+		}
+		r.nodeMu.RLock()
+		nodes := make([]*node, 0, len(r.nodes))
+		for _, n := range r.nodes {
+			nodes = append(nodes, n)
+		}
+		r.nodeMu.RUnlock()
+		for _, n := range nodes {
+			r.probeOne(n)
+		}
+	}
+}
+
+func (r *Router) probeOne(n *node) {
+	r.stats.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		n.draining.Store(false)
+		r.fail(n)
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		n.draining.Store(false)
+		r.recover(n)
+		return
+	}
+	// A draining worker is alive but must take no new traffic; track
+	// the distinction for /healthz, route around it either way.
+	n.draining.Store(bytes.Contains(body, []byte(serve.ShedDraining)))
+	r.fail(n)
+}
+
+// routeKey maps a request's database text to its routing key: the raw
+// compiled-DB fingerprint (cache.RawKey over the grounded CNF), which
+// is exactly the session key workers memoize under — so routing on it
+// gives perfect warm-session locality without the expensive canonical
+// labeling. Unparseable texts route on the text itself; the owning
+// worker will produce the typed 400.
+func (r *Router) routeKey(text string) string {
+	r.keyMu.Lock()
+	if el, ok := r.keyIdx[text]; ok {
+		r.keyLRU.MoveToFront(el)
+		k := el.Value.(*keyEntry).key
+		r.keyMu.Unlock()
+		r.stats.keyHits.Add(1)
+		return k
+	}
+	r.keyMu.Unlock()
+	r.stats.keyMisses.Add(1)
+
+	key := "text:" + text
+	if d, err := db.Parse(text); err == nil {
+		key = cache.RawKey(d.N(), d.ToCNF())
+	}
+
+	r.keyMu.Lock()
+	if el, ok := r.keyIdx[text]; ok { // racing fill: keep the winner
+		r.keyLRU.MoveToFront(el)
+		key = el.Value.(*keyEntry).key
+	} else {
+		r.keyIdx[text] = r.keyLRU.PushFront(&keyEntry{text: text, key: key})
+		for r.keyLRU.Len() > r.cfg.KeyCache {
+			victim := r.keyLRU.Back()
+			r.keyLRU.Remove(victim)
+			delete(r.keyIdx, victim.Value.(*keyEntry).text)
+		}
+	}
+	r.keyMu.Unlock()
+	return key
+}
+
+// dbBody is the one field the router needs from any query body.
+type dbBody struct {
+	DB string `json:"db"`
+}
+
+// readBody buffers the request body once so failover can replay it.
+func readBody(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 4<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: serve.ReasonBadRequest, Detail: "body: " + err.Error(),
+		})
+		return nil, false
+	}
+	return body, true
+}
+
+func writeError(w http.ResponseWriter, status int, resp serve.ErrorResponse) {
+	if resp.RetryAfterMS > 0 {
+		secs := (resp.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	data, _ := json.Marshal(resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// candidates computes a request's failover sequence: the key's owner
+// followed by up to FailoverMax distinct ring successors.
+func (r *Router) candidates(key string) []string {
+	return r.ring.Sequence(key, 1+r.cfg.FailoverMax)
+}
+
+// attemptOutcome classifies one forwarded attempt.
+type attemptOutcome int
+
+const (
+	attemptRelayed  attemptOutcome = iota // response relayed to the client
+	attemptFailover                       // transport error / draining: try the next node
+)
+
+// tryNode forwards the buffered request to one worker. Any HTTP
+// response except a worker-drain shed is relayed verbatim — including
+// 4xx, 429, and breaker_open 503s, which carry their own Retry-After
+// and must reach the client untouched. Only transport-level failures
+// (connection refused/reset: the node is dead or partitioned) and
+// worker 503 draining responses trigger failover: the request
+// provably never started solving, so re-sending it to the ring
+// successor is safe even though POST is not idempotent in general —
+// and inference queries are pure anyway.
+func (r *Router) tryNode(w http.ResponseWriter, req *http.Request, n *node, path string, body []byte) attemptOutcome {
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.RequestTimeout)
+	defer cancel()
+	out, err := http.NewRequestWithContext(ctx, req.Method, n.url+path, bytes.NewReader(body))
+	if err != nil {
+		return attemptFailover
+	}
+	out.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.fail(n)
+		return attemptFailover
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		r.fail(n)
+		return attemptFailover
+	}
+	n.fails.Store(0)
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		var er serve.ErrorResponse
+		if json.Unmarshal(respBody, &er) == nil && er.Error == serve.ShedDraining {
+			n.draining.Store(true)
+			return attemptFailover
+		}
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(respBody)
+	return attemptRelayed
+}
+
+// forwardQuery routes one buffered JSON request (single query or
+// batch) with bounded failover.
+func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	var b dbBody
+	json.Unmarshal(body, &b) // malformed bodies route on "" and get the worker's typed 400
+	key := r.routeKey(b.DB)
+	seq := r.candidates(key)
+	jh := splitmix64(uint64(r.cfg.Seed) ^ hashKey(key))
+
+	failedOver := false
+	for i, name := range seq {
+		n := r.node(name)
+		if n == nil {
+			continue
+		}
+		if n.down.Load() && i+1 < len(seq) {
+			// Known-dead node: skip straight to the successor (but if it
+			// is the last candidate, try it anyway — a stale down mark
+			// must not shed a servable request).
+			if !failedOver {
+				failedOver = true
+				r.stats.failovers.Add(1)
+			}
+			continue
+		}
+		if i > 0 {
+			time.Sleep(faults.FullJitter(jh, i-1))
+		}
+		if r.tryNode(w, req, n, req.URL.Path, body) == attemptRelayed {
+			r.stats.forwarded.Add(1)
+			if failedOver || i > 0 {
+				r.stats.failoverSuccess.Add(1)
+			}
+			return
+		}
+		if !failedOver {
+			failedOver = true
+			r.stats.failovers.Add(1)
+		}
+	}
+	r.stats.shedUnavailable.Add(1)
+	writeError(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+		Error:        serve.ShedNodeUnavailable,
+		RetryAfterMS: int64(r.cfg.ProbeInterval / time.Millisecond),
+	})
+}
+
+// forwardStream routes an NDJSON model stream. Failover applies only
+// while no response bytes have been relayed; once streaming begins, a
+// worker loss terminates the stream with the typed node_lost record
+// instead of a torn body — the models already emitted remain valid.
+func (r *Router) forwardStream(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
+		return
+	}
+	var b dbBody
+	json.Unmarshal(body, &b)
+	key := r.routeKey(b.DB)
+	seq := r.candidates(key)
+	jh := splitmix64(uint64(r.cfg.Seed) ^ hashKey(key))
+
+	failedOver := false
+	for i, name := range seq {
+		n := r.node(name)
+		if n == nil {
+			continue
+		}
+		if n.down.Load() && i+1 < len(seq) {
+			if !failedOver {
+				failedOver = true
+				r.stats.failovers.Add(1)
+			}
+			continue
+		}
+		if i > 0 {
+			time.Sleep(faults.FullJitter(jh, i-1))
+		}
+		out, err := http.NewRequestWithContext(req.Context(), req.Method, n.url+req.URL.Path, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		out.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(out) // no per-attempt timeout: streams run long
+		if err != nil {
+			r.fail(n)
+			if !failedOver {
+				failedOver = true
+				r.stats.failovers.Add(1)
+			}
+			continue
+		}
+		n.fails.Store(0)
+		if resp.StatusCode != http.StatusOK {
+			// Typed refusal (shed, bad request): relay it; failover only
+			// on drain sheds, mirroring forwardQuery.
+			respBody, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			resp.Body.Close()
+			if rerr != nil {
+				r.fail(n)
+				if !failedOver {
+					failedOver = true
+					r.stats.failovers.Add(1)
+				}
+				continue
+			}
+			var er serve.ErrorResponse
+			if resp.StatusCode == http.StatusServiceUnavailable &&
+				json.Unmarshal(respBody, &er) == nil && er.Error == serve.ShedDraining {
+				n.draining.Store(true)
+				if !failedOver {
+					failedOver = true
+					r.stats.failovers.Add(1)
+				}
+				continue
+			}
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				w.Header().Set("Retry-After", ra)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(resp.StatusCode)
+			w.Write(respBody)
+			r.stats.forwarded.Add(1)
+			if failedOver || i > 0 {
+				r.stats.failoverSuccess.Add(1)
+			}
+			return
+		}
+		r.relayStream(w, resp, n)
+		r.stats.forwarded.Add(1)
+		if failedOver || i > 0 {
+			r.stats.failoverSuccess.Add(1)
+		}
+		return
+	}
+	r.stats.shedUnavailable.Add(1)
+	writeError(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+		Error:        serve.ShedNodeUnavailable,
+		RetryAfterMS: int64(r.cfg.ProbeInterval / time.Millisecond),
+	})
+}
+
+// relayStream copies NDJSON lines through, watching for the worker's
+// terminal record; if the connection tears before one arrives, the
+// router appends its own typed terminal so the client's decoder never
+// sees a truncated stream.
+func (r *Router) relayStream(w http.ResponseWriter, resp *http.Response, n *node) {
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+
+	sawDone := false
+	count := 0
+	dec := json.NewDecoder(resp.Body)
+	enc := json.NewEncoder(w)
+	for {
+		var line json.RawMessage
+		if err := dec.Decode(&line); err != nil {
+			if err != io.EOF {
+				r.fail(n)
+			}
+			break
+		}
+		var probe serve.StreamLine
+		if json.Unmarshal(line, &probe) == nil {
+			if probe.Done {
+				sawDone = true
+			} else {
+				count++
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away; nothing to repair
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	if !sawDone {
+		r.stats.streamNodeLost.Add(1)
+		enc.Encode(serve.StreamDoneRow{
+			Done:  true,
+			Cause: serve.StreamCauseNodeLost,
+			Count: count,
+		})
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+}
+
+// forwardAny relays a GET (e.g. /v1/semantics) to any healthy node.
+func (r *Router) forwardAny(w http.ResponseWriter, req *http.Request) {
+	for _, name := range r.ring.Members() {
+		n := r.node(name)
+		if n == nil || n.down.Load() {
+			continue
+		}
+		if r.tryNode(w, req, n, req.URL.Path, nil) == attemptRelayed {
+			return
+		}
+	}
+	r.stats.shedUnavailable.Add(1)
+	writeError(w, http.StatusServiceUnavailable, serve.ErrorResponse{
+		Error:        serve.ShedNodeUnavailable,
+		RetryAfterMS: int64(r.cfg.ProbeInterval / time.Millisecond),
+	})
+}
+
+// DrainReport summarizes one graceful node departure.
+type DrainReport struct {
+	Node      string         `json:"node"`
+	Artifacts int            `json:"artifacts"` // exported artifact count
+	Verdicts  int            `json:"verdicts"`  // exported verdict count
+	Imported  map[string]int `json:"imported"`  // successor → artifacts+verdicts accepted
+}
+
+// DrainNode gracefully removes a worker: export its warm state, hand
+// each slice to the ring successor that will own it after the flip,
+// and only then remove the node from the ring — so at every moment a
+// key's owner either still has the state or has already received it.
+// The worker itself keeps running (draining or not) until the
+// operator stops it; the router just stops sending it traffic.
+func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, error) {
+	name := strings.TrimSuffix(baseURL, "/")
+	rep := DrainReport{Node: name, Imported: map[string]int{}}
+	n := r.node(name)
+	if n == nil {
+		return rep, fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if r.ring.Size() < 2 {
+		// Last node: nothing to hand off to; just drop it.
+		r.RemoveNode(name)
+		return rep, nil
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/v1/handoff/export", nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		// Dead worker: no state to save; fall through to the ring flip.
+		r.RemoveNode(name)
+		return rep, nil
+	}
+	var h session.Handoff
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&h)
+	resp.Body.Close()
+	if decErr != nil || resp.StatusCode != http.StatusOK {
+		r.RemoveNode(name)
+		return rep, nil
+	}
+	rep.Artifacts = len(h.Artifacts)
+	rep.Verdicts = len(h.Verdicts)
+
+	// Partition the export by post-removal owner: the first node in
+	// each key's failover sequence that is not the departing one is
+	// exactly who owns the key once the ring flips. Down-marked nodes
+	// are skipped — requests for their keys fail over past them, so
+	// the state lands where the traffic actually goes.
+	successorFor := func(key string) string {
+		for _, cand := range r.ring.Sequence(key, r.ring.Size()) {
+			if cand == name {
+				continue
+			}
+			if sn := r.node(cand); sn == nil || sn.down.Load() {
+				continue
+			}
+			return cand
+		}
+		return ""
+	}
+	slices := map[string]*session.Handoff{}
+	sliceFor := func(succ string) *session.Handoff {
+		s, ok := slices[succ]
+		if !ok {
+			s = &session.Handoff{}
+			slices[succ] = s
+		}
+		return s
+	}
+	for _, a := range h.Artifacts {
+		if succ := successorFor(a.Raw); succ != "" {
+			sl := sliceFor(succ)
+			sl.Artifacts = append(sl.Artifacts, a)
+		}
+	}
+	for _, v := range h.Verdicts {
+		if succ := successorFor(v.Raw); succ != "" {
+			sl := sliceFor(succ)
+			sl.Verdicts = append(sl.Verdicts, v)
+		}
+	}
+
+	for succ, slice := range slices {
+		sn := r.node(succ)
+		if sn == nil {
+			continue
+		}
+		payload, err := json.Marshal(slice)
+		if err != nil {
+			continue
+		}
+		ireq, err := http.NewRequestWithContext(ctx, http.MethodPost, sn.url+"/v1/handoff/import", bytes.NewReader(payload))
+		if err != nil {
+			continue
+		}
+		ireq.Header.Set("Content-Type", "application/json")
+		iresp, err := r.client.Do(ireq)
+		if err != nil {
+			r.fail(sn)
+			continue // the successor recomputes what it never received
+		}
+		var ir serve.HandoffImportResponse
+		json.NewDecoder(io.LimitReader(iresp.Body, 1<<16)).Decode(&ir)
+		iresp.Body.Close()
+		rep.Imported[succ] = ir.Artifacts + ir.Verdicts
+		r.stats.handoffArts.Add(int64(ir.Artifacts))
+		r.stats.handoffVerds.Add(int64(ir.Verdicts))
+	}
+
+	r.RemoveNode(name)
+	return rep, nil
+}
+
+// handleDrain is the HTTP form of DrainNode: POST /v1/cluster/drain?node=<url>.
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	target := req.URL.Query().Get("node")
+	if target == "" {
+		writeError(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: serve.ReasonBadRequest, Detail: "missing ?node=<base url>",
+		})
+		return
+	}
+	rep, err := r.DrainNode(req.Context(), target)
+	if err != nil {
+		writeError(w, http.StatusNotFound, serve.ErrorResponse{
+			Error: serve.ReasonBadRequest, Detail: err.Error(),
+		})
+		return
+	}
+	data, _ := json.Marshal(rep)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// NodeHealth is one worker's entry in the router /healthz document.
+type NodeHealth struct {
+	Up       bool `json:"up"`
+	Draining bool `json:"draining"`
+	Fails    int  `json:"fails"`
+}
+
+// RouterHealth is the router's /healthz document.
+type RouterHealth struct {
+	Status string                `json:"status"` // "ok" | "degraded" | "down"
+	Nodes  map[string]NodeHealth `json:"nodes"`
+	Stats  map[string]int64      `json:"stats"`
+}
+
+func (r *Router) health() RouterHealth {
+	h := RouterHealth{Nodes: map[string]NodeHealth{}, Stats: map[string]int64{
+		"forwarded":             r.stats.forwarded.Load(),
+		"failovers":             r.stats.failovers.Load(),
+		"failover_success":      r.stats.failoverSuccess.Load(),
+		"shed_node_unavailable": r.stats.shedUnavailable.Load(),
+		"stream_node_lost":      r.stats.streamNodeLost.Load(),
+		"probes":                r.stats.probes.Load(),
+		"key_cache_hits":        r.stats.keyHits.Load(),
+		"key_cache_misses":      r.stats.keyMisses.Load(),
+		"handoff_artifacts":     r.stats.handoffArts.Load(),
+		"handoff_verdicts":      r.stats.handoffVerds.Load(),
+	}}
+	up := 0
+	r.nodeMu.RLock()
+	for name, n := range r.nodes {
+		nh := NodeHealth{Up: !n.down.Load(), Draining: n.draining.Load(), Fails: int(n.fails.Load())}
+		if nh.Up {
+			up++
+		}
+		h.Nodes[name] = nh
+	}
+	total := len(r.nodes)
+	r.nodeMu.RUnlock()
+	switch {
+	case up == total && total > 0:
+		h.Status = "ok"
+	case up > 0:
+		h.Status = "degraded"
+	default:
+		h.Status = "down"
+	}
+	return h
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	data, _ := json.Marshal(r.health())
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := r.health()
+	status := http.StatusOK
+	ready := true
+	if h.Status == "down" {
+		status, ready = http.StatusServiceUnavailable, false
+	}
+	data, _ := json.Marshal(struct {
+		Ready bool `json:"ready"`
+	}{ready})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"disjunct/internal/faults"
+	"disjunct/internal/serve"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+// fastProbe shrinks the router's probe interval so down/up transitions
+// resolve within test timescales.
+func fastProbe(cfg RouterConfig) RouterConfig {
+	cfg.ProbeInterval = 25 * time.Millisecond
+	return cfg
+}
+
+// TestClusterVerdictIdentity drives a seeded repeat-DB workload through
+// a 3-node cluster with warm sessions on and cross-checks every
+// completed verdict against a direct library call — routing must never
+// change a verdict.
+func TestClusterVerdictIdentity(t *testing.T) {
+	l := StartLocal(3, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 11}))
+	defer l.Close()
+
+	rep := serve.RunLoad(serve.LoadConfig{
+		BaseURL:  l.URL(),
+		Rate:     400,
+		Requests: 120,
+		Workers:  8,
+		Seed:     11,
+		MaxAtoms: 4,
+		Verify:   true,
+		HotDBs:   6,
+	})
+	if !rep.Clean() {
+		t.Fatalf("cluster load not clean: %s\nuntyped: %v\ndivergent: %v",
+			rep.String(), rep.UntypedNotes, rep.DivergeNotes)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed through the router")
+	}
+}
+
+// TestClusterFailoverOnKill kills one worker under load: every request
+// routed at the dead node must fail over to a ring successor and
+// complete with an identical verdict — zero divergent, zero untyped —
+// and the router must eventually mark the node down.
+func TestClusterFailoverOnKill(t *testing.T) {
+	l := StartLocal(3, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 7}))
+	defer l.Close()
+
+	// Warm the cluster, then kill the seeded victim.
+	pre := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 40, Workers: 8,
+		Seed: 7, MaxAtoms: 4, Verify: true, HotDBs: 6,
+	})
+	if !pre.Clean() {
+		t.Fatalf("warmup not clean: %s", pre.String())
+	}
+	// Kill the warmest worker so the dead node provably owned traffic
+	// (a victim owning zero hot keys would never trigger a failover).
+	client := &http.Client{Timeout: 5 * time.Second}
+	victim := 0
+	best := int64(-1)
+	for i, w := range l.Workers {
+		h, err := serve.FetchHealth(client, w.URL())
+		if err != nil {
+			t.Fatalf("healthz %s: %v", w.URL(), err)
+		}
+		if n := h.Sessions["compiled_entries"]; n > best {
+			best, victim = n, i
+		}
+	}
+	l.Workers[victim].Kill()
+
+	post := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 80, Workers: 8,
+		Seed: 7, MaxAtoms: 4, Verify: true, HotDBs: 6,
+	})
+	if !post.Clean() {
+		t.Fatalf("post-kill load not clean: %s\nuntyped: %v\ndivergent: %v",
+			post.String(), post.UntypedNotes, post.DivergeNotes)
+	}
+	if post.Completed == 0 {
+		t.Fatal("nothing completed after the kill")
+	}
+
+	h := l.Router.health()
+	if h.Stats["failovers"] == 0 {
+		t.Fatal("no failovers recorded despite a dead worker")
+	}
+	if h.Stats["failover_success"] < h.Stats["failovers"] {
+		t.Fatalf("failover completion %d/%d below 100%% with two healthy successors",
+			h.Stats["failover_success"], h.Stats["failovers"])
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		h = l.Router.health()
+		if nh, ok := h.Nodes[l.Workers[victim].URL()]; ok && !nh.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never marked the killed node down: %+v", h.Nodes)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterDrainHandoff gracefully drains one node while load is in
+// flight: the departing worker's artifacts and verdicts must land on
+// the ring successors before the flip, requests must stay clean
+// throughout, and afterwards no worker may leak a session checkout or
+// a goroutine.
+func TestClusterDrainHandoff(t *testing.T) {
+	l := StartLocal(3, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 3}))
+	defer l.Close()
+
+	warm := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 60, Workers: 8,
+		Seed: 3, MaxAtoms: 4, Verify: true, HotDBs: 6,
+	})
+	if !warm.Clean() {
+		t.Fatalf("warmup not clean: %s", warm.String())
+	}
+
+	// Pick the warmest node so the handoff provably moves real state
+	// (with few hot DBs a worker can own zero keys).
+	client := &http.Client{Timeout: 5 * time.Second}
+	victim := l.Workers[0]
+	best := int64(-1)
+	for _, w := range l.Workers {
+		h, err := serve.FetchHealth(client, w.URL())
+		if err != nil {
+			t.Fatalf("healthz %s: %v", w.URL(), err)
+		}
+		if n := h.Sessions["compiled_entries"]; n > best {
+			best, victim = n, w
+		}
+	}
+	if best == 0 {
+		t.Fatal("no worker compiled anything during warmup")
+	}
+
+	// Drain concurrently with a second load wave — the mid-drain part
+	// of the contract.
+	var wg sync.WaitGroup
+	var mid serve.LoadReport
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mid = serve.RunLoad(serve.LoadConfig{
+			BaseURL: l.URL(), Rate: 400, Requests: 60, Workers: 8,
+			Seed: 3, MaxAtoms: 4, Verify: true, HotDBs: 6,
+		})
+	}()
+	rep, err := l.Router.DrainNode(drainCtx(), victim.URL())
+	if err != nil {
+		t.Fatalf("DrainNode: %v", err)
+	}
+	wg.Wait()
+	if !mid.Clean() {
+		t.Fatalf("mid-drain load not clean: %s\nuntyped: %v\ndivergent: %v",
+			mid.String(), mid.UntypedNotes, mid.DivergeNotes)
+	}
+	if rep.Artifacts == 0 {
+		t.Fatal("drain exported zero artifacts from a warmed worker")
+	}
+	imported := 0
+	for _, n := range rep.Imported {
+		imported += n
+	}
+	if imported == 0 {
+		t.Fatalf("drain imported nothing into successors: %+v", rep)
+	}
+	if got := len(l.Router.Nodes()); got != 2 {
+		t.Fatalf("ring size after drain = %d, want 2", got)
+	}
+
+	// Post-drain traffic lands only on the survivors and stays clean.
+	after := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 40, Workers: 8,
+		Seed: 3, MaxAtoms: 4, Verify: true, HotDBs: 6,
+	})
+	if !after.Clean() {
+		t.Fatalf("post-drain load not clean: %s", after.String())
+	}
+
+	// Zero checkout leaks on every still-serving worker.
+	for i, w := range l.Workers {
+		if w == victim {
+			continue
+		}
+		h, err := serve.FetchHealth(client, w.URL())
+		if err != nil {
+			t.Fatalf("worker %d healthz: %v", i, err)
+		}
+		if h.Sessions["active_checkouts"] != 0 {
+			t.Fatalf("worker %d leaks %d session checkouts", i, h.Sessions["active_checkouts"])
+		}
+	}
+}
+
+// TestClusterAllNodesDownShedsTyped exhausts the failover sequence —
+// every worker killed — and requires the typed node_unavailable shed
+// with a Retry-After tied to the probe interval.
+func TestClusterAllNodesDownShedsTyped(t *testing.T) {
+	l := StartLocal(2, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 5}))
+	defer l.Close()
+	for _, w := range l.Workers {
+		w.Kill()
+	}
+
+	body, _ := json.Marshal(serve.QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+	resp, err := http.Post(l.URL()+"/v1/infer/literal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var er serve.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er.Error != serve.ShedNodeUnavailable {
+		t.Fatalf("error = %q, want %q", er.Error, serve.ShedNodeUnavailable)
+	}
+	if er.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms = %d, want > 0", er.RetryAfterMS)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("Retry-After header missing on node_unavailable shed")
+	}
+}
+
+// TestClusterStreamNodeLost kills the worker carrying a long stream
+// mid-enumeration: the client must receive a typed terminal record
+// with cause node_lost, never a torn NDJSON body.
+func TestClusterStreamNodeLost(t *testing.T) {
+	l := StartLocal(1, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 9}))
+	defer l.Close()
+
+	// A wide positive DB has ~2^14 models: plenty of stream to be
+	// mid-flight when the worker dies.
+	db := ""
+	for i := 0; i < 14; i++ {
+		db += fmt.Sprintf("a%d | b%d. ", i, i)
+	}
+	body, _ := json.Marshal(serve.StreamRequest{DB: db, Kind: "models"})
+	resp, err := http.Post(l.URL()+"/v1/models/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d body %s", resp.StatusCode, b)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	killed := false
+	var last serve.StreamLine
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("torn NDJSON line %d: %v (%q)", lines, err, sc.Text())
+		}
+		lines++
+		if lines == 3 && !killed {
+			l.Workers[0].Kill()
+			killed = true
+		}
+		if last.Done {
+			break
+		}
+	}
+	if !last.Done {
+		t.Fatalf("stream ended after %d lines without a terminal record", lines)
+	}
+	if last.Cause != serve.StreamCauseNodeLost {
+		t.Fatalf("terminal cause = %q, want %q (%d lines)", last.Cause, serve.StreamCauseNodeLost, lines)
+	}
+	if !serve.KnownStreamCauses[last.Cause] {
+		t.Fatalf("cause %q not in the closed stream-cause set", last.Cause)
+	}
+}
+
+// TestClusterPartitionHealsViaProbe partitions a worker at the
+// transport, watches the router mark it down and fail over cleanly,
+// then heals the partition and watches a probe restore it.
+func TestClusterPartitionHealsViaProbe(t *testing.T) {
+	l := StartLocal(3, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 13, FailThreshold: 2}))
+	defer l.Close()
+
+	victim := l.Workers[1]
+	l.Chaos.Afflict(hostOf(victim.URL()), faults.NodePartition)
+
+	rep := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 60, Workers: 8,
+		Seed: 13, MaxAtoms: 4, Verify: true, HotDBs: 6,
+	})
+	if !rep.Clean() {
+		t.Fatalf("partitioned load not clean: %s\nuntyped: %v", rep.String(), rep.UntypedNotes)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if nh := l.Router.health().Nodes[victim.URL()]; !nh.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned node never marked down")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	l.Chaos.Heal()
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if nh := l.Router.health().Nodes[victim.URL()]; nh.Up {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed node never recovered via probe")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if refused, _ := l.Chaos.Counts(); refused == 0 {
+		_, refused2 := l.Chaos.Counts()
+		if refused2 == 0 {
+			t.Fatal("chaos transport never refused a connection")
+		}
+	}
+}
+
+// TestClusterGoroutineSettle runs a full kill+drain scenario and then
+// requires the process goroutine count to settle near its baseline —
+// the router and workers may not leak.
+func TestClusterGoroutineSettle(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	l := StartLocal(3, serve.Config{Sessions: true}, fastProbe(RouterConfig{Seed: 17}))
+	rep := serve.RunLoad(serve.LoadConfig{
+		BaseURL: l.URL(), Rate: 400, Requests: 40, Workers: 8,
+		Seed: 17, MaxAtoms: 4, Verify: true, HotDBs: 4,
+	})
+	if !rep.Clean() {
+		t.Fatalf("load not clean: %s", rep.String())
+	}
+	l.Workers[2].Kill()
+	if _, err := l.Router.DrainNode(drainCtx(), l.Workers[1].URL()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	l.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: baseline=%d now=%d", baseline, runtime.NumGoroutine())
+}
+
+// hostOf strips the scheme from an httptest URL.
+func hostOf(url string) string {
+	for i := 0; i+2 < len(url); i++ {
+		if url[i] == ':' && url[i+1] == '/' && url[i+2] == '/' {
+			return url[i+3:]
+		}
+	}
+	return url
+}

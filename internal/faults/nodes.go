@@ -1,0 +1,71 @@
+package faults
+
+import "time"
+
+// Node-level chaos: while Injector perturbs individual oracle calls,
+// NodePlan perturbs whole workers — kill, partition, or slow one node
+// at a seeded point in a multi-node load run. The plan is pure data,
+// computed up front from (seed, nodes, requests); the cluster drivers
+// (ddbsoak's in-process harness, cluster_smoke.sh's SIGKILL) apply it
+// at the transport or process level. Keeping the plan here, next to
+// the call-level injector, keeps every source of injected failure in
+// one seeded, reproducible namespace.
+
+// NodeKind classifies a node-level fault.
+type NodeKind int
+
+const (
+	// NodeKill terminates the victim abruptly (SIGKILL or abrupt
+	// listener close): in-flight requests see torn connections, warm
+	// sessions and unflushed store tail are lost.
+	NodeKill NodeKind = iota
+	// NodePartition makes the victim unreachable (dial/refuse errors)
+	// without killing it; state survives for when it heals.
+	NodePartition
+	// NodeSlow delays every byte to/from the victim, long enough to
+	// trip client deadlines but not the node breaker immediately.
+	NodeSlow
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case NodeKill:
+		return "kill"
+	case NodePartition:
+		return "partition"
+	case NodeSlow:
+		return "slow"
+	default:
+		return "unknown"
+	}
+}
+
+// NodeSlowDelay is the per-round-trip delay a NodeSlow fault injects.
+const NodeSlowDelay = 50 * time.Millisecond
+
+// NodePlan schedules one node-level fault within a load run.
+type NodePlan struct {
+	Victim int      // index into the driver's node list
+	At     int      // 0-based request index at which the fault fires
+	Kind   NodeKind // what happens to the victim
+}
+
+// NodePlanFor derives the node fault for a seeded run: which of the
+// nodes is hit, at which request offset within [requests/4, 3*requests/4)
+// (mid-load — late enough that warm state exists, early enough that
+// plenty of traffic lands after the fault), and how. Pure in its
+// arguments; the same (seed, nodes, requests) always yields the same
+// plan, so a failing sweep replays exactly. nodes ≤ 1 or requests ≤ 0
+// yields a plan that drivers should treat as disabled (At < 0).
+func NodePlanFor(seed int64, nodes, requests int) NodePlan {
+	if nodes <= 1 || requests <= 0 {
+		return NodePlan{Victim: -1, At: -1}
+	}
+	h := splitmix64(uint64(seed) ^ 0xddb5c1a57e4f0d2b)
+	victim := int(h % uint64(nodes))
+	lo := requests / 4
+	span := requests/2 + 1
+	at := lo + int(splitmix64(h)%uint64(span))
+	kind := NodeKind(splitmix64(h^0xa5a5a5a5) % 3)
+	return NodePlan{Victim: victim, At: at, Kind: kind}
+}

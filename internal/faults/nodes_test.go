@@ -1,0 +1,49 @@
+package faults
+
+import "testing"
+
+func TestNodePlanForDeterministic(t *testing.T) {
+	a := NodePlanFor(42, 3, 200)
+	b := NodePlanFor(42, 3, 200)
+	if a != b {
+		t.Fatalf("same inputs gave different plans: %+v vs %+v", a, b)
+	}
+	if a.Victim < 0 || a.Victim >= 3 {
+		t.Fatalf("victim %d out of range", a.Victim)
+	}
+	if a.At < 50 || a.At >= 151 {
+		t.Fatalf("fault offset %d outside mid-load window [50,151)", a.At)
+	}
+	if a.Kind != NodeKill && a.Kind != NodePartition && a.Kind != NodeSlow {
+		t.Fatalf("unknown kind %v", a.Kind)
+	}
+}
+
+func TestNodePlanForSeedsDiffer(t *testing.T) {
+	seen := map[NodePlan]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		seen[NodePlanFor(seed, 3, 400)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct plans across 32 seeds; mixing too weak", len(seen))
+	}
+}
+
+func TestNodePlanForDisabled(t *testing.T) {
+	for _, tc := range []struct{ nodes, reqs int }{{1, 100}, {0, 100}, {3, 0}} {
+		p := NodePlanFor(7, tc.nodes, tc.reqs)
+		if p.At >= 0 || p.Victim >= 0 {
+			t.Fatalf("NodePlanFor(7,%d,%d) = %+v, want disabled", tc.nodes, tc.reqs, p)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		NodeKill: "kill", NodePartition: "partition", NodeSlow: "slow", NodeKind(9): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("NodeKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

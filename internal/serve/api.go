@@ -127,6 +127,11 @@ const (
 	// ReasonBatchTooLarge: the batch exceeds the server's per-request
 	// query cap (HTTP 400).
 	ReasonBatchTooLarge = "batch_too_large"
+	// ShedNodeUnavailable: the cluster router exhausted its failover
+	// sequence for the request's keyspace slice — every candidate worker
+	// was dead, draining, or breaker-open (HTTP 503 + Retry-After tied
+	// to the router's health-probe interval).
+	ShedNodeUnavailable = "node_unavailable"
 )
 
 // BatchQuery is one query of a batch request. Kind is "literal",
@@ -224,6 +229,11 @@ type StreamLine struct {
 const (
 	StreamCauseComplete = "complete"
 	StreamCauseLimit    = "limit"
+	// StreamCauseNodeLost is appended by the cluster router when the
+	// worker carrying a stream died mid-enumeration: the models emitted
+	// so far are valid, the enumeration is incomplete, and the client
+	// sees a typed terminal record instead of a torn body.
+	StreamCauseNodeLost = "node_lost"
 )
 
 // ErrorResponse is the body of every non-200 answer.
@@ -289,6 +299,7 @@ var KnownCauseCodes = map[string]bool{
 var KnownStreamCauses = map[string]bool{
 	StreamCauseComplete:     true,
 	StreamCauseLimit:        true,
+	StreamCauseNodeLost:     true,
 	ShedClientGone:          true,
 	CauseCanceled:           true,
 	CauseDeadline:           true,

@@ -202,7 +202,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			br.cancelProbe()
 		}
 		if !ok {
-			shedSems[j.pq.semName] = int64(retryAfter / time.Millisecond)
+			shedSems[j.pq.semName] = retryAfterMS(retryAfter)
 		}
 	}
 	var runnable []job

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"disjunct/internal/session"
+)
+
+// Cluster handoff endpoints. A draining worker's warm state — compiled
+// artifacts and completed verdict memos — is exported by the router
+// and imported into the ring successors before the ring flips, so a
+// graceful departure costs the cluster no recomputation. Both
+// endpoints are cluster-internal: they exist on every worker but are
+// only called by the router's drain orchestration.
+//
+// Export keeps working while the worker is draining (that is exactly
+// when the router calls it): it flushes the store first so the
+// snapshot includes every write-behind, then dumps the session layer.
+// Import is refused during drain — a departing worker must not accept
+// state it is about to discard.
+
+// HandoffImportResponse reports what an import accepted.
+type HandoffImportResponse struct {
+	Artifacts int `json:"artifacts"`
+	Verdicts  int `json:"verdicts"`
+}
+
+func (s *Server) handleHandoffExport(w http.ResponseWriter, _ *http.Request) {
+	if s.sessions == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: ReasonBadRequest, Detail: "session layer disabled; nothing to hand off",
+		})
+		return
+	}
+	if s.store != nil {
+		s.store.Flush()
+	}
+	writeJSON(w, http.StatusOK, s.sessions.Export())
+}
+
+func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
+	if s.sessions == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: ReasonBadRequest, Detail: "session layer disabled; cannot import",
+		})
+		return
+	}
+	if s.draining.Load() {
+		s.stats.shedDraining.Add(1)
+		writeShed(w, http.StatusServiceUnavailable, ErrorResponse{Error: ShedDraining})
+		return
+	}
+	var h session.Handoff
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err := dec.Decode(&h); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: ReasonBadRequest, Detail: "body: " + err.Error()})
+		return
+	}
+	arts, verds := s.sessions.Import(h)
+	writeJSON(w, http.StatusOK, HandoffImportResponse{Artifacts: arts, Verdicts: verds})
+}

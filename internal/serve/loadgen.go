@@ -505,7 +505,11 @@ func doRequest(client *http.Client, baseURL string, job loadJob) (int, int, Quer
 		}
 		return outcomeShed429, resp.StatusCode, qr, er, nil
 	case http.StatusServiceUnavailable:
-		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ShedDraining && er.Error != ShedBreakerOpen) {
+		// node_unavailable is the cluster router's typed shed when a
+		// key's whole failover sequence is down; single-node servers
+		// never emit it.
+		if err := json.Unmarshal(body, &er); err != nil ||
+			(er.Error != ShedDraining && er.Error != ShedBreakerOpen && er.Error != ShedNodeUnavailable) {
 			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("untyped 503 body %q", body)
 		}
 		return outcomeShed503, resp.StatusCode, qr, er, nil

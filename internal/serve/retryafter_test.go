@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestBreakerOpenRetryAfterHeader pins the contract the cluster router
+// keys its backoff on: every 503 breaker_open response carries both
+// the retry_after_ms JSON field and the Retry-After header, tied to
+// the breaker's half-open interval — even when the remaining cooldown
+// is sub-millisecond, which used to truncate to 0 and suppress both.
+func TestBreakerOpenRetryAfterHeader(t *testing.T) {
+	srv := New(Config{Breaker: BreakerConfig{Threshold: 1, Cooldown: 500 * time.Microsecond}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A frozen clock keeps the sub-millisecond cooldown remainder from
+	// elapsing before the request arrives.
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	br := srv.breakerFor("GCWA")
+	br.now = clk.now
+	br.record(true) // threshold 1: opens immediately
+
+	body, _ := json.Marshal(QueryRequest{Semantics: "GCWA", DB: "a | b.", Literal: "-a"})
+	resp, err := http.Post(ts.URL+"/v1/infer/literal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if er.Error != ShedBreakerOpen {
+		t.Fatalf("error = %q, want %q", er.Error, ShedBreakerOpen)
+	}
+	if er.RetryAfterMS < 1 {
+		t.Fatalf("retry_after_ms = %d, want >= 1 (sub-millisecond cooldown must clamp, not truncate)", er.RetryAfterMS)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("Retry-After header missing on breaker_open shed")
+	}
+}
+
+// TestBatchBreakerOpenRetryAfter pins the same clamp on the batch
+// path: per-query breaker sheds inside a batch carry retry_after_ms
+// >= 1 for the open semantics.
+func TestBatchBreakerOpenRetryAfter(t *testing.T) {
+	srv := New(Config{Breaker: BreakerConfig{Threshold: 1, Cooldown: 500 * time.Microsecond}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	br := srv.breakerFor("GCWA")
+	br.now = clk.now
+	br.record(true)
+
+	body, _ := json.Marshal(BatchRequest{
+		Semantics: "GCWA",
+		DB:        "a | b.",
+		Queries:   []BatchQuery{{Literal: "-a"}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var bresp BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&bresp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(bresp.Results) != 1 || bresp.Results[0].Error == nil {
+		t.Fatalf("expected one errored result, got %+v", bresp.Results)
+	}
+	e := bresp.Results[0].Error
+	if e.Error != ShedBreakerOpen {
+		t.Fatalf("error = %q, want %q", e.Error, ShedBreakerOpen)
+	}
+	if e.RetryAfterMS < 1 {
+		t.Fatalf("batch retry_after_ms = %d, want >= 1", e.RetryAfterMS)
+	}
+}

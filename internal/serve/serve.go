@@ -276,6 +276,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/models/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/semantics", s.handleSemantics)
+	s.mux.HandleFunc("GET /v1/handoff/export", s.handleHandoffExport)
+	s.mux.HandleFunc("POST /v1/handoff/import", s.handleHandoffImport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
@@ -406,6 +408,18 @@ func writeShed(w http.ResponseWriter, status int, resp ErrorResponse) {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 	}
 	writeJSON(w, status, resp)
+}
+
+// retryAfterMS converts a breaker cooldown remainder into the wire
+// hint, clamping to at least 1ms: a sub-millisecond remainder must not
+// truncate to 0, which would suppress both the JSON field (omitempty)
+// and the Retry-After header the cluster router keys its backoff on.
+func retryAfterMS(d time.Duration) int64 {
+	ms := int64(d / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // clamp applies the server ceilings to a client ask: per dimension the
@@ -556,7 +570,7 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			writeShed(w, http.StatusServiceUnavailable, ErrorResponse{
 				Error:        ShedBreakerOpen,
 				Semantics:    pq.semName,
-				RetryAfterMS: int64(retryAfter / time.Millisecond),
+				RetryAfterMS: retryAfterMS(retryAfter),
 			})
 			return
 		}

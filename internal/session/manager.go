@@ -162,6 +162,10 @@ type Manager struct {
 	sessMu   sync.Mutex
 	sessions map[sessKey]*list.Element // (raw, sem) → session node
 	sessList *list.List
+	// pendingSeeds stages verdicts imported by a cluster handoff for
+	// pairs with no live session yet; session() consumes an entry when
+	// it creates the pair's warm session. Guarded by sessMu.
+	pendingSeeds map[sessKey]map[string]bool
 
 	compiledHits       atomic.Int64
 	compiledMisses     atomic.Int64
@@ -484,14 +488,24 @@ func (m *Manager) session(comp *Compiled, sem string) *warmSession {
 	}
 	s := &warmSession{key: key, comp: comp, slot: make(chan *engineState, 1)}
 	memo := make(map[string]bool)
+	if pend, ok := m.pendingSeeds[key]; ok {
+		// Verdicts handed off by a draining peer before this pair's
+		// first query: fold them in and clear the staging entry.
+		for k, v := range pend {
+			memo[k] = v
+		}
+		delete(m.pendingSeeds, key)
+		m.storeVerdictSeeds.Add(int64(len(memo)))
+	}
 	if st := m.cfg.Store; st != nil {
 		// Seed the verdict memo from persisted completed verdicts: equal
 		// Raw means the indexed CNF is byte-identical, so verdicts from a
 		// previous process transfer verbatim and replays cost zero NP.
+		pre := len(memo)
 		for k, v := range st.Verdicts(comp.Raw, sem) {
 			memo[k] = v
 		}
-		m.storeVerdictSeeds.Add(int64(len(memo)))
+		m.storeVerdictSeeds.Add(int64(len(memo) - pre))
 	}
 	s.slot <- &engineState{memo: memo}
 	el := m.sessList.PushFront(s)

@@ -383,6 +383,26 @@ func (s *Store) Verdicts(raw, sem string) map[string]bool {
 	return out
 }
 
+// AllVerdicts snapshots every persisted verdict across all session
+// keys — the export surface for cluster drain handoff, where a
+// departing worker ships its whole verdict corpus to ring successors.
+func (s *Store) AllVerdicts() []Verdict {
+	s.mu.Lock()
+	n := 0
+	for _, m := range s.verdicts {
+		n += len(m)
+	}
+	out := make([]Verdict, 0, n)
+	for vk, m := range s.verdicts {
+		raw, sem := splitKey(vk)
+		for memoKey, holds := range m {
+			out = append(out, Verdict{Raw: raw, Sem: sem, MemoKey: memoKey, Holds: holds})
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
 // Interns snapshots every live interner entry.
 func (s *Store) Interns() []Intern {
 	s.mu.Lock()

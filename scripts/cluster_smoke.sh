@@ -1,0 +1,167 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke of the sharded cluster's
+# fault-tolerance contract, against the real binaries over real
+# sockets: a ddbrouter fronting three ddbserve workers.
+#
+# Phases:
+#   1. a verified warmup load through the router — every hot DB routes
+#      to its ring owner and warms that worker's sessions;
+#   2. a SIGKILL of the warmest worker at a fixed point mid-load over
+#      the seeded workload — the load must still finish with zero
+#      untyped and zero divergent outcomes, and the router must report
+#      a failover-completion ratio >= 95% (ddbload -clustercheck);
+#   3. a graceful drain of a surviving worker through the router —
+#      its warm state hands off to the ring successor, and a final
+#      verified load on the shrunk cluster must be clean;
+#   4. clean SIGTERM exits for the router and every surviving worker.
+#
+# Everything binds 127.0.0.1:0; ports are parsed from the startup logs
+# (smoke_lib.sh), so parallel runs never collide.
+set -eu
+
+. "$(dirname "$0")/smoke_lib.sh"
+
+TMP="${TMPDIR:-/tmp}"
+SERVE="$TMP/ddbserve-cluster-smoke"
+ROUTER="$TMP/ddbrouter-cluster-smoke"
+LOAD="$TMP/ddbload-cluster-smoke"
+
+go build -o "$SERVE" ./cmd/ddbserve
+go build -o "$ROUTER" ./cmd/ddbrouter
+go build -o "$LOAD" ./cmd/ddbload
+
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+# --- three workers -------------------------------------------------
+WURLS=""
+i=1
+while [ "$i" -le 3 ]; do
+    WLOG="$TMP/ddbserve-cluster-w$i.log"
+    : >"$WLOG"
+    "$SERVE" -addr 127.0.0.1:0 -maxconcurrent 4 -queue 64 -sessions \
+        -draintimeout 10s >"$WLOG" 2>&1 &
+    eval "W${i}_PID=$!"
+    PIDS="$PIDS $!"
+    WURL=$(bound_url "$WLOG" "cluster-smoke: worker $i")
+    wait_ready "$WURL" "cluster-smoke: worker $i" "$WLOG"
+    eval "W${i}_URL=\$WURL"
+    eval "W${i}_LOG=\$WLOG"
+    WURLS="$WURLS,$WURL"
+    i=$((i + 1))
+done
+WURLS="${WURLS#,}"
+
+# --- the router ----------------------------------------------------
+RLOG="$TMP/ddbrouter-cluster.log"
+: >"$RLOG"
+"$ROUTER" -addr 127.0.0.1:0 -workers "$WURLS" \
+    -probeinterval 100ms -failthreshold 2 -seed 7 >"$RLOG" 2>&1 &
+RPID=$!
+PIDS="$PIDS $RPID"
+RURL=$(bound_url "$RLOG" "cluster-smoke: router")
+wait_ready "$RURL" "cluster-smoke: router" "$RLOG"
+
+# --- phase 1: verified warmup --------------------------------------
+"$LOAD" -url "$RURL" -rate 400 -requests 200 -seed 21 -maxatoms 6 \
+    -hotdbs 6 -deadline 10s -verify
+
+# --- phase 2: SIGKILL the warmest worker mid-load ------------------
+# The warmest worker (most compiled DBs) provably owns hot keys, so
+# killing it forces failovers the -clustercheck gate can measure.
+VICTIM=1
+BEST=-1
+i=1
+while [ "$i" -le 3 ]; do
+    eval "WURL=\$W${i}_URL"
+    N=$(curl -sf "$WURL/healthz" | sed -n 's/.*"compiled_entries":\([0-9]*\).*/\1/p')
+    N="${N:-0}"
+    if [ "$N" -gt "$BEST" ]; then
+        BEST=$N
+        VICTIM=$i
+    fi
+    i=$((i + 1))
+done
+eval "VPID=\$W${VICTIM}_PID"
+echo "cluster-smoke: killing worker $VICTIM (compiled_entries=$BEST) mid-load"
+(
+    sleep 0.4
+    kill -KILL "$VPID" 2>/dev/null || true
+) &
+KILLER=$!
+# The same seeded hot-DB workload; the kill lands ~160 requests in.
+# Zero untyped, zero divergent, and a >=95% failover-completion ratio
+# (read from the router's healthz) are all enforced by ddbload.
+"$LOAD" -url "$RURL" -rate 400 -requests 400 -seed 21 -maxatoms 6 \
+    -hotdbs 6 -deadline 10s -verify -clustercheck -clustermin 0.95
+wait "$KILLER" 2>/dev/null || true
+wait "$VPID" 2>/dev/null || true
+
+# --- phase 3: graceful drain with warm-state handoff ---------------
+# Drain a surviving worker through the router: its sessions and
+# verdicts must hand off to the ring successor before the ring flips.
+DRAINEE=$((VICTIM % 3 + 1))
+eval "DURL=\$W${DRAINEE}_URL"
+eval "DPID=\$W${DRAINEE}_PID"
+eval "DLOG=\$W${DRAINEE}_LOG"
+DRAIN=$(curl -sf -X POST "$RURL/v1/cluster/drain?node=$DURL")
+echo "cluster-smoke: drained worker $DRAINEE: $DRAIN"
+echo "$DRAIN" | grep -q '"artifacts":' || {
+    echo "cluster-smoke: drain response missing artifact count:" >&2
+    echo "$DRAIN" >&2
+    exit 1
+}
+kill -TERM "$DPID"
+STATUS=0
+wait "$DPID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "cluster-smoke: drained worker exited with status $STATUS" >&2
+    cat "$DLOG" >&2
+    exit 1
+fi
+grep -q "clean drain" "$DLOG" || {
+    echo "cluster-smoke: drained worker log missing clean-drain marker" >&2
+    cat "$DLOG" >&2
+    exit 1
+}
+# The shrunk cluster (one worker left) must still serve a clean
+# verified load.
+"$LOAD" -url "$RURL" -rate 400 -requests 200 -seed 22 -maxatoms 6 \
+    -hotdbs 6 -deadline 10s -verify
+
+# --- phase 4: clean shutdowns --------------------------------------
+kill -TERM "$RPID"
+STATUS=0
+wait "$RPID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "cluster-smoke: router exited with status $STATUS" >&2
+    cat "$RLOG" >&2
+    exit 1
+fi
+grep -q "ddbrouter: bye" "$RLOG" || {
+    echo "cluster-smoke: router log missing clean-shutdown marker" >&2
+    cat "$RLOG" >&2
+    exit 1
+}
+SURVIVOR=$((6 - VICTIM - DRAINEE))
+eval "SPID=\$W${SURVIVOR}_PID"
+eval "SLOG=\$W${SURVIVOR}_LOG"
+kill -TERM "$SPID"
+STATUS=0
+wait "$SPID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "cluster-smoke: surviving worker exited with status $STATUS" >&2
+    cat "$SLOG" >&2
+    exit 1
+fi
+grep -q "clean drain" "$SLOG" || {
+    echo "cluster-smoke: surviving worker log missing clean-drain marker" >&2
+    cat "$SLOG" >&2
+    exit 1
+}
+trap - EXIT
+
+echo "cluster-smoke: clean (warmup + kill-failover + drain-handoff + shutdown)"

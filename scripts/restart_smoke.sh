@@ -13,10 +13,14 @@
 #      to the recorded storeless reference, hit the compiled-DB cache,
 #      flush the store on a clean SIGTERM drain — and leave no temp
 #      state behind.
+#
+# Each lifetime binds 127.0.0.1:0 and the bound port is parsed from
+# its log (smoke_lib.sh), so the three passes — and parallel CI jobs —
+# never collide on a fixed port.
 set -eu
 
-ADDR="127.0.0.1:${RESTART_SMOKE_PORT:-8098}"
-URL="http://$ADDR"
+. "$(dirname "$0")/smoke_lib.sh"
+
 TMP="${TMPDIR:-/tmp}"
 STOREDIR="$TMP/ddbserve-restart-store.$$"
 REF="$TMP/ddbload-restart-ref.$$.json"
@@ -35,27 +39,16 @@ cleanup() {
 }
 trap cleanup EXIT
 
-wait_ready() { # $1=pass name, $2=log file
-    i=0
-    until curl -sf "$URL/readyz" >/dev/null 2>&1; do
-        i=$((i + 1))
-        if [ "$i" -gt 50 ]; then
-            echo "restart-smoke: $1: server never became ready" >&2
-            cat "$2" >&2
-            exit 1
-        fi
-        sleep 0.2
-    done
-}
-
 WORKLOAD="-rate 200 -requests 240 -seed 55 -maxatoms 6 -hotdbs 6 -deadline 10s"
 
 # --- pass 1: storeless reference recording -------------------------
 ALOG="$TMP/ddbserve-restart-ref.log"
-"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 -sessions \
+: >"$ALOG"
+"$SERVE" -addr 127.0.0.1:0 -maxconcurrent 4 -queue 64 -sessions \
     -draintimeout 10s >"$ALOG" 2>&1 &
 SRV=$!
-wait_ready reference "$ALOG"
+URL=$(bound_url "$ALOG" "restart-smoke: reference")
+wait_ready "$URL" "restart-smoke: reference" "$ALOG"
 # shellcheck disable=SC2086
 "$LOAD" -url "$URL" $WORKLOAD -verify -record "$REF"
 kill -TERM "$SRV"
@@ -70,10 +63,12 @@ fi
 
 # --- pass 2: store-backed server SIGKILLed mid-load ----------------
 KLOG="$TMP/ddbserve-restart-kill.log"
-"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 \
+: >"$KLOG"
+"$SERVE" -addr 127.0.0.1:0 -maxconcurrent 4 -queue 64 \
     -store "$STOREDIR" -draintimeout 10s >"$KLOG" 2>&1 &
 SRV=$!
-wait_ready victim "$KLOG"
+URL=$(bound_url "$KLOG" "restart-smoke: victim")
+wait_ready "$URL" "restart-smoke: victim" "$KLOG"
 # The load runs in the background; the server dies under it, so the
 # driver's transport errors are expected and ignored.
 # shellcheck disable=SC2086
@@ -87,10 +82,12 @@ SRV=""
 
 # --- pass 3: restart on the same store directory -------------------
 RLOG="$TMP/ddbserve-restart.log"
-"$SERVE" -addr "$ADDR" -maxconcurrent 4 -queue 64 \
+: >"$RLOG"
+"$SERVE" -addr 127.0.0.1:0 -maxconcurrent 4 -queue 64 \
     -store "$STOREDIR" -draintimeout 10s >"$RLOG" 2>&1 &
 SRV=$!
-wait_ready restart "$RLOG"
+URL=$(bound_url "$RLOG" "restart-smoke: restart")
+wait_ready "$URL" "restart-smoke: restart" "$RLOG"
 if grep -q "store recovery error" "$RLOG"; then
     echo "restart-smoke: recovery error after SIGKILL:" >&2
     cat "$RLOG" >&2

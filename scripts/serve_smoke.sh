@@ -9,33 +9,28 @@
 #   - any served verdict that diverges from a direct library call,
 #   - server goroutines that fail to settle back to baseline,
 #   - a drain that doesn't exit cleanly on SIGTERM.
+#
+# Every server binds 127.0.0.1:0; the bound port is parsed from the
+# server's startup log (smoke_lib.sh), so parallel runs never collide.
 set -eu
 
-ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-8097}"
-URL="http://$ADDR"
+. "$(dirname "$0")/smoke_lib.sh"
+
 LOG="${TMPDIR:-/tmp}/ddbserve-smoke.log"
 
 go build -o "${TMPDIR:-/tmp}/ddbserve-smoke" ./cmd/ddbserve
 go build -o "${TMPDIR:-/tmp}/ddbload-smoke" ./cmd/ddbload
 
+: >"$LOG"
 "${TMPDIR:-/tmp}/ddbserve-smoke" \
-    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -addr 127.0.0.1:0 -maxconcurrent 2 -queue 4 \
     -faultrate 0.05 -faultseed 7 -retrymax 2 \
     -draintimeout 10s >"$LOG" 2>&1 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
-# Wait for readiness.
-i=0
-until curl -sf "$URL/readyz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "serve-smoke: server never became ready" >&2
-        cat "$LOG" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+URL=$(bound_url "$LOG" serve-smoke)
+wait_ready "$URL" serve-smoke "$LOG"
 
 # Offered load far above the admission limit (capacity 2+4), with
 # verdict verification against direct library calls and a goroutine
@@ -67,23 +62,16 @@ grep -q "clean drain" "$LOG" || {
 # library call (ddbload exits nonzero on divergence), the session layer
 # must actually engage, and no session may stay checked out afterwards.
 SLOG="${TMPDIR:-/tmp}/ddbserve-session-smoke.log"
+: >"$SLOG"
 "${TMPDIR:-/tmp}/ddbserve-smoke" \
-    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -addr 127.0.0.1:0 -maxconcurrent 2 -queue 4 \
     -sessions -retrymax 2 \
     -draintimeout 10s >"$SLOG" 2>&1 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
-i=0
-until curl -sf "$URL/readyz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "session-smoke: server never became ready" >&2
-        cat "$SLOG" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+URL=$(bound_url "$SLOG" session-smoke)
+wait_ready "$URL" session-smoke "$SLOG"
 
 "${TMPDIR:-/tmp}/ddbload-smoke" \
     -url "$URL" -rate 1000 -requests 500 -seed 33 -maxatoms 6 \
@@ -124,23 +112,16 @@ grep -q "clean drain" "$SLOG" || {
 # server must still drain cleanly.
 BLOG="${TMPDIR:-/tmp}/ddbserve-batch-smoke.log"
 SOUT="${TMPDIR:-/tmp}/ddbserve-stream-smoke.ndjson"
+: >"$BLOG"
 "${TMPDIR:-/tmp}/ddbserve-smoke" \
-    -addr "$ADDR" -maxconcurrent 2 -queue 4 \
+    -addr 127.0.0.1:0 -maxconcurrent 2 -queue 4 \
     -sessions -retrymax 2 \
     -draintimeout 10s >"$BLOG" 2>&1 &
 SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
-i=0
-until curl -sf "$URL/readyz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    if [ "$i" -gt 50 ]; then
-        echo "batch-smoke: server never became ready" >&2
-        cat "$BLOG" >&2
-        exit 1
-    fi
-    sleep 0.2
-done
+URL=$(bound_url "$BLOG" batch-smoke)
+wait_ready "$URL" batch-smoke "$BLOG"
 
 # Batch replay + stream verification; ddbload exits nonzero on any
 # untyped or divergent outcome.
@@ -199,7 +180,7 @@ tail -1 "$SOUT" | grep -q '"cause":"canceled"' || {
 # Standalone so CI can also run it as its own job; skippable when the
 # caller runs it separately.
 if [ -z "${SERVE_SMOKE_SKIP_RESTART:-}" ]; then
-    RESTART_SMOKE_PORT="${SERVE_SMOKE_PORT:-8097}" sh "$(dirname "$0")/restart_smoke.sh"
+    sh "$(dirname "$0")/restart_smoke.sh"
 fi
 
 echo "serve-smoke: clean (fresh + session + batch/stream + restart)"

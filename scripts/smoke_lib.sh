@@ -1,0 +1,49 @@
+#!/bin/sh
+# smoke_lib.sh — shared helpers for the smoke scripts; source, do not run.
+#
+# The smoke scripts used to bind fixed ports (8097/8098) and flaked
+# whenever a stale process or a parallel CI job held the port. They now
+# start servers on 127.0.0.1:0 and learn the kernel-chosen port from
+# the server's own "listening on http://HOST:PORT" startup log line,
+# which both ddbserve and ddbrouter print after the listener binds.
+
+# bound_url LOGFILE NAME — print the base URL the server bound, parsed
+# from its startup log. Nonzero (with the log dumped to stderr) if the
+# line never appears within ~10s.
+bound_url() {
+    bu_log=$1
+    bu_name=$2
+    bu_i=0
+    while :; do
+        bu_url=$(sed -n 's|.*listening on \(http://[^ ]*\).*|\1|p' "$bu_log" 2>/dev/null | head -n 1)
+        if [ -n "$bu_url" ]; then
+            printf '%s\n' "$bu_url"
+            return 0
+        fi
+        bu_i=$((bu_i + 1))
+        if [ "$bu_i" -gt 50 ]; then
+            echo "$bu_name: server never logged its bound address" >&2
+            cat "$bu_log" >&2 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.2
+    done
+}
+
+# wait_ready URL NAME LOGFILE — poll $URL/readyz until it answers 200.
+# Nonzero (with the log dumped to stderr) after ~10s.
+wait_ready() {
+    wr_url=$1
+    wr_name=$2
+    wr_log=$3
+    wr_i=0
+    until curl -sf "$wr_url/readyz" >/dev/null 2>&1; do
+        wr_i=$((wr_i + 1))
+        if [ "$wr_i" -gt 50 ]; then
+            echo "$wr_name: server never became ready" >&2
+            cat "$wr_log" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+}
