@@ -4,7 +4,7 @@ GO ?= go
 # Mirrored by ci.yml's STATICCHECK_VERSION — bump both together.
 STATICCHECK_VERSION ?= 2023.1.7
 
-.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke restart-smoke cluster-smoke clean
+.PHONY: all build test vet lint race bench report report-full soak chaos fuzz serve-smoke restart-smoke cluster-smoke churn-smoke clean
 
 all: build test
 
@@ -41,10 +41,11 @@ report-full:
 soak:
 	$(GO) run ./cmd/ddbsoak -iters 2000 -v
 
-# Bounded chaos soak: budgets + deadline + seeded fault injection.
+# Bounded chaos soak: budgets + deadline + seeded fault injection,
+# plus a membership-churn sweep (seeded joins/drains/kills mid-load).
 # Fails on silent corruption, untyped interruptions, or goroutine leaks.
 chaos:
-	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -servefrac 0.3 -sessionfrac 0.3 -v
+	$(GO) run ./cmd/ddbsoak -iters 1000 -faultrate 0.05 -deadline 2s -conflictbudget 200 -servefrac 0.3 -sessionfrac 0.3 -churnfrac 0.02 -v
 
 # End-to-end service smoke: real binaries, offered load above the
 # admission limit, 5% injected faults, SIGTERM drain. Fails on untyped
@@ -64,6 +65,13 @@ restart-smoke:
 # a graceful drain with warm-state handoff, clean SIGTERMs.
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
+
+# Elastic-membership smoke: two replicated routers + three workers, a
+# 4th worker warm-joined mid-load (zero cold compiles on its prewarmed
+# slice), one router SIGKILLed under the client (>=95% completion
+# enforced), a graceful worker drain, clean SIGTERMs.
+churn-smoke:
+	sh scripts/churn_smoke.sh
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseDB -fuzztime=30s .

@@ -303,10 +303,11 @@ func auditStore(g *gate, f bench.StoreCase) {
 }
 
 // compareCluster gates the sharded-cluster sweep: the 1-node NP total
-// is pinned to the baseline and sharding must move nothing — the
-// 3-node total must equal the 1-node total, since consistent-hash
-// routing keeps each compiled DB's warm session on exactly one worker.
-// Wall-clock is reported, never gated.
+// is pinned to the baseline, and neither sharding nor router
+// replication may move anything — the 3-node and 2-router totals must
+// each equal the 1-node total, since consistent-hash routing keeps
+// each compiled DB's warm session on exactly one worker no matter
+// which router forwarded it. Wall-clock is reported, never gated.
 func compareCluster(g *gate, base, fresh []bench.ClusterCase) {
 	if len(base) == 0 && len(fresh) > 0 {
 		fmt.Printf("  cluster: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
@@ -329,15 +330,18 @@ func compareCluster(g *gate, base, fresh []bench.ClusterCase) {
 		}
 		g.eq("cluster", id, "one_node_np_calls", b.OneNP, f.OneNP)
 		auditCluster(g, f)
-		fmt.Printf("  cluster/%s: 1-node %s, 3-node %s (wall-clock, not gated)\n",
-			id, ms(b.OneMS, f.OneMS), ms(b.ThreeMS, f.ThreeMS))
+		fmt.Printf("  cluster/%s: 1-node %s, 3-node %s, 2-router %s (wall-clock, not gated)\n",
+			id, ms(b.OneMS, f.OneMS), ms(b.ThreeMS, f.ThreeMS), ms(b.TwoRouterMS, f.TwoRouterMS))
 	}
 }
 
-// auditCluster applies the baseline-free internal invariant of one
-// cluster case.
+// auditCluster applies the baseline-free internal invariants of one
+// cluster case. Both apply to the fresh run only, so a baseline file
+// written before a deployment shape existed (its fields decode as 0)
+// never fails the gate.
 func auditCluster(g *gate, f bench.ClusterCase) {
 	g.eq("cluster", f.Name+"/"+f.Semantics, "three_node_np_calls (vs 1-node)", f.OneNP, f.ThreeNP)
+	g.eq("cluster", f.Name+"/"+f.Semantics, "two_router_np_calls (vs 1-node)", f.OneNP, f.TwoRouterNP)
 }
 
 // ms formats a wall-clock pair "baseline→fresh".

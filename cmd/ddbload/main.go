@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		baseURL  = flag.String("url", "http://127.0.0.1:8091", "ddbserve base URL")
+		baseURL  = flag.String("url", "http://127.0.0.1:8091", "ddbserve/ddbrouter base URL; a comma-separated list enables client-side router failover (sticky primary, next on transport failure)")
 		rate     = flag.Float64("rate", 50, "offered requests/second")
 		requests = flag.Int("requests", 200, "total requests to offer")
 		workers  = flag.Int("workers", 16, "concurrent HTTP clients")
@@ -48,20 +48,28 @@ func main() {
 		replay   = flag.String("replay", "", "compare completed verdicts against this recorded file; any divergence on a jointly-completed query fails the run")
 		cluster  = flag.Bool("clustercheck", false, "after the run, require the target (a ddbrouter) to report failovers > 0 with a completion ratio >= -clustermin")
 		clustMin = flag.Float64("clustermin", 0.95, "minimum failover_success/failovers ratio for -clustercheck")
+		minComp  = flag.Float64("mincomplete", 0, "minimum completed/offered fraction; below it the run fails (0 = no floor)")
 	)
 	flag.Parse()
 
+	urls := splitList(*baseURL)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "ddbload: -url parsed to an empty list")
+		os.Exit(2)
+	}
+
 	cfg := serve.LoadConfig{
-		BaseURL:    *baseURL,
-		Rate:       *rate,
-		Requests:   *requests,
-		Workers:    *workers,
-		Seed:       *seed,
-		MaxAtoms:   *maxAtoms,
-		Verify:     *verify,
-		HotDBs:     *hotDBs,
-		RecordPath: *record,
-		ReplayPath: *replay,
+		BaseURL:      urls[0],
+		FallbackURLs: urls[1:],
+		Rate:         *rate,
+		Requests:     *requests,
+		Workers:      *workers,
+		Seed:         *seed,
+		MaxAtoms:     *maxAtoms,
+		Verify:       *verify,
+		HotDBs:       *hotDBs,
+		RecordPath:   *record,
+		ReplayPath:   *replay,
 		Semantics: func() []string {
 			if *semList == "" {
 				return nil
@@ -81,7 +89,7 @@ func main() {
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	baseline := -1
-	if h, err := serve.FetchHealth(client, *baseURL); err == nil {
+	if h, err := serve.FetchHealth(client, urls[0]); err == nil {
 		baseline = h.Goroutines
 	}
 
@@ -108,10 +116,10 @@ func main() {
 	}
 	if *batch > 0 || *streams > 0 {
 		if *settle {
-			settleCheck(client, *baseURL, baseline, &fail)
+			settleCheck(client, urls[0], baseline, &fail)
 		}
 		if *cluster {
-			clusterCheck(client, *baseURL, *clustMin, &fail)
+			clusterCheck(client, urls, *clustMin, &fail)
 		}
 		if fail {
 			os.Exit(1)
@@ -140,6 +148,9 @@ func main() {
 	} else {
 		rep := serve.RunLoad(cfg)
 		fmt.Println(rep.String())
+		if rep.RouterFailovers > 0 {
+			fmt.Printf("router failovers: %d (over %d urls)\n", rep.RouterFailovers, len(urls))
+		}
 		if *replay != "" {
 			fmt.Printf("replayed %d recorded verdicts, %d divergent\n", rep.Replayed, rep.Divergent)
 			if rep.Replayed == 0 && rep.Completed > 0 {
@@ -151,13 +162,21 @@ func main() {
 			fail = true
 			diagnose(rep)
 		}
+		if *minComp > 0 {
+			frac := float64(rep.Completed) / float64(rep.Offered)
+			fmt.Printf("completion: %d/%d = %.3f (floor %.2f)\n", rep.Completed, rep.Offered, frac, *minComp)
+			if frac < *minComp {
+				fmt.Fprintf(os.Stderr, "ddbload: completion %.3f below -mincomplete %.2f\n", frac, *minComp)
+				fail = true
+			}
+		}
 	}
 
 	if *settle {
-		settleCheck(client, *baseURL, baseline, &fail)
+		settleCheck(client, urls[0], baseline, &fail)
 	}
 	if *cluster {
-		clusterCheck(client, *baseURL, *clustMin, &fail)
+		clusterCheck(client, urls, *clustMin, &fail)
 	}
 
 	if fail {
@@ -165,41 +184,65 @@ func main() {
 	}
 }
 
-// clusterCheck reads a ddbrouter's /healthz stats and enforces the
-// failover-completion contract: at least one failover happened (the
-// caller is expected to have killed a worker mid-load) and the
-// fraction a surviving node answered meets the floor.
-func clusterCheck(client *http.Client, baseURL string, min float64, fail *bool) {
-	resp, err := client.Get(baseURL + "/healthz")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: healthz: %v\n", err)
+// splitList parses a comma-separated flag value, dropping blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// clusterCheck reads each reachable ddbrouter's /healthz stats and
+// enforces the failover-completion contract on the aggregate: at least
+// one failover happened somewhere (the caller is expected to have
+// killed a worker mid-load) and the fraction a surviving node answered
+// meets the floor. Unreachable routers are skipped — killing one is
+// part of the replication scenario — but at least one must respond.
+func clusterCheck(client *http.Client, urls []string, min float64, fail *bool) {
+	var fo, okc int64
+	reachable := 0
+	for _, u := range urls {
+		resp, err := client.Get(u + "/healthz")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbload: clustercheck: %s unreachable (%v), skipping\n", u, err)
+			continue
+		}
+		var h struct {
+			Status string           `json:"status"`
+			Stats  map[string]int64 `json:"stats"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if decErr != nil {
+			fmt.Fprintf(os.Stderr, "ddbload: clustercheck: decode %s healthz: %v\n", u, decErr)
+			*fail = true
+			return
+		}
+		f, isRouter := h.Stats["failovers"]
+		if !isRouter {
+			fmt.Fprintf(os.Stderr, "ddbload: clustercheck: %s healthz has no failover stats (not a ddbrouter?)\n", u)
+			*fail = true
+			return
+		}
+		reachable++
+		fo += f
+		okc += h.Stats["failover_success"]
+	}
+	if reachable == 0 {
+		fmt.Fprintln(os.Stderr, "ddbload: clustercheck: no router reachable")
 		*fail = true
 		return
 	}
-	defer resp.Body.Close()
-	var h struct {
-		Status string           `json:"status"`
-		Stats  map[string]int64 `json:"stats"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: decode healthz: %v\n", err)
-		*fail = true
-		return
-	}
-	fo, isRouter := h.Stats["failovers"]
-	if !isRouter {
-		fmt.Fprintln(os.Stderr, "ddbload: clustercheck: target healthz has no failover stats (not a ddbrouter?)")
-		*fail = true
-		return
-	}
-	okc := h.Stats["failover_success"]
 	if fo == 0 {
 		fmt.Fprintln(os.Stderr, "ddbload: clustercheck: zero failovers recorded; the kill never forced a reroute")
 		*fail = true
 		return
 	}
 	ratio := float64(okc) / float64(fo)
-	fmt.Printf("cluster: failovers=%d completed=%d ratio=%.3f (min %.2f)\n", fo, okc, ratio, min)
+	fmt.Printf("cluster: routers=%d failovers=%d completed=%d ratio=%.3f (min %.2f)\n", reachable, fo, okc, ratio, min)
 	if ratio < min {
 		fmt.Fprintf(os.Stderr, "ddbload: clustercheck: failover completion %.3f below floor %.2f\n", ratio, min)
 		*fail = true

@@ -4,7 +4,14 @@
 // slice), dead or draining workers are failed over with seeded
 // full-jitter backoff, node health is probed continuously, and a
 // graceful worker departure hands its warm state to the ring
-// successors via /v1/cluster/drain before the ring flips.
+// successors via /v1/cluster/drain before the ring flips, and a new
+// worker warm-joins via /v1/cluster/join (its future keyspace slice is
+// prewarmed from the current owners before the ring flips).
+//
+// With -peers, replica routers share one ring by gossiping
+// epoch-tagged membership and node health (/v1/cluster/gossip):
+// monotonic epoch wins, so any replica can orchestrate a join or drain
+// and the others adopt it.
 //
 // The router is stateless: killing and restarting it loses nothing
 // but the node-health counters. Exit is 0 on SIGTERM/SIGINT.
@@ -33,9 +40,11 @@ func main() {
 		failover    = flag.Int("failovermax", 2, "max ring successors a request may fail over to")
 		probe       = flag.Duration("probeinterval", 250*time.Millisecond, "worker health-probe period (also the node_unavailable Retry-After hint)")
 		threshold   = flag.Int("failthreshold", 3, "consecutive failures that mark a worker down until a probe succeeds")
-		seed        = flag.Int64("seed", 1, "failover backoff jitter seed")
+		seed        = flag.Int64("seed", 1, "failover backoff and probe/gossip jitter seed (give each router replica its own)")
 		keyCache    = flag.Int("keycache", 0, "DB-text → route-key LRU entries (0 = default 4096)")
 		reqTimeout  = flag.Duration("requesttimeout", 30*time.Second, "per-attempt forwarding timeout (streams exempt)")
+		peersFlag   = flag.String("peers", "", "comma-separated peer router base URLs for membership/health gossip")
+		gossip      = flag.Duration("gossipinterval", 500*time.Millisecond, "gossip exchange period per peer")
 	)
 	flag.Parse()
 
@@ -60,16 +69,24 @@ func main() {
 		Seed:           *seed,
 		KeyCache:       *keyCache,
 		RequestTimeout: *reqTimeout,
+		GossipInterval: *gossip,
 	}, workers)
 	defer r.Close()
+	npeers := 0
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			r.AddPeer(p)
+			npeers++
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("ddbrouter: listen %s: %v", *addr, err)
 	}
 	hs := &http.Server{Handler: r.Handler()}
-	log.Printf("ddbrouter: listening on http://%s (workers=%d failovermax=%d probe=%s seed=%d)",
-		ln.Addr(), len(workers), *failover, *probe, *seed)
+	log.Printf("ddbrouter: listening on http://%s (workers=%d peers=%d failovermax=%d probe=%s seed=%d)",
+		ln.Addr(), len(workers), npeers, *failover, *probe, *seed)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

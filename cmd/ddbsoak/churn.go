@@ -1,0 +1,147 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"disjunct/internal/cluster"
+	"disjunct/internal/faults"
+	"disjunct/internal/serve"
+)
+
+// runChurnSweep is the membership-churn half of the multi-node soak:
+// where runClusterSweep breaks one node, this sweep changes the member
+// set itself. A seeded ChurnPlan (warm joins, graceful drains, abrupt
+// kills — never dropping below two live members, always at least one
+// join) fires mid-load against an in-process cluster, interleaved with
+// a verified hot-DB load. Every completed verdict is cross-checked
+// against the direct library (Verify), every outcome must be typed,
+// and after the ring stabilizes a final replay must be clean and all
+// goroutines must settle back to baseline.
+func runChurnSweep(seed int64, nodes, requests int, churnFrac float64) bool {
+	events := int(churnFrac * float64(requests))
+	if events < 1 {
+		events = 1
+	}
+	plan := faults.ChurnPlanFor(seed, nodes, requests, events)
+	fmt.Printf("churn: nodes=%d requests=%d events=%d\n", nodes, requests, len(plan))
+	for _, ev := range plan {
+		fmt.Printf("  churn plan: at=%d kind=%s victim=%d\n", ev.At, ev.Kind, ev.Victim)
+	}
+	baseline := runtime.NumGoroutine()
+
+	l := cluster.StartLocal(nodes, serve.Config{
+		MaxConcurrent: 4, Sessions: true, RetryMax: 2,
+	}, cluster.RouterConfig{
+		Seed: seed, ProbeInterval: 25 * time.Millisecond, FailThreshold: 2,
+		GossipInterval: 50 * time.Millisecond,
+	})
+
+	cfg := serve.LoadConfig{
+		BaseURL:  l.URL(),
+		Rate:     400,
+		Requests: requests,
+		Workers:  8,
+		Seed:     seed,
+		MaxAtoms: 6,
+		HotDBs:   6,
+		Verify:   true,
+		Limits:   serve.LimitsJSON{DeadlineMS: 10_000},
+	}
+
+	ok := true
+	phase := func(name string, rep serve.LoadReport) {
+		fmt.Printf("churn %s: %s\n", name, rep.String())
+		if !rep.Clean() {
+			ok = false
+			for _, n := range rep.UntypedNotes {
+				fmt.Printf("  churn %s: untyped outcome: %s\n", name, n)
+			}
+			for _, n := range rep.DivergeNotes {
+				fmt.Printf("  churn %s: verdict divergence: %s\n", name, n)
+			}
+		}
+	}
+
+	// Phase 1: clean warmup, so joins during churn have warm donors.
+	phase("warmup", serve.RunLoad(cfg))
+
+	// Phase 2: the plan fires against the live cluster while a second
+	// verified load runs. The live list mirrors the plan's bookkeeping
+	// exactly: joins append, drains and kills delete in place, so each
+	// event's Victim indexes the same node the plan meant.
+	live := append([]*cluster.LocalWorker(nil), l.Workers[:nodes]...)
+	var notes []string
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		start := time.Now()
+		for _, ev := range plan {
+			due := time.Duration(float64(ev.At) / cfg.Rate * float64(time.Second))
+			if d := due - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			switch ev.Kind {
+			case faults.ChurnJoin:
+				w := l.StartWorker()
+				rep, err := l.Router.JoinNode(context.Background(), w.URL())
+				if err != nil {
+					notes = append(notes, fmt.Sprintf("join at %d: %v", ev.At, err))
+					continue
+				}
+				fmt.Printf("  churn join: node=%s epoch=%d artifacts=%d imported=%d donors=%d\n",
+					w.URL(), rep.Epoch, rep.Artifacts, rep.ImportedArtifacts, len(rep.Donors))
+				live = append(live, w)
+			case faults.ChurnDrain:
+				victim := live[ev.Victim]
+				rep, err := l.Router.DrainNode(context.Background(), victim.URL())
+				if err != nil {
+					notes = append(notes, fmt.Sprintf("drain at %d: %v", ev.At, err))
+					continue
+				}
+				fmt.Printf("  churn drain: node=%s artifacts=%d verdicts=%d\n",
+					rep.Node, rep.Artifacts, rep.Verdicts)
+				victim.Kill()
+				live = append(live[:ev.Victim], live[ev.Victim+1:]...)
+			case faults.ChurnKill:
+				victim := live[ev.Victim]
+				fmt.Printf("  churn kill: node=%s\n", victim.URL())
+				victim.Kill()
+				live = append(live[:ev.Victim], live[ev.Victim+1:]...)
+			}
+		}
+	}()
+	churnCfg := cfg
+	churnCfg.Seed = seed + 1
+	phase("storm", serve.RunLoad(churnCfg))
+	wg.Wait()
+	for _, n := range notes {
+		fmt.Printf("  churn: %s\n", n)
+		ok = false
+	}
+
+	// Phase 3: the ring has stabilized on the post-churn member set; a
+	// full replay must be clean with zero failed routes.
+	postCfg := cfg
+	postCfg.Seed = seed + 2
+	phase("stabilized", serve.RunLoad(postCfg))
+	fmt.Printf("churn: final ring size=%d epoch=%d\n", len(l.Router.Nodes()), l.Router.Epoch())
+
+	// Teardown, then the settle check: joins, drains, kills, and gossip
+	// must all leave nothing running.
+	l.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return ok
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Printf("  churn: goroutine leak — %d running, baseline %d\n",
+		runtime.NumGoroutine(), baseline)
+	return false
+}

@@ -32,11 +32,17 @@
 // and -servefrac are both set, the in-process server also runs with its
 // session layer enabled, so the wire path exercises the warm routes.
 //
+// Setting -churnfrac runs a membership-churn sweep after the soak: a
+// verified load through an in-process cluster while a seeded churn plan
+// (warm joins, graceful drains, abrupt kills) fires mid-load, with every
+// completed verdict cross-checked against the direct library and a
+// goroutine-settle check after the ring stabilizes.
+//
 // Usage:
 //
 //	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N]
 //	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S]
-//	        [-servefrac F] [-sessionfrac F] [-v]
+//	        [-servefrac F] [-sessionfrac F] [-clusternodes N] [-churnfrac F] [-v]
 package main
 
 import (
@@ -86,6 +92,7 @@ func main() {
 	storeDir := flag.String("storedir", "", "back the session manager with a persistent store at this directory and, after the soak, reopen it in a pre-warmed second manager that must replay every recorded verdict identically with zero cold compiles (enables the session checker if -sessionfrac is 0)")
 	clusterNodes := flag.Int("clusternodes", 0, "after the soak, run a verified load through an in-process N-worker cluster with seeded node chaos (kill/partition/slow of a seeded victim mid-load) and a graceful drain handoff; any divergent or untyped outcome fails the run (0 = off)")
 	clusterReqs := flag.Int("clusterreqs", 240, "requests per cluster sweep phase (with -clusternodes)")
+	churnFrac := flag.Float64("churnfrac", 0, "after the soak, run a verified load through an in-process cluster while a seeded membership-churn plan fires mid-load (churnfrac×requests warm joins / graceful drains / abrupt kills); any divergent or untyped outcome or goroutine leak fails the run (0 = off; 3 nodes unless -clusternodes is set)")
 	verbose := flag.Bool("v", false, "log progress every 500 iterations")
 	flag.Parse()
 
@@ -204,6 +211,15 @@ func main() {
 	}
 	if *clusterNodes > 1 {
 		if !runClusterSweep(*seed, *clusterNodes, *clusterReqs) {
+			divergences++
+		}
+	}
+	if *churnFrac > 0 {
+		churnNodes := *clusterNodes
+		if churnNodes < 2 {
+			churnNodes = 3
+		}
+		if !runChurnSweep(*seed, churnNodes, *clusterReqs, *churnFrac) {
 			divergences++
 		}
 	}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestRingChurnProperty interleaves random Add/Remove churn and checks
+// the two placement invariants after every step: (a) a membership
+// change remaps only the keys of the node that joined or left, and
+// (b) when a node leaves, each of its keys lands exactly on the
+// second entry of its pre-removal failover sequence — so failover,
+// drain handoff, and the ring flip all agree on where a key goes.
+func TestRingChurnProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pool := make([]string, 8)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("node-%d", i)
+	}
+	r := NewRing(0)
+	live := map[string]bool{}
+	for _, n := range pool[:4] {
+		r.Add(n)
+		live[n] = true
+	}
+	keys := ringKeys(800)
+
+	ownerSnap := func() map[string]string {
+		m := make(map[string]string, len(keys))
+		for _, k := range keys {
+			m[k] = r.Owner(k)
+		}
+		return m
+	}
+
+	for step := 0; step < 60; step++ {
+		var joined, removed []string
+		for _, n := range pool {
+			if live[n] {
+				removed = append(removed, n)
+			} else {
+				joined = append(joined, n)
+			}
+		}
+		before := ownerSnap()
+		// Removal needs ≥3 live members so Sequence(key, 2) is two
+		// distinct nodes; otherwise (or on a coin flip) join.
+		if len(removed) > 2 && len(joined) > 0 && rng.Intn(2) == 0 || len(joined) == 0 {
+			victim := removed[rng.Intn(len(removed))]
+			succ := map[string]string{}
+			for _, k := range keys {
+				if before[k] == victim {
+					seq := r.Sequence(k, 2)
+					if len(seq) != 2 || seq[0] != victim {
+						t.Fatalf("step %d: Sequence(%q, 2) = %v with owner %s", step, k, seq, victim)
+					}
+					succ[k] = seq[1]
+				}
+			}
+			r.Remove(victim)
+			delete(live, victim)
+			for _, k := range keys {
+				after := r.Owner(k)
+				switch {
+				case before[k] == victim:
+					if after != succ[k] {
+						t.Fatalf("step %d: key %q left %s for %s, want sequence successor %s",
+							step, k, victim, after, succ[k])
+					}
+				case after != before[k]:
+					t.Fatalf("step %d: key %q moved %s → %s when unrelated %s left",
+						step, k, before[k], after, victim)
+				}
+			}
+		} else {
+			newcomer := joined[rng.Intn(len(joined))]
+			r.Add(newcomer)
+			live[newcomer] = true
+			for _, k := range keys {
+				if after := r.Owner(k); after != before[k] && after != newcomer {
+					t.Fatalf("step %d: key %q moved %s → %s when %s joined",
+						step, k, before[k], after, newcomer)
+				}
+			}
+		}
+	}
+}
+
+// TestMembershipMergeSemilattice pins the algebra convergence rests on:
+// Merge is commutative, associative, and idempotent, and higher epoch
+// always wins with the hash as the same-epoch tie-break.
+func TestMembershipMergeSemilattice(t *testing.T) {
+	states := []Membership{
+		{Epoch: 1, Members: []string{"a", "b", "c"}},
+		{Epoch: 2, Members: []string{"a", "b"}},
+		{Epoch: 3, Members: []string{"a", "b", "d"}},
+		{Epoch: 3, Members: []string{"a", "b", "e"}}, // concurrent same-epoch proposal
+		{Epoch: 4, Members: []string{"a", "b", "d", "e"}},
+	}
+	eq := func(x, y Membership) bool {
+		return x.Epoch == y.Epoch && x.Hash() == y.Hash()
+	}
+	for _, a := range states {
+		if !eq(Merge(a, a), a.normalize()) {
+			t.Fatalf("Merge not idempotent on %+v", a)
+		}
+		for _, b := range states {
+			ab, ba := Merge(a, b), Merge(b, a)
+			if !eq(ab, ba) {
+				t.Fatalf("Merge not commutative: %+v vs %+v", ab, ba)
+			}
+			for _, c := range states {
+				if !eq(Merge(Merge(a, b), c), Merge(a, Merge(b, c))) {
+					t.Fatalf("Merge not associative on (%+v, %+v, %+v)", a, b, c)
+				}
+			}
+		}
+	}
+	if got := Merge(states[0], states[1]); got.Epoch != 2 {
+		t.Fatalf("epoch 2 should beat epoch 1, got %+v", got)
+	}
+	// The same-epoch pair resolves the same way from both sides and the
+	// winner is one of the inputs verbatim, never a blend.
+	w := Merge(states[2], states[3])
+	if !eq(w, states[2].normalize()) && !eq(w, states[3].normalize()) {
+		t.Fatalf("same-epoch merge invented a member set: %+v", w)
+	}
+}
+
+// TestMembershipConvergesAnyOrder replays one mutation history to a
+// fleet of fold states in many random delivery orders, with random
+// duplication, and requires every fold to end at the same membership —
+// the convergence property replicated routers rely on in place of
+// consensus.
+func TestMembershipConvergesAnyOrder(t *testing.T) {
+	history := []Membership{
+		{Epoch: 1, Members: []string{"w1"}},
+		{Epoch: 2, Members: []string{"w1", "w2"}},
+		{Epoch: 3, Members: []string{"w1", "w2", "w3"}},
+		{Epoch: 4, Members: []string{"w2", "w3"}},
+		{Epoch: 4, Members: []string{"w1", "w3"}}, // concurrent with the drain above
+		{Epoch: 5, Members: []string{"w2", "w3", "w4"}},
+	}
+	rng := rand.New(rand.NewSource(7))
+	var want Membership
+	for trial := 0; trial < 50; trial++ {
+		msgs := append([]Membership(nil), history...)
+		rng.Shuffle(len(msgs), func(i, j int) { msgs[i], msgs[j] = msgs[j], msgs[i] })
+		acc := msgs[0]
+		for _, m := range msgs[1:] {
+			acc = Merge(acc, m)
+			if rng.Intn(3) == 0 { // duplicated delivery
+				acc = Merge(acc, m)
+			}
+		}
+		if trial == 0 {
+			want = acc
+			continue
+		}
+		if acc.Epoch != want.Epoch || acc.Hash() != want.Hash() {
+			t.Fatalf("trial %d converged to %+v, trial 0 to %+v", trial, acc, want)
+		}
+	}
+	if want.Epoch != 5 {
+		t.Fatalf("converged epoch = %d, want 5", want.Epoch)
+	}
+}
+
+// TestRouterAdoptConvergesAnyOrder applies the same gossip replay at
+// the router level: three routers with large probe/gossip intervals
+// (so nothing fires mid-test) adopt a shuffled, duplicated message
+// stream and must end with identical epoch-tagged rings, each reached
+// via diff updates that never disturbed an unaffected node's keys.
+func TestRouterAdoptConvergesAnyOrder(t *testing.T) {
+	quiet := RouterConfig{ProbeInterval: time.Hour, GossipInterval: time.Hour, Seed: 5}
+	msgs := []Membership{
+		{Epoch: 4, Members: []string{"http://w1", "http://w2", "http://w3"}},
+		{Epoch: 5, Members: []string{"http://w1", "http://w3"}},
+		{Epoch: 6, Members: []string{"http://w1", "http://w3", "http://w4"}},
+	}
+	rng := rand.New(rand.NewSource(3))
+	var routers []*Router
+	for i := 0; i < 3; i++ {
+		r := NewRouter(quiet, []string{"http://w0"})
+		defer r.Close()
+		routers = append(routers, r)
+		order := rng.Perm(len(msgs))
+		for _, j := range order {
+			r.adoptMembership(msgs[j])
+			r.adoptMembership(msgs[j]) // duplicated delivery is a no-op
+		}
+	}
+	want := routers[0].membership()
+	if want.Epoch != 6 {
+		t.Fatalf("router converged to epoch %d, want 6", want.Epoch)
+	}
+	for i, r := range routers[1:] {
+		got := r.membership()
+		if got.Epoch != want.Epoch || got.Hash() != want.Hash() {
+			t.Fatalf("router %d at %+v, router 0 at %+v", i+1, got, want)
+		}
+	}
+	// A stale message must not regress an adopted state.
+	routers[0].adoptMembership(msgs[0])
+	if got := routers[0].membership(); got.Epoch != 6 {
+		t.Fatalf("stale epoch-4 gossip regressed the ring to %+v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"disjunct/internal/serve"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+// TestProbeDelayDesync is the jitter contract: every delay falls in
+// [interval/2, 3·interval/2), the schedule is deterministic per seed,
+// and two routers with different seeds draw schedules that disagree on
+// most rounds — so replica probes (and gossip ticks) never lock into
+// synchronized thundering herds against the same worker.
+func TestProbeDelayDesync(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	const rounds = 64
+	differ := 0
+	for round := uint64(0); round < rounds; round++ {
+		d1 := ProbeDelay(1, "http://w1", round, interval)
+		d2 := ProbeDelay(2, "http://w1", round, interval)
+		for _, d := range []time.Duration{d1, d2} {
+			if d < interval/2 || d >= interval+interval/2 {
+				t.Fatalf("round %d: delay %v outside [%v, %v)", round, d, interval/2, interval+interval/2)
+			}
+		}
+		if d1 != ProbeDelay(1, "http://w1", round, interval) {
+			t.Fatalf("round %d: ProbeDelay not deterministic for a fixed seed", round)
+		}
+		if d1 != d2 {
+			differ++
+		}
+	}
+	if differ < rounds/2 {
+		t.Fatalf("seeds 1 and 2 agree on %d of %d rounds — schedules not decorrelated", rounds-differ, rounds)
+	}
+	// Different nodes under one seed must also desynchronize, or one
+	// router would probe its whole fleet in lockstep.
+	if ProbeDelay(1, "http://w1", 0, interval) == ProbeDelay(1, "http://w2", 0, interval) &&
+		ProbeDelay(1, "http://w1", 1, interval) == ProbeDelay(1, "http://w2", 1, interval) {
+		t.Fatal("per-node schedules identical across nodes for the same seed")
+	}
+}
+
+// TestGossipReplicatedRing drives the live replication path: a primary
+// and a replica router (different seeds, one-sided peering) share one
+// ring; a drain orchestrated on the primary and a warm join
+// orchestrated on the replica must each propagate to the other side,
+// ending with identical epoch-tagged member sets on both.
+func TestGossipReplicatedRing(t *testing.T) {
+	cfg := fastProbe(RouterConfig{Seed: 31, GossipInterval: 50 * time.Millisecond})
+	l := StartLocal(3, serve.Config{Sessions: true}, cfg)
+	defer l.Close()
+	peer, _ := l.AddRouterPeer(fastProbe(RouterConfig{Seed: 32, GossipInterval: 50 * time.Millisecond}))
+
+	sameRing := func() bool {
+		a, b := l.Router.membership(), peer.membership()
+		return a.Epoch == b.Epoch && a.Hash() == b.Hash()
+	}
+	await := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: primary=%+v replica=%+v", what, l.Router.membership(), peer.membership())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	await("initial rings never converged", sameRing)
+
+	// Drain on the primary: the eager post-mutation gossip should carry
+	// the flip to the replica well within the wait budget.
+	victim := l.Workers[0]
+	if _, err := l.Router.DrainNode(drainCtx(), victim.URL()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	await("drain never reached the replica", func() bool {
+		return peer.ring.Size() == 2 && sameRing()
+	})
+
+	// Warm join orchestrated on the REPLICA — any router may mutate the
+	// membership; the primary must adopt the higher epoch.
+	w := l.StartWorker()
+	rep, err := peer.JoinNode(context.Background(), w.URL())
+	if err != nil {
+		t.Fatalf("join via replica: %v", err)
+	}
+	if rep.State != JoinStateFlipped {
+		t.Fatalf("join state = %q, want %q", rep.State, JoinStateFlipped)
+	}
+	await("join never reached the primary", func() bool {
+		return l.Router.ring.Size() == 3 && sameRing()
+	})
+	found := false
+	for _, m := range l.Router.Nodes() {
+		if m == w.URL() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("primary members %v lack the joined node %s", l.Router.Nodes(), w.URL())
+	}
+	if g := l.Router.health().Stats["gossip_received"] + l.Router.health().Stats["gossip_sent"]; g == 0 {
+		t.Fatal("no gossip exchanges recorded on the primary")
+	}
+}
+
+// TestGossipFirsthandBeatsSecondhand pins the health-hint precedence:
+// a gossiped hint fills in state for a node this router has never
+// probed, but once a firsthand probe has run, later hints are ignored.
+func TestGossipFirsthandBeatsSecondhand(t *testing.T) {
+	s := serve.New(serve.Config{})
+	defer s.Drain(drainCtx())
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Quiet intervals: no probe or gossip tick fires during the test.
+	r := NewRouter(RouterConfig{ProbeInterval: time.Hour, GossipInterval: time.Hour, Seed: 9}, []string{hs.URL})
+	defer r.Close()
+
+	hint := GossipState{
+		Epoch:   r.Epoch(),
+		Members: r.Nodes(),
+		Health:  map[string]NodeGossip{hs.URL: {Down: true, OpenBreakers: []string{"GCWA"}}},
+	}
+	r.mergeGossip(hint)
+	nh := r.health().Nodes[hs.URL]
+	if nh.Up || nh.Probed {
+		t.Fatalf("secondhand hint not applied to unprobed node: %+v", nh)
+	}
+	if len(nh.OpenBreakers) != 1 || nh.OpenBreakers[0] != "GCWA" {
+		t.Fatalf("secondhand breaker hint lost: %+v", nh)
+	}
+
+	// Firsthand probe: the live worker answers, the node recovers, and
+	// the stale hint can no longer downgrade it.
+	r.probeOne(r.node(hs.URL))
+	nh = r.health().Nodes[hs.URL]
+	if !nh.Up || !nh.Probed || len(nh.OpenBreakers) != 0 {
+		t.Fatalf("probe did not restore firsthand state: %+v", nh)
+	}
+	r.mergeGossip(hint)
+	if nh = r.health().Nodes[hs.URL]; !nh.Up {
+		t.Fatal("secondhand gossip overrode a firsthand probe")
+	}
+
+	// Only firsthand knowledge is gossiped out: the snapshot must list
+	// the probed node and nothing speculative.
+	gs := r.gossipState()
+	if _, ok := gs.Health[hs.URL]; !ok {
+		t.Fatalf("probed node missing from outgoing gossip: %+v", gs.Health)
+	}
+}

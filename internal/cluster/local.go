@@ -21,6 +21,13 @@ type Local struct {
 	RSrv    *httptest.Server
 	Workers []*LocalWorker
 	Chaos   *ChaosTransport
+
+	// PeerRouters are replica routers added by AddRouterPeer, gossiping
+	// with the primary.
+	PeerRouters []*Router
+	PeerSrvs    []*httptest.Server
+
+	workerCfg serve.Config
 }
 
 // LocalWorker pairs one serve.Server with its listener.
@@ -46,7 +53,7 @@ func (w *LocalWorker) Kill() {
 // serve.Server from workerCfg (sessions on unless the caller disabled
 // them explicitly alongside a store). Close tears everything down.
 func StartLocal(n int, workerCfg serve.Config, routerCfg RouterConfig) *Local {
-	l := &Local{}
+	l := &Local{workerCfg: workerCfg}
 	var urls []string
 	for i := 0; i < n; i++ {
 		s := serve.New(workerCfg)
@@ -64,8 +71,41 @@ func StartLocal(n int, workerCfg serve.Config, routerCfg RouterConfig) *Local {
 // URL returns the router's base URL — point any load at it.
 func (l *Local) URL() string { return l.RSrv.URL }
 
-// Close drains every still-running worker and stops the router.
+// StartWorker brings up a fresh worker process (listener + server)
+// WITHOUT adding it to the ring — the raw material for a warm join.
+func (l *Local) StartWorker() *LocalWorker {
+	s := serve.New(l.workerCfg)
+	hs := httptest.NewServer(s.Handler())
+	w := &LocalWorker{Srv: s, HTTP: hs}
+	l.Workers = append(l.Workers, w)
+	return w
+}
+
+// AddRouterPeer brings up a replica router over the same worker set,
+// peered one-sidedly with the primary (push-pull gossip makes one side
+// enough). It returns the replica; its listener is tracked for Close.
+func (l *Local) AddRouterPeer(routerCfg RouterConfig) (*Router, *httptest.Server) {
+	routerCfg.Transport = l.Chaos
+	peer := NewRouter(routerCfg, l.Router.Nodes())
+	ps := httptest.NewServer(peer.Handler())
+	peer.AddPeer(l.RSrv.URL)
+	l.Router.AddPeer(ps.URL)
+	l.PeerRouters = append(l.PeerRouters, peer)
+	l.PeerSrvs = append(l.PeerSrvs, ps)
+	return peer, ps
+}
+
+// Close drains every still-running worker and stops the routers.
 func (l *Local) Close() {
+	for _, ps := range l.PeerSrvs {
+		func() {
+			defer func() { recover() }()
+			ps.Close()
+		}()
+	}
+	for _, pr := range l.PeerRouters {
+		pr.Close()
+	}
 	l.RSrv.Close()
 	l.Router.Close()
 	for _, w := range l.Workers {

@@ -1,0 +1,68 @@
+package cluster
+
+import "sort"
+
+// Membership is an epoch-tagged snapshot of the cluster's member set —
+// the unit of agreement between replicated routers. Epochs are bumped
+// by whichever router performs a membership mutation (join, drain,
+// remove); gossip then carries the tagged set to the peers.
+//
+// Convergence does not need a consensus protocol because the merge is
+// a join-semilattice: Merge picks the maximum by (Epoch, Hash), which
+// is commutative, associative, and idempotent — so any set of routers
+// replaying any interleaving of the same gossip messages, in any
+// delivery order and with any duplication, ends at the same Membership.
+// The Hash tie-break only matters when two routers mutate concurrently
+// at the same epoch; one side deterministically wins and the loser's
+// mutation is re-applied by its operator or by probe-driven discovery,
+// never silently merged into a set nobody proposed.
+type Membership struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"` // sorted base URLs
+}
+
+// normalize sorts and dedups the member list so equal sets hash equal.
+func (m Membership) normalize() Membership {
+	out := make([]string, 0, len(m.Members))
+	seen := make(map[string]bool, len(m.Members))
+	for _, x := range m.Members {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	m.Members = out
+	return m
+}
+
+// Hash is a canonical digest of the member set (epoch excluded): the
+// deterministic tie-break for concurrent same-epoch proposals.
+func (m Membership) Hash() uint64 {
+	m = m.normalize()
+	h := uint64(14695981039346656037)
+	for _, member := range m.Members {
+		h ^= fnv64a(member)
+		h = splitmix64(h)
+	}
+	return h
+}
+
+// Beats reports whether m supersedes other under the total order
+// (Epoch, Hash). Equal epoch and equal hash is the same set; neither
+// beats the other and a merge keeps what it has.
+func (m Membership) Beats(other Membership) bool {
+	if m.Epoch != other.Epoch {
+		return m.Epoch > other.Epoch
+	}
+	return m.Hash() > other.Hash()
+}
+
+// Merge returns the winner of the two snapshots. The result is one of
+// the inputs verbatim — merge never invents a blended member set.
+func Merge(a, b Membership) Membership {
+	if b.Beats(a) {
+		return b.normalize()
+	}
+	return a.normalize()
+}

@@ -20,30 +20,17 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"disjunct/internal/keyspace"
 )
 
-// fnv64a is FNV-1a; the ring needs a hash that is stable across
-// processes (Go's map iteration or maphash seeds would not be), cheap,
-// and well-distributed once spread through splitmix64.
-func fnv64a(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-// splitmix64 finishes the avalanche; FNV alone clusters similar keys.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
-// hashKey places a routing key on the circle.
-func hashKey(key string) uint64 { return splitmix64(fnv64a(key)) }
+// The ring's placement function lives in internal/keyspace so the
+// serve layer's handoff slicing and the join orchestration agree
+// byte-for-byte on where a key lives. These aliases keep the call
+// sites short.
+func fnv64a(s string) uint64     { return keyspace.FNV64a(s) }
+func splitmix64(x uint64) uint64 { return keyspace.Splitmix64(x) }
+func hashKey(key string) uint64  { return keyspace.HashKey(key) }
 
 // Ring is a consistent-hash ring with virtual nodes. Membership
 // changes remap only the slice of the keyspace owned by the node that
@@ -79,12 +66,14 @@ func NewRing(replicas int) *Ring {
 	return &Ring{replicas: replicas, members: map[string]bool{}}
 }
 
-// Add inserts a member (idempotent).
-func (r *Ring) Add(node string) {
+// Add inserts a member (idempotent); it reports whether the
+// membership actually changed, so callers can bump the epoch exactly
+// when the ring did.
+func (r *Ring) Add(node string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.members[node] {
-		return
+		return false
 	}
 	r.members[node] = true
 	for i := 0; i < r.replicas; i++ {
@@ -94,15 +83,17 @@ func (r *Ring) Add(node string) {
 		})
 	}
 	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return true
 }
 
-// Remove deletes a member (idempotent). Keys it owned flow to their
-// ring successors; every other key keeps its owner.
-func (r *Ring) Remove(node string) {
+// Remove deletes a member (idempotent), reporting whether it was
+// present. Keys it owned flow to their ring successors; every other
+// key keeps its owner.
+func (r *Ring) Remove(node string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if !r.members[node] {
-		return
+		return false
 	}
 	delete(r.members, node)
 	kept := r.points[:0]
@@ -112,6 +103,83 @@ func (r *Ring) Remove(node string) {
 		}
 	}
 	r.points = kept
+	return true
+}
+
+// SetMembers replaces the membership wholesale with a diff update:
+// members present in both sets keep their existing virtual nodes
+// (their keys never remap), so adopting a gossiped membership disturbs
+// exactly the keys of the nodes that actually joined or left.
+func (r *Ring) SetMembers(members []string) {
+	want := make(map[string]bool, len(members))
+	for _, m := range members {
+		want[m] = true
+	}
+	r.mu.Lock()
+	changed := false
+	for m := range r.members {
+		if !want[m] {
+			delete(r.members, m)
+			changed = true
+			kept := r.points[:0]
+			for _, p := range r.points {
+				if p.node != m {
+					kept = append(kept, p)
+				}
+			}
+			r.points = kept
+		}
+	}
+	for m := range want {
+		if !r.members[m] {
+			r.members[m] = true
+			changed = true
+			for i := 0; i < r.replicas; i++ {
+				r.points = append(r.points, ringPoint{
+					hash: splitmix64(fnv64a(fmt.Sprintf("%s#%d", m, i))),
+					node: m,
+				})
+			}
+		}
+	}
+	if changed {
+		sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	}
+	r.mu.Unlock()
+}
+
+// OwnedRanges returns the keyspace slice a member owns on this ring:
+// for each of its virtual nodes, the arc from the previous ring point
+// (exclusive) to the virtual node's hash (inclusive) — exactly the
+// keys whose clockwise successor point belongs to the member. A
+// single-member ring owns the full circle; an unknown member owns
+// nothing.
+func (r *Ring) OwnedRanges(node string) keyspace.Ranges {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.members[node] || len(r.points) == 0 {
+		return nil
+	}
+	if len(r.members) == 1 {
+		// All points belong to the node; any single point's arc "from
+		// itself all the way around" is the full circle.
+		h := r.points[0].hash
+		return keyspace.Ranges{{Lo: h, Hi: h}}
+	}
+	var rs keyspace.Ranges
+	for i, p := range r.points {
+		if p.node != node {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)]
+		if prev.hash == p.hash {
+			// Colliding adjacent points: the arc is zero-width, but
+			// Lo == Hi would read as the full circle. Skip it.
+			continue
+		}
+		rs = append(rs, keyspace.Range{Lo: prev.hash, Hi: p.hash})
+	}
+	return rs
 }
 
 // Members returns the current membership, sorted.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -38,9 +39,15 @@ type RouterConfig struct {
 	// FailThreshold is how many consecutive request/probe failures mark
 	// a node down until a probe succeeds again (default 3).
 	FailThreshold int
-	// Seed feeds the full-jitter backoff between failover attempts, so
-	// a failover storm after a node kill decorrelates deterministically.
+	// Seed feeds the full-jitter backoff between failover attempts and
+	// the per-node probe/gossip schedules, so a failover storm after a
+	// node kill decorrelates deterministically and two routers with
+	// different seeds never probe in lockstep.
 	Seed int64
+	// GossipInterval is the period of the membership/health gossip
+	// exchange with each peer router (default 500ms). Irrelevant with
+	// no peers.
+	GossipInterval time.Duration
 	// KeyCache bounds the DB-text → route-key LRU (default 4096).
 	KeyCache int
 	// Transport overrides the HTTP transport to the workers — the
@@ -62,6 +69,9 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.ProbeInterval <= 0 {
 		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = 500 * time.Millisecond
 	}
 	if c.FailThreshold <= 0 {
 		c.FailThreshold = 3
@@ -86,6 +96,45 @@ type node struct {
 	down     atomic.Bool
 	draining atomic.Bool
 	fails    atomic.Int32 // consecutive failures toward FailThreshold
+	// probed flips true after the first firsthand probe of this node.
+	// Until then, gossip from a peer router may fill in down/draining/
+	// breaker state; once we have probed ourselves, firsthand knowledge
+	// always wins over secondhand gossip.
+	probed atomic.Bool
+
+	bkMu         sync.Mutex
+	openBreakers map[string]bool // semantics → breaker currently open
+}
+
+// setOpenBreakers replaces the node's known-open breaker set.
+func (n *node) setOpenBreakers(open map[string]bool) {
+	n.bkMu.Lock()
+	n.openBreakers = open
+	n.bkMu.Unlock()
+}
+
+// breakerOpen reports whether the node's breaker for a semantics is
+// known open. Unknown semantics (or no probe data yet) reads closed —
+// breaker routing is an optimization hint, never a reason to shed.
+func (n *node) breakerOpen(sem string) bool {
+	if sem == "" {
+		return false
+	}
+	n.bkMu.Lock()
+	defer n.bkMu.Unlock()
+	return n.openBreakers[sem]
+}
+
+// openBreakerList returns the sorted open-breaker semantics names.
+func (n *node) openBreakerList() []string {
+	n.bkMu.Lock()
+	out := make([]string, 0, len(n.openBreakers))
+	for sem := range n.openBreakers {
+		out = append(out, sem)
+	}
+	n.bkMu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // routerStats are the monotonic counters surfaced by the router's
@@ -102,6 +151,13 @@ type routerStats struct {
 	keyMisses       atomic.Int64
 	handoffArts     atomic.Int64 // artifacts moved by drain handoffs
 	handoffVerds    atomic.Int64 // verdicts moved by drain handoffs
+	breakerRouted   atomic.Int64 // requests routed around an open breaker
+	gossipSent      atomic.Int64 // gossip exchanges initiated
+	gossipRecv      atomic.Int64 // gossip messages received
+	gossipAdopted   atomic.Int64 // membership adoptions from gossip
+	joins           atomic.Int64 // warm joins completed
+	joinArts        atomic.Int64 // artifacts shipped to joining nodes
+	joinVerds       atomic.Int64 // verdicts shipped to joining nodes
 }
 
 // Router is the stateless cluster front: it owns the ring, the node
@@ -115,6 +171,15 @@ type Router struct {
 
 	nodeMu sync.RWMutex
 	nodes  map[string]*node
+
+	// memberMu serializes membership mutations so the (epoch, member
+	// set) pair every gossip message carries is always a snapshot some
+	// mutation actually produced — never a torn read mid-flip.
+	memberMu sync.Mutex
+	epoch    atomic.Uint64
+
+	peerMu sync.RWMutex
+	peers  []string // peer router base URLs
 
 	keyMu   sync.Mutex
 	keyLRU  *list.List               // front = most recent; values are *keyEntry
@@ -155,10 +220,12 @@ func NewRouter(cfg RouterConfig, workers []string) *Router {
 	r.mux.HandleFunc("POST /v1/models/stream", r.forwardStream)
 	r.mux.HandleFunc("GET /v1/semantics", r.forwardAny)
 	r.mux.HandleFunc("POST /v1/cluster/drain", r.handleDrain)
+	r.mux.HandleFunc("POST /v1/cluster/join", r.handleJoin)
+	r.mux.HandleFunc("POST /v1/cluster/gossip", r.handleGossip)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /readyz", r.handleReadyz)
 	r.probeWG.Add(1)
-	go r.probeLoop()
+	go r.gossipLoop()
 	return r
 }
 
@@ -171,25 +238,117 @@ func (r *Router) Close() {
 	r.probeWG.Wait()
 }
 
-// AddNode inserts a worker (base URL) into the ring and health set.
+// AddNode inserts a worker (base URL) into the ring and health set,
+// bumping the membership epoch when the ring actually changed.
 func (r *Router) AddNode(baseURL string) {
 	name := strings.TrimSuffix(baseURL, "/")
+	r.memberMu.Lock()
 	r.nodeMu.Lock()
-	if _, ok := r.nodes[name]; !ok {
-		r.nodes[name] = &node{name: name, url: name}
+	n, existed := r.nodes[name]
+	if !existed {
+		n = &node{name: name, url: name}
+		r.nodes[name] = n
 	}
 	r.nodeMu.Unlock()
-	r.ring.Add(name)
+	if r.ring.Add(name) {
+		r.epoch.Add(1)
+	}
+	r.memberMu.Unlock()
+	if !existed {
+		r.startProbe(n)
+	}
 }
 
 // RemoveNode drops a worker abruptly — no handoff. Use DrainNode for
 // the graceful path.
 func (r *Router) RemoveNode(baseURL string) {
 	name := strings.TrimSuffix(baseURL, "/")
-	r.ring.Remove(name)
+	r.memberMu.Lock()
+	if r.ring.Remove(name) {
+		r.epoch.Add(1)
+	}
 	r.nodeMu.Lock()
 	delete(r.nodes, name)
 	r.nodeMu.Unlock()
+	r.memberMu.Unlock()
+}
+
+// Epoch reports the current membership epoch.
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// membership snapshots the epoch-tagged member set under the mutation
+// lock, so the pair is always consistent.
+func (r *Router) membership() Membership {
+	r.memberMu.Lock()
+	m := Membership{Epoch: r.epoch.Load(), Members: r.ring.Members()}
+	r.memberMu.Unlock()
+	return m
+}
+
+// adoptMembership installs a gossiped membership if it beats the local
+// one under the (epoch, hash) order, diff-updating the ring (only
+// joined/left nodes' keys remap) and the node health set. Reports
+// whether an adoption happened.
+func (r *Router) adoptMembership(in Membership) bool {
+	in = in.normalize()
+	r.memberMu.Lock()
+	cur := Membership{Epoch: r.epoch.Load(), Members: r.ring.Members()}
+	if !in.Beats(cur) {
+		r.memberMu.Unlock()
+		return false
+	}
+	want := make(map[string]bool, len(in.Members))
+	for _, m := range in.Members {
+		want[m] = true
+	}
+	var added []*node
+	r.nodeMu.Lock()
+	for name := range r.nodes {
+		if !want[name] {
+			delete(r.nodes, name)
+		}
+	}
+	for _, m := range in.Members {
+		if _, ok := r.nodes[m]; !ok {
+			n := &node{name: m, url: m}
+			r.nodes[m] = n
+			added = append(added, n)
+		}
+	}
+	r.nodeMu.Unlock()
+	r.ring.SetMembers(in.Members)
+	r.epoch.Store(in.Epoch)
+	r.memberMu.Unlock()
+	r.stats.gossipAdopted.Add(1)
+	for _, n := range added {
+		r.startProbe(n)
+	}
+	return true
+}
+
+// AddPeer registers a peer router for membership/health gossip.
+// One-sided peering suffices for convergence: each exchange is
+// push-pull (we send our state, the reply carries theirs), so the peer
+// need not list us back.
+func (r *Router) AddPeer(baseURL string) {
+	name := strings.TrimSuffix(baseURL, "/")
+	r.peerMu.Lock()
+	for _, p := range r.peers {
+		if p == name {
+			r.peerMu.Unlock()
+			return
+		}
+	}
+	r.peers = append(r.peers, name)
+	r.peerMu.Unlock()
+}
+
+// Peers lists the gossip peers.
+func (r *Router) Peers() []string {
+	r.peerMu.RLock()
+	out := append([]string(nil), r.peers...)
+	r.peerMu.RUnlock()
+	return out
 }
 
 // Nodes lists the current members, sorted.
@@ -219,57 +378,106 @@ func (r *Router) recover(n *node) {
 	n.down.Store(false)
 }
 
-// probeLoop is the probe-driven half-open mechanism at node level:
-// a downed node takes no traffic until a /readyz probe succeeds, at
-// which point it is instantly fully restored. The probe interval is
-// therefore the honest Retry-After hint for node_unavailable sheds.
-func (r *Router) probeLoop() {
-	defer r.probeWG.Done()
-	t := time.NewTicker(r.cfg.ProbeInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-r.stopped:
-			return
-		case <-t.C:
-		}
-		r.nodeMu.RLock()
-		nodes := make([]*node, 0, len(r.nodes))
-		for _, n := range r.nodes {
-			nodes = append(nodes, n)
-		}
-		r.nodeMu.RUnlock()
-		for _, n := range nodes {
-			r.probeOne(n)
-		}
-	}
+// ProbeDelay is the seeded jittered delay before probe `round` of
+// `node`: uniform in [interval/2, 3·interval/2), drawn from a
+// splitmix64 stream keyed by (seed, node, round). The full-jitter
+// discipline matches internal/faults — deterministic for a given seed,
+// decorrelated across seeds — so two routers with different seeds (or
+// one router's probes of different nodes) never fall into lockstep
+// after a partition heals. Exported for the desynchronization test.
+func ProbeDelay(seed int64, node string, round uint64, interval time.Duration) time.Duration {
+	h := splitmix64(uint64(seed) ^ fnv64a(node) ^ splitmix64(round+0x632be59bd9b4e019))
+	frac := float64(h>>11) / float64(1<<53) // uniform [0,1)
+	return interval/2 + time.Duration(frac*float64(interval))
 }
 
+// startProbe spawns the per-node probe schedule. The goroutine exits
+// when the router stops or the node is removed (or replaced) in the
+// health set — a stale goroutine never probes on behalf of a new
+// registration.
+func (r *Router) startProbe(n *node) {
+	r.probeWG.Add(1)
+	go func() {
+		defer r.probeWG.Done()
+		t := time.NewTimer(0)
+		if !t.Stop() {
+			<-t.C
+		}
+		for round := uint64(0); ; round++ {
+			t.Reset(ProbeDelay(r.cfg.Seed, n.name, round, r.cfg.ProbeInterval))
+			select {
+			case <-r.stopped:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if r.node(n.name) != n {
+				return
+			}
+			r.probeOne(n)
+		}
+	}()
+}
+
+// probeOne is the probe-driven half-open mechanism at node level: a
+// downed node takes no traffic until a probe succeeds, at which point
+// it is instantly fully restored. The probe interval is therefore the
+// honest Retry-After hint for node_unavailable sheds. Probing GET
+// /healthz (not /readyz) gets liveness and the per-semantics breaker
+// states in one round trip: the healthz Status field distinguishes
+// "ok" from "draining" and "prewarming", and the breakers map feeds
+// breaker-aware routing.
 func (r *Router) probeOne(n *node) {
 	r.stats.probes.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeInterval)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/healthz", nil)
 	if err != nil {
 		return
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
+		n.probed.Store(true)
 		n.draining.Store(false)
 		r.fail(n)
 		return
 	}
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	var h struct {
+		Status   string `json:"status"`
+		Breakers map[string]struct {
+			State string `json:"state"`
+		} `json:"breakers"`
+	}
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h)
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
+	n.probed.Store(true)
+	if resp.StatusCode != http.StatusOK || decErr != nil {
 		n.draining.Store(false)
-		r.recover(n)
+		r.fail(n)
 		return
 	}
-	// A draining worker is alive but must take no new traffic; track
-	// the distinction for /healthz, route around it either way.
-	n.draining.Store(bytes.Contains(body, []byte(serve.ShedDraining)))
-	r.fail(n)
+	open := map[string]bool{}
+	for sem, b := range h.Breakers {
+		if b.State == "open" {
+			open[sem] = true
+		}
+	}
+	n.setOpenBreakers(open)
+	switch h.Status {
+	case "ok":
+		n.draining.Store(false)
+		r.recover(n)
+	case serve.ShedDraining:
+		// Alive but must take no new traffic; track the distinction for
+		// /healthz, route around it either way.
+		n.draining.Store(true)
+		r.fail(n)
+	default:
+		// "prewarming" (or any future not-ready state): alive, not
+		// serving yet.
+		n.draining.Store(false)
+		r.fail(n)
+	}
 }
 
 // routeKey maps a request's database text to its routing key: the raw
@@ -311,9 +519,13 @@ func (r *Router) routeKey(text string) string {
 	return key
 }
 
-// dbBody is the one field the router needs from any query body.
+// dbBody is what the router needs from any query body: the database
+// text for routing, and the semantics name for breaker-aware candidate
+// ordering. For batch bodies Semantics is the batch default — per-query
+// overrides stay the worker's business.
 type dbBody struct {
-	DB string `json:"db"`
+	DB        string `json:"db"`
+	Semantics string `json:"semantics"`
 }
 
 // readBody buffers the request body once so failover can replay it.
@@ -346,6 +558,37 @@ func writeError(w http.ResponseWriter, status int, resp serve.ErrorResponse) {
 // followed by up to FailoverMax distinct ring successors.
 func (r *Router) candidates(key string) []string {
 	return r.ring.Sequence(key, 1+r.cfg.FailoverMax)
+}
+
+// breakerReorder stably partitions a candidate sequence for one
+// (key, semantics) pair: nodes whose breaker for that semantics is
+// known open move to the back, so the request lands on a worker that
+// will actually attempt it instead of burning a failover hop on a
+// guaranteed breaker_open 503. Open-breaker nodes stay in the sequence
+// as a last resort — stale breaker gossip must never shed a request on
+// its own; if every candidate's breaker is open, the owner's own typed
+// breaker_open refusal (with its Retry-After) reaches the client
+// verbatim, exactly as before. Reports whether the primary changed,
+// which is what the breaker_routed counter counts: verdicts are
+// node-independent (the benchgate cluster section proves NP identity),
+// so rerouting is pure accounting, never a semantic change.
+func (r *Router) breakerReorder(seq []string, sem string) ([]string, bool) {
+	if sem == "" || len(seq) < 2 {
+		return seq, false
+	}
+	clear := make([]string, 0, len(seq))
+	var blocked []string
+	for _, name := range seq {
+		if n := r.node(name); n != nil && n.breakerOpen(sem) {
+			blocked = append(blocked, name)
+		} else {
+			clear = append(clear, name)
+		}
+	}
+	if len(blocked) == 0 || len(clear) == 0 {
+		return seq, false
+	}
+	return append(clear, blocked...), clear[0] != seq[0]
 }
 
 // attemptOutcome classifies one forwarded attempt.
@@ -413,7 +656,10 @@ func (r *Router) forwardQuery(w http.ResponseWriter, req *http.Request) {
 	var b dbBody
 	json.Unmarshal(body, &b) // malformed bodies route on "" and get the worker's typed 400
 	key := r.routeKey(b.DB)
-	seq := r.candidates(key)
+	seq, rerouted := r.breakerReorder(r.candidates(key), b.Semantics)
+	if rerouted {
+		r.stats.breakerRouted.Add(1)
+	}
 	jh := splitmix64(uint64(r.cfg.Seed) ^ hashKey(key))
 
 	failedOver := false
@@ -466,7 +712,10 @@ func (r *Router) forwardStream(w http.ResponseWriter, req *http.Request) {
 	var b dbBody
 	json.Unmarshal(body, &b)
 	key := r.routeKey(b.DB)
-	seq := r.candidates(key)
+	seq, rerouted := r.breakerReorder(r.candidates(key), b.Semantics)
+	if rerouted {
+		r.stats.breakerRouted.Add(1)
+	}
 	jh := splitmix64(uint64(r.cfg.Seed) ^ hashKey(key))
 
 	failedOver := false
@@ -643,6 +892,7 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 	if r.ring.Size() < 2 {
 		// Last node: nothing to hand off to; just drop it.
 		r.RemoveNode(name)
+		r.gossipAll(ctx)
 		return rep, nil
 	}
 
@@ -654,6 +904,7 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 	if err != nil {
 		// Dead worker: no state to save; fall through to the ring flip.
 		r.RemoveNode(name)
+		r.gossipAll(ctx)
 		return rep, nil
 	}
 	var h session.Handoff
@@ -661,6 +912,7 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 	resp.Body.Close()
 	if decErr != nil || resp.StatusCode != http.StatusOK {
 		r.RemoveNode(name)
+		r.gossipAll(ctx)
 		return rep, nil
 	}
 	rep.Artifacts = len(h.Artifacts)
@@ -733,6 +985,7 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 	}
 
 	r.RemoveNode(name)
+	r.gossipAll(ctx)
 	return rep, nil
 }
 
@@ -762,17 +1015,25 @@ type NodeHealth struct {
 	Up       bool `json:"up"`
 	Draining bool `json:"draining"`
 	Fails    int  `json:"fails"`
+	// Probed reports firsthand probe contact; false means any health
+	// shown is secondhand gossip (or the pre-probe default).
+	Probed bool `json:"probed"`
+	// OpenBreakers lists the semantics whose breaker is open on this
+	// worker — the input to breaker-aware routing.
+	OpenBreakers []string `json:"open_breakers,omitempty"`
 }
 
 // RouterHealth is the router's /healthz document.
 type RouterHealth struct {
 	Status string                `json:"status"` // "ok" | "degraded" | "down"
+	Epoch  uint64                `json:"epoch"`  // membership epoch
+	Peers  []string              `json:"peers,omitempty"`
 	Nodes  map[string]NodeHealth `json:"nodes"`
 	Stats  map[string]int64      `json:"stats"`
 }
 
 func (r *Router) health() RouterHealth {
-	h := RouterHealth{Nodes: map[string]NodeHealth{}, Stats: map[string]int64{
+	h := RouterHealth{Epoch: r.epoch.Load(), Peers: r.Peers(), Nodes: map[string]NodeHealth{}, Stats: map[string]int64{
 		"forwarded":             r.stats.forwarded.Load(),
 		"failovers":             r.stats.failovers.Load(),
 		"failover_success":      r.stats.failoverSuccess.Load(),
@@ -783,11 +1044,22 @@ func (r *Router) health() RouterHealth {
 		"key_cache_misses":      r.stats.keyMisses.Load(),
 		"handoff_artifacts":     r.stats.handoffArts.Load(),
 		"handoff_verdicts":      r.stats.handoffVerds.Load(),
+		"breaker_routed":        r.stats.breakerRouted.Load(),
+		"gossip_sent":           r.stats.gossipSent.Load(),
+		"gossip_received":       r.stats.gossipRecv.Load(),
+		"gossip_adopted":        r.stats.gossipAdopted.Load(),
+		"joins":                 r.stats.joins.Load(),
+		"join_artifacts":        r.stats.joinArts.Load(),
+		"join_verdicts":         r.stats.joinVerds.Load(),
 	}}
 	up := 0
 	r.nodeMu.RLock()
 	for name, n := range r.nodes {
-		nh := NodeHealth{Up: !n.down.Load(), Draining: n.draining.Load(), Fails: int(n.fails.Load())}
+		nh := NodeHealth{
+			Up: !n.down.Load(), Draining: n.draining.Load(),
+			Fails: int(n.fails.Load()), Probed: n.probed.Load(),
+			OpenBreakers: n.openBreakerList(),
+		}
 		if nh.Up {
 			up++
 		}

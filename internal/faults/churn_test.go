@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestChurnPlanForDeterministic(t *testing.T) {
+	a := ChurnPlanFor(42, 3, 400, 5)
+	b := ChurnPlanFor(42, 3, 400, 5)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Fatalf("same inputs gave different plans:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("plan has %d events, want 5", len(a))
+	}
+}
+
+// TestChurnPlanForInvariants replays each plan's own bookkeeping over
+// many seeds and shapes, checking every guarantee drivers rely on:
+// events fire sorted within the middle half of the run, at least one is
+// a join, removals never drop the live count below two, and Victim is
+// -1 exactly for joins and otherwise a valid live index.
+func TestChurnPlanForInvariants(t *testing.T) {
+	for seed := int64(0); seed < 64; seed++ {
+		for _, shape := range []struct{ nodes, reqs, events int }{
+			{3, 400, 4}, {2, 100, 6}, {5, 1000, 3}, {4, 200, 1},
+		} {
+			plan := ChurnPlanFor(seed, shape.nodes, shape.reqs, shape.events)
+			if len(plan) != shape.events {
+				t.Fatalf("seed %d %+v: %d events, want %d", seed, shape, len(plan), shape.events)
+			}
+			lo, hi := shape.reqs/4, shape.reqs/4+shape.reqs/2+1
+			live, joins := shape.nodes, 0
+			prev := -1
+			for i, ev := range plan {
+				if ev.At < lo || ev.At >= hi {
+					t.Fatalf("seed %d %+v: event %d fires at %d outside [%d,%d)", seed, shape, i, ev.At, lo, hi)
+				}
+				if ev.At < prev {
+					t.Fatalf("seed %d %+v: events out of firing order: %+v", seed, shape, plan)
+				}
+				prev = ev.At
+				switch ev.Kind {
+				case ChurnJoin:
+					if ev.Victim != -1 {
+						t.Fatalf("seed %d %+v: join carries victim %d", seed, shape, ev.Victim)
+					}
+					joins++
+					live++
+				case ChurnDrain, ChurnKill:
+					if ev.Victim < 0 || ev.Victim >= live {
+						t.Fatalf("seed %d %+v: event %d victim %d with %d live", seed, shape, i, ev.Victim, live)
+					}
+					live--
+					if live < 2 {
+						t.Fatalf("seed %d %+v: plan drops the cluster to %d live members", seed, shape, live)
+					}
+				default:
+					t.Fatalf("seed %d %+v: unknown kind %v", seed, shape, ev.Kind)
+				}
+			}
+			if joins == 0 {
+				t.Fatalf("seed %d %+v: plan has no join: %+v", seed, shape, plan)
+			}
+		}
+	}
+}
+
+func TestChurnPlanForSeedsDiffer(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 32; seed++ {
+		seen[fmt.Sprintf("%+v", ChurnPlanFor(seed, 3, 400, 4))] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct plans across 32 seeds; mixing too weak", len(seen))
+	}
+}
+
+func TestChurnPlanForDisabled(t *testing.T) {
+	for _, tc := range []struct{ nodes, reqs, events int }{
+		{1, 100, 3}, {0, 100, 3}, {3, 0, 3}, {3, 100, 0}, {3, 100, -1},
+	} {
+		if p := ChurnPlanFor(7, tc.nodes, tc.reqs, tc.events); p != nil {
+			t.Fatalf("ChurnPlanFor(7,%d,%d,%d) = %+v, want nil", tc.nodes, tc.reqs, tc.events, p)
+		}
+	}
+}
+
+func TestChurnKindString(t *testing.T) {
+	for k, want := range map[ChurnKind]string{
+		ChurnJoin: "join", ChurnDrain: "drain", ChurnKill: "kill", ChurnKind(9): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("ChurnKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

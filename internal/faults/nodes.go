@@ -69,3 +69,103 @@ func NodePlanFor(seed int64, nodes, requests int) NodePlan {
 	kind := NodeKind(splitmix64(h^0xa5a5a5a5) % 3)
 	return NodePlan{Victim: victim, At: at, Kind: kind}
 }
+
+// Membership churn: where NodePlan breaks a node, ChurnPlan changes
+// the member set itself — warm joins, graceful drains, abrupt kills —
+// interleaved through a load run. Like NodePlan it is pure data from
+// (seed, nodes, requests, events); the driver owns the mechanics
+// (starting processes, calling /v1/cluster/join or /drain).
+
+// ChurnKind classifies one membership event.
+type ChurnKind int
+
+const (
+	// ChurnJoin warm-joins a brand-new worker into the ring.
+	ChurnJoin ChurnKind = iota
+	// ChurnDrain gracefully drains an existing worker out (handoff to
+	// successors, then ring flip).
+	ChurnDrain
+	// ChurnKill removes an existing worker abruptly — the membership
+	// version of NodeKill: no handoff, failovers pick up its keys.
+	ChurnKill
+)
+
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnDrain:
+		return "drain"
+	case ChurnKill:
+		return "kill"
+	default:
+		return "unknown"
+	}
+}
+
+// ChurnEvent is one scheduled membership change. Victim indexes the
+// driver's live-node list at the moment the event fires for drains and
+// kills; it is -1 for joins (the driver starts a fresh node).
+type ChurnEvent struct {
+	At     int // 0-based request index at which the event fires
+	Kind   ChurnKind
+	Victim int
+}
+
+// ChurnPlanFor derives a seeded membership-churn schedule: `events`
+// changes spread through the middle half of the run, in firing order.
+// Invariants the plan guarantees (so drivers need no defensive logic):
+// at least one event is a ChurnJoin, and no drain/kill is scheduled
+// when it would leave fewer than two live members. Victim indices are
+// relative to the live set at fire time under this plan's own
+// bookkeeping (joins append to the end of the list, removals delete in
+// place), which is also the bookkeeping the drivers use. Pure in its
+// arguments: the same inputs always yield the same plan. nodes ≤ 1,
+// requests ≤ 0, or events ≤ 0 yields nil (churn disabled).
+func ChurnPlanFor(seed int64, nodes, requests, events int) []ChurnEvent {
+	if nodes <= 1 || requests <= 0 || events <= 0 {
+		return nil
+	}
+	h := splitmix64(uint64(seed) ^ 0xc0a1e5ce5a7b91d3)
+	lo := requests / 4
+	span := requests/2 + 1
+	// Fire points: distinct-ish offsets in [lo, lo+span), sorted.
+	ats := make([]int, events)
+	for i := range ats {
+		h = splitmix64(h)
+		ats[i] = lo + int(h%uint64(span))
+	}
+	// Insertion sort keeps this dependency-free and stable for the
+	// tiny event counts churn uses.
+	for i := 1; i < len(ats); i++ {
+		for j := i; j > 0 && ats[j] < ats[j-1]; j-- {
+			ats[j], ats[j-1] = ats[j-1], ats[j]
+		}
+	}
+	live := nodes
+	plan := make([]ChurnEvent, 0, events)
+	joins := 0
+	for i := 0; i < events; i++ {
+		h = splitmix64(h)
+		kind := ChurnKind(h % 3)
+		// Force the guaranteed join on the last slot if none happened,
+		// and demote removals that would drop the cluster below two.
+		if kind != ChurnJoin && live <= 2 {
+			kind = ChurnJoin
+		}
+		if i == events-1 && joins == 0 {
+			kind = ChurnJoin
+		}
+		ev := ChurnEvent{At: ats[i], Kind: kind, Victim: -1}
+		if kind == ChurnJoin {
+			joins++
+			live++
+		} else {
+			h = splitmix64(h)
+			ev.Victim = int(h % uint64(live))
+			live--
+		}
+		plan = append(plan, ev)
+	}
+	return plan
+}

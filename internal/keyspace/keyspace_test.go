@@ -1,0 +1,72 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHashKeyStable(t *testing.T) {
+	// The placement function is part of the cluster's wire contract:
+	// routers and workers in different processes must agree. Pin a few
+	// values so an accidental hash change fails loudly instead of
+	// silently unwarming every slice.
+	if HashKey("") != Splitmix64(14695981039346656037) {
+		t.Fatal("HashKey(\"\") drifted from splitmix64(fnv-offset-basis)")
+	}
+	if HashKey("abc") != HashKey("abc") {
+		t.Fatal("HashKey not deterministic")
+	}
+	if HashKey("abc") == HashKey("abd") {
+		t.Fatal("suspicious collision on adjacent keys")
+	}
+}
+
+func TestRangeContains(t *testing.T) {
+	plain := Range{Lo: 100, Hi: 200}
+	for h, want := range map[uint64]bool{100: false, 101: true, 200: true, 201: false, 50: false} {
+		if plain.Contains(h) != want {
+			t.Fatalf("plain.Contains(%d) = %v, want %v", h, !want, want)
+		}
+	}
+	wrap := Range{Lo: ^uint64(0) - 10, Hi: 10}
+	for h, want := range map[uint64]bool{^uint64(0) - 10: false, ^uint64(0): true, 0: true, 10: true, 11: false, 500: false} {
+		if wrap.Contains(h) != want {
+			t.Fatalf("wrap.Contains(%d) = %v, want %v", h, !want, want)
+		}
+	}
+	// Lo == Hi is the full circle: the single-member ring owns all keys.
+	full := Range{Lo: 42, Hi: 42}
+	for _, h := range []uint64{0, 41, 42, 43, ^uint64(0)} {
+		if !full.Contains(h) {
+			t.Fatalf("full-circle range should contain %d", h)
+		}
+	}
+}
+
+func TestRangesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rs Ranges
+	for i := 0; i < 100; i++ {
+		rs = append(rs, Range{Lo: rng.Uint64(), Hi: rng.Uint64()})
+	}
+	back, err := ParseRanges(rs.String())
+	if err != nil {
+		t.Fatalf("ParseRanges(String): %v", err)
+	}
+	if len(back) != len(rs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(rs))
+	}
+	for i := range rs {
+		if back[i] != rs[i] {
+			t.Fatalf("range %d: %+v round-tripped to %+v", i, rs[i], back[i])
+		}
+	}
+	if got, err := ParseRanges(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty input should parse to empty slice, got %v, %v", got, err)
+	}
+	for _, bad := range []string{"zz", "1-2-3", "g-1", "1-", "-1", "1,2"} {
+		if _, err := ParseRanges(bad); err == nil {
+			t.Fatalf("ParseRanges(%q) should fail", bad)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"disjunct/internal/keyspace"
 	"disjunct/internal/session"
 )
 
@@ -26,17 +27,50 @@ type HandoffImportResponse struct {
 	Verdicts  int `json:"verdicts"`
 }
 
-func (s *Server) handleHandoffExport(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
 	if s.sessions == nil {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{
 			Error: ReasonBadRequest, Detail: "session layer disabled; nothing to hand off",
 		})
 		return
 	}
+	// ?ranges=lo-hi,lo-hi (hex) restricts the export to a keyspace
+	// slice — the warm-join path, where a donor ships only the arcs the
+	// joining node will own. The slice membership test hashes the same
+	// raw fingerprint the router routes on, so donor and router agree
+	// exactly on which keys move. A malformed slice is a typed 400,
+	// never a guess: exporting the wrong slice would silently violate
+	// the join's zero-cold-compile contract.
+	var ranges keyspace.Ranges
+	if raw := r.URL.Query().Get("ranges"); raw != "" {
+		var err error
+		ranges, err = keyspace.ParseRanges(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: ReasonBadRequest, Detail: err.Error(),
+			})
+			return
+		}
+	}
 	if s.store != nil {
 		s.store.Flush()
 	}
-	writeJSON(w, http.StatusOK, s.sessions.Export())
+	h := s.sessions.Export()
+	if ranges != nil {
+		filtered := session.Handoff{}
+		for _, a := range h.Artifacts {
+			if ranges.ContainsKey(a.Raw) {
+				filtered.Artifacts = append(filtered.Artifacts, a)
+			}
+		}
+		for _, v := range h.Verdicts {
+			if ranges.ContainsKey(v.Raw) {
+				filtered.Verdicts = append(filtered.Verdicts, v)
+			}
+		}
+		h = filtered
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"disjunct/internal/core"
@@ -34,14 +37,21 @@ import (
 
 // LoadConfig shapes one load run.
 type LoadConfig struct {
-	BaseURL  string        // e.g. "http://127.0.0.1:8091"
-	Rate     float64       // offered requests/second
-	Requests int           // total requests to offer
-	Workers  int           // concurrent HTTP clients (default 4×queue)
-	Seed     int64         // workload seed (db shapes, kinds, semantics)
-	MaxAtoms int           // vocabulary bound for generated dbs (default 5)
-	Timeout  time.Duration // per-request client timeout (default 30s)
-	Limits   LimitsJSON    // client budget ask sent with each request
+	BaseURL string // e.g. "http://127.0.0.1:8091"
+	// FallbackURLs are replica routers tried when the current one dies
+	// at the transport level (connection refused/reset — the request
+	// never produced a response). The client is sticky: it stays on one
+	// router until that router fails, then moves to the next and stays
+	// there — mirroring how a load balancer or DNS failover behaves,
+	// and keeping the per-router healthz counters interpretable.
+	FallbackURLs []string
+	Rate         float64       // offered requests/second
+	Requests     int           // total requests to offer
+	Workers      int           // concurrent HTTP clients (default 4×queue)
+	Seed         int64         // workload seed (db shapes, kinds, semantics)
+	MaxAtoms     int           // vocabulary bound for generated dbs (default 5)
+	Timeout      time.Duration // per-request client timeout (default 30s)
+	Limits       LimitsJSON    // client budget ask sent with each request
 	// Semantics restricts the mix; default is every described
 	// semantics except the stratification-gated ones (whose 422s are
 	// data-dependent noise for a load sweep).
@@ -84,20 +94,23 @@ type verdictLogRow struct {
 
 // LoadReport is the outcome breakdown of one run.
 type LoadReport struct {
-	Offered      int            `json:"offered"`
-	Completed    int            `json:"completed"`
-	Incomplete   int            `json:"incomplete"`
-	Shed429      int            `json:"shed_429"`
-	Shed503      int            `json:"shed_503"`
-	Rejected     int            `json:"rejected"` // typed 422 (unsupported/not stratifiable)
-	Untyped      int            `json:"untyped"`  // ANY outcome outside the taxonomy
-	Divergent    int            `json:"divergent"`
-	Replayed     int            `json:"replayed,omitempty"` // verdicts compared against a replay file
-	ByCause      map[string]int `json:"by_cause"`
-	ByShed       map[string]int `json:"by_shed"`
-	Elapsed      time.Duration  `json:"elapsed_ns"`
-	UntypedNotes []string       `json:"untyped_notes,omitempty"` // first few diagnostics
-	DivergeNotes []string       `json:"diverge_notes,omitempty"`
+	Offered    int `json:"offered"`
+	Completed  int `json:"completed"`
+	Incomplete int `json:"incomplete"`
+	Shed429    int `json:"shed_429"`
+	Shed503    int `json:"shed_503"`
+	Rejected   int `json:"rejected"` // typed 422 (unsupported/not stratifiable)
+	Untyped    int `json:"untyped"`  // ANY outcome outside the taxonomy
+	Divergent  int `json:"divergent"`
+	// RouterFailovers counts client-side switches to a fallback router
+	// after a transport-level failure of the current one.
+	RouterFailovers int            `json:"router_failovers,omitempty"`
+	Replayed        int            `json:"replayed,omitempty"` // verdicts compared against a replay file
+	ByCause         map[string]int `json:"by_cause"`
+	ByShed          map[string]int `json:"by_shed"`
+	Elapsed         time.Duration  `json:"elapsed_ns"`
+	UntypedNotes    []string       `json:"untyped_notes,omitempty"` // first few diagnostics
+	DivergeNotes    []string       `json:"diverge_notes,omitempty"`
 }
 
 // Clean reports whether the run satisfied the robustness contract:
@@ -317,6 +330,7 @@ func RunLoad(cfg LoadConfig) LoadReport {
 	jobs := genJobs(cfg)
 	ch := make(chan loadJob, len(jobs))
 	client := &http.Client{Timeout: cfg.Timeout}
+	routers := newRouterSet(cfg.BaseURL, cfg.FallbackURLs)
 
 	report := LoadReport{ByCause: map[string]int{}, ByShed: map[string]int{}}
 	var mu sync.Mutex
@@ -336,7 +350,7 @@ func RunLoad(cfg LoadConfig) LoadReport {
 		go func() {
 			defer wg.Done()
 			for job := range ch {
-				kind, status, qr, er, err := doRequest(client, cfg.BaseURL, job)
+				kind, status, qr, er, err := routers.doRequest(client, job)
 				mu.Lock()
 				switch kind {
 				case outcomeCompleted:
@@ -389,6 +403,7 @@ func RunLoad(cfg LoadConfig) LoadReport {
 	wg.Wait()
 	report.Offered = len(jobs)
 	report.Elapsed = time.Since(start)
+	report.RouterFailovers = int(routers.failovers.Load())
 
 	if cfg.ReplayPath != "" {
 		replayCompare(cfg, jobs, completedVerdicts, &report, note)
@@ -456,6 +471,61 @@ func replayCompare(cfg LoadConfig, jobs []loadJob, verdicts map[int]bool, report
 			note(&report.DivergeNotes, "replay divergence at job %d: %s %s on %q: this=%v recorded=%v",
 				row.Idx, job.sem, job.kind, job.literal+job.formula, got, row.Holds)
 		}
+	}
+}
+
+// routerSet is the client side of router replication: an ordered URL
+// list with a sticky current pick. A request that dies at the
+// transport level without a response demotes the current router and
+// retries on the next — safe even though POST is not idempotent,
+// because inference is pure: re-solving yields the identical verdict,
+// and the job is counted once, by its final outcome. Timeouts do NOT
+// fail over: a slow-but-alive router may have the query solving right
+// now, and hammering a replica with duplicates is how overload spreads.
+type routerSet struct {
+	urls      []string
+	cur       atomic.Int32
+	failovers atomic.Int64
+}
+
+func newRouterSet(primary string, fallbacks []string) *routerSet {
+	return &routerSet{urls: append([]string{primary}, fallbacks...)}
+}
+
+// demote advances the sticky pick past a failed router. Compare-and-
+// swap keeps concurrent demotions of the same router to one advance.
+func (rs *routerSet) demote(idx int32) {
+	if rs.cur.CompareAndSwap(idx, (idx+1)%int32(len(rs.urls))) {
+		rs.failovers.Add(1)
+	}
+}
+
+// transportFailure reports whether an exchange died before any
+// response arrived for a reason that indicts the router (not the
+// request): status 0 and not a client-side timeout.
+func transportFailure(status int, err error) bool {
+	if status != 0 || err == nil {
+		return false
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) && ue.Timeout() {
+		return false
+	}
+	return true
+}
+
+// doRequest runs one job with router failover: at most one attempt per
+// configured router, sticky between failures.
+func (rs *routerSet) doRequest(client *http.Client, job loadJob) (int, int, QueryResponse, ErrorResponse, error) {
+	for attempt := 0; ; attempt++ {
+		idx := rs.cur.Load()
+		kind, status, qr, er, err := doRequest(client, rs.urls[idx], job)
+		if kind == outcomeUntyped && transportFailure(status, err) &&
+			len(rs.urls) > 1 && attempt+1 < len(rs.urls) {
+			rs.demote(idx)
+			continue
+		}
+		return kind, status, qr, er, err
 	}
 }
 

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTransportFailureClassification pins which exchange outcomes may
+// fail over to a fallback router: only response-less transport deaths
+// that are not client timeouts. A timeout means the router may be
+// solving right now — duplicating the request onto a replica is how
+// overload spreads — and any real HTTP status means the router is fine.
+func TestTransportFailureClassification(t *testing.T) {
+	refused := &url.Error{Op: "Post", URL: "http://x", Err: errors.New("connection refused")}
+	timeout := &url.Error{Op: "Post", URL: "http://x", Err: context.DeadlineExceeded}
+	cases := []struct {
+		status int
+		err    error
+		want   bool
+	}{
+		{0, refused, true},
+		{0, timeout, false},
+		{0, nil, false},
+		{503, nil, false},
+		{503, refused, false}, // a response arrived; the error is downstream
+		{200, nil, false},
+	}
+	for _, c := range cases {
+		if got := transportFailure(c.status, c.err); got != c.want {
+			t.Fatalf("transportFailure(%d, %v) = %v, want %v", c.status, c.err, got, c.want)
+		}
+	}
+}
+
+// TestRouterSetStickyDemote checks the failover bookkeeping: demote
+// advances the sticky pick once per failed router even under
+// concurrent demotions, and wraps around the list.
+func TestRouterSetStickyDemote(t *testing.T) {
+	rs := newRouterSet("http://r0", []string{"http://r1", "http://r2"})
+	if rs.cur.Load() != 0 {
+		t.Fatalf("initial pick = %d, want 0", rs.cur.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs.demote(0) // everyone blames router 0; only one advance may land
+		}()
+	}
+	wg.Wait()
+	if got := rs.cur.Load(); got != 1 {
+		t.Fatalf("pick after concurrent demotions of 0 = %d, want 1", got)
+	}
+	if got := rs.failovers.Load(); got != 1 {
+		t.Fatalf("failovers after concurrent demotions = %d, want 1", got)
+	}
+	rs.demote(2) // stale index: the current pick is 1, so nothing moves
+	if got := rs.cur.Load(); got != 1 {
+		t.Fatalf("stale demote moved the pick to %d", got)
+	}
+	rs.demote(1)
+	rs.demote(2) // wraps back to the primary
+	if got := rs.cur.Load(); got != 0 {
+		t.Fatalf("pick after wrap = %d, want 0", got)
+	}
+}
+
+// TestLoadClientRouterFailover kills the primary target mid-load with
+// a fallback configured: the run must stay verdict-clean, complete at
+// least 95% of offered requests, and record the client-side failover —
+// the replicated-router availability gate seen from the client.
+func TestLoadClientRouterFailover(t *testing.T) {
+	primary := New(Config{Sessions: true})
+	ps := httptest.NewServer(primary.Handler())
+	fallback := New(Config{Sessions: true})
+	fs := httptest.NewServer(fallback.Handler())
+	defer fs.Close()
+	defer fallback.Drain(context.Background())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(150 * time.Millisecond)
+		ps.CloseClientConnections()
+		ps.Close()
+		go primary.Drain(context.Background())
+	}()
+
+	rep := RunLoad(LoadConfig{
+		BaseURL:      ps.URL,
+		FallbackURLs: []string{fs.URL},
+		Rate:         200,
+		Requests:     80,
+		Workers:      8,
+		Seed:         41,
+		MaxAtoms:     4,
+		Verify:       true,
+		HotDBs:       4,
+	})
+	wg.Wait()
+	if !rep.Clean() {
+		t.Fatalf("failover load not clean: %s\nuntyped: %v\ndivergent: %v",
+			rep.String(), rep.UntypedNotes, rep.DivergeNotes)
+	}
+	if rep.RouterFailovers == 0 {
+		t.Fatal("primary died mid-load but no client failover was recorded")
+	}
+	if float64(rep.Completed) < 0.95*float64(rep.Offered) {
+		t.Fatalf("completion %d/%d below the 95%% replication floor", rep.Completed, rep.Offered)
+	}
+}

@@ -719,7 +719,7 @@ type breakerReport struct {
 
 // Health is the /healthz document.
 type Health struct {
-	Status     string                   `json:"status"` // "ok" | "draining"
+	Status     string                   `json:"status"` // "ok" | "prewarming" | "draining"
 	Queued     int64                    `json:"queued"`
 	Waiting    int64                    `json:"waiting"`
 	Executing  int64                    `json:"executing"`
@@ -811,6 +811,12 @@ func (s *Server) health() Health {
 			"prewarmed":       b2i(s.warmed.Load()),
 			"prewarmed_arts":  s.prewarmed.Load(),
 		}
+	}
+	if !s.warmed.Load() {
+		// Mirror /readyz for the healthz-probing cluster router: the
+		// store prewarm is still running, so the node is alive but must
+		// not take traffic yet.
+		h.Status = "prewarming"
 	}
 	if s.draining.Load() {
 		h.Status = "draining"

@@ -44,10 +44,11 @@ while [ "$i" -le 3 ]; do
     : >"$WLOG"
     "$SERVE" -addr 127.0.0.1:0 -maxconcurrent 4 -queue 64 -sessions \
         -draintimeout 10s >"$WLOG" 2>&1 &
-    eval "W${i}_PID=$!"
-    PIDS="$PIDS $!"
+    WPID=$!
+    eval "W${i}_PID=$WPID"
+    PIDS="$PIDS $WPID"
     WURL=$(bound_url "$WLOG" "cluster-smoke: worker $i")
-    wait_ready "$WURL" "cluster-smoke: worker $i" "$WLOG"
+    wait_ready "$WURL" "cluster-smoke: worker $i" "$WLOG" "$WPID"
     eval "W${i}_URL=\$WURL"
     eval "W${i}_LOG=\$WLOG"
     WURLS="$WURLS,$WURL"
@@ -63,7 +64,7 @@ RLOG="$TMP/ddbrouter-cluster.log"
 RPID=$!
 PIDS="$PIDS $RPID"
 RURL=$(bound_url "$RLOG" "cluster-smoke: router")
-wait_ready "$RURL" "cluster-smoke: router" "$RLOG"
+wait_ready "$RURL" "cluster-smoke: router" "$RLOG" "$RPID"
 
 # --- phase 1: verified warmup --------------------------------------
 "$LOAD" -url "$RURL" -rate 400 -requests 200 -seed 21 -maxatoms 6 \

@@ -48,7 +48,7 @@ ALOG="$TMP/ddbserve-restart-ref.log"
     -draintimeout 10s >"$ALOG" 2>&1 &
 SRV=$!
 URL=$(bound_url "$ALOG" "restart-smoke: reference")
-wait_ready "$URL" "restart-smoke: reference" "$ALOG"
+wait_ready "$URL" "restart-smoke: reference" "$ALOG" "$SRV"
 # shellcheck disable=SC2086
 "$LOAD" -url "$URL" $WORKLOAD -verify -record "$REF"
 kill -TERM "$SRV"
@@ -68,7 +68,7 @@ KLOG="$TMP/ddbserve-restart-kill.log"
     -store "$STOREDIR" -draintimeout 10s >"$KLOG" 2>&1 &
 SRV=$!
 URL=$(bound_url "$KLOG" "restart-smoke: victim")
-wait_ready "$URL" "restart-smoke: victim" "$KLOG"
+wait_ready "$URL" "restart-smoke: victim" "$KLOG" "$SRV"
 # The load runs in the background; the server dies under it, so the
 # driver's transport errors are expected and ignored.
 # shellcheck disable=SC2086
@@ -87,7 +87,7 @@ RLOG="$TMP/ddbserve-restart.log"
     -store "$STOREDIR" -draintimeout 10s >"$RLOG" 2>&1 &
 SRV=$!
 URL=$(bound_url "$RLOG" "restart-smoke: restart")
-wait_ready "$URL" "restart-smoke: restart" "$RLOG"
+wait_ready "$URL" "restart-smoke: restart" "$RLOG" "$SRV"
 if grep -q "store recovery error" "$RLOG"; then
     echo "restart-smoke: recovery error after SIGKILL:" >&2
     cat "$RLOG" >&2

@@ -30,7 +30,7 @@ SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
 URL=$(bound_url "$LOG" serve-smoke)
-wait_ready "$URL" serve-smoke "$LOG"
+wait_ready "$URL" serve-smoke "$LOG" "$SRV"
 
 # Offered load far above the admission limit (capacity 2+4), with
 # verdict verification against direct library calls and a goroutine
@@ -71,7 +71,7 @@ SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
 URL=$(bound_url "$SLOG" session-smoke)
-wait_ready "$URL" session-smoke "$SLOG"
+wait_ready "$URL" session-smoke "$SLOG" "$SRV"
 
 "${TMPDIR:-/tmp}/ddbload-smoke" \
     -url "$URL" -rate 1000 -requests 500 -seed 33 -maxatoms 6 \
@@ -121,7 +121,7 @@ SRV=$!
 trap 'kill "$SRV" 2>/dev/null || true' EXIT
 
 URL=$(bound_url "$BLOG" batch-smoke)
-wait_ready "$URL" batch-smoke "$BLOG"
+wait_ready "$URL" batch-smoke "$BLOG" "$SRV"
 
 # Batch replay + stream verification; ddbload exits nonzero on any
 # untyped or divergent outcome.

@@ -30,14 +30,23 @@ bound_url() {
     done
 }
 
-# wait_ready URL NAME LOGFILE — poll $URL/readyz until it answers 200.
-# Nonzero (with the log dumped to stderr) after ~10s.
+# wait_ready URL NAME LOGFILE [PID] — poll $URL/readyz until it
+# answers 200. With a PID, a server that dies during the wait fails
+# fast with the log tail instead of burning the full 10s timeout and
+# dumping nothing useful. Nonzero (with the log dumped to stderr)
+# after ~10s either way.
 wait_ready() {
     wr_url=$1
     wr_name=$2
     wr_log=$3
+    wr_pid=${4:-}
     wr_i=0
     until curl -sf "$wr_url/readyz" >/dev/null 2>&1; do
+        if [ -n "$wr_pid" ] && ! kill -0 "$wr_pid" 2>/dev/null; then
+            echo "$wr_name: server (pid $wr_pid) died before becoming ready; log tail:" >&2
+            tail -n 20 "$wr_log" >&2 2>/dev/null || true
+            return 1
+        fi
         wr_i=$((wr_i + 1))
         if [ "$wr_i" -gt 50 ]; then
             echo "$wr_name: server never became ready" >&2
