@@ -62,6 +62,7 @@ func main() {
 	compareStream(g, base.Report.Stream, fresh.Report.Stream)
 	compareStore(g, base.Report.Store, fresh.Report.Store)
 	compareCluster(g, base.Report.Cluster, fresh.Report.Cluster)
+	comparePlanner(g, base.Report.Planner, fresh.Report.Planner)
 
 	if g.failures > 0 {
 		fmt.Printf("benchgate: %d audited counter(s) moved\n", g.failures)
@@ -342,6 +343,57 @@ func compareCluster(g *gate, base, fresh []bench.ClusterCase) {
 func auditCluster(g *gate, f bench.ClusterCase) {
 	g.eq("cluster", f.Name+"/"+f.Semantics, "three_node_np_calls (vs 1-node)", f.OneNP, f.ThreeNP)
 	g.eq("cluster", f.Name+"/"+f.Semantics, "two_router_np_calls (vs 1-node)", f.OneNP, f.TwoRouterNP)
+}
+
+// comparePlanner gates the cost-based-routing sweep: the planner-off
+// NP total is pinned to the baseline (a fresh engine per query over a
+// seeded workload is deterministic), while the planner-on side is
+// bounded — routing must move nothing (zero divergent verdicts), the
+// fast path must stay at zero NP calls, a portfolio race's total (both
+// arms, including the canceled loser's partial) must never exceed the
+// worst single procedure (the fresh-alone cost of the same queries).
+// The on-side totals are bounded rather than pinned because a race's
+// canceled arm stops at a timing-dependent point; the bounds are what
+// the portfolio contract guarantees regardless of timing.
+func comparePlanner(g *gate, base, fresh []bench.PlannerCase) {
+	if len(base) == 0 && len(fresh) > 0 {
+		fmt.Printf("  planner: %d case(s) in fresh run, none in baseline — not gated\n", len(fresh))
+		for _, f := range fresh {
+			auditPlanner(g, f)
+		}
+		return
+	}
+	type key struct{ name, sem string }
+	byKey := map[key]bench.PlannerCase{}
+	for _, c := range fresh {
+		byKey[key{c.Name, c.Semantics}] = c
+	}
+	for _, b := range base {
+		id := b.Name + "/" + b.Semantics
+		f, ok := byKey[key{b.Name, b.Semantics}]
+		if !ok {
+			g.missing("planner", id)
+			continue
+		}
+		g.eq("planner", id, "planner_off_np_calls", b.OffNP, f.OffNP)
+		auditPlanner(g, f)
+		fmt.Printf("  planner/%s: off %s, on %s, %.1fx (wall-clock, not gated)\n",
+			id, ms(b.OffMS, f.OffMS), ms(b.OnMS, f.OnMS), f.Speedup)
+	}
+}
+
+// auditPlanner applies the baseline-free internal invariants of one
+// planner case.
+func auditPlanner(g *gate, f bench.PlannerCase) {
+	id := f.Name + "/" + f.Semantics
+	g.eq("planner", id, "divergent", 0, int64(f.Divergent))
+	g.eq("planner", id, "fast_np_calls", 0, f.FastNP)
+	g.checked++
+	if f.PortfolioNP > f.PortfolioWorstNP {
+		g.failures++
+		fmt.Printf("  FAIL planner/%s: portfolio total %d exceeds the worst single procedure %d\n",
+			id, f.PortfolioNP, f.PortfolioWorstNP)
+	}
 }
 
 // ms formats a wall-clock pair "baseline→fresh".

@@ -49,8 +49,15 @@ func main() {
 		cluster  = flag.Bool("clustercheck", false, "after the run, require the target (a ddbrouter) to report failovers > 0 with a completion ratio >= -clustermin")
 		clustMin = flag.Float64("clustermin", 0.95, "minimum failover_success/failovers ratio for -clustercheck")
 		minComp  = flag.Float64("mincomplete", 0, "minimum completed/offered fraction; below it the run fails (0 = no floor)")
+		abPlan   = flag.Bool("abplanner", false, "planner on/off A/B overload sweep against two in-process servers; -sweep values are saturation multipliers (default 1,2,4,8)")
+		abSat    = flag.Float64("absatrate", 0, "assumed 1x saturation rate (req/s) for -abplanner (0 = calibrate with a FIFO leg)")
+		abFloor  = flag.Float64("abfloor", 0, "minimum cost-aware/FIFO completed-throughput ratio at the highest shared multiplier >= 4 (0 = report only)")
 	)
 	flag.Parse()
+
+	if *abPlan {
+		os.Exit(runPlannerAB(*sweep, *requests, *seed, *verify, *abSat, *abFloor))
+	}
 
 	urls := splitList(*baseURL)
 	if len(urls) == 0 {
@@ -182,6 +189,60 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// runPlannerAB is the -abplanner mode: the same mixed cheap/expensive
+// workload offered at saturation multiples against two in-process
+// servers differing only in Config.Planner, FIFO vs cost-aware
+// shedding side by side. Returns the process exit code.
+func runPlannerAB(sweep string, requests int, seed int64, verify bool, satRate, floor float64) int {
+	var mults []float64
+	for _, field := range splitList(sweep) {
+		m, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddbload: bad -sweep multiplier %q: %v\n", field, err)
+			return 2
+		}
+		mults = append(mults, m)
+	}
+	rows, sat := serve.RunPlannerAB(serve.PlannerABConfig{
+		Multipliers: mults,
+		Requests:    requests,
+		Seed:        seed,
+		Verify:      verify,
+		SatRate:     satRate,
+	})
+	fmt.Printf("planner A/B (saturation = %.1f req/s)\n", sat)
+	fmt.Printf("%6s %8s %10s %11s %9s %10s %8s %8s %10s\n",
+		"mult", "rate", "fifo_done", "aware_done", "speedup", "shed_cost", "untyped", "divergent", "portfolio")
+	fail := false
+	var gateRow *serve.PlannerABRow
+	for i := range rows {
+		r := &rows[i]
+		fmt.Printf("%6.1f %8.1f %10d %11d %9.2f %10d %8d %8d %10d\n",
+			r.Multiplier, r.Rate, r.FIFO.Completed, r.CostAware.Completed, r.Speedup(),
+			r.Planner["shed_cost"], r.FIFO.Untyped+r.CostAware.Untyped,
+			r.FIFO.Divergent+r.CostAware.Divergent, r.Planner["portfolio_races"])
+		if !r.FIFO.Clean() || !r.CostAware.Clean() {
+			fail = true
+			diagnose(r.FIFO)
+			diagnose(r.CostAware)
+		}
+		if r.Multiplier >= 4 && (gateRow == nil || r.Multiplier < gateRow.Multiplier) {
+			gateRow = r
+		}
+	}
+	if floor > 0 && gateRow != nil {
+		if sp := gateRow.Speedup(); sp < floor {
+			fmt.Fprintf(os.Stderr, "ddbload: abplanner: speedup %.2f at %.0fx below floor %.2f\n",
+				sp, gateRow.Multiplier, floor)
+			fail = true
+		}
+	}
+	if fail {
+		return 1
+	}
+	return 0
 }
 
 // splitList parses a comma-separated flag value, dropping blanks.

@@ -53,6 +53,10 @@ func main() {
 		streamMax     = flag.Int("streammax", 0, "server-side cap on models per /v1/models/stream request (0 = uncapped)")
 		storeDir      = flag.String("store", "", "persistent compiled-artifact & verdict store directory (implies -sessions; empty = no persistence)")
 		storeBytes    = flag.Int64("storebytes", 0, "store log-size budget before compaction (0 = default 256 MiB)")
+		planner       = flag.Bool("planner", false, "enable the cost-based query planner: cost-class routing, brute/portfolio procedures, cost-aware shedding (implies -sessions)")
+		planBrute     = flag.Int("planbruteatoms", 0, "planner: max atoms for the brute-force refsem procedure (0 = default 8)")
+		planNP        = flag.Int64("planexpnp", 0, "planner: mean NP-call estimate marking a query expensive (0 = default 8)")
+		planOcc       = flag.Float64("planshedocc", 0, "planner: queue occupancy fraction above which cost-aware shedding engages (0 = default 0.5)")
 	)
 	flag.Parse()
 
@@ -82,17 +86,21 @@ func main() {
 			Propagations: *propCap,
 			NPCalls:      *npCap,
 		},
-		Breaker:            serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
-		FaultRate:          *faultRate,
-		FaultSeed:          *faultSeed,
-		Sessions:           *sessions,
-		SessionCacheBytes:  *sessBytes,
-		SessionMaxSessions: *sessMax,
-		SessionMaxQueries:  *sessQueries,
-		SessionBatchWindow: *sessWindow,
-		BatchMaxQueries:    *batchMax,
-		StreamMaxModels:    *streamMax,
-		Store:              st,
+		Breaker:              serve.BreakerConfig{Threshold: *brkThreshold, Cooldown: *brkCooldown},
+		FaultRate:            *faultRate,
+		FaultSeed:            *faultSeed,
+		Sessions:             *sessions,
+		SessionCacheBytes:    *sessBytes,
+		SessionMaxSessions:   *sessMax,
+		SessionMaxQueries:    *sessQueries,
+		SessionBatchWindow:   *sessWindow,
+		BatchMaxQueries:      *batchMax,
+		StreamMaxModels:      *streamMax,
+		Store:                st,
+		Planner:              *planner,
+		PlannerBruteAtoms:    *planBrute,
+		PlannerExpensiveNP:   *planNP,
+		PlannerShedOccupancy: *planOcc,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -100,7 +108,7 @@ func main() {
 		log.Fatalf("ddbserve: listen %s: %v", *addr, err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s sessions=%v store=%q)", ln.Addr(), *faultRate, *drainTimeout, *sessions || st != nil, *storeDir)
+	log.Printf("ddbserve: listening on http://%s (faultrate=%g drain=%s sessions=%v store=%q planner=%v)", ln.Addr(), *faultRate, *drainTimeout, *sessions || st != nil || *planner, *storeDir, *planner)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -32,6 +32,17 @@
 // and -servefrac are both set, the in-process server also runs with its
 // session layer enabled, so the wire path exercises the warm routes.
 //
+// A random subset of iterations (-planfrac) is additionally replayed
+// through an in-process server with the cost-based planner enabled, so
+// the planner's routing (fast path, warm session, fresh enumeration,
+// brute refsem, brute-vs-fresh portfolio race) carries real traffic:
+// every completed verdict is cross-checked against the brute-force
+// references, interruptions must carry typed causes, and after the
+// soak the /healthz planner section must be populated — decisions,
+// cost observations, served estimates, and the portfolio winner
+// histogram — proving the planner actually planned rather than
+// pass-through routing everything fresh.
+//
 // Setting -churnfrac runs a membership-churn sweep after the soak: a
 // verified load through an in-process cluster while a seeded churn plan
 // (warm joins, graceful drains, abrupt kills) fires mid-load, with every
@@ -42,7 +53,8 @@
 //
 //	ddbsoak [-iters N] [-seed S] [-maxatoms 5] [-cachefrac 0.25] [-cachecap N]
 //	        [-deadline D] [-conflictbudget N] [-faultrate F] [-faultseed S]
-//	        [-servefrac F] [-sessionfrac F] [-clusternodes N] [-churnfrac F] [-v]
+//	        [-servefrac F] [-sessionfrac F] [-planfrac F]
+//	        [-clusternodes N] [-churnfrac F] [-v]
 package main
 
 import (
@@ -57,6 +69,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"disjunct/internal/budget"
@@ -89,6 +102,7 @@ func main() {
 	serveFrac := flag.Float64("servefrac", 0, "fraction of iterations replayed through an in-process HTTP server (0 = off)")
 	batchFrac := flag.Float64("batchfrac", 0, "fraction of iterations additionally replayed through /v1/batch (0 = off; implies -servefrac machinery)")
 	sessionFrac := flag.Float64("sessionfrac", 0, "fraction of iterations replayed through a shared warm session manager (0 = off)")
+	planFrac := flag.Float64("planfrac", 0, "fraction of iterations replayed through an in-process server with the cost-based planner enabled, cross-checking planner-routed verdicts (fast/warm/fresh/brute/portfolio) against the brute-force references and asserting the /healthz planner section is populated (0 = off)")
 	storeDir := flag.String("storedir", "", "back the session manager with a persistent store at this directory and, after the soak, reopen it in a pre-warmed second manager that must replay every recorded verdict identically with zero cold compiles (enables the session checker if -sessionfrac is 0)")
 	clusterNodes := flag.Int("clusternodes", 0, "after the soak, run a verified load through an in-process N-worker cluster with seeded node chaos (kill/partition/slow of a seeded victim mid-load) and a graceful drain handoff; any divergent or untyped outcome fails the run (0 = off)")
 	clusterReqs := flag.Int("clusterreqs", 240, "requests per cluster sweep phase (with -clusternodes)")
@@ -140,6 +154,11 @@ func main() {
 		sx = &sessionChecker{mgr: session.NewManager(session.Config{Store: st}), st: st, dir: *storeDir}
 		fmt.Printf("session: sessionfrac=%g\n", *sessionFrac)
 	}
+	var px *plannerChecker
+	if *planFrac > 0 {
+		px = newPlannerChecker(*faultRate, *faultSeed)
+		fmt.Printf("planner: planfrac=%g faultrate=%g\n", *planFrac, *faultRate)
+	}
 	divergences := 0
 	for i := 0; *iters == 0 || i < *iters; i++ {
 		if *verbose && i%500 == 0 && i > 0 {
@@ -171,6 +190,9 @@ func main() {
 		if sx != nil && rng.Float64() < *sessionFrac {
 			ok = sx.check(d, rng) && ok
 		}
+		if px != nil && rng.Float64() < *planFrac {
+			ok = px.check(d, rng) && ok
+		}
 		if !ok {
 			divergences++
 			fmt.Printf("DIVERGENCE at iteration %d (seed %d)\nDB:\n%s\n", i, *seed, d.String())
@@ -199,6 +221,11 @@ func main() {
 		fmt.Printf("session cross-check: %d queries, handled=%d fast=%d warm=%d memohits=%d retired=%d\n",
 			sx.queries, sx.handled, st.FastQueries, st.WarmQueries, st.MemoHits, st.Retired)
 		if sx.st != nil && !sx.replay() {
+			divergences++
+		}
+	}
+	if px != nil {
+		if !px.close() {
 			divergences++
 		}
 	}
@@ -549,6 +576,165 @@ func (sc *serveChecker) checkBatch(d *db.DB, rng *rand.Rand) bool {
 			}
 		}
 	}
+	return ok
+}
+
+// plannerChecker replays a subset of iterations through an in-process
+// server with the cost-based planner enabled, shared across all
+// iterations so the estimator warms up: first sight of a (database,
+// semantics) key routes cold (portfolio for the tiny Σ₂ᵖ cases, warm
+// or fast otherwise), the repeat is served from a calibrated estimate.
+// Every completed verdict — whatever procedure the planner picked —
+// must match the brute-force references, and interruptions must carry
+// typed causes. close() asserts the /healthz planner section is
+// populated: decisions, observations, served estimates, and at least
+// one portfolio race when any query straddled the brute/fresh
+// boundary.
+type plannerChecker struct {
+	srv         *serve.Server
+	hs          *httptest.Server
+	queries     int
+	completed   int
+	interrupted int
+	portfolios  int // completed responses served via a portfolio race
+	brutes      int // completed responses served via the brute procedure
+}
+
+func newPlannerChecker(faultRate float64, faultSeed int64) *plannerChecker {
+	srv := serve.New(serve.Config{FaultRate: faultRate, FaultSeed: faultSeed, RetryMax: 2, Planner: true})
+	return &plannerChecker{srv: srv, hs: httptest.NewServer(srv.Handler())}
+}
+
+func (px *plannerChecker) check(d *db.DB, rng *rand.Rand) bool {
+	rt, err := db.Parse(d.String())
+	if err != nil || rt.N() == 0 {
+		return true
+	}
+	lit := logic.NegLit(logic.Atom(rng.Intn(rt.N())))
+	litText := rt.Voc.LitString(lit)
+	ok := true
+
+	cases := []struct {
+		sem      string
+		ref      func(*db.DB) []logic.Interp
+		positive bool
+		noIC     bool
+	}{
+		{"GCWA", refsem.GCWA, false, false}, // warm-session route
+		{"EGCWA", refsem.EGCWA, false, false},
+		{"DDR", refsem.DDR, true, false}, // NP-class, brute-eligible
+		{"PWS", refsem.PWS, true, false},
+		{"DSM", refsem.DSM, false, false}, // Σ₂ᵖ-class, portfolio route
+		{"PERF", refsem.PERF, false, true},
+	}
+	for _, c := range cases {
+		if c.positive && rt.HasNegation() {
+			continue
+		}
+		if c.noIC && rt.HasIntegrityClauses() {
+			continue
+		}
+		want := refsem.Entails(c.ref(rt), logic.LitF(lit))
+		// Twice per case: the first request may route cold (portfolio),
+		// the second must see the estimate the first one calibrated.
+		for rep := 0; rep < 2; rep++ {
+			px.queries++
+			body, _ := json.Marshal(serve.QueryRequest{Semantics: c.sem, DB: rt.String(), Literal: litText})
+			resp, err := px.hs.Client().Post(px.hs.URL+"/v1/infer/literal", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fmt.Printf("  planner %s: transport error %v\n", c.sem, err)
+				ok = false
+				continue
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fmt.Printf("  planner %s: status %d body %s\n", c.sem, resp.StatusCode, data)
+				ok = false
+				continue
+			}
+			var qr serve.QueryResponse
+			if err := json.Unmarshal(data, &qr); err != nil {
+				fmt.Printf("  planner %s: unparseable 200 body %q: %v\n", c.sem, data, err)
+				ok = false
+				continue
+			}
+			if qr.Incomplete {
+				if !serve.KnownCauseCodes[qr.CauseCode] {
+					fmt.Printf("  planner %s: untyped interruption cause %q\n", c.sem, qr.CauseCode)
+					ok = false
+					continue
+				}
+				px.interrupted++
+				continue
+			}
+			px.completed++
+			switch {
+			case strings.HasPrefix(qr.Path, "portfolio:"):
+				px.portfolios++
+			case qr.Path == "brute":
+				px.brutes++
+			}
+			if qr.Holds != want {
+				fmt.Printf("  planner %s ⊨ %s (path %q): served=%v reference=%v\n",
+					c.sem, litText, qr.Path, qr.Holds, want)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// close drains the planner server and asserts its /healthz planner
+// section is populated — the planner must have decided, observed, and
+// served estimates, and raced at least one portfolio whenever a
+// completed response reported a portfolio path.
+func (px *plannerChecker) close() bool {
+	ok := true
+	ps := map[string]int64{}
+	if h, err := serve.FetchHealth(px.hs.Client(), px.hs.URL); err != nil {
+		fmt.Printf("  planner: healthz fetch: %v\n", err)
+		ok = false
+	} else {
+		ps = h.Planner
+	}
+	if err := px.srv.Drain(context.Background()); err != nil {
+		fmt.Printf("  planner: drain after soak: %v\n", err)
+		ok = false
+	}
+	px.hs.Close()
+	if px.queries > 0 {
+		if len(ps) == 0 {
+			fmt.Println("  planner: /healthz planner section empty")
+			return false
+		}
+		if ps["decisions"] == 0 {
+			fmt.Println("  planner: zero decisions recorded for a nonzero query count")
+			ok = false
+		}
+		if px.completed > 0 && ps["observations"] == 0 {
+			fmt.Println("  planner: zero cost observations despite completed queries")
+			ok = false
+		}
+		if px.completed > 0 && ps["estimates_served"] == 0 {
+			fmt.Println("  planner: no estimate ever served despite repeated keys")
+			ok = false
+		}
+		if px.portfolios > 0 && ps["portfolio_races"] == 0 {
+			fmt.Println("  planner: portfolio paths served but zero races recorded")
+			ok = false
+		}
+		if ps["portfolio_races"] != ps["portfolio_win_brute"]+ps["portfolio_win_fresh"] {
+			fmt.Printf("  planner: winner histogram %d+%d does not sum to races %d\n",
+				ps["portfolio_win_brute"], ps["portfolio_win_fresh"], ps["portfolio_races"])
+			ok = false
+		}
+	}
+	fmt.Printf("planner cross-check: %d queries, completed=%d interrupted=%d portfolio=%d brute=%d "+
+		"(healthz: decisions=%d est_served=%d observations=%d races=%d wins brute/fresh=%d/%d shed_cost=%d)\n",
+		px.queries, px.completed, px.interrupted, px.portfolios, px.brutes,
+		ps["decisions"], ps["estimates_served"], ps["observations"],
+		ps["portfolio_races"], ps["portfolio_win_brute"], ps["portfolio_win_fresh"], ps["shed_cost"])
 	return ok
 }
 

@@ -82,6 +82,7 @@ type ParallelReport struct {
 	Stream   []StreamCase   `json:"stream,omitempty"`
 	Store    []StoreCase    `json:"store,omitempty"`
 	Cluster  []ClusterCase  `json:"cluster,omitempty"`
+	Planner  []PlannerCase  `json:"planner,omitempty"`
 }
 
 func parallelDBs(scale Scale) []struct {
@@ -229,6 +230,9 @@ func RunParallel(scale Scale, w io.Writer) (*ParallelReport, error) {
 		return rep, err
 	}
 	if err := runClusterSweep(scale, w, rep); err != nil {
+		return rep, err
+	}
+	if err := runPlannerSweep(scale, w, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil

@@ -151,6 +151,7 @@ type routerStats struct {
 	keyMisses       atomic.Int64
 	handoffArts     atomic.Int64 // artifacts moved by drain handoffs
 	handoffVerds    atomic.Int64 // verdicts moved by drain handoffs
+	handoffEsts     atomic.Int64 // planner estimates moved by drain handoffs
 	breakerRouted   atomic.Int64 // requests routed around an open breaker
 	gossipSent      atomic.Int64 // gossip exchanges initiated
 	gossipRecv      atomic.Int64 // gossip messages received
@@ -873,7 +874,8 @@ type DrainReport struct {
 	Node      string         `json:"node"`
 	Artifacts int            `json:"artifacts"` // exported artifact count
 	Verdicts  int            `json:"verdicts"`  // exported verdict count
-	Imported  map[string]int `json:"imported"`  // successor → artifacts+verdicts accepted
+	Estimates int            `json:"estimates"` // exported planner cost-model entries
+	Imported  map[string]int `json:"imported"`  // successor → artifacts+verdicts+estimates accepted
 }
 
 // DrainNode gracefully removes a worker: export its warm state, hand
@@ -917,6 +919,7 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 	}
 	rep.Artifacts = len(h.Artifacts)
 	rep.Verdicts = len(h.Verdicts)
+	rep.Estimates = len(h.Estimates)
 
 	// Partition the export by post-removal owner: the first node in
 	// each key's failover sequence that is not the departing one is
@@ -956,6 +959,15 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 			sl.Verdicts = append(sl.Verdicts, v)
 		}
 	}
+	// Planner cost-model entries are sliced by the same fingerprint the
+	// ring routes on, so the successor that inherits a key's traffic
+	// also inherits its calibrated estimate.
+	for _, e := range h.Estimates {
+		if succ := successorFor(e.Raw); succ != "" {
+			sl := sliceFor(succ)
+			sl.Estimates = append(sl.Estimates, e)
+		}
+	}
 
 	for succ, slice := range slices {
 		sn := r.node(succ)
@@ -979,9 +991,10 @@ func (r *Router) DrainNode(ctx context.Context, baseURL string) (DrainReport, er
 		var ir serve.HandoffImportResponse
 		json.NewDecoder(io.LimitReader(iresp.Body, 1<<16)).Decode(&ir)
 		iresp.Body.Close()
-		rep.Imported[succ] = ir.Artifacts + ir.Verdicts
+		rep.Imported[succ] = ir.Artifacts + ir.Verdicts + ir.Estimates
 		r.stats.handoffArts.Add(int64(ir.Artifacts))
 		r.stats.handoffVerds.Add(int64(ir.Verdicts))
+		r.stats.handoffEsts.Add(int64(ir.Estimates))
 	}
 
 	r.RemoveNode(name)
@@ -1044,6 +1057,7 @@ func (r *Router) health() RouterHealth {
 		"key_cache_misses":      r.stats.keyMisses.Load(),
 		"handoff_artifacts":     r.stats.handoffArts.Load(),
 		"handoff_verdicts":      r.stats.handoffVerds.Load(),
+		"handoff_estimates":     r.stats.handoffEsts.Load(),
 		"breaker_routed":        r.stats.breakerRouted.Load(),
 		"gossip_sent":           r.stats.gossipSent.Load(),
 		"gossip_received":       r.stats.gossipRecv.Load(),

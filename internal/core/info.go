@@ -2,6 +2,41 @@ package core
 
 import "sort"
 
+// Worst-case complexity classes an Info.Cells field may carry — the
+// machine-readable closed set behind the Complexity prose. The query
+// planner (internal/plan) maps them onto its three cost tiers:
+// CellP → polynomial, CellNP/CellCoNP → one NP-oracle level,
+// CellSigma2/CellPi2 → second level of the polynomial hierarchy.
+const (
+	CellP      = "P"
+	CellNP     = "NP"
+	CellCoNP   = "coNP"
+	CellSigma2 = "Sigma2p"
+	CellPi2    = "Pi2p"
+)
+
+// KnownCells is the closed set of values Cells fields may carry; the
+// registry coverage test rejects anything else.
+var KnownCells = map[string]bool{
+	CellP: true, CellNP: true, CellCoNP: true, CellSigma2: true, CellPi2: true,
+}
+
+// Cells are the worst-case classes of the three decision problems on
+// the general fragment (the paper's table row for the semantics).
+// Fragment restrictions that collapse a cell to P (definite, Horn,
+// stratified-normal, positive-existence) are the planner's and the
+// session fast path's job, not encoded here.
+type Cells struct {
+	Literal   string `json:"literal"`
+	Formula   string `json:"formula"`
+	Existence string `json:"existence"`
+}
+
+// Complete reports whether every cell is populated with a known class.
+func (c Cells) Complete() bool {
+	return KnownCells[c.Literal] && KnownCells[c.Formula] && KnownCells[c.Existence]
+}
+
 // Info describes a registered semantics for dispatchers: the serving
 // layer's /v1/semantics endpoint surfaces it to clients, and workload
 // generators (the loadgen, the soak tester's HTTP cross-check) consult
@@ -15,6 +50,12 @@ type Info struct {
 	// existence) — documentation for clients picking budgets, not a
 	// machine-checked contract (the bench harness audits the cells).
 	Complexity string `json:"complexity"`
+	// Cells is the machine-readable form of Complexity: one closed-set
+	// class per decision problem, consumed by the cost-based planner. A
+	// semantics that omits a cell degrades to worst-case (Πᵖ₂) in the
+	// planner; the registry coverage test fails on missing cells so the
+	// degradation can't happen silently.
+	Cells Cells `json:"cells"`
 	// NoNegation marks semantics defined only for positive databases
 	// (DDR/WGCWA, PWS/PMS): negation in a body yields ErrUnsupported.
 	NoNegation bool `json:"no_negation,omitempty"`
@@ -27,6 +68,26 @@ type Info struct {
 	// discover it by asking — so dispatchers treat such errors as
 	// semantic outcomes, never as service failures.
 	Stratified bool `json:"stratified,omitempty"`
+}
+
+// Cell returns the class of one decision problem by its serve-layer
+// kind name ("literal" | "formula" | "model"), defaulting to Πᵖ₂ when
+// the cell is unpopulated — missing metadata must degrade to
+// worst-case, never to optimistic.
+func (i Info) Cell(kind string) string {
+	var c string
+	switch kind {
+	case "literal":
+		c = i.Cells.Literal
+	case "formula":
+		c = i.Cells.Formula
+	case "model":
+		c = i.Cells.Existence
+	}
+	if !KnownCells[c] {
+		return CellPi2
+	}
+	return c
 }
 
 // Applicable reports whether the info's static applicability flags

@@ -1,0 +1,286 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"disjunct/internal/db"
+	"disjunct/internal/session"
+	"disjunct/internal/store"
+
+	_ "disjunct/internal/semantics/all"
+)
+
+func compile(t *testing.T, text string) *session.Compiled {
+	t.Helper()
+	d, err := db.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return session.NewManager(session.Config{}).InternDB(d)
+}
+
+// wideDB builds a positive disjunctive database over n atoms — above
+// the brute cap it forces the fresh route.
+func wideDB(t *testing.T, n int) *session.Compiled {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i+1 < n; i += 2 {
+		fmt.Fprintf(&b, "x%d | x%d. ", i, i+1)
+	}
+	return compile(t, b.String())
+}
+
+func TestClassOf(t *testing.T) {
+	definite := compile(t, "a. b :- a.")
+	disj := compile(t, "a | b.")
+	cases := []struct {
+		comp *session.Compiled
+		sem  string
+		kind session.Kind
+		want Class
+	}{
+		{definite, "GCWA", session.KindLiteral, ClassPoly}, // fast path collapses the Πᵖ₂ cell
+		{disj, "GCWA", session.KindLiteral, ClassSigma2},   // general fragment, Πᵖ₂ cell
+		{disj, "GCWA", session.KindModel, ClassPoly},       // positive-existence fast path
+		{disj, "CWA", session.KindLiteral, ClassNP},        // coNP cell
+		{disj, "DDR", session.KindLiteral, ClassNP},
+		{disj, "DDR", session.KindModel, ClassPoly},    // P existence cell
+		{disj, "DSM", session.KindModel, ClassPoly},    // Σᵖ₂ cell, but positive-existence fast path applies
+		{disj, "PDSM", session.KindModel, ClassSigma2}, // no fast path: the Σᵖ₂ cell stands
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.comp, c.sem, c.kind); got != c.want {
+			t.Errorf("ClassOf(%q, %s, %v) = %v, want %v", c.comp.D.String(), c.sem, c.kind, got, c.want)
+		}
+	}
+	if got := ClassOf(disj, "NO-SUCH-SEMANTICS", session.KindLiteral); got != ClassSigma2 {
+		t.Errorf("unknown semantics classed %v, want worst-case %v", got, ClassSigma2)
+	}
+}
+
+func TestDecideLadder(t *testing.T) {
+	definite := compile(t, "a. b :- a.")
+	disj := compile(t, "a | b.")
+	wide := wideDB(t, 20)
+
+	p := New(Config{})
+	if d := p.Decide(definite, "GCWA", session.KindLiteral); d.Proc != ProcFast {
+		t.Errorf("definite GCWA literal routed %v, want fast", d.Proc)
+	}
+	if d := p.Decide(disj, "DDR", session.KindModel); d.Proc != ProcFast {
+		t.Errorf("positive DDR existence routed %v, want fast", d.Proc)
+	}
+	// A polynomial cell without a fast path (DDR existence once a denial
+	// disables the positive-existence shortcut) goes fresh: the engine
+	// answers it without search, no warm state or race needed.
+	denial := compile(t, "a | b. :- a, b.")
+	if d := p.Decide(denial, "DDR", session.KindModel); d.Proc != ProcFresh || d.Class != ClassPoly {
+		t.Errorf("DDR existence with IC routed %v class %v, want fresh/poly", d.Proc, d.Class)
+	}
+	if d := p.Decide(disj, "GCWA", session.KindLiteral); d.Proc != ProcWarm {
+		t.Errorf("disjunctive GCWA literal routed %v, want warm", d.Proc)
+	}
+	if d := p.Decide(wide, "DSM", session.KindLiteral); d.Proc != ProcFresh {
+		t.Errorf("20-atom DSM literal routed %v, want fresh (above brute cap)", d.Proc)
+	}
+	if d := p.Decide(disj, "CWA", session.KindLiteral); d.Proc != ProcFresh {
+		t.Errorf("CWA literal routed %v, want fresh (no brute reference)", d.Proc)
+	}
+
+	// The brute/fresh boundary on a tiny Σ₂ᵖ query: cold races the
+	// portfolio; a cheap calibrated estimate goes fresh; a
+	// boundary-straddling one races; a clearly-expensive one goes brute.
+	d := p.Decide(disj, "DSM", session.KindLiteral)
+	if d.Proc != ProcPortfolio || d.HaveEst {
+		t.Fatalf("cold tiny DSM literal routed %v (haveEst=%v), want portfolio cold", d.Proc, d.HaveEst)
+	}
+	p.Observe(disj.Raw, "DSM", Cost{NPCalls: 2, Micros: 10})
+	if d := p.Decide(disj, "DSM", session.KindLiteral); d.Proc != ProcFresh || !d.HaveEst || d.EstNP != 2 {
+		t.Errorf("cheap-estimate DSM routed %v (est %d), want fresh", d.Proc, d.EstNP)
+	}
+	p2 := New(Config{})
+	p2.Observe(disj.Raw, "DSM", Cost{NPCalls: 6})
+	if d := p2.Decide(disj, "DSM", session.KindLiteral); d.Proc != ProcPortfolio {
+		t.Errorf("boundary-estimate DSM routed %v, want portfolio", d.Proc)
+	}
+	p3 := New(Config{})
+	p3.Observe(disj.Raw, "DSM", Cost{NPCalls: 40})
+	if d := p3.Decide(disj, "DSM", session.KindLiteral); d.Proc != ProcBrute {
+		t.Errorf("expensive-estimate DSM routed %v, want brute", d.Proc)
+	}
+
+	st := p.Stats()
+	if st["decisions"] == 0 || st["routed_fast"] == 0 || st["routed_warm"] == 0 ||
+		st["routed_fresh"] == 0 || st["routed_portfolio"] == 0 {
+		t.Errorf("routing counters not maintained: %v", st)
+	}
+}
+
+func TestShouldShed(t *testing.T) {
+	disj := compile(t, "a | b.")
+	definite := compile(t, "a. b :- a.")
+	p := New(Config{})
+
+	cold := p.Decide(disj, "DSM", session.KindLiteral) // Σ₂ᵖ, cold, portfolio
+	if p.ShouldShed(cold, 3, 8) {
+		t.Error("shed below the occupancy threshold")
+	}
+	if !p.ShouldShed(cold, 4, 8) {
+		t.Error("cold Σ₂ᵖ query not shed at 50% occupancy")
+	}
+	if p.ShouldShed(cold, 4, 0) {
+		t.Error("shed with a zero queue bound")
+	}
+	if fast := p.Decide(definite, "GCWA", session.KindLiteral); p.ShouldShed(fast, 8, 8) {
+		t.Error("fast-path query shed under full queue")
+	}
+	if np := p.Decide(disj, "DDR", session.KindLiteral); p.ShouldShed(np, 8, 8) {
+		t.Error("NP-class query shed (only the Σ₂ᵖ tier sheds)")
+	}
+
+	// A calibrated-cheap estimate exempts the key; a calibrated-expensive
+	// one keeps it shed-first.
+	p.Observe(disj.Raw, "DSM", Cost{NPCalls: 2})
+	if d := p.Decide(disj, "DSM", session.KindLiteral); p.ShouldShed(d, 8, 8) {
+		t.Error("calibrated-cheap Σ₂ᵖ query shed")
+	}
+	// A calibrated-expensive key sheds only where brute can't rescue it:
+	// on a wide instance (above the brute cap) the expensive Σ₂ᵖ query
+	// is the first to go.
+	wide := wideDB(t, 20)
+	p4 := New(Config{})
+	p4.Observe(wide.Raw, "DSM", Cost{NPCalls: 100})
+	if d := p4.Decide(wide, "DSM", session.KindLiteral); d.Proc != ProcFresh || !p4.ShouldShed(d, 8, 8) {
+		t.Errorf("calibrated-expensive wide Σ₂ᵖ query (proc %v) not shed under overload", d.Proc)
+	}
+
+	// On a tiny instance the same expensive estimate routes brute
+	// instead — and brute-routed queries never shed: answering is
+	// cheaper than queuing.
+	p4.Observe(disj.Raw, "DSM", Cost{NPCalls: 100})
+	if d := p4.Decide(disj, "DSM", session.KindLiteral); d.Proc != ProcBrute || p4.ShouldShed(d, 8, 8) {
+		t.Errorf("brute-routed query (proc %v) shed under overload", d.Proc)
+	}
+}
+
+// TestEstimatorDeterminism pins the commutative-sums design: any
+// interleaving of the same multiset of observations must produce the
+// identical estimate. Under -race this also proves the locking.
+func TestEstimatorDeterminism(t *testing.T) {
+	keys := []string{"k0", "k1", "k2", "k3"}
+	type obs struct {
+		key string
+		c   Cost
+	}
+	var all []obs
+	for i := 0; i < 800; i++ {
+		all = append(all, obs{keys[i%len(keys)], Cost{
+			NPCalls: int64(i % 17), SATConfl: int64(i % 5), Micros: int64(i),
+		}})
+	}
+
+	seq := newEstimator(nil)
+	for _, o := range all {
+		seq.observe(o.key, "DSM", o.c)
+	}
+
+	conc := newEstimator(nil)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(all); i += workers {
+				conc.observe(all[i].key, "DSM", all[i].c)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, k := range keys {
+		want, ok1 := seq.estimate(k, "DSM")
+		got, ok2 := conc.estimate(k, "DSM")
+		if !ok1 || !ok2 || want != got {
+			t.Errorf("key %s: sequential %+v (ok=%v) vs concurrent %+v (ok=%v)", k, want, ok1, got, ok2)
+		}
+	}
+	if seq.observations.Load() != conc.observations.Load() {
+		t.Errorf("observation counts diverge: %d vs %d", seq.observations.Load(), conc.observations.Load())
+	}
+}
+
+// TestMergeSemilattice pins the handoff-import rule: max-by-count is
+// idempotent (re-importing a slice accepts nothing), monotone (a
+// smaller count never clobbers a larger one), and a seed followed by
+// an import of the same snapshot cannot double-count.
+func TestMergeSemilattice(t *testing.T) {
+	src := newEstimator(nil)
+	src.observe("db1", "DSM", Cost{NPCalls: 4, Micros: 100})
+	src.observe("db1", "DSM", Cost{NPCalls: 6, Micros: 200})
+	src.observe("db2", "GCWA", Cost{NPCalls: 1, Micros: 10})
+	snap := src.export()
+
+	dst := newEstimator(nil)
+	if got := dst.merge(snap); got != 2 {
+		t.Fatalf("first import accepted %d entries, want 2", got)
+	}
+	if got := dst.merge(snap); got != 0 {
+		t.Errorf("re-import accepted %d entries, want 0 (idempotence)", got)
+	}
+	for _, s := range snap {
+		want, _ := src.estimate(s.Raw, s.Sem)
+		got, ok := dst.estimate(s.Raw, s.Sem)
+		if !ok || want != got {
+			t.Errorf("%s/%s: imported %+v, want %+v", s.Raw, s.Sem, got, want)
+		}
+	}
+
+	// A stale slice (smaller count) must not clobber newer sums.
+	dst.observe("db1", "DSM", Cost{NPCalls: 100})
+	before, _ := dst.estimate("db1", "DSM")
+	if got := dst.merge(snap); got != 0 {
+		t.Errorf("stale import accepted %d entries, want 0 (monotonicity)", got)
+	}
+	if after, _ := dst.estimate("db1", "DSM"); after != before {
+		t.Errorf("stale import moved the estimate: %+v -> %+v", before, after)
+	}
+}
+
+// TestEstimatePersistence proves the write-behind/seed loop: estimates
+// observed against a store survive a close/reopen into a fresh
+// planner, and re-seeding plus re-importing the same snapshot is a
+// no-op (the restart path cannot double-count).
+func TestEstimatePersistence(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	p := New(Config{Store: st})
+	p.Observe("dbX", "DSM", Cost{NPCalls: 9, SATConfl: 3, Micros: 500})
+	p.Observe("dbX", "DSM", Cost{NPCalls: 11, SATConfl: 5, Micros: 700})
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, _, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	p2 := New(Config{Store: st2})
+	e, ok := p2.est.estimate("dbX", "DSM")
+	if !ok {
+		t.Fatal("estimate did not survive the restart")
+	}
+	if e.count != 2 || e.sumNP != 20 || e.sumConfl != 8 || e.sumMicros != 1200 {
+		t.Errorf("recovered estimate %+v, want count=2 sumNP=20 sumConfl=8 sumMicros=1200", e)
+	}
+	if got := p2.Import(p2.Export()); got != 0 {
+		t.Errorf("self re-import accepted %d entries, want 0", got)
+	}
+}

@@ -1,0 +1,131 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disjunct/internal/oracle"
+)
+
+var errTrip = errors.New("budget: conflicts exhausted (test)")
+
+// blockingArm returns an arm that waits for cancellation, records the
+// ctx error it observed, and fails with a budget trip — the canceled
+// loser of a race.
+func blockingArm(name string, sawCancel *atomic.Bool) Arm {
+	return Arm{Name: name, Run: func(ctx context.Context) Outcome {
+		<-ctx.Done()
+		sawCancel.Store(true)
+		return Outcome{Err: errTrip, Counters: oracle.Counters{NPCalls: 5, SATConfl: 7}}
+	}}
+}
+
+// TestRaceFirstDefiniteWinsAndCancelsLoser pins the portfolio
+// contract: the first definite completion wins, the loser is canceled
+// and drained, its budget trip never surfaces, and the total counters
+// account for both arms' work.
+func TestRaceFirstDefiniteWinsAndCancelsLoser(t *testing.T) {
+	var canceled atomic.Bool
+	fast := Arm{Name: "brute", Run: func(ctx context.Context) Outcome {
+		return Outcome{Holds: true, Counters: oracle.Counters{NPCalls: 1}}
+	}}
+	res := Race(context.Background(), fast, blockingArm("fresh", &canceled))
+	if res.Winner != "brute" || res.Out.Err != nil || !res.Out.Holds {
+		t.Fatalf("race adopted %q err=%v holds=%v, want clean brute win", res.Winner, res.Out.Err, res.Out.Holds)
+	}
+	if !canceled.Load() {
+		t.Error("loser was not canceled (Race returned before the loser settled)")
+	}
+	if res.Total.NPCalls != 6 || res.Total.SATConfl != 7 {
+		t.Errorf("total counters %+v, want both arms summed (np=6 confl=7)", res.Total)
+	}
+}
+
+// TestRaceSecondDefiniteWins: a first-finisher error must not decide
+// the race — the slower arm's clean verdict wins and the error never
+// surfaces.
+func TestRaceSecondDefiniteWins(t *testing.T) {
+	failFast := Arm{Name: "brute", Run: func(ctx context.Context) Outcome {
+		return Outcome{Err: errTrip}
+	}}
+	slowClean := Arm{Name: "fresh", Run: func(ctx context.Context) Outcome {
+		time.Sleep(5 * time.Millisecond)
+		if ctx.Err() != nil {
+			t.Error("survivor was canceled by the loser's failure")
+		}
+		return Outcome{Holds: false, Counters: oracle.Counters{NPCalls: 3}}
+	}}
+	res := Race(context.Background(), failFast, slowClean)
+	if res.Winner != "fresh" || res.Out.Err != nil || res.Out.Holds {
+		t.Fatalf("race adopted %q err=%v holds=%v, want clean fresh win", res.Winner, res.Out.Err, res.Out.Holds)
+	}
+}
+
+// TestRaceBothFailAdoptsCanonicalArm: when every arm fails, arm b's
+// outcome (the canonical fresh procedure with the serve layer's typed
+// errors) is adopted regardless of finishing order.
+func TestRaceBothFailAdoptsCanonicalArm(t *testing.T) {
+	errA := errors.New("brute: synthetic cancel")
+	errB := errors.New("budget: deadline exceeded (test)")
+	for _, delayA := range []time.Duration{0, 3 * time.Millisecond} {
+		a := Arm{Name: "brute", Run: func(ctx context.Context) Outcome {
+			time.Sleep(delayA)
+			return Outcome{Err: errA}
+		}}
+		b := Arm{Name: "fresh", Run: func(ctx context.Context) Outcome {
+			time.Sleep(3*time.Millisecond - delayA)
+			return Outcome{Err: errB}
+		}}
+		res := Race(context.Background(), a, b)
+		if res.Winner != "fresh" || !errors.Is(res.Out.Err, errB) {
+			t.Errorf("delayA=%v: both-fail race adopted %q err=%v, want fresh's typed error", delayA, res.Winner, res.Out.Err)
+		}
+	}
+}
+
+// TestRaceGoroutineSettle: a settled Race leaks nothing, even when the
+// loser only returns on cancellation.
+func TestRaceGoroutineSettle(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		var canceled atomic.Bool
+		winner := Arm{Name: "brute", Run: func(ctx context.Context) Outcome {
+			return Outcome{Holds: i%2 == 0}
+		}}
+		res := Race(context.Background(), winner, blockingArm("fresh", &canceled))
+		if res.Out.Err != nil {
+			t.Fatalf("race %d failed: %v", i, res.Out.Err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after 50 races: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestRaceHonorsParentCancel: cancelling the caller's context fails
+// both arms and the race settles with arm b's (typed) error.
+func TestRaceHonorsParentCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	arm := func(name string) Arm {
+		return Arm{Name: name, Run: func(ctx context.Context) Outcome {
+			<-ctx.Done()
+			return Outcome{Err: fmt.Errorf("%s: %w", name, ctx.Err())}
+		}}
+	}
+	res := Race(ctx, arm("brute"), arm("fresh"))
+	if res.Winner != "fresh" || !errors.Is(res.Out.Err, context.Canceled) {
+		t.Fatalf("parent-canceled race adopted %q err=%v, want fresh's cancellation", res.Winner, res.Out.Err)
+	}
+}

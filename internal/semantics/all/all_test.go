@@ -1,9 +1,12 @@
 package all_test
 
 import (
+	"errors"
 	"testing"
 
 	"disjunct/internal/core"
+	"disjunct/internal/db"
+	"disjunct/internal/logic"
 
 	_ "disjunct/internal/semantics/all"
 )
@@ -28,6 +31,82 @@ func TestEveryRegisteredSemanticsIsDescribed(t *testing.T) {
 	}
 	if len(core.Infos()) != len(names) {
 		t.Errorf("Infos() returned %d entries for %d registered names", len(core.Infos()), len(names))
+	}
+}
+
+// TestComplexityCellsComplete pins the planner's metadata contract:
+// every registered semantics must populate all three machine-readable
+// complexity cells with classes from the closed set, because an
+// unpopulated cell silently degrades that semantics to worst-case Πᵖ₂
+// in cost-class routing and makes it shed-first under overload.
+func TestComplexityCellsComplete(t *testing.T) {
+	for _, name := range core.Names() {
+		info, ok := core.InfoFor(name)
+		if !ok {
+			t.Errorf("%s: not described", name)
+			continue
+		}
+		if !info.Cells.Complete() {
+			t.Errorf("%s: incomplete complexity cells %+v", name, info.Cells)
+		}
+		for _, kind := range []string{"literal", "formula", "model"} {
+			if c := info.Cell(kind); !core.KnownCells[c] {
+				t.Errorf("%s: Cell(%q) = %q outside the closed set", name, kind, c)
+			}
+		}
+		if c := info.Cell("nonsense"); c != core.CellPi2 {
+			t.Errorf("%s: Cell of an unknown kind = %q, want worst-case %q", name, c, core.CellPi2)
+		}
+	}
+}
+
+// TestApplicabilityFlagsMatchImplementation probes every registered
+// semantics with a normal database (negation, no integrity clauses)
+// and a positive one with a denial (integrity clause, no negation):
+// the implementation must reject with ErrUnsupported exactly when the
+// described NoNegation/NoIC flags say the database is outside its
+// class. A flag that over-claims makes dispatchers (loadgen, planner
+// brute eligibility, /v1/semantics clients) route queries into typed
+// 422s; one that under-claims hides a whole fragment from them.
+func TestApplicabilityFlagsMatchImplementation(t *testing.T) {
+	negDB, err := db.Parse("a :- not b. b | c.")
+	if err != nil {
+		t.Fatalf("negation probe: %v", err)
+	}
+	icDB, err := db.Parse("a | b. :- a, b.")
+	if err != nil {
+		t.Fatalf("integrity probe: %v", err)
+	}
+	probes := []struct {
+		label string
+		d     *db.DB
+		neg   bool
+		ic    bool
+	}{
+		{"negation", negDB, true, false},
+		{"integrity", icDB, false, true},
+	}
+	for _, name := range core.Names() {
+		info, ok := core.InfoFor(name)
+		if !ok {
+			t.Fatalf("%s: not described", name)
+		}
+		for _, p := range probes {
+			s, ok := core.New(name, core.Options{})
+			if !ok {
+				t.Fatalf("%s: registered but not constructible", name)
+			}
+			_, err := s.InferLiteral(p.d, logic.NegLit(logic.Atom(0)))
+			unsupported := errors.Is(err, core.ErrUnsupported)
+			if err != nil && !unsupported {
+				t.Errorf("%s on %s probe: unexpected error %v", name, p.label, err)
+				continue
+			}
+			if want := !info.Applicable(p.neg, p.ic); unsupported != want {
+				t.Errorf("%s on %s probe: ErrUnsupported=%v but flags %+v imply %v",
+					name, p.label, unsupported, info, want)
+			}
+		}
 	}
 }
 

@@ -34,6 +34,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "CWA",
 		Complexity: "literal/formula coNP; existence coNP-hard, in P^NP[O(log n)]",
+		Cells:      core.Cells{Literal: core.CellCoNP, Formula: core.CellCoNP, Existence: core.CellCoNP},
 	})
 }
 

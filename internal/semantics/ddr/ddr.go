@@ -39,8 +39,9 @@ func init() {
 		return s
 	})
 	ddrCell := "negative literal in P (no IC) / coNP with IC; formula coNP-complete; existence in P"
-	core.Describe(core.Info{Name: "DDR", Complexity: ddrCell, NoNegation: true})
-	core.Describe(core.Info{Name: "WGCWA", Complexity: ddrCell, NoNegation: true})
+	ddrCells := core.Cells{Literal: core.CellCoNP, Formula: core.CellCoNP, Existence: core.CellP}
+	core.Describe(core.Info{Name: "DDR", Complexity: ddrCell, Cells: ddrCells, NoNegation: true})
+	core.Describe(core.Info{Name: "WGCWA", Complexity: ddrCell, Cells: ddrCells, NoNegation: true})
 }
 
 // Sem is the DDR ≡ WGCWA semantics.

@@ -36,6 +36,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "DSM",
 		Complexity: "literal/formula Πᵖ₂-complete; existence O(1) positive / Σᵖ₂-complete in general",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellSigma2},
 	})
 }
 

@@ -32,8 +32,9 @@ func init() {
 		return s
 	})
 	ecwaCell := "literal/formula Πᵖ₂-complete; existence O(1) positive / NP with IC"
-	core.Describe(core.Info{Name: "ECWA", Complexity: ecwaCell})
-	core.Describe(core.Info{Name: "CIRC", Complexity: ecwaCell})
+	ecwaCells := core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellNP}
+	core.Describe(core.Info{Name: "ECWA", Complexity: ecwaCell, Cells: ecwaCells})
+	core.Describe(core.Info{Name: "CIRC", Complexity: ecwaCell, Cells: ecwaCells})
 }
 
 // Sem is the ECWA ≡ CIRC semantics.

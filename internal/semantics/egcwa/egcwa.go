@@ -31,6 +31,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "EGCWA",
 		Complexity: "literal/formula Πᵖ₂-complete; existence O(1) positive / NP with IC",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellNP},
 	})
 }
 

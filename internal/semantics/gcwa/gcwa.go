@@ -30,6 +30,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "GCWA",
 		Complexity: "literal Πᵖ₂-complete; formula Πᵖ₂-hard, in P^Σᵖ₂[O(log n)]; existence O(1) positive / NP with IC",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellNP},
 	})
 }
 

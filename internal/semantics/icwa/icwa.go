@@ -41,6 +41,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "ICWA",
 		Complexity: "literal/formula Πᵖ₂-complete (given stratification); existence O(1)",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellP},
 		NoIC:       true,
 		Stratified: true,
 	})

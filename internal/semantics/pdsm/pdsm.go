@@ -45,6 +45,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "PDSM",
 		Complexity: "literal/formula Πᵖ₂-complete; existence Σᵖ₂-complete (even without IC)",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellSigma2},
 	})
 }
 

@@ -35,6 +35,7 @@ func init() {
 	core.Describe(core.Info{
 		Name:       "PERF",
 		Complexity: "literal/formula Πᵖ₂-complete; existence Σᵖ₂-complete (O(1) positive)",
+		Cells:      core.Cells{Literal: core.CellPi2, Formula: core.CellPi2, Existence: core.CellSigma2},
 		NoIC:       true,
 	})
 }

@@ -41,8 +41,9 @@ func init() {
 		return s
 	})
 	pwsCell := "negative literal in P (no IC) / coNP with IC; formula coNP-complete; existence NP"
-	core.Describe(core.Info{Name: "PWS", Complexity: pwsCell, NoNegation: true})
-	core.Describe(core.Info{Name: "PMS", Complexity: pwsCell, NoNegation: true})
+	pwsCells := core.Cells{Literal: core.CellCoNP, Formula: core.CellCoNP, Existence: core.CellNP}
+	core.Describe(core.Info{Name: "PWS", Complexity: pwsCell, Cells: pwsCells, NoNegation: true})
+	core.Describe(core.Info{Name: "PMS", Complexity: pwsCell, Cells: pwsCells, NoNegation: true})
 }
 
 // Sem is the PWS ≡ PMS semantics.

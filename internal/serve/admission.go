@@ -87,3 +87,7 @@ func (a *admission) admit(drainCtx, reqCtx context.Context) admitResult {
 func (a *admission) depth() (queued, waiting, executing int64) {
 	return a.queued.Load(), a.waiting.Load(), int64(len(a.exec))
 }
+
+// queueBound reports the total queue capacity (executing + waiting) —
+// the denominator of the planner's cost-shed occupancy check.
+func (a *admission) queueBound() int { return int(a.bound) }

@@ -132,6 +132,13 @@ const (
 	// was dead, draining, or breaker-open (HTTP 503 + Retry-After tied
 	// to the router's health-probe interval).
 	ShedNodeUnavailable = "node_unavailable"
+	// ShedCost: cost-aware admission shed the query because the queue
+	// is past its occupancy threshold and the planner classified it
+	// expensive — Σ₂ᵖ-class and either cold (no calibrated estimate for
+	// its fingerprint×semantics yet) or with a high NP-call estimate
+	// (HTTP 429 + Retry-After). Cheap queries keep completing; under
+	// FIFO they would starve behind the expensive ones.
+	ShedCost = "shed_cost"
 )
 
 // BatchQuery is one query of a batch request. Kind is "literal",

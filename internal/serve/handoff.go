@@ -6,6 +6,7 @@ import (
 
 	"disjunct/internal/keyspace"
 	"disjunct/internal/session"
+	"disjunct/internal/store"
 )
 
 // Cluster handoff endpoints. A draining worker's warm state — compiled
@@ -25,6 +26,7 @@ import (
 type HandoffImportResponse struct {
 	Artifacts int `json:"artifacts"`
 	Verdicts  int `json:"verdicts"`
+	Estimates int `json:"estimates,omitempty"`
 }
 
 func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
@@ -56,6 +58,19 @@ func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
 		s.store.Flush()
 	}
 	h := s.sessions.Export()
+	if s.planner != nil {
+		// The planner's calibrated cost model rides the same handoff:
+		// estimates keyed by the fingerprint the ring routes on, so the
+		// successor starts with the departing worker's cost knowledge
+		// instead of re-learning every hot key cold.
+		for _, e := range s.planner.Export() {
+			h.Estimates = append(h.Estimates, session.HandoffEstimate{
+				Raw: e.Raw, Sem: e.Sem,
+				Count: e.Count, SumNP: e.SumNP,
+				SumConfl: e.SumConfl, SumMicros: e.SumMicros,
+			})
+		}
+	}
 	if ranges != nil {
 		filtered := session.Handoff{}
 		for _, a := range h.Artifacts {
@@ -66,6 +81,11 @@ func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
 		for _, v := range h.Verdicts {
 			if ranges.ContainsKey(v.Raw) {
 				filtered.Verdicts = append(filtered.Verdicts, v)
+			}
+		}
+		for _, e := range h.Estimates {
+			if ranges.ContainsKey(e.Raw) {
+				filtered.Estimates = append(filtered.Estimates, e)
 			}
 		}
 		h = filtered
@@ -92,5 +112,17 @@ func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	arts, verds := s.sessions.Import(h)
-	writeJSON(w, http.StatusOK, HandoffImportResponse{Artifacts: arts, Verdicts: verds})
+	ests := 0
+	if s.planner != nil && len(h.Estimates) > 0 {
+		list := make([]store.Estimate, 0, len(h.Estimates))
+		for _, e := range h.Estimates {
+			list = append(list, store.Estimate{
+				Raw: e.Raw, Sem: e.Sem,
+				Count: e.Count, SumNP: e.SumNP,
+				SumConfl: e.SumConfl, SumMicros: e.SumMicros,
+			})
+		}
+		ests = s.planner.Import(list)
+	}
+	writeJSON(w, http.StatusOK, HandoffImportResponse{Artifacts: arts, Verdicts: verds, Estimates: ests})
 }

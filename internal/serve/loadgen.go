@@ -570,7 +570,7 @@ func doRequest(client *http.Client, baseURL string, job loadJob) (int, int, Quer
 			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("unknown verdict %q", qr.Verdict)
 		}
 	case http.StatusTooManyRequests:
-		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ShedQueueFull && er.Error != ShedQueueWait) {
+		if err := json.Unmarshal(body, &er); err != nil || (er.Error != ShedQueueFull && er.Error != ShedQueueWait && er.Error != ShedCost) {
 			return outcomeUntyped, resp.StatusCode, qr, er, fmt.Errorf("untyped 429 body %q", body)
 		}
 		return outcomeShed429, resp.StatusCode, qr, er, nil

@@ -52,6 +52,7 @@ import (
 	"disjunct/internal/core"
 	"disjunct/internal/db"
 	"disjunct/internal/logic"
+	"disjunct/internal/plan"
 	"disjunct/internal/session"
 	"disjunct/internal/store"
 )
@@ -115,6 +116,20 @@ type Config struct {
 	// from disk before /readyz reports ready, and Drain flushes and
 	// closes the store instead of discarding it.
 	Store *store.Store
+	// Planner switches on the cost-based query planner (internal/plan):
+	// every query is classified into a cost class before admission,
+	// routed to the cheapest correct procedure (fast path / warm
+	// session / fresh / brute refsem / two-procedure portfolio), and
+	// under overload the admission queue sheds expensive queries first
+	// with a typed shed_cost 429 instead of FIFO. Forces Sessions on
+	// (the planner classifies on the compiled artifact).
+	Planner bool
+	// PlannerBruteAtoms / PlannerExpensiveNP / PlannerShedOccupancy
+	// tune the planner (zero = its defaults: 8 atoms, 8 NP calls, 0.5
+	// occupancy); ignored unless Planner is set.
+	PlannerBruteAtoms    int
+	PlannerExpensiveNP   int64
+	PlannerShedOccupancy float64
 	// BatchMaxQueries caps the queries one /v1/batch request may carry
 	// (default 256; larger batches are rejected with a typed 400).
 	BatchMaxQueries int
@@ -145,7 +160,7 @@ func (c Config) withDefaults() Config {
 	if c.BatchMaxQueries <= 0 {
 		c.BatchMaxQueries = 256
 	}
-	if c.Store != nil {
+	if c.Store != nil || c.Planner {
 		c.Sessions = true
 	}
 	return c
@@ -160,6 +175,7 @@ type stats struct {
 	shedClientGone atomic.Int64 // client disconnected while queued
 	shedDraining   atomic.Int64
 	shedBreaker    atomic.Int64
+	shedCost       atomic.Int64 // cost-aware admission sheds (planner on)
 	badRequest     atomic.Int64 // 400/404/422
 	retries        atomic.Int64 // query-level transient retries performed
 	coalesced      atomic.Int64 // requests answered from a coalesced leader
@@ -208,6 +224,14 @@ type Server struct {
 	sessions *session.Manager
 	flights  flightGroup
 
+	// planner is the cost-based query planner, nil unless cfg.Planner.
+	// expBusy counts expensive-tier requests currently admitted
+	// (queued or executing); the bulkhead sheds the tier past
+	// MaxConcurrent-1 so one execution slot always stays available to
+	// cheap traffic no matter how long the expensive queries run.
+	planner *plan.Planner
+	expBusy atomic.Int64
+
 	// store is the persistent tier (nil when disabled). warmed flips
 	// once the startup prewarm finishes (immediately when no store);
 	// /readyz stays unready until then, and warmedCh orders Drain's
@@ -248,6 +272,14 @@ func New(cfg Config) *Server {
 		})
 		s.flights.m = map[string]*flight{}
 		s.store = cfg.Store
+	}
+	if cfg.Planner {
+		s.planner = plan.New(plan.Config{
+			BruteMaxAtoms: cfg.PlannerBruteAtoms,
+			ExpensiveNP:   cfg.PlannerExpensiveNP,
+			ShedOccupancy: cfg.PlannerShedOccupancy,
+			Store:         cfg.Store,
+		})
 	}
 	s.warmedCh = make(chan struct{})
 	if s.store != nil {
@@ -464,6 +496,10 @@ type parsedQuery struct {
 	comp   *session.Compiled
 	qtext  string
 	dbText string
+	// dec is the planner's pre-admission decision; planned reports
+	// whether one was made (planner on and artifact compiled).
+	dec     plan.Decision
+	planned bool
 }
 
 // parseLiteral parses "x", "-x", "~x", or "not x" against a
@@ -562,6 +598,47 @@ func (s *Server) queryHandler(kind string) http.HandlerFunc {
 			s.stats.badRequest.Add(1)
 			writeJSON(w, status, *errResp)
 			return
+		}
+
+		// Cost-aware admission: the planner classifies the query on its
+		// compiled artifact before any slot is claimed. Past the queue's
+		// occupancy threshold, expensive queries (Σ₂ᵖ-class, cold or
+		// high-estimate) shed with a typed 429 so the cheap traffic the
+		// server can still finish keeps completing — under FIFO both
+		// classes would shed alike once the queue fills.
+		if s.planner != nil && pq.comp != nil {
+			pq.dec = s.planner.Decide(pq.comp, pq.semName, sessionKind(kind))
+			pq.planned = true
+			queued, _, _ := s.adm.depth()
+			shed := s.planner.ShouldShed(pq.dec, int(queued), s.adm.queueBound())
+			if !shed && s.planner.Expensive(pq.dec) {
+				// Bulkhead: the expensive tier holds at most
+				// MaxConcurrent-1 admissions at once, so a burst of
+				// seconds-long Σ₂ᵖ queries can never pin every
+				// execution slot — the microsecond traffic always has
+				// one to land on. (The occupancy check above can't
+				// provide this: a fast-draining queue reads as empty
+				// the instant an expensive query arrives, even while
+				// every slot is blocked.)
+				tierCap := int64(s.cfg.MaxConcurrent - 1)
+				if tierCap < 1 {
+					tierCap = 1
+				}
+				if s.expBusy.Add(1) > tierCap {
+					s.expBusy.Add(-1)
+					shed = true
+				} else {
+					defer s.expBusy.Add(-1)
+				}
+			}
+			if shed {
+				s.planner.CountShed()
+				s.stats.shedCost.Add(1)
+				writeShed(w, http.StatusTooManyRequests, ErrorResponse{
+					Error: ShedCost, Semantics: pq.semName, RetryAfterMS: 50,
+				})
+				return
+			}
 		}
 		br := s.breakerFor(pq.semName)
 		ok, probe, retryAfter := br.allow()
@@ -735,6 +812,10 @@ type Health struct {
 	// counts, write-behind and recovery statistics, and the prewarm
 	// outcome. `torn_tail`/`flusher_running`/`prewarmed` are 0/1 gauges.
 	Store map[string]int64 `json:"store,omitempty"`
+	// Planner is present when the cost-based planner is enabled:
+	// decisions and estimates served, per-procedure routing counts,
+	// portfolio races with the winner histogram, and cost sheds.
+	Planner map[string]int64 `json:"planner,omitempty"`
 }
 
 func (s *Server) health() Health {
@@ -755,6 +836,7 @@ func (s *Server) health() Health {
 			"shed_client_gone":   s.stats.shedClientGone.Load(),
 			"shed_draining":      s.stats.shedDraining.Load(),
 			"shed_breaker":       s.stats.shedBreaker.Load(),
+			"shed_cost":          s.stats.shedCost.Load(),
 			"bad_request":        s.stats.badRequest.Load(),
 			"retries":            s.stats.retries.Load(),
 			"coalesced":          s.stats.coalesced.Load(),
@@ -811,6 +893,9 @@ func (s *Server) health() Health {
 			"prewarmed":       b2i(s.warmed.Load()),
 			"prewarmed_arts":  s.prewarmed.Load(),
 		}
+	}
+	if s.planner != nil {
+		h.Planner = s.planner.Stats()
 	}
 	if !s.warmed.Load() {
 		// Mirror /readyz for the healthz-probing cluster router: the

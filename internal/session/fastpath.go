@@ -33,7 +33,37 @@ var (
 	fastStrat = map[string]bool{
 		"DSM": true, "PERF": true, "ICWA": true,
 	}
+	// fastPosExistence: on a positive database without integrity
+	// clauses the all-true interpretation is a model, every minimal /
+	// stable / perfect / possible-world construction is nonempty, and
+	// the iterated closures stay consistent — model existence is O(1)
+	// ("existence O(1) positive" in the paper's cells; Truszczyński's
+	// trichotomy pins the same collapse). Applies on the general
+	// fragment, where the other allowlists don't. CWA is excluded (its
+	// closure of a∨b is already inconsistent, existence is coNP-hard
+	// even positive) and PDSM is excluded for its enumeration bound.
+	fastPosExistence = map[string]bool{
+		"GCWA": true, "CCWA": true, "EGCWA": true, "ECWA": true, "CIRC": true,
+		"DSM": true, "DDR": true, "WGCWA": true,
+		"PWS": true, "PMS": true, "PERF": true, "ICWA": true,
+	}
 )
+
+// FastEligible reports whether fastVerdict would answer (comp, sem,
+// kind) — the planner's polynomial-class membership probe. It mirrors
+// fastVerdict's dispatch without evaluating the query.
+func FastEligible(comp *Compiled, sem string, kind Kind) bool {
+	switch comp.Frag {
+	case FragDefinite:
+		return fastDefinite[sem]
+	case FragHorn:
+		return fastHorn[sem]
+	case FragStratNormal:
+		return fastStrat[sem]
+	default:
+		return kind == KindModel && !comp.HasNeg && !comp.HasIC && fastPosExistence[sem]
+	}
+}
 
 // fastVerdict answers a query from the compiled artifact alone when
 // the (fragment, semantics) pair is allowlisted. The second return
@@ -58,6 +88,9 @@ func fastVerdict(comp *Compiled, sem string, kind Kind, lit logic.Lit, f *logic.
 		}
 		model = comp.Stable
 	default:
+		if kind == KindModel && !comp.HasNeg && !comp.HasIC && fastPosExistence[sem] {
+			return true, true
+		}
 		return false, false
 	}
 	switch kind {

@@ -35,10 +35,25 @@ type HandoffVerdict struct {
 	Holds   bool   `json:"holds"`
 }
 
+// HandoffEstimate is one planner cost-model entry in transit: the
+// commutative sums of the internal/plan estimator, mirrored as plain
+// data here so the session layer needn't import the planner. The serve
+// layer fills and consumes the slice; Export/Import below never touch
+// it (the Manager holds no estimates).
+type HandoffEstimate struct {
+	Raw       string `json:"raw"`
+	Sem       string `json:"sem"`
+	Count     int64  `json:"count"`
+	SumNP     int64  `json:"sum_np"`
+	SumConfl  int64  `json:"sum_confl"`
+	SumMicros int64  `json:"sum_micros"`
+}
+
 // Handoff is a worker's exportable warm state.
 type Handoff struct {
 	Artifacts []HandoffArtifact `json:"artifacts"`
 	Verdicts  []HandoffVerdict  `json:"verdicts"`
+	Estimates []HandoffEstimate `json:"estimates,omitempty"`
 }
 
 // Export snapshots the manager's warm state: every cached artifact,

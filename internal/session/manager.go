@@ -345,6 +345,13 @@ func warmEligible(sem string, kind Kind) bool {
 	return kind != KindFormula || warmFormulaSems[sem]
 }
 
+// WarmEligible exposes warmEligible to the query planner, which needs
+// to know whether a warm session is a candidate procedure before it
+// touches the Manager.
+func WarmEligible(sem string, kind Kind) bool {
+	return warmEligible(sem, kind)
+}
+
 // warmOne answers one warm-eligible query on an already checked-out
 // engine token: memo lookup, lazy engine (re)build, per-query budget
 // attach, counter delta, and retirement on interrupt or staleness.

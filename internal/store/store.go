@@ -67,6 +67,7 @@ const (
 	recArtifact byte = 1
 	recVerdict  byte = 2
 	recIntern   byte = 3
+	recEstimate byte = 4
 )
 
 // Artifact is one persisted compiled-database artifact: the exact
@@ -99,6 +100,20 @@ type Intern struct {
 	Model []byte // nil when no witness; opaque to the store
 }
 
+// Estimate is one persisted cost-model entry of the query planner: the
+// commutative observation sums for a (database fingerprint, semantics)
+// pair. Sums — not averages — are stored so merges from cluster
+// handoff slices are order-independent; the planner derives the
+// moving-average estimate as sum/count.
+type Estimate struct {
+	Raw       string // exact CNF fingerprint (the session/routing key)
+	Sem       string // semantics name
+	Count     int64  // completed observations folded in
+	SumNP     int64  // total NP-oracle calls observed
+	SumConfl  int64  // total SAT conflicts observed
+	SumMicros int64  // total solve wall-clock, microseconds
+}
+
 // Config tunes Open.
 type Config struct {
 	// Dir is the store directory (created if absent). Required.
@@ -113,6 +128,7 @@ type Recovery struct {
 	Artifacts int   // artifact records loaded
 	Verdicts  int   // verdict records loaded
 	Interns   int   // interner records loaded
+	Estimates int   // planner cost-estimate records loaded
 	TornTail  bool  // the log ended in an invalid record
 	Dropped   int64 // bytes truncated from the torn tail
 }
@@ -122,6 +138,7 @@ type Stats struct {
 	Artifacts      int64 // live artifact entries
 	Verdicts       int64 // live verdict entries
 	Interns        int64 // live interner entries
+	Estimates      int64 // live planner cost-estimate entries
 	QueuedWrites   int64 // records enqueued since open
 	FlushedWrites  int64 // records written+synced
 	Flushes        int64 // flush batches
@@ -147,6 +164,7 @@ type Store struct {
 	artifacts map[string]Artifact
 	verdicts  map[string]map[string]bool // raw\x00sem → memoKey → holds
 	interns   map[string]Intern
+	estimates map[string]Estimate // raw\x00sem → latest sums
 	pending   []pendingRec
 	closed    bool
 
@@ -188,6 +206,7 @@ func Open(cfg Config) (*Store, Recovery, error) {
 		artifacts: map[string]Artifact{},
 		verdicts:  map[string]map[string]bool{},
 		interns:   map[string]Intern{},
+		estimates: map[string]Estimate{},
 		wake:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
@@ -270,6 +289,7 @@ func (s *Store) recover() error {
 	s.f, s.size = f, valid
 	s.recovery.Artifacts = len(s.artifacts)
 	s.recovery.Interns = len(s.interns)
+	s.recovery.Estimates = len(s.estimates)
 	for _, m := range s.verdicts {
 		s.recovery.Verdicts += len(m)
 	}
@@ -284,7 +304,7 @@ func parseRecord(b []byte) (int, byte, []byte) {
 		return 0, 0, nil
 	}
 	typ := b[0]
-	if typ != recArtifact && typ != recVerdict && typ != recIntern {
+	if typ != recArtifact && typ != recVerdict && typ != recIntern && typ != recEstimate {
 		return 0, 0, nil
 	}
 	plen, n := binary.Uvarint(b[1:])
@@ -338,6 +358,16 @@ func (s *Store) apply(typ byte, payload []byte) bool {
 			return false
 		}
 		s.interns[key] = Intern{Key: key, Sat: sat == 1, Raw: raw, Model: model}
+	case recEstimate:
+		raw, sem := d.str(), d.str()
+		count, np, confl, micros := d.u64(), d.u64(), d.u64(), d.u64()
+		if d.bad || !d.done() {
+			return false
+		}
+		s.estimates[raw+"\x00"+sem] = Estimate{
+			Raw: raw, Sem: sem,
+			Count: int64(count), SumNP: int64(np), SumConfl: int64(confl), SumMicros: int64(micros),
+		}
 	default:
 		return false
 	}
@@ -398,6 +428,27 @@ func (s *Store) AllVerdicts() []Verdict {
 		for memoKey, holds := range m {
 			out = append(out, Verdict{Raw: raw, Sem: sem, MemoKey: memoKey, Holds: holds})
 		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// EstimateFor returns the persisted cost-model sums for one
+// (fingerprint, semantics) pair.
+func (s *Store) EstimateFor(raw, sem string) (Estimate, bool) {
+	s.mu.Lock()
+	e, ok := s.estimates[raw+"\x00"+sem]
+	s.mu.Unlock()
+	return e, ok
+}
+
+// Estimates snapshots every live cost-model entry — the planner's
+// startup seed and the cluster handoff export surface.
+func (s *Store) Estimates() []Estimate {
+	s.mu.Lock()
+	out := make([]Estimate, 0, len(s.estimates))
+	for _, e := range s.estimates {
+		out = append(out, e)
 	}
 	s.mu.Unlock()
 	return out
@@ -482,6 +533,37 @@ func (s *Store) PutIntern(in Intern) {
 	e.str(in.Raw)
 	e.bytes(in.Model)
 	s.enqueue(recIntern, e.b)
+	s.mu.Unlock()
+}
+
+// PutEstimate enqueues (replacing) a planner cost-model entry. The
+// latest sums win — the estimator folds observations in memory and
+// periodically snapshots, so the log carries monotone progress, not an
+// append per query.
+func (s *Store) PutEstimate(e Estimate) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if e.Count <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	k := e.Raw + "\x00" + e.Sem
+	if cur, ok := s.estimates[k]; ok && cur == e {
+		s.mu.Unlock()
+		return
+	}
+	s.estimates[k] = e
+	var enc encoder
+	enc.str(e.Raw)
+	enc.str(e.Sem)
+	enc.u64(uint64(e.Count))
+	enc.u64(uint64(e.SumNP))
+	enc.u64(uint64(e.SumConfl))
+	enc.u64(uint64(e.SumMicros))
+	s.enqueue(recEstimate, enc.b)
 	s.mu.Unlock()
 }
 
@@ -604,6 +686,16 @@ func (s *Store) maybeCompact() {
 		e.bytes(in.Model)
 		appendRec(recIntern, e.b)
 	}
+	for _, est := range s.estimates {
+		var e encoder
+		e.str(est.Raw)
+		e.str(est.Sem)
+		e.u64(uint64(est.Count))
+		e.u64(uint64(est.SumNP))
+		e.u64(uint64(est.SumConfl))
+		e.u64(uint64(est.SumMicros))
+		appendRec(recEstimate, e.b)
+	}
 
 	tmp := filepath.Join(s.cfg.Dir, tmpName)
 	fail := func() {
@@ -702,6 +794,7 @@ func (s *Store) Stats() Stats {
 		Artifacts:      int64(len(s.artifacts)),
 		Verdicts:       verdicts,
 		Interns:        int64(len(s.interns)),
+		Estimates:      int64(len(s.estimates)),
 		QueuedWrites:   s.queued,
 		FlushedWrites:  s.flushed,
 		Flushes:        s.flushes,
@@ -745,6 +838,8 @@ func (e *encoder) bytes(b []byte) {
 }
 
 func (e *encoder) byte(v uint8) { e.b = append(e.b, v) }
+
+func (e *encoder) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
 
 func (e *encoder) bool(v bool) {
 	if v {
@@ -793,6 +888,16 @@ func (d *decoder) bytes() []byte {
 	copy(out, d.b[w:w+int(n)])
 	d.b = d.b[w+int(n):]
 	return out
+}
+
+func (d *decoder) u64() uint64 {
+	v, w := binary.Uvarint(d.b)
+	if w <= 0 {
+		d.bad = true
+		return 0
+	}
+	d.b = d.b[w:]
+	return v
 }
 
 func (d *decoder) byte() uint8 {
